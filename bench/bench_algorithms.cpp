@@ -1,0 +1,64 @@
+// EXT-GC — the paper's future-work kernels (GraphChallenge / LDBC
+// Graphalytics style): BFS, PageRank, triangle counting and connected
+// components on Graph500 Kronecker graphs, as a scaling table.
+//
+//   $ ./bench_algorithms [--quick]
+#include <cstring>
+
+#include "algo/algorithms.hpp"
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rg;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+
+  const unsigned scales_full[] = {12, 14, 16};
+  const unsigned scales_quick[] = {10, 12};
+  const auto* scales = quick ? scales_quick : scales_full;
+  const std::size_t nscales = quick ? 2 : 3;
+
+  std::printf("EXT-GC: GraphBLAS analytics kernels on Graph500 graphs\n\n");
+  std::printf("  %-6s %10s %10s %10s %10s %10s %12s\n", "scale", "nnz",
+              "bfs_ms", "pr_ms", "tc_ms", "cc_ms", "triangles");
+  std::printf("csv,scale,nnz,bfs_ms,pagerank_ms,tc_ms,cc_ms,triangles\n");
+
+  for (std::size_t si = 0; si < nscales; ++si) {
+    const unsigned scale = scales[si];
+    const auto el = datagen::graph500(scale, 16, 42);
+    const auto A = datagen::to_matrix(el);
+    const auto AT = gb::transposed(A);
+
+    // BFS from 16 seeds, average.
+    const auto seeds = datagen::pick_seeds(el, 16, 7);
+    util::Stopwatch sw;
+    for (const auto s : seeds) {
+      const auto levels = algo::bfs_levels(A, AT, s);
+      if (levels.empty()) std::abort();
+    }
+    const double bfs_ms = sw.millis() / static_cast<double>(seeds.size());
+
+    sw.reset();
+    const auto pr = algo::pagerank(A);
+    const double pr_ms = sw.millis();
+
+    const auto S = algo::symmetrize(A);
+    sw.reset();
+    const auto tris = algo::triangle_count(S);
+    const double tc_ms = sw.millis();
+
+    sw.reset();
+    const auto cc = algo::connected_components(S);
+    const double cc_ms = sw.millis();
+    if (cc.empty()) std::abort();
+
+    std::printf("  %-6u %10llu %10.2f %10.2f %10.2f %10.2f %12llu\n", scale,
+                static_cast<unsigned long long>(A.nvals()), bfs_ms, pr_ms,
+                tc_ms, cc_ms, static_cast<unsigned long long>(tris));
+    std::printf("csv,%u,%llu,%.3f,%.3f,%.3f,%.3f,%llu\n", scale,
+                static_cast<unsigned long long>(A.nvals()), bfs_ms, pr_ms,
+                tc_ms, cc_ms, static_cast<unsigned long long>(tris));
+  }
+  return 0;
+}

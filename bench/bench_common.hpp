@@ -1,0 +1,142 @@
+// Shared scaffolding for the paper-reproduction benchmark drivers:
+// engine roster, seed protocol, latency tables and CLI parsing.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baseline/engine.hpp"
+#include "datagen/generators.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace rg::bench {
+
+/// CLI knobs shared by the k-hop drivers.
+struct Options {
+  unsigned g500_scale = 14;
+  unsigned twitter_scale = 14;
+  unsigned edgefactor = 16;
+  std::size_t seeds_shallow = 300;  // k = 1, 2 (paper protocol)
+  std::size_t seeds_deep = 10;      // k = 3, 6
+  std::uint64_t seed = 20190610;    // generator seed (paper's venue date)
+  double timeout_ms = 30000.0;      // per-query timeout accounting
+  std::size_t threads = 4;          // "all cores" for the TigerGraph-like
+  bool quick = false;               // tiny run for CI
+};
+
+inline Options parse_options(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    auto eat = [&](const char* flag, auto& out) {
+      if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
+        out = static_cast<std::remove_reference_t<decltype(out)>>(
+            std::strtoull(argv[++i], nullptr, 10));
+        return true;
+      }
+      return false;
+    };
+    if (eat("--g500-scale", o.g500_scale)) continue;
+    if (eat("--twitter-scale", o.twitter_scale)) continue;
+    if (eat("--edgefactor", o.edgefactor)) continue;
+    if (eat("--seeds", o.seeds_shallow)) continue;
+    if (eat("--deep-seeds", o.seeds_deep)) continue;
+    if (eat("--threads", o.threads)) continue;
+    if (eat("--seed", o.seed)) continue;
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      o.quick = true;
+      o.g500_scale = 10;
+      o.twitter_scale = 10;
+      o.seeds_shallow = 30;
+      o.seeds_deep = 5;
+    }
+  }
+  return o;
+}
+
+/// One dataset of the paper's evaluation.
+struct Dataset {
+  std::string name;
+  datagen::EdgeList edges;
+};
+
+inline std::vector<Dataset> make_datasets(const Options& o) {
+  std::vector<Dataset> out;
+  std::printf("generating datasets...\n");
+  {
+    util::Stopwatch sw;
+    Dataset d{"Graph500", datagen::graph500(o.g500_scale, o.edgefactor, o.seed)};
+    std::printf("  %-9s %s  (%.1f ms)\n", d.name.c_str(),
+                datagen::describe(d.edges).c_str(), sw.millis());
+    out.push_back(std::move(d));
+  }
+  {
+    util::Stopwatch sw;
+    Dataset d{"Twitter",
+              datagen::twitter_like(o.twitter_scale, o.edgefactor, o.seed)};
+    std::printf("  %-9s %s  (%.1f ms)\n", d.name.c_str(),
+                datagen::describe(d.edges).c_str(), sw.millis());
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+/// The engine roster of the paper's Fig. 1 (architectural stand-ins; see
+/// DESIGN.md §2).
+inline std::vector<std::unique_ptr<baseline::Engine>> make_engines(
+    const Options& o, bool include_fullstack = true) {
+  std::vector<std::unique_ptr<baseline::Engine>> engines;
+  engines.push_back(baseline::make_graphblas_engine());
+  if (include_fullstack)
+    engines.push_back(baseline::make_redisgraph_fullstack_engine());
+  engines.push_back(baseline::make_parallel_csr_engine(o.threads));
+  engines.push_back(baseline::make_csr_engine());
+  engines.push_back(baseline::make_adjlist_engine());
+  engines.push_back(baseline::make_docstore_engine());
+  return engines;
+}
+
+/// Result of one (engine, dataset, k) measurement cell.
+struct Cell {
+  util::LatencyStats stats;
+  std::uint64_t checksum = 0;  // sum of counts: correctness cross-check
+  std::size_t timeouts = 0;
+};
+
+/// Run the TigerGraph protocol: every seed sequentially, single request
+/// at a time, average response time.
+inline Cell run_khop(baseline::Engine& engine,
+                     const std::vector<gb::Index>& seeds, unsigned k,
+                     double timeout_ms) {
+  Cell cell;
+  for (const auto s : seeds) {
+    util::Stopwatch sw;
+    cell.checksum += engine.khop_count(s, k);
+    const double ms = sw.millis();
+    cell.stats.add(ms);
+    if (ms > timeout_ms) ++cell.timeouts;
+  }
+  return cell;
+}
+
+/// Print one table row: engine, mean, p50, p95, ratio-vs-reference.
+inline void print_row(const std::string& engine, const Cell& cell,
+                      double ref_mean) {
+  const double mean = cell.stats.mean();
+  std::printf("  %-28s %10.3f %10.3f %10.3f %9.1fx %6zu\n", engine.c_str(),
+              mean, cell.stats.p50(), cell.stats.p95(),
+              ref_mean > 0 ? mean / ref_mean : 0.0, cell.timeouts);
+}
+
+inline void print_header() {
+  std::printf("  %-28s %10s %10s %10s %9s %6s\n", "engine", "mean_ms", "p50_ms",
+              "p95_ms", "vs_RG", "t/o");
+}
+
+}  // namespace rg::bench

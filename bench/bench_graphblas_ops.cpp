@@ -1,0 +1,203 @@
+// ABL-GB — google-benchmark microbenchmarks for the GraphBLAS kernels
+// and the design choices DESIGN.md calls out:
+//
+//   * masked mxm (fused) vs unmasked mxm + post-filter,
+//   * push vs pull BFS steps (direction-optimization ablation),
+//   * pending-tuple batching vs per-insert materialization,
+//   * eWise / transpose / reduce baseline costs.
+#include <benchmark/benchmark.h>
+
+#include "algo/khop.hpp"
+#include "datagen/generators.hpp"
+#include "graphblas/graphblas.hpp"
+
+namespace {
+
+using namespace rg;
+
+gb::Matrix<gb::Bool> test_matrix(unsigned scale) {
+  const auto el = datagen::graph500(scale, 8, 99);
+  return datagen::to_matrix(el);
+}
+
+void BM_MxM_AnyPair(benchmark::State& state) {
+  const auto A = test_matrix(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    gb::Matrix<gb::Bool> C(A.nrows(), A.ncols());
+    gb::mxm(C, gb::any_pair, A, A);
+    benchmark::DoNotOptimize(C.nvals());
+  }
+  state.counters["nnz(A)"] = static_cast<double>(A.nvals());
+}
+BENCHMARK(BM_MxM_AnyPair)->Arg(10)->Arg(12);
+
+void BM_MxM_Masked_Fused(benchmark::State& state) {
+  const auto A = test_matrix(static_cast<unsigned>(state.range(0)));
+  gb::Descriptor desc;
+  desc.mask_structural = true;
+  for (auto _ : state) {
+    gb::Matrix<gb::Bool> C(A.nrows(), A.ncols());
+    gb::mxm(C, &A, gb::NoAccum{}, gb::any_pair, A, A, desc);
+    benchmark::DoNotOptimize(C.nvals());
+  }
+}
+BENCHMARK(BM_MxM_Masked_Fused)->Arg(10)->Arg(12);
+
+void BM_MxM_Unmasked_PostFilter(benchmark::State& state) {
+  // The ablation: compute the full product, then intersect with the mask
+  // (what a GraphBLAS without mask fusion has to do).
+  const auto A = test_matrix(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    gb::Matrix<gb::Bool> C(A.nrows(), A.ncols());
+    gb::mxm(C, gb::any_pair, A, A);
+    gb::Matrix<gb::Bool> out(A.nrows(), A.ncols());
+    gb::ewise_mult(out, static_cast<const gb::Matrix<gb::Bool>*>(nullptr),
+                   gb::NoAccum{}, gb::Land{}, C, A);
+    benchmark::DoNotOptimize(out.nvals());
+  }
+}
+BENCHMARK(BM_MxM_Unmasked_PostFilter)->Arg(10)->Arg(12);
+
+void BM_KHop_Push(benchmark::State& state) {
+  const auto el = datagen::graph500(14, 8, 99);
+  const auto A = datagen::to_matrix(el);
+  const auto AT = gb::transposed(A);
+  const auto seeds = datagen::pick_seeds(el, 16, 5);
+  algo::KHopCounter counter(A, AT);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto st = counter.run(seeds[i++ % seeds.size()],
+                                static_cast<unsigned>(state.range(0)),
+                                algo::Direction::kForcePush);
+    benchmark::DoNotOptimize(st.count);
+  }
+}
+BENCHMARK(BM_KHop_Push)->Arg(2)->Arg(6);
+
+void BM_KHop_Pull(benchmark::State& state) {
+  const auto el = datagen::graph500(14, 8, 99);
+  const auto A = datagen::to_matrix(el);
+  const auto AT = gb::transposed(A);
+  const auto seeds = datagen::pick_seeds(el, 16, 5);
+  algo::KHopCounter counter(A, AT);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto st = counter.run(seeds[i++ % seeds.size()],
+                                static_cast<unsigned>(state.range(0)),
+                                algo::Direction::kForcePull);
+    benchmark::DoNotOptimize(st.count);
+  }
+}
+BENCHMARK(BM_KHop_Pull)->Arg(2)->Arg(6);
+
+void BM_KHop_Auto(benchmark::State& state) {
+  const auto el = datagen::graph500(14, 8, 99);
+  const auto A = datagen::to_matrix(el);
+  const auto AT = gb::transposed(A);
+  const auto seeds = datagen::pick_seeds(el, 16, 5);
+  algo::KHopCounter counter(A, AT);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto st = counter.run(seeds[i++ % seeds.size()],
+                                static_cast<unsigned>(state.range(0)),
+                                algo::Direction::kAuto);
+    benchmark::DoNotOptimize(st.count);
+  }
+}
+BENCHMARK(BM_KHop_Auto)->Arg(2)->Arg(6);
+
+void BM_KHop_DenseGraph(benchmark::State& state) {
+  // Direction ablation on a denser graph (edgefactor 32): late-hop
+  // frontiers saturate, which is where pull pays off.
+  const auto el = datagen::graph500(12, 32, 7);
+  const auto A = datagen::to_matrix(el);
+  const auto AT = gb::transposed(A);
+  const auto seeds = datagen::pick_seeds(el, 16, 5);
+  algo::KHopCounter counter(A, AT);
+  const auto dir = static_cast<algo::Direction>(state.range(0));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto st = counter.run(seeds[i++ % seeds.size()], 6, dir);
+    benchmark::DoNotOptimize(st.count);
+  }
+  state.SetLabel(state.range(0) == 0 ? "auto"
+                 : state.range(0) == 1 ? "push" : "pull");
+}
+BENCHMARK(BM_KHop_DenseGraph)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_SetElement_Batched(benchmark::State& state) {
+  // Pending-tuple design: N set_elements then one wait().
+  const auto n = static_cast<gb::Index>(1) << 14;
+  const auto nnz = static_cast<std::size_t>(state.range(0));
+  util::Pcg32 rng(1);
+  for (auto _ : state) {
+    gb::Matrix<std::uint64_t> m(n, n);
+    for (std::size_t k = 0; k < nnz; ++k)
+      m.set_element(rng.bounded64(n), rng.bounded64(n), k);
+    benchmark::DoNotOptimize(m.nvals());  // single merge
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(nnz));
+}
+BENCHMARK(BM_SetElement_Batched)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_SetElement_FlushEach(benchmark::State& state) {
+  // Ablation: materialize after every insert (no pending buffer).
+  const auto n = static_cast<gb::Index>(1) << 14;
+  const auto nnz = static_cast<std::size_t>(state.range(0));
+  util::Pcg32 rng(1);
+  for (auto _ : state) {
+    gb::Matrix<std::uint64_t> m(n, n);
+    for (std::size_t k = 0; k < nnz; ++k) {
+      m.set_element(rng.bounded64(n), rng.bounded64(n), k);
+      m.wait();  // defeats batching
+    }
+    benchmark::DoNotOptimize(m.nvals());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(nnz));
+}
+BENCHMARK(BM_SetElement_FlushEach)->Arg(1 << 12);
+
+void BM_Transpose(benchmark::State& state) {
+  const auto A = test_matrix(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    auto T = gb::transposed(A);
+    benchmark::DoNotOptimize(T.nvals());
+  }
+}
+BENCHMARK(BM_Transpose)->Arg(12)->Arg(14);
+
+void BM_EWiseAdd(benchmark::State& state) {
+  const auto A = test_matrix(static_cast<unsigned>(state.range(0)));
+  const auto B = gb::transposed(A);
+  for (auto _ : state) {
+    gb::Matrix<gb::Bool> C(A.nrows(), A.ncols());
+    gb::ewise_add(C, static_cast<const gb::Matrix<gb::Bool>*>(nullptr),
+                  gb::NoAccum{}, gb::Lor{}, A, B);
+    benchmark::DoNotOptimize(C.nvals());
+  }
+}
+BENCHMARK(BM_EWiseAdd)->Arg(12)->Arg(14);
+
+void BM_Reduce(benchmark::State& state) {
+  const auto el = datagen::graph500(static_cast<unsigned>(state.range(0)), 8, 99);
+  gb::Matrix<std::uint64_t> A(el.nvertices, el.nvertices);
+  {
+    std::vector<gb::Index> r, c;
+    std::vector<std::uint64_t> v(el.edges.size(), 1);
+    for (const auto& [s, d] : el.edges) {
+      r.push_back(s);
+      c.push_back(d);
+    }
+    A.build(r, c, v, gb::Plus{});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gb::reduce(gb::plus_monoid<std::uint64_t>(), A));
+  }
+}
+BENCHMARK(BM_Reduce)->Arg(12)->Arg(14);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// ABL-PLAN — compile-path microbenchmarks: tokenize, parse, plan and the
+// full GRAPH.QUERY round-trip for the benchmark queries.  Quantifies the
+// per-request overhead the full-stack engine pays on top of the k-hop
+// kernel (RedisGraph pays the same parse+plan per request).
+#include <benchmark/benchmark.h>
+
+#include "cypher/lexer.hpp"
+#include "cypher/parser.hpp"
+#include "datagen/generators.hpp"
+#include "exec/execution_plan.hpp"
+#include "exec/query.hpp"
+#include "graph/graph.hpp"
+
+namespace {
+
+using namespace rg;
+
+const char* kQueries[] = {
+    // the benchmark k-hop query
+    "MATCH (s)-[:E*1..2]->(t) WHERE id(s) = 42 RETURN count(DISTINCT t)",
+    // a filtering + aggregation query
+    "MATCH (a:Person {name:'x'})-[:KNOWS]->(b) WHERE b.age > 30 "
+    "RETURN b.city, count(*) AS c, avg(b.age) ORDER BY c DESC LIMIT 10",
+    // a three-hop pattern with a cycle
+    "MATCH (a:Person)-[:KNOWS]->(b)-[:KNOWS]->(c)-[:KNOWS]->(a) "
+    "RETURN count(*)",
+};
+
+void BM_Tokenize(benchmark::State& state) {
+  const char* q = kQueries[state.range(0)];
+  for (auto _ : state) {
+    auto toks = cypher::tokenize(q);
+    benchmark::DoNotOptimize(toks.size());
+  }
+}
+BENCHMARK(BM_Tokenize)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_Parse(benchmark::State& state) {
+  const char* q = kQueries[state.range(0)];
+  for (auto _ : state) {
+    auto ast = cypher::parse(q);
+    benchmark::DoNotOptimize(ast.clauses.size());
+  }
+}
+BENCHMARK(BM_Parse)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_Plan(benchmark::State& state) {
+  graph::Graph g;
+  g.schema().add_label("Person");
+  g.schema().add_reltype("KNOWS");
+  g.schema().add_reltype("E");
+  g.schema().add_attr("name");
+  g.schema().add_attr("age");
+  const char* q = kQueries[state.range(0)];
+  const auto ast = cypher::parse(q);
+  for (auto _ : state) {
+    exec::ExecutionPlan plan(g, ast);
+    benchmark::DoNotOptimize(&plan);
+  }
+}
+BENCHMARK(BM_Plan)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_FullQuery_KHop(benchmark::State& state) {
+  // Parse + plan + execute the benchmark query on a real graph — the
+  // total per-request cost the paper's response times include.
+  const auto el = datagen::graph500(12, 8, 3);
+  graph::Graph g(el.nvertices);
+  const auto rel = g.schema().add_reltype("E");
+  for (gb::Index v = 0; v < el.nvertices; ++v) g.add_node({});
+  for (const auto& [u, v] : el.edges) g.add_edge(rel, u, v);
+  g.flush();
+  const auto seeds = datagen::pick_seeds(el, 16, 5);
+  std::size_t i = 0;
+  const unsigned k = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    const auto rs = exec::query(
+        g, "MATCH (s)-[:E*1.." + std::to_string(k) + "]->(t) WHERE id(s) = " +
+               std::to_string(seeds[i++ % seeds.size()]) +
+               " RETURN count(DISTINCT t)");
+    benchmark::DoNotOptimize(rs.row_count());
+  }
+}
+BENCHMARK(BM_FullQuery_KHop)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_TraverseBatchWidth(benchmark::State& state) {
+  // Ablation: ConditionalTraverse frontier-matrix batch width (1 =
+  // scalar row iteration, 64 = RedisGraph-style batched mxm).
+  const auto el = datagen::graph500(12, 8, 3);
+  graph::Graph g(el.nvertices);
+  const auto label = g.schema().add_label("Node");
+  const auto rel = g.schema().add_reltype("E");
+  for (gb::Index v = 0; v < el.nvertices; ++v) g.add_node({label});
+  for (const auto& [u, v] : el.edges) g.add_edge(rel, u, v);
+  g.flush();
+  const auto width = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const auto rs = exec::query(
+        g, "MATCH (s:Node)-[:E]->(t) RETURN count(t)", width);
+    benchmark::DoNotOptimize(rs.row_count());
+  }
+}
+BENCHMARK(BM_TraverseBatchWidth)->Arg(1)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

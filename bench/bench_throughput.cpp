@@ -1,0 +1,126 @@
+// TAB-THROUGHPUT — validates the architectural claim of Section II: one
+// query = one thread, a fixed worker pool, reads scaling with
+// concurrency.  Sweeps the pool size and measures queries/second for a
+// closed-loop stream of 1-hop and 2-hop GRAPH.RO_QUERY commands against
+// the in-process server, plus a mixed read/write workload showing writer
+// serialization (the per-graph RW lock).
+//
+//   $ ./bench_throughput [--quick]
+#include <atomic>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "server/server.hpp"
+
+namespace {
+
+using namespace rg;
+
+/// Load a dataset into a server graph via the bulk API.
+void load_graph(server::Server& srv, const std::string& key,
+                const datagen::EdgeList& el) {
+  auto& g = srv.graph_for_testing(key);
+  const auto label = g.schema().add_label("Node");
+  const auto rel = g.schema().add_reltype("E");
+  for (gb::Index v = 0; v < el.nvertices; ++v) g.add_node({label});
+  for (const auto& [u, v] : el.edges) g.add_edge(rel, u, v);
+  g.flush();
+}
+
+/// Closed-loop client threads issuing `per_client` queries each.
+double run_closed_loop(server::Server& srv, const std::string& key,
+                       const std::vector<gb::Index>& seeds, unsigned k,
+                       std::size_t clients, std::size_t per_client) {
+  std::atomic<std::size_t> cursor{0};
+  util::Stopwatch sw;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (std::size_t q = 0; q < per_client; ++q) {
+        const gb::Index seed =
+            seeds[(c * per_client + q) % seeds.size()];
+        const std::string text =
+            "MATCH (s)-[:E*1.." + std::to_string(k) + "]->(t) WHERE id(s) = " +
+            std::to_string(seed) + " RETURN count(DISTINCT t)";
+        auto reply = srv.execute({"GRAPH.RO_QUERY", key, text});
+        if (!reply.ok()) std::abort();
+        cursor.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double secs = sw.seconds();
+  return static_cast<double>(cursor.load()) / secs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto opt = bench::parse_options(argc, argv);
+  // Throughput runs on the Graph500 dataset only (the claim is about the
+  // threading model, not the dataset).
+  const auto el = datagen::graph500(opt.quick ? 10 : 13, opt.edgefactor,
+                                    opt.seed);
+  std::printf("dataset: %s\n", datagen::describe(el).c_str());
+  const auto seeds = datagen::pick_seeds(el, 64, opt.seed + 1);
+
+  const std::size_t pool_sizes[] = {1, 2, 4, 8};
+  const std::size_t clients = 8;
+  const std::size_t per_client = opt.quick ? 20 : 100;
+
+  std::printf("\nTAB-THROUGHPUT: closed-loop GRAPH.RO_QUERY, %zu client "
+              "threads x %zu queries\n",
+              clients, per_client);
+  std::printf("(paper claim: the module threadpool lets reads scale; each "
+              "query runs on exactly one worker)\n\n");
+  std::printf("  %-8s %12s %12s\n", "workers", "1-hop QPS", "2-hop QPS");
+  std::printf("csv,workers,k,qps\n");
+
+  for (const std::size_t w : pool_sizes) {
+    server::Server srv(w);
+    load_graph(srv, "bench", el);
+    const double qps1 =
+        run_closed_loop(srv, "bench", seeds, 1, clients, per_client);
+    const double qps2 =
+        run_closed_loop(srv, "bench", seeds, 2, clients, per_client);
+    std::printf("  %-8zu %12.1f %12.1f\n", w, qps1, qps2);
+    std::printf("csv,%zu,1,%.1f\ncsv,%zu,2,%.1f\n", w, qps1, w, qps2);
+  }
+
+  // Mixed workload: 1 writer client + 7 readers; the per-graph RW lock
+  // serializes the writer against readers.
+  std::printf("\nmixed read/write (7 readers + 1 writer, 4 workers):\n");
+  {
+    server::Server srv(4);
+    load_graph(srv, "bench", el);
+    std::atomic<std::size_t> reads{0}, writes{0};
+    util::Stopwatch sw;
+    std::vector<std::thread> threads;
+    for (std::size_t c = 0; c < 7; ++c) {
+      threads.emplace_back([&, c] {
+        for (std::size_t q = 0; q < per_client; ++q) {
+          const gb::Index seed = seeds[(c + q) % seeds.size()];
+          auto reply = srv.execute(
+              {"GRAPH.RO_QUERY", "bench",
+               "MATCH (s)-[:E]->(t) WHERE id(s) = " + std::to_string(seed) +
+                   " RETURN count(t)"});
+          if (reply.ok()) reads.fetch_add(1);
+        }
+      });
+    }
+    threads.emplace_back([&] {
+      for (std::size_t q = 0; q < per_client; ++q) {
+        auto reply = srv.execute(
+            {"GRAPH.QUERY", "bench",
+             "CREATE (:Extra {seq: " + std::to_string(q) + "})"});
+        if (reply.ok()) writes.fetch_add(1);
+      }
+    });
+    for (auto& t : threads) t.join();
+    const double secs = sw.seconds();
+    std::printf("  reads: %zu (%.1f/s)  writes: %zu (%.1f/s)\n", reads.load(),
+                reads / secs, writes.load(), writes / secs);
+  }
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Fraud detection — another use case from the paper's introduction.
+// Builds a synthetic payment network with injected fraud rings (cycles
+// of mule accounts) and finds them two ways:
+//
+//   1. Cypher cycle queries (ring membership via closed triangles),
+//   2. weighted shortest-path exposure from flagged accounts (min-plus
+//      SSSP over the GraphBLAS layer).
+//
+//   $ ./fraud_detection [accounts] [payments]
+#include <cstdlib>
+#include <iostream>
+
+#include "algo/sssp.hpp"
+#include "datagen/generators.hpp"
+#include "exec/query.hpp"
+#include "graph/graph.hpp"
+#include "util/random.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rg;
+  const gb::Index n = argc > 1 ? std::atoll(argv[1]) : 2000;
+  const std::size_t m = argc > 2 ? std::atoll(argv[2]) : 10000;
+
+  // Background payment traffic.
+  util::Pcg32 rng(2024);
+  graph::Graph g(n);
+  const auto account = g.schema().add_label("Account");
+  const auto flagged = g.schema().add_label("Flagged");
+  const auto pays = g.schema().add_reltype("PAYS");
+  const auto amount = g.schema().add_attr("amount");
+
+  for (gb::Index v = 0; v < n; ++v) g.add_node({account});
+
+  auto pay = [&](gb::Index from, gb::Index to, double amt) {
+    graph::AttributeSet attrs;
+    attrs.set(amount, graph::Value(amt));
+    g.add_edge(pays, from, to, std::move(attrs));
+  };
+  for (std::size_t k = 0; k < m; ++k) {
+    const gb::Index u = rng.bounded64(n);
+    gb::Index v = rng.bounded64(n);
+    if (v == u) v = (v + 1) % n;
+    pay(u, v, 10.0 + rng.uniform() * 490.0);
+  }
+
+  // Inject 5 fraud rings: cycles of 3-5 mule accounts moving round sums.
+  std::cout << "Injecting fraud rings at accounts: ";
+  std::vector<gb::Index> ring_starts;
+  for (int ring = 0; ring < 5; ++ring) {
+    const std::size_t len = 3 + (ring % 2);  // alternating 3- and 4-rings
+    std::vector<gb::Index> members;
+    for (std::size_t i = 0; i < len; ++i) members.push_back(rng.bounded64(n));
+    for (std::size_t i = 0; i < len; ++i)
+      pay(members[i], members[(i + 1) % len], 9000.0);
+    ring_starts.push_back(members[0]);
+    g.add_node_label(members[0], flagged);
+    std::cout << members[0] << " ";
+  }
+  std::cout << "\n";
+  g.flush();
+
+  // --- 1. Ring detection via Cypher: cycles of large payments ---------------
+  std::cout << "\n== Suspicious 3-cycles of >= $5000 payments ==\n";
+  auto rs = exec::query(
+      g, "MATCH (a:Account)-[p1:PAYS]->(b:Account)-[p2:PAYS]->(c:Account)"
+         "-[p3:PAYS]->(a) "
+         "WHERE p1.amount >= 5000 AND p2.amount >= 5000 AND p3.amount >= 5000 "
+         "AND id(a) < id(b) AND id(a) < id(c) "  // dedupe rotations
+
+         "RETURN id(a), id(b), id(c) LIMIT 20");
+  std::cout << rs.to_string();
+  std::cout << "(" << rs.row_count() << " suspicious cycles)\n";
+
+  // --- 2. Exposure: how close is each account to a flagged one? -------------
+  std::cout << "\n== Accounts within 2 payments of a flagged account ==\n";
+  rs = exec::query(
+      g, "MATCH (f:Flagged)-[:PAYS*1..2]->(x:Account) "
+         "RETURN count(DISTINCT x) AS exposed");
+  std::cout << rs.to_string();
+
+  // --- 3. Weighted shortest exposure path (min-plus SSSP) -------------------
+  std::cout << "\n== Shortest weighted path from first flagged account ==\n";
+  gb::Matrix<double> W(g.capacity(), g.capacity());
+  g.for_each_edge([&](graph::EdgeId, const graph::EdgeEntity& e) {
+    const auto amt = e.attrs.get(amount);
+    // Use 1/amount as distance: heavier flows = tighter links.
+    const double w = amt.has_value() ? 1.0 / amt->to_double() : 1.0;
+    const auto existing = W.extract_element(e.src, e.dst);
+    if (!existing.has_value() || *existing > w) W.set_element(e.src, e.dst, w);
+  });
+  const auto dist = algo::sssp(W, ring_starts[0]);
+  std::size_t reachable = 0;
+  for (double d : dist)
+    if (d < algo::kInfDist) ++reachable;
+  std::cout << "account " << ring_starts[0] << " reaches " << reachable
+            << " accounts; ring neighbours sit at the smallest distances\n";
+  return 0;
+}

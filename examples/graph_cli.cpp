@@ -1,0 +1,126 @@
+// graph_cli — an interactive redis-cli-style shell for the graph server.
+//
+// Reads commands from stdin (or a script via `graph_cli < script.txt`),
+// dispatches them through the same command table a Redis client would
+// hit, and prints human-readable tables (or raw RESP with --resp).
+//
+//   $ ./graph_cli
+//   graph> GRAPH.QUERY social "CREATE (:Person {name:'Ann'})"
+//   graph> GRAPH.QUERY social "MATCH (n) RETURN n.name"
+//   graph> GRAPH.SAVE social /tmp/social.rgr
+//   graph> GRAPH.CONFIG GET THREAD_COUNT
+//
+// Extra shell-only helpers: HELP, LOADBENCH <key> <scale> <edgefactor>
+// (bulk-loads a Graph500 graph for experimentation), EXIT.
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "datagen/generators.hpp"
+#include "cypher/lexer.hpp"
+#include "server/server.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+void print_help() {
+  std::cout <<
+      "commands:\n"
+      "  GRAPH.QUERY <key> \"<cypher>\"     run a query (CYPHER k=v params ok)\n"
+      "  GRAPH.RO_QUERY <key> \"<cypher>\"  read-only query\n"
+      "  GRAPH.EXPLAIN <key> \"<cypher>\"   show the execution plan\n"
+      "  GRAPH.PROFILE <key> \"<cypher>\"   run + per-operator counters\n"
+      "  GRAPH.LIST                        list graphs\n"
+      "  GRAPH.DELETE <key>                drop a graph\n"
+      "  GRAPH.SAVE <key> <path>           persist to disk\n"
+      "  GRAPH.RESTORE <key> <path>        load from disk\n"
+      "  GRAPH.CONFIG GET THREAD_COUNT     pool size\n"
+      "  PING\n"
+      "shell helpers:\n"
+      "  LOADBENCH <key> <scale> <ef>      bulk-load a Graph500 graph\n"
+      "  HELP | EXIT\n";
+}
+
+bool loadbench(rg::server::Server& server,
+               const std::vector<std::string>& argv) {
+  if (argv.size() < 4) {
+    std::cout << "usage: LOADBENCH <key> <scale> <edgefactor>\n";
+    return true;
+  }
+  const unsigned scale = static_cast<unsigned>(std::stoul(argv[2]));
+  const unsigned ef = static_cast<unsigned>(std::stoul(argv[3]));
+  rg::util::Stopwatch sw;
+  const auto el = rg::datagen::graph500(scale, ef, 42);
+  auto& g = server.graph_for_testing(argv[1]);
+  const auto label = g.schema().add_label("Node");
+  const auto rel = g.schema().add_reltype("E");
+  for (rg::gb::Index v = 0; v < el.nvertices; ++v) g.add_node({label});
+  for (const auto& [u, v] : el.edges) g.add_edge(rel, u, v);
+  g.flush();
+  std::cout << "loaded " << rg::datagen::describe(el) << " into '" << argv[1]
+            << "' in " << rg::util::fmt_double(sw.millis(), 1) << " ms\n";
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t threads = 4;
+  bool raw_resp = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+      threads = std::stoul(argv[++i]);
+    else if (std::strcmp(argv[i], "--resp") == 0)
+      raw_resp = true;
+  }
+
+  rg::server::Server server(threads);
+  const bool tty = true;  // prompt unconditionally; harmless when piped
+
+  std::string line;
+  while ((tty && (std::cout << "graph> " << std::flush)),
+         std::getline(std::cin, line)) {
+    const auto args = rg::server::split_command_line(line);
+    if (args.empty()) continue;
+    const auto& cmd = args[0];
+    if (rg::cypher::keyword_eq(cmd, "EXIT") ||
+        rg::cypher::keyword_eq(cmd, "QUIT"))
+      break;
+    if (rg::cypher::keyword_eq(cmd, "HELP")) {
+      print_help();
+      continue;
+    }
+    if (rg::cypher::keyword_eq(cmd, "LOADBENCH")) {
+      loadbench(server, args);
+      continue;
+    }
+
+    rg::util::Stopwatch sw;
+    const auto reply = server.execute(args);
+    const double ms = sw.millis();
+
+    if (raw_resp) {
+      std::cout << reply.to_resp();
+      continue;
+    }
+    using Kind = rg::server::Reply::Kind;
+    switch (reply.kind) {
+      case Kind::kStatus:
+        std::cout << reply.text << "\n";
+        break;
+      case Kind::kError:
+        std::cout << "(error) " << reply.text << "\n";
+        break;
+      case Kind::kText:
+        std::cout << reply.text;
+        break;
+      case Kind::kResult:
+        std::cout << reply.result.to_string();
+        std::cout << "(" << reply.result.row_count() << " rows, "
+                  << rg::util::fmt_double(ms, 3) << " ms)\n";
+        break;
+    }
+  }
+  return 0;
+}

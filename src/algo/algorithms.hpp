@@ -1,0 +1,11 @@
+// Umbrella header for the rg::algo graph-algorithm library (the
+// LAGraph-style layer on top of rg::gb).
+#pragma once
+
+#include "algo/bfs.hpp"             // IWYU pragma: export
+#include "algo/components.hpp"      // IWYU pragma: export
+#include "algo/khop.hpp"
+#include "algo/ktruss.hpp"            // IWYU pragma: export
+#include "algo/pagerank.hpp"        // IWYU pragma: export
+#include "algo/sssp.hpp"            // IWYU pragma: export
+#include "algo/triangle_count.hpp"  // IWYU pragma: export

@@ -1,0 +1,55 @@
+// Connected components via label propagation over the (min, second)
+// semiring — the algebraic analogue of hooking: every vertex repeatedly
+// adopts the smallest label among itself and its neighbors until no
+// label changes.  Works on the symmetrized adjacency.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graphblas/matrix.hpp"
+#include "graphblas/types.hpp"
+
+namespace rg::algo {
+
+/// Component label (smallest vertex id in the component) per vertex.
+inline std::vector<gb::Index> connected_components(
+    const gb::Matrix<gb::Bool>& S) {
+  S.wait();
+  const gb::Index n = S.nrows();
+  const auto& rp = S.rowptr();
+  const auto& ci = S.colidx();
+
+  std::vector<gb::Index> label(n);
+  for (gb::Index i = 0; i < n; ++i) label[i] = i;
+
+  // Min-label propagation; each sweep is one mxv over (min, second).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (gb::Index i = 0; i < n; ++i) {
+      gb::Index best = label[i];
+      for (gb::Index p = rp[i]; p < rp[i + 1]; ++p)
+        best = std::min(best, label[ci[p]]);
+      if (best < label[i]) {
+        label[i] = best;
+        changed = true;
+      }
+    }
+    // Pointer jumping (label[i] = label[label[i]]) accelerates convergence.
+    for (gb::Index i = 0; i < n; ++i) {
+      while (label[label[i]] != label[i]) label[i] = label[label[i]];
+    }
+  }
+  return label;
+}
+
+/// Number of distinct components given the labels.
+inline std::size_t count_components(const std::vector<gb::Index>& labels) {
+  std::size_t count = 0;
+  for (gb::Index i = 0; i < labels.size(); ++i)
+    if (labels[i] == i) ++count;
+  return count;
+}
+
+}  // namespace rg::algo

@@ -1,0 +1,85 @@
+// k-truss decomposition — the second kernel of Davis, "Graph Algorithms
+// via SuiteSparse:GraphBLAS: Triangle Counting and K-Truss" (HPEC 2018),
+// cited by the paper.
+//
+// The k-truss of an undirected graph is the maximal subgraph in which
+// every edge participates in at least k-2 triangles.  GraphBLAS
+// formulation (Davis):
+//
+//   repeat:
+//     C<S> = S plus.pair S     (support: triangles through each edge)
+//     S    = select(C >= k-2)  (drop light edges)
+//   until nnz(S) stops changing
+#pragma once
+
+#include <cstdint>
+
+#include "graphblas/graphblas.hpp"
+
+namespace rg::algo {
+
+struct KTrussResult {
+  gb::Matrix<std::uint64_t> truss;  ///< surviving edges; value = support
+  unsigned iterations = 0;
+  std::uint64_t nedges = 0;         ///< directed entry count (2x undirected)
+};
+
+/// Compute the k-truss of symmetric boolean adjacency `S` (k >= 3).
+/// `S` should have no self-loops (see algo::symmetrize).
+inline KTrussResult ktruss(const gb::Matrix<gb::Bool>& S, unsigned k) {
+  const gb::Index n = S.nrows();
+  KTrussResult out;
+
+  // Working copy as uint64 (support values).
+  gb::Matrix<std::uint64_t> A(n, n);
+  {
+    std::vector<gb::Index> r, c;
+    std::vector<gb::Bool> v;
+    S.extract_tuples(r, c, v);
+    std::vector<std::uint64_t> ones(r.size(), 1);
+    A.build(r, c, ones);
+  }
+
+  // k <= 2: every edge trivially qualifies (0 triangles required).
+  if (k <= 2) {
+    out.iterations = 0;
+    out.nedges = A.nvals();
+    out.truss = std::move(A);
+    return out;
+  }
+
+  const std::uint64_t min_support = k - 2;
+  gb::Index last_nvals = A.nvals();
+  for (;;) {
+    ++out.iterations;
+    // C<A> = A plus.pair A — C(i,j) counts triangles through edge (i,j).
+    gb::Matrix<std::uint64_t> C(n, n);
+    gb::Descriptor desc;
+    desc.mask_structural = true;
+    gb::mxm(C, &A, gb::NoAccum{}, gb::plus_pair<std::uint64_t>(), A, A, desc);
+    // Keep edges with enough support.
+    gb::Matrix<std::uint64_t> next(n, n);
+    gb::select(next, static_cast<const gb::Matrix<std::uint64_t>*>(nullptr),
+               gb::NoAccum{}, gb::ValueGT<std::uint64_t>{min_support - 1}, C);
+    const gb::Index nv = next.nvals();
+    A = std::move(next);
+    if (nv == last_nvals) break;
+    last_nvals = nv;
+    if (nv == 0) break;
+  }
+  out.nedges = A.nvals();
+  out.truss = std::move(A);
+  return out;
+}
+
+/// Largest k such that the k-truss is non-empty (trussness of the graph).
+inline unsigned max_truss(const gb::Matrix<gb::Bool>& S, unsigned k_cap = 64) {
+  unsigned best = 2;
+  for (unsigned k = 3; k <= k_cap; ++k) {
+    if (ktruss(S, k).nedges == 0) break;
+    best = k;
+  }
+  return best;
+}
+
+}  // namespace rg::algo

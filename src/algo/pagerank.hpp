@@ -1,0 +1,70 @@
+// PageRank via GraphBLAS: the classic power iteration
+//
+//   r_{t+1} = (1 - d)/n + d * (A' r_t / outdeg  +  dangling mass / n)
+//
+// expressed with mxv over the plus/times semiring on a column-normalized
+// copy of the adjacency matrix.  Listed by the paper's future work
+// (LDBC/GraphChallenge kernels); also used by the recommendation example.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "graphblas/matrix.hpp"
+#include "graphblas/types.hpp"
+
+namespace rg::algo {
+
+struct PageRankResult {
+  std::vector<double> rank;
+  unsigned iterations = 0;
+  double final_delta = 0.0;
+};
+
+/// Compute PageRank with damping `d`, stopping when the L1 delta drops
+/// below `tol` or after `max_iters` iterations.
+inline PageRankResult pagerank(const gb::Matrix<gb::Bool>& A, double d = 0.85,
+                               double tol = 1e-9, unsigned max_iters = 100) {
+  A.wait();
+  const gb::Index n = A.nrows();
+  PageRankResult out;
+  if (n == 0) return out;
+
+  const auto& rp = A.rowptr();
+  const auto& ci = A.colidx();
+
+  std::vector<double> r(n, 1.0 / static_cast<double>(n));
+  std::vector<double> rnext(n, 0.0);
+  std::vector<gb::Index> outdeg(n);
+  for (gb::Index i = 0; i < n; ++i) outdeg[i] = rp[i + 1] - rp[i];
+
+  for (unsigned it = 0; it < max_iters; ++it) {
+    double dangling = 0.0;
+    for (gb::Index i = 0; i < n; ++i)
+      if (outdeg[i] == 0) dangling += r[i];
+
+    const double base =
+        (1.0 - d) / static_cast<double>(n) + d * dangling / static_cast<double>(n);
+    std::fill(rnext.begin(), rnext.end(), base);
+
+    // Scatter: rnext[j] += d * r[i] / outdeg[i] for each edge (i, j).
+    // (Push-style SpMV over the plus/times semiring.)
+    for (gb::Index i = 0; i < n; ++i) {
+      if (outdeg[i] == 0) continue;
+      const double share = d * r[i] / static_cast<double>(outdeg[i]);
+      for (gb::Index p = rp[i]; p < rp[i + 1]; ++p) rnext[ci[p]] += share;
+    }
+
+    double delta = 0.0;
+    for (gb::Index i = 0; i < n; ++i) delta += std::abs(rnext[i] - r[i]);
+    r.swap(rnext);
+    out.iterations = it + 1;
+    out.final_delta = delta;
+    if (delta < tol) break;
+  }
+  out.rank = std::move(r);
+  return out;
+}
+
+}  // namespace rg::algo

@@ -1,0 +1,54 @@
+// Single-source shortest paths over the (min, +) semiring: Bellman-Ford
+// expressed as repeated masked mxv, as in the GraphBLAS literature.
+// Used by the fraud-detection example (weighted transaction paths).
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "graphblas/matrix.hpp"
+#include "graphblas/types.hpp"
+
+namespace rg::algo {
+
+inline constexpr double kInfDist = std::numeric_limits<double>::infinity();
+
+/// Distances from `seed` over non-negative edge weights `W` (W(i,j) is
+/// the weight of edge i->j; absent = no edge).
+inline std::vector<double> sssp(const gb::Matrix<double>& W, gb::Index seed) {
+  W.wait();
+  const gb::Index n = W.nrows();
+  const auto& rp = W.rowptr();
+  const auto& ci = W.colidx();
+  const auto& wv = W.values();
+
+  std::vector<double> dist(n, kInfDist);
+  dist[seed] = 0.0;
+
+  // Sparse Bellman-Ford: relax only from vertices whose distance changed
+  // (the algebraic d_{t+1} = d_t min.+ W with a change frontier).
+  std::vector<gb::Index> frontier{seed}, next;
+  std::vector<std::uint8_t> in_next(n, 0);
+  for (gb::Index round = 0; round < n && !frontier.empty(); ++round) {
+    next.clear();
+    for (gb::Index u : frontier) {
+      const double du = dist[u];
+      for (gb::Index p = rp[u]; p < rp[u + 1]; ++p) {
+        const gb::Index v = ci[p];
+        const double cand = du + wv[p];
+        if (cand < dist[v]) {
+          dist[v] = cand;
+          if (!in_next[v]) {
+            in_next[v] = 1;
+            next.push_back(v);
+          }
+        }
+      }
+    }
+    for (gb::Index v : next) in_next[v] = 0;
+    std::swap(frontier, next);
+  }
+  return dist;
+}
+
+}  // namespace rg::algo

@@ -1,0 +1,45 @@
+// Engine — the common interface every k-hop benchmark engine implements.
+//
+// The paper compares RedisGraph against TigerGraph, Neo4j, Neptune,
+// JanusGraph and ArangoDB (numbers from the TigerGraph benchmark).  The
+// closed/remote systems are substituted with in-process engines that
+// embody each architecture's cost profile (see DESIGN.md §2); all
+// engines answer the *same* question with the *same* result, verified by
+// the equivalence property test.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "datagen/generators.hpp"
+#include "graphblas/types.hpp"
+
+namespace rg::baseline {
+
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  /// Engine display name for benchmark tables.
+  virtual std::string name() const = 0;
+
+  /// (Re)load the directed edge list.
+  virtual void load(const datagen::EdgeList& el) = 0;
+
+  /// Distinct vertices at distance 1..k (inclusive) from seed, following
+  /// outgoing edges — the TigerGraph benchmark's k-hop neighborhood count.
+  virtual std::uint64_t khop_count(gb::Index seed, unsigned k) = 0;
+};
+
+/// Factory helpers (defined by the concrete engine translation units).
+std::unique_ptr<Engine> make_graphblas_engine();       // RedisGraph kernel
+std::unique_ptr<Engine> make_adjlist_engine();         // Neo4j-like
+std::unique_ptr<Engine> make_docstore_engine();        // JanusGraph/ArangoDB-like
+std::unique_ptr<Engine> make_csr_engine();             // ablation: plain CSR
+std::unique_ptr<Engine> make_parallel_csr_engine(std::size_t threads);
+                                                       // TigerGraph-like
+std::unique_ptr<Engine> make_redisgraph_fullstack_engine();
+                                                       // full Cypher path
+
+}  // namespace rg::baseline

@@ -1,0 +1,242 @@
+// Cypher abstract syntax tree.
+//
+// The grammar subset (sufficient for the paper's benchmark queries, the
+// examples, and a realistic engine surface):
+//
+//   query      := clause+
+//   clause     := MATCH | OPTIONAL MATCH | CREATE | DELETE | DETACH DELETE
+//               | SET | UNWIND | WITH | RETURN | CREATE INDEX ON :L(p)
+//   pattern    := path (',' path)*
+//   path       := node (rel node)*
+//   node       := '(' var? (':' label)* props? ')'
+//   rel        := '-[' var? (':' type ('|' type)*)? ('*' range?)? props? ']->'
+//               | '<-[' ... ']-' | '-[' ... ']-'
+//   expression := Cypher expressions with OR/AND/XOR/NOT, comparisons,
+//                 arithmetic, property access, function calls (incl.
+//                 aggregates with DISTINCT), lists, IN, IS (NOT) NULL,
+//                 STARTS/ENDS WITH, CONTAINS.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/value.hpp"
+
+namespace rg::cypher {
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class BinOp {
+  kOr, kAnd, kXor,
+  kEq, kNeq, kLt, kLe, kGt, kGe,
+  kAdd, kSub, kMul, kDiv, kMod, kPow,
+  kIn, kStartsWith, kEndsWith, kContains,
+};
+
+enum class UnOp { kNot, kNeg, kIsNull, kIsNotNull };
+
+struct Expr {
+  enum class Kind {
+    kLiteral,    // value
+    kVariable,   // name
+    kProperty,   // args[0].name
+    kUnary,      // un_op applied to args[0]
+    kBinary,     // bin_op applied to args[0], args[1]
+    kFunction,   // name(args...)  [aggregates detected by name]
+    kList,       // [args...]
+    kStar,       // the '*' inside count(*)
+    kParameter,  // $name
+  };
+
+  Kind kind;
+  graph::Value literal;       // kLiteral
+  std::string name;           // variable / property / function name
+  BinOp bin_op = BinOp::kEq;  // kBinary
+  UnOp un_op = UnOp::kNot;    // kUnary
+  bool distinct = false;      // aggregate DISTINCT flag
+  std::vector<ExprPtr> args;
+
+  static ExprPtr make_literal(graph::Value v) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::kLiteral;
+    e->literal = std::move(v);
+    return e;
+  }
+  static ExprPtr make_parameter(std::string name) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::kParameter;
+    e->name = std::move(name);
+    return e;
+  }
+  static ExprPtr make_variable(std::string name) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::kVariable;
+    e->name = std::move(name);
+    return e;
+  }
+  static ExprPtr make_property(ExprPtr base, std::string prop) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::kProperty;
+    e->name = std::move(prop);
+    e->args.push_back(std::move(base));
+    return e;
+  }
+  static ExprPtr make_unary(UnOp op, ExprPtr a) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::kUnary;
+    e->un_op = op;
+    e->args.push_back(std::move(a));
+    return e;
+  }
+  static ExprPtr make_binary(BinOp op, ExprPtr a, ExprPtr b) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::kBinary;
+    e->bin_op = op;
+    e->args.push_back(std::move(a));
+    e->args.push_back(std::move(b));
+    return e;
+  }
+
+  /// Deep copy (plans keep private copies of filter expressions).
+  ExprPtr clone() const {
+    auto e = std::make_unique<Expr>();
+    e->kind = kind;
+    e->literal = literal;
+    e->name = name;
+    e->bin_op = bin_op;
+    e->un_op = un_op;
+    e->distinct = distinct;
+    for (const auto& a : args) e->args.push_back(a->clone());
+    return e;
+  }
+};
+
+/// name -> expression pairs ({k: v, ...} literals in patterns).
+using PropertyMap = std::vector<std::pair<std::string, ExprPtr>>;
+
+// ---------------------------------------------------------------------------
+// Patterns
+// ---------------------------------------------------------------------------
+
+struct NodePattern {
+  std::string var;                  // empty = anonymous
+  std::vector<std::string> labels;  // conjunctive
+  PropertyMap props;
+};
+
+enum class RelDirection { kLeftToRight, kRightToLeft, kBoth };
+
+struct RelPattern {
+  std::string var;                 // empty = anonymous
+  std::vector<std::string> types;  // disjunctive (R1|R2); empty = any
+  RelDirection direction = RelDirection::kLeftToRight;
+  /// Variable-length bounds: unset = single hop; {1,1} is also single.
+  std::optional<unsigned> min_hops;  // default 1 when var-length
+  std::optional<unsigned> max_hops;  // unset with var_length = unbounded
+  bool var_length = false;
+  PropertyMap props;
+};
+
+struct PatternPath {
+  std::vector<NodePattern> nodes;  // n+1 nodes
+  std::vector<RelPattern> rels;    // n rels
+};
+
+// ---------------------------------------------------------------------------
+// Clauses
+// ---------------------------------------------------------------------------
+
+struct MatchClause {
+  std::vector<PatternPath> paths;
+  bool optional = false;
+  ExprPtr where;  // may be null
+};
+
+struct CreateClause {
+  std::vector<PatternPath> paths;
+};
+
+struct DeleteClause {
+  std::vector<ExprPtr> targets;  // variables
+  bool detach = false;
+};
+
+struct SetItem {
+  std::string var;
+  std::string prop;  // empty => SET var = {..} unsupported; prop required
+  ExprPtr value;
+};
+
+struct SetClause {
+  std::vector<SetItem> items;
+};
+
+struct UnwindClause {
+  ExprPtr list;
+  std::string alias;
+};
+
+struct SortItem {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+struct ProjectionItem {
+  ExprPtr expr;
+  std::string alias;  // defaults to expression text
+};
+
+struct ReturnClause {
+  bool distinct = false;
+  bool star = false;  // RETURN *
+  std::vector<ProjectionItem> items;
+  std::vector<SortItem> order_by;
+  ExprPtr skip;   // may be null
+  ExprPtr limit;  // may be null
+};
+
+struct WithClause {
+  ReturnClause projection;  // WITH behaves like RETURN mid-query
+  ExprPtr where;            // WITH ... WHERE ...
+};
+
+struct MergeClause {
+  PatternPath path;
+};
+
+struct CreateIndexClause {
+  std::string label;
+  std::string attr;
+};
+
+struct Clause {
+  enum class Kind {
+    kMatch, kCreate, kMerge, kDelete, kSet, kUnwind, kWith, kReturn,
+    kCreateIndex
+  };
+  Kind kind;
+  MatchClause match;
+  CreateClause create;
+  MergeClause merge;
+  DeleteClause del;
+  SetClause set;
+  UnwindClause unwind;
+  WithClause with;
+  ReturnClause ret;
+  CreateIndexClause create_index;
+};
+
+/// A parsed query: ordered clause list.
+struct Query {
+  std::vector<Clause> clauses;
+};
+
+}  // namespace rg::cypher

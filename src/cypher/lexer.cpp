@@ -1,0 +1,163 @@
+#include "cypher/lexer.hpp"
+
+#include <cctype>
+
+namespace rg::cypher {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+bool keyword_eq(const std::string& ident, std::string_view keyword) {
+  if (ident.size() != keyword.size()) return false;
+  for (std::size_t i = 0; i < ident.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(ident[i])) != keyword[i])
+      return false;
+  }
+  return true;
+}
+
+std::vector<Token> tokenize(std::string_view q) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  const std::size_t n = q.size();
+
+  auto push = [&](Tok t, std::string text, std::size_t pos) {
+    out.push_back(Token{t, std::move(text), pos});
+  };
+
+  while (i < n) {
+    const char c = q[i];
+    // whitespace
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // comments: // to end of line
+    if (c == '/' && i + 1 < n && q[i + 1] == '/') {
+      while (i < n && q[i] != '\n') ++i;
+      continue;
+    }
+    const std::size_t start = i;
+    // identifiers / keywords
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && ident_char(q[j])) ++j;
+      push(Tok::kIdent, std::string(q.substr(i, j - i)), start);
+      i = j;
+      continue;
+    }
+    // backtick-quoted identifier
+    if (c == '`') {
+      std::size_t j = i + 1;
+      std::string text;
+      while (j < n && q[j] != '`') text += q[j++];
+      if (j >= n) throw LexError("unterminated backtick identifier", start);
+      push(Tok::kIdent, std::move(text), start);
+      i = j + 1;
+      continue;
+    }
+    // numbers
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      bool is_float = false;
+      while (j < n && std::isdigit(static_cast<unsigned char>(q[j]))) ++j;
+      // Don't consume ".." (range) as a decimal point.
+      if (j < n && q[j] == '.' && j + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(q[j + 1]))) {
+        is_float = true;
+        ++j;
+        while (j < n && std::isdigit(static_cast<unsigned char>(q[j]))) ++j;
+      }
+      if (j < n && (q[j] == 'e' || q[j] == 'E')) {
+        std::size_t k = j + 1;
+        if (k < n && (q[k] == '+' || q[k] == '-')) ++k;
+        if (k < n && std::isdigit(static_cast<unsigned char>(q[k]))) {
+          is_float = true;
+          j = k;
+          while (j < n && std::isdigit(static_cast<unsigned char>(q[j]))) ++j;
+        }
+      }
+      push(is_float ? Tok::kFloat : Tok::kInteger,
+           std::string(q.substr(i, j - i)), start);
+      i = j;
+      continue;
+    }
+    // strings
+    if (c == '\'' || c == '"') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      std::string text;
+      while (j < n && q[j] != quote) {
+        if (q[j] == '\\' && j + 1 < n) {
+          const char e = q[j + 1];
+          switch (e) {
+            case 'n': text += '\n'; break;
+            case 't': text += '\t'; break;
+            case 'r': text += '\r'; break;
+            case '\\': text += '\\'; break;
+            case '\'': text += '\''; break;
+            case '"': text += '"'; break;
+            default: text += e; break;
+          }
+          j += 2;
+        } else {
+          text += q[j++];
+        }
+      }
+      if (j >= n) throw LexError("unterminated string literal", start);
+      push(Tok::kString, std::move(text), start);
+      i = j + 1;
+      continue;
+    }
+    // multi-char operators first
+    auto two = [&](char a, char b) {
+      return c == a && i + 1 < n && q[i + 1] == b;
+    };
+    if (two('-', '>')) { push(Tok::kArrowRight, "->", start); i += 2; continue; }
+    if (two('<', '-')) { push(Tok::kArrowLeft, "<-", start); i += 2; continue; }
+    if (two('<', '=')) { push(Tok::kLe, "<=", start); i += 2; continue; }
+    if (two('>', '=')) { push(Tok::kGe, ">=", start); i += 2; continue; }
+    if (two('<', '>')) { push(Tok::kNeq, "<>", start); i += 2; continue; }
+    if (two('.', '.')) { push(Tok::kDotDot, "..", start); i += 2; continue; }
+    if (two('!', '=')) { push(Tok::kNeq, "!=", start); i += 2; continue; }
+
+    switch (c) {
+      case '(': push(Tok::kLParen, "(", start); break;
+      case ')': push(Tok::kRParen, ")", start); break;
+      case '[': push(Tok::kLBracket, "[", start); break;
+      case ']': push(Tok::kRBracket, "]", start); break;
+      case '{': push(Tok::kLBrace, "{", start); break;
+      case '}': push(Tok::kRBrace, "}", start); break;
+      case ':': push(Tok::kColon, ":", start); break;
+      case ',': push(Tok::kComma, ",", start); break;
+      case '.': push(Tok::kDot, ".", start); break;
+      case ';': push(Tok::kSemicolon, ";", start); break;
+      case '|': push(Tok::kPipe, "|", start); break;
+      case '-': push(Tok::kDash, "-", start); break;
+      case '<': push(Tok::kLt, "<", start); break;
+      case '>': push(Tok::kGt, ">", start); break;
+      case '=': push(Tok::kEq, "=", start); break;
+      case '+': push(Tok::kPlus, "+", start); break;
+      case '*': push(Tok::kStar, "*", start); break;
+      case '/': push(Tok::kSlash, "/", start); break;
+      case '%': push(Tok::kPercent, "%", start); break;
+      case '^': push(Tok::kCaret, "^", start); break;
+      case '$': push(Tok::kDollar, "$", start); break;
+      default:
+        throw LexError(std::string("unexpected character '") + c + "'", start);
+    }
+    ++i;
+  }
+  push(Tok::kEnd, "", n);
+  return out;
+}
+
+}  // namespace rg::cypher

@@ -1,0 +1,58 @@
+// Cypher lexer: turns query text into a token stream.
+//
+// Covers the openCypher subset RedisGraph's GRAPH.QUERY accepts in this
+// reproduction: keywords (case-insensitive), identifiers, backtick-quoted
+// identifiers, integer/float literals, single/double-quoted strings with
+// escapes, and the full punctuation set used by patterns and
+// expressions (including `-[`, `]->`, `..` ranges and comparison ops).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rg::cypher {
+
+enum class Tok {
+  kEnd,
+  kIdent,     // foo, `quoted`
+  kInteger,   // 42
+  kFloat,     // 3.14, 1e-3
+  kString,    // 'abc', "abc"
+  // punctuation
+  kLParen, kRParen, kLBracket, kRBracket, kLBrace, kRBrace,
+  kColon, kComma, kDot, kDotDot, kSemicolon, kPipe,
+  kDash, kArrowRight, kArrowLeft,   // -  ->  <-
+  kLt, kLe, kGt, kGe, kEq, kNeq,    // <  <=  >  >=  =  <>
+  kPlus, kStar, kSlash, kPercent, kCaret,
+  kDollar,
+};
+
+/// One token with source position (for error messages).
+struct Token {
+  Tok type = Tok::kEnd;
+  std::string text;      // identifier/literal text (unquoted/unescaped)
+  std::size_t pos = 0;   // byte offset in the query
+};
+
+/// Raised on malformed input (unterminated string, bad character).
+class LexError : public std::runtime_error {
+ public:
+  LexError(const std::string& what, std::size_t pos)
+      : std::runtime_error(what + " (at offset " + std::to_string(pos) + ")"),
+        pos_(pos) {}
+  std::size_t pos() const { return pos_; }
+
+ private:
+  std::size_t pos_;
+};
+
+/// Tokenize the whole query (appends a kEnd sentinel).
+std::vector<Token> tokenize(std::string_view query);
+
+/// Case-insensitive keyword comparison helper for the parser.
+bool keyword_eq(const std::string& ident, std::string_view keyword);
+
+}  // namespace rg::cypher

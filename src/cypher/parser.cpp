@@ -1,0 +1,509 @@
+#include "cypher/parser.hpp"
+
+#include <cstdlib>
+
+#include "cypher/lexer.hpp"
+
+namespace rg::cypher {
+
+bool is_aggregate_function(const std::string& name) {
+  return keyword_eq(name, "COUNT") || keyword_eq(name, "SUM") ||
+         keyword_eq(name, "AVG") || keyword_eq(name, "MIN") ||
+         keyword_eq(name, "MAX") || keyword_eq(name, "COLLECT");
+}
+
+namespace {
+
+/// The parser: one pass over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : toks_(tokenize(text)) {}
+
+  Query parse_query() {
+    Query q;
+    while (!at(Tok::kEnd)) {
+      if (accept(Tok::kSemicolon)) continue;
+      q.clauses.push_back(parse_clause());
+    }
+    if (q.clauses.empty()) throw err("empty query");
+    return q;
+  }
+
+  ExprPtr parse_only_expression() {
+    auto e = parse_expr();
+    expect(Tok::kEnd, "end of expression");
+    return e;
+  }
+
+ private:
+  // --- token helpers -------------------------------------------------------
+
+  const Token& cur() const { return toks_[pos_]; }
+  const Token& peek(std::size_t k = 1) const {
+    return toks_[std::min(pos_ + k, toks_.size() - 1)];
+  }
+  bool at(Tok t) const { return cur().type == t; }
+  bool at_kw(std::string_view kw) const {
+    return at(Tok::kIdent) && keyword_eq(cur().text, kw);
+  }
+  bool accept(Tok t) {
+    if (!at(t)) return false;
+    ++pos_;
+    return true;
+  }
+  bool accept_kw(std::string_view kw) {
+    if (!at_kw(kw)) return false;
+    ++pos_;
+    return true;
+  }
+  Token expect(Tok t, const std::string& what) {
+    if (!at(t)) throw err("expected " + what);
+    return toks_[pos_++];
+  }
+  void expect_kw(std::string_view kw) {
+    if (!accept_kw(kw)) throw err("expected " + std::string(kw));
+  }
+  ParseError err(const std::string& what) const {
+    return ParseError(what + ", got '" + cur().text + "'", cur().pos);
+  }
+
+  // --- clauses -------------------------------------------------------------
+
+  Clause parse_clause() {
+    Clause c{};
+    if (at_kw("MATCH") || at_kw("OPTIONAL")) {
+      c.kind = Clause::Kind::kMatch;
+      c.match = parse_match();
+    } else if (at_kw("CREATE")) {
+      // CREATE INDEX ON :Label(attr)  vs  CREATE pattern
+      if (peek().type == Tok::kIdent && keyword_eq(peek().text, "INDEX")) {
+        c.kind = Clause::Kind::kCreateIndex;
+        c.create_index = parse_create_index();
+      } else {
+        c.kind = Clause::Kind::kCreate;
+        ++pos_;  // CREATE
+        c.create.paths = parse_pattern_list();
+      }
+    } else if (at_kw("MERGE")) {
+      c.kind = Clause::Kind::kMerge;
+      ++pos_;  // MERGE
+      c.merge.path = parse_path();
+    } else if (at_kw("DELETE") || at_kw("DETACH")) {
+      c.kind = Clause::Kind::kDelete;
+      c.del = parse_delete();
+    } else if (at_kw("SET")) {
+      c.kind = Clause::Kind::kSet;
+      c.set = parse_set();
+    } else if (at_kw("UNWIND")) {
+      c.kind = Clause::Kind::kUnwind;
+      c.unwind = parse_unwind();
+    } else if (at_kw("WITH")) {
+      c.kind = Clause::Kind::kWith;
+      c.with = parse_with();
+    } else if (at_kw("RETURN")) {
+      c.kind = Clause::Kind::kReturn;
+      c.ret = parse_return();
+    } else {
+      throw err("expected a clause keyword");
+    }
+    return c;
+  }
+
+  MatchClause parse_match() {
+    MatchClause m;
+    if (accept_kw("OPTIONAL")) m.optional = true;
+    expect_kw("MATCH");
+    m.paths = parse_pattern_list();
+    if (accept_kw("WHERE")) m.where = parse_expr();
+    return m;
+  }
+
+  CreateIndexClause parse_create_index() {
+    expect_kw("CREATE");
+    expect_kw("INDEX");
+    expect_kw("ON");
+    expect(Tok::kColon, "':'");
+    CreateIndexClause ci;
+    ci.label = expect(Tok::kIdent, "label name").text;
+    expect(Tok::kLParen, "'('");
+    ci.attr = expect(Tok::kIdent, "attribute name").text;
+    expect(Tok::kRParen, "')'");
+    return ci;
+  }
+
+  DeleteClause parse_delete() {
+    DeleteClause d;
+    if (accept_kw("DETACH")) d.detach = true;
+    expect_kw("DELETE");
+    d.targets.push_back(parse_expr());
+    while (accept(Tok::kComma)) d.targets.push_back(parse_expr());
+    return d;
+  }
+
+  SetClause parse_set() {
+    expect_kw("SET");
+    SetClause s;
+    do {
+      SetItem item;
+      item.var = expect(Tok::kIdent, "variable").text;
+      expect(Tok::kDot, "'.'");
+      item.prop = expect(Tok::kIdent, "property name").text;
+      expect(Tok::kEq, "'='");
+      item.value = parse_expr();
+      s.items.push_back(std::move(item));
+    } while (accept(Tok::kComma));
+    return s;
+  }
+
+  UnwindClause parse_unwind() {
+    expect_kw("UNWIND");
+    UnwindClause u;
+    u.list = parse_expr();
+    expect_kw("AS");
+    u.alias = expect(Tok::kIdent, "alias").text;
+    return u;
+  }
+
+  WithClause parse_with() {
+    expect_kw("WITH");
+    WithClause w;
+    w.projection = parse_projection_body();
+    if (accept_kw("WHERE")) w.where = parse_expr();
+    return w;
+  }
+
+  ReturnClause parse_return() {
+    expect_kw("RETURN");
+    return parse_projection_body();
+  }
+
+  ReturnClause parse_projection_body() {
+    ReturnClause r;
+    if (accept_kw("DISTINCT")) r.distinct = true;
+    if (accept(Tok::kStar)) {
+      r.star = true;
+    } else {
+      do {
+        ProjectionItem item;
+        const std::size_t start_tok = pos_;
+        item.expr = parse_expr();
+        if (accept_kw("AS")) {
+          item.alias = expect(Tok::kIdent, "alias").text;
+        } else {
+          item.alias = text_between(start_tok, pos_);
+        }
+        r.items.push_back(std::move(item));
+      } while (accept(Tok::kComma));
+    }
+    if (accept_kw("ORDER")) {
+      expect_kw("BY");
+      do {
+        SortItem si;
+        si.expr = parse_expr();
+        if (accept_kw("DESC") || accept_kw("DESCENDING")) si.ascending = false;
+        else if (accept_kw("ASC") || accept_kw("ASCENDING")) si.ascending = true;
+        r.order_by.push_back(std::move(si));
+      } while (accept(Tok::kComma));
+    }
+    if (accept_kw("SKIP")) r.skip = parse_expr();
+    if (accept_kw("LIMIT")) r.limit = parse_expr();
+    return r;
+  }
+
+  /// Reconstruct source text of tokens [from, to) for default aliases.
+  std::string text_between(std::size_t from, std::size_t to) const {
+    std::string out;
+    for (std::size_t k = from; k < to; ++k) {
+      if (!out.empty() && (toks_[k].type == Tok::kIdent ||
+                           toks_[k].type == Tok::kInteger))
+        out += toks_[k - 1].type == Tok::kDot ? "" : "";
+      switch (toks_[k].type) {
+        case Tok::kString: out += "'" + toks_[k].text + "'"; break;
+        default: out += toks_[k].text;
+      }
+    }
+    return out;
+  }
+
+  // --- patterns ------------------------------------------------------------
+
+  std::vector<PatternPath> parse_pattern_list() {
+    std::vector<PatternPath> paths;
+    do {
+      paths.push_back(parse_path());
+    } while (accept(Tok::kComma));
+    return paths;
+  }
+
+  PatternPath parse_path() {
+    PatternPath p;
+    p.nodes.push_back(parse_node());
+    while (at(Tok::kDash) || at(Tok::kArrowLeft)) {
+      p.rels.push_back(parse_rel());
+      p.nodes.push_back(parse_node());
+    }
+    return p;
+  }
+
+  NodePattern parse_node() {
+    expect(Tok::kLParen, "'('");
+    NodePattern n;
+    if (at(Tok::kIdent) && !at(Tok::kColon)) n.var = toks_[pos_++].text;
+    while (accept(Tok::kColon))
+      n.labels.push_back(expect(Tok::kIdent, "label").text);
+    if (at(Tok::kLBrace)) n.props = parse_property_map();
+    expect(Tok::kRParen, "')'");
+    return n;
+  }
+
+  RelPattern parse_rel() {
+    RelPattern r;
+    bool from_left = false;  // saw '<-'
+    if (accept(Tok::kArrowLeft)) {
+      from_left = true;
+    } else {
+      expect(Tok::kDash, "'-'");
+    }
+    if (accept(Tok::kLBracket)) {
+      if (at(Tok::kIdent)) r.var = toks_[pos_++].text;
+      if (accept(Tok::kColon)) {
+        r.types.push_back(expect(Tok::kIdent, "relationship type").text);
+        while (accept(Tok::kPipe)) {
+          accept(Tok::kColon);  // R1|:R2 also legal
+          r.types.push_back(expect(Tok::kIdent, "relationship type").text);
+        }
+      }
+      if (accept(Tok::kStar)) {
+        r.var_length = true;
+        r.min_hops = 1;
+        if (at(Tok::kInteger)) {
+          r.min_hops = static_cast<unsigned>(std::stoul(toks_[pos_++].text));
+          r.max_hops = r.min_hops;  // *n alone = exactly n
+        }
+        if (accept(Tok::kDotDot)) {
+          r.max_hops.reset();
+          if (at(Tok::kInteger))
+            r.max_hops = static_cast<unsigned>(std::stoul(toks_[pos_++].text));
+        }
+      }
+      if (at(Tok::kLBrace)) r.props = parse_property_map();
+      expect(Tok::kRBracket, "']'");
+    }
+    // closing direction
+    if (from_left) {
+      expect(Tok::kDash, "'-'");
+      r.direction = RelDirection::kRightToLeft;
+    } else if (accept(Tok::kArrowRight)) {
+      r.direction = RelDirection::kLeftToRight;
+    } else {
+      expect(Tok::kDash, "'-' or '->'");
+      r.direction = RelDirection::kBoth;
+    }
+    return r;
+  }
+
+  PropertyMap parse_property_map() {
+    expect(Tok::kLBrace, "'{'");
+    PropertyMap props;
+    if (!at(Tok::kRBrace)) {
+      do {
+        std::string key = expect(Tok::kIdent, "property name").text;
+        expect(Tok::kColon, "':'");
+        props.emplace_back(std::move(key), parse_expr());
+      } while (accept(Tok::kComma));
+    }
+    expect(Tok::kRBrace, "'}'");
+    return props;
+  }
+
+  // --- expressions (precedence climbing) ------------------------------------
+
+  ExprPtr parse_expr() { return parse_or(); }
+
+  ExprPtr parse_or() {
+    auto lhs = parse_xor();
+    while (accept_kw("OR"))
+      lhs = Expr::make_binary(BinOp::kOr, std::move(lhs), parse_xor());
+    return lhs;
+  }
+
+  ExprPtr parse_xor() {
+    auto lhs = parse_and();
+    while (accept_kw("XOR"))
+      lhs = Expr::make_binary(BinOp::kXor, std::move(lhs), parse_and());
+    return lhs;
+  }
+
+  ExprPtr parse_and() {
+    auto lhs = parse_not();
+    while (accept_kw("AND"))
+      lhs = Expr::make_binary(BinOp::kAnd, std::move(lhs), parse_not());
+    return lhs;
+  }
+
+  ExprPtr parse_not() {
+    if (accept_kw("NOT")) return Expr::make_unary(UnOp::kNot, parse_not());
+    return parse_comparison();
+  }
+
+  ExprPtr parse_comparison() {
+    auto lhs = parse_additive();
+    for (;;) {
+      BinOp op;
+      if (accept(Tok::kEq)) op = BinOp::kEq;
+      else if (accept(Tok::kNeq)) op = BinOp::kNeq;
+      else if (accept(Tok::kLt)) op = BinOp::kLt;
+      else if (accept(Tok::kLe)) op = BinOp::kLe;
+      else if (accept(Tok::kGt)) op = BinOp::kGt;
+      else if (accept(Tok::kGe)) op = BinOp::kGe;
+      else if (at_kw("IN")) { ++pos_; op = BinOp::kIn; }
+      else if (at_kw("STARTS")) {
+        ++pos_; expect_kw("WITH"); op = BinOp::kStartsWith;
+      } else if (at_kw("ENDS")) {
+        ++pos_; expect_kw("WITH"); op = BinOp::kEndsWith;
+      } else if (at_kw("CONTAINS")) { ++pos_; op = BinOp::kContains; }
+      else if (at_kw("IS")) {
+        ++pos_;
+        const bool negated = accept_kw("NOT");
+        expect_kw("NULL");
+        lhs = Expr::make_unary(negated ? UnOp::kIsNotNull : UnOp::kIsNull,
+                               std::move(lhs));
+        continue;
+      } else {
+        break;
+      }
+      lhs = Expr::make_binary(op, std::move(lhs), parse_additive());
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_additive() {
+    auto lhs = parse_multiplicative();
+    for (;;) {
+      if (accept(Tok::kPlus))
+        lhs = Expr::make_binary(BinOp::kAdd, std::move(lhs),
+                                parse_multiplicative());
+      else if (accept(Tok::kDash))
+        lhs = Expr::make_binary(BinOp::kSub, std::move(lhs),
+                                parse_multiplicative());
+      else
+        break;
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_multiplicative() {
+    auto lhs = parse_power();
+    for (;;) {
+      if (accept(Tok::kStar))
+        lhs = Expr::make_binary(BinOp::kMul, std::move(lhs), parse_power());
+      else if (accept(Tok::kSlash))
+        lhs = Expr::make_binary(BinOp::kDiv, std::move(lhs), parse_power());
+      else if (accept(Tok::kPercent))
+        lhs = Expr::make_binary(BinOp::kMod, std::move(lhs), parse_power());
+      else
+        break;
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_power() {
+    auto lhs = parse_unary();
+    if (accept(Tok::kCaret))
+      return Expr::make_binary(BinOp::kPow, std::move(lhs), parse_power());
+    return lhs;
+  }
+
+  ExprPtr parse_unary() {
+    if (accept(Tok::kDash))
+      return Expr::make_unary(UnOp::kNeg, parse_unary());
+    if (accept(Tok::kPlus)) return parse_unary();
+    return parse_postfix();
+  }
+
+  ExprPtr parse_postfix() {
+    auto e = parse_primary();
+    while (accept(Tok::kDot)) {
+      std::string prop = expect(Tok::kIdent, "property name").text;
+      e = Expr::make_property(std::move(e), std::move(prop));
+    }
+    return e;
+  }
+
+  ExprPtr parse_primary() {
+    if (at(Tok::kInteger)) {
+      auto v = graph::Value(static_cast<std::int64_t>(
+          std::strtoll(toks_[pos_++].text.c_str(), nullptr, 10)));
+      return Expr::make_literal(std::move(v));
+    }
+    if (at(Tok::kFloat)) {
+      auto v = graph::Value(std::strtod(toks_[pos_++].text.c_str(), nullptr));
+      return Expr::make_literal(std::move(v));
+    }
+    if (at(Tok::kString))
+      return Expr::make_literal(graph::Value(toks_[pos_++].text));
+    if (accept(Tok::kDollar)) {
+      return Expr::make_parameter(expect(Tok::kIdent, "parameter name").text);
+    }
+    if (accept(Tok::kLParen)) {
+      auto e = parse_expr();
+      expect(Tok::kRParen, "')'");
+      return e;
+    }
+    if (accept(Tok::kLBracket)) {
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kList;
+      if (!at(Tok::kRBracket)) {
+        do {
+          e->args.push_back(parse_expr());
+        } while (accept(Tok::kComma));
+      }
+      expect(Tok::kRBracket, "']'");
+      return e;
+    }
+    if (at(Tok::kIdent)) {
+      // keywords-as-literals
+      if (at_kw("TRUE")) { ++pos_; return Expr::make_literal(graph::Value(true)); }
+      if (at_kw("FALSE")) { ++pos_; return Expr::make_literal(graph::Value(false)); }
+      if (at_kw("NULL")) { ++pos_; return Expr::make_literal(graph::Value::null()); }
+
+      std::string name = toks_[pos_++].text;
+      if (accept(Tok::kLParen)) {
+        auto e = std::make_unique<Expr>();
+        e->kind = Expr::Kind::kFunction;
+        e->name = std::move(name);
+        if (accept_kw("DISTINCT")) e->distinct = true;
+        if (accept(Tok::kStar)) {
+          auto star = std::make_unique<Expr>();
+          star->kind = Expr::Kind::kStar;
+          e->args.push_back(std::move(star));
+        } else if (!at(Tok::kRParen)) {
+          do {
+            e->args.push_back(parse_expr());
+          } while (accept(Tok::kComma));
+        }
+        expect(Tok::kRParen, "')'");
+        return e;
+      }
+      return Expr::make_variable(std::move(name));
+    }
+    throw err("expected an expression");
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Query parse(std::string_view query) {
+  Parser p(query);
+  return p.parse_query();
+}
+
+ExprPtr parse_expression(std::string_view text) {
+  Parser p(text);
+  return p.parse_only_expression();
+}
+
+}  // namespace rg::cypher

@@ -1,0 +1,33 @@
+// Recursive-descent Cypher parser producing the AST in ast.hpp.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "cypher/ast.hpp"
+
+namespace rg::cypher {
+
+/// Raised on grammar violations; carries the byte offset of the token.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& what, std::size_t pos)
+      : std::runtime_error(what + " (at offset " + std::to_string(pos) + ")"),
+        pos_(pos) {}
+  std::size_t pos() const { return pos_; }
+
+ private:
+  std::size_t pos_;
+};
+
+/// Parse a full query.  Throws ParseError / LexError on invalid input.
+Query parse(std::string_view query);
+
+/// Parse a standalone expression (used by tests).
+ExprPtr parse_expression(std::string_view text);
+
+/// True if the function name is an aggregate (count/sum/avg/min/max/collect).
+bool is_aggregate_function(const std::string& name);
+
+}  // namespace rg::cypher

@@ -1,0 +1,189 @@
+#include "datagen/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+namespace rg::datagen {
+
+namespace {
+
+/// Sample one RMAT edge by recursive quadrant descent with per-level
+/// probability noise (Graph500 reference implementation behaviour).
+std::pair<gb::Index, gb::Index> rmat_edge(unsigned scale,
+                                          const RmatParams& p,
+                                          util::Pcg32& rng) {
+  gb::Index src = 0, dst = 0;
+  double a = p.a, b = p.b, c = p.c;
+  for (unsigned level = 0; level < scale; ++level) {
+    // Noise keeps the generated graph from being exactly self-similar.
+    const double na = a * (1.0 + p.noise * (rng.uniform() - 0.5));
+    const double nb = b * (1.0 + p.noise * (rng.uniform() - 0.5));
+    const double nc = c * (1.0 + p.noise * (rng.uniform() - 0.5));
+    const double nd =
+        (1.0 - a - b - c) * (1.0 + p.noise * (rng.uniform() - 0.5));
+    const double total = na + nb + nc + nd;
+    const double r = rng.uniform() * total;
+    src <<= 1;
+    dst <<= 1;
+    if (r < na) {
+      // top-left quadrant: no bits set
+    } else if (r < na + nb) {
+      dst |= 1;
+    } else if (r < na + nb + nc) {
+      src |= 1;
+    } else {
+      src |= 1;
+      dst |= 1;
+    }
+  }
+  return {src, dst};
+}
+
+}  // namespace
+
+EdgeList graph500(unsigned scale, unsigned edgefactor, std::uint64_t seed,
+                  const RmatParams& params) {
+  EdgeList el;
+  el.nvertices = gb::Index{1} << scale;
+  const std::size_t m =
+      static_cast<std::size_t>(edgefactor) * static_cast<std::size_t>(el.nvertices);
+  el.edges.reserve(m);
+
+  std::uint64_t s = seed;
+  util::Pcg32 rng(util::splitmix64(s), util::splitmix64(s));
+
+  for (std::size_t k = 0; k < m; ++k) {
+    auto [u, v] = rmat_edge(scale, params, rng);
+    if (params.remove_self_loops && u == v) {
+      // Resample a bounded number of times; fall back to keeping it if
+      // the sampler insists (vanishingly unlikely).
+      int tries = 0;
+      while (u == v && tries++ < 16) std::tie(u, v) = rmat_edge(scale, params, rng);
+      if (u == v) continue;
+    }
+    el.edges.emplace_back(u, v);
+  }
+
+  if (params.permute_vertices) {
+    std::vector<gb::Index> perm(el.nvertices);
+    std::iota(perm.begin(), perm.end(), gb::Index{0});
+    std::shuffle(perm.begin(), perm.end(), rng);
+    for (auto& [u, v] : el.edges) {
+      u = perm[u];
+      v = perm[v];
+    }
+  }
+
+  if (params.deduplicate) {
+    std::sort(el.edges.begin(), el.edges.end());
+    el.edges.erase(std::unique(el.edges.begin(), el.edges.end()),
+                   el.edges.end());
+  }
+  return el;
+}
+
+EdgeList twitter_like(unsigned scale, unsigned edgefactor, std::uint64_t seed) {
+  // Base: a more-skewed RMAT (the Twitter graph's effective skew exceeds
+  // Graph500's): a=0.65 concentrates both in- and out-degree.
+  RmatParams p;
+  p.a = 0.65;
+  p.b = 0.15;
+  p.c = 0.15;
+  p.noise = 0.05;
+  EdgeList el = graph500(scale, edgefactor, seed ^ 0x7717e4aaULL, p);
+
+  // Celebrity overlay: ~0.05% of vertices receive a Zipf-distributed
+  // share of extra in-edges (Twitter's verified-account tail: a handful
+  // of vertices with in-degree ~ n/100).
+  std::uint64_t s = seed ^ 0xce1ebULL;
+  util::Pcg32 rng(util::splitmix64(s), util::splitmix64(s));
+  const gb::Index n = el.nvertices;
+  const std::size_t ncele = std::max<std::size_t>(4, n / 2048);
+  std::vector<gb::Index> celebs;
+  celebs.reserve(ncele);
+  for (std::size_t i = 0; i < ncele; ++i)
+    celebs.push_back(rng.bounded64(n));
+  const std::size_t extra = el.edges.size() / 10;  // +10% follower edges
+  for (std::size_t k = 0; k < extra; ++k) {
+    // Zipf rank over celebrities: rank r chosen with weight 1/(r+1).
+    const double u = rng.uniform();
+    const auto rank = static_cast<std::size_t>(
+        static_cast<double>(ncele) * (std::exp2(-8.0 * u)));
+    const gb::Index star = celebs[std::min(rank, ncele - 1)];
+    const gb::Index follower = rng.bounded64(n);
+    if (follower != star) el.edges.emplace_back(follower, star);
+  }
+  return el;
+}
+
+EdgeList uniform_random(gb::Index nvertices, std::size_t nedges,
+                        std::uint64_t seed) {
+  EdgeList el;
+  el.nvertices = nvertices;
+  el.edges.reserve(nedges);
+  std::uint64_t s = seed;
+  util::Pcg32 rng(util::splitmix64(s), util::splitmix64(s));
+  for (std::size_t k = 0; k < nedges; ++k) {
+    const gb::Index u = rng.bounded64(nvertices);
+    gb::Index v = rng.bounded64(nvertices);
+    if (v == u) v = (v + 1) % nvertices;
+    el.edges.emplace_back(u, v);
+  }
+  return el;
+}
+
+gb::Matrix<gb::Bool> to_matrix(const EdgeList& el) {
+  gb::Matrix<gb::Bool> m(el.nvertices, el.nvertices);
+  std::vector<gb::Index> rows, cols;
+  rows.reserve(el.edges.size());
+  cols.reserve(el.edges.size());
+  for (const auto& [u, v] : el.edges) {
+    rows.push_back(u);
+    cols.push_back(v);
+  }
+  std::vector<gb::Bool> values(rows.size(), 1);
+  m.build(rows, cols, values, gb::Lor{});
+  return m;
+}
+
+std::vector<gb::Index> out_degrees(const EdgeList& el) {
+  std::vector<gb::Index> deg(el.nvertices, 0);
+  for (const auto& [u, v] : el.edges) {
+    (void)v;
+    ++deg[u];
+  }
+  return deg;
+}
+
+std::vector<gb::Index> pick_seeds(const EdgeList& el, std::size_t count,
+                                  std::uint64_t seed) {
+  const auto deg = out_degrees(el);
+  std::vector<gb::Index> candidates;
+  candidates.reserve(el.nvertices);
+  for (gb::Index v = 0; v < el.nvertices; ++v)
+    if (deg[v] > 0) candidates.push_back(v);
+  std::uint64_t s = seed ^ 0x5eedULL;
+  util::Pcg32 rng(util::splitmix64(s), util::splitmix64(s));
+  std::shuffle(candidates.begin(), candidates.end(), rng);
+  if (candidates.size() > count) candidates.resize(count);
+  std::sort(candidates.begin(), candidates.end());
+  return candidates;
+}
+
+std::string describe(const EdgeList& el) {
+  const auto deg = out_degrees(el);
+  gb::Index maxdeg = 0;
+  std::size_t isolated = 0;
+  for (gb::Index d : deg) {
+    maxdeg = std::max(maxdeg, d);
+    isolated += d == 0;
+  }
+  return "n=" + std::to_string(el.nvertices) +
+         " m=" + std::to_string(el.edges.size()) +
+         " maxdeg=" + std::to_string(maxdeg) +
+         " isolated=" + std::to_string(isolated);
+}
+
+}  // namespace rg::datagen

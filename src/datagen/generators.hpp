@@ -1,0 +1,76 @@
+// Synthetic graph generators standing in for the paper's datasets.
+//
+// The paper benchmarks on (a) Graph500 generator output (2.4M vertices /
+// 67M edges) and (b) a Twitter crawl (41.6M vertices / 1.47B edges).  We
+// generate laptop-scale equivalents:
+//
+//  * graph500(scale, edgefactor): the Graph500 reference Kronecker/RMAT
+//    sampler with the official parameters A=0.57, B=0.19, C=0.19
+//    (D=0.05), including the spec's bit-noise and vertex permutation so
+//    degree-1 locality artifacts disappear.
+//  * twitter_like(scale, edgefactor): a directed heavy-tailed follower
+//    graph - RMAT with more skew plus a preferential "celebrity" overlay
+//    reproducing Twitter's extreme in-degree tail.
+//
+// Both are deterministic in (seed, parameters).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graphblas/matrix.hpp"
+#include "graphblas/types.hpp"
+#include "util/random.hpp"
+
+namespace rg::datagen {
+
+/// A directed edge list over vertices [0, nvertices).
+struct EdgeList {
+  gb::Index nvertices = 0;
+  std::vector<std::pair<gb::Index, gb::Index>> edges;
+
+  std::size_t nedges() const { return edges.size(); }
+};
+
+/// Parameters for the RMAT quadrant sampler.
+struct RmatParams {
+  double a = 0.57, b = 0.19, c = 0.19;  // d = 1 - a - b - c
+  /// Per-level probability noise, as in the Graph500 reference code.
+  double noise = 0.1;
+  bool permute_vertices = true;
+  bool remove_self_loops = true;
+  bool deduplicate = false;  // the Graph500 spec keeps multi-edges
+};
+
+/// Graph500-style Kronecker graph: 2^scale vertices, edgefactor * 2^scale
+/// directed edges sampled by recursive quadrant descent.
+EdgeList graph500(unsigned scale, unsigned edgefactor, std::uint64_t seed,
+                  const RmatParams& params = {});
+
+/// Twitter-like follower graph: heavy-tailed in-degree via skewed RMAT
+/// (a=0.65) plus a celebrity overlay in which a small vertex subset
+/// receives a Zipf share of extra follower edges.
+EdgeList twitter_like(unsigned scale, unsigned edgefactor, std::uint64_t seed);
+
+/// Uniform Erdos-Renyi G(n, m) digraph (tests and microbenches).
+EdgeList uniform_random(gb::Index nvertices, std::size_t nedges,
+                        std::uint64_t seed);
+
+/// Build a boolean CSR adjacency matrix from an edge list (dedup applied;
+/// the property-graph layer handles multi-edges separately).
+gb::Matrix<gb::Bool> to_matrix(const EdgeList& el);
+
+/// Out-degree of every vertex.
+std::vector<gb::Index> out_degrees(const EdgeList& el);
+
+/// Choose `count` distinct benchmark seed vertices with out-degree >= 1,
+/// deterministically from `seed` (the TigerGraph benchmark protocol
+/// requires non-isolated seeds).
+std::vector<gb::Index> pick_seeds(const EdgeList& el, std::size_t count,
+                                  std::uint64_t seed);
+
+/// Human-readable one-line summary ("n=32768 m=524288 maxdeg=...").
+std::string describe(const EdgeList& el);
+
+}  // namespace rg::datagen

@@ -1,0 +1,108 @@
+// Aggregation state machines for count/sum/avg/min/max/collect with
+// optional DISTINCT, following Cypher semantics (nulls are skipped;
+// count(*) counts rows).
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "cypher/lexer.hpp"
+#include "graph/value.hpp"
+
+namespace rg::exec {
+
+/// One accumulating aggregate instance (per group, per aggregate column).
+class Aggregator {
+ public:
+  enum class Kind { kCountStar, kCount, kSum, kAvg, kMin, kMax, kCollect };
+
+  static Kind kind_from_name(const std::string& name, bool star) {
+    using cypher::keyword_eq;
+    if (keyword_eq(name, "COUNT")) return star ? Kind::kCountStar : Kind::kCount;
+    if (keyword_eq(name, "SUM")) return Kind::kSum;
+    if (keyword_eq(name, "AVG")) return Kind::kAvg;
+    if (keyword_eq(name, "MIN")) return Kind::kMin;
+    if (keyword_eq(name, "MAX")) return Kind::kMax;
+    return Kind::kCollect;
+  }
+
+  Aggregator(Kind kind, bool distinct) : kind_(kind), distinct_(distinct) {}
+
+  /// Feed one input value (the evaluated aggregate argument).
+  void step(const graph::Value& v) {
+    if (kind_ == Kind::kCountStar) {
+      ++count_;
+      return;
+    }
+    if (v.is_null()) return;  // Cypher aggregates skip nulls
+    if (distinct_) {
+      if (!seen_.insert(v).second) return;
+    }
+    switch (kind_) {
+      case Kind::kCount:
+        ++count_;
+        break;
+      case Kind::kSum:
+      case Kind::kAvg:
+        sum_ += v.to_double();
+        all_int_ = all_int_ && v.is_int();
+        isum_ += v.is_int() ? v.as_int() : 0;
+        ++count_;
+        break;
+      case Kind::kMin:
+        if (count_ == 0 || graph::Value::order_compare(v, best_) < 0) best_ = v;
+        ++count_;
+        break;
+      case Kind::kMax:
+        if (count_ == 0 || graph::Value::order_compare(v, best_) > 0) best_ = v;
+        ++count_;
+        break;
+      case Kind::kCollect:
+        collected_.push_back(v);
+        break;
+      default:
+        break;
+    }
+  }
+
+  /// Final value of the aggregate.
+  graph::Value finalize() const {
+    switch (kind_) {
+      case Kind::kCountStar:
+      case Kind::kCount:
+        return graph::Value(static_cast<std::int64_t>(count_));
+      case Kind::kSum:
+        if (count_ == 0) return graph::Value(std::int64_t{0});
+        return all_int_ ? graph::Value(isum_) : graph::Value(sum_);
+      case Kind::kAvg:
+        if (count_ == 0) return graph::Value::null();
+        return graph::Value(sum_ / static_cast<double>(count_));
+      case Kind::kMin:
+      case Kind::kMax:
+        return count_ ? best_ : graph::Value::null();
+      case Kind::kCollect:
+        return graph::Value(collected_);
+    }
+    return graph::Value::null();
+  }
+
+ private:
+  struct OrderLess {
+    bool operator()(const graph::Value& a, const graph::Value& b) const {
+      return graph::Value::order_compare(a, b) < 0;
+    }
+  };
+
+  Kind kind_;
+  bool distinct_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  std::int64_t isum_ = 0;
+  bool all_int_ = true;
+  graph::Value best_;
+  graph::ValueArray collected_;
+  std::set<graph::Value, OrderLess> seen_;
+};
+
+}  // namespace rg::exec

@@ -1,0 +1,657 @@
+#include "util/stats.hpp"
+#include "exec/execution_plan.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "cypher/lexer.hpp"
+#include "cypher/parser.hpp"
+#include "util/timer.hpp"
+
+namespace rg::exec {
+
+using cypher::Clause;
+using cypher::Expr;
+using cypher::ExprPtr;
+using cypher::NodePattern;
+using cypher::PatternPath;
+using cypher::RelPattern;
+
+namespace {
+
+/// True if the expression tree contains an aggregate function call.
+bool contains_aggregate(const Expr& e) {
+  if (e.kind == Expr::Kind::kFunction && cypher::is_aggregate_function(e.name))
+    return true;
+  for (const auto& a : e.args)
+    if (contains_aggregate(*a)) return true;
+  return false;
+}
+
+}  // namespace
+
+/// Stateful clause-by-clause plan construction.
+class PlanBuilder {
+ public:
+  PlanBuilder(graph::Graph& g, ExecContext* ctx) : g_(g), ctx_(ctx) {}
+
+  std::unique_ptr<Operator> build(const cypher::Query& q, bool* read_only,
+                                  bool* has_results) {
+    for (std::size_t i = 0; i < q.clauses.size(); ++i) {
+      const Clause& c = q.clauses[i];
+      const bool last = i + 1 == q.clauses.size();
+      switch (c.kind) {
+        case Clause::Kind::kMatch:
+          plan_match(c.match);
+          break;
+        case Clause::Kind::kCreate:
+          *read_only = false;
+          plan_create(c.create);
+          break;
+        case Clause::Kind::kMerge:
+          *read_only = false;
+          plan_merge(c.merge);
+          break;
+        case Clause::Kind::kDelete:
+          *read_only = false;
+          if (!last) throw PlanError("DELETE must be the final clause");
+          plan_delete(c.del);
+          break;
+        case Clause::Kind::kSet:
+          *read_only = false;
+          plan_set(c.set);
+          break;
+        case Clause::Kind::kUnwind:
+          plan_unwind(c.unwind);
+          break;
+        case Clause::Kind::kWith:
+          plan_projection(c.with.projection, /*is_return=*/false);
+          if (c.with.where) attach(make<Filter>(c.with.where->clone()));
+          break;
+        case Clause::Kind::kReturn:
+          if (!last) throw PlanError("RETURN must be the final clause");
+          plan_projection(c.ret, /*is_return=*/true);
+          *has_results = true;
+          break;
+        case Clause::Kind::kCreateIndex:
+          *read_only = false;
+          if (root_) throw PlanError("CREATE INDEX must be a standalone query");
+          root_ = make<CreateIndexOp>(c.create_index.label, c.create_index.attr);
+          break;
+      }
+    }
+    if (!root_) throw PlanError("query produced no plan");
+    return std::move(root_);
+  }
+
+ private:
+  template <typename Op, typename... Args>
+  std::unique_ptr<Operator> make(Args&&... args) {
+    return std::make_unique<Op>(ctx_, std::forward<Args>(args)...);
+  }
+
+  /// Make `op` the new root, attaching the old root as its child.
+  void attach(std::unique_ptr<Operator> op) {
+    if (root_) op->add_child(std::move(root_));
+    root_ = std::move(op);
+  }
+
+  std::string anon_name() { return "@anon" + std::to_string(anon_++); }
+
+  std::size_t slot_of(const std::string& var) {
+    return ctx_->layout.get_or_add(var);
+  }
+
+  bool is_bound(const std::string& var) const { return bound_.contains(var); }
+
+  // --- pattern constraints --------------------------------------------------
+
+  /// Filters enforcing a node pattern's labels and inline properties on
+  /// an already-bound variable.
+  void apply_node_constraints(const NodePattern& np, const std::string& var,
+                              bool skip_labels = false) {
+    if (!np.labels.empty() && !skip_labels) {
+      std::vector<graph::LabelId> ids;
+      std::string describe;
+      for (const auto& l : np.labels) {
+        const auto id = g_.schema().find_label(l);
+        describe += ":" + l;
+        if (!id.has_value()) {
+          // Unknown label: nothing can match.  A filter on an invalid id
+          // would never pass; use an impossible label filter.
+          ids.push_back(graph::kInvalidLabel);
+        } else {
+          ids.push_back(*id);
+        }
+      }
+      attach(make<LabelFilter>(slot_of(var), std::move(ids), describe));
+    }
+    for (const auto& [key, expr] : np.props) {
+      auto prop = Expr::make_property(Expr::make_variable(var), key);
+      attach(make<Filter>(Expr::make_binary(cypher::BinOp::kEq,
+                                            std::move(prop), expr->clone())));
+    }
+  }
+
+  /// Filters enforcing an edge pattern's inline properties.
+  void apply_edge_constraints(const RelPattern& rp, const std::string& var) {
+    for (const auto& [key, expr] : rp.props) {
+      auto prop = Expr::make_property(Expr::make_variable(var), key);
+      attach(make<Filter>(Expr::make_binary(cypher::BinOp::kEq,
+                                            std::move(prop), expr->clone())));
+    }
+  }
+
+  // --- MATCH ---------------------------------------------------------------
+
+  /// Collect `id(var) = <expr>` conjuncts from a WHERE tree so the start
+  /// point can become a NodeByIdSeek (RedisGraph's id-seek rewrite).
+  void collect_id_seeks(const Expr& e,
+                        std::map<std::string, const Expr*>& out) {
+    if (e.kind == Expr::Kind::kBinary && e.bin_op == cypher::BinOp::kAnd) {
+      collect_id_seeks(*e.args[0], out);
+      collect_id_seeks(*e.args[1], out);
+      return;
+    }
+    if (e.kind != Expr::Kind::kBinary || e.bin_op != cypher::BinOp::kEq)
+      return;
+    auto match_side = [&](const Expr& fn, const Expr& value) {
+      if (fn.kind != Expr::Kind::kFunction || !cypher::keyword_eq(fn.name, "ID"))
+        return;
+      if (fn.args.size() != 1 ||
+          fn.args[0]->kind != Expr::Kind::kVariable)
+        return;
+      out.emplace(fn.args[0]->name, &value);
+    };
+    match_side(*e.args[0], *e.args[1]);
+    match_side(*e.args[1], *e.args[0]);
+  }
+
+  void plan_match(const cypher::MatchClause& m) {
+    std::unique_ptr<Operator> pre_optional;
+    if (m.optional) pre_optional = std::move(root_);
+
+    id_seeks_.clear();
+    if (m.where) collect_id_seeks(*m.where, id_seeks_);
+
+    for (const auto& path : m.paths) plan_path(path);
+    if (m.where) attach(make<Filter>(m.where->clone()));
+
+    if (m.optional) {
+      // Leading-clause OPTIONAL MATCH: wrap the match subtree so an empty
+      // result still yields one null record.
+      if (pre_optional)
+        throw PlanError("OPTIONAL MATCH is only supported as the first clause");
+      attach(make<Optional>());
+    }
+  }
+
+  void plan_path(const PatternPath& path) {
+    // Name anonymous nodes (they need record slots).
+    std::vector<std::string> node_vars(path.nodes.size());
+    for (std::size_t i = 0; i < path.nodes.size(); ++i) {
+      node_vars[i] =
+          path.nodes[i].var.empty() ? anon_name() : path.nodes[i].var;
+    }
+
+    // Start-point selection.
+    std::size_t start = path.nodes.size();  // sentinel = none chosen
+    // 1) an already-bound variable
+    for (std::size_t i = 0; i < path.nodes.size() && start == path.nodes.size();
+         ++i) {
+      if (is_bound(node_vars[i])) start = i;
+    }
+    bool used_index = false;
+    bool used_label_scan = false;
+    if (start == path.nodes.size()) {
+      // 1.5) WHERE id(n) = <expr>  =>  direct seek
+      for (std::size_t i = 0; i < path.nodes.size(); ++i) {
+        const auto it = id_seeks_.find(node_vars[i]);
+        if (it == id_seeks_.end()) continue;
+        attach(make<NodeByIdSeek>(slot_of(node_vars[i]), it->second->clone()));
+        bound_.insert(node_vars[i]);
+        start = i;
+        break;
+      }
+    }
+    if (start == path.nodes.size()) {
+      // 2) equality-indexed property
+      for (std::size_t i = 0; i < path.nodes.size(); ++i) {
+        const auto& np = path.nodes[i];
+        if (np.labels.empty() || np.props.empty()) continue;
+        const auto lbl = g_.schema().find_label(np.labels[0]);
+        if (!lbl.has_value()) continue;
+        for (const auto& [key, expr] : np.props) {
+          const auto attr = g_.schema().find_attr(key);
+          if (!attr.has_value()) continue;
+          if (g_.find_index(*lbl, *attr) == nullptr) continue;
+          attach(make<IndexScan>(slot_of(node_vars[i]), *lbl, *attr,
+                                 expr->clone(),
+                                 ":" + np.labels[0] + "(" + key + ")"));
+          bound_.insert(node_vars[i]);
+          start = i;
+          used_index = true;
+          break;
+        }
+        if (used_index) break;
+      }
+    }
+    if (start == path.nodes.size()) {
+      // 3) a labeled node
+      for (std::size_t i = 0; i < path.nodes.size(); ++i) {
+        if (!path.nodes[i].labels.empty()) {
+          const auto& name = path.nodes[i].labels[0];
+          const auto lbl = g_.schema().find_label(name);
+          attach(make<LabelScan>(slot_of(node_vars[i]),
+                                 lbl.value_or(graph::kInvalidLabel), name));
+          bound_.insert(node_vars[i]);
+          start = i;
+          used_label_scan = true;
+          break;
+        }
+      }
+    }
+    if (start == path.nodes.size()) {
+      // 4) full scan from the left end
+      start = 0;
+      attach(make<AllNodeScan>(slot_of(node_vars[0])));
+      bound_.insert(node_vars[0]);
+    }
+
+    // Start-node residual constraints.  A LabelScan already guarantees
+    // its first label; an IndexScan guarantees label[0] via the index.
+    {
+      const auto& np = path.nodes[start];
+      NodePattern residual = clone_node(np);
+      if ((used_label_scan || used_index) && !residual.labels.empty())
+        residual.labels.erase(residual.labels.begin());
+      if (used_index) {
+        // The indexed property is already enforced; re-applying the
+        // remaining props is still required.
+      }
+      apply_node_constraints(residual, node_vars[start],
+                             residual.labels.empty());
+    }
+
+    // Expand right of start, then left of start.
+    for (std::size_t i = start; i + 1 < path.nodes.size(); ++i) {
+      plan_hop(path.rels[i], node_vars[i], node_vars[i + 1],
+               path.nodes[i + 1], /*reverse=*/false);
+    }
+    for (std::size_t i = start; i-- > 0;) {
+      plan_hop(path.rels[i], node_vars[i + 1], node_vars[i], path.nodes[i],
+               /*reverse=*/true);
+    }
+  }
+
+  NodePattern clone_node(const NodePattern& np) {
+    NodePattern out;
+    out.var = np.var;
+    out.labels = np.labels;
+    for (const auto& [k, e] : np.props) out.props.emplace_back(k, e->clone());
+    return out;
+  }
+
+  TraverseSpec make_spec(const RelPattern& rp, bool reverse) {
+    TraverseSpec spec;
+    std::string describe;
+    for (const auto& t : rp.types) {
+      const auto id = g_.schema().find_reltype(t);
+      describe += (describe.empty() ? ":" : "|") + t;
+      spec.types.push_back(id.value_or(graph::kInvalidRelType));
+    }
+    // Unknown relationship types can never match; an invalid id simply
+    // selects the empty matrix.
+    spec.direction = rp.direction;
+    if (reverse) {
+      if (rp.direction == cypher::RelDirection::kLeftToRight)
+        spec.direction = cypher::RelDirection::kRightToLeft;
+      else if (rp.direction == cypher::RelDirection::kRightToLeft)
+        spec.direction = cypher::RelDirection::kLeftToRight;
+    }
+    spec.describe = describe.empty() ? "[]" : "[" + describe + "]";
+    return spec;
+  }
+
+  /// Plan one hop src -> dst (dst may be bound => ExpandInto).
+  void plan_hop(const RelPattern& rp, const std::string& src,
+                const std::string& dst, const NodePattern& dst_pattern,
+                bool reverse) {
+    TraverseSpec spec = make_spec(rp, reverse);
+    std::optional<std::size_t> edge_slot;
+    if (!rp.var.empty() && !rp.var_length) edge_slot = slot_of(rp.var);
+
+    if (rp.var_length) {
+      const unsigned min_h = rp.min_hops.value_or(1);
+      if (is_bound(dst)) {
+        // Var-length into a bound node: expand then filter equality.
+        const std::string tmp = anon_name();
+        attach(make<VarLenTraverse>(slot_of(src), slot_of(tmp), spec, min_h,
+                                    rp.max_hops));
+        auto eq = Expr::make_binary(
+            cypher::BinOp::kEq,
+            make_id_call(tmp), make_id_call(dst));
+        attach(make<Filter>(std::move(eq)));
+      } else {
+        attach(make<VarLenTraverse>(slot_of(src), slot_of(dst), spec, min_h,
+                                    rp.max_hops));
+        bound_.insert(dst);
+        apply_node_constraints(dst_pattern, dst);
+      }
+      if (!rp.var.empty()) {
+        // Edge variables on var-length patterns would bind edge lists;
+        // unsupported in this subset.
+        throw PlanError("edge variables on variable-length patterns are "
+                        "not supported");
+      }
+      return;
+    }
+
+    if (is_bound(dst)) {
+      attach(make<ExpandInto>(slot_of(src), slot_of(dst), edge_slot, spec));
+      apply_edge_constraints_if_any(rp);
+      return;
+    }
+    attach(make<ConditionalTraverse>(slot_of(src), slot_of(dst), edge_slot,
+                                     spec));
+    bound_.insert(dst);
+    if (edge_slot.has_value()) bound_.insert(rp.var);
+    apply_node_constraints(dst_pattern, dst);
+    apply_edge_constraints_if_any(rp);
+  }
+
+  void apply_edge_constraints_if_any(const RelPattern& rp) {
+    if (rp.props.empty()) return;
+    if (rp.var.empty())
+      throw PlanError("inline properties on anonymous relationships require "
+                      "a variable in this subset");
+    apply_edge_constraints(rp, rp.var);
+  }
+
+  ExprPtr make_id_call(const std::string& var) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kFunction;
+    e->name = "id";
+    e->args.push_back(Expr::make_variable(var));
+    return e;
+  }
+
+  // --- CREATE / DELETE / SET / UNWIND ----------------------------------------
+
+  void plan_create(const cypher::CreateClause& c) {
+    // Clone the paths (the plan may outlive the AST).
+    std::vector<PatternPath> paths;
+    for (const auto& p : c.paths) {
+      PatternPath cp;
+      for (const auto& n : p.nodes) cp.nodes.push_back(clone_node(n));
+      for (const auto& r : p.rels) {
+        RelPattern rr;
+        rr.var = r.var;
+        rr.types = r.types;
+        rr.direction = r.direction;
+        rr.min_hops = r.min_hops;
+        rr.max_hops = r.max_hops;
+        rr.var_length = r.var_length;
+        for (const auto& [k, e] : r.props) rr.props.emplace_back(k, e->clone());
+        cp.rels.push_back(std::move(rr));
+      }
+      paths.push_back(std::move(cp));
+    }
+    // Register variables the CREATE binds.
+    for (const auto& p : paths) {
+      for (const auto& n : p.nodes) {
+        if (!n.var.empty()) {
+          slot_of(n.var);
+          bound_.insert(n.var);
+        }
+      }
+      for (const auto& r : p.rels) {
+        if (!r.var.empty()) {
+          slot_of(r.var);
+          bound_.insert(r.var);
+        }
+      }
+    }
+    attach(make<Create>(std::move(paths)));
+  }
+
+  PatternPath clone_path(const PatternPath& p) {
+    PatternPath cp;
+    for (const auto& n : p.nodes) cp.nodes.push_back(clone_node(n));
+    for (const auto& r : p.rels) {
+      RelPattern rr;
+      rr.var = r.var;
+      rr.types = r.types;
+      rr.direction = r.direction;
+      rr.min_hops = r.min_hops;
+      rr.max_hops = r.max_hops;
+      rr.var_length = r.var_length;
+      for (const auto& [k, e] : r.props) rr.props.emplace_back(k, e->clone());
+      cp.rels.push_back(std::move(rr));
+    }
+    return cp;
+  }
+
+  void plan_merge(const cypher::MergeClause& m) {
+    // Standalone-clause MERGE (RedisGraph 1.x semantics): match the whole
+    // pattern; if nothing matches, create it.
+    if (root_) throw PlanError("MERGE is only supported as the first clause");
+    for (const auto& rel : m.path.rels) {
+      if (rel.var_length)
+        throw PlanError("MERGE patterns cannot be variable-length");
+      if (rel.types.size() != 1)
+        throw PlanError("MERGE relationships need exactly one type");
+    }
+    // Build the match subtree (binds the pattern's variables).
+    plan_path(m.path);
+    auto match_subtree = std::move(root_);
+    std::vector<PatternPath> create_paths;
+    create_paths.push_back(clone_path(m.path));
+    root_ = make<Merge>(std::move(create_paths));
+    root_->add_child(std::move(match_subtree));
+  }
+
+  void plan_delete(const cypher::DeleteClause& d) {
+    if (!root_) throw PlanError("DELETE requires a preceding MATCH");
+    std::vector<ExprPtr> targets;
+    for (const auto& t : d.targets) targets.push_back(t->clone());
+    attach(make<Delete>(std::move(targets), d.detach));
+  }
+
+  void plan_set(const cypher::SetClause& s) {
+    if (!root_) throw PlanError("SET requires a preceding MATCH");
+    std::vector<cypher::SetItem> items;
+    for (const auto& it : s.items) {
+      cypher::SetItem copy;
+      copy.var = it.var;
+      copy.prop = it.prop;
+      copy.value = it.value->clone();
+      items.push_back(std::move(copy));
+    }
+    attach(make<SetProperty>(std::move(items)));
+  }
+
+  void plan_unwind(const cypher::UnwindClause& u) {
+    const std::size_t slot = slot_of(u.alias);
+    bound_.insert(u.alias);
+    attach(make<Unwind>(u.list->clone(), slot));
+  }
+
+  // --- RETURN / WITH ---------------------------------------------------------
+
+  void plan_projection(const cypher::ReturnClause& r, bool is_return) {
+    if (!root_ && !is_return)
+      throw PlanError("WITH requires a preceding clause");
+
+    // RETURN * expands to all bound (non-anonymous) variables.
+    std::vector<cypher::ProjectionItem> items;
+    if (r.star) {
+      std::vector<std::string> names(bound_.begin(), bound_.end());
+      std::sort(names.begin(), names.end());
+      for (const auto& n : names) {
+        if (n.starts_with("@")) continue;
+        cypher::ProjectionItem item;
+        item.expr = Expr::make_variable(n);
+        item.alias = n;
+        items.push_back(std::move(item));
+      }
+      if (items.empty()) throw PlanError("RETURN * with no bound variables");
+    } else {
+      for (const auto& item : r.items) {
+        cypher::ProjectionItem copy;
+        copy.expr = item.expr->clone();
+        copy.alias = item.alias;
+        items.push_back(std::move(copy));
+      }
+    }
+
+    const bool has_agg = std::any_of(
+        items.begin(), items.end(),
+        [](const auto& i) { return contains_aggregate(*i.expr); });
+
+    std::vector<std::size_t> out_slots;
+    if (has_agg) {
+      std::vector<Aggregate::KeyItem> keys;
+      std::vector<Aggregate::AggItem> aggs;
+      for (auto& item : items) {
+        const std::size_t slot = slot_of(item.alias);
+        out_slots.push_back(slot);
+        if (contains_aggregate(*item.expr)) {
+          if (item.expr->kind != Expr::Kind::kFunction ||
+              !cypher::is_aggregate_function(item.expr->name))
+            throw PlanError(
+                "aggregate functions must be the top-level expression of a "
+                "projection item");
+          Aggregate::AggItem ai;
+          const bool star = !item.expr->args.empty() &&
+                            item.expr->args[0]->kind == Expr::Kind::kStar;
+          ai.kind = Aggregator::kind_from_name(item.expr->name, star);
+          ai.distinct = item.expr->distinct;
+          if (!star) {
+            if (item.expr->args.size() != 1)
+              throw PlanError("aggregates take exactly one argument");
+            ai.arg = item.expr->args[0]->clone();
+          }
+          ai.slot = slot;
+          aggs.push_back(std::move(ai));
+        } else {
+          keys.push_back({item.expr->clone(), slot});
+        }
+      }
+      if (!root_) throw PlanError("aggregation requires input");
+      attach(make<Aggregate>(std::move(keys), std::move(aggs)));
+    } else {
+      std::vector<Project::Item> pitems;
+      for (auto& item : items) {
+        const std::size_t slot = slot_of(item.alias);
+        out_slots.push_back(slot);
+        pitems.push_back({item.expr->clone(), slot});
+      }
+      if (!root_) {
+        // RETURN with no preceding clause (RETURN 1+1): single empty row.
+        auto one = std::make_unique<Unwind>(
+            ctx_, Expr::make_literal(graph::Value(graph::ValueArray{
+                      graph::Value(std::int64_t{0})})),
+            ctx_->layout.get_or_add(anon_name()));
+        root_ = std::move(one);
+      }
+      attach(make<Project>(std::move(pitems)));
+    }
+
+    if (r.distinct) attach(make<Distinct>(out_slots));
+
+    if (!r.order_by.empty()) {
+      std::vector<Sort::Item> sitems;
+      for (const auto& s : r.order_by)
+        sitems.push_back({s.expr->clone(), s.ascending});
+      attach(make<Sort>(std::move(sitems)));
+    }
+    if (r.skip) attach(make<Skip>(const_uint(*r.skip, "SKIP")));
+    if (r.limit) attach(make<Limit>(const_uint(*r.limit, "LIMIT")));
+
+    // Rescope: downstream clauses see only the aliases.
+    bound_.clear();
+    std::vector<Results::Column> cols;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      bound_.insert(items[i].alias);
+      cols.push_back({items[i].alias, out_slots[i]});
+    }
+    if (is_return) attach(make<Results>(std::move(cols)));
+  }
+
+  std::uint64_t const_uint(const Expr& e, const char* what) {
+    if (e.kind != Expr::Kind::kLiteral || !e.literal.is_int() ||
+        e.literal.as_int() < 0)
+      throw PlanError(std::string(what) + " requires a non-negative integer "
+                      "literal");
+    return static_cast<std::uint64_t>(e.literal.as_int());
+  }
+
+  graph::Graph& g_;
+  ExecContext* ctx_;
+  std::unique_ptr<Operator> root_;
+  std::set<std::string> bound_;
+  std::map<std::string, const Expr*> id_seeks_;
+  int anon_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// ExecutionPlan
+// ---------------------------------------------------------------------------
+
+ExecutionPlan::ExecutionPlan(graph::Graph& g, const cypher::Query& q,
+                             std::size_t traverse_batch, ParamMap params)
+    : g_(g), ctx_(std::make_unique<ExecContext>()) {
+  ctx_->g = &g;
+  ctx_->traverse_batch = traverse_batch;
+  ctx_->params = std::move(params);
+  PlanBuilder builder(g, ctx_.get());
+  root_ = builder.build(q, &read_only_, &has_results_op_);
+}
+
+ExecutionPlan::~ExecutionPlan() = default;
+
+void ExecutionPlan::run(ResultSet& out) {
+  util::Stopwatch sw;
+  g_.flush();
+  ctx_->results = &out;
+  ctx_->stats = QueryStats{};
+  root_->reset();
+  Record rec(ctx_->layout.size());
+  while (root_->next(rec)) {
+  }
+  out.stats = ctx_->stats;
+  out.stats.execution_ms = sw.millis();
+}
+
+namespace {
+void explain_rec(const Operator& op, int depth, bool profiled,
+                 std::string& out) {
+  out.append(static_cast<std::size_t>(depth) * 4, ' ');
+  out += op.name();
+  if (!op.detail().empty()) out += " | " + op.detail();
+  if (profiled) {
+    out += " | records: " + std::to_string(op.rows_produced());
+    out += ", self: " + util::fmt_double(op.self_ms(), 3) + " ms";
+  }
+  out += "\n";
+  for (std::size_t i = 0; i < op.child_count(); ++i)
+    explain_rec(op.child(i), depth + 1, profiled, out);
+}
+}  // namespace
+
+std::string ExecutionPlan::explain() const {
+  std::string out;
+  explain_rec(*root_, 0, /*profiled=*/false, out);
+  return out;
+}
+
+std::string ExecutionPlan::profile(ResultSet& out) {
+  run(out);
+  std::string s;
+  explain_rec(*root_, 0, /*profiled=*/true, s);
+  return s;
+}
+
+}  // namespace rg::exec

@@ -1,0 +1,68 @@
+// ExecutionPlan — compiles a parsed Cypher query into an operator tree
+// and runs it (RedisGraph's execution_plan).
+//
+// Planning pipeline:
+//   1. clause-by-clause translation (MATCH patterns -> scans+traversals,
+//      WHERE -> Filter, RETURN/WITH -> Project/Aggregate/Sort/...)
+//   2. start-point selection per pattern path: bound variable >
+//      equality-indexed property > labeled node > full scan
+//   3. traversal compilation: single-hop -> ConditionalTraverse (batched
+//      frontier mxm), var-length -> VarLenTraverse (BFS), closing edge ->
+//      ExpandInto
+//
+// EXPLAIN renders the tree; PROFILE re-runs with per-operator counters.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cypher/ast.hpp"
+#include "exec/ops.hpp"
+#include "exec/result_set.hpp"
+#include "graph/graph.hpp"
+
+namespace rg::exec {
+
+/// Raised on semantically invalid queries (unbound vars, bad clauses).
+class PlanError : public std::runtime_error {
+ public:
+  explicit PlanError(const std::string& what)
+      : std::runtime_error("planning error: " + what) {}
+};
+
+class ExecutionPlan {
+ public:
+  /// Build a plan for `q` against `g`.  The graph is used for schema
+  /// lookups and start-point statistics at plan time.  `params` supplies
+  /// $name bindings referenced by the query.
+  ExecutionPlan(graph::Graph& g, const cypher::Query& q,
+                std::size_t traverse_batch = 64, ParamMap params = {});
+  ~ExecutionPlan();
+
+  ExecutionPlan(const ExecutionPlan&) = delete;
+  ExecutionPlan& operator=(const ExecutionPlan&) = delete;
+
+  /// Execute, filling `out`.  Calls Graph::flush() first (matrix sync).
+  void run(ResultSet& out);
+
+  /// Operator-tree rendering (GRAPH.EXPLAIN).
+  std::string explain() const;
+
+  /// Execute and render the tree with per-op rows/time (GRAPH.PROFILE).
+  std::string profile(ResultSet& out);
+
+  /// True when the query only reads (determines server lock mode).
+  bool read_only() const { return read_only_; }
+
+ private:
+  graph::Graph& g_;
+  std::unique_ptr<ExecContext> ctx_;
+  std::unique_ptr<Operator> root_;
+  bool read_only_ = true;
+  bool has_results_op_ = false;
+  ResultSet* bound_results_ = nullptr;
+
+  friend class PlanBuilder;
+};
+
+}  // namespace rg::exec

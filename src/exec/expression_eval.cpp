@@ -1,0 +1,411 @@
+#include "exec/expression_eval.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "cypher/lexer.hpp"
+#include "cypher/parser.hpp"
+
+namespace rg::exec {
+
+using cypher::BinOp;
+using cypher::Expr;
+using cypher::UnOp;
+using graph::Value;
+
+namespace {
+
+/// Cypher three-valued logic: values are true / false / unknown(null).
+enum class Tri { kFalse, kTrue, kNull };
+
+Tri truth(const Value& v) {
+  if (v.is_null()) return Tri::kNull;
+  if (v.is_bool()) return v.as_bool() ? Tri::kTrue : Tri::kFalse;
+  return Tri::kNull;  // non-boolean in a boolean position = unknown
+}
+
+Value tri_value(Tri t) {
+  switch (t) {
+    case Tri::kTrue: return Value(true);
+    case Tri::kFalse: return Value(false);
+    default: return Value::null();
+  }
+}
+
+Tri tri_and(Tri a, Tri b) {
+  if (a == Tri::kFalse || b == Tri::kFalse) return Tri::kFalse;
+  if (a == Tri::kNull || b == Tri::kNull) return Tri::kNull;
+  return Tri::kTrue;
+}
+
+Tri tri_or(Tri a, Tri b) {
+  if (a == Tri::kTrue || b == Tri::kTrue) return Tri::kTrue;
+  if (a == Tri::kNull || b == Tri::kNull) return Tri::kNull;
+  return Tri::kFalse;
+}
+
+Tri tri_xor(Tri a, Tri b) {
+  if (a == Tri::kNull || b == Tri::kNull) return Tri::kNull;
+  return (a == Tri::kTrue) != (b == Tri::kTrue) ? Tri::kTrue : Tri::kFalse;
+}
+
+Tri tri_not(Tri a) {
+  if (a == Tri::kNull) return Tri::kNull;
+  return a == Tri::kTrue ? Tri::kFalse : Tri::kTrue;
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+std::string upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return s;
+}
+
+}  // namespace
+
+Value ExpressionEval::property(const Value& base, const std::string& prop) const {
+  if (base.is_null()) return Value::null();
+  const auto attr = g_.schema().find_attr(prop);
+  if (!attr.has_value()) return Value::null();
+  if (base.is_node()) {
+    const auto id = base.as_node().id;
+    if (!g_.has_node(id)) return Value::null();
+    if (auto v = g_.node(id).attrs.get(*attr)) return *v;
+    return Value::null();
+  }
+  if (base.is_edge()) {
+    const auto id = base.as_edge().id;
+    if (!g_.has_edge(id)) return Value::null();
+    if (auto v = g_.edge(id).attrs.get(*attr)) return *v;
+    return Value::null();
+  }
+  return Value::null();
+}
+
+Value ExpressionEval::eval(const Expr& e, const Record& rec) const {
+  switch (e.kind) {
+    case Expr::Kind::kLiteral:
+      return e.literal;
+    case Expr::Kind::kVariable: {
+      const auto slot = layout_.find(e.name);
+      if (!slot.has_value()) throw EvalError("unbound variable '" + e.name + "'");
+      return rec[*slot];
+    }
+    case Expr::Kind::kProperty:
+      return property(eval(*e.args[0], rec), e.name);
+    case Expr::Kind::kUnary: {
+      const Value a = eval(*e.args[0], rec);
+      switch (e.un_op) {
+        case UnOp::kNot:
+          return tri_value(tri_not(truth(a)));
+        case UnOp::kNeg:
+          if (a.is_int()) return Value(-a.as_int());
+          if (a.is_double()) return Value(-a.as_double());
+          return Value::null();
+        case UnOp::kIsNull:
+          return Value(a.is_null());
+        case UnOp::kIsNotNull:
+          return Value(!a.is_null());
+      }
+      return Value::null();
+    }
+    case Expr::Kind::kBinary:
+      return eval_binary(e, rec);
+    case Expr::Kind::kFunction:
+      return eval_function(e, rec);
+    case Expr::Kind::kList: {
+      graph::ValueArray arr;
+      arr.reserve(e.args.size());
+      for (const auto& a : e.args) arr.push_back(eval(*a, rec));
+      return Value(std::move(arr));
+    }
+    case Expr::Kind::kStar:
+      return Value(std::int64_t{1});  // count(*): every row counts once
+    case Expr::Kind::kParameter: {
+      if (params_ == nullptr)
+        throw EvalError("no parameters supplied for $" + e.name);
+      const auto it = params_->find(e.name);
+      if (it == params_->end())
+        throw EvalError("missing parameter $" + e.name);
+      return it->second;
+    }
+  }
+  return Value::null();
+}
+
+Value ExpressionEval::eval_binary(const Expr& e, const Record& rec) const {
+  // Short-circuiting three-valued logic first.
+  if (e.bin_op == BinOp::kAnd) {
+    const Tri a = truth(eval(*e.args[0], rec));
+    if (a == Tri::kFalse) return Value(false);
+    return tri_value(tri_and(a, truth(eval(*e.args[1], rec))));
+  }
+  if (e.bin_op == BinOp::kOr) {
+    const Tri a = truth(eval(*e.args[0], rec));
+    if (a == Tri::kTrue) return Value(true);
+    return tri_value(tri_or(a, truth(eval(*e.args[1], rec))));
+  }
+  if (e.bin_op == BinOp::kXor) {
+    return tri_value(tri_xor(truth(eval(*e.args[0], rec)),
+                             truth(eval(*e.args[1], rec))));
+  }
+
+  const Value a = eval(*e.args[0], rec);
+  const Value b = eval(*e.args[1], rec);
+  switch (e.bin_op) {
+    case BinOp::kEq: {
+      const auto c = Value::compare(a, b);
+      return c.has_value() ? Value(*c == 0) : Value::null();
+    }
+    case BinOp::kNeq: {
+      const auto c = Value::compare(a, b);
+      return c.has_value() ? Value(*c != 0) : Value::null();
+    }
+    case BinOp::kLt: {
+      const auto c = Value::compare(a, b);
+      return c.has_value() ? Value(*c < 0) : Value::null();
+    }
+    case BinOp::kLe: {
+      const auto c = Value::compare(a, b);
+      return c.has_value() ? Value(*c <= 0) : Value::null();
+    }
+    case BinOp::kGt: {
+      const auto c = Value::compare(a, b);
+      return c.has_value() ? Value(*c > 0) : Value::null();
+    }
+    case BinOp::kGe: {
+      const auto c = Value::compare(a, b);
+      return c.has_value() ? Value(*c >= 0) : Value::null();
+    }
+    case BinOp::kAdd:
+      return graph::value_add(a, b);
+    case BinOp::kSub:
+      return graph::value_sub(a, b);
+    case BinOp::kMul:
+      return graph::value_mul(a, b);
+    case BinOp::kDiv:
+      return graph::value_div(a, b);
+    case BinOp::kMod:
+      return graph::value_mod(a, b);
+    case BinOp::kPow: {
+      if (!a.is_numeric() || !b.is_numeric()) return Value::null();
+      return Value(std::pow(a.to_double(), b.to_double()));
+    }
+    case BinOp::kIn: {
+      if (a.is_null() || !b.is_array()) return Value::null();
+      bool saw_null = false;
+      for (const auto& item : b.as_array()) {
+        const auto c = Value::compare(a, item);
+        if (!c.has_value()) {
+          saw_null = true;
+        } else if (*c == 0) {
+          return Value(true);
+        }
+      }
+      return saw_null ? Value::null() : Value(false);
+    }
+    case BinOp::kStartsWith: {
+      if (!a.is_string() || !b.is_string()) return Value::null();
+      return Value(a.as_string().starts_with(b.as_string()));
+    }
+    case BinOp::kEndsWith: {
+      if (!a.is_string() || !b.is_string()) return Value::null();
+      return Value(a.as_string().ends_with(b.as_string()));
+    }
+    case BinOp::kContains: {
+      if (!a.is_string() || !b.is_string()) return Value::null();
+      return Value(a.as_string().find(b.as_string()) != std::string::npos);
+    }
+    default:
+      return Value::null();
+  }
+}
+
+Value ExpressionEval::eval_function(const Expr& e, const Record& rec) const {
+  const auto& fn = e.name;
+  auto arg = [&](std::size_t i) { return eval(*e.args[i], rec); };
+  const std::size_t n = e.args.size();
+  using cypher::keyword_eq;
+
+  if (keyword_eq(fn, "ID")) {
+    if (n != 1) throw EvalError("id() takes 1 argument");
+    const Value v = arg(0);
+    if (v.is_node()) return Value(static_cast<std::int64_t>(v.as_node().id));
+    if (v.is_edge()) return Value(static_cast<std::int64_t>(v.as_edge().id));
+    return Value::null();
+  }
+  if (keyword_eq(fn, "LABELS")) {
+    if (n != 1) throw EvalError("labels() takes 1 argument");
+    const Value v = arg(0);
+    if (!v.is_node() || !g_.has_node(v.as_node().id)) return Value::null();
+    graph::ValueArray out;
+    for (auto l : g_.node(v.as_node().id).labels)
+      out.push_back(Value(g_.schema().label_name(l)));
+    return Value(std::move(out));
+  }
+  if (keyword_eq(fn, "TYPE")) {
+    if (n != 1) throw EvalError("type() takes 1 argument");
+    const Value v = arg(0);
+    if (!v.is_edge() || !g_.has_edge(v.as_edge().id)) return Value::null();
+    return Value(g_.schema().reltype_name(g_.edge(v.as_edge().id).type));
+  }
+  if (keyword_eq(fn, "STARTNODE")) {
+    const Value v = arg(0);
+    if (!v.is_edge() || !g_.has_edge(v.as_edge().id)) return Value::null();
+    return Value(graph::NodeRef{g_.edge(v.as_edge().id).src});
+  }
+  if (keyword_eq(fn, "ENDNODE")) {
+    const Value v = arg(0);
+    if (!v.is_edge() || !g_.has_edge(v.as_edge().id)) return Value::null();
+    return Value(graph::NodeRef{g_.edge(v.as_edge().id).dst});
+  }
+  if (keyword_eq(fn, "COALESCE")) {
+    for (std::size_t i = 0; i < n; ++i) {
+      Value v = arg(i);
+      if (!v.is_null()) return v;
+    }
+    return Value::null();
+  }
+  if (keyword_eq(fn, "ABS")) {
+    const Value v = arg(0);
+    if (v.is_int()) return Value(std::abs(v.as_int()));
+    if (v.is_double()) return Value(std::abs(v.as_double()));
+    return Value::null();
+  }
+  if (keyword_eq(fn, "SQRT")) {
+    const Value v = arg(0);
+    if (!v.is_numeric() || v.to_double() < 0) return Value::null();
+    return Value(std::sqrt(v.to_double()));
+  }
+  if (keyword_eq(fn, "FLOOR")) {
+    const Value v = arg(0);
+    return v.is_numeric() ? Value(std::floor(v.to_double())) : Value::null();
+  }
+  if (keyword_eq(fn, "CEIL")) {
+    const Value v = arg(0);
+    return v.is_numeric() ? Value(std::ceil(v.to_double())) : Value::null();
+  }
+  if (keyword_eq(fn, "ROUND")) {
+    const Value v = arg(0);
+    return v.is_numeric() ? Value(std::round(v.to_double())) : Value::null();
+  }
+  if (keyword_eq(fn, "SIGN")) {
+    const Value v = arg(0);
+    if (!v.is_numeric()) return Value::null();
+    const double d = v.to_double();
+    return Value(std::int64_t{d > 0 ? 1 : (d < 0 ? -1 : 0)});
+  }
+  if (keyword_eq(fn, "TOUPPER")) {
+    const Value v = arg(0);
+    return v.is_string() ? Value(upper(v.as_string())) : Value::null();
+  }
+  if (keyword_eq(fn, "TOLOWER")) {
+    const Value v = arg(0);
+    return v.is_string() ? Value(lower(v.as_string())) : Value::null();
+  }
+  if (keyword_eq(fn, "TRIM")) {
+    const Value v = arg(0);
+    if (!v.is_string()) return Value::null();
+    std::string s = v.as_string();
+    const auto b = s.find_first_not_of(" \t\n\r");
+    const auto t = s.find_last_not_of(" \t\n\r");
+    if (b == std::string::npos) return Value(std::string());
+    return Value(s.substr(b, t - b + 1));
+  }
+  if (keyword_eq(fn, "SUBSTRING")) {
+    const Value v = arg(0);
+    if (!v.is_string() || n < 2) return Value::null();
+    const Value start = arg(1);
+    if (!start.is_int()) return Value::null();
+    const auto& s = v.as_string();
+    const auto b = static_cast<std::size_t>(std::max<std::int64_t>(0, start.as_int()));
+    if (b >= s.size()) return Value(std::string());
+    std::size_t len = std::string::npos;
+    if (n >= 3) {
+      const Value l = arg(2);
+      if (!l.is_int()) return Value::null();
+      len = static_cast<std::size_t>(std::max<std::int64_t>(0, l.as_int()));
+    }
+    return Value(s.substr(b, len));
+  }
+  if (keyword_eq(fn, "SIZE") || keyword_eq(fn, "LENGTH")) {
+    const Value v = arg(0);
+    if (v.is_string())
+      return Value(static_cast<std::int64_t>(v.as_string().size()));
+    if (v.is_array())
+      return Value(static_cast<std::int64_t>(v.as_array().size()));
+    return Value::null();
+  }
+  if (keyword_eq(fn, "HEAD")) {
+    const Value v = arg(0);
+    if (!v.is_array() || v.as_array().empty()) return Value::null();
+    return v.as_array().front();
+  }
+  if (keyword_eq(fn, "LAST")) {
+    const Value v = arg(0);
+    if (!v.is_array() || v.as_array().empty()) return Value::null();
+    return v.as_array().back();
+  }
+  if (keyword_eq(fn, "RANGE")) {
+    if (n < 2) throw EvalError("range() takes 2 or 3 arguments");
+    const Value lo = arg(0), hi = arg(1);
+    std::int64_t step = 1;
+    if (n >= 3) {
+      const Value s = arg(2);
+      if (!s.is_int() || s.as_int() == 0) return Value::null();
+      step = s.as_int();
+    }
+    if (!lo.is_int() || !hi.is_int()) return Value::null();
+    graph::ValueArray out;
+    if (step > 0)
+      for (std::int64_t x = lo.as_int(); x <= hi.as_int(); x += step)
+        out.push_back(Value(x));
+    else
+      for (std::int64_t x = lo.as_int(); x >= hi.as_int(); x += step)
+        out.push_back(Value(x));
+    return Value(std::move(out));
+  }
+  if (keyword_eq(fn, "TOINTEGER")) {
+    const Value v = arg(0);
+    if (v.is_int()) return v;
+    if (v.is_double()) return Value(static_cast<std::int64_t>(v.as_double()));
+    if (v.is_string()) {
+      try {
+        return Value(static_cast<std::int64_t>(std::stoll(v.as_string())));
+      } catch (...) {
+        return Value::null();
+      }
+    }
+    return Value::null();
+  }
+  if (keyword_eq(fn, "TOFLOAT")) {
+    const Value v = arg(0);
+    if (v.is_double()) return v;
+    if (v.is_int()) return Value(static_cast<double>(v.as_int()));
+    if (v.is_string()) {
+      try {
+        return Value(std::stod(v.as_string()));
+      } catch (...) {
+        return Value::null();
+      }
+    }
+    return Value::null();
+  }
+  if (keyword_eq(fn, "TOSTRING")) {
+    const Value v = arg(0);
+    if (v.is_string()) return v;
+    if (v.is_null()) return Value::null();
+    return Value(v.to_string());
+  }
+  if (cypher::is_aggregate_function(fn))
+    throw EvalError("aggregate function '" + fn +
+                    "' in a non-aggregating position");
+  throw EvalError("unknown function '" + fn + "'");
+}
+
+}  // namespace rg::exec

@@ -1,0 +1,48 @@
+// Expression evaluation over records: Cypher semantics including
+// three-valued logic, null propagation, property access on node/edge
+// references, and the scalar function library.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "cypher/ast.hpp"
+#include "exec/record.hpp"
+#include "graph/graph.hpp"
+
+namespace rg::exec {
+
+/// Raised for unbound variables / unknown functions (query-fatal).
+class EvalError : public std::runtime_error {
+ public:
+  explicit EvalError(const std::string& what)
+      : std::runtime_error("evaluation error: " + what) {}
+};
+
+/// Query parameters ($name bindings supplied with the query text).
+using ParamMap = std::map<std::string, graph::Value>;
+
+/// Evaluator bound to a graph, a record layout and query parameters.
+class ExpressionEval {
+ public:
+  ExpressionEval(const graph::Graph& g, const RecordLayout& layout,
+                 const ParamMap* params = nullptr)
+      : g_(g), layout_(layout), params_(params) {}
+
+  /// Evaluate `e` against `rec`.  Aggregate function calls must not
+  /// appear (the Aggregate operator strips them first).
+  graph::Value eval(const cypher::Expr& e, const Record& rec) const;
+
+  /// Property lookup on an entity value (null for missing/non-entity).
+  graph::Value property(const graph::Value& base, const std::string& prop) const;
+
+ private:
+  graph::Value eval_binary(const cypher::Expr& e, const Record& rec) const;
+  graph::Value eval_function(const cypher::Expr& e, const Record& rec) const;
+
+  const graph::Graph& g_;
+  const RecordLayout& layout_;
+  const ParamMap* params_ = nullptr;
+};
+
+}  // namespace rg::exec

@@ -1,0 +1,566 @@
+// Physical query operators (volcano / iterator model), mirroring
+// RedisGraph's execution-plan operations:
+//
+//   AllNodeScan, LabelScan, IndexScan        — tuple sources
+//   ConditionalTraverse                      — one-hop expansion compiled
+//       to GraphBLAS: batches input records into a frontier matrix and
+//       multiplies it against the relation matrix (any/pair semiring)
+//   VarLenTraverse                           — [*min..max] expansion as a
+//       masked-BFS over the relation matrices
+//   ExpandInto                               — close a cycle between two
+//       bound endpoints
+//   Filter, LabelFilter, Project, Aggregate, Sort, Skip, Limit, Distinct,
+//   Unwind, Optional                         — relational operators
+//   Create, Delete, SetProperty, CreateIndex — mutation operators
+//   Results                                  — materializes the ResultSet
+//
+// Every operator reports rows-produced and self-time for GRAPH.PROFILE.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cypher/ast.hpp"
+#include "exec/aggregate.hpp"
+#include "exec/expression_eval.hpp"
+#include "exec/record.hpp"
+#include "exec/result_set.hpp"
+#include "graph/graph.hpp"
+
+namespace rg::exec {
+
+/// Shared execution state: the graph, the (single, global) record layout
+/// and the mutation statistics.
+struct ExecContext {
+  graph::Graph* g = nullptr;
+  RecordLayout layout;
+  QueryStats stats;
+  /// ConditionalTraverse batch width (1 disables mxm batching — ablation).
+  std::size_t traverse_batch = 64;
+  /// Destination for the Results operator; set by ExecutionPlan::run().
+  ResultSet* results = nullptr;
+  /// Query parameters ($name), fixed at plan time.
+  ParamMap params;
+};
+
+/// Base operator.  Subclasses implement next(); reset() restarts.
+class Operator {
+ public:
+  explicit Operator(ExecContext* ctx) : ctx_(ctx) {}
+  virtual ~Operator() = default;
+  Operator(const Operator&) = delete;
+  Operator& operator=(const Operator&) = delete;
+
+  /// Produce the next record into `out`; false = exhausted.
+  bool next(Record& out);
+
+  /// Restart iteration from scratch.
+  virtual void reset();
+
+  virtual std::string name() const = 0;
+  virtual std::string detail() const { return ""; }
+
+  void add_child(std::unique_ptr<Operator> c) { children_.push_back(std::move(c)); }
+  std::size_t child_count() const { return children_.size(); }
+  Operator& child(std::size_t i) { return *children_[i]; }
+  const Operator& child(std::size_t i) const { return *children_[i]; }
+
+  std::uint64_t rows_produced() const { return rows_; }
+  double self_ms() const;
+
+ protected:
+  virtual bool produce(Record& out) = 0;
+  Record fresh_record() const { return Record(ctx_->layout.size()); }
+
+  ExecContext* ctx_;
+  std::vector<std::unique_ptr<Operator>> children_;
+  std::uint64_t rows_ = 0;
+  double total_ms_ = 0.0;
+};
+
+// --------------------------------------------------------------------------
+// Scans
+// --------------------------------------------------------------------------
+
+/// Iterate every live node.  With a child, performs a nested-loop cross
+/// product (re-scans per upstream record).
+class AllNodeScan : public Operator {
+ public:
+  AllNodeScan(ExecContext* ctx, std::size_t slot);
+  std::string name() const override { return "AllNodeScan"; }
+  std::string detail() const override;
+  void reset() override;
+
+ protected:
+  bool produce(Record& out) override;
+
+ private:
+  bool advance_input();
+  std::size_t slot_;
+  graph::NodeId cursor_ = 0;
+  Record input_;
+  bool input_valid_ = false;
+  bool input_done_ = false;
+};
+
+/// Iterate nodes carrying a label.
+class LabelScan : public Operator {
+ public:
+  LabelScan(ExecContext* ctx, std::size_t slot, graph::LabelId label,
+            std::string label_name);
+  std::string name() const override { return "NodeByLabelScan"; }
+  std::string detail() const override { return label_name_; }
+  void reset() override;
+
+ protected:
+  bool produce(Record& out) override;
+
+ private:
+  bool advance_input();
+  std::size_t slot_;
+  graph::LabelId label_;
+  std::string label_name_;
+  std::vector<graph::NodeId> ids_;
+  std::size_t cursor_ = 0;
+  bool ids_loaded_ = false;
+  Record input_;
+  bool input_valid_ = false;
+  bool input_done_ = false;
+};
+
+/// Equality index scan: nodes with label whose attr equals the evaluated
+/// expression (re-evaluated per upstream record, enabling index joins).
+class IndexScan : public Operator {
+ public:
+  IndexScan(ExecContext* ctx, std::size_t slot, graph::LabelId label,
+            graph::AttrId attr, cypher::ExprPtr value, std::string describe);
+  std::string name() const override { return "IndexScan"; }
+  std::string detail() const override { return describe_; }
+  void reset() override;
+
+ protected:
+  bool produce(Record& out) override;
+
+ private:
+  bool advance_input();
+  std::size_t slot_;
+  graph::LabelId label_;
+  graph::AttrId attr_;
+  cypher::ExprPtr value_;
+  std::string describe_;
+  std::vector<graph::NodeId> ids_;
+  std::size_t cursor_ = 0;
+  Record input_;
+  bool input_valid_ = false;
+  bool input_done_ = false;
+};
+
+/// Direct node-id seek (WHERE id(n) = <expr>), RedisGraph's NodeByIdSeek.
+class NodeByIdSeek : public Operator {
+ public:
+  NodeByIdSeek(ExecContext* ctx, std::size_t slot, cypher::ExprPtr id_expr);
+  std::string name() const override { return "NodeByIdSeek"; }
+  std::string detail() const override;
+  void reset() override;
+
+ protected:
+  bool produce(Record& out) override;
+
+ private:
+  std::size_t slot_;
+  cypher::ExprPtr id_expr_;
+  Record input_;
+  bool input_done_ = false;
+  bool emitted_for_input_ = true;
+};
+
+// --------------------------------------------------------------------------
+// Traversals
+// --------------------------------------------------------------------------
+
+/// Relationship-type set + direction resolved at plan time.
+struct TraverseSpec {
+  std::vector<graph::RelTypeId> types;  // empty = any type
+  cypher::RelDirection direction = cypher::RelDirection::kLeftToRight;
+  std::string describe;
+};
+
+/// One-hop traverse: for each input record with `src_slot` bound, bind
+/// `dst_slot` (and optionally `edge_slot`) for every matching edge.
+///
+/// Batches up to ctx->traverse_batch input records into a boolean
+/// frontier matrix F and computes F ⊕.⊗ R with the any/pair semiring —
+/// RedisGraph's ConditionalTraverse.  batch size 1 falls back to row
+/// iteration (the ablation baseline).
+class ConditionalTraverse : public Operator {
+ public:
+  ConditionalTraverse(ExecContext* ctx, std::size_t src_slot,
+                      std::size_t dst_slot,
+                      std::optional<std::size_t> edge_slot, TraverseSpec spec);
+  std::string name() const override { return "ConditionalTraverse"; }
+  std::string detail() const override { return spec_.describe; }
+  void reset() override;
+
+ protected:
+  bool produce(Record& out) override;
+
+ private:
+  bool refill();
+  void expand_batch();
+  /// Append matches of `rec` with src bound to `node` into out_.
+  void emit_neighbors(const Record& rec, graph::NodeId src,
+                      const std::vector<graph::NodeId>& dsts);
+  std::vector<graph::NodeId> neighbors_of(graph::NodeId src) const;
+
+  std::size_t src_slot_, dst_slot_;
+  std::optional<std::size_t> edge_slot_;
+  TraverseSpec spec_;
+  std::deque<Record> out_;
+  bool child_done_ = false;
+};
+
+/// Variable-length traverse [*min..max]: BFS over the union of the
+/// spec's relation matrices; emits each endpoint at distance in
+/// [min, max] exactly once per input record (neighborhood semantics —
+/// see DESIGN.md on trail-multiplicity divergence).
+class VarLenTraverse : public Operator {
+ public:
+  VarLenTraverse(ExecContext* ctx, std::size_t src_slot, std::size_t dst_slot,
+                 TraverseSpec spec, unsigned min_hops,
+                 std::optional<unsigned> max_hops);
+  std::string name() const override { return "VarLenTraverse"; }
+  std::string detail() const override;
+  void reset() override;
+
+ protected:
+  bool produce(Record& out) override;
+
+ private:
+  void run_bfs(graph::NodeId src);
+  std::size_t src_slot_, dst_slot_;
+  TraverseSpec spec_;
+  unsigned min_hops_;
+  std::optional<unsigned> max_hops_;
+  Record input_;
+  bool input_valid_ = false;
+  std::vector<graph::NodeId> reached_;
+  std::size_t cursor_ = 0;
+  // scratch
+  std::vector<std::uint8_t> visited_;
+  std::vector<graph::NodeId> frontier_, next_;
+};
+
+/// Both endpoints bound: emit one record per edge connecting them.
+class ExpandInto : public Operator {
+ public:
+  ExpandInto(ExecContext* ctx, std::size_t src_slot, std::size_t dst_slot,
+             std::optional<std::size_t> edge_slot, TraverseSpec spec);
+  std::string name() const override { return "ExpandInto"; }
+  std::string detail() const override { return spec_.describe; }
+  void reset() override;
+
+ protected:
+  bool produce(Record& out) override;
+
+ private:
+  std::size_t src_slot_, dst_slot_;
+  std::optional<std::size_t> edge_slot_;
+  TraverseSpec spec_;
+  Record input_;
+  std::vector<graph::EdgeId> edges_;
+  std::size_t cursor_ = 0;
+};
+
+// --------------------------------------------------------------------------
+// Relational operators
+// --------------------------------------------------------------------------
+
+/// Keep records where the predicate is Cypher-true.
+class Filter : public Operator {
+ public:
+  Filter(ExecContext* ctx, cypher::ExprPtr pred);
+  std::string name() const override { return "Filter"; }
+  void reset() override { Operator::reset(); }
+
+ protected:
+  bool produce(Record& out) override;
+
+ private:
+  cypher::ExprPtr pred_;
+};
+
+/// Keep records whose node at `slot` carries all the labels.
+class LabelFilter : public Operator {
+ public:
+  LabelFilter(ExecContext* ctx, std::size_t slot,
+              std::vector<graph::LabelId> labels, std::string describe);
+  std::string name() const override { return "LabelFilter"; }
+  std::string detail() const override { return describe_; }
+
+ protected:
+  bool produce(Record& out) override;
+
+ private:
+  std::size_t slot_;
+  std::vector<graph::LabelId> labels_;
+  std::string describe_;
+};
+
+/// Evaluate projection expressions into alias slots (non-aggregating).
+class Project : public Operator {
+ public:
+  struct Item {
+    cypher::ExprPtr expr;
+    std::size_t slot;
+  };
+  Project(ExecContext* ctx, std::vector<Item> items);
+  std::string name() const override { return "Project"; }
+
+ protected:
+  bool produce(Record& out) override;
+
+ private:
+  std::vector<Item> items_;
+};
+
+/// Hash-group aggregation: group keys are the non-aggregate projections.
+class Aggregate : public Operator {
+ public:
+  struct KeyItem {
+    cypher::ExprPtr expr;
+    std::size_t slot;
+  };
+  struct AggItem {
+    Aggregator::Kind kind;
+    bool distinct;
+    cypher::ExprPtr arg;  // null for count(*)
+    std::size_t slot;
+  };
+  Aggregate(ExecContext* ctx, std::vector<KeyItem> keys,
+            std::vector<AggItem> aggs);
+  std::string name() const override { return "Aggregate"; }
+  void reset() override;
+
+ protected:
+  bool produce(Record& out) override;
+
+ private:
+  void consume_all();
+  std::vector<KeyItem> keys_;
+  std::vector<AggItem> aggs_;
+  bool materialized_ = false;
+  std::vector<Record> groups_out_;
+  std::size_t cursor_ = 0;
+};
+
+/// Stable sort on ORDER BY expressions (materializing).
+class Sort : public Operator {
+ public:
+  struct Item {
+    cypher::ExprPtr expr;
+    bool ascending;
+  };
+  Sort(ExecContext* ctx, std::vector<Item> items);
+  std::string name() const override { return "Sort"; }
+  void reset() override;
+
+ protected:
+  bool produce(Record& out) override;
+
+ private:
+  std::vector<Item> items_;
+  bool materialized_ = false;
+  std::vector<Record> rows_out_;
+  std::size_t cursor_ = 0;
+};
+
+/// Skip the first n records.
+class Skip : public Operator {
+ public:
+  Skip(ExecContext* ctx, std::uint64_t n);
+  std::string name() const override { return "Skip"; }
+  void reset() override;
+
+ protected:
+  bool produce(Record& out) override;
+
+ private:
+  std::uint64_t n_, seen_ = 0;
+};
+
+/// Stop after n records.
+class Limit : public Operator {
+ public:
+  Limit(ExecContext* ctx, std::uint64_t n);
+  std::string name() const override { return "Limit"; }
+  void reset() override;
+
+ protected:
+  bool produce(Record& out) override;
+
+ private:
+  std::uint64_t n_, emitted_ = 0;
+};
+
+/// Deduplicate on a set of slots.
+class Distinct : public Operator {
+ public:
+  Distinct(ExecContext* ctx, std::vector<std::size_t> slots);
+  std::string name() const override { return "Distinct"; }
+  void reset() override;
+
+ protected:
+  bool produce(Record& out) override;
+
+ private:
+  std::vector<std::size_t> slots_;
+  std::vector<std::vector<graph::Value>> seen_;  // sorted keys
+};
+
+/// UNWIND list AS x.
+class Unwind : public Operator {
+ public:
+  Unwind(ExecContext* ctx, cypher::ExprPtr list, std::size_t slot);
+  std::string name() const override { return "Unwind"; }
+  void reset() override;
+
+ protected:
+  bool produce(Record& out) override;
+
+ private:
+  cypher::ExprPtr list_;
+  std::size_t slot_;
+  Record input_;
+  bool input_valid_ = false;
+  bool no_child_done_ = false;
+  graph::ValueArray current_;
+  std::size_t cursor_ = 0;
+};
+
+/// OPTIONAL MATCH (leading-clause form): if the child yields no records
+/// at all, emit a single all-null record.
+class Optional : public Operator {
+ public:
+  explicit Optional(ExecContext* ctx);
+  std::string name() const override { return "Optional"; }
+  void reset() override;
+
+ protected:
+  bool produce(Record& out) override;
+
+ private:
+  bool any_ = false;
+  bool emitted_null_ = false;
+};
+
+// --------------------------------------------------------------------------
+// Mutations
+// --------------------------------------------------------------------------
+
+/// CREATE pattern(s): creates nodes/edges per input record (or once).
+class Create : public Operator {
+ public:
+  Create(ExecContext* ctx, std::vector<cypher::PatternPath> paths);
+  std::string name() const override { return "Create"; }
+  void reset() override;
+
+ protected:
+  bool produce(Record& out) override;
+
+ private:
+  void create_for(Record& rec);
+  std::vector<cypher::PatternPath> paths_;
+  bool done_once_ = false;
+};
+
+/// MERGE pattern (standalone-clause form): emits the pattern's matches
+/// if any exist, otherwise creates the pattern once and emits it.  The
+/// match attempt is the operator's first child (a scan/traverse subtree
+/// built by the planner); creation reuses the Create operator logic.
+class Merge : public Operator {
+ public:
+  Merge(ExecContext* ctx, std::vector<cypher::PatternPath> create_paths);
+  std::string name() const override { return "Merge"; }
+  void reset() override;
+
+ protected:
+  bool produce(Record& out) override;
+
+ private:
+  std::vector<cypher::PatternPath> paths_;
+  bool any_match_ = false;
+  bool created_ = false;
+};
+
+/// DELETE / DETACH DELETE: drains its child, then deletes.
+class Delete : public Operator {
+ public:
+  Delete(ExecContext* ctx, std::vector<cypher::ExprPtr> targets, bool detach);
+  std::string name() const override { return "Delete"; }
+  void reset() override;
+
+ protected:
+  bool produce(Record& out) override;
+
+ private:
+  std::vector<cypher::ExprPtr> targets_;
+  bool detach_;
+  bool done_ = false;
+};
+
+/// SET var.prop = expr, ...
+class SetProperty : public Operator {
+ public:
+  SetProperty(ExecContext* ctx, std::vector<cypher::SetItem> items);
+  std::string name() const override { return "SetProperty"; }
+
+ protected:
+  bool produce(Record& out) override;
+
+ private:
+  std::vector<cypher::SetItem> items_;
+};
+
+/// CREATE INDEX ON :Label(attr).
+class CreateIndexOp : public Operator {
+ public:
+  CreateIndexOp(ExecContext* ctx, std::string label, std::string attr);
+  std::string name() const override { return "CreateIndex"; }
+  std::string detail() const override { return ":" + label_ + "(" + attr_ + ")"; }
+  void reset() override;
+
+ protected:
+  bool produce(Record& out) override;
+
+ private:
+  std::string label_, attr_;
+  bool done_ = false;
+};
+
+// --------------------------------------------------------------------------
+// Results
+// --------------------------------------------------------------------------
+
+/// Copies projection slots into ctx->results.
+class Results : public Operator {
+ public:
+  struct Column {
+    std::string name;
+    std::size_t slot;
+  };
+  Results(ExecContext* ctx, std::vector<Column> cols);
+  std::string name() const override { return "Results"; }
+  void reset() override;
+
+ protected:
+  bool produce(Record& out) override;
+
+ private:
+  std::vector<Column> cols_;
+};
+
+}  // namespace rg::exec

@@ -1,0 +1,44 @@
+// Convenience one-shot query API: parse + plan + run.
+#pragma once
+
+#include <string_view>
+
+#include "cypher/parser.hpp"
+#include "exec/execution_plan.hpp"
+#include "exec/result_set.hpp"
+#include "graph/graph.hpp"
+
+namespace rg::exec {
+
+/// Parse, plan and execute `text` against `g`.
+inline ResultSet query(graph::Graph& g, std::string_view text,
+                       std::size_t traverse_batch = 64, ParamMap params = {}) {
+  const cypher::Query ast = cypher::parse(text);
+  ExecutionPlan plan(g, ast, traverse_batch, std::move(params));
+  ResultSet out;
+  plan.run(out);
+  return out;
+}
+
+/// Parameterized convenience: query(g, text, {{"name", Value(1)}}).
+inline ResultSet query_params(graph::Graph& g, std::string_view text,
+                              ParamMap params) {
+  return query(g, text, 64, std::move(params));
+}
+
+/// EXPLAIN: parse + plan, return the operator tree rendering.
+inline std::string explain(graph::Graph& g, std::string_view text) {
+  const cypher::Query ast = cypher::parse(text);
+  ExecutionPlan plan(g, ast);
+  return plan.explain();
+}
+
+/// PROFILE: run and return the tree annotated with per-op counters.
+inline std::string profile(graph::Graph& g, std::string_view text,
+                           ResultSet& out) {
+  const cypher::Query ast = cypher::parse(text);
+  ExecutionPlan plan(g, ast);
+  return plan.profile(out);
+}
+
+}  // namespace rg::exec

@@ -1,0 +1,65 @@
+// Record — one row of bound variables flowing through the operator tree
+// (volcano model), plus the layout mapping variable names to slots.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/value.hpp"
+
+namespace rg::exec {
+
+/// Maps variable names to record slots.  Built once at plan time; shared
+/// by every operator in the plan.
+class RecordLayout {
+ public:
+  /// Slot for `name`, creating it if new.
+  std::size_t get_or_add(const std::string& name) {
+    const auto it = slots_.find(name);
+    if (it != slots_.end()) return it->second;
+    const std::size_t slot = names_.size();
+    slots_.emplace(name, slot);
+    names_.push_back(name);
+    return slot;
+  }
+
+  /// Slot for `name`, or nullopt if unbound.
+  std::optional<std::size_t> find(const std::string& name) const {
+    const auto it = slots_.find(name);
+    if (it == slots_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  std::size_t size() const { return names_.size(); }
+  const std::string& name(std::size_t slot) const { return names_[slot]; }
+
+ private:
+  std::unordered_map<std::string, std::size_t> slots_;
+  std::vector<std::string> names_;
+};
+
+/// A row: one Value per layout slot (null when unbound).
+class Record {
+ public:
+  Record() = default;
+  explicit Record(std::size_t nslots) : vals_(nslots) {}
+
+  graph::Value& operator[](std::size_t slot) {
+    assert(slot < vals_.size());
+    return vals_[slot];
+  }
+  const graph::Value& operator[](std::size_t slot) const {
+    assert(slot < vals_.size());
+    return vals_[slot];
+  }
+
+  std::size_t size() const { return vals_.size(); }
+
+ private:
+  std::vector<graph::Value> vals_;
+};
+
+}  // namespace rg::exec

@@ -1,0 +1,64 @@
+// ResultSet — column headers, value rows, and mutation statistics
+// returned by GRAPH.QUERY (mirrors RedisGraph's reply structure).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/value.hpp"
+
+namespace rg::exec {
+
+struct QueryStats {
+  std::uint64_t nodes_created = 0;
+  std::uint64_t edges_created = 0;
+  std::uint64_t nodes_deleted = 0;
+  std::uint64_t edges_deleted = 0;
+  std::uint64_t properties_set = 0;
+  std::uint64_t labels_added = 0;
+  std::uint64_t indexes_created = 0;
+  double execution_ms = 0.0;
+};
+
+class ResultSet {
+ public:
+  std::vector<std::string> columns;
+  std::vector<std::vector<graph::Value>> rows;
+  QueryStats stats;
+
+  std::size_t row_count() const { return rows.size(); }
+  bool empty() const { return rows.empty(); }
+
+  /// Render as an ASCII table plus the statistics footer.
+  std::string to_string() const {
+    std::string out;
+    if (!columns.empty()) {
+      for (std::size_t c = 0; c < columns.size(); ++c) {
+        if (c) out += " | ";
+        out += columns[c];
+      }
+      out += "\n";
+      for (const auto& row : rows) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+          if (c) out += " | ";
+          out += row[c].to_string();
+        }
+        out += "\n";
+      }
+    }
+    auto stat = [&](std::uint64_t v, const char* label) {
+      if (v) out += std::string(label) + ": " + std::to_string(v) + "\n";
+    };
+    stat(stats.nodes_created, "Nodes created");
+    stat(stats.edges_created, "Relationships created");
+    stat(stats.nodes_deleted, "Nodes deleted");
+    stat(stats.edges_deleted, "Relationships deleted");
+    stat(stats.properties_set, "Properties set");
+    stat(stats.labels_added, "Labels added");
+    stat(stats.indexes_created, "Indices created");
+    return out;
+  }
+};
+
+}  // namespace rg::exec

@@ -1,0 +1,82 @@
+// Graph entities: attribute sets, nodes and edges, stored in datablocks.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/schema.hpp"
+#include "graph/value.hpp"
+
+namespace rg::graph {
+
+using NodeId = std::uint64_t;
+using EdgeId = std::uint64_t;
+
+/// Small sorted association list attr-id -> Value (RedisGraph's
+/// AttributeSet).  Entities typically carry a handful of attributes, so
+/// a sorted vector beats a hash map on both memory and lookup cost.
+class AttributeSet {
+ public:
+  /// Value for `key`, or nullopt.  (Cypher: missing attribute = null.)
+  std::optional<Value> get(AttrId key) const {
+    const auto it = find(key);
+    if (it == kv_.end() || it->first != key) return std::nullopt;
+    return it->second;
+  }
+
+  /// Set / overwrite `key`.  Setting null removes the attribute
+  /// (Cypher SET n.x = null semantics).
+  void set(AttrId key, Value v) {
+    const auto it = find(key);
+    if (v.is_null()) {
+      if (it != kv_.end() && it->first == key) kv_.erase(it);
+      return;
+    }
+    if (it != kv_.end() && it->first == key) {
+      it->second = std::move(v);
+    } else {
+      kv_.insert(it, {key, std::move(v)});
+    }
+  }
+
+  std::size_t size() const { return kv_.size(); }
+  bool empty() const { return kv_.empty(); }
+
+  /// Iterate (attr-id, value) pairs in id order.
+  auto begin() const { return kv_.begin(); }
+  auto end() const { return kv_.end(); }
+
+ private:
+  using Pair = std::pair<AttrId, Value>;
+  std::vector<Pair>::iterator find(AttrId key) {
+    return std::lower_bound(kv_.begin(), kv_.end(), key,
+                            [](const Pair& p, AttrId k) { return p.first < k; });
+  }
+  std::vector<Pair>::const_iterator find(AttrId key) const {
+    return std::lower_bound(kv_.begin(), kv_.end(), key,
+                            [](const Pair& p, AttrId k) { return p.first < k; });
+  }
+  std::vector<Pair> kv_;
+};
+
+/// Node payload: labels + attributes.
+struct NodeEntity {
+  std::vector<LabelId> labels;  // sorted
+  AttributeSet attrs;
+
+  bool has_label(LabelId l) const {
+    return std::binary_search(labels.begin(), labels.end(), l);
+  }
+};
+
+/// Edge payload: endpoints, type, attributes.
+struct EdgeEntity {
+  NodeId src = 0;
+  NodeId dst = 0;
+  RelTypeId type = kInvalidRelType;
+  AttributeSet attrs;
+};
+
+}  // namespace rg::graph

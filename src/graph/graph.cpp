@@ -1,0 +1,290 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rg::graph {
+
+Graph::Graph(gb::Index initial_capacity)
+    : capacity_(std::max<gb::Index>(16, initial_capacity)),
+      adj_(capacity_, capacity_),
+      adj_t_(capacity_, capacity_) {}
+
+void Graph::ensure_capacity(gb::Index need) {
+  if (need <= capacity_) return;
+  gb::Index cap = capacity_;
+  while (cap < need) cap *= 2;
+  adj_.resize(cap, cap);
+  adj_t_.resize(cap, cap);
+  for (auto& r : rels_) {
+    r.m.resize(cap, cap);
+    r.mt.resize(cap, cap);
+  }
+  for (auto& l : labels_) l.resize(cap, cap);
+  capacity_ = cap;
+}
+
+gb::Matrix<gb::Bool>& Graph::rel_mut(RelTypeId t) {
+  while (rels_.size() <= t) {
+    rels_.emplace_back();
+    rels_.back().m = gb::Matrix<gb::Bool>(capacity_, capacity_);
+    rels_.back().mt = gb::Matrix<gb::Bool>(capacity_, capacity_);
+  }
+  return rels_[t].m;
+}
+
+gb::Matrix<gb::Bool>& Graph::label_mut(LabelId l) {
+  while (labels_.size() <= l)
+    labels_.emplace_back(capacity_, capacity_);
+  return labels_[l];
+}
+
+NodeId Graph::add_node(const std::vector<LabelId>& labels, AttributeSet attrs) {
+  NodeEntity ent;
+  ent.labels = labels;
+  std::sort(ent.labels.begin(), ent.labels.end());
+  ent.labels.erase(std::unique(ent.labels.begin(), ent.labels.end()),
+                   ent.labels.end());
+  ent.attrs = std::move(attrs);
+  const NodeId id = nodes_.emplace(std::move(ent));
+  ensure_capacity(id + 1);
+  const NodeEntity& stored = nodes_[id];
+  for (LabelId l : stored.labels) label_mut(l).set_element(id, id, 1);
+  // Index maintenance.
+  for (LabelId l : stored.labels) {
+    for (auto& [key, idx] : indexes_) {
+      if (key.first != l) continue;
+      if (auto v = stored.attrs.get(key.second)) idx.insert(*v, id);
+    }
+  }
+  return id;
+}
+
+EdgeId Graph::add_edge(RelTypeId type, NodeId src, NodeId dst,
+                       AttributeSet attrs) {
+  assert(nodes_.contains(src) && nodes_.contains(dst));
+  EdgeEntity ent;
+  ent.src = src;
+  ent.dst = dst;
+  ent.type = type;
+  ent.attrs = std::move(attrs);
+  const EdgeId id = edges_.emplace(std::move(ent));
+
+  rel_mut(type).set_element(src, dst, 1);
+  rels_[type].mt.set_element(dst, src, 1);
+  rels_[type].t_stale = false;  // maintained incrementally
+  rels_[type].edge_ids[pair_key(src, dst)].push_back(id);
+  adj_.set_element(src, dst, 1);
+  adj_t_.set_element(dst, src, 1);
+  adj_t_stale_ = false;
+  return id;
+}
+
+void Graph::delete_edge(EdgeId e) {
+  assert(edges_.contains(e));
+  const EdgeEntity ent = edges_[e];
+  edges_.erase(e);
+
+  auto& rm = rels_[ent.type];
+  auto& ids = rm.edge_ids[pair_key(ent.src, ent.dst)];
+  ids.erase(std::remove(ids.begin(), ids.end(), e), ids.end());
+  if (ids.empty()) {
+    rm.edge_ids.erase(pair_key(ent.src, ent.dst));
+    rm.m.remove_element(ent.src, ent.dst);
+    rm.mt.remove_element(ent.dst, ent.src);
+    // The adjacency union loses the entry only if no other type connects
+    // the pair.
+    bool other = false;
+    for (RelTypeId t = 0; t < rels_.size() && !other; ++t) {
+      if (t == ent.type) continue;
+      other = rels_[t].edge_ids.count(pair_key(ent.src, ent.dst)) > 0;
+    }
+    if (!other) {
+      adj_.remove_element(ent.src, ent.dst);
+      adj_t_.remove_element(ent.dst, ent.src);
+    }
+  }
+}
+
+std::size_t Graph::delete_node(NodeId n) {
+  assert(nodes_.contains(n));
+  // Collect incident edges (both directions, all types).
+  std::vector<EdgeId> incident;
+  edges_.for_each([&](EdgeId id, const EdgeEntity& e) {
+    if (e.src == n || e.dst == n) incident.push_back(id);
+  });
+  for (EdgeId e : incident) delete_edge(e);
+  const NodeEntity& ent = nodes_[n];
+  for (LabelId l : ent.labels) labels_[l].remove_element(n, n);
+  for (LabelId l : ent.labels) {
+    for (auto& [key, idx] : indexes_) {
+      if (key.first != l) continue;
+      if (auto v = ent.attrs.get(key.second)) idx.remove(*v, n);
+    }
+  }
+  nodes_.erase(n);
+  return incident.size();
+}
+
+void Graph::add_node_label(NodeId n, LabelId l) {
+  assert(nodes_.contains(n));
+  auto& ent = nodes_[n];
+  if (ent.has_label(l)) return;
+  ent.labels.insert(
+      std::lower_bound(ent.labels.begin(), ent.labels.end(), l), l);
+  label_mut(l).set_element(n, n, 1);
+  for (auto& [key, idx] : indexes_) {
+    if (key.first != l) continue;
+    if (auto v = ent.attrs.get(key.second)) idx.insert(*v, n);
+  }
+}
+
+void Graph::set_node_attr(NodeId n, AttrId key, Value v) {
+  assert(nodes_.contains(n));
+  auto& ent = nodes_[n];
+  // Index maintenance: retire the old value, index the new one.
+  for (LabelId l : ent.labels) {
+    const auto it = indexes_.find({l, key});
+    if (it == indexes_.end()) continue;
+    if (auto old = ent.attrs.get(key)) it->second.remove(*old, n);
+    if (!v.is_null()) it->second.insert(v, n);
+  }
+  ent.attrs.set(key, std::move(v));
+}
+
+void Graph::create_index(LabelId label, AttrId attr) {
+  const auto key = std::make_pair(label, attr);
+  if (indexes_.contains(key)) return;
+  auto [it, inserted] = indexes_.emplace(key, AttributeIndex(label, attr));
+  AttributeIndex& idx = it->second;
+  nodes_.for_each([&](NodeId id, const NodeEntity& ent) {
+    if (!ent.has_label(label)) return;
+    if (auto v = ent.attrs.get(attr)) idx.insert(*v, id);
+  });
+}
+
+bool Graph::drop_index(LabelId label, AttrId attr) {
+  return indexes_.erase({label, attr}) > 0;
+}
+
+const AttributeIndex* Graph::find_index(LabelId label, AttrId attr) const {
+  const auto it = indexes_.find({label, attr});
+  return it == indexes_.end() ? nullptr : &it->second;
+}
+
+void Graph::set_edge_attr(EdgeId e, AttrId key, Value v) {
+  assert(edges_.contains(e));
+  edges_[e].attrs.set(key, std::move(v));
+}
+
+void Graph::restore_node(NodeId id, std::vector<LabelId> labels,
+                         AttributeSet attrs) {
+  NodeEntity ent;
+  std::sort(labels.begin(), labels.end());
+  labels.erase(std::unique(labels.begin(), labels.end()), labels.end());
+  ent.labels = std::move(labels);
+  ent.attrs = std::move(attrs);
+  nodes_.emplace_at(id, std::move(ent));
+  ensure_capacity(id + 1);
+  for (LabelId l : nodes_[id].labels) label_mut(l).set_element(id, id, 1);
+}
+
+void Graph::restore_edge(EdgeId id, RelTypeId type, NodeId src, NodeId dst,
+                         AttributeSet attrs) {
+  assert(nodes_.contains(src) && nodes_.contains(dst));
+  EdgeEntity ent;
+  ent.src = src;
+  ent.dst = dst;
+  ent.type = type;
+  ent.attrs = std::move(attrs);
+  edges_.emplace_at(id, std::move(ent));
+  rel_mut(type).set_element(src, dst, 1);
+  rels_[type].mt.set_element(dst, src, 1);
+  rels_[type].t_stale = false;
+  rels_[type].edge_ids[pair_key(src, dst)].push_back(id);
+  adj_.set_element(src, dst, 1);
+  adj_t_.set_element(dst, src, 1);
+  adj_t_stale_ = false;
+}
+
+void Graph::finish_restore() {
+  nodes_.rebuild_free_list();
+  edges_.rebuild_free_list();
+  flush();
+}
+
+std::vector<EdgeId> Graph::edges_between(NodeId src, NodeId dst,
+                                         RelTypeId type) const {
+  std::vector<EdgeId> out;
+  auto collect = [&](const RelMatrices& rm) {
+    const auto it = rm.edge_ids.find(pair_key(src, dst));
+    if (it != rm.edge_ids.end())
+      out.insert(out.end(), it->second.begin(), it->second.end());
+  };
+  if (type == kAnyRelType) {
+    for (const auto& rm : rels_) collect(rm);
+  } else if (type < rels_.size()) {
+    collect(rels_[type]);
+  }
+  return out;
+}
+
+const gb::Matrix<gb::Bool>& Graph::adjacency_t() const {
+  if (adj_t_stale_) {
+    adj_t_ = gb::transposed(adj_);
+    adj_t_stale_ = false;
+  }
+  return adj_t_;
+}
+
+const gb::Matrix<gb::Bool>& Graph::relation(RelTypeId t) const {
+  if (t >= rels_.size()) return empty_;
+  return rels_[t].m;
+}
+
+const gb::Matrix<gb::Bool>& Graph::relation_t(RelTypeId t) const {
+  if (t >= rels_.size()) return empty_;
+  if (rels_[t].t_stale) {
+    rels_[t].mt = gb::transposed(rels_[t].m);
+    rels_[t].t_stale = false;
+  }
+  return rels_[t].mt;
+}
+
+const gb::Matrix<gb::Bool>& Graph::label_matrix(LabelId l) const {
+  if (l >= labels_.size()) return empty_;
+  return labels_[l];
+}
+
+std::vector<NodeId> Graph::nodes_with_label(LabelId l) const {
+  std::vector<NodeId> out;
+  if (l >= labels_.size()) return out;
+  const auto& L = labels_[l];
+  L.wait();
+  const auto& rp = L.rowptr();
+  for (gb::Index i = 0; i < L.nrows(); ++i)
+    if (rp[i + 1] > rp[i]) out.push_back(i);
+  return out;
+}
+
+void Graph::flush() const {
+  adj_.wait();
+  if (adj_t_stale_) {
+    adj_t_ = gb::transposed(adj_);
+    adj_t_stale_ = false;
+  } else {
+    adj_t_.wait();
+  }
+  for (const auto& r : rels_) {
+    r.m.wait();
+    if (r.t_stale) {
+      r.mt = gb::transposed(r.m);
+      r.t_stale = false;
+    } else {
+      r.mt.wait();
+    }
+  }
+  for (const auto& l : labels_) l.wait();
+}
+
+}  // namespace rg::graph

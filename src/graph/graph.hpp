@@ -1,0 +1,189 @@
+// Graph — the property graph stored as sparse matrices (RedisGraph's
+// Graph object).
+//
+// Representation, mirroring the paper's Section II:
+//  * node and edge entities live in datablocks; their dense ids are the
+//    matrix row/column indices,
+//  * one boolean **relation matrix** per relationship type
+//    (R_t(i,j) = 1  <=>  an edge i -t-> j exists),
+//  * THE **adjacency matrix** = union of all relation matrices,
+//  * one boolean diagonal **label matrix** per label
+//    (L(i,i) = 1 <=> node i carries the label),
+//  * every relation matrix and the adjacency keep a **transposed twin**
+//    (RedisGraph's RG_Matrix) so right-to-left traversals are cheap,
+//  * mutations buffer into GraphBLAS pending tuples; `flush()` (the
+//    matrix sync policy) materializes all matrices and rebuilds stale
+//    transposes before a query reads them.
+//
+// Multi-edges: the relation matrix stores structure only; the edge list
+// for a (src, dst, type) triple lives in a side multimap, as RedisGraph
+// does for parallel edges.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/entity.hpp"
+#include "graph/index.hpp"
+#include "graph/schema.hpp"
+#include "graph/value.hpp"
+#include "graphblas/graphblas.hpp"
+#include "util/data_block.hpp"
+
+namespace rg::graph {
+
+class Graph {
+ public:
+  /// Create an empty graph; matrices start at `initial_capacity` and grow
+  /// geometrically as nodes are added.
+  explicit Graph(gb::Index initial_capacity = 256);
+
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+
+  // --- schema ------------------------------------------------------------
+
+  Schema& schema() { return schema_; }
+  const Schema& schema() const { return schema_; }
+
+  // --- mutation ----------------------------------------------------------
+
+  /// Create a node with the given labels and attributes.
+  NodeId add_node(const std::vector<LabelId>& labels, AttributeSet attrs = {});
+
+  /// Create an edge src -type-> dst.  Endpoints must exist.
+  EdgeId add_edge(RelTypeId type, NodeId src, NodeId dst,
+                  AttributeSet attrs = {});
+
+  /// Delete an edge.
+  void delete_edge(EdgeId e);
+
+  /// Delete a node and all incident edges; returns deleted edge count.
+  std::size_t delete_node(NodeId n);
+
+  /// Add a label to an existing node.
+  void add_node_label(NodeId n, LabelId l);
+
+  /// Set a node attribute (null deletes).
+  void set_node_attr(NodeId n, AttrId key, Value v);
+
+  /// Set an edge attribute (null deletes).
+  void set_edge_attr(EdgeId e, AttrId key, Value v);
+
+  // --- deserialization support (see graph/serialize.hpp) -------------------
+
+  /// Restore a node at an exact id (load path; id must be unoccupied).
+  void restore_node(NodeId id, std::vector<LabelId> labels,
+                    AttributeSet attrs);
+
+  /// Restore an edge at an exact id (load path; endpoints must exist).
+  void restore_edge(EdgeId id, RelTypeId type, NodeId src, NodeId dst,
+                    AttributeSet attrs);
+
+  /// Rebuild datablock free lists after restore_* calls.
+  void finish_restore();
+
+  // --- entity access -------------------------------------------------------
+
+  bool has_node(NodeId n) const { return nodes_.contains(n); }
+  bool has_edge(EdgeId e) const { return edges_.contains(e); }
+  const NodeEntity& node(NodeId n) const { return nodes_[n]; }
+  const EdgeEntity& edge(EdgeId e) const { return edges_[e]; }
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t edge_count() const { return edges_.size(); }
+
+  /// One past the largest node id in use (matrix logical dimension).
+  gb::Index node_id_bound() const { return nodes_.id_bound(); }
+
+  /// Visit every live node: fn(id, entity).
+  void for_each_node(const std::function<void(NodeId, const NodeEntity&)>& fn) const {
+    nodes_.for_each(fn);
+  }
+  /// Visit every live edge: fn(id, entity).
+  void for_each_edge(const std::function<void(EdgeId, const EdgeEntity&)>& fn) const {
+    edges_.for_each(fn);
+  }
+
+  /// All edge ids from src to dst with the given type (multi-edge aware);
+  /// kAnyRelType matches every type.
+  static constexpr RelTypeId kAnyRelType = kInvalidRelType;
+  std::vector<EdgeId> edges_between(NodeId src, NodeId dst,
+                                    RelTypeId type = kAnyRelType) const;
+
+  // --- matrix access (the GraphBLAS view) ---------------------------------
+
+  /// THE adjacency matrix (union of all relation types).  Call flush()
+  /// (or use the server layer, which does) before concurrent reads.
+  const gb::Matrix<gb::Bool>& adjacency() const { return adj_; }
+  /// Transposed adjacency (incoming edges).
+  const gb::Matrix<gb::Bool>& adjacency_t() const;
+
+  /// Relation matrix for a type (empty matrix if the type has no edges).
+  const gb::Matrix<gb::Bool>& relation(RelTypeId t) const;
+  /// Transposed relation matrix.
+  const gb::Matrix<gb::Bool>& relation_t(RelTypeId t) const;
+
+  /// Diagonal label matrix (L(i,i)=1 <=> node i has the label).
+  const gb::Matrix<gb::Bool>& label_matrix(LabelId l) const;
+
+  /// Node ids carrying a label, ascending (label scan source).
+  std::vector<NodeId> nodes_with_label(LabelId l) const;
+
+  // --- secondary indexes ----------------------------------------------------
+
+  /// Create (and build) an index on (label, attr); idempotent.
+  void create_index(LabelId label, AttrId attr);
+
+  /// Drop an index; returns false if it did not exist.
+  bool drop_index(LabelId label, AttrId attr);
+
+  /// The index for (label, attr), or nullptr.
+  const AttributeIndex* find_index(LabelId label, AttrId attr) const;
+
+  /// Materialize every pending matrix update and rebuild stale transposed
+  /// twins — RedisGraph's "matrix sync" executed before query reads.
+  void flush() const;
+
+  /// Matrix dimension (capacity); >= node_id_bound().
+  gb::Index capacity() const { return capacity_; }
+
+ private:
+  void ensure_capacity(gb::Index need);
+  gb::Matrix<gb::Bool>& rel_mut(RelTypeId t);
+  gb::Matrix<gb::Bool>& label_mut(LabelId l);
+  static std::uint64_t pair_key(NodeId s, NodeId d) {
+    // Szudzik-style pairing is overkill; ids stay < 2^32 at our scales.
+    return (s << 32) | (d & 0xffffffffULL);
+  }
+
+  Schema schema_;
+  util::DataBlock<NodeEntity> nodes_;
+  util::DataBlock<EdgeEntity> edges_;
+
+  gb::Index capacity_ = 0;
+  gb::Matrix<gb::Bool> adj_;
+  mutable gb::Matrix<gb::Bool> adj_t_;
+  mutable bool adj_t_stale_ = true;
+
+  struct RelMatrices {
+    gb::Matrix<gb::Bool> m;
+    mutable gb::Matrix<gb::Bool> mt;
+    mutable bool t_stale = true;
+    /// (src,dst) -> edge ids (multi-edge side table).
+    std::unordered_map<std::uint64_t, std::vector<EdgeId>> edge_ids;
+  };
+  std::vector<RelMatrices> rels_;        // indexed by RelTypeId
+  std::vector<gb::Matrix<gb::Bool>> labels_;  // indexed by LabelId
+
+  std::map<std::pair<LabelId, AttrId>, AttributeIndex> indexes_;
+
+  gb::Matrix<gb::Bool> empty_;  // returned for unknown types/labels
+};
+
+}  // namespace rg::graph

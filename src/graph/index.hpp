@@ -1,0 +1,81 @@
+// Secondary attribute indexes: (label, attribute) -> sorted value map ->
+// node ids, used by the planner's IndexScan to replace LabelScan+Filter
+// on equality/range predicates (RedisGraph's exact-match index).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "graph/entity.hpp"
+#include "graph/value.hpp"
+
+namespace rg::graph {
+
+/// One index over a (label, attribute) pair.
+class AttributeIndex {
+ public:
+  AttributeIndex(LabelId label, AttrId attr) : label_(label), attr_(attr) {}
+
+  LabelId label() const { return label_; }
+  AttrId attr() const { return attr_; }
+
+  void insert(const Value& v, NodeId n) {
+    auto& vec = map_[v];
+    const auto it = std::lower_bound(vec.begin(), vec.end(), n);
+    if (it == vec.end() || *it != n) vec.insert(it, n);
+  }
+
+  void remove(const Value& v, NodeId n) {
+    const auto mit = map_.find(v);
+    if (mit == map_.end()) return;
+    auto& vec = mit->second;
+    const auto it = std::lower_bound(vec.begin(), vec.end(), n);
+    if (it != vec.end() && *it == n) vec.erase(it);
+    if (vec.empty()) map_.erase(mit);
+  }
+
+  /// Node ids with attribute == v (ascending).
+  std::vector<NodeId> lookup(const Value& v) const {
+    const auto it = map_.find(v);
+    if (it == map_.end()) return {};
+    return it->second;
+  }
+
+  /// Node ids with lo <= attr <= hi (bounds optional => open side).
+  std::vector<NodeId> range(const std::optional<Value>& lo, bool lo_incl,
+                            const std::optional<Value>& hi,
+                            bool hi_incl) const {
+    std::vector<NodeId> out;
+    auto it = lo.has_value()
+                  ? (lo_incl ? map_.lower_bound(*lo) : map_.upper_bound(*lo))
+                  : map_.begin();
+    const auto end = hi.has_value()
+                         ? (hi_incl ? map_.upper_bound(*hi)
+                                    : map_.lower_bound(*hi))
+                         : map_.end();
+    for (; it != end; ++it)
+      out.insert(out.end(), it->second.begin(), it->second.end());
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  std::size_t entry_count() const {
+    std::size_t n = 0;
+    for (const auto& [v, vec] : map_) n += vec.size();
+    return n;
+  }
+
+ private:
+  struct OrderLess {
+    bool operator()(const Value& a, const Value& b) const {
+      return Value::order_compare(a, b) < 0;
+    }
+  };
+  LabelId label_;
+  AttrId attr_;
+  std::map<Value, std::vector<NodeId>, OrderLess> map_;
+};
+
+}  // namespace rg::graph

@@ -1,0 +1,53 @@
+// Schema — registries mapping label / relationship-type / attribute-key
+// names to dense ids (RedisGraph's GraphContext schemas).  Ids index the
+// per-label and per-type matrices and the attribute arrays.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "util/string_pool.hpp"
+
+namespace rg::graph {
+
+using LabelId = util::StringPool::Id;
+using RelTypeId = util::StringPool::Id;
+using AttrId = util::StringPool::Id;
+
+inline constexpr LabelId kInvalidLabel = util::StringPool::kInvalidId;
+inline constexpr RelTypeId kInvalidRelType = util::StringPool::kInvalidId;
+inline constexpr AttrId kInvalidAttr = util::StringPool::kInvalidId;
+
+class Schema {
+ public:
+  LabelId add_label(std::string_view name) { return labels_.intern(name); }
+  RelTypeId add_reltype(std::string_view name) { return reltypes_.intern(name); }
+  AttrId add_attr(std::string_view name) { return attrs_.intern(name); }
+
+  std::optional<LabelId> find_label(std::string_view name) const {
+    return labels_.find(name);
+  }
+  std::optional<RelTypeId> find_reltype(std::string_view name) const {
+    return reltypes_.find(name);
+  }
+  std::optional<AttrId> find_attr(std::string_view name) const {
+    return attrs_.find(name);
+  }
+
+  const std::string& label_name(LabelId id) const { return labels_.str(id); }
+  const std::string& reltype_name(RelTypeId id) const {
+    return reltypes_.str(id);
+  }
+  const std::string& attr_name(AttrId id) const { return attrs_.str(id); }
+
+  std::size_t label_count() const { return labels_.size(); }
+  std::size_t reltype_count() const { return reltypes_.size(); }
+  std::size_t attr_count() const { return attrs_.size(); }
+
+ private:
+  util::StringPool labels_;
+  util::StringPool reltypes_;
+  util::StringPool attrs_;
+};
+
+}  // namespace rg::graph

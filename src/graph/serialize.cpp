@@ -1,0 +1,271 @@
+#include "graph/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+namespace rg::graph {
+
+namespace {
+
+constexpr char kMagic[4] = {'R', 'G', 'R', '1'};
+constexpr std::uint32_t kVersion = 1;
+
+// --- primitive writers/readers ---------------------------------------------
+
+void put_u8(std::ostream& out, std::uint8_t v) {
+  out.put(static_cast<char>(v));
+}
+
+void put_u32(std::ostream& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.put(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_u64(std::ostream& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.put(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_str(std::ostream& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::uint8_t get_u8(std::istream& in) {
+  const int c = in.get();
+  if (c == EOF) throw SerializeError("unexpected end of stream");
+  return static_cast<std::uint8_t>(c);
+}
+
+std::uint32_t get_u32(std::istream& in) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(get_u8(in)) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(std::istream& in) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(get_u8(in)) << (8 * i);
+  return v;
+}
+
+std::string get_str(std::istream& in) {
+  const auto len = get_u32(in);
+  if (len > (1u << 28)) throw SerializeError("string length out of range");
+  std::string s(len, '\0');
+  in.read(s.data(), static_cast<std::streamsize>(len));
+  if (in.gcount() != static_cast<std::streamsize>(len))
+    throw SerializeError("truncated string");
+  return s;
+}
+
+// --- values -------------------------------------------------------------------
+
+enum class Tag : std::uint8_t {
+  kNull = 0, kBool = 1, kInt = 2, kDouble = 3, kString = 4, kArray = 5,
+};
+
+void put_value(std::ostream& out, const Value& v) {
+  switch (v.type()) {
+    case Value::Type::kNull:
+      put_u8(out, static_cast<std::uint8_t>(Tag::kNull));
+      break;
+    case Value::Type::kBool:
+      put_u8(out, static_cast<std::uint8_t>(Tag::kBool));
+      put_u8(out, v.as_bool() ? 1 : 0);
+      break;
+    case Value::Type::kInt:
+      put_u8(out, static_cast<std::uint8_t>(Tag::kInt));
+      put_u64(out, static_cast<std::uint64_t>(v.as_int()));
+      break;
+    case Value::Type::kDouble: {
+      put_u8(out, static_cast<std::uint8_t>(Tag::kDouble));
+      const double d = v.as_double();
+      std::uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      put_u64(out, bits);
+      break;
+    }
+    case Value::Type::kString:
+      put_u8(out, static_cast<std::uint8_t>(Tag::kString));
+      put_str(out, v.as_string());
+      break;
+    case Value::Type::kArray: {
+      put_u8(out, static_cast<std::uint8_t>(Tag::kArray));
+      const auto& arr = v.as_array();
+      put_u32(out, static_cast<std::uint32_t>(arr.size()));
+      for (const auto& x : arr) put_value(out, x);
+      break;
+    }
+    default:
+      // Entity references are not persisted as attribute values.
+      throw SerializeError("entity reference stored as attribute");
+  }
+}
+
+Value get_value(std::istream& in) {
+  switch (static_cast<Tag>(get_u8(in))) {
+    case Tag::kNull:
+      return Value::null();
+    case Tag::kBool:
+      return Value(get_u8(in) != 0);
+    case Tag::kInt:
+      return Value(static_cast<std::int64_t>(get_u64(in)));
+    case Tag::kDouble: {
+      const std::uint64_t bits = get_u64(in);
+      double d;
+      __builtin_memcpy(&d, &bits, sizeof(d));
+      return Value(d);
+    }
+    case Tag::kString:
+      return Value(get_str(in));
+    case Tag::kArray: {
+      const auto n = get_u32(in);
+      ValueArray arr;
+      arr.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) arr.push_back(get_value(in));
+      return Value(std::move(arr));
+    }
+  }
+  throw SerializeError("unknown value tag");
+}
+
+void put_attrs(std::ostream& out, const AttributeSet& attrs) {
+  put_u32(out, static_cast<std::uint32_t>(attrs.size()));
+  for (const auto& [key, value] : attrs) {
+    put_u32(out, key);
+    put_value(out, value);
+  }
+}
+
+AttributeSet get_attrs(std::istream& in) {
+  AttributeSet attrs;
+  const auto n = get_u32(in);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto key = get_u32(in);
+    attrs.set(key, get_value(in));
+  }
+  return attrs;
+}
+
+}  // namespace
+
+void save_graph(const Graph& g, std::ostream& out) {
+  out.write(kMagic, 4);
+  put_u32(out, kVersion);
+
+  // Schema string tables.
+  const Schema& schema = g.schema();
+  put_u32(out, static_cast<std::uint32_t>(schema.label_count()));
+  for (std::uint32_t i = 0; i < schema.label_count(); ++i)
+    put_str(out, schema.label_name(i));
+  put_u32(out, static_cast<std::uint32_t>(schema.reltype_count()));
+  for (std::uint32_t i = 0; i < schema.reltype_count(); ++i)
+    put_str(out, schema.reltype_name(i));
+  put_u32(out, static_cast<std::uint32_t>(schema.attr_count()));
+  for (std::uint32_t i = 0; i < schema.attr_count(); ++i)
+    put_str(out, schema.attr_name(i));
+
+  // Nodes.
+  put_u64(out, g.node_count());
+  g.for_each_node([&](NodeId id, const NodeEntity& ent) {
+    put_u64(out, id);
+    put_u32(out, static_cast<std::uint32_t>(ent.labels.size()));
+    for (const auto l : ent.labels) put_u32(out, l);
+    put_attrs(out, ent.attrs);
+  });
+
+  // Edges.
+  put_u64(out, g.edge_count());
+  g.for_each_edge([&](EdgeId id, const EdgeEntity& ent) {
+    put_u64(out, id);
+    put_u32(out, ent.type);
+    put_u64(out, ent.src);
+    put_u64(out, ent.dst);
+    put_attrs(out, ent.attrs);
+  });
+
+  // Indexes: collect (label, attr) pairs by probing every combination the
+  // schema admits (registry sizes are small).
+  std::vector<std::pair<LabelId, AttrId>> indexes;
+  for (std::uint32_t l = 0; l < schema.label_count(); ++l)
+    for (std::uint32_t a = 0; a < schema.attr_count(); ++a)
+      if (g.find_index(l, a) != nullptr) indexes.emplace_back(l, a);
+  put_u32(out, static_cast<std::uint32_t>(indexes.size()));
+  for (const auto& [l, a] : indexes) {
+    put_u32(out, l);
+    put_u32(out, a);
+  }
+  if (!out) throw SerializeError("write failure");
+}
+
+void load_graph(Graph& g, std::istream& in) {
+  char magic[4];
+  in.read(magic, 4);
+  if (in.gcount() != 4 || std::string(magic, 4) != std::string(kMagic, 4))
+    throw SerializeError("bad magic (not an RGR1 file)");
+  if (get_u32(in) != kVersion) throw SerializeError("unsupported version");
+
+  // Schema.
+  const auto nlabels = get_u32(in);
+  for (std::uint32_t i = 0; i < nlabels; ++i) g.schema().add_label(get_str(in));
+  const auto nrels = get_u32(in);
+  for (std::uint32_t i = 0; i < nrels; ++i) g.schema().add_reltype(get_str(in));
+  const auto nattrs = get_u32(in);
+  for (std::uint32_t i = 0; i < nattrs; ++i) g.schema().add_attr(get_str(in));
+
+  // Nodes.
+  const auto nnodes = get_u64(in);
+  for (std::uint64_t i = 0; i < nnodes; ++i) {
+    const auto id = get_u64(in);
+    const auto nl = get_u32(in);
+    std::vector<LabelId> labels;
+    labels.reserve(nl);
+    for (std::uint32_t k = 0; k < nl; ++k) {
+      const auto l = get_u32(in);
+      if (l >= nlabels) throw SerializeError("label id out of range");
+      labels.push_back(l);
+    }
+    g.restore_node(id, std::move(labels), get_attrs(in));
+  }
+
+  // Edges.
+  const auto nedges = get_u64(in);
+  for (std::uint64_t i = 0; i < nedges; ++i) {
+    const auto id = get_u64(in);
+    const auto type = get_u32(in);
+    if (type >= nrels) throw SerializeError("reltype id out of range");
+    const auto src = get_u64(in);
+    const auto dst = get_u64(in);
+    if (!g.has_node(src) || !g.has_node(dst))
+      throw SerializeError("edge references missing node");
+    g.restore_edge(id, type, src, dst, get_attrs(in));
+  }
+
+  // Indexes (rebuilt from entities).
+  const auto nindexes = get_u32(in);
+  for (std::uint32_t i = 0; i < nindexes; ++i) {
+    const auto l = get_u32(in);
+    const auto a = get_u32(in);
+    if (l >= nlabels || a >= nattrs) throw SerializeError("index id range");
+    g.create_index(l, a);
+  }
+
+  g.finish_restore();
+}
+
+void save_graph_file(const Graph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw SerializeError("cannot open " + path + " for writing");
+  save_graph(g, out);
+}
+
+void load_graph_file(Graph& g, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw SerializeError("cannot open " + path);
+  load_graph(g, in);
+}
+
+}  // namespace rg::graph

@@ -1,0 +1,44 @@
+// Binary graph serialization — the stand-in for Redis RDB persistence.
+//
+// RedisGraph registers RDB save/load callbacks with the Redis module API
+// so graphs survive restarts; here the same role is played by a compact
+// length-prefixed binary format:
+//
+//   header:  magic "RGR1", version
+//   schema:  label / reltype / attr string tables
+//   nodes:   id, labels, attributes          (ids preserved exactly)
+//   edges:   id, type, src, dst, attributes
+//   indexes: (label, attr) pairs             (rebuilt on load)
+//
+// Attribute values serialize with a one-byte type tag; arrays nest.
+// Round-tripping preserves entity ids, so matrix structure is rebuilt
+// identically (verified by tests).
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace rg::graph {
+
+/// Raised on malformed input during load.
+class SerializeError : public std::runtime_error {
+ public:
+  explicit SerializeError(const std::string& what)
+      : std::runtime_error("graph serialization: " + what) {}
+};
+
+/// Write `g` to `out` in RGR1 format.
+void save_graph(const Graph& g, std::ostream& out);
+
+/// Read a graph from `in`; replaces the contents of `g` (which must be
+/// freshly constructed / empty).
+void load_graph(Graph& g, std::istream& in);
+
+/// Convenience file wrappers.
+void save_graph_file(const Graph& g, const std::string& path);
+void load_graph_file(Graph& g, const std::string& path);
+
+}  // namespace rg::graph

@@ -1,0 +1,182 @@
+#include "graph/value.hpp"
+
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace rg::graph {
+
+namespace {
+
+int type_rank(Value::Type t) {
+  switch (t) {
+    case Value::Type::kBool: return 0;
+    case Value::Type::kInt:
+    case Value::Type::kDouble: return 1;  // numerics interleave
+    case Value::Type::kString: return 2;
+    case Value::Type::kArray: return 3;
+    case Value::Type::kNode: return 4;
+    case Value::Type::kEdge: return 5;
+    case Value::Type::kNull: return 6;  // null sorts last
+  }
+  return 7;
+}
+
+int cmp3(double a, double b) { return a < b ? -1 : (a > b ? 1 : 0); }
+
+template <typename T>
+int cmp3t(const T& a, const T& b) {
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+
+}  // namespace
+
+std::optional<int> Value::compare(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return std::nullopt;
+  if (a.is_numeric() && b.is_numeric()) {
+    if (a.is_int() && b.is_int()) return cmp3t(a.as_int(), b.as_int());
+    return cmp3(a.to_double(), b.to_double());
+  }
+  if (a.type() != b.type()) return std::nullopt;
+  switch (a.type()) {
+    case Type::kBool:
+      return cmp3t(a.as_bool(), b.as_bool());
+    case Type::kString:
+      return cmp3t(a.as_string(), b.as_string());
+    case Type::kNode:
+      return cmp3t(a.as_node().id, b.as_node().id);
+    case Type::kEdge:
+      return cmp3t(a.as_edge().id, b.as_edge().id);
+    case Type::kArray: {
+      const auto& x = a.as_array();
+      const auto& y = b.as_array();
+      const std::size_t n = std::min(x.size(), y.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        auto c = compare(x[i], y[i]);
+        if (!c.has_value()) return std::nullopt;
+        if (*c != 0) return *c;
+      }
+      return cmp3t(x.size(), y.size());
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+int Value::order_compare(const Value& a, const Value& b) {
+  const int ra = type_rank(a.type());
+  const int rb = type_rank(b.type());
+  if (ra != rb) return ra < rb ? -1 : 1;
+  if (a.is_null()) return 0;
+  if (a.is_numeric() && b.is_numeric()) {
+    if (a.is_int() && b.is_int()) return cmp3t(a.as_int(), b.as_int());
+    return cmp3(a.to_double(), b.to_double());
+  }
+  switch (a.type()) {
+    case Type::kBool:
+      return cmp3t(a.as_bool(), b.as_bool());
+    case Type::kString:
+      return cmp3t(a.as_string(), b.as_string());
+    case Type::kNode:
+      return cmp3t(a.as_node().id, b.as_node().id);
+    case Type::kEdge:
+      return cmp3t(a.as_edge().id, b.as_edge().id);
+    case Type::kArray: {
+      const auto& x = a.as_array();
+      const auto& y = b.as_array();
+      const std::size_t n = std::min(x.size(), y.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        const int c = order_compare(x[i], y[i]);
+        if (c != 0) return c;
+      }
+      return cmp3t(x.size(), y.size());
+    }
+    default:
+      return 0;
+  }
+}
+
+std::string Value::to_string() const {
+  switch (type()) {
+    case Type::kNull:
+      return "null";
+    case Type::kBool:
+      return as_bool() ? "true" : "false";
+    case Type::kInt:
+      return std::to_string(as_int());
+    case Type::kDouble: {
+      // Integral doubles keep one decimal so the type stays visible.
+      const double d = as_double();
+      if (std::isfinite(d) && d == std::floor(d) && std::abs(d) < 1e15)
+        return util::fmt_double(d, 1);
+      return util::fmt_double(d, 6);
+    }
+    case Type::kString:
+      return "\"" + as_string() + "\"";
+    case Type::kArray: {
+      std::string out = "[";
+      const auto& arr = as_array();
+      for (std::size_t i = 0; i < arr.size(); ++i) {
+        if (i) out += ", ";
+        out += arr[i].to_string();
+      }
+      return out + "]";
+    }
+    case Type::kNode:
+      return "(node:" + std::to_string(as_node().id) + ")";
+    case Type::kEdge:
+      return "[edge:" + std::to_string(as_edge().id) + "]";
+  }
+  return "?";
+}
+
+namespace {
+bool both_numeric(const Value& a, const Value& b) {
+  return a.is_numeric() && b.is_numeric();
+}
+}  // namespace
+
+Value value_add(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Value::null();
+  if (both_numeric(a, b)) {
+    if (a.is_int() && b.is_int()) return Value(a.as_int() + b.as_int());
+    return Value(a.to_double() + b.to_double());
+  }
+  if (a.is_string() && b.is_string()) return Value(a.as_string() + b.as_string());
+  if (a.is_array() && b.is_array()) {
+    ValueArray out = a.as_array();
+    const auto& rhs = b.as_array();
+    out.insert(out.end(), rhs.begin(), rhs.end());
+    return Value(std::move(out));
+  }
+  return Value::null();
+}
+
+Value value_sub(const Value& a, const Value& b) {
+  if (!both_numeric(a, b)) return Value::null();
+  if (a.is_int() && b.is_int()) return Value(a.as_int() - b.as_int());
+  return Value(a.to_double() - b.to_double());
+}
+
+Value value_mul(const Value& a, const Value& b) {
+  if (!both_numeric(a, b)) return Value::null();
+  if (a.is_int() && b.is_int()) return Value(a.as_int() * b.as_int());
+  return Value(a.to_double() * b.to_double());
+}
+
+Value value_div(const Value& a, const Value& b) {
+  if (!both_numeric(a, b)) return Value::null();
+  if (a.is_int() && b.is_int()) {
+    if (b.as_int() == 0) return Value::null();
+    return Value(a.as_int() / b.as_int());
+  }
+  if (b.to_double() == 0.0) return Value::null();
+  return Value(a.to_double() / b.to_double());
+}
+
+Value value_mod(const Value& a, const Value& b) {
+  if (!(a.is_int() && b.is_int()) || b.as_int() == 0) return Value::null();
+  return Value(a.as_int() % b.as_int());
+}
+
+}  // namespace rg::graph

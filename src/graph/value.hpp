@@ -1,0 +1,121 @@
+// Value — the dynamic scalar type flowing through queries (RedisGraph's
+// SIValue): null, boolean, integer, double, string, array, or a
+// reference to a graph entity (node/edge).  Implements Cypher's
+// three-valued comparison logic (comparisons involving null yield null)
+// alongside a separate *total* order used by ORDER BY and indexes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace rg::graph {
+
+/// Reference to a node stored in a Graph (id into the node datablock).
+struct NodeRef {
+  std::uint64_t id = 0;
+  friend bool operator==(const NodeRef&, const NodeRef&) = default;
+};
+
+/// Reference to an edge stored in a Graph (id into the edge datablock).
+struct EdgeRef {
+  std::uint64_t id = 0;
+  friend bool operator==(const EdgeRef&, const EdgeRef&) = default;
+};
+
+class Value;
+using ValueArray = std::vector<Value>;
+
+/// Dynamically-typed Cypher value.
+class Value {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kNode, kEdge };
+
+  Value() : v_(std::monostate{}) {}
+  Value(bool b) : v_(b) {}                                  // NOLINT(runtime/explicit)
+  Value(std::int64_t i) : v_(i) {}                          // NOLINT
+  Value(int i) : v_(static_cast<std::int64_t>(i)) {}        // NOLINT
+  Value(double d) : v_(d) {}                                // NOLINT
+  Value(std::string s) : v_(std::move(s)) {}                // NOLINT
+  Value(const char* s) : v_(std::string(s)) {}              // NOLINT
+  Value(NodeRef n) : v_(n) {}                               // NOLINT
+  Value(EdgeRef e) : v_(e) {}                               // NOLINT
+  Value(ValueArray a) : v_(std::make_shared<ValueArray>(std::move(a))) {}  // NOLINT
+
+  static Value null() { return Value(); }
+
+  Type type() const {
+    switch (v_.index()) {
+      case 0: return Type::kNull;
+      case 1: return Type::kBool;
+      case 2: return Type::kInt;
+      case 3: return Type::kDouble;
+      case 4: return Type::kString;
+      case 5: return Type::kArray;
+      case 6: return Type::kNode;
+      default: return Type::kEdge;
+    }
+  }
+
+  bool is_null() const { return type() == Type::kNull; }
+  bool is_bool() const { return type() == Type::kBool; }
+  bool is_int() const { return type() == Type::kInt; }
+  bool is_double() const { return type() == Type::kDouble; }
+  bool is_numeric() const { return is_int() || is_double(); }
+  bool is_string() const { return type() == Type::kString; }
+  bool is_array() const { return type() == Type::kArray; }
+  bool is_node() const { return type() == Type::kNode; }
+  bool is_edge() const { return type() == Type::kEdge; }
+
+  bool as_bool() const { return std::get<bool>(v_); }
+  std::int64_t as_int() const { return std::get<std::int64_t>(v_); }
+  double as_double() const { return std::get<double>(v_); }
+  const std::string& as_string() const { return std::get<std::string>(v_); }
+  const ValueArray& as_array() const {
+    return *std::get<std::shared_ptr<ValueArray>>(v_);
+  }
+  NodeRef as_node() const { return std::get<NodeRef>(v_); }
+  EdgeRef as_edge() const { return std::get<EdgeRef>(v_); }
+
+  /// Numeric coercion (int and double both read as double).
+  double to_double() const {
+    return is_int() ? static_cast<double>(as_int()) : as_double();
+  }
+
+  /// Cypher truthiness: only a non-null boolean true is true.
+  bool truthy() const { return is_bool() && as_bool(); }
+
+  /// Three-valued Cypher comparison: nullopt when either side is null or
+  /// the types are incomparable; otherwise -1/0/+1.
+  static std::optional<int> compare(const Value& a, const Value& b);
+
+  /// Total order for ORDER BY / indexes: null sorts last; mixed types
+  /// sort by type rank.  Returns -1/0/+1.
+  static int order_compare(const Value& a, const Value& b);
+
+  /// Structural equality (null == null here, unlike Cypher's `=`).
+  friend bool operator==(const Value& a, const Value& b) {
+    return order_compare(a, b) == 0;
+  }
+
+  /// Render for result tables ("1", "3.14", "\"str\"", "[1, 2]").
+  std::string to_string() const;
+
+ private:
+  std::variant<std::monostate, bool, std::int64_t, double, std::string,
+               std::shared_ptr<ValueArray>, NodeRef, EdgeRef>
+      v_;
+};
+
+/// Arithmetic with Cypher null propagation; invalid operand types yield
+/// null as well (queries do not abort on type errors in expressions).
+Value value_add(const Value& a, const Value& b);
+Value value_sub(const Value& a, const Value& b);
+Value value_mul(const Value& a, const Value& b);
+Value value_div(const Value& a, const Value& b);
+Value value_mod(const Value& a, const Value& b);
+
+}  // namespace rg::graph

@@ -1,0 +1,74 @@
+// apply — map a unary operator (or a binary operator with one argument
+// bound to a scalar) over every stored entry:  C<M> = accum(C, f(A)).
+#pragma once
+
+#include "graphblas/detail/merge.hpp"
+#include "graphblas/matrix.hpp"
+#include "graphblas/ops.hpp"
+#include "graphblas/types.hpp"
+#include "graphblas/vector.hpp"
+
+namespace rg::gb {
+
+/// C<M> = accum(C, f(A)) for unary f.
+template <typename F, typename T, typename MT = Bool, typename Accum = NoAccum>
+void apply(Matrix<T>& C, const Matrix<MT>* mask, Accum accum, F f,
+           const Matrix<T>& A, const Descriptor& desc = {}) {
+  detail::TransposedCopy<T> At(A, desc.transpose_a);
+  const Matrix<T>& a = At.get();
+  a.wait();
+  detail::CooRows<T> t;
+  t.nrows = a.nrows();
+  t.ncols = a.ncols();
+  t.rowptr = a.rowptr();
+  t.colidx = a.colidx();
+  t.val.reserve(a.values().size());
+  for (const T& v : a.values()) t.val.push_back(f(v));
+  detail::merge_matrix(C, mask, accum, std::move(t), desc);
+}
+
+/// w<M> = accum(w, f(u)) for unary f.
+template <typename F, typename T, typename MT = Bool, typename Accum = NoAccum>
+void apply(Vector<T>& w, const Vector<MT>* mask, Accum accum, F f,
+           const Vector<T>& u, const Descriptor& desc = {}) {
+  detail::CooVec<T> t;
+  t.n = u.size();
+  t.idx = u.indices();
+  t.val.reserve(u.values().size());
+  for (const T& v : u.values()) t.val.push_back(f(v));
+  detail::merge_vector(w, mask, accum, std::move(t), desc);
+}
+
+/// C<M> = accum(C, op(s, A)) — bind the first operand to scalar s.
+template <typename Op, typename T, typename MT = Bool, typename Accum = NoAccum>
+void apply_bind_first(Matrix<T>& C, const Matrix<MT>* mask, Accum accum, Op op,
+                      const T& s, const Matrix<T>& A,
+                      const Descriptor& desc = {}) {
+  apply(C, mask, accum, [&](const T& v) { return op(s, v); }, A, desc);
+}
+
+/// C<M> = accum(C, op(A, s)) — bind the second operand to scalar s.
+template <typename Op, typename T, typename MT = Bool, typename Accum = NoAccum>
+void apply_bind_second(Matrix<T>& C, const Matrix<MT>* mask, Accum accum,
+                       Op op, const Matrix<T>& A, const T& s,
+                       const Descriptor& desc = {}) {
+  apply(C, mask, accum, [&](const T& v) { return op(v, s); }, A, desc);
+}
+
+/// w<M> = accum(w, op(s, u)).
+template <typename Op, typename T, typename MT = Bool, typename Accum = NoAccum>
+void apply_bind_first(Vector<T>& w, const Vector<MT>* mask, Accum accum, Op op,
+                      const T& s, const Vector<T>& u,
+                      const Descriptor& desc = {}) {
+  apply(w, mask, accum, [&](const T& v) { return op(s, v); }, u, desc);
+}
+
+/// w<M> = accum(w, op(u, s)).
+template <typename Op, typename T, typename MT = Bool, typename Accum = NoAccum>
+void apply_bind_second(Vector<T>& w, const Vector<MT>* mask, Accum accum,
+                       Op op, const Vector<T>& u, const T& s,
+                       const Descriptor& desc = {}) {
+  apply(w, mask, accum, [&](const T& v) { return op(v, s); }, u, desc);
+}
+
+}  // namespace rg::gb

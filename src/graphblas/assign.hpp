@@ -1,0 +1,261 @@
+// assign — write a matrix/vector/scalar into a region of C:
+//   C<M>(I, J) = accum(C(I, J), A)       (GrB_assign)
+//   C<M>(I, J) = accum(C(I, J), s)       (scalar variant)
+//
+// The mask is C-shaped for the full-extent forms used here; the scalar
+// form with a mask is how GraphBLAS BFS marks visited sets.  This
+// implements the subset of GrB_assign the engine and algorithms use:
+// full-extent assign, row/column assign, and sub-region assign with
+// unique, in-range indices.
+#pragma once
+
+#include <vector>
+
+#include "graphblas/detail/merge.hpp"
+#include "graphblas/extract.hpp"
+#include "graphblas/matrix.hpp"
+#include "graphblas/ops.hpp"
+#include "graphblas/types.hpp"
+#include "graphblas/vector.hpp"
+
+namespace rg::gb {
+
+/// C<M>(I, J) = accum(C(I,J), A).  With ALL/ALL this is a full assign.
+template <typename T, typename MT = Bool, typename Accum = NoAccum>
+void assign(Matrix<T>& C, const Matrix<MT>* mask, Accum accum,
+            const Matrix<T>& A, const std::vector<Index>& I,
+            const std::vector<Index>& J, const Descriptor& desc = {}) {
+  detail::TransposedCopy<T> At(A, desc.transpose_a);
+  const Matrix<T>& a = At.get();
+  a.wait();
+
+  const bool all_i = detail::is_all(I);
+  const bool all_j = detail::is_all(J);
+  const Index in_r = all_i ? C.nrows() : static_cast<Index>(I.size());
+  const Index in_c = all_j ? C.ncols() : static_cast<Index>(J.size());
+  if (a.nrows() != in_r || a.ncols() != in_c)
+    throw DimensionMismatch("assign: A shape != region shape");
+  for (Index i : I)
+    if (i >= C.nrows()) throw IndexOutOfBounds("assign row index");
+  for (Index j : J)
+    if (j >= C.ncols()) throw IndexOutOfBounds("assign col index");
+
+  // Build T = C with the region replaced by A (C-shaped), then merge.
+  // Entries of C inside the region but absent from A are dropped from T
+  // (assign replaces the region); outside the region T carries C so the
+  // no-accum merge is an identity there.
+  std::vector<std::uint8_t> in_rows(C.nrows(), all_i ? 1 : 0);
+  std::vector<std::uint8_t> in_cols(C.ncols(), all_j ? 1 : 0);
+  std::vector<Index> rowmap(C.nrows(), 0), colmap(C.ncols(), 0);
+  if (!all_i)
+    for (std::size_t k = 0; k < I.size(); ++k) {
+      in_rows[I[k]] = 1;
+      rowmap[I[k]] = static_cast<Index>(k);
+    }
+  else
+    for (Index i = 0; i < C.nrows(); ++i) rowmap[i] = i;
+  if (!all_j)
+    for (std::size_t l = 0; l < J.size(); ++l) {
+      in_cols[J[l]] = 1;
+      colmap[J[l]] = static_cast<Index>(l);
+    }
+  else
+    for (Index j = 0; j < C.ncols(); ++j) colmap[j] = j;
+
+  C.wait();
+  const auto& crp = C.rowptr();
+  const auto& cci = C.colidx();
+  const auto& cv = C.values();
+
+  detail::CooRows<T> t;
+  t.nrows = C.nrows();
+  t.ncols = C.ncols();
+  t.rowptr.assign(t.nrows + 1, 0);
+
+  std::vector<std::pair<Index, T>> rowbuf;
+  for (Index i = 0; i < C.nrows(); ++i) {
+    t.rowptr[i] = static_cast<Index>(t.colidx.size());
+    rowbuf.clear();
+    if (!in_rows[i]) {
+      // Row untouched: copy C's row.
+      for (Index p = crp[i]; p < crp[i + 1]; ++p)
+        rowbuf.emplace_back(cci[p], cv[p]);
+    } else {
+      // Keep C entries outside the column region.
+      for (Index p = crp[i]; p < crp[i + 1]; ++p)
+        if (!in_cols[cci[p]]) rowbuf.emplace_back(cci[p], cv[p]);
+      // Place A's row k at the mapped columns.
+      const Index k = rowmap[i];
+      const auto acols = a.row_indices(k);
+      const auto avals = a.row_values(k);
+      for (std::size_t p = 0; p < acols.size(); ++p) {
+        const Index j = all_j ? acols[p] : J[acols[p]];
+        rowbuf.emplace_back(j, avals[p]);
+      }
+      std::sort(rowbuf.begin(), rowbuf.end(),
+                [](const auto& x, const auto& y) { return x.first < y.first; });
+    }
+    for (const auto& [j, v] : rowbuf) {
+      t.colidx.push_back(j);
+      t.val.push_back(v);
+    }
+  }
+  t.rowptr[t.nrows] = static_cast<Index>(t.colidx.size());
+  detail::merge_matrix(C, mask, accum, std::move(t), desc);
+}
+
+/// w<M>(I) = accum(w(I), u).
+template <typename T, typename MT = Bool, typename Accum = NoAccum>
+void assign(Vector<T>& w, const Vector<MT>* mask, Accum accum,
+            const Vector<T>& u, const std::vector<Index>& I,
+            const Descriptor& desc = {}) {
+  const bool all_i = detail::is_all(I);
+  const Index in_n = all_i ? w.size() : static_cast<Index>(I.size());
+  if (u.size() != in_n) throw DimensionMismatch("assign: u size");
+  for (Index i : I)
+    if (i >= w.size()) throw IndexOutOfBounds("assign index");
+
+  std::vector<std::uint8_t> in_region(w.size(), all_i ? 1 : 0);
+  if (!all_i)
+    for (Index i : I) in_region[i] = 1;
+
+  detail::CooVec<T> t;
+  t.n = w.size();
+  // Start from w outside the region.
+  w.for_each([&](Index i, const T& v) {
+    if (!in_region[i]) {
+      t.idx.push_back(i);
+      t.val.push_back(v);
+    }
+  });
+  // Add u mapped into the region.
+  u.for_each([&](Index k, const T& v) {
+    t.idx.push_back(all_i ? k : I[k]);
+    t.val.push_back(v);
+  });
+  // Re-sort (region indices may interleave).
+  std::vector<std::size_t> order(t.idx.size());
+  for (std::size_t k = 0; k < order.size(); ++k) order[k] = k;
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return t.idx[x] < t.idx[y];
+  });
+  detail::CooVec<T> ts;
+  ts.n = t.n;
+  ts.idx.reserve(order.size());
+  ts.val.reserve(order.size());
+  for (std::size_t k : order) {
+    ts.idx.push_back(t.idx[k]);
+    ts.val.push_back(t.val[k]);
+  }
+  detail::merge_vector(w, mask, accum, std::move(ts), desc);
+}
+
+/// w<M>(I) = accum(w(I), s) — scalar fill of a region (or ALL).
+template <typename T, typename MT = Bool, typename Accum = NoAccum>
+void assign_scalar(Vector<T>& w, const Vector<MT>* mask, Accum accum,
+                   const T& s, const std::vector<Index>& I,
+                   const Descriptor& desc = {}) {
+  const bool all_i = detail::is_all(I);
+  detail::CooVec<T> t;
+  t.n = w.size();
+  if (all_i) {
+    // Dense fill restricted by the mask happens in merge; T is the fully
+    // dense scalar vector, but we can pre-restrict to the mask when it is
+    // not complemented to stay sparse.
+    detail::VectorMask<MT> vm(mask, desc, w.size());
+    for (Index i = 0; i < w.size(); ++i) {
+      if (vm.allows(i)) {
+        t.idx.push_back(i);
+        t.val.push_back(s);
+      }
+    }
+  } else {
+    std::vector<Index> sorted = I;
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    for (Index i : sorted) {
+      if (i >= w.size()) throw IndexOutOfBounds("assign_scalar index");
+      t.idx.push_back(i);
+      t.val.push_back(s);
+    }
+  }
+  detail::merge_vector(w, mask, accum, std::move(t), desc);
+}
+
+/// C<M>(I, J) = accum(C(I,J), s) — scalar fill of a matrix region.
+template <typename T, typename MT = Bool, typename Accum = NoAccum>
+void assign_scalar(Matrix<T>& C, const Matrix<MT>* mask, Accum accum,
+                   const T& s, const std::vector<Index>& I,
+                   const std::vector<Index>& J, const Descriptor& desc = {}) {
+  const bool all_i = detail::is_all(I);
+  const bool all_j = detail::is_all(J);
+  std::vector<Index> rows_sorted;
+  if (!all_i) {
+    rows_sorted = I;
+    std::sort(rows_sorted.begin(), rows_sorted.end());
+    rows_sorted.erase(std::unique(rows_sorted.begin(), rows_sorted.end()),
+                      rows_sorted.end());
+  }
+  std::vector<Index> cols_sorted;
+  if (!all_j) {
+    cols_sorted = J;
+    std::sort(cols_sorted.begin(), cols_sorted.end());
+    cols_sorted.erase(std::unique(cols_sorted.begin(), cols_sorted.end()),
+                      cols_sorted.end());
+  }
+
+  C.wait();
+  const auto& crp = C.rowptr();
+  const auto& cci = C.colidx();
+  const auto& cv = C.values();
+
+  detail::CooRows<T> t;
+  t.nrows = C.nrows();
+  t.ncols = C.ncols();
+  t.rowptr.assign(t.nrows + 1, 0);
+
+  auto row_in = [&](Index i) {
+    return all_i || std::binary_search(rows_sorted.begin(), rows_sorted.end(), i);
+  };
+
+  for (Index i = 0; i < C.nrows(); ++i) {
+    t.rowptr[i] = static_cast<Index>(t.colidx.size());
+    if (!row_in(i)) {
+      for (Index p = crp[i]; p < crp[i + 1]; ++p) {
+        t.colidx.push_back(cci[p]);
+        t.val.push_back(cv[p]);
+      }
+      continue;
+    }
+    if (all_j) {
+      for (Index j = 0; j < C.ncols(); ++j) {
+        t.colidx.push_back(j);
+        t.val.push_back(s);
+      }
+    } else {
+      // Merge C's row with the filled columns.
+      std::size_t p = static_cast<std::size_t>(crp[i]);
+      const std::size_t pe = static_cast<std::size_t>(crp[i + 1]);
+      std::size_t q = 0;
+      while (p < pe || q < cols_sorted.size()) {
+        const bool c_ok = p < pe;
+        const bool f_ok = q < cols_sorted.size();
+        if (c_ok && (!f_ok || cci[p] < cols_sorted[q])) {
+          t.colidx.push_back(cci[p]);
+          t.val.push_back(cv[p]);
+          ++p;
+        } else {
+          const bool same = c_ok && cci[p] == cols_sorted[q];
+          t.colidx.push_back(cols_sorted[q]);
+          t.val.push_back(s);
+          if (same) ++p;
+          ++q;
+        }
+      }
+    }
+  }
+  t.rowptr[t.nrows] = static_cast<Index>(t.colidx.size());
+  detail::merge_matrix(C, mask, accum, std::move(t), desc);
+}
+
+}  // namespace rg::gb

@@ -1,0 +1,318 @@
+// Internal helpers implementing the GraphBLAS output semantics
+//
+//   C<M> = accum(C, T)         (or T when accum is NoAccum)
+//
+// shared by every operation kernel.  Kernels compute the unmasked (or
+// mask-fused) result T as sorted coordinate data, then merge_matrix /
+// merge_vector applies mask, complement, structural, accumulate and
+// REPLACE semantics exactly as the GraphBLAS C API specifies:
+//
+//   where M(i,j) allows:  C = accum ? accum(C, T) : T   (entry-wise union
+//                         for accum; exact replacement for no-accum)
+//   where M(i,j) blocks:  C unchanged (REPLACE off) / deleted (REPLACE on)
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "graphblas/matrix.hpp"
+#include "graphblas/ops.hpp"
+#include "graphblas/types.hpp"
+#include "graphblas/vector.hpp"
+
+namespace rg::gb::detail {
+
+/// Sorted-row coordinate buffer produced by matrix kernels.
+template <typename T>
+struct CooRows {
+  Index nrows = 0, ncols = 0;
+  std::vector<Index> rowptr;  // size nrows+1
+  std::vector<Index> colidx;  // sorted within each row
+  std::vector<T> val;
+};
+
+/// Cursor-based membership test over one row of a mask matrix.
+/// `structural` tests presence; otherwise the stored value must be truthy.
+template <typename MT>
+class MaskRowCursor {
+ public:
+  MaskRowCursor(std::span<const Index> cols, std::span<const MT> vals,
+                bool structural)
+      : cols_(cols), vals_(vals), structural_(structural) {}
+
+  /// Test column j; columns must be queried in ascending order.
+  bool test(Index j) {
+    while (pos_ < cols_.size() && cols_[pos_] < j) ++pos_;
+    if (pos_ >= cols_.size() || cols_[pos_] != j) return false;
+    return structural_ || truthy(vals_[pos_]);
+  }
+
+ private:
+  std::span<const Index> cols_;
+  std::span<const MT> vals_;
+  bool structural_;
+  std::size_t pos_ = 0;
+};
+
+/// Random-access membership test for a vector mask (dense bitmap).
+template <typename MT>
+class VectorMask {
+ public:
+  VectorMask(const Vector<MT>* mask, const Descriptor& desc, Index n)
+      : complement_(desc.mask_complement) {
+    if (mask == nullptr) {
+      all_ = true;
+      return;
+    }
+    if (mask->size() != n)
+      throw DimensionMismatch("mask dimension != output dimension");
+    bits_.assign(n, 0);
+    mask->for_each([&](Index i, const MT& v) {
+      bits_[i] = desc.mask_structural ? 1 : (truthy(v) ? 1 : 0);
+    });
+  }
+
+  /// True when the mask admits index i (complement applied).
+  bool allows(Index i) const {
+    if (all_) return !complement_;
+    return (bits_[i] != 0) != complement_;
+  }
+
+  /// True when no mask was supplied (and not complemented).
+  bool passes_all() const { return all_ && !complement_; }
+
+ private:
+  std::vector<std::uint8_t> bits_;
+  bool all_ = false;
+  bool complement_ = false;
+};
+
+/// Merge computed result `t` into C applying mask/accum/replace semantics.
+template <typename T, typename MT, typename Accum>
+void merge_matrix(Matrix<T>& C, const Matrix<MT>* mask, Accum accum,
+                  CooRows<T>&& t, const Descriptor& desc) {
+  if (t.nrows != C.nrows() || t.ncols != C.ncols())
+    throw DimensionMismatch("result dimensions != C dimensions");
+  if (mask != nullptr &&
+      (mask->nrows() != C.nrows() || mask->ncols() != C.ncols()))
+    throw DimensionMismatch("mask dimensions != C dimensions");
+
+  C.wait();
+  const auto& crp = C.rowptr();
+  const auto& cci = C.colidx();
+  const auto& cv = C.values();
+
+  const std::vector<Index>* mrp = nullptr;
+  const std::vector<Index>* mci_arr = nullptr;
+  const std::vector<MT>* mv_arr = nullptr;
+  if (mask != nullptr) {
+    mask->wait();
+    mrp = &mask->rowptr();
+    mci_arr = &mask->colidx();
+    mv_arr = &mask->values();
+  }
+
+  std::vector<Index> nrp(C.nrows() + 1, 0);
+  std::vector<Index> nci;
+  std::vector<T> nv;
+  nci.reserve(t.colidx.size() + cci.size());
+  nv.reserve(t.colidx.size() + cci.size());
+
+  const bool structural = desc.mask_structural;
+  const bool comp = desc.mask_complement;
+
+  for (Index i = 0; i < C.nrows(); ++i) {
+    nrp[i] = static_cast<Index>(nci.size());
+    // Mask cursor for this row (only when a mask is present).
+    std::span<const Index> mcols;
+    std::span<const MT> mvals;
+    if (mask != nullptr) {
+      const std::size_t mlo = static_cast<std::size_t>((*mrp)[i]);
+      const std::size_t mhi = static_cast<std::size_t>((*mrp)[i + 1]);
+      mcols = {mci_arr->data() + mlo, mhi - mlo};
+      mvals = {mv_arr->data() + mlo, mhi - mlo};
+    }
+    MaskRowCursor<MT> mrow(mcols, mvals, structural);
+    auto allowed = [&](Index j) -> bool {
+      if (mask == nullptr) return !comp;
+      return mrow.test(j) != comp;
+    };
+
+    std::size_t cp = static_cast<std::size_t>(crp[i]);
+    const std::size_t ce = static_cast<std::size_t>(crp[i + 1]);
+    std::size_t tp = static_cast<std::size_t>(t.rowptr[i]);
+    const std::size_t te = static_cast<std::size_t>(t.rowptr[i + 1]);
+
+    while (cp < ce || tp < te) {
+      const bool c_ok = cp < ce;
+      const bool t_ok = tp < te;
+      if (c_ok && (!t_ok || cci[cp] < t.colidx[tp])) {
+        // Entry only in C.
+        const Index j = cci[cp];
+        const bool m = allowed(j);
+        if (m) {
+          // Under the mask: no-accum => C replaced by T, so the entry
+          // disappears; with accum => entry carried through.
+          if constexpr (is_accum_v<Accum>) {
+            nci.push_back(j);
+            nv.push_back(cv[cp]);
+          }
+        } else {
+          // Outside the mask: kept unless REPLACE.
+          if (!desc.replace) {
+            nci.push_back(j);
+            nv.push_back(cv[cp]);
+          }
+        }
+        ++cp;
+      } else if (t_ok && (!c_ok || t.colidx[tp] < cci[cp])) {
+        // Entry only in T.
+        const Index j = t.colidx[tp];
+        if (allowed(j)) {
+          nci.push_back(j);
+          nv.push_back(t.val[tp]);
+        }
+        ++tp;
+      } else {
+        // Entry in both.
+        const Index j = cci[cp];
+        const bool m = allowed(j);
+        if (m) {
+          nci.push_back(j);
+          if constexpr (is_accum_v<Accum>) {
+            nv.push_back(accum(cv[cp], t.val[tp]));
+          } else {
+            nv.push_back(t.val[tp]);
+          }
+        } else if (!desc.replace) {
+          nci.push_back(j);
+          nv.push_back(cv[cp]);
+        }
+        ++cp;
+        ++tp;
+      }
+    }
+  }
+  nrp[C.nrows()] = static_cast<Index>(nci.size());
+
+  C = Matrix<T>::from_csr(C.nrows(), C.ncols(), std::move(nrp), std::move(nci),
+                          std::move(nv));
+}
+
+/// Sorted coordinate buffer produced by vector kernels.
+template <typename T>
+struct CooVec {
+  Index n = 0;
+  std::vector<Index> idx;  // sorted ascending
+  std::vector<T> val;
+};
+
+/// Merge computed result `t` into w applying mask/accum/replace semantics.
+template <typename T, typename MT, typename Accum>
+void merge_vector(Vector<T>& w, const Vector<MT>* mask, Accum accum,
+                  CooVec<T>&& t, const Descriptor& desc) {
+  if (t.n != w.size())
+    throw DimensionMismatch("result dimension != w dimension");
+  VectorMask<MT> vm(mask, desc, w.size());
+
+  const auto& widx = w.indices();
+  const auto& wval = w.values();
+
+  std::vector<Index> nidx;
+  std::vector<T> nval;
+  nidx.reserve(widx.size() + t.idx.size());
+  nval.reserve(widx.size() + t.idx.size());
+
+  std::size_t a = 0, b = 0;
+  while (a < widx.size() || b < t.idx.size()) {
+    const bool w_ok = a < widx.size();
+    const bool t_ok = b < t.idx.size();
+    if (w_ok && (!t_ok || widx[a] < t.idx[b])) {
+      const Index i = widx[a];
+      if (vm.allows(i)) {
+        if constexpr (is_accum_v<Accum>) {
+          nidx.push_back(i);
+          nval.push_back(wval[a]);
+        }
+      } else if (!desc.replace) {
+        nidx.push_back(i);
+        nval.push_back(wval[a]);
+      }
+      ++a;
+    } else if (t_ok && (!w_ok || t.idx[b] < widx[a])) {
+      const Index i = t.idx[b];
+      if (vm.allows(i)) {
+        nidx.push_back(i);
+        nval.push_back(t.val[b]);
+      }
+      ++b;
+    } else {
+      const Index i = widx[a];
+      if (vm.allows(i)) {
+        nidx.push_back(i);
+        if constexpr (is_accum_v<Accum>) {
+          nval.push_back(accum(wval[a], t.val[b]));
+        } else {
+          nval.push_back(t.val[b]);
+        }
+      } else if (!desc.replace) {
+        nidx.push_back(i);
+        nval.push_back(wval[a]);
+      }
+      ++a;
+      ++b;
+    }
+  }
+
+  Vector<T> out(w.size());
+  out.build(nidx, nval);
+  w = std::move(out);
+}
+
+/// View of a matrix honoring a transpose flag: rows of the view are rows
+/// of A (flag off) or columns of A (flag on, materialized transpose).
+template <typename T>
+class TransposedCopy {
+ public:
+  TransposedCopy(const Matrix<T>& a, bool transpose) {
+    if (!transpose) {
+      src_ = &a;
+      return;
+    }
+    own_ = transpose_of(a);
+    src_ = &own_;
+  }
+
+  const Matrix<T>& get() const { return *src_; }
+
+  /// C = A' by counting sort over columns (output rows come out sorted
+  /// because source rows are visited in ascending order).
+  static Matrix<T> transpose_of(const Matrix<T>& a) {
+    a.wait();
+    const auto& rp = a.rowptr();
+    const auto& ci = a.colidx();
+    const auto& v = a.values();
+    std::vector<Index> nrp(a.ncols() + 1, 0);
+    for (Index j : ci) ++nrp[j + 1];
+    for (Index j = 0; j < a.ncols(); ++j) nrp[j + 1] += nrp[j];
+    std::vector<Index> nci(ci.size());
+    std::vector<T> nv(ci.size());
+    std::vector<Index> cur(nrp.begin(), nrp.end() - 1);
+    for (Index i = 0; i < a.nrows(); ++i) {
+      for (Index p = rp[i]; p < rp[i + 1]; ++p) {
+        const Index pos = cur[ci[p]]++;
+        nci[pos] = i;
+        nv[pos] = v[p];
+      }
+    }
+    return Matrix<T>::from_csr(a.ncols(), a.nrows(), std::move(nrp),
+                               std::move(nci), std::move(nv));
+  }
+
+ private:
+  const Matrix<T>* src_ = nullptr;
+  Matrix<T> own_;
+};
+
+}  // namespace rg::gb::detail

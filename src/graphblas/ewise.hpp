@@ -1,0 +1,155 @@
+// Element-wise operations:
+//
+//   eWiseAdd  — set-union of patterns; `op` combines where both present,
+//               the present value passes through otherwise.
+//   eWiseMult — set-intersection of patterns; `op` applied where both
+//               operands have entries.
+#pragma once
+
+#include <vector>
+
+#include "graphblas/detail/merge.hpp"
+#include "graphblas/matrix.hpp"
+#include "graphblas/ops.hpp"
+#include "graphblas/types.hpp"
+#include "graphblas/vector.hpp"
+
+namespace rg::gb {
+
+namespace detail {
+
+template <typename T, typename Op>
+CooRows<T> ewise_matrix(const Matrix<T>& a, const Matrix<T>& b, Op op,
+                        bool is_add) {
+  if (a.nrows() != b.nrows() || a.ncols() != b.ncols())
+    throw DimensionMismatch("eWise: operand dimensions");
+  a.wait();
+  b.wait();
+  const auto& arp = a.rowptr();
+  const auto& aci = a.colidx();
+  const auto& av = a.values();
+  const auto& brp = b.rowptr();
+  const auto& bci = b.colidx();
+  const auto& bv = b.values();
+
+  CooRows<T> t;
+  t.nrows = a.nrows();
+  t.ncols = a.ncols();
+  t.rowptr.assign(t.nrows + 1, 0);
+  t.colidx.reserve(is_add ? aci.size() + bci.size()
+                          : std::min(aci.size(), bci.size()));
+  t.val.reserve(t.colidx.capacity());
+
+  for (Index i = 0; i < t.nrows; ++i) {
+    t.rowptr[i] = static_cast<Index>(t.colidx.size());
+    std::size_t pa = static_cast<std::size_t>(arp[i]);
+    const std::size_t ae = static_cast<std::size_t>(arp[i + 1]);
+    std::size_t pb = static_cast<std::size_t>(brp[i]);
+    const std::size_t be = static_cast<std::size_t>(brp[i + 1]);
+    while (pa < ae || pb < be) {
+      const bool a_ok = pa < ae;
+      const bool b_ok = pb < be;
+      if (a_ok && (!b_ok || aci[pa] < bci[pb])) {
+        if (is_add) {
+          t.colidx.push_back(aci[pa]);
+          t.val.push_back(av[pa]);
+        }
+        ++pa;
+      } else if (b_ok && (!a_ok || bci[pb] < aci[pa])) {
+        if (is_add) {
+          t.colidx.push_back(bci[pb]);
+          t.val.push_back(bv[pb]);
+        }
+        ++pb;
+      } else {
+        t.colidx.push_back(aci[pa]);
+        t.val.push_back(op(av[pa], bv[pb]));
+        ++pa;
+        ++pb;
+      }
+    }
+  }
+  t.rowptr[t.nrows] = static_cast<Index>(t.colidx.size());
+  return t;
+}
+
+template <typename T, typename Op>
+CooVec<T> ewise_vector(const Vector<T>& a, const Vector<T>& b, Op op,
+                       bool is_add) {
+  if (a.size() != b.size()) throw DimensionMismatch("eWise: vector sizes");
+  const auto& ai = a.indices();
+  const auto& av = a.values();
+  const auto& bi = b.indices();
+  const auto& bv = b.values();
+
+  CooVec<T> t;
+  t.n = a.size();
+  std::size_t pa = 0, pb = 0;
+  while (pa < ai.size() || pb < bi.size()) {
+    const bool a_ok = pa < ai.size();
+    const bool b_ok = pb < bi.size();
+    if (a_ok && (!b_ok || ai[pa] < bi[pb])) {
+      if (is_add) {
+        t.idx.push_back(ai[pa]);
+        t.val.push_back(av[pa]);
+      }
+      ++pa;
+    } else if (b_ok && (!a_ok || bi[pb] < ai[pa])) {
+      if (is_add) {
+        t.idx.push_back(bi[pb]);
+        t.val.push_back(bv[pb]);
+      }
+      ++pb;
+    } else {
+      t.idx.push_back(ai[pa]);
+      t.val.push_back(op(av[pa], bv[pb]));
+      ++pa;
+      ++pb;
+    }
+  }
+  return t;
+}
+
+}  // namespace detail
+
+/// C<M> = accum(C, A ⊕ B) — pattern union.
+template <typename Op, typename T, typename MT = Bool, typename Accum = NoAccum>
+void ewise_add(Matrix<T>& C, const Matrix<MT>* mask, Accum accum, Op op,
+               const Matrix<T>& A, const Matrix<T>& B,
+               const Descriptor& desc = {}) {
+  detail::TransposedCopy<T> At(A, desc.transpose_a);
+  detail::TransposedCopy<T> Bt(B, desc.transpose_b);
+  auto t = detail::ewise_matrix(At.get(), Bt.get(), op, /*is_add=*/true);
+  detail::merge_matrix(C, mask, accum, std::move(t), desc);
+}
+
+/// C<M> = accum(C, A ⊗ B) — pattern intersection.
+template <typename Op, typename T, typename MT = Bool, typename Accum = NoAccum>
+void ewise_mult(Matrix<T>& C, const Matrix<MT>* mask, Accum accum, Op op,
+                const Matrix<T>& A, const Matrix<T>& B,
+                const Descriptor& desc = {}) {
+  detail::TransposedCopy<T> At(A, desc.transpose_a);
+  detail::TransposedCopy<T> Bt(B, desc.transpose_b);
+  auto t = detail::ewise_matrix(At.get(), Bt.get(), op, /*is_add=*/false);
+  detail::merge_matrix(C, mask, accum, std::move(t), desc);
+}
+
+/// w<M> = accum(w, u ⊕ v).
+template <typename Op, typename T, typename MT = Bool, typename Accum = NoAccum>
+void ewise_add(Vector<T>& w, const Vector<MT>* mask, Accum accum, Op op,
+               const Vector<T>& u, const Vector<T>& v,
+               const Descriptor& desc = {}) {
+  auto t = detail::ewise_vector(u, v, op, /*is_add=*/true);
+  detail::merge_vector(w, mask, accum, std::move(t), desc);
+}
+
+/// w<M> = accum(w, u ⊗ v).
+template <typename Op, typename T, typename MT = Bool, typename Accum = NoAccum>
+void ewise_mult(Vector<T>& w, const Vector<MT>* mask, Accum accum, Op op,
+                const Vector<T>& u, const Vector<T>& v,
+                const Descriptor& desc = {}) {
+  auto t = detail::ewise_vector(u, v, op, /*is_add=*/false);
+  detail::merge_vector(w, mask, accum, std::move(t), desc);
+}
+
+}  // namespace rg::gb

@@ -1,0 +1,137 @@
+// extract — submatrix / subvector selection:
+//   C<M> = accum(C, A(I, J))            (GrB_extract)
+//
+// I and J are explicit index lists; the sentinel all_indices() selects
+// the full range (GrB_ALL).  Output position (k, l) takes A(I[k], J[l]).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "graphblas/detail/merge.hpp"
+#include "graphblas/matrix.hpp"
+#include "graphblas/ops.hpp"
+#include "graphblas/types.hpp"
+#include "graphblas/vector.hpp"
+
+namespace rg::gb {
+
+/// Sentinel meaning "all indices" (GrB_ALL).
+inline const std::vector<Index>& all_indices() {
+  static const std::vector<Index> sentinel;
+  return sentinel;
+}
+
+namespace detail {
+inline bool is_all(const std::vector<Index>& idx) {
+  return &idx == &all_indices();
+}
+}  // namespace detail
+
+/// C<M> = accum(C, A(I, J)).  C must be |I| x |J| (or A-shaped for ALL).
+template <typename T, typename MT = Bool, typename Accum = NoAccum>
+void extract(Matrix<T>& C, const Matrix<MT>* mask, Accum accum,
+             const Matrix<T>& A, const std::vector<Index>& I,
+             const std::vector<Index>& J, const Descriptor& desc = {}) {
+  detail::TransposedCopy<T> At(A, desc.transpose_a);
+  const Matrix<T>& a = At.get();
+  a.wait();
+
+  const bool all_i = detail::is_all(I);
+  const bool all_j = detail::is_all(J);
+  const Index out_r = all_i ? a.nrows() : static_cast<Index>(I.size());
+  const Index out_c = all_j ? a.ncols() : static_cast<Index>(J.size());
+  if (C.nrows() != out_r || C.ncols() != out_c)
+    throw DimensionMismatch("extract: output shape");
+  for (Index i : I)
+    if (i >= a.nrows()) throw IndexOutOfBounds("extract row index");
+  for (Index j : J)
+    if (j >= a.ncols()) throw IndexOutOfBounds("extract col index");
+
+  // Column remap: source column -> list of output columns (J may repeat).
+  std::unordered_map<Index, std::vector<Index>> colmap;
+  if (!all_j) {
+    for (std::size_t l = 0; l < J.size(); ++l)
+      colmap[J[l]].push_back(static_cast<Index>(l));
+  }
+
+  const auto& rp = a.rowptr();
+  const auto& ci = a.colidx();
+  const auto& av = a.values();
+
+  detail::CooRows<T> t;
+  t.nrows = out_r;
+  t.ncols = out_c;
+  t.rowptr.assign(out_r + 1, 0);
+
+  std::vector<std::pair<Index, T>> rowbuf;
+  for (Index k = 0; k < out_r; ++k) {
+    t.rowptr[k] = static_cast<Index>(t.colidx.size());
+    const Index i = all_i ? k : I[k];
+    rowbuf.clear();
+    for (Index p = rp[i]; p < rp[i + 1]; ++p) {
+      const Index j = ci[p];
+      if (all_j) {
+        rowbuf.emplace_back(j, av[p]);
+      } else if (auto it = colmap.find(j); it != colmap.end()) {
+        for (Index l : it->second) rowbuf.emplace_back(l, av[p]);
+      }
+    }
+    std::sort(rowbuf.begin(), rowbuf.end(),
+              [](const auto& x, const auto& y) { return x.first < y.first; });
+    for (const auto& [j, v] : rowbuf) {
+      t.colidx.push_back(j);
+      t.val.push_back(v);
+    }
+  }
+  t.rowptr[out_r] = static_cast<Index>(t.colidx.size());
+  detail::merge_matrix(C, mask, accum, std::move(t), desc);
+}
+
+/// w<M> = accum(w, u(I)).
+template <typename T, typename MT = Bool, typename Accum = NoAccum>
+void extract(Vector<T>& w, const Vector<MT>* mask, Accum accum,
+             const Vector<T>& u, const std::vector<Index>& I,
+             const Descriptor& desc = {}) {
+  const bool all_i = detail::is_all(I);
+  const Index out_n = all_i ? u.size() : static_cast<Index>(I.size());
+  if (w.size() != out_n) throw DimensionMismatch("extract: output size");
+  for (Index i : I)
+    if (i >= u.size()) throw IndexOutOfBounds("extract index");
+
+  detail::CooVec<T> t;
+  t.n = out_n;
+  if (all_i) {
+    t.idx = u.indices();
+    t.val = u.values();
+  } else {
+    for (std::size_t k = 0; k < I.size(); ++k) {
+      if (auto v = u.extract_element(I[k])) {
+        t.idx.push_back(static_cast<Index>(k));
+        t.val.push_back(*v);
+      }
+    }
+  }
+  detail::merge_vector(w, mask, accum, std::move(t), desc);
+}
+
+/// w<M> = accum(w, A(i, :)) — extract one row (or column with t0).
+template <typename T, typename MT = Bool, typename Accum = NoAccum>
+void extract_row(Vector<T>& w, const Vector<MT>* mask, Accum accum,
+                 const Matrix<T>& A, Index i, const Descriptor& desc = {}) {
+  detail::TransposedCopy<T> At(A, desc.transpose_a);
+  const Matrix<T>& a = At.get();
+  if (i >= a.nrows()) throw IndexOutOfBounds("extract_row");
+  if (w.size() != a.ncols()) throw DimensionMismatch("extract_row: w size");
+  detail::CooVec<T> t;
+  t.n = a.ncols();
+  const auto cols = a.row_indices(i);
+  const auto vals = a.row_values(i);
+  t.idx.assign(cols.begin(), cols.end());
+  t.val.assign(vals.begin(), vals.end());
+  Descriptor d2 = desc;
+  d2.transpose_a = false;
+  detail::merge_vector(w, mask, accum, std::move(t), d2);
+}
+
+}  // namespace rg::gb

@@ -1,0 +1,22 @@
+// Umbrella header for the rg::gb GraphBLAS implementation.
+//
+// Provides the GraphBLAS objects (Matrix, Vector, semirings, monoids,
+// descriptors) and operations (mxm, mxv/vxm, eWise, apply, select,
+// extract, assign, reduce, transpose, kronecker) used by the graph
+// database engine and the algorithm library.
+#pragma once
+
+#include "graphblas/apply.hpp"     // IWYU pragma: export
+#include "graphblas/assign.hpp"    // IWYU pragma: export
+#include "graphblas/ewise.hpp"     // IWYU pragma: export
+#include "graphblas/extract.hpp"   // IWYU pragma: export
+#include "graphblas/kron.hpp"      // IWYU pragma: export
+#include "graphblas/matrix.hpp"    // IWYU pragma: export
+#include "graphblas/mxm.hpp"       // IWYU pragma: export
+#include "graphblas/mxv.hpp"       // IWYU pragma: export
+#include "graphblas/ops.hpp"       // IWYU pragma: export
+#include "graphblas/reduce.hpp"    // IWYU pragma: export
+#include "graphblas/select.hpp"    // IWYU pragma: export
+#include "graphblas/transpose.hpp" // IWYU pragma: export
+#include "graphblas/types.hpp"     // IWYU pragma: export
+#include "graphblas/vector.hpp"    // IWYU pragma: export

@@ -1,0 +1,63 @@
+// kronecker — C = kron(A, B) under a semiring's multiplier:
+//   C(i*bm + k, j*bn + l) = A(i,j) ⊗ B(k,l)
+//
+// Used by tests and by the Graph500 generator's exact small-scale
+// Kronecker-power reference (the benchmark-scale generator samples edges
+// directly instead of materializing powers).
+#pragma once
+
+#include "graphblas/detail/merge.hpp"
+#include "graphblas/matrix.hpp"
+#include "graphblas/ops.hpp"
+#include "graphblas/types.hpp"
+
+namespace rg::gb {
+
+/// C<M> = accum(C, kron(A, B)) with multiplier `mult`.
+template <typename Mult, typename T, typename MT = Bool,
+          typename Accum = NoAccum>
+void kronecker(Matrix<T>& C, const Matrix<MT>* mask, Accum accum, Mult mult,
+               const Matrix<T>& A, const Matrix<T>& B,
+               const Descriptor& desc = {}) {
+  detail::TransposedCopy<T> At(A, desc.transpose_a);
+  detail::TransposedCopy<T> Bt(B, desc.transpose_b);
+  const Matrix<T>& a = At.get();
+  const Matrix<T>& b = Bt.get();
+  const Index out_r = a.nrows() * b.nrows();
+  const Index out_c = a.ncols() * b.ncols();
+  if (C.nrows() != out_r || C.ncols() != out_c)
+    throw DimensionMismatch("kronecker: output shape");
+  a.wait();
+  b.wait();
+
+  const auto& arp = a.rowptr();
+  const auto& aci = a.colidx();
+  const auto& av = a.values();
+  const auto& brp = b.rowptr();
+  const auto& bci = b.colidx();
+  const auto& bv = b.values();
+
+  detail::CooRows<T> t;
+  t.nrows = out_r;
+  t.ncols = out_c;
+  t.rowptr.assign(out_r + 1, 0);
+  t.colidx.reserve(aci.size() * bci.size());
+  t.val.reserve(aci.size() * bci.size());
+
+  for (Index i = 0; i < a.nrows(); ++i) {
+    for (Index k = 0; k < b.nrows(); ++k) {
+      const Index out_row = i * b.nrows() + k;
+      t.rowptr[out_row] = static_cast<Index>(t.colidx.size());
+      for (Index pa = arp[i]; pa < arp[i + 1]; ++pa) {
+        for (Index pb = brp[k]; pb < brp[k + 1]; ++pb) {
+          t.colidx.push_back(aci[pa] * b.ncols() + bci[pb]);
+          t.val.push_back(mult(av[pa], bv[pb]));
+        }
+      }
+    }
+  }
+  t.rowptr[out_r] = static_cast<Index>(t.colidx.size());
+  detail::merge_matrix(C, mask, accum, std::move(t), desc);
+}
+
+}  // namespace rg::gb

@@ -1,0 +1,400 @@
+// gb::Matrix<T> — a sparse GraphBLAS matrix (GrB_Matrix) in CSR form.
+//
+// Storage is compressed sparse row (row pointers + sorted column indices
+// + parallel values).  Mutations (set_element / remove_element) go into
+// an unsorted pending-tuple buffer, merged into the CSR on wait() — the
+// same "pending tuples" design SuiteSparse:GraphBLAS uses so that bulk
+// graph updates cost O(1) amortized per edge instead of O(nnz) each.
+// wait() is const and thread-safe; the logical contents never change,
+// only the physical representation.
+//
+// RedisGraph keeps one boolean matrix per relationship type and label
+// plus their union; those all instantiate Matrix<bool>.  The algorithm
+// layer also uses Matrix<double> / Matrix<uint64_t>.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graphblas/ops.hpp"
+#include "graphblas/types.hpp"
+
+namespace rg::gb {
+
+template <typename T>
+class Matrix {
+ public:
+  static_assert(!std::is_same_v<T, bool>,
+                "Matrix<bool> is forbidden: use gb::Bool (uint8_t)");
+  using value_type = T;
+
+  /// An empty nrows x ncols matrix.
+  Matrix(Index nrows = 0, Index ncols = 0)
+      : nrows_(nrows), ncols_(ncols), rowptr_(nrows + 1, 0) {}
+
+  Matrix(const Matrix& other) {
+    std::lock_guard lk(other.mu_);
+    copy_fields(other);
+  }
+
+  Matrix& operator=(const Matrix& other) {
+    if (this == &other) return *this;
+    Matrix tmp(other);
+    *this = std::move(tmp);
+    return *this;
+  }
+
+  Matrix(Matrix&& other) noexcept {
+    std::lock_guard lk(other.mu_);
+    move_fields(std::move(other));
+  }
+
+  Matrix& operator=(Matrix&& other) noexcept {
+    if (this == &other) return *this;
+    std::scoped_lock lk(mu_, other.mu_);
+    move_fields(std::move(other));
+    return *this;
+  }
+
+  /// Number of rows (GrB_Matrix_nrows).
+  Index nrows() const noexcept { return nrows_; }
+  /// Number of columns (GrB_Matrix_ncols).
+  Index ncols() const noexcept { return ncols_; }
+
+  /// Number of stored entries (forces wait()).
+  Index nvals() const {
+    wait();
+    return static_cast<Index>(colidx_.size());
+  }
+
+  /// True when there are buffered updates not yet merged into the CSR.
+  bool has_pending() const {
+    std::lock_guard lk(mu_);
+    return !pend_.empty();
+  }
+
+  /// Remove all entries, keeping dimensions.
+  void clear() {
+    std::lock_guard lk(mu_);
+    rowptr_.assign(nrows_ + 1, 0);
+    colidx_.clear();
+    val_.clear();
+    pend_.clear();
+  }
+
+  /// Grow/shrink dimensions; out-of-range entries are dropped.
+  void resize(Index nrows, Index ncols) {
+    wait();
+    std::lock_guard lk(mu_);
+    if (nrows < nrows_ || ncols < ncols_) {
+      std::vector<Index> nrp(nrows + 1, 0);
+      std::vector<Index> nci;
+      std::vector<T> nv;
+      const Index rlim = std::min(nrows, nrows_);
+      for (Index i = 0; i < rlim; ++i) {
+        nrp[i] = static_cast<Index>(nci.size());
+        for (Index p = rowptr_[i]; p < rowptr_[i + 1]; ++p) {
+          if (colidx_[p] < ncols) {
+            nci.push_back(colidx_[p]);
+            nv.push_back(val_[p]);
+          }
+        }
+      }
+      for (Index i = rlim; i <= nrows; ++i) nrp[i] = static_cast<Index>(nci.size());
+      // Fix up rowptr prefix for rows < rlim.
+      // (Recompute properly: nrp[i] currently holds start of row i.)
+      nrp[rlim] = static_cast<Index>(nci.size());
+      for (Index i = rlim + 1; i <= nrows; ++i) nrp[i] = nrp[rlim];
+      rowptr_ = std::move(nrp);
+      colidx_ = std::move(nci);
+      val_ = std::move(nv);
+    } else {
+      rowptr_.resize(nrows + 1, rowptr_.empty() ? 0 : rowptr_.back());
+      if (rowptr_.size() == 1) rowptr_[0] = 0;
+    }
+    nrows_ = nrows;
+    ncols_ = ncols;
+  }
+
+  /// Adopt pre-built CSR arrays (kernel fast path).  `rowptr` must have
+  /// nrows+1 monotone entries and columns must be sorted and unique
+  /// within each row; violations are caught by debug assertions only.
+  static Matrix from_csr(Index nrows, Index ncols, std::vector<Index> rowptr,
+                         std::vector<Index> colidx, std::vector<T> val) {
+    assert(rowptr.size() == nrows + 1);
+    assert(rowptr.back() == colidx.size());
+    assert(colidx.size() == val.size());
+    Matrix m(nrows, ncols);
+    m.rowptr_ = std::move(rowptr);
+    m.colidx_ = std::move(colidx);
+    m.val_ = std::move(val);
+    return m;
+  }
+
+  /// A(i,j) = value.  O(1) amortized (pending buffer).
+  void set_element(Index i, Index j, T value) {
+    check_bounds(i, j);
+    std::lock_guard lk(mu_);
+    pend_.push_back(Pend{i, j, std::move(value), false});
+  }
+
+  /// Delete A(i,j) if present (GrB_Matrix_removeElement).
+  void remove_element(Index i, Index j) {
+    check_bounds(i, j);
+    std::lock_guard lk(mu_);
+    pend_.push_back(Pend{i, j, T{}, true});
+  }
+
+  /// Stored value at (i,j), or nullopt.
+  std::optional<T> extract_element(Index i, Index j) const {
+    check_bounds(i, j);
+    wait();
+    const auto [lo, hi] = row_range(i);
+    const auto it = std::lower_bound(colidx_.begin() + static_cast<long>(lo),
+                                     colidx_.begin() + static_cast<long>(hi), j);
+    if (it == colidx_.begin() + static_cast<long>(hi) || *it != j)
+      return std::nullopt;
+    return val_[static_cast<std::size_t>(it - colidx_.begin())];
+  }
+
+  /// True if an entry is stored at (i,j).
+  bool has_element(Index i, Index j) const {
+    return extract_element(i, j).has_value();
+  }
+
+  /// Build from coordinate lists, combining duplicates with `dup`.
+  /// Replaces the current contents (GrB_Matrix_build).
+  template <typename Dup = Second>
+  void build(const std::vector<Index>& rows, const std::vector<Index>& cols,
+             const std::vector<T>& values, Dup dup = {}) {
+    if (rows.size() != cols.size() || rows.size() != values.size())
+      throw DimensionMismatch("build: tuple array length mismatch");
+    for (std::size_t k = 0; k < rows.size(); ++k) check_bounds(rows[k], cols[k]);
+    std::lock_guard lk(mu_);
+    pend_.clear();
+    // Counting sort by row, then sort each row segment by column.
+    std::vector<Index> nrp(nrows_ + 1, 0);
+    for (Index r : rows) ++nrp[r + 1];
+    for (Index i = 0; i < nrows_; ++i) nrp[i + 1] += nrp[i];
+    std::vector<std::size_t> order(rows.size());
+    {
+      std::vector<Index> cursor(nrp.begin(), nrp.end() - 1);
+      for (std::size_t k = 0; k < rows.size(); ++k)
+        order[cursor[rows[k]]++] = k;
+    }
+    std::vector<Index> nci(rows.size());
+    std::vector<T> nv(rows.size());
+    for (Index i = 0; i < nrows_; ++i) {
+      const auto lo = static_cast<std::size_t>(nrp[i]);
+      const auto hi = static_cast<std::size_t>(nrp[i + 1]);
+      std::stable_sort(order.begin() + static_cast<long>(lo),
+                       order.begin() + static_cast<long>(hi),
+                       [&](std::size_t a, std::size_t b) {
+                         return cols[a] < cols[b];
+                       });
+      for (std::size_t p = lo; p < hi; ++p) {
+        nci[p] = cols[order[p]];
+        nv[p] = values[order[p]];
+      }
+    }
+    // Combine duplicates.
+    std::vector<Index> frp(nrows_ + 1, 0);
+    std::vector<Index> fci;
+    std::vector<T> fv;
+    fci.reserve(rows.size());
+    fv.reserve(rows.size());
+    for (Index i = 0; i < nrows_; ++i) {
+      frp[i] = static_cast<Index>(fci.size());
+      const auto lo = static_cast<std::size_t>(nrp[i]);
+      const auto hi = static_cast<std::size_t>(nrp[i + 1]);
+      for (std::size_t p = lo; p < hi; ++p) {
+        if (!fci.empty() && frp[i] < static_cast<Index>(fci.size()) &&
+            fci.back() == nci[p]) {
+          fv.back() = dup(fv.back(), nv[p]);
+        } else {
+          fci.push_back(nci[p]);
+          fv.push_back(nv[p]);
+        }
+      }
+    }
+    frp[nrows_] = static_cast<Index>(fci.size());
+    rowptr_ = std::move(frp);
+    colidx_ = std::move(fci);
+    val_ = std::move(fv);
+  }
+
+  /// Copy out all tuples in row-major order.
+  void extract_tuples(std::vector<Index>& rows, std::vector<Index>& cols,
+                      std::vector<T>& values) const {
+    wait();
+    rows.clear();
+    cols.clear();
+    rows.reserve(colidx_.size());
+    for (Index i = 0; i < nrows_; ++i)
+      for (Index p = rowptr_[i]; p < rowptr_[i + 1]; ++p) rows.push_back(i);
+    cols = colidx_;
+    values = val_;
+  }
+
+  /// Column indices of row i as a contiguous span (forces wait()).
+  std::span<const Index> row_indices(Index i) const {
+    wait();
+    const auto [lo, hi] = row_range(i);
+    return {colidx_.data() + lo, hi - lo};
+  }
+
+  /// Values of row i as a contiguous span (forces wait()).
+  std::span<const T> row_values(Index i) const {
+    wait();
+    const auto [lo, hi] = row_range(i);
+    return {val_.data() + lo, hi - lo};
+  }
+
+  /// Number of entries in row i.
+  Index row_degree(Index i) const {
+    wait();
+    const auto [lo, hi] = row_range(i);
+    return static_cast<Index>(hi - lo);
+  }
+
+  /// Visit all entries: fn(i, j, value), row-major.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    wait();
+    for (Index i = 0; i < nrows_; ++i)
+      for (Index p = rowptr_[i]; p < rowptr_[i + 1]; ++p)
+        fn(i, colidx_[p], val_[p]);
+  }
+
+  /// Raw CSR arrays (forces wait()).  For kernels only.
+  const std::vector<Index>& rowptr() const {
+    wait();
+    return rowptr_;
+  }
+  const std::vector<Index>& colidx() const {
+    wait();
+    return colidx_;
+  }
+  const std::vector<T>& values() const {
+    wait();
+    return val_;
+  }
+
+  /// Merge pending updates into the CSR representation.
+  void wait() const {
+    std::lock_guard lk(mu_);
+    wait_locked();
+  }
+
+ private:
+  struct Pend {
+    Index i, j;
+    T v;
+    bool is_delete;
+  };
+
+  void check_bounds(Index i, Index j) const {
+    if (i >= nrows_ || j >= ncols_)
+      throw IndexOutOfBounds("(" + std::to_string(i) + "," + std::to_string(j) +
+                             ") in " + std::to_string(nrows_) + "x" +
+                             std::to_string(ncols_));
+  }
+
+  std::pair<std::size_t, std::size_t> row_range(Index i) const {
+    if (i >= nrows_) throw IndexOutOfBounds("row " + std::to_string(i));
+    return {static_cast<std::size_t>(rowptr_[i]),
+            static_cast<std::size_t>(rowptr_[i + 1])};
+  }
+
+  void copy_fields(const Matrix& other) {
+    nrows_ = other.nrows_;
+    ncols_ = other.ncols_;
+    rowptr_ = other.rowptr_;
+    colidx_ = other.colidx_;
+    val_ = other.val_;
+    pend_ = other.pend_;
+  }
+
+  void move_fields(Matrix&& other) {
+    nrows_ = other.nrows_;
+    ncols_ = other.ncols_;
+    rowptr_ = std::move(other.rowptr_);
+    colidx_ = std::move(other.colidx_);
+    val_ = std::move(other.val_);
+    pend_ = std::move(other.pend_);
+  }
+
+  // Requires mu_ held.  Last-wins per coordinate in program order.
+  void wait_locked() const {
+    if (pend_.empty()) return;
+    // Sort pending ops by (i, j, program order); keep the last per (i,j).
+    std::vector<std::size_t> order(pend_.size());
+    for (std::size_t k = 0; k < order.size(); ++k) order[k] = k;
+    std::stable_sort(order.begin(), order.end(),
+                     [this](std::size_t a, std::size_t b) {
+                       if (pend_[a].i != pend_[b].i) return pend_[a].i < pend_[b].i;
+                       return pend_[a].j < pend_[b].j;
+                     });
+    std::vector<Pend> last;
+    last.reserve(order.size());
+    for (std::size_t k : order) {
+      const Pend& p = pend_[k];
+      if (!last.empty() && last.back().i == p.i && last.back().j == p.j) {
+        last.back() = p;
+      } else {
+        last.push_back(p);
+      }
+    }
+    // Merge overlay with base CSR, row by row.
+    std::vector<Index> nrp(nrows_ + 1, 0);
+    std::vector<Index> nci;
+    std::vector<T> nv;
+    nci.reserve(colidx_.size() + last.size());
+    nv.reserve(colidx_.size() + last.size());
+    std::size_t ov = 0;  // overlay cursor
+    for (Index i = 0; i < nrows_; ++i) {
+      nrp[i] = static_cast<Index>(nci.size());
+      std::size_t p = static_cast<std::size_t>(rowptr_[i]);
+      const std::size_t pe = static_cast<std::size_t>(rowptr_[i + 1]);
+      while (p < pe || (ov < last.size() && last[ov].i == i)) {
+        const bool base_ok = p < pe;
+        const bool ov_ok = ov < last.size() && last[ov].i == i;
+        if (base_ok && (!ov_ok || colidx_[p] < last[ov].j)) {
+          nci.push_back(colidx_[p]);
+          nv.push_back(val_[p]);
+          ++p;
+        } else {
+          const bool same = base_ok && colidx_[p] == last[ov].j;
+          if (!last[ov].is_delete) {
+            nci.push_back(last[ov].j);
+            nv.push_back(last[ov].v);
+          }
+          if (same) ++p;
+          ++ov;
+        }
+      }
+    }
+    nrp[nrows_] = static_cast<Index>(nci.size());
+    rowptr_ = std::move(nrp);
+    colidx_ = std::move(nci);
+    val_ = std::move(nv);
+    pend_.clear();
+  }
+
+  Index nrows_ = 0;
+  Index ncols_ = 0;
+  mutable std::vector<Index> rowptr_;
+  mutable std::vector<Index> colidx_;
+  mutable std::vector<T> val_;
+  mutable std::vector<Pend> pend_;
+  mutable std::mutex mu_;
+};
+
+}  // namespace rg::gb

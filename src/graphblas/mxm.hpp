@@ -1,0 +1,193 @@
+// Masked sparse matrix–matrix multiply: C<M> = accum(C, A ⊕.⊗ B).
+//
+// Gustavson's row-wise algorithm with a sparse accumulator (SPA) per
+// worker, parallelized over row chunks of A on the global thread pool.
+// When a non-complemented mask is supplied, the kernel fuses it into the
+// SPA scatter so masked-out entries are never computed — this is the
+// optimization that makes RedisGraph's ConditionalTraverse cheap when
+// expanding a small frontier.
+#pragma once
+
+#include <vector>
+
+#include "graphblas/detail/merge.hpp"
+#include "graphblas/matrix.hpp"
+#include "graphblas/ops.hpp"
+#include "graphblas/types.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rg::gb {
+
+namespace detail {
+
+/// Compute rows [lo, hi) of T = A ⊕.⊗ B into `out` (sorted columns).
+template <typename SR, typename T, typename MT>
+void mxm_rows(const Matrix<T>& A, const Matrix<T>& B, const Matrix<MT>* mask,
+              bool mask_structural, bool fuse_mask, SR sr, Index lo, Index hi,
+              std::vector<Index>& out_rowlen, std::vector<Index>& out_cols,
+              std::vector<T>& out_vals) {
+  const Index n = B.ncols();
+  const auto& arp = A.rowptr();
+  const auto& aci = A.colidx();
+  const auto& av = A.values();
+  const auto& brp = B.rowptr();
+  const auto& bci = B.colidx();
+  const auto& bv = B.values();
+
+  // SPA: dense value + presence arrays over B's column space.
+  std::vector<T> spa_val(n, sr.add.identity);
+  std::vector<std::uint8_t> spa_set(n, 0);
+  std::vector<Index> spa_nz;
+
+  std::vector<std::uint8_t> mask_bits;
+  const std::vector<Index>* mrp = nullptr;
+  const std::vector<Index>* mci = nullptr;
+  const std::vector<MT>* mv = nullptr;
+  if (fuse_mask) {
+    mask_bits.assign(n, 0);
+    mrp = &mask->rowptr();
+    mci = &mask->colidx();
+    mv = &mask->values();
+  }
+
+  out_rowlen.assign(hi - lo, 0);
+
+  for (Index i = lo; i < hi; ++i) {
+    // Load the mask row into a bitmap for O(1) fused tests.
+    if (fuse_mask) {
+      for (Index p = (*mrp)[i]; p < (*mrp)[i + 1]; ++p) {
+        mask_bits[(*mci)[p]] =
+            (mask_structural || truthy((*mv)[p])) ? 1 : 0;
+      }
+      // (cleared below after the row is emitted)
+    }
+
+    spa_nz.clear();
+    for (Index pa = arp[i]; pa < arp[i + 1]; ++pa) {
+      const Index k = aci[pa];
+      const T& a_ik = av[pa];
+      for (Index pb = brp[k]; pb < brp[k + 1]; ++pb) {
+        const Index j = bci[pb];
+        if (fuse_mask && mask_bits[j] == 0) continue;
+        const T prod = sr.multiply(a_ik, bv[pb]);
+        if (!spa_set[j]) {
+          spa_set[j] = 1;
+          spa_val[j] = prod;
+          spa_nz.push_back(j);
+        } else {
+          spa_val[j] = sr.combine(spa_val[j], prod);
+        }
+      }
+    }
+    std::sort(spa_nz.begin(), spa_nz.end());
+    out_rowlen[i - lo] = static_cast<Index>(spa_nz.size());
+    for (Index j : spa_nz) {
+      out_cols.push_back(j);
+      out_vals.push_back(spa_val[j]);
+      spa_set[j] = 0;
+      spa_val[j] = sr.add.identity;
+    }
+    if (fuse_mask) {
+      for (Index p = (*mrp)[i]; p < (*mrp)[i + 1]; ++p)
+        mask_bits[(*mci)[p]] = 0;
+    }
+  }
+}
+
+}  // namespace detail
+
+/// C<M> = accum(C, op(A) ⊕.⊗ op(B)) with op = optional transpose.
+///
+/// `mask` may be nullptr.  Pass NoAccum{} for plain assignment.
+template <typename SR, typename T, typename MT = Bool, typename Accum = NoAccum>
+void mxm(Matrix<T>& C, const Matrix<MT>* mask, Accum accum, SR sr,
+         const Matrix<T>& A, const Matrix<T>& B, const Descriptor& desc = {}) {
+  detail::TransposedCopy<T> At(A, desc.transpose_a);
+  detail::TransposedCopy<T> Bt(B, desc.transpose_b);
+  const Matrix<T>& a = At.get();
+  const Matrix<T>& b = Bt.get();
+
+  if (a.ncols() != b.nrows())
+    throw DimensionMismatch("mxm: inner dimensions");
+  if (C.nrows() != a.nrows() || C.ncols() != b.ncols())
+    throw DimensionMismatch("mxm: output dimensions");
+
+  a.wait();
+  b.wait();
+  if (mask != nullptr) mask->wait();
+
+  // Mask fusion is only sound when the mask is not complemented: the
+  // fused kernel computes T restricted to the mask, and the merge step
+  // then never needs values outside it.
+  const bool fuse = mask != nullptr && !desc.mask_complement;
+
+  const Index nr = a.nrows();
+  auto& pool = util::global_pool();
+  const std::size_t nchunks =
+      std::max<std::size_t>(1, std::min<std::size_t>(pool.size() * 4, nr));
+  const Index chunk = (nr + nchunks - 1) / std::max<Index>(1, nchunks);
+
+  struct ChunkOut {
+    Index lo = 0, hi = 0;
+    std::vector<Index> rowlen, cols;
+    std::vector<T> vals;
+  };
+  std::vector<ChunkOut> outs;
+  for (Index lo = 0; lo < nr; lo += chunk) {
+    outs.push_back({lo, std::min(nr, lo + chunk), {}, {}, {}});
+  }
+  if (outs.empty()) outs.push_back({0, 0, {}, {}, {}});
+
+  {
+    std::vector<std::future<void>> futs;
+    for (auto& co : outs) {
+      auto work = [&a, &b, mask, &desc, fuse, sr, &co] {
+        detail::mxm_rows(a, b, mask, desc.mask_structural, fuse, sr, co.lo,
+                         co.hi, co.rowlen, co.cols, co.vals);
+      };
+      if (outs.size() == 1) {
+        work();
+      } else {
+        futs.push_back(pool.submit(work));
+      }
+    }
+    for (auto& f : futs) f.get();
+  }
+
+  // Stitch chunk outputs into one CooRows.
+  detail::CooRows<T> t;
+  t.nrows = nr;
+  t.ncols = b.ncols();
+  t.rowptr.assign(nr + 1, 0);
+  std::size_t total = 0;
+  for (const auto& co : outs) total += co.cols.size();
+  t.colidx.reserve(total);
+  t.val.reserve(total);
+  for (const auto& co : outs) {
+    for (Index i = co.lo; i < co.hi; ++i)
+      t.rowptr[i + 1] = co.rowlen[i - co.lo];
+    t.colidx.insert(t.colidx.end(), co.cols.begin(), co.cols.end());
+    t.val.insert(t.val.end(), co.vals.begin(), co.vals.end());
+  }
+  for (Index i = 0; i < nr; ++i) t.rowptr[i + 1] += t.rowptr[i];
+
+  detail::merge_matrix(C, mask, accum, std::move(t), desc);
+}
+
+/// Convenience overload: unmasked (nullptr literal), any accumulator.
+template <typename SR, typename T, typename Accum>
+void mxm(Matrix<T>& C, std::nullptr_t, Accum accum, SR sr, const Matrix<T>& A,
+         const Matrix<T>& B, const Descriptor& desc = {}) {
+  mxm<SR, T, Bool, Accum>(C, static_cast<const Matrix<Bool>*>(nullptr), accum,
+                          sr, A, B, desc);
+}
+
+/// Convenience overload: unmasked, no accumulator.
+template <typename SR, typename T>
+void mxm(Matrix<T>& C, SR sr, const Matrix<T>& A, const Matrix<T>& B,
+         const Descriptor& desc = {}) {
+  mxm<SR, T, Bool, NoAccum>(C, static_cast<const Matrix<Bool>*>(nullptr),
+                            NoAccum{}, sr, A, B, desc);
+}
+
+}  // namespace rg::gb

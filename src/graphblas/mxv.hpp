@@ -1,0 +1,205 @@
+// Sparse matrix–vector products.
+//
+//   vxm:  w<M> = accum(w, u' ⊕.⊗ A)   — "push": scatter the rows of A
+//         selected by u's nonzeros into a sparse accumulator.  Cost is
+//         proportional to the edges incident to the frontier.
+//   mxv:  w<M> = accum(w, A ⊕.⊗ u)    — "pull": for every row of A, dot
+//         the row against a dense view of u.  Cost is proportional to
+//         nnz(A) but admits early exit with terminal monoids and skips
+//         masked-out rows entirely.
+//
+// BFS-style traversals (RedisGraph's variable-length expansion, our
+// k-hop kernel) dispatch between push and pull by frontier density, the
+// "direction optimization" SuiteSparse applies internally.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graphblas/detail/merge.hpp"
+#include "graphblas/matrix.hpp"
+#include "graphblas/ops.hpp"
+#include "graphblas/types.hpp"
+#include "graphblas/vector.hpp"
+
+namespace rg::gb {
+
+/// w<M> = accum(w, u' ⊕.⊗ op(A)) — push-style product over u's nonzeros.
+template <typename SR, typename T, typename MT = Bool, typename Accum = NoAccum>
+void vxm(Vector<T>& w, const Vector<MT>* mask, Accum accum, SR sr,
+         const Vector<T>& u, const Matrix<T>& A, const Descriptor& desc = {}) {
+  detail::TransposedCopy<T> At(A, desc.transpose_a);
+  const Matrix<T>& a = At.get();
+  if (u.size() != a.nrows())
+    throw DimensionMismatch("vxm: u dimension != A rows");
+  if (w.size() != a.ncols())
+    throw DimensionMismatch("vxm: w dimension != A cols");
+
+  a.wait();
+  const auto& rp = a.rowptr();
+  const auto& ci = a.colidx();
+  const auto& av = a.values();
+
+  // Fused mask: skip scattering into positions the mask blocks.
+  detail::VectorMask<MT> vm(mask, desc, w.size());
+  const bool fuse = mask != nullptr;
+
+  const Index n = a.ncols();
+  std::vector<T> spa_val(n, sr.add.identity);
+  std::vector<std::uint8_t> spa_set(n, 0);
+  std::vector<Index> spa_nz;
+
+  u.for_each([&](Index k, const T& uk) {
+    for (Index p = rp[k]; p < rp[k + 1]; ++p) {
+      const Index j = ci[p];
+      if (fuse && !vm.allows(j)) continue;
+      const T prod = sr.multiply(uk, av[p]);
+      if (!spa_set[j]) {
+        spa_set[j] = 1;
+        spa_val[j] = prod;
+        spa_nz.push_back(j);
+      } else {
+        spa_val[j] = sr.combine(spa_val[j], prod);
+      }
+    }
+  });
+
+  std::sort(spa_nz.begin(), spa_nz.end());
+  detail::CooVec<T> t;
+  t.n = w.size();
+  t.idx.reserve(spa_nz.size());
+  t.val.reserve(spa_nz.size());
+  for (Index j : spa_nz) {
+    t.idx.push_back(j);
+    t.val.push_back(spa_val[j]);
+  }
+  detail::merge_vector(w, mask, accum, std::move(t), desc);
+}
+
+/// w<M> = accum(w, op(A) ⊕.⊗ u) — pull-style product scanning rows of A.
+template <typename SR, typename T, typename MT = Bool, typename Accum = NoAccum>
+void mxv(Vector<T>& w, const Vector<MT>* mask, Accum accum, SR sr,
+         const Matrix<T>& A, const Vector<T>& u, const Descriptor& desc = {}) {
+  detail::TransposedCopy<T> At(A, desc.transpose_a);
+  const Matrix<T>& a = At.get();
+  if (u.size() != a.ncols())
+    throw DimensionMismatch("mxv: u dimension != A cols");
+  if (w.size() != a.nrows())
+    throw DimensionMismatch("mxv: w dimension != A rows");
+
+  a.wait();
+  const auto& rp = a.rowptr();
+  const auto& ci = a.colidx();
+  const auto& av = a.values();
+
+  // Dense view of u.
+  std::vector<std::uint8_t> u_set(a.ncols(), 0);
+  std::vector<T> u_val(a.ncols(), T{});
+  u.for_each([&](Index j, const T& v) {
+    u_set[j] = 1;
+    u_val[j] = v;
+  });
+
+  detail::VectorMask<MT> vm(mask, desc, w.size());
+  const bool fuse = mask != nullptr;
+  const bool terminal = sr.add.has_terminal;
+
+  detail::CooVec<T> t;
+  t.n = w.size();
+  for (Index i = 0; i < a.nrows(); ++i) {
+    if (fuse && !vm.allows(i)) continue;  // row skipped entirely
+    bool any = false;
+    T acc = sr.add.identity;
+    for (Index p = rp[i]; p < rp[i + 1]; ++p) {
+      const Index j = ci[p];
+      if (!u_set[j]) continue;
+      const T prod = sr.multiply(av[p], u_val[j]);
+      acc = any ? sr.combine(acc, prod) : prod;
+      any = true;
+      if (terminal && acc == sr.add.terminal) break;  // early exit
+    }
+    if (any) {
+      t.idx.push_back(i);
+      t.val.push_back(acc);
+    }
+  }
+  detail::merge_vector(w, mask, accum, std::move(t), desc);
+}
+
+/// Specialized boolean frontier step used by level-synchronous BFS:
+///
+///   next<!visited, structural, replace> = frontier' any.pair A
+///
+/// `visited` is a dense byte bitmap (1 = already reached).  `frontier`
+/// and `next` are index lists.  Dispatches push (scatter frontier rows)
+/// vs pull (scan unvisited vertices' rows of AT, early exit on first hit)
+/// by comparing frontier edge work against unvisited pull work, and
+/// returns which direction was taken (for the ablation bench).
+///
+/// `A` must be the CSR adjacency in the traversal direction and `AT` its
+/// transpose (RedisGraph's RG_Matrix maintains both).
+enum class StepDirection { kPush, kPull };
+
+template <typename T>
+StepDirection bfs_step(const Matrix<T>& A, const Matrix<T>& AT,
+                       const std::vector<Index>& frontier,
+                       std::vector<std::uint8_t>& visited,
+                       std::vector<Index>& next,
+                       std::vector<std::uint8_t>& in_frontier,
+                       StepDirection forced = StepDirection::kPush,
+                       bool force = false) {
+  A.wait();
+  AT.wait();
+  const auto& rp = A.rowptr();
+  const auto& ci = A.colidx();
+  const Index n = A.nrows();
+
+  // Estimate costs: push touches sum(deg(frontier)); pull touches rows of
+  // unvisited vertices with early exit.
+  std::size_t push_work = 0;
+  for (Index v : frontier) push_work += rp[v + 1] - rp[v];
+  std::size_t unvisited = 0;
+  for (Index i = 0; i < n; ++i) unvisited += visited[i] == 0;
+
+  StepDirection dir;
+  if (force) {
+    dir = forced;
+  } else {
+    // Pull wins when the frontier's edge work dwarfs a masked scan of the
+    // remaining vertices (heuristic factor mirrors direction-optimized BFS).
+    dir = (push_work > unvisited * 8) ? StepDirection::kPull
+                                      : StepDirection::kPush;
+  }
+
+  next.clear();
+  if (dir == StepDirection::kPush) {
+    for (Index v : frontier) {
+      for (Index p = rp[v]; p < rp[v + 1]; ++p) {
+        const Index j = ci[p];
+        if (!visited[j]) {
+          visited[j] = 1;
+          next.push_back(j);
+        }
+      }
+    }
+  } else {
+    // Pull: mark frontier membership, then scan unvisited rows of AT.
+    for (Index v : frontier) in_frontier[v] = 1;
+    const auto& trp = AT.rowptr();
+    const auto& tci = AT.colidx();
+    for (Index i = 0; i < n; ++i) {
+      if (visited[i]) continue;
+      for (Index p = trp[i]; p < trp[i + 1]; ++p) {
+        if (in_frontier[tci[p]]) {
+          visited[i] = 1;
+          next.push_back(i);
+          break;  // any-pair: first hit suffices
+        }
+      }
+    }
+    for (Index v : frontier) in_frontier[v] = 0;
+  }
+  return dir;
+}
+
+}  // namespace rg::gb

@@ -1,0 +1,255 @@
+// Built-in GraphBLAS operators: unary ops, binary ops, monoids, semirings.
+//
+// All operators are stateless functor types so that kernels inline them.
+// A Monoid pairs an associative binary op with its identity; a Semiring
+// pairs an additive monoid with a multiplicative binary op.  Naming
+// follows the GraphBLAS convention (PlusTimes = GrB_PLUS_TIMES_SEMIRING,
+// LorLand = GxB_LOR_LAND_BOOL, AnyPair = GxB_ANY_PAIR_BOOL, ...).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+
+namespace rg::gb {
+
+// ---------------------------------------------------------------------------
+// Binary operators
+// ---------------------------------------------------------------------------
+
+struct Plus {
+  template <typename T>
+  constexpr T operator()(const T& a, const T& b) const {
+    return a + b;
+  }
+};
+
+struct Minus {
+  template <typename T>
+  constexpr T operator()(const T& a, const T& b) const {
+    return a - b;
+  }
+};
+
+struct Times {
+  template <typename T>
+  constexpr T operator()(const T& a, const T& b) const {
+    return a * b;
+  }
+};
+
+struct Min {
+  template <typename T>
+  constexpr T operator()(const T& a, const T& b) const {
+    return std::min(a, b);
+  }
+};
+
+struct Max {
+  template <typename T>
+  constexpr T operator()(const T& a, const T& b) const {
+    return std::max(a, b);
+  }
+};
+
+/// Logical OR (on booleans; nonzero-or on numeric types).
+struct Lor {
+  template <typename T>
+  constexpr T operator()(const T& a, const T& b) const {
+    return static_cast<T>((a != T{}) || (b != T{}));
+  }
+};
+
+/// Logical AND.
+struct Land {
+  template <typename T>
+  constexpr T operator()(const T& a, const T& b) const {
+    return static_cast<T>((a != T{}) && (b != T{}));
+  }
+};
+
+/// FIRST(a, b) = a.
+struct First {
+  template <typename T>
+  constexpr T operator()(const T& a, const T&) const {
+    return a;
+  }
+};
+
+/// SECOND(a, b) = b.
+struct Second {
+  template <typename T>
+  constexpr T operator()(const T&, const T& b) const {
+    return b;
+  }
+};
+
+/// PAIR(a, b) = 1 — the "structure only" multiplier.
+struct Pair {
+  template <typename T>
+  constexpr T operator()(const T&, const T&) const {
+    return static_cast<T>(1);
+  }
+};
+
+/// Equality comparison (returns T-cast boolean).
+struct Eq {
+  template <typename T>
+  constexpr T operator()(const T& a, const T& b) const {
+    return static_cast<T>(a == b);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Unary operators
+// ---------------------------------------------------------------------------
+
+struct Identity {
+  template <typename T>
+  constexpr T operator()(const T& a) const {
+    return a;
+  }
+};
+
+struct Ainv {  // additive inverse
+  template <typename T>
+  constexpr T operator()(const T& a) const {
+    return static_cast<T>(-a);
+  }
+};
+
+struct Abs {
+  template <typename T>
+  constexpr T operator()(const T& a) const {
+    if constexpr (std::is_unsigned_v<T>) {
+      return a;
+    } else {
+      return a < T{} ? static_cast<T>(-a) : a;
+    }
+  }
+};
+
+/// ONE(a) = 1 — used to normalize structural matrices.
+struct One {
+  template <typename T>
+  constexpr T operator()(const T&) const {
+    return static_cast<T>(1);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Monoids: associative binary op + identity (+ optional terminal value)
+// ---------------------------------------------------------------------------
+
+/// Monoid over value type T with binary op Op.
+template <typename T, typename Op>
+struct Monoid {
+  using value_type = T;
+  Op op{};
+  T identity{};
+  /// If true, `terminal` short-circuits reductions (e.g. OR hits true).
+  bool has_terminal = false;
+  T terminal{};
+
+  constexpr T operator()(const T& a, const T& b) const { return op(a, b); }
+};
+
+template <typename T>
+constexpr Monoid<T, Plus> plus_monoid() {
+  return {Plus{}, T{0}, false, T{}};
+}
+template <typename T>
+constexpr Monoid<T, Times> times_monoid() {
+  return {Times{}, T{1}, false, T{}};
+}
+template <typename T>
+constexpr Monoid<T, Min> min_monoid() {
+  return {Min{}, std::numeric_limits<T>::max(), true,
+          std::numeric_limits<T>::lowest()};
+}
+template <typename T>
+constexpr Monoid<T, Max> max_monoid() {
+  return {Max{}, std::numeric_limits<T>::lowest(), true,
+          std::numeric_limits<T>::max()};
+}
+/// Boolean monoids over gb::Bool (uint8_t; see types.hpp).
+inline constexpr Monoid<std::uint8_t, Lor> lor_monoid{Lor{}, 0, true, 1};
+inline constexpr Monoid<std::uint8_t, Land> land_monoid{Land{}, 1, true, 0};
+
+// ---------------------------------------------------------------------------
+// Semirings: additive monoid ⊕ + multiplicative binary op ⊗
+// ---------------------------------------------------------------------------
+
+/// Semiring with additive monoid AddMonoid and multiplier MultOp.
+template <typename T, typename AddOp, typename MultOp>
+struct Semiring {
+  using value_type = T;
+  Monoid<T, AddOp> add{};
+  MultOp mult{};
+
+  constexpr T multiply(const T& a, const T& b) const { return mult(a, b); }
+  constexpr T combine(const T& a, const T& b) const { return add(a, b); }
+};
+
+/// Classic arithmetic semiring (+, *): path counting, PageRank, SpGEMM.
+template <typename T>
+constexpr Semiring<T, Plus, Times> plus_times() {
+  return {plus_monoid<T>(), Times{}};
+}
+
+/// (+, pair): counts structural products — used for triangle counting.
+template <typename T>
+constexpr Semiring<T, Plus, Pair> plus_pair() {
+  return {plus_monoid<T>(), Pair{}};
+}
+
+/// (min, +): shortest paths.
+template <typename T>
+constexpr Semiring<T, Min, Plus> min_plus() {
+  return {min_monoid<T>(), Plus{}};
+}
+
+/// (max, *).
+template <typename T>
+constexpr Semiring<T, Max, Times> max_times() {
+  return {max_monoid<T>(), Times{}};
+}
+
+/// Boolean (or, and): reachability / structural traversal.
+inline constexpr Semiring<std::uint8_t, Lor, Land> lor_land{lor_monoid, Land{}};
+
+/// Boolean (or, pair) — "any pair": the pure-structure traversal semiring
+/// RedisGraph uses for Cypher traversals; OR is terminal at `true` so row
+/// merges can exit early.
+inline constexpr Semiring<std::uint8_t, Lor, Pair> any_pair{lor_monoid, Pair{}};
+
+/// (plus, second): used by masked frontier expansion carrying payloads.
+template <typename T>
+constexpr Semiring<T, Plus, Second> plus_second() {
+  return {plus_monoid<T>(), Second{}};
+}
+
+/// (min, second): BFS parent selection.
+template <typename T>
+constexpr Semiring<T, Min, Second> min_second() {
+  return {min_monoid<T>(), Second{}};
+}
+
+/// (min, first): BFS parent selection carrying the source id.
+template <typename T>
+constexpr Semiring<T, Min, First> min_first() {
+  return {min_monoid<T>(), First{}};
+}
+
+// ---------------------------------------------------------------------------
+// Accumulator tag
+// ---------------------------------------------------------------------------
+
+/// Tag type meaning "no accumulator": results overwrite C under the mask.
+struct NoAccum {};
+
+template <typename A>
+inline constexpr bool is_accum_v = !std::is_same_v<std::decay_t<A>, NoAccum>;
+
+}  // namespace rg::gb

@@ -1,0 +1,69 @@
+// reduce — fold entries with a monoid:
+//   w<M> = accum(w, ⊕_j A(i, j))        (matrix → vector, row-wise)
+//   s    = ⊕ all entries                (matrix/vector → scalar)
+#pragma once
+
+#include "graphblas/detail/merge.hpp"
+#include "graphblas/matrix.hpp"
+#include "graphblas/ops.hpp"
+#include "graphblas/types.hpp"
+#include "graphblas/vector.hpp"
+
+namespace rg::gb {
+
+/// w<M> = accum(w, row-wise reduction of op(A)).  Use desc.t0 for
+/// column-wise reduction.
+template <typename T, typename AddOp, typename MT = Bool,
+          typename Accum = NoAccum>
+void reduce_rows(Vector<T>& w, const Vector<MT>* mask, Accum accum,
+                 const Monoid<T, AddOp>& monoid, const Matrix<T>& A,
+                 const Descriptor& desc = {}) {
+  detail::TransposedCopy<T> At(A, desc.transpose_a);
+  const Matrix<T>& a = At.get();
+  if (w.size() != a.nrows())
+    throw DimensionMismatch("reduce_rows: w size != A rows");
+  a.wait();
+  const auto& rp = a.rowptr();
+  const auto& av = a.values();
+
+  detail::CooVec<T> t;
+  t.n = w.size();
+  for (Index i = 0; i < a.nrows(); ++i) {
+    if (rp[i] == rp[i + 1]) continue;
+    T acc = av[rp[i]];
+    for (Index p = rp[i] + 1; p < rp[i + 1]; ++p) {
+      acc = monoid(acc, av[p]);
+      if (monoid.has_terminal && acc == monoid.terminal) break;
+    }
+    t.idx.push_back(i);
+    t.val.push_back(acc);
+  }
+  Descriptor d2 = desc;
+  d2.transpose_a = false;
+  detail::merge_vector(w, mask, accum, std::move(t), d2);
+}
+
+/// Scalar reduction of all stored entries of A (identity when empty).
+template <typename T, typename AddOp>
+T reduce(const Monoid<T, AddOp>& monoid, const Matrix<T>& A) {
+  A.wait();
+  T acc = monoid.identity;
+  for (const T& v : A.values()) {
+    acc = monoid(acc, v);
+    if (monoid.has_terminal && acc == monoid.terminal) break;
+  }
+  return acc;
+}
+
+/// Scalar reduction of all stored entries of u (identity when empty).
+template <typename T, typename AddOp>
+T reduce(const Monoid<T, AddOp>& monoid, const Vector<T>& u) {
+  T acc = monoid.identity;
+  for (const T& v : u.values()) {
+    acc = monoid(acc, v);
+    if (monoid.has_terminal && acc == monoid.terminal) break;
+  }
+  return acc;
+}
+
+}  // namespace rg::gb

@@ -1,0 +1,120 @@
+// select — keep the entries satisfying a positional/value predicate:
+//   C<M> = accum(C, A ⟨pred⟩)        (GxB_select / GrB_select)
+//
+// Predicates receive (row, col, value).  Built-in predicates cover the
+// triangle-counting and diagonal-manipulation uses (tril/triu/diag/
+// offdiag) plus value comparisons.
+#pragma once
+
+#include "graphblas/detail/merge.hpp"
+#include "graphblas/matrix.hpp"
+#include "graphblas/ops.hpp"
+#include "graphblas/types.hpp"
+#include "graphblas/vector.hpp"
+
+namespace rg::gb {
+
+/// Keep strictly-lower-triangle entries (j < i + offset).
+struct Tril {
+  std::int64_t offset = 0;
+  template <typename T>
+  bool operator()(Index i, Index j, const T&) const {
+    return static_cast<std::int64_t>(j) <=
+           static_cast<std::int64_t>(i) + offset;
+  }
+};
+
+/// Keep upper-triangle entries (j >= i + offset).
+struct Triu {
+  std::int64_t offset = 0;
+  template <typename T>
+  bool operator()(Index i, Index j, const T&) const {
+    return static_cast<std::int64_t>(j) >=
+           static_cast<std::int64_t>(i) + offset;
+  }
+};
+
+/// Keep diagonal entries.
+struct Diag {
+  template <typename T>
+  bool operator()(Index i, Index j, const T&) const {
+    return i == j;
+  }
+};
+
+/// Keep off-diagonal entries.
+struct OffDiag {
+  template <typename T>
+  bool operator()(Index i, Index j, const T&) const {
+    return i != j;
+  }
+};
+
+/// Keep entries with truthy values.
+struct NonZero {
+  template <typename T>
+  bool operator()(Index, Index, const T& v) const {
+    return detail::truthy(v);
+  }
+};
+
+/// Keep entries with value > threshold.
+template <typename T>
+struct ValueGT {
+  T threshold{};
+  bool operator()(Index, Index, const T& v) const { return v > threshold; }
+};
+
+/// Keep entries with value < threshold.
+template <typename T>
+struct ValueLT {
+  T threshold{};
+  bool operator()(Index, Index, const T& v) const { return v < threshold; }
+};
+
+/// C<M> = accum(C, entries of A where pred(i, j, v)).
+template <typename Pred, typename T, typename MT = Bool,
+          typename Accum = NoAccum>
+void select(Matrix<T>& C, const Matrix<MT>* mask, Accum accum, Pred pred,
+            const Matrix<T>& A, const Descriptor& desc = {}) {
+  detail::TransposedCopy<T> At(A, desc.transpose_a);
+  const Matrix<T>& a = At.get();
+  a.wait();
+  const auto& rp = a.rowptr();
+  const auto& ci = a.colidx();
+  const auto& av = a.values();
+
+  detail::CooRows<T> t;
+  t.nrows = a.nrows();
+  t.ncols = a.ncols();
+  t.rowptr.assign(t.nrows + 1, 0);
+  for (Index i = 0; i < t.nrows; ++i) {
+    t.rowptr[i] = static_cast<Index>(t.colidx.size());
+    for (Index p = rp[i]; p < rp[i + 1]; ++p) {
+      if (pred(i, ci[p], av[p])) {
+        t.colidx.push_back(ci[p]);
+        t.val.push_back(av[p]);
+      }
+    }
+  }
+  t.rowptr[t.nrows] = static_cast<Index>(t.colidx.size());
+  detail::merge_matrix(C, mask, accum, std::move(t), desc);
+}
+
+/// w<M> = accum(w, entries of u where pred(i, v)).
+template <typename Pred, typename T, typename MT = Bool,
+          typename Accum = NoAccum>
+void select(Vector<T>& w, const Vector<MT>* mask, Accum accum, Pred pred,
+            const Vector<T>& u, const Descriptor& desc = {}) {
+  detail::CooVec<T> t;
+  t.n = u.size();
+  u.for_each([&](Index i, const T& v) {
+    if (pred(i, v)) {
+      t.idx.push_back(i);
+      t.val.push_back(v);
+    }
+  });
+  detail::merge_vector(w, mask, accum, std::move(t), desc);
+}
+
+}  // namespace rg::gb

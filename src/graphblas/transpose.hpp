@@ -1,0 +1,41 @@
+// transpose — C<M> = accum(C, A').
+//
+// RedisGraph's RG_Matrix keeps a transposed twin of every relationship
+// matrix so that right-to-left traversals need no on-the-fly transpose;
+// the graph layer calls this to maintain those twins.
+#pragma once
+
+#include "graphblas/detail/merge.hpp"
+#include "graphblas/matrix.hpp"
+#include "graphblas/ops.hpp"
+#include "graphblas/types.hpp"
+
+namespace rg::gb {
+
+/// C<M> = accum(C, A') (or plain A with desc.transpose_a, matching GrB).
+template <typename T, typename MT = Bool, typename Accum = NoAccum>
+void transpose(Matrix<T>& C, const Matrix<MT>* mask, Accum accum,
+               const Matrix<T>& A, const Descriptor& desc = {}) {
+  // GrB semantics: GrB_transpose with T0 set yields A itself.
+  Matrix<T> tr = desc.transpose_a ? A : detail::TransposedCopy<T>::transpose_of(A);
+  if (C.nrows() != tr.nrows() || C.ncols() != tr.ncols())
+    throw DimensionMismatch("transpose: output shape");
+  tr.wait();
+  detail::CooRows<T> t;
+  t.nrows = tr.nrows();
+  t.ncols = tr.ncols();
+  t.rowptr = tr.rowptr();
+  t.colidx = tr.colidx();
+  t.val = tr.values();
+  Descriptor d2 = desc;
+  d2.transpose_a = false;
+  detail::merge_matrix(C, mask, accum, std::move(t), d2);
+}
+
+/// Functional form: returns A'.
+template <typename T>
+Matrix<T> transposed(const Matrix<T>& A) {
+  return detail::TransposedCopy<T>::transpose_of(A);
+}
+
+}  // namespace rg::gb

@@ -1,0 +1,82 @@
+// Core types for the rg::gb GraphBLAS implementation.
+//
+// This module is a from-scratch C++20 re-implementation of the subset of
+// the GraphBLAS C API (Buluc et al., IPDPSW 2017) that RedisGraph relies
+// on, plus the general operations (extract/assign/select/reduce/kron)
+// needed by the algorithm layer.  Semantics follow the spec:
+//
+//   C<M> = accum(C, op(A, B))
+//
+// where M is an optional (possibly complemented, possibly structural)
+// mask, accum an optional elementwise accumulator, and the descriptor
+// controls input transposition and REPLACE semantics.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace rg::gb {
+
+/// Row/column/position index type (GrB_Index).
+using Index = std::uint64_t;
+
+/// Boolean element type for GrB_BOOL-style matrices and vectors.
+///
+/// Deliberately uint8_t rather than bool: std::vector<bool> is a packed
+/// proxy container whose elements cannot be exposed as contiguous spans,
+/// which the CSR kernels require.  Matrix<bool>/Vector<bool> are
+/// rejected at compile time.
+using Bool = std::uint8_t;
+
+/// Error raised on dimension mismatches (GrB_DIMENSION_MISMATCH).
+class DimensionMismatch : public std::runtime_error {
+ public:
+  explicit DimensionMismatch(const std::string& what)
+      : std::runtime_error("GraphBLAS dimension mismatch: " + what) {}
+};
+
+/// Error raised on out-of-range indices (GrB_INDEX_OUT_OF_BOUNDS).
+class IndexOutOfBounds : public std::out_of_range {
+ public:
+  explicit IndexOutOfBounds(const std::string& what)
+      : std::out_of_range("GraphBLAS index out of bounds: " + what) {}
+};
+
+/// Error raised when extractElement finds no stored entry (GrB_NO_VALUE).
+class NoValue : public std::runtime_error {
+ public:
+  NoValue() : std::runtime_error("GraphBLAS: no stored value") {}
+};
+
+/// Operation descriptor (GrB_Descriptor).
+///
+/// Field semantics match GrB_DESC_*: `transpose_a`/`transpose_b` use the
+/// transpose of the corresponding input; `mask_complement` keeps results
+/// where the mask is *absent/false*; `mask_structural` tests entry
+/// presence instead of value truthiness; `replace` clears entries of C
+/// outside the mask instead of carrying them through.
+struct Descriptor {
+  bool transpose_a = false;
+  bool transpose_b = false;
+  bool mask_complement = false;
+  bool mask_structural = false;
+  bool replace = false;
+
+  static Descriptor t0() { return {.transpose_a = true}; }
+  static Descriptor t1() { return {.transpose_b = true}; }
+  static Descriptor rc() { return {.mask_complement = true, .replace = true}; }
+  static Descriptor comp() { return {.mask_complement = true}; }
+  static Descriptor structural() { return {.mask_structural = true}; }
+  static Descriptor replace_only() { return {.replace = true}; }
+};
+
+namespace detail {
+/// Truthiness used by valued masks: any stored value != T{} is "true".
+template <typename T>
+constexpr bool truthy(const T& v) {
+  return v != T{};
+}
+}  // namespace detail
+
+}  // namespace rg::gb

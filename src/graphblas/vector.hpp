@@ -1,0 +1,297 @@
+// gb::Vector<T> — a sparse GraphBLAS vector (GrB_Vector).
+//
+// Storage is a sorted coordinate list (indices ascending + parallel
+// values) with an unsorted pending-tuple buffer so that setElement is
+// O(1) amortized.  Read operations force a wait(), which merges pending
+// updates (SuiteSparse-style lazy materialization).  wait() is const and
+// thread-safe: the logical value of the vector never changes, only its
+// physical representation.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "graphblas/ops.hpp"
+#include "graphblas/types.hpp"
+
+namespace rg::gb {
+
+template <typename T>
+class Vector {
+ public:
+  static_assert(!std::is_same_v<T, bool>,
+                "Vector<bool> is forbidden: use gb::Bool (uint8_t)");
+  using value_type = T;
+
+  /// An empty vector of dimension `n`.
+  explicit Vector(Index n = 0) : n_(n) {}
+
+  Vector(const Vector& other) {
+    std::lock_guard lk(other.mu_);
+    n_ = other.n_;
+    idx_ = other.idx_;
+    val_ = other.val_;
+    pending_idx_ = other.pending_idx_;
+    pending_val_ = other.pending_val_;
+    pending_del_ = other.pending_del_;
+  }
+
+  Vector& operator=(const Vector& other) {
+    if (this == &other) return *this;
+    Vector tmp(other);
+    *this = std::move(tmp);
+    return *this;
+  }
+
+  Vector(Vector&& other) noexcept {
+    std::lock_guard lk(other.mu_);
+    n_ = other.n_;
+    idx_ = std::move(other.idx_);
+    val_ = std::move(other.val_);
+    pending_idx_ = std::move(other.pending_idx_);
+    pending_val_ = std::move(other.pending_val_);
+    pending_del_ = std::move(other.pending_del_);
+  }
+
+  Vector& operator=(Vector&& other) noexcept {
+    if (this == &other) return *this;
+    std::scoped_lock lk(mu_, other.mu_);
+    n_ = other.n_;
+    idx_ = std::move(other.idx_);
+    val_ = std::move(other.val_);
+    pending_idx_ = std::move(other.pending_idx_);
+    pending_val_ = std::move(other.pending_val_);
+    pending_del_ = std::move(other.pending_del_);
+    return *this;
+  }
+
+  /// Dimension (GrB_Vector_size).
+  Index size() const noexcept { return n_; }
+
+  /// Number of stored entries (forces wait()).
+  Index nvals() const {
+    wait();
+    return static_cast<Index>(idx_.size());
+  }
+
+  /// Grow/shrink the dimension; entries at indices >= n are dropped.
+  void resize(Index n) {
+    wait();
+    if (n < n_) {
+      const auto it = std::lower_bound(idx_.begin(), idx_.end(), n);
+      const auto keep = static_cast<std::size_t>(it - idx_.begin());
+      idx_.resize(keep);
+      val_.resize(keep);
+    }
+    n_ = n;
+  }
+
+  /// Remove all entries, keeping the dimension.
+  void clear() {
+    std::lock_guard lk(mu_);
+    idx_.clear();
+    val_.clear();
+    pending_idx_.clear();
+    pending_val_.clear();
+    pending_del_.clear();
+  }
+
+  /// v(i) = value.  O(1) amortized; later reads merge pendings.
+  void set_element(Index i, T value) {
+    check_bounds(i);
+    std::lock_guard lk(mu_);
+    pending_idx_.push_back(i);
+    pending_val_.push_back(std::move(value));
+  }
+
+  /// Delete entry i if present (GrB_Vector_removeElement).
+  void remove_element(Index i) {
+    check_bounds(i);
+    std::lock_guard lk(mu_);
+    pending_del_.push_back(i);
+    // Ordering matters: a set after a delete must survive.  We timestamp
+    // by recording the delete as a pending tuple with a tombstone marker
+    // in pending_del_ holding the current pending length.
+    pending_del_ts_.push_back(pending_idx_.size());
+  }
+
+  /// Stored value at i, or nullopt (GrB_Vector_extractElement).
+  std::optional<T> extract_element(Index i) const {
+    check_bounds(i);
+    wait();
+    const auto it = std::lower_bound(idx_.begin(), idx_.end(), i);
+    if (it == idx_.end() || *it != i) return std::nullopt;
+    return val_[static_cast<std::size_t>(it - idx_.begin())];
+  }
+
+  /// True if an entry is stored at i.
+  bool has_element(Index i) const { return extract_element(i).has_value(); }
+
+  /// Build from coordinate lists; duplicates combined with `dup`.
+  /// Replaces current contents (GrB_Vector_build).
+  template <typename Dup = Second>
+  void build(const std::vector<Index>& indices, const std::vector<T>& values,
+             Dup dup = {}) {
+    if (indices.size() != values.size())
+      throw DimensionMismatch("build: index/value length mismatch");
+    for (Index i : indices) check_bounds(i);
+    std::lock_guard lk(mu_);
+    pending_idx_.clear();
+    pending_val_.clear();
+    pending_del_.clear();
+    pending_del_ts_.clear();
+    std::vector<std::size_t> order(indices.size());
+    for (std::size_t k = 0; k < order.size(); ++k) order[k] = k;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return indices[a] < indices[b];
+                     });
+    idx_.clear();
+    val_.clear();
+    idx_.reserve(indices.size());
+    val_.reserve(indices.size());
+    for (std::size_t k : order) {
+      if (!idx_.empty() && idx_.back() == indices[k]) {
+        val_.back() = dup(val_.back(), values[k]);
+      } else {
+        idx_.push_back(indices[k]);
+        val_.push_back(values[k]);
+      }
+    }
+  }
+
+  /// Copy out all (index, value) pairs in ascending index order.
+  void extract_tuples(std::vector<Index>& indices, std::vector<T>& values) const {
+    wait();
+    indices = idx_;
+    values = val_;
+  }
+
+  /// Visit every stored entry in ascending index order: fn(i, value).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    wait();
+    for (std::size_t k = 0; k < idx_.size(); ++k) fn(idx_[k], val_[k]);
+  }
+
+  /// Direct read access to the materialized index array (forces wait()).
+  const std::vector<Index>& indices() const {
+    wait();
+    return idx_;
+  }
+
+  /// Direct read access to the materialized value array (forces wait()).
+  const std::vector<T>& values() const {
+    wait();
+    return val_;
+  }
+
+  /// Materialize: merge pending set/remove operations into sorted storage.
+  void wait() const {
+    std::lock_guard lk(mu_);
+    wait_locked();
+  }
+
+  /// Density of the vector: nvals / size (0 for empty dimension).
+  double density() const {
+    if (n_ == 0) return 0.0;
+    return static_cast<double>(nvals()) / static_cast<double>(n_);
+  }
+
+  /// Scatter stored entries into a dense presence bitmap of length size().
+  void to_bitmap(std::vector<std::uint8_t>& bitmap) const {
+    wait();
+    bitmap.assign(n_, 0);
+    for (Index i : idx_) bitmap[i] = 1;
+  }
+
+ private:
+  void check_bounds(Index i) const {
+    if (i >= n_)
+      throw IndexOutOfBounds("vector index " + std::to_string(i) +
+                             " >= " + std::to_string(n_));
+  }
+
+  // Requires mu_ held.
+  void wait_locked() const {
+    if (pending_idx_.empty() && pending_del_.empty()) return;
+    // Apply deletes that happened before any pending set of the same
+    // index; a pending set at a later timestamp resurrects the entry.
+    // Build final overlay: for each touched index, the last operation in
+    // program order wins.
+    struct OpRec {
+      std::size_t ts;   // program-order timestamp
+      bool is_delete;
+      T value;
+    };
+    std::vector<std::pair<Index, OpRec>> ops;
+    ops.reserve(pending_idx_.size() + pending_del_.size());
+    for (std::size_t k = 0; k < pending_idx_.size(); ++k) {
+      ops.push_back({pending_idx_[k], {2 * k + 1, false, pending_val_[k]}});
+    }
+    for (std::size_t k = 0; k < pending_del_.size(); ++k) {
+      // Delete with timestamp strictly before the pending set with the
+      // same pending position (ts scheme: set k -> 2k+1, delete recorded
+      // when pending length was p -> 2p).
+      ops.push_back({pending_del_[k], {2 * pending_del_ts_[k], true, T{}}});
+    }
+    std::stable_sort(ops.begin(), ops.end(),
+                     [](const auto& a, const auto& b) {
+                       if (a.first != b.first) return a.first < b.first;
+                       return a.second.ts < b.second.ts;
+                     });
+    // Keep only the last op per index.
+    std::vector<std::pair<Index, OpRec>> last;
+    for (auto& op : ops) {
+      if (!last.empty() && last.back().first == op.first) {
+        last.back().second = op.second;
+      } else {
+        last.push_back(op);
+      }
+    }
+    // Merge overlay with sorted base.
+    std::vector<Index> nidx;
+    std::vector<T> nval;
+    nidx.reserve(idx_.size() + last.size());
+    nval.reserve(idx_.size() + last.size());
+    std::size_t a = 0, b = 0;
+    while (a < idx_.size() || b < last.size()) {
+      if (b == last.size() || (a < idx_.size() && idx_[a] < last[b].first)) {
+        nidx.push_back(idx_[a]);
+        nval.push_back(val_[a]);
+        ++a;
+      } else {
+        const bool same = a < idx_.size() && idx_[a] == last[b].first;
+        if (!last[b].second.is_delete) {
+          nidx.push_back(last[b].first);
+          nval.push_back(last[b].second.value);
+        }
+        if (same) ++a;
+        ++b;
+      }
+    }
+    idx_ = std::move(nidx);
+    val_ = std::move(nval);
+    pending_idx_.clear();
+    pending_val_.clear();
+    pending_del_.clear();
+    pending_del_ts_.clear();
+  }
+
+  Index n_ = 0;
+  mutable std::vector<Index> idx_;
+  mutable std::vector<T> val_;
+  mutable std::vector<Index> pending_idx_;
+  mutable std::vector<T> pending_val_;
+  mutable std::vector<Index> pending_del_;
+  mutable std::vector<std::size_t> pending_del_ts_;
+  mutable std::mutex mu_;
+};
+
+}  // namespace rg::gb

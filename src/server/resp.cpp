@@ -1,0 +1,90 @@
+#include "server/resp.hpp"
+
+#include "util/stats.hpp"
+
+namespace rg::server {
+
+std::string resp_simple(const std::string& s) { return "+" + s + "\r\n"; }
+
+std::string resp_error(const std::string& s) { return "-ERR " + s + "\r\n"; }
+
+std::string resp_integer(long long v) {
+  return ":" + std::to_string(v) + "\r\n";
+}
+
+std::string resp_bulk(const std::string& s) {
+  return "$" + std::to_string(s.size()) + "\r\n" + s + "\r\n";
+}
+
+std::string resp_array(const std::vector<std::string>& elems) {
+  std::string out = "*" + std::to_string(elems.size()) + "\r\n";
+  for (const auto& e : elems) out += e;
+  return out;
+}
+
+namespace {
+
+std::string encode_value(const graph::Value& v) {
+  using graph::Value;
+  switch (v.type()) {
+    case Value::Type::kNull:
+      return "$-1\r\n";  // RESP null bulk
+    case Value::Type::kInt:
+      return resp_integer(v.as_int());
+    case Value::Type::kBool:
+      return resp_integer(v.as_bool() ? 1 : 0);
+    case Value::Type::kArray: {
+      std::vector<std::string> elems;
+      for (const auto& x : v.as_array()) elems.push_back(encode_value(x));
+      return resp_array(elems);
+    }
+    case Value::Type::kString:
+      return resp_bulk(v.as_string());
+    default:
+      return resp_bulk(v.to_string());
+  }
+}
+
+}  // namespace
+
+std::string encode_result_set(const exec::ResultSet& rs) {
+  std::vector<std::string> sections;
+
+  // Section 1: column headers.
+  {
+    std::vector<std::string> headers;
+    for (const auto& c : rs.columns) headers.push_back(resp_bulk(c));
+    sections.push_back(resp_array(headers));
+  }
+  // Section 2: rows.
+  {
+    std::vector<std::string> rows;
+    for (const auto& row : rs.rows) {
+      std::vector<std::string> cells;
+      for (const auto& v : row) cells.push_back(encode_value(v));
+      rows.push_back(resp_array(cells));
+    }
+    sections.push_back(resp_array(rows));
+  }
+  // Section 3: statistics strings (as RedisGraph emits them).
+  {
+    std::vector<std::string> stats;
+    auto stat = [&](std::uint64_t v, const char* label) {
+      if (v)
+        stats.push_back(resp_bulk(std::string(label) + ": " + std::to_string(v)));
+    };
+    stat(rs.stats.nodes_created, "Nodes created");
+    stat(rs.stats.edges_created, "Relationships created");
+    stat(rs.stats.nodes_deleted, "Nodes deleted");
+    stat(rs.stats.edges_deleted, "Relationships deleted");
+    stat(rs.stats.properties_set, "Properties set");
+    stat(rs.stats.indexes_created, "Indices created");
+    stats.push_back(resp_bulk(
+        "Query internal execution time: " +
+        util::fmt_double(rs.stats.execution_ms, 6) + " milliseconds"));
+    sections.push_back(resp_array(stats));
+  }
+  return resp_array(sections);
+}
+
+}  // namespace rg::server

@@ -1,0 +1,32 @@
+// RESP (REdis Serialization Protocol) encoding of command replies, so
+// integration tests can assert on the exact wire format a Redis client
+// would receive from GRAPH.QUERY.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exec/result_set.hpp"
+
+namespace rg::server {
+
+/// RESP simple string (+OK\r\n).
+std::string resp_simple(const std::string& s);
+
+/// RESP error (-ERR ...\r\n).
+std::string resp_error(const std::string& s);
+
+/// RESP integer (:42\r\n).
+std::string resp_integer(long long v);
+
+/// RESP bulk string ($5\r\nhello\r\n).
+std::string resp_bulk(const std::string& s);
+
+/// RESP array of pre-encoded elements.
+std::string resp_array(const std::vector<std::string>& elems);
+
+/// Encode a full GRAPH.QUERY reply: [header, rows, statistics] — the
+/// three-section array RedisGraph returns.
+std::string encode_result_set(const exec::ResultSet& rs);
+
+}  // namespace rg::server

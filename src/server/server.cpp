@@ -1,0 +1,300 @@
+#include "server/server.hpp"
+
+#include "cypher/lexer.hpp"
+#include "cypher/parser.hpp"
+#include "exec/execution_plan.hpp"
+#include "graph/serialize.hpp"
+
+namespace rg::server {
+
+namespace {
+
+/// Read-only determination from the AST alone (no graph access, so it
+/// can run before the lock is chosen).
+bool ast_is_read_only(const cypher::Query& q) {
+  using K = cypher::Clause::Kind;
+  for (const auto& c : q.clauses) {
+    if (c.kind == K::kCreate || c.kind == K::kDelete || c.kind == K::kSet ||
+        c.kind == K::kCreateIndex)
+      return false;
+  }
+  return true;
+}
+
+/// Strip a leading "CYPHER k=v k2=v2 ..." parameter header (RedisGraph's
+/// parameterized-query syntax) and return the bindings.  Values are
+/// literal tokens: integers, floats, strings, booleans, null.
+std::pair<std::string, exec::ParamMap> split_cypher_params(
+    const std::string& text) {
+  const auto toks = cypher::tokenize(text);
+  if (toks.empty() || toks[0].type != cypher::Tok::kIdent ||
+      !cypher::keyword_eq(toks[0].text, "CYPHER"))
+    return {text, {}};
+
+  exec::ParamMap params;
+  std::size_t i = 1;
+  while (i + 2 < toks.size() && toks[i].type == cypher::Tok::kIdent &&
+         toks[i + 1].type == cypher::Tok::kEq) {
+    const std::string& name = toks[i].text;
+    std::size_t vi = i + 2;
+    bool negative = false;
+    if (toks[vi].type == cypher::Tok::kDash) {
+      negative = true;
+      ++vi;
+    }
+    graph::Value v;
+    const auto& vt = toks[vi];
+    if (vt.type == cypher::Tok::kInteger) {
+      v = graph::Value(static_cast<std::int64_t>(
+          std::stoll(vt.text)) * (negative ? -1 : 1));
+    } else if (vt.type == cypher::Tok::kFloat) {
+      v = graph::Value(std::stod(vt.text) * (negative ? -1.0 : 1.0));
+    } else if (vt.type == cypher::Tok::kString) {
+      v = graph::Value(vt.text);
+    } else if (vt.type == cypher::Tok::kIdent &&
+               cypher::keyword_eq(vt.text, "TRUE")) {
+      v = graph::Value(true);
+    } else if (vt.type == cypher::Tok::kIdent &&
+               cypher::keyword_eq(vt.text, "FALSE")) {
+      v = graph::Value(false);
+    } else if (vt.type == cypher::Tok::kIdent &&
+               cypher::keyword_eq(vt.text, "NULL")) {
+      v = graph::Value::null();
+    } else {
+      break;  // not a literal: header ends here
+    }
+    params[name] = std::move(v);
+    i = vi + 1;
+  }
+  if (i >= toks.size() || toks[i].type == cypher::Tok::kEnd)
+    return {text, {}};  // nothing after the header: treat as plain text
+  //残り: the query body starts at toks[i].pos.
+  return {text.substr(toks[i].pos), std::move(params)};
+}
+
+}  // namespace
+
+Server::Server(std::size_t worker_threads)
+    : workers_(std::make_unique<util::ThreadPool>(
+          std::max<std::size_t>(1, worker_threads))) {}
+
+Server::~Server() = default;
+
+std::size_t Server::worker_count() const { return workers_->size(); }
+
+Server::GraphEntry& Server::entry_for(const std::string& key) {
+  std::lock_guard lk(keyspace_mu_);
+  auto& slot = keyspace_[key];
+  if (!slot) slot = std::make_unique<GraphEntry>();
+  return *slot;
+}
+
+std::future<Reply> Server::submit(std::vector<std::string> argv) {
+  // The dispatcher (caller thread, standing in for Redis's main thread)
+  // enqueues; exactly one worker runs the command to completion.
+  return workers_->submit(
+      [this, argv = std::move(argv)]() { return dispatch(argv); });
+}
+
+Reply Server::execute(std::vector<std::string> argv) {
+  return submit(std::move(argv)).get();
+}
+
+Reply Server::execute_line(const std::string& line) {
+  return execute(split_command_line(line));
+}
+
+graph::Graph& Server::graph_for_testing(const std::string& key) {
+  return entry_for(key).graph;
+}
+
+Reply Server::dispatch(const std::vector<std::string>& argv) {
+  if (argv.empty()) return {Reply::Kind::kError, "empty command", {}};
+  const std::string& cmd = argv[0];
+
+  auto is = [&](std::string_view name) {
+    return cypher::keyword_eq(cmd, name);
+  };
+
+  try {
+    if (is("PING")) return {Reply::Kind::kStatus, "PONG", {}};
+    if (is("GRAPH.QUERY") || is("GRAPH.RO_QUERY") || is("GRAPH.PROFILE")) {
+      if (argv.size() < 3)
+        return {Reply::Kind::kError, "wrong number of arguments", {}};
+      return cmd_query(argv[1], argv[2], is("GRAPH.RO_QUERY"),
+                       is("GRAPH.PROFILE"));
+    }
+    if (is("GRAPH.EXPLAIN")) {
+      if (argv.size() < 3)
+        return {Reply::Kind::kError, "wrong number of arguments", {}};
+      return cmd_explain(argv[1], argv[2]);
+    }
+    if (is("GRAPH.DELETE")) {
+      if (argv.size() < 2)
+        return {Reply::Kind::kError, "wrong number of arguments", {}};
+      return cmd_delete(argv[1]);
+    }
+    if (is("GRAPH.LIST")) return cmd_list();
+    if (is("GRAPH.SAVE")) {
+      if (argv.size() < 3)
+        return {Reply::Kind::kError, "wrong number of arguments", {}};
+      return cmd_save(argv[1], argv[2]);
+    }
+    if (is("GRAPH.RESTORE")) {
+      if (argv.size() < 3)
+        return {Reply::Kind::kError, "wrong number of arguments", {}};
+      return cmd_restore(argv[1], argv[2]);
+    }
+    if (is("GRAPH.CONFIG")) return cmd_config(argv);
+    return {Reply::Kind::kError, "unknown command '" + cmd + "'", {}};
+  } catch (const std::exception& e) {
+    return {Reply::Kind::kError, e.what(), {}};
+  }
+}
+
+Reply Server::cmd_query(const std::string& key, const std::string& raw,
+                        bool read_only_cmd, bool profile) {
+  auto [text, params] = split_cypher_params(raw);
+  const cypher::Query ast = cypher::parse(text);
+  const bool ro = ast_is_read_only(ast);
+  if (read_only_cmd && !ro)
+    return {Reply::Kind::kError,
+            "graph.RO_QUERY is to be executed only on read-only queries",
+            {}};
+
+  GraphEntry& ge = entry_for(key);
+  Reply reply;
+  if (ro) {
+    std::shared_lock lk(ge.lock);
+    exec::ExecutionPlan plan(ge.graph, ast, 64, params);
+    if (profile) {
+      reply.kind = Reply::Kind::kText;
+      reply.text = plan.profile(reply.result);
+    } else {
+      reply.kind = Reply::Kind::kResult;
+      plan.run(reply.result);
+    }
+  } else {
+    std::unique_lock lk(ge.lock);
+    exec::ExecutionPlan plan(ge.graph, ast, 64, params);
+    if (profile) {
+      reply.kind = Reply::Kind::kText;
+      reply.text = plan.profile(reply.result);
+    } else {
+      reply.kind = Reply::Kind::kResult;
+      plan.run(reply.result);
+    }
+  }
+  return reply;
+}
+
+Reply Server::cmd_explain(const std::string& key, const std::string& text) {
+  const cypher::Query ast = cypher::parse(text);
+  GraphEntry& ge = entry_for(key);
+  std::shared_lock lk(ge.lock);
+  exec::ExecutionPlan plan(ge.graph, ast);
+  return {Reply::Kind::kText, plan.explain(), {}};
+}
+
+Reply Server::cmd_delete(const std::string& key) {
+  std::lock_guard lk(keyspace_mu_);
+  const auto it = keyspace_.find(key);
+  if (it == keyspace_.end())
+    return {Reply::Kind::kError, "no such key '" + key + "'", {}};
+  // Exclusive access before destruction.
+  {
+    std::unique_lock glk(it->second->lock);
+  }
+  keyspace_.erase(it);
+  return {Reply::Kind::kStatus, "OK", {}};
+}
+
+Reply Server::cmd_list() {
+  std::lock_guard lk(keyspace_mu_);
+  Reply r;
+  r.kind = Reply::Kind::kResult;
+  r.result.columns = {"graph"};
+  for (const auto& [key, entry] : keyspace_)
+    r.result.rows.push_back({graph::Value(key)});
+  return r;
+}
+
+Reply Server::cmd_save(const std::string& key, const std::string& path) {
+  GraphEntry& ge = entry_for(key);
+  std::shared_lock lk(ge.lock);
+  graph::save_graph_file(ge.graph, path);
+  return {Reply::Kind::kStatus, "OK", {}};
+}
+
+Reply Server::cmd_restore(const std::string& key, const std::string& path) {
+  // Load into a fresh graph, then swap it in under the keyspace lock so
+  // readers never observe a half-loaded graph.
+  auto fresh = std::make_unique<GraphEntry>();
+  graph::load_graph_file(fresh->graph, path);
+  std::lock_guard lk(keyspace_mu_);
+  auto& slot = keyspace_[key];
+  if (slot) {
+    std::unique_lock glk(slot->lock);  // drain in-flight users
+  }
+  slot = std::move(fresh);
+  return {Reply::Kind::kStatus, "OK", {}};
+}
+
+Reply Server::cmd_config(const std::vector<std::string>& argv) {
+  // GRAPH.CONFIG GET <name> | GRAPH.CONFIG SET <name> <value>.
+  // THREAD_COUNT is fixed at module load time (paper, Section II): GET
+  // reports it, SET is rejected.
+  if (argv.size() >= 3 && cypher::keyword_eq(argv[1], "GET")) {
+    if (cypher::keyword_eq(argv[2], "THREAD_COUNT")) {
+      Reply r;
+      r.kind = Reply::Kind::kResult;
+      r.result.columns = {"name", "value"};
+      r.result.rows.push_back(
+          {graph::Value("THREAD_COUNT"),
+           graph::Value(static_cast<std::int64_t>(worker_count()))});
+      return r;
+    }
+    return {Reply::Kind::kError, "unknown config '" + argv[2] + "'", {}};
+  }
+  if (argv.size() >= 4 && cypher::keyword_eq(argv[1], "SET")) {
+    if (cypher::keyword_eq(argv[2], "THREAD_COUNT"))
+      return {Reply::Kind::kError,
+              "THREAD_COUNT is fixed at module load time", {}};
+    return {Reply::Kind::kError, "unknown config '" + argv[2] + "'", {}};
+  }
+  return {Reply::Kind::kError, "GRAPH.CONFIG GET|SET <name> [value]", {}};
+}
+
+std::vector<std::string> split_command_line(const std::string& line) {
+  std::vector<std::string> argv;
+  std::string cur;
+  bool in_single = false, in_double = false, has_token = false;
+  for (char c : line) {
+    if (in_single) {
+      if (c == '\'') in_single = false;
+      else cur += c;
+    } else if (in_double) {
+      if (c == '"') in_double = false;
+      else cur += c;
+    } else if (c == '\'') {
+      in_single = true;
+      has_token = true;
+    } else if (c == '"') {
+      in_double = true;
+      has_token = true;
+    } else if (c == ' ' || c == '\t') {
+      if (has_token || !cur.empty()) {
+        argv.push_back(cur);
+        cur.clear();
+        has_token = false;
+      }
+    } else {
+      cur += c;
+      has_token = true;
+    }
+  }
+  if (has_token || !cur.empty()) argv.push_back(cur);
+  return argv;
+}
+
+}  // namespace rg::server

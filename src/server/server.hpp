@@ -1,0 +1,112 @@
+// Redis-like in-process server substrate hosting the graph module.
+//
+// Mirrors the architecture the paper describes (Section II):
+//  * a single **dispatcher** thread owns command intake (Redis's main
+//    thread); commands arrive via submit() and are forwarded to
+//  * a fixed **worker pool** whose size is set at construction (the
+//    module's load-time THREAD_COUNT): each query executes entirely on
+//    one worker thread — queries never parallelize across workers,
+//  * per-graph reader/writer locks let read queries run concurrently
+//    while writes serialize (RedisGraph's lock around the graph object).
+//
+// The network layer is replaced by an in-process command queue; see
+// DESIGN.md for why this substitution preserves the paper's claims.
+//
+// Commands: GRAPH.QUERY, GRAPH.RO_QUERY, GRAPH.EXPLAIN, GRAPH.PROFILE,
+// GRAPH.DELETE, GRAPH.LIST, GRAPH.SAVE, GRAPH.RESTORE, GRAPH.CONFIG, PING.
+//
+// Query texts may carry a RedisGraph-style parameter header:
+//   "CYPHER name=1 handle='bob' MATCH (n {handle: $handle}) RETURN n"
+
+#pragma once
+
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "exec/result_set.hpp"
+#include "graph/graph.hpp"
+#include "server/resp.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rg::server {
+
+/// A command reply: either an error, a status string, a payload string
+/// (EXPLAIN/PROFILE) or a full result set.
+struct Reply {
+  enum class Kind { kStatus, kError, kText, kResult };
+  Kind kind = Kind::kStatus;
+  std::string text;       // status / error / explain text
+  exec::ResultSet result;
+
+  bool ok() const { return kind != Kind::kError; }
+
+  /// RESP wire encoding.
+  std::string to_resp() const {
+    switch (kind) {
+      case Kind::kStatus: return resp_simple(text);
+      case Kind::kError: return resp_error(text);
+      case Kind::kText: return resp_bulk(text);
+      case Kind::kResult: return encode_result_set(result);
+    }
+    return resp_error("internal");
+  }
+};
+
+class Server {
+ public:
+  /// `worker_threads` = module THREAD_COUNT (fixed at load time).
+  explicit Server(std::size_t worker_threads = 4);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Asynchronous command submission (the client API): the dispatcher
+  /// assigns the command to one worker; the future resolves when that
+  /// worker finishes.  argv[0] is the command name.
+  std::future<Reply> submit(std::vector<std::string> argv);
+
+  /// Synchronous convenience: submit and wait.
+  Reply execute(std::vector<std::string> argv);
+
+  /// Parse a space-separated command line (quotes respected) and execute.
+  Reply execute_line(const std::string& line);
+
+  /// Direct access to a graph (benchmarks seed data through this without
+  /// paying the Cypher write path).  Creates the graph if absent.
+  graph::Graph& graph_for_testing(const std::string& key);
+
+  std::size_t worker_count() const;
+
+ private:
+  struct GraphEntry {
+    graph::Graph graph;
+    std::shared_mutex lock;
+  };
+
+  Reply dispatch(const std::vector<std::string>& argv);
+  Reply cmd_query(const std::string& key, const std::string& text,
+                  bool read_only_cmd, bool profile);
+  Reply cmd_explain(const std::string& key, const std::string& text);
+  Reply cmd_delete(const std::string& key);
+  Reply cmd_list();
+  Reply cmd_save(const std::string& key, const std::string& path);
+  Reply cmd_restore(const std::string& key, const std::string& path);
+  Reply cmd_config(const std::vector<std::string>& argv);
+
+  GraphEntry& entry_for(const std::string& key);
+
+  std::mutex keyspace_mu_;
+  std::map<std::string, std::unique_ptr<GraphEntry>> keyspace_;
+  std::unique_ptr<util::ThreadPool> workers_;
+};
+
+/// Split a command line into argv honoring single/double quotes.
+std::vector<std::string> split_command_line(const std::string& line);
+
+}  // namespace rg::server

@@ -1,0 +1,207 @@
+// DataBlock — chunked, stable-address object storage with free-list reuse.
+//
+// RedisGraph stores node and edge entities in "datablocks": arrays of
+// fixed-size items allocated in blocks, addressed by a dense integer id,
+// with deleted slots tracked in a free list and reused by later
+// insertions.  Stable addresses let the property-graph layer hold
+// pointers to entities while the structure grows; dense ids map 1:1 onto
+// matrix row/column indices.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace rg::util {
+
+/// Chunked storage of T with O(1) insert/erase, stable addresses, and
+/// dense ids.  Erased slots are tombstoned and recycled.
+template <typename T, std::size_t BlockSize = 1024>
+class DataBlock {
+  static_assert(BlockSize > 0);
+
+ public:
+  using Id = std::uint64_t;
+  static constexpr Id kInvalidId = ~Id{0};
+
+  DataBlock() = default;
+  DataBlock(const DataBlock&) = delete;
+  DataBlock& operator=(const DataBlock&) = delete;
+
+  DataBlock(DataBlock&& other) noexcept
+      : blocks_(std::move(other.blocks_)),
+        free_(std::move(other.free_)),
+        size_(other.size_),
+        capacity_(other.capacity_),
+        high_water_(other.high_water_) {
+    other.size_ = 0;
+    other.capacity_ = 0;
+    other.high_water_ = 0;
+  }
+
+  DataBlock& operator=(DataBlock&& other) noexcept {
+    if (this == &other) return *this;
+    clear();
+    blocks_ = std::move(other.blocks_);
+    free_ = std::move(other.free_);
+    size_ = other.size_;
+    capacity_ = other.capacity_;
+    high_water_ = other.high_water_;
+    other.size_ = 0;
+    other.capacity_ = 0;
+    other.high_water_ = 0;
+    return *this;
+  }
+
+  ~DataBlock() { clear(); }
+
+  /// Construct an item in place; returns its id (reuses freed slots).
+  template <typename... Args>
+  Id emplace(Args&&... args) {
+    Id id;
+    if (!free_.empty()) {
+      id = free_.back();
+      free_.pop_back();
+    } else {
+      id = high_water_;  // dense sequential ids (matrix row indices)
+      grow_to(id + 1);
+    }
+    Slot& s = slot(id);
+    assert(!s.live);
+    ::new (static_cast<void*>(s.storage)) T(std::forward<Args>(args)...);
+    s.live = true;
+    ++size_;
+    if (id >= high_water_) high_water_ = id + 1;
+    return id;
+  }
+
+  /// Construct an item at a specific id (which must be unoccupied).
+  /// Used by deserialization to restore exact id layouts; call
+  /// rebuild_free_list() once after the last emplace_at.
+  template <typename... Args>
+  void emplace_at(Id id, Args&&... args) {
+    grow_to(id + 1);
+    Slot& s = slot(id);
+    assert(!s.live && "emplace_at over a live slot");
+    ::new (static_cast<void*>(s.storage)) T(std::forward<Args>(args)...);
+    s.live = true;
+    ++size_;
+    if (id >= high_water_) high_water_ = id + 1;
+  }
+
+  /// Recompute the free list from slot liveness (after emplace_at use).
+  void rebuild_free_list() {
+    free_.clear();
+    for (Id id = high_water_; id-- > 0;) {
+      if (!slot(id).live) free_.push_back(id);
+    }
+  }
+
+  /// Destroy the item at `id` and recycle its slot.
+  void erase(Id id) {
+    Slot& s = slot(id);
+    assert(s.live && "erase of dead slot");
+    ptr(s)->~T();
+    s.live = false;
+    --size_;
+    free_.push_back(id);
+  }
+
+  /// True if `id` names a live item.
+  bool contains(Id id) const {
+    if (id >= capacity_) return false;
+    return slot(id).live;
+  }
+
+  /// Access a live item (asserts liveness in debug builds).
+  T& operator[](Id id) {
+    Slot& s = slot(id);
+    assert(s.live);
+    return *ptr(s);
+  }
+  const T& operator[](Id id) const {
+    const Slot& s = slot(id);
+    assert(s.live);
+    return *ptr(s);
+  }
+
+  /// Number of live items.
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  /// One past the largest id ever used (iteration bound).
+  Id id_bound() const noexcept { return high_water_; }
+
+  /// Destroy all live items and release storage.
+  void clear() {
+    for (Id id = 0; id < high_water_; ++id) {
+      Slot& s = slot(id);
+      if (s.live) {
+        ptr(s)->~T();
+        s.live = false;
+      }
+    }
+    blocks_.clear();
+    free_.clear();
+    size_ = 0;
+    capacity_ = 0;
+    high_water_ = 0;
+  }
+
+  /// Visit every live item: fn(id, item).
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (Id id = 0; id < high_water_; ++id) {
+      Slot& s = slot(id);
+      if (s.live) fn(id, *ptr(s));
+    }
+  }
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (Id id = 0; id < high_water_; ++id) {
+      const Slot& s = slot(id);
+      if (s.live) fn(id, *ptr(s));
+    }
+  }
+
+ private:
+  struct Slot {
+    alignas(T) unsigned char storage[sizeof(T)];
+    bool live = false;
+  };
+  using Block = std::unique_ptr<Slot[]>;
+
+  static T* ptr(Slot& s) {
+    return std::launder(reinterpret_cast<T*>(s.storage));
+  }
+  static const T* ptr(const Slot& s) {
+    return std::launder(reinterpret_cast<const T*>(s.storage));
+  }
+
+  Slot& slot(Id id) {
+    assert(id < capacity_);
+    return blocks_[id / BlockSize][id % BlockSize];
+  }
+  const Slot& slot(Id id) const {
+    assert(id < capacity_);
+    return blocks_[id / BlockSize][id % BlockSize];
+  }
+
+  void grow_to(Id needed) {
+    while (capacity_ < needed) {
+      blocks_.push_back(std::make_unique<Slot[]>(BlockSize));
+      capacity_ += BlockSize;
+    }
+  }
+
+  std::vector<Block> blocks_;
+  std::vector<Id> free_;
+  std::size_t size_ = 0;
+  Id capacity_ = 0;
+  Id high_water_ = 0;
+};
+
+}  // namespace rg::util

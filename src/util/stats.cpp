@@ -1,0 +1,32 @@
+#include "util/stats.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace rg::util {
+
+std::string fmt_double(double v, int prec) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.*f", prec, v);
+  return std::string(buf.data());
+}
+
+std::string fmt_si(double v) {
+  const char* suffix = "";
+  double scaled = v;
+  if (v >= 1e9) {
+    scaled = v / 1e9;
+    suffix = "B";
+  } else if (v >= 1e6) {
+    scaled = v / 1e6;
+    suffix = "M";
+  } else if (v >= 1e3) {
+    scaled = v / 1e3;
+    suffix = "K";
+  }
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.2f%s", scaled, suffix);
+  return std::string(buf.data());
+}
+
+}  // namespace rg::util

@@ -1,0 +1,80 @@
+// Latency sample collection and summary statistics for the benchmark
+// harnesses (mean / percentiles, formatted like the paper's tables).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rg::util {
+
+/// Accumulates latency samples (milliseconds) and reports summary stats.
+class LatencyStats {
+ public:
+  /// Record one sample in milliseconds.
+  void add(double ms) { samples_.push_back(ms); }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  /// Arithmetic mean (0 when empty).
+  double mean() const {
+    if (samples_.empty()) return 0.0;
+    double s = 0.0;
+    for (double v : samples_) s += v;
+    return s / static_cast<double>(samples_.size());
+  }
+
+  /// Sample standard deviation (0 for fewer than 2 samples).
+  double stddev() const {
+    if (samples_.size() < 2) return 0.0;
+    const double m = mean();
+    double s = 0.0;
+    for (double v : samples_) s += (v - m) * (v - m);
+    return std::sqrt(s / static_cast<double>(samples_.size() - 1));
+  }
+
+  double min() const {
+    return samples_.empty()
+               ? 0.0
+               : *std::min_element(samples_.begin(), samples_.end());
+  }
+
+  double max() const {
+    return samples_.empty()
+               ? 0.0
+               : *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  /// Percentile in [0, 100] via nearest-rank on the sorted samples.
+  double percentile(double p) const {
+    if (samples_.empty()) return 0.0;
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  }
+
+  double p50() const { return percentile(50); }
+  double p95() const { return percentile(95); }
+  double p99() const { return percentile(99); }
+
+  /// All raw samples (ms).
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// Format a double with `prec` digits after the decimal point.
+std::string fmt_double(double v, int prec = 3);
+
+/// Format `v` as a human-friendly quantity with SI suffix (1.5K, 2.3M...).
+std::string fmt_si(double v);
+
+}  // namespace rg::util

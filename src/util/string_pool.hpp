@@ -1,0 +1,51 @@
+// Interned string pool: bidirectional string <-> dense-id mapping.
+//
+// The property-graph schema (labels, relationship types, attribute keys)
+// maps names to small dense ids that index matrices and attribute arrays,
+// exactly as RedisGraph's schema does.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace rg::util {
+
+/// Append-only interned string table.  Ids are dense and stable.
+class StringPool {
+ public:
+  using Id = std::uint32_t;
+  static constexpr Id kInvalidId = ~Id{0};
+
+  /// Intern `s`, returning its id (existing id if already interned).
+  Id intern(std::string_view s) {
+    auto it = ids_.find(std::string(s));
+    if (it != ids_.end()) return it->second;
+    const Id id = static_cast<Id>(strings_.size());
+    strings_.emplace_back(s);
+    ids_.emplace(strings_.back(), id);
+    return id;
+  }
+
+  /// Look up an existing id without interning.
+  std::optional<Id> find(std::string_view s) const {
+    auto it = ids_.find(std::string(s));
+    if (it == ids_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// The string for a valid id.
+  const std::string& str(Id id) const { return strings_.at(id); }
+
+  /// Number of interned strings.
+  std::size_t size() const noexcept { return strings_.size(); }
+
+ private:
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, Id> ids_;
+};
+
+}  // namespace rg::util

@@ -1,0 +1,111 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace rg::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  threads = std::max<std::size_t>(1, threads);
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard lk(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lk(mu_);
+  idle_cv_.wait(lk, [this] { return queue_.empty() && active_ == 0; });
+}
+
+namespace {
+std::size_t& global_threads_setting() {
+  static std::size_t n = 0;  // 0 = unset
+  return n;
+}
+std::atomic<bool>& global_pool_created() {
+  static std::atomic<bool> created{false};
+  return created;
+}
+}  // namespace
+
+ThreadPool& global_pool() {
+  static ThreadPool pool([] {
+    global_pool_created().store(true);
+    std::size_t n = global_threads_setting();
+    if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
+    return n;
+  }());
+  return pool;
+}
+
+bool set_global_threads(std::size_t threads) {
+  if (global_pool_created().load()) return false;
+  global_threads_setting() = std::max<std::size_t>(1, threads);
+  return true;
+}
+
+void parallel_for_chunks(ThreadPool& pool, std::size_t begin, std::size_t end,
+                         std::size_t grain,
+                         const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (begin >= end) return;
+  grain = std::max<std::size_t>(1, grain);
+  const std::size_t n = end - begin;
+  const std::size_t max_chunks = std::max<std::size_t>(1, pool.size() * 4);
+  std::size_t chunk = std::max(grain, (n + max_chunks - 1) / max_chunks);
+  if (n <= grain || pool.size() == 1) {
+    fn(begin, end);
+    return;
+  }
+  std::vector<std::future<void>> futs;
+  futs.reserve((n + chunk - 1) / chunk);
+  for (std::size_t lo = begin; lo < end; lo += chunk) {
+    const std::size_t hi = std::min(end, lo + chunk);
+    futs.push_back(pool.submit([&fn, lo, hi] { fn(lo, hi); }));
+  }
+  for (auto& f : futs) f.get();
+}
+
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  std::size_t grain,
+                  const std::function<void(std::size_t)>& fn) {
+  parallel_for_chunks(pool, begin, end, grain,
+                      [&fn](std::size_t lo, std::size_t hi) {
+                        for (std::size_t i = lo; i < hi; ++i) fn(i);
+                      });
+}
+
+}  // namespace rg::util

@@ -1,0 +1,95 @@
+// Fixed-size worker thread pool used throughout the system.
+//
+// RedisGraph binds each incoming query to exactly one worker thread of a
+// pool whose size is fixed at module-load time (paper, Section II).  The
+// same pool type also backs the data-parallel loops inside the GraphBLAS
+// kernels (parallel_for), so the whole process shares one notion of
+// "worker".
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace rg::util {
+
+/// A fixed-size thread pool with a FIFO task queue.
+///
+/// Tasks are arbitrary callables; submit() returns a std::future for the
+/// callable's result.  The pool is started in the constructor and joined
+/// in the destructor (pending tasks are drained before join).
+class ThreadPool {
+ public:
+  /// Create a pool with `threads` workers (at least 1).
+  explicit ThreadPool(std::size_t threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains the queue and joins all workers.
+  ~ThreadPool();
+
+  /// Number of worker threads.
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a callable; returns a future for its result.
+  template <typename F, typename... Args>
+  auto submit(F&& f, Args&&... args)
+      -> std::future<std::invoke_result_t<F, Args...>> {
+    using R = std::invoke_result_t<F, Args...>;
+    auto task = std::make_shared<std::packaged_task<R()>>(
+        [fn = std::forward<F>(f),
+         ... as = std::forward<Args>(args)]() mutable -> R {
+          return std::invoke(std::move(fn), std::move(as)...);
+        });
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard lk(mu_);
+      queue_.emplace_back([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Block until every task submitted so far has completed.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+/// Process-wide default pool.  Sized by set_global_threads() (first call
+/// wins, mirroring RedisGraph's load-time THREAD_COUNT config); defaults
+/// to std::thread::hardware_concurrency().
+ThreadPool& global_pool();
+
+/// Configure the global pool size.  Must be called before the first
+/// global_pool() use; later calls return false and have no effect.
+bool set_global_threads(std::size_t threads);
+
+/// Run fn(i) for i in [begin, end) using `pool`, splitting the range into
+/// contiguous chunks of at least `grain` iterations.  Runs inline when the
+/// range is small or the pool has a single worker.
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  std::size_t grain, const std::function<void(std::size_t)>& fn);
+
+/// Chunked variant: fn(lo, hi) is invoked once per contiguous chunk.
+void parallel_for_chunks(ThreadPool& pool, std::size_t begin, std::size_t end,
+                         std::size_t grain,
+                         const std::function<void(std::size_t, std::size_t)>& fn);
+
+}  // namespace rg::util

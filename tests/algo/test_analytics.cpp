@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <queue>
+
+#include "algo/components.hpp"
+#include "algo/pagerank.hpp"
+#include "algo/sssp.hpp"
+#include "algo/triangle_count.hpp"
+#include "datagen/generators.hpp"
+#include "util/random.hpp"
+
+namespace rg::algo {
+namespace {
+
+gb::Matrix<gb::Bool> from_edges(
+    gb::Index n, std::vector<std::pair<gb::Index, gb::Index>> edges) {
+  datagen::EdgeList el;
+  el.nvertices = n;
+  el.edges = std::move(edges);
+  return datagen::to_matrix(el);
+}
+
+// --- PageRank ----------------------------------------------------------------
+
+TEST(PageRank, SumsToOne) {
+  const auto el = datagen::graph500(9, 8, 5);
+  const auto A = datagen::to_matrix(el);
+  const auto pr = pagerank(A);
+  const double total =
+      std::accumulate(pr.rank.begin(), pr.rank.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(PageRank, UniformOnDirectedCycle) {
+  const auto A = from_edges(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  const auto pr = pagerank(A);
+  for (const double r : pr.rank) EXPECT_NEAR(r, 0.25, 1e-9);
+}
+
+TEST(PageRank, HubOfStarRanksHighest) {
+  // Everyone points at vertex 0.
+  const auto A = from_edges(5, {{1, 0}, {2, 0}, {3, 0}, {4, 0}});
+  const auto pr = pagerank(A);
+  for (gb::Index v = 1; v < 5; ++v) EXPECT_GT(pr.rank[0], pr.rank[v]);
+}
+
+TEST(PageRank, DanglingMassRedistributed) {
+  // 0 -> 1, vertex 1 dangles; rank must still sum to 1.
+  const auto A = from_edges(3, {{0, 1}});
+  const auto pr = pagerank(A);
+  const double total =
+      std::accumulate(pr.rank.begin(), pr.rank.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(pr.rank[1], pr.rank[2]);  // 1 receives from 0
+}
+
+TEST(PageRank, ConvergesWithinIterationCap) {
+  const auto el = datagen::graph500(10, 8, 9);
+  const auto A = datagen::to_matrix(el);
+  const auto pr = pagerank(A, 0.85, 1e-10, 200);
+  EXPECT_LT(pr.iterations, 200u);
+  EXPECT_LT(pr.final_delta, 1e-10);
+}
+
+TEST(PageRank, EmptyGraph) {
+  gb::Matrix<gb::Bool> A(0, 0);
+  const auto pr = pagerank(A);
+  EXPECT_TRUE(pr.rank.empty());
+}
+
+// --- Triangle counting -------------------------------------------------------
+
+TEST(TriangleCount, KnownCompleteGraphs) {
+  // K4 has C(4,3) = 4 triangles; K5 has 10.
+  std::vector<std::pair<gb::Index, gb::Index>> k4, k5;
+  for (gb::Index i = 0; i < 4; ++i)
+    for (gb::Index j = 0; j < 4; ++j)
+      if (i != j) k4.emplace_back(i, j);
+  for (gb::Index i = 0; i < 5; ++i)
+    for (gb::Index j = 0; j < 5; ++j)
+      if (i != j) k5.emplace_back(i, j);
+  EXPECT_EQ(triangle_count(from_edges(4, k4)), 4u);
+  EXPECT_EQ(triangle_count(from_edges(5, k5)), 10u);
+}
+
+TEST(TriangleCount, TriangleFreeGraphIsZero) {
+  // A 4-cycle (undirected) has no triangles.
+  const auto A = from_edges(
+      4, {{0, 1}, {1, 0}, {1, 2}, {2, 1}, {2, 3}, {3, 2}, {3, 0}, {0, 3}});
+  EXPECT_EQ(triangle_count(A), 0u);
+}
+
+class TriangleRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TriangleRandomTest, MatchesReference) {
+  const auto el = datagen::uniform_random(120, 900, GetParam());
+  const auto S = symmetrize(datagen::to_matrix(el));
+  EXPECT_EQ(triangle_count(S), triangle_count_reference(S));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TriangleRandomTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+TEST(Symmetrize, MakesSymmetricAndDropsDiagonal) {
+  const auto A = from_edges(3, {{0, 1}, {1, 1}, {2, 0}});
+  const auto S = symmetrize(A);
+  EXPECT_TRUE(S.has_element(0, 1));
+  EXPECT_TRUE(S.has_element(1, 0));
+  EXPECT_TRUE(S.has_element(0, 2));
+  EXPECT_FALSE(S.has_element(1, 1));
+}
+
+// --- Connected components ----------------------------------------------------
+
+TEST(Components, DisjointCliquesCounted) {
+  std::vector<std::pair<gb::Index, gb::Index>> edges;
+  // Three cliques of size 3: {0,1,2}, {3,4,5}, {6,7,8}; vertex 9 isolated.
+  for (gb::Index base : {0u, 3u, 6u}) {
+    for (gb::Index i = 0; i < 3; ++i)
+      for (gb::Index j = 0; j < 3; ++j)
+        if (i != j) edges.emplace_back(base + i, base + j);
+  }
+  const auto S = symmetrize(from_edges(10, edges));
+  const auto labels = connected_components(S);
+  EXPECT_EQ(count_components(labels), 4u);
+  EXPECT_EQ(labels[1], labels[2]);
+  EXPECT_NE(labels[0], labels[3]);
+  EXPECT_EQ(labels[9], 9u);
+}
+
+TEST(Components, LabelIsMinimumOfComponent) {
+  const auto S = symmetrize(from_edges(5, {{4, 2}, {2, 0}}));
+  const auto labels = connected_components(S);
+  EXPECT_EQ(labels[4], 0u);
+  EXPECT_EQ(labels[2], 0u);
+  EXPECT_EQ(labels[0], 0u);
+}
+
+class ComponentsRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ComponentsRandomTest, AgreesWithBfsFlooding) {
+  const auto el = datagen::uniform_random(150, 220, GetParam());
+  const auto S = symmetrize(datagen::to_matrix(el));
+  const auto labels = connected_components(S);
+  // Reference: BFS flood fill.
+  std::vector<gb::Index> ref(S.nrows(), ~gb::Index{0});
+  for (gb::Index s = 0; s < S.nrows(); ++s) {
+    if (ref[s] != ~gb::Index{0}) continue;
+    std::vector<gb::Index> stack{s};
+    ref[s] = s;
+    while (!stack.empty()) {
+      const auto u = stack.back();
+      stack.pop_back();
+      for (const auto v : S.row_indices(u)) {
+        if (ref[v] == ~gb::Index{0}) {
+          ref[v] = s;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  for (gb::Index v = 0; v < S.nrows(); ++v) EXPECT_EQ(labels[v], ref[v]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ComponentsRandomTest,
+                         ::testing::Values(10u, 11u, 12u, 13u));
+
+// --- SSSP ---------------------------------------------------------------------
+
+TEST(Sssp, LineGraphDistances) {
+  gb::Matrix<double> W(4, 4);
+  W.build({0, 1, 2}, {1, 2, 3}, {1.5, 2.5, 3.0});
+  const auto d = sssp(W, 0);
+  EXPECT_DOUBLE_EQ(d[0], 0.0);
+  EXPECT_DOUBLE_EQ(d[1], 1.5);
+  EXPECT_DOUBLE_EQ(d[2], 4.0);
+  EXPECT_DOUBLE_EQ(d[3], 7.0);
+}
+
+TEST(Sssp, PrefersCheaperLongerPath) {
+  gb::Matrix<double> W(3, 3);
+  W.build({0, 0, 1}, {2, 1, 2}, {10.0, 1.0, 2.0});
+  const auto d = sssp(W, 0);
+  EXPECT_DOUBLE_EQ(d[2], 3.0);  // 0->1->2 beats direct 0->2
+}
+
+TEST(Sssp, UnreachableIsInfinite) {
+  gb::Matrix<double> W(3, 3);
+  W.build({0}, {1}, {1.0});
+  const auto d = sssp(W, 0);
+  EXPECT_EQ(d[2], kInfDist);
+}
+
+class SsspRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SsspRandomTest, MatchesDijkstra) {
+  util::Pcg32 rng(GetParam());
+  const gb::Index n = 120;
+  gb::Matrix<double> W(n, n);
+  std::vector<gb::Index> r, c;
+  std::vector<double> w;
+  for (int k = 0; k < 700; ++k) {
+    const gb::Index u = rng.bounded64(n);
+    gb::Index v = rng.bounded64(n);
+    if (u == v) v = (v + 1) % n;
+    r.push_back(u);
+    c.push_back(v);
+    w.push_back(0.1 + rng.uniform() * 9.9);
+  }
+  W.build(r, c, w, gb::Min{});
+
+  const gb::Index src = rng.bounded64(n);
+  const auto got = sssp(W, src);
+
+  // Dijkstra reference.
+  std::vector<double> ref(n, kInfDist);
+  ref[src] = 0;
+  using QE = std::pair<double, gb::Index>;
+  std::priority_queue<QE, std::vector<QE>, std::greater<>> pq;
+  pq.push({0.0, src});
+  while (!pq.empty()) {
+    const auto [du, u] = pq.top();
+    pq.pop();
+    if (du > ref[u]) continue;
+    const auto cols = W.row_indices(u);
+    const auto vals = W.row_values(u);
+    for (std::size_t p = 0; p < cols.size(); ++p) {
+      if (ref[u] + vals[p] < ref[cols[p]]) {
+        ref[cols[p]] = ref[u] + vals[p];
+        pq.push({ref[cols[p]], cols[p]});
+      }
+    }
+  }
+  for (gb::Index v = 0; v < n; ++v) {
+    if (ref[v] == kInfDist) {
+      EXPECT_EQ(got[v], kInfDist);
+    } else {
+      EXPECT_NEAR(got[v], ref[v], 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SsspRandomTest,
+                         ::testing::Values(21u, 22u, 23u, 24u));
+
+}  // namespace
+}  // namespace rg::algo

@@ -1,0 +1,110 @@
+#include "algo/ktruss.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algo/triangle_count.hpp"
+#include "datagen/generators.hpp"
+
+namespace rg::algo {
+namespace {
+
+gb::Matrix<gb::Bool> undirected(
+    gb::Index n, std::vector<std::pair<gb::Index, gb::Index>> edges) {
+  datagen::EdgeList el;
+  el.nvertices = n;
+  el.edges = std::move(edges);
+  return symmetrize(datagen::to_matrix(el));
+}
+
+TEST(KTruss, CompleteGraphIsItsOwnTruss) {
+  // K5: every edge is in 3 triangles -> 5-truss is K5 itself.
+  std::vector<std::pair<gb::Index, gb::Index>> e;
+  for (gb::Index i = 0; i < 5; ++i)
+    for (gb::Index j = i + 1; j < 5; ++j) e.emplace_back(i, j);
+  const auto S = undirected(5, e);
+  const auto t5 = ktruss(S, 5);
+  EXPECT_EQ(t5.nedges, S.nvals());
+  const auto t6 = ktruss(S, 6);
+  EXPECT_EQ(t6.nedges, 0u);
+  EXPECT_EQ(max_truss(S), 5u);
+}
+
+TEST(KTruss, TriangleWithTailDropsTail) {
+  // Triangle {0,1,2} plus pendant edge 2-3: the 3-truss keeps only the
+  // triangle (the tail edge is in no triangle).
+  const auto S = undirected(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  const auto t3 = ktruss(S, 3);
+  EXPECT_EQ(t3.nedges, 6u);  // 3 undirected edges = 6 entries
+  EXPECT_TRUE(t3.truss.has_element(0, 1));
+  EXPECT_FALSE(t3.truss.has_element(2, 3));
+  EXPECT_FALSE(t3.truss.has_element(3, 2));
+}
+
+TEST(KTruss, CascadingRemoval) {
+  // Two triangles sharing an edge: {0,1,2} and {1,2,3}.  Every edge is in
+  // >= 1 triangle, but only the shared edge (1,2) is in 2.  The 4-truss
+  // (support >= 2) must cascade to empty: once the outer edges go, the
+  // shared edge loses its support too.
+  const auto S = undirected(4, {{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}});
+  const auto t4 = ktruss(S, 4);
+  EXPECT_EQ(t4.nedges, 0u);
+  EXPECT_GT(t4.iterations, 1u);  // took more than one pruning round
+  // The 3-truss keeps everything.
+  EXPECT_EQ(ktruss(S, 3).nedges, S.nvals());
+}
+
+TEST(KTruss, TriangleFreeGraphHasEmpty3Truss) {
+  // 4-cycle.
+  const auto S = undirected(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  EXPECT_EQ(ktruss(S, 3).nedges, 0u);
+  EXPECT_EQ(max_truss(S), 2u);
+}
+
+TEST(KTruss, KTwoReturnsWholeGraph) {
+  const auto S = undirected(4, {{0, 1}, {2, 3}});
+  const auto t2 = ktruss(S, 2);
+  EXPECT_EQ(t2.nedges, S.nvals());
+}
+
+TEST(KTruss, SupportValuesAreTriangleCounts) {
+  // K4: every edge is in exactly 2 triangles.
+  std::vector<std::pair<gb::Index, gb::Index>> e;
+  for (gb::Index i = 0; i < 4; ++i)
+    for (gb::Index j = i + 1; j < 4; ++j) e.emplace_back(i, j);
+  const auto S = undirected(4, e);
+  const auto t = ktruss(S, 4);  // support >= 2: K4 survives
+  EXPECT_EQ(t.nedges, S.nvals());
+  t.truss.for_each([](gb::Index, gb::Index, std::uint64_t support) {
+    EXPECT_EQ(support, 2u);
+  });
+}
+
+TEST(KTruss, MonotoneInK) {
+  const auto el = datagen::uniform_random(60, 500, 17);
+  const auto S = symmetrize(datagen::to_matrix(el));
+  gb::Index prev = S.nvals();
+  for (unsigned k = 3; k <= 8; ++k) {
+    const auto t = ktruss(S, k);
+    EXPECT_LE(t.nedges, prev);  // trusses are nested
+    prev = t.nedges;
+  }
+}
+
+TEST(KTruss, TrussIsSubgraphWithSufficientSupport) {
+  const auto el = datagen::graph500(7, 8, 5);
+  const auto S = symmetrize(datagen::to_matrix(el));
+  const unsigned k = 4;
+  const auto t = ktruss(S, k);
+  // Every surviving edge must (a) exist in S and (b) close >= k-2
+  // triangles within the truss itself.
+  t.truss.for_each([&](gb::Index i, gb::Index j, std::uint64_t) {
+    EXPECT_TRUE(S.has_element(i, j));
+    std::uint64_t common = 0;
+    for (const auto x : t.truss.row_indices(i))
+      if (t.truss.has_element(j, x)) ++common;
+    EXPECT_GE(common, k - 2) << "edge " << i << "-" << j;
+  });
+}
+
+}  // namespace
+}  // namespace rg::algo

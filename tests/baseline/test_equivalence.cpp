@@ -1,0 +1,112 @@
+// The speedups in the paper's Fig. 1 are only meaningful if every engine
+// answers the same question: this suite property-tests that all engines
+// (including the full-Cypher RedisGraph stack) return identical k-hop
+// counts across generators, scales and k.
+#include <gtest/gtest.h>
+
+#include "baseline/engine.hpp"
+#include "datagen/generators.hpp"
+
+namespace rg::baseline {
+namespace {
+
+std::vector<std::unique_ptr<Engine>> all_engines() {
+  std::vector<std::unique_ptr<Engine>> engines;
+  engines.push_back(make_graphblas_engine());
+  engines.push_back(make_adjlist_engine());
+  engines.push_back(make_docstore_engine());
+  engines.push_back(make_csr_engine());
+  engines.push_back(make_parallel_csr_engine(3));
+  engines.push_back(make_redisgraph_fullstack_engine());
+  return engines;
+}
+
+struct EqCase {
+  int generator;  // 0 = uniform, 1 = graph500, 2 = twitter
+  unsigned k;
+  std::uint64_t seed;
+};
+
+std::string case_name(const ::testing::TestParamInfo<EqCase>& info) {
+  const char* gen[] = {"uniform", "graph500", "twitter"};
+  return std::string(gen[info.param.generator]) + "_k" +
+         std::to_string(info.param.k) + "_s" +
+         std::to_string(info.param.seed);
+}
+
+class EquivalenceTest : public ::testing::TestWithParam<EqCase> {};
+
+TEST_P(EquivalenceTest, AllEnginesAgree) {
+  const auto& c = GetParam();
+  datagen::EdgeList el;
+  switch (c.generator) {
+    case 0: el = datagen::uniform_random(400, 2400, c.seed); break;
+    case 1: el = datagen::graph500(9, 8, c.seed); break;
+    default: el = datagen::twitter_like(9, 8, c.seed); break;
+  }
+  auto engines = all_engines();
+  for (auto& e : engines) e->load(el);
+  const auto seeds = datagen::pick_seeds(el, 10, c.seed + 99);
+  for (const auto s : seeds) {
+    const auto expect = engines[0]->khop_count(s, c.k);
+    for (std::size_t i = 1; i < engines.size(); ++i) {
+      EXPECT_EQ(engines[i]->khop_count(s, c.k), expect)
+          << engines[i]->name() << " disagrees at seed " << s;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EquivalenceTest,
+    ::testing::Values(EqCase{0, 1, 1}, EqCase{0, 2, 2}, EqCase{0, 3, 3},
+                      EqCase{0, 6, 4}, EqCase{1, 1, 5}, EqCase{1, 2, 6},
+                      EqCase{1, 3, 7}, EqCase{1, 6, 8}, EqCase{2, 2, 9},
+                      EqCase{2, 6, 10}),
+    case_name);
+
+TEST(Engines, RepeatedQueriesAreDeterministic) {
+  const auto el = datagen::graph500(9, 8, 42);
+  auto engines = all_engines();
+  for (auto& e : engines) e->load(el);
+  const auto seeds = datagen::pick_seeds(el, 5, 1);
+  for (auto& e : engines) {
+    for (const auto s : seeds) {
+      const auto first = e->khop_count(s, 3);
+      EXPECT_EQ(e->khop_count(s, 3), first) << e->name();
+    }
+  }
+}
+
+TEST(Engines, ReloadResetsState) {
+  auto e = make_csr_engine();
+  const auto el1 = datagen::uniform_random(50, 200, 1);
+  const auto el2 = datagen::uniform_random(80, 100, 2);
+  e->load(el1);
+  const auto seeds1 = datagen::pick_seeds(el1, 3, 1);
+  for (const auto s : seeds1) e->khop_count(s, 4);
+  e->load(el2);
+  // Just verify no crash and sane bounds after reload.
+  const auto seeds2 = datagen::pick_seeds(el2, 3, 1);
+  for (const auto s : seeds2) EXPECT_LE(e->khop_count(s, 6), 80u);
+}
+
+TEST(Engines, EmptyNeighborhoodIsZero) {
+  datagen::EdgeList el;
+  el.nvertices = 4;
+  el.edges = {{1, 2}};
+  auto engines = all_engines();
+  for (auto& e : engines) {
+    e->load(el);
+    EXPECT_EQ(e->khop_count(0, 6), 0u) << e->name();  // vertex 0 isolated
+  }
+}
+
+TEST(Engines, NamesAreDistinct) {
+  auto engines = all_engines();
+  std::set<std::string> names;
+  for (auto& e : engines) names.insert(e->name());
+  EXPECT_EQ(names.size(), engines.size());
+}
+
+}  // namespace
+}  // namespace rg::baseline

@@ -1,0 +1,112 @@
+#include "cypher/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rg::cypher {
+namespace {
+
+std::vector<Tok> kinds(std::string_view q) {
+  std::vector<Tok> out;
+  for (const auto& t : tokenize(q)) out.push_back(t.type);
+  return out;
+}
+
+TEST(Lexer, EmptyInputYieldsEnd) {
+  const auto toks = tokenize("");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].type, Tok::kEnd);
+}
+
+TEST(Lexer, IdentifiersAndKeywordsAreIdents) {
+  const auto toks = tokenize("MATCH foo _bar x1");
+  EXPECT_EQ(toks.size(), 5u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(toks[i].type, Tok::kIdent);
+  EXPECT_EQ(toks[1].text, "foo");
+}
+
+TEST(Lexer, BacktickQuotedIdentifier) {
+  const auto toks = tokenize("`weird name!`");
+  EXPECT_EQ(toks[0].type, Tok::kIdent);
+  EXPECT_EQ(toks[0].text, "weird name!");
+}
+
+TEST(Lexer, UnterminatedBacktickThrows) {
+  EXPECT_THROW(tokenize("`oops"), LexError);
+}
+
+TEST(Lexer, IntegerAndFloatLiterals) {
+  const auto toks = tokenize("42 3.14 1e5 2.5e-3 7");
+  EXPECT_EQ(toks[0].type, Tok::kInteger);
+  EXPECT_EQ(toks[1].type, Tok::kFloat);
+  EXPECT_EQ(toks[2].type, Tok::kFloat);
+  EXPECT_EQ(toks[3].type, Tok::kFloat);
+  EXPECT_EQ(toks[4].type, Tok::kInteger);
+}
+
+TEST(Lexer, RangeDotsNotConsumedAsDecimal) {
+  const auto toks = tokenize("1..3");
+  EXPECT_EQ(toks[0].type, Tok::kInteger);
+  EXPECT_EQ(toks[1].type, Tok::kDotDot);
+  EXPECT_EQ(toks[2].type, Tok::kInteger);
+}
+
+TEST(Lexer, StringsBothQuoteStyles) {
+  const auto toks = tokenize("'single' \"double\"");
+  EXPECT_EQ(toks[0].type, Tok::kString);
+  EXPECT_EQ(toks[0].text, "single");
+  EXPECT_EQ(toks[1].text, "double");
+}
+
+TEST(Lexer, StringEscapes) {
+  const auto toks = tokenize(R"('a\'b\n\t\\c')");
+  EXPECT_EQ(toks[0].text, "a'b\n\t\\c");
+}
+
+TEST(Lexer, UnterminatedStringThrows) {
+  EXPECT_THROW(tokenize("'oops"), LexError);
+}
+
+TEST(Lexer, ArrowsAndComparisons) {
+  EXPECT_EQ(kinds("-> <- <= >= <> != < > = - .."),
+            (std::vector<Tok>{Tok::kArrowRight, Tok::kArrowLeft, Tok::kLe,
+                              Tok::kGe, Tok::kNeq, Tok::kNeq, Tok::kLt,
+                              Tok::kGt, Tok::kEq, Tok::kDash, Tok::kDotDot,
+                              Tok::kEnd}));
+}
+
+TEST(Lexer, PatternPunctuation) {
+  EXPECT_EQ(kinds("(n:L {k:1})-[r]->(m)"),
+            (std::vector<Tok>{Tok::kLParen, Tok::kIdent, Tok::kColon,
+                              Tok::kIdent, Tok::kLBrace, Tok::kIdent,
+                              Tok::kColon, Tok::kInteger, Tok::kRBrace,
+                              Tok::kRParen, Tok::kDash, Tok::kLBracket,
+                              Tok::kIdent, Tok::kRBracket, Tok::kArrowRight,
+                              Tok::kLParen, Tok::kIdent, Tok::kRParen,
+                              Tok::kEnd}));
+}
+
+TEST(Lexer, LineCommentsSkipped) {
+  const auto toks = tokenize("MATCH // a comment\n RETURN");
+  EXPECT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[1].text, "RETURN");
+}
+
+TEST(Lexer, PositionsRecorded) {
+  const auto toks = tokenize("ab cd");
+  EXPECT_EQ(toks[0].pos, 0u);
+  EXPECT_EQ(toks[1].pos, 3u);
+}
+
+TEST(Lexer, UnexpectedCharacterThrows) {
+  EXPECT_THROW(tokenize("a ~ b"), LexError);
+}
+
+TEST(KeywordEq, CaseInsensitive) {
+  EXPECT_TRUE(keyword_eq("match", "MATCH"));
+  EXPECT_TRUE(keyword_eq("MaTcH", "MATCH"));
+  EXPECT_FALSE(keyword_eq("matches", "MATCH"));
+  EXPECT_FALSE(keyword_eq("matc", "MATCH"));
+}
+
+}  // namespace
+}  // namespace rg::cypher

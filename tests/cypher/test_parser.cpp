@@ -1,0 +1,292 @@
+#include "cypher/parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rg::cypher {
+namespace {
+
+TEST(Parser, SimpleMatchReturn) {
+  const auto q = parse("MATCH (n) RETURN n");
+  ASSERT_EQ(q.clauses.size(), 2u);
+  EXPECT_EQ(q.clauses[0].kind, Clause::Kind::kMatch);
+  EXPECT_EQ(q.clauses[1].kind, Clause::Kind::kReturn);
+  const auto& path = q.clauses[0].match.paths[0];
+  ASSERT_EQ(path.nodes.size(), 1u);
+  EXPECT_EQ(path.nodes[0].var, "n");
+  EXPECT_TRUE(path.nodes[0].labels.empty());
+}
+
+TEST(Parser, NodeLabelsAndProps) {
+  const auto q = parse("MATCH (n:Person:Admin {name:'x', age:3}) RETURN n");
+  const auto& node = q.clauses[0].match.paths[0].nodes[0];
+  EXPECT_EQ(node.labels, (std::vector<std::string>{"Person", "Admin"}));
+  ASSERT_EQ(node.props.size(), 2u);
+  EXPECT_EQ(node.props[0].first, "name");
+  EXPECT_EQ(node.props[0].second->literal.as_string(), "x");
+  EXPECT_EQ(node.props[1].second->literal.as_int(), 3);
+}
+
+TEST(Parser, RelationshipDirections) {
+  {
+    const auto q = parse("MATCH (a)-[:R]->(b) RETURN a");
+    EXPECT_EQ(q.clauses[0].match.paths[0].rels[0].direction,
+              RelDirection::kLeftToRight);
+  }
+  {
+    const auto q = parse("MATCH (a)<-[:R]-(b) RETURN a");
+    EXPECT_EQ(q.clauses[0].match.paths[0].rels[0].direction,
+              RelDirection::kRightToLeft);
+  }
+  {
+    const auto q = parse("MATCH (a)-[:R]-(b) RETURN a");
+    EXPECT_EQ(q.clauses[0].match.paths[0].rels[0].direction,
+              RelDirection::kBoth);
+  }
+  {
+    const auto q = parse("MATCH (a)-->(b) RETURN a");
+    const auto& rel = q.clauses[0].match.paths[0].rels[0];
+    EXPECT_EQ(rel.direction, RelDirection::kLeftToRight);
+    EXPECT_TRUE(rel.types.empty());
+  }
+}
+
+TEST(Parser, RelationshipTypeDisjunction) {
+  const auto q = parse("MATCH (a)-[r:R1|R2|:R3]->(b) RETURN r");
+  const auto& rel = q.clauses[0].match.paths[0].rels[0];
+  EXPECT_EQ(rel.var, "r");
+  EXPECT_EQ(rel.types, (std::vector<std::string>{"R1", "R2", "R3"}));
+}
+
+TEST(Parser, VariableLengthForms) {
+  {
+    const auto q = parse("MATCH (a)-[*]->(b) RETURN a");
+    const auto& r = q.clauses[0].match.paths[0].rels[0];
+    EXPECT_TRUE(r.var_length);
+    EXPECT_EQ(r.min_hops.value(), 1u);
+    EXPECT_FALSE(r.max_hops.has_value());
+  }
+  {
+    const auto q = parse("MATCH (a)-[*3]->(b) RETURN a");
+    const auto& r = q.clauses[0].match.paths[0].rels[0];
+    EXPECT_EQ(r.min_hops.value(), 3u);
+    EXPECT_EQ(r.max_hops.value(), 3u);
+  }
+  {
+    const auto q = parse("MATCH (a)-[*1..4]->(b) RETURN a");
+    const auto& r = q.clauses[0].match.paths[0].rels[0];
+    EXPECT_EQ(r.min_hops.value(), 1u);
+    EXPECT_EQ(r.max_hops.value(), 4u);
+  }
+  {
+    const auto q = parse("MATCH (a)-[*2..]->(b) RETURN a");
+    const auto& r = q.clauses[0].match.paths[0].rels[0];
+    EXPECT_EQ(r.min_hops.value(), 2u);
+    EXPECT_FALSE(r.max_hops.has_value());
+  }
+  {
+    const auto q = parse("MATCH (a)-[:R*..5]->(b) RETURN a");
+    const auto& r = q.clauses[0].match.paths[0].rels[0];
+    EXPECT_EQ(r.min_hops.value(), 1u);
+    EXPECT_EQ(r.max_hops.value(), 5u);
+    EXPECT_EQ(r.types, std::vector<std::string>{"R"});
+  }
+}
+
+TEST(Parser, LongPathAlternatesNodesAndRels) {
+  const auto q = parse("MATCH (a)-[:X]->(b)<-[:Y]-(c)-[:Z]-(d) RETURN a");
+  const auto& p = q.clauses[0].match.paths[0];
+  EXPECT_EQ(p.nodes.size(), 4u);
+  EXPECT_EQ(p.rels.size(), 3u);
+}
+
+TEST(Parser, MultiplePatternPaths) {
+  const auto q = parse("MATCH (a)-[:R]->(b), (c:L) RETURN a");
+  EXPECT_EQ(q.clauses[0].match.paths.size(), 2u);
+}
+
+TEST(Parser, WhereExpressionPrecedence) {
+  const auto q = parse("MATCH (n) WHERE n.a = 1 OR n.b = 2 AND NOT n.c = 3 "
+                       "RETURN n");
+  const auto& w = q.clauses[0].match.where;
+  ASSERT_NE(w, nullptr);
+  // OR binds loosest.
+  EXPECT_EQ(w->kind, Expr::Kind::kBinary);
+  EXPECT_EQ(w->bin_op, BinOp::kOr);
+  EXPECT_EQ(w->args[1]->bin_op, BinOp::kAnd);
+  EXPECT_EQ(w->args[1]->args[1]->kind, Expr::Kind::kUnary);
+}
+
+TEST(Parser, ArithmeticPrecedence) {
+  const auto e = parse_expression("1 + 2 * 3 - 4 / 2");
+  // ((1 + (2*3)) - (4/2))
+  EXPECT_EQ(e->bin_op, BinOp::kSub);
+  EXPECT_EQ(e->args[0]->bin_op, BinOp::kAdd);
+  EXPECT_EQ(e->args[0]->args[1]->bin_op, BinOp::kMul);
+  EXPECT_EQ(e->args[1]->bin_op, BinOp::kDiv);
+}
+
+TEST(Parser, PowerIsRightAssociative) {
+  const auto e = parse_expression("2 ^ 3 ^ 2");
+  EXPECT_EQ(e->bin_op, BinOp::kPow);
+  EXPECT_EQ(e->args[1]->bin_op, BinOp::kPow);
+}
+
+TEST(Parser, UnaryMinusAndParens) {
+  const auto e = parse_expression("-(1 + 2)");
+  EXPECT_EQ(e->kind, Expr::Kind::kUnary);
+  EXPECT_EQ(e->un_op, UnOp::kNeg);
+  EXPECT_EQ(e->args[0]->bin_op, BinOp::kAdd);
+}
+
+TEST(Parser, PropertyAccessChains) {
+  const auto e = parse_expression("a.b");
+  EXPECT_EQ(e->kind, Expr::Kind::kProperty);
+  EXPECT_EQ(e->name, "b");
+  EXPECT_EQ(e->args[0]->kind, Expr::Kind::kVariable);
+  EXPECT_EQ(e->args[0]->name, "a");
+}
+
+TEST(Parser, StringOperatorsAndIn) {
+  const auto e1 = parse_expression("a STARTS WITH 'x'");
+  EXPECT_EQ(e1->bin_op, BinOp::kStartsWith);
+  const auto e2 = parse_expression("a ENDS WITH 'x'");
+  EXPECT_EQ(e2->bin_op, BinOp::kEndsWith);
+  const auto e3 = parse_expression("a CONTAINS 'x'");
+  EXPECT_EQ(e3->bin_op, BinOp::kContains);
+  const auto e4 = parse_expression("a IN [1, 2, 3]");
+  EXPECT_EQ(e4->bin_op, BinOp::kIn);
+  EXPECT_EQ(e4->args[1]->kind, Expr::Kind::kList);
+  EXPECT_EQ(e4->args[1]->args.size(), 3u);
+}
+
+TEST(Parser, IsNullForms) {
+  const auto e1 = parse_expression("a IS NULL");
+  EXPECT_EQ(e1->un_op, UnOp::kIsNull);
+  const auto e2 = parse_expression("a IS NOT NULL");
+  EXPECT_EQ(e2->un_op, UnOp::kIsNotNull);
+}
+
+TEST(Parser, LiteralsIncludingKeywords) {
+  EXPECT_TRUE(parse_expression("true")->literal.as_bool());
+  EXPECT_FALSE(parse_expression("FALSE")->literal.as_bool());
+  EXPECT_TRUE(parse_expression("null")->literal.is_null());
+  EXPECT_DOUBLE_EQ(parse_expression("2.5")->literal.as_double(), 2.5);
+}
+
+TEST(Parser, FunctionCallsAndAggregates) {
+  const auto e = parse_expression("count(DISTINCT n)");
+  EXPECT_EQ(e->kind, Expr::Kind::kFunction);
+  EXPECT_TRUE(e->distinct);
+  EXPECT_EQ(e->args.size(), 1u);
+
+  const auto star = parse_expression("count(*)");
+  EXPECT_EQ(star->args[0]->kind, Expr::Kind::kStar);
+
+  const auto fn = parse_expression("coalesce(a, b, 1)");
+  EXPECT_EQ(fn->name, "coalesce");
+  EXPECT_EQ(fn->args.size(), 3u);
+
+  EXPECT_TRUE(is_aggregate_function("COUNT"));
+  EXPECT_TRUE(is_aggregate_function("collect"));
+  EXPECT_FALSE(is_aggregate_function("abs"));
+}
+
+TEST(Parser, ReturnProjections) {
+  const auto q = parse("MATCH (n) RETURN DISTINCT n.a AS x, n.b "
+                       "ORDER BY x DESC, n.b SKIP 2 LIMIT 10");
+  const auto& r = q.clauses[1].ret;
+  EXPECT_TRUE(r.distinct);
+  ASSERT_EQ(r.items.size(), 2u);
+  EXPECT_EQ(r.items[0].alias, "x");
+  ASSERT_EQ(r.order_by.size(), 2u);
+  EXPECT_FALSE(r.order_by[0].ascending);
+  EXPECT_TRUE(r.order_by[1].ascending);
+  EXPECT_EQ(r.skip->literal.as_int(), 2);
+  EXPECT_EQ(r.limit->literal.as_int(), 10);
+}
+
+TEST(Parser, ReturnStar) {
+  const auto q = parse("MATCH (n) RETURN *");
+  EXPECT_TRUE(q.clauses[1].ret.star);
+}
+
+TEST(Parser, CreateWithRelationship) {
+  const auto q = parse("CREATE (a:X {k: 1})-[:R {w: 2}]->(b:Y)");
+  ASSERT_EQ(q.clauses.size(), 1u);
+  EXPECT_EQ(q.clauses[0].kind, Clause::Kind::kCreate);
+  const auto& p = q.clauses[0].create.paths[0];
+  EXPECT_EQ(p.rels[0].types[0], "R");
+  EXPECT_EQ(p.rels[0].props[0].first, "w");
+}
+
+TEST(Parser, DeleteForms) {
+  const auto q1 = parse("MATCH (n) DELETE n");
+  EXPECT_FALSE(q1.clauses[1].del.detach);
+  const auto q2 = parse("MATCH (n) DETACH DELETE n, m");
+  EXPECT_TRUE(q2.clauses[1].del.detach);
+  EXPECT_EQ(q2.clauses[1].del.targets.size(), 2u);
+}
+
+TEST(Parser, SetClause) {
+  const auto q = parse("MATCH (n) SET n.a = 1, n.b = n.a + 1");
+  const auto& s = q.clauses[1].set;
+  ASSERT_EQ(s.items.size(), 2u);
+  EXPECT_EQ(s.items[0].var, "n");
+  EXPECT_EQ(s.items[0].prop, "a");
+}
+
+TEST(Parser, UnwindAndWith) {
+  const auto q = parse("UNWIND [1,2,3] AS x WITH x WHERE x > 1 RETURN x");
+  EXPECT_EQ(q.clauses[0].kind, Clause::Kind::kUnwind);
+  EXPECT_EQ(q.clauses[0].unwind.alias, "x");
+  EXPECT_EQ(q.clauses[1].kind, Clause::Kind::kWith);
+  ASSERT_NE(q.clauses[1].with.where, nullptr);
+}
+
+TEST(Parser, CreateIndex) {
+  const auto q = parse("CREATE INDEX ON :Person(name)");
+  ASSERT_EQ(q.clauses.size(), 1u);
+  EXPECT_EQ(q.clauses[0].kind, Clause::Kind::kCreateIndex);
+  EXPECT_EQ(q.clauses[0].create_index.label, "Person");
+  EXPECT_EQ(q.clauses[0].create_index.attr, "name");
+}
+
+TEST(Parser, OptionalMatch) {
+  const auto q = parse("OPTIONAL MATCH (n) RETURN n");
+  EXPECT_TRUE(q.clauses[0].match.optional);
+}
+
+TEST(Parser, ErrorsCarryPosition) {
+  try {
+    parse("MATCH (n RETURN n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_GT(e.pos(), 0u);
+  }
+}
+
+TEST(Parser, RejectsMalformedQueries) {
+  EXPECT_THROW(parse(""), ParseError);
+  EXPECT_THROW(parse("FOO (n)"), ParseError);
+  EXPECT_THROW(parse("MATCH (n) RETURN"), ParseError);
+  EXPECT_THROW(parse("MATCH (n)-[->(m) RETURN n"), ParseError);
+  EXPECT_THROW(parse("MATCH (n) WHERE RETURN n"), ParseError);
+  EXPECT_THROW(parse("UNWIND [1] RETURN 1"), ParseError);  // missing AS
+}
+
+TEST(Parser, SemicolonsBetweenClausesTolerated) {
+  const auto q = parse("MATCH (n) RETURN n;");
+  EXPECT_EQ(q.clauses.size(), 2u);
+}
+
+TEST(Parser, ExprClone) {
+  const auto e = parse_expression("a.b + count(DISTINCT c) * 2");
+  const auto c = e->clone();
+  EXPECT_EQ(c->kind, e->kind);
+  EXPECT_EQ(c->bin_op, e->bin_op);
+  EXPECT_EQ(c->args.size(), e->args.size());
+  EXPECT_TRUE(c->args[1]->args[0]->distinct);
+}
+
+}  // namespace
+}  // namespace rg::cypher

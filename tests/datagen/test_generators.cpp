@@ -1,0 +1,146 @@
+#include "datagen/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace rg::datagen {
+namespace {
+
+TEST(Graph500, SizesMatchSpec) {
+  const auto el = graph500(10, 16, 1);
+  EXPECT_EQ(el.nvertices, 1024u);
+  // Self-loop resampling can drop a few edges in the worst case.
+  EXPECT_NEAR(static_cast<double>(el.nedges()), 16.0 * 1024.0, 32.0);
+}
+
+TEST(Graph500, DeterministicForSameSeed) {
+  const auto a = graph500(9, 8, 7);
+  const auto b = graph500(9, 8, 7);
+  EXPECT_EQ(a.edges, b.edges);
+}
+
+TEST(Graph500, DifferentSeedsDiffer) {
+  const auto a = graph500(9, 8, 7);
+  const auto b = graph500(9, 8, 8);
+  EXPECT_NE(a.edges, b.edges);
+}
+
+TEST(Graph500, NoSelfLoopsByDefault) {
+  const auto el = graph500(10, 8, 3);
+  for (const auto& [u, v] : el.edges) EXPECT_NE(u, v);
+}
+
+TEST(Graph500, EdgesInRange) {
+  const auto el = graph500(8, 8, 5);
+  for (const auto& [u, v] : el.edges) {
+    EXPECT_LT(u, el.nvertices);
+    EXPECT_LT(v, el.nvertices);
+  }
+}
+
+TEST(Graph500, DegreeSkewIsHeavyTailed) {
+  const auto el = graph500(12, 16, 11);
+  const auto deg = out_degrees(el);
+  const auto maxdeg = *std::max_element(deg.begin(), deg.end());
+  const double mean = 16.0;
+  // Kronecker graphs have hubs far above the mean degree.
+  EXPECT_GT(static_cast<double>(maxdeg), 10 * mean);
+}
+
+TEST(Graph500, PermutationPreservesDegreeMultiset) {
+  RmatParams p;
+  p.permute_vertices = false;
+  const auto plain = graph500(9, 8, 42, p);
+  p.permute_vertices = true;
+  const auto perm = graph500(9, 8, 42, p);
+  auto d1 = out_degrees(plain);
+  auto d2 = out_degrees(perm);
+  std::sort(d1.begin(), d1.end());
+  std::sort(d2.begin(), d2.end());
+  EXPECT_EQ(d1, d2);
+}
+
+TEST(Graph500, DeduplicateOptionRemovesMultiEdges) {
+  RmatParams p;
+  p.deduplicate = true;
+  const auto el = graph500(9, 16, 5, p);
+  std::set<std::pair<gb::Index, gb::Index>> s(el.edges.begin(), el.edges.end());
+  EXPECT_EQ(s.size(), el.edges.size());
+}
+
+TEST(TwitterLike, HeavierInDegreeTailThanGraph500) {
+  const auto tw = twitter_like(12, 16, 3);
+  const auto g5 = graph500(12, 16, 3);
+  auto in_deg = [](const EdgeList& el) {
+    std::vector<gb::Index> d(el.nvertices, 0);
+    for (const auto& [u, v] : el.edges) {
+      (void)u;
+      ++d[v];
+    }
+    return *std::max_element(d.begin(), d.end());
+  };
+  EXPECT_GT(in_deg(tw), in_deg(g5));
+}
+
+TEST(TwitterLike, Deterministic) {
+  EXPECT_EQ(twitter_like(9, 8, 1).edges, twitter_like(9, 8, 1).edges);
+}
+
+TEST(UniformRandom, ExactEdgeCountAndRange) {
+  const auto el = uniform_random(100, 500, 9);
+  EXPECT_EQ(el.nedges(), 500u);
+  for (const auto& [u, v] : el.edges) {
+    EXPECT_LT(u, 100u);
+    EXPECT_LT(v, 100u);
+    EXPECT_NE(u, v);
+  }
+}
+
+TEST(ToMatrix, DeduplicatesParallelEdges) {
+  EdgeList el;
+  el.nvertices = 4;
+  el.edges = {{0, 1}, {0, 1}, {1, 2}, {0, 1}};
+  const auto m = to_matrix(el);
+  EXPECT_EQ(m.nvals(), 2u);
+  EXPECT_TRUE(m.has_element(0, 1));
+  EXPECT_TRUE(m.has_element(1, 2));
+}
+
+TEST(PickSeeds, AllHaveOutEdgesAndDistinct) {
+  const auto el = graph500(10, 8, 21);
+  const auto seeds = pick_seeds(el, 50, 3);
+  EXPECT_EQ(seeds.size(), 50u);
+  const auto deg = out_degrees(el);
+  std::set<gb::Index> uniq;
+  for (const auto s : seeds) {
+    EXPECT_GT(deg[s], 0u);
+    uniq.insert(s);
+  }
+  EXPECT_EQ(uniq.size(), seeds.size());
+}
+
+TEST(PickSeeds, DeterministicAndSeedDependent) {
+  const auto el = graph500(10, 8, 21);
+  EXPECT_EQ(pick_seeds(el, 20, 3), pick_seeds(el, 20, 3));
+  EXPECT_NE(pick_seeds(el, 20, 3), pick_seeds(el, 20, 4));
+}
+
+TEST(PickSeeds, CapsAtAvailableCandidates) {
+  EdgeList el;
+  el.nvertices = 5;
+  el.edges = {{0, 1}, {2, 3}};
+  const auto seeds = pick_seeds(el, 100, 1);
+  EXPECT_EQ(seeds.size(), 2u);  // only vertices 0 and 2 have out-edges
+}
+
+TEST(Describe, MentionsCounts) {
+  const auto el = uniform_random(10, 20, 1);
+  const auto s = describe(el);
+  EXPECT_NE(s.find("n=10"), std::string::npos);
+  EXPECT_NE(s.find("m=20"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rg::datagen

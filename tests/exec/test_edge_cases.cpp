@@ -1,0 +1,171 @@
+// Edge cases across the relational operators and the query surface.
+#include <gtest/gtest.h>
+
+#include "exec/query.hpp"
+#include "graph/graph.hpp"
+
+namespace rg::exec {
+namespace {
+
+using graph::Value;
+
+TEST(EdgeCases, LimitZeroYieldsNothing) {
+  graph::Graph g;
+  query(g, "CREATE (:A), (:A)");
+  EXPECT_EQ(query(g, "MATCH (n:A) RETURN n LIMIT 0").row_count(), 0u);
+}
+
+TEST(EdgeCases, SkipBeyondEndYieldsNothing) {
+  graph::Graph g;
+  query(g, "CREATE (:A), (:A)");
+  EXPECT_EQ(query(g, "MATCH (n:A) RETURN n SKIP 10").row_count(), 0u);
+}
+
+TEST(EdgeCases, SkipPlusLimitWindow) {
+  graph::Graph g;
+  query(g, "UNWIND [1,2,3,4,5] AS x CREATE (:N {v:x})");
+  const auto rs =
+      query(g, "MATCH (n:N) RETURN n.v ORDER BY n.v SKIP 1 LIMIT 2");
+  ASSERT_EQ(rs.row_count(), 2u);
+  EXPECT_EQ(rs.rows[0][0].as_int(), 2);
+  EXPECT_EQ(rs.rows[1][0].as_int(), 3);
+}
+
+TEST(EdgeCases, OrderByNullsSortLast) {
+  graph::Graph g;
+  query(g, "CREATE (:N {v:2}), (:N), (:N {v:1})");  // middle node lacks v
+  const auto rs = query(g, "MATCH (n:N) RETURN n.v ORDER BY n.v");
+  ASSERT_EQ(rs.row_count(), 3u);
+  EXPECT_EQ(rs.rows[0][0].as_int(), 1);
+  EXPECT_EQ(rs.rows[1][0].as_int(), 2);
+  EXPECT_TRUE(rs.rows[2][0].is_null());
+}
+
+TEST(EdgeCases, DistinctTreatsNullAsOneValue) {
+  graph::Graph g;
+  query(g, "CREATE (:N), (:N), (:N {v:1})");
+  const auto rs = query(g, "MATCH (n:N) RETURN DISTINCT n.v");
+  EXPECT_EQ(rs.row_count(), 2u);  // null and 1
+}
+
+TEST(EdgeCases, UnwindNestedListsYieldInnerLists) {
+  graph::Graph g;
+  const auto rs = query(g, "UNWIND [[1,2],[3]] AS row RETURN size(row)");
+  ASSERT_EQ(rs.row_count(), 2u);
+  EXPECT_EQ(rs.rows[0][0].as_int(), 2);
+  EXPECT_EQ(rs.rows[1][0].as_int(), 1);
+}
+
+TEST(EdgeCases, UnwindEmptyListYieldsNoRows) {
+  graph::Graph g;
+  EXPECT_EQ(query(g, "UNWIND [] AS x RETURN x").row_count(), 0u);
+}
+
+TEST(EdgeCases, MinMaxOverStrings) {
+  graph::Graph g;
+  query(g, "CREATE (:N {s:'pear'}), (:N {s:'apple'}), (:N {s:'melon'})");
+  const auto rs = query(g, "MATCH (n:N) RETURN min(n.s), max(n.s)");
+  EXPECT_EQ(rs.rows[0][0].as_string(), "apple");
+  EXPECT_EQ(rs.rows[0][1].as_string(), "pear");
+}
+
+TEST(EdgeCases, AvgOfIntsIsDouble) {
+  graph::Graph g;
+  query(g, "CREATE (:N {v:1}), (:N {v:2})");
+  const auto rs = query(g, "MATCH (n:N) RETURN avg(n.v)");
+  ASSERT_TRUE(rs.rows[0][0].is_double());
+  EXPECT_DOUBLE_EQ(rs.rows[0][0].as_double(), 1.5);
+}
+
+TEST(EdgeCases, SumOfEmptyGroupIsZero) {
+  graph::Graph g;
+  const auto rs = query(g, "MATCH (n:Nope) RETURN sum(n.v)");
+  EXPECT_EQ(rs.rows[0][0].as_int(), 0);
+}
+
+TEST(EdgeCases, SelfLoopTraversal) {
+  graph::Graph g;
+  query(g, "CREATE (a:N {v:1})-[:R]->(a)");
+  const auto rs = query(g, "MATCH (a:N)-[:R]->(b) RETURN id(a) = id(b)");
+  ASSERT_EQ(rs.row_count(), 1u);
+  EXPECT_TRUE(rs.rows[0][0].as_bool());
+  // Self-loop reachable at every depth.
+  const auto k = query(g, "MATCH (a:N)-[:R*1..3]->(b) RETURN count(DISTINCT b)");
+  EXPECT_EQ(k.rows[0][0].as_int(), 1);
+}
+
+TEST(EdgeCases, EmptyGraphQueriesBehave) {
+  graph::Graph g;
+  EXPECT_EQ(query(g, "MATCH (n) RETURN n").row_count(), 0u);
+  EXPECT_EQ(query(g, "MATCH (a)-[:R*1..6]->(b) RETURN count(b)")
+                .rows[0][0].as_int(), 0);
+}
+
+TEST(EdgeCases, WhereOnWithAlias) {
+  graph::Graph g;
+  query(g, "UNWIND [1,2,3,4] AS x CREATE (:N {v:x})");
+  const auto rs = query(
+      g, "MATCH (n:N) WITH n.v * 10 AS big WHERE big > 20 "
+         "RETURN big ORDER BY big");
+  ASSERT_EQ(rs.row_count(), 2u);
+  EXPECT_EQ(rs.rows[0][0].as_int(), 30);
+}
+
+TEST(EdgeCases, ChainedWiths) {
+  graph::Graph g;
+  const auto rs = query(
+      g, "UNWIND [1,2,3,4,5,6] AS x WITH x WHERE x % 2 = 0 "
+         "WITH x * x AS sq WHERE sq > 4 RETURN sum(sq)");
+  // evens {2,4,6} -> squares {4,16,36} -> >4 {16,36} -> sum 52
+  EXPECT_EQ(rs.rows[0][0].as_int(), 52);
+}
+
+TEST(EdgeCases, LongChainPattern) {
+  graph::Graph g;
+  query(g, "CREATE (:H {v:0})-[:R]->(:H {v:1})-[:R]->(:H {v:2})-[:R]->"
+           "(:H {v:3})-[:R]->(:H {v:4})");
+  const auto rs = query(
+      g, "MATCH (a:H {v:0})-[:R]->()-[:R]->()-[:R]->()-[:R]->(e) "
+         "RETURN e.v");
+  ASSERT_EQ(rs.row_count(), 1u);
+  EXPECT_EQ(rs.rows[0][0].as_int(), 4);
+}
+
+TEST(EdgeCases, DeleteThenRecreateUsesFreshState) {
+  graph::Graph g;
+  query(g, "CREATE (:T {v:1})");
+  query(g, "MATCH (n:T) DETACH DELETE n");
+  query(g, "CREATE (:T {v:2})");
+  const auto rs = query(g, "MATCH (n:T) RETURN n.v");
+  ASSERT_EQ(rs.row_count(), 1u);
+  EXPECT_EQ(rs.rows[0][0].as_int(), 2);
+}
+
+TEST(EdgeCases, SetOnEdgeProperty) {
+  graph::Graph g;
+  query(g, "CREATE (:A)-[:R {w:1}]->(:B)");
+  query(g, "MATCH (:A)-[e:R]->(:B) SET e.w = e.w + 10");
+  const auto rs = query(g, "MATCH (:A)-[e:R]->(:B) RETURN e.w");
+  EXPECT_EQ(rs.rows[0][0].as_int(), 11);
+}
+
+TEST(EdgeCases, ProfileCountsMatchResults) {
+  graph::Graph g;
+  query(g, "UNWIND [1,2,3] AS x CREATE (:N {v:x})");
+  ResultSet rs;
+  const auto prof = profile(g, "MATCH (n:N) RETURN n.v", rs);
+  EXPECT_EQ(rs.row_count(), 3u);
+  EXPECT_NE(prof.find("records: 3"), std::string::npos);
+}
+
+TEST(EdgeCases, LargeUnwindStressesPipeline) {
+  graph::Graph g;
+  const auto rs = query(
+      g, "UNWIND range(1, 10000) AS x WITH x WHERE x % 7 = 0 "
+         "RETURN count(*), max(x)");
+  EXPECT_EQ(rs.rows[0][0].as_int(), 1428);
+  EXPECT_EQ(rs.rows[0][1].as_int(), 9996);
+}
+
+}  // namespace
+}  // namespace rg::exec

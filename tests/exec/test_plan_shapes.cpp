@@ -1,0 +1,132 @@
+// Planner tests: the operator tree produced for characteristic queries
+// (start-point selection, traversal compilation, optimizer choices).
+#include <gtest/gtest.h>
+
+#include "exec/query.hpp"
+#include "graph/graph.hpp"
+
+namespace rg::exec {
+namespace {
+
+class PlanFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    query(g_, "CREATE (:Person {name:'a'})-[:KNOWS]->(:Person {name:'b'}),"
+              "       (:City {name:'x'})");
+  }
+  /// First line of the plan for `q` at a given depth.
+  std::string plan(const std::string& q) { return explain(g_, q); }
+  graph::Graph g_;
+};
+
+TEST_F(PlanFixture, UnlabeledPatternUsesAllNodeScan) {
+  const auto p = plan("MATCH (n) RETURN n");
+  EXPECT_NE(p.find("AllNodeScan"), std::string::npos);
+}
+
+TEST_F(PlanFixture, LabeledPatternUsesLabelScan) {
+  const auto p = plan("MATCH (n:Person) RETURN n");
+  EXPECT_NE(p.find("NodeByLabelScan"), std::string::npos);
+  EXPECT_EQ(p.find("AllNodeScan"), std::string::npos);
+}
+
+TEST_F(PlanFixture, LabelScanChosenOverAllScanAnywhereInPath) {
+  // The labeled node is in the middle: planner starts there.
+  const auto p = plan("MATCH (a)-[:KNOWS]->(b:Person)-[:KNOWS]->(c) RETURN a");
+  EXPECT_NE(p.find("NodeByLabelScan"), std::string::npos);
+  EXPECT_EQ(p.find("AllNodeScan"), std::string::npos);
+}
+
+TEST_F(PlanFixture, IndexBeatsLabelScan) {
+  query(g_, "CREATE INDEX ON :Person(name)");
+  const auto p = plan("MATCH (n:Person {name:'a'}) RETURN n");
+  EXPECT_NE(p.find("IndexScan"), std::string::npos);
+  EXPECT_EQ(p.find("NodeByLabelScan"), std::string::npos);
+}
+
+TEST_F(PlanFixture, IdEqualityBeatsEverything) {
+  query(g_, "CREATE INDEX ON :Person(name)");
+  const auto p = plan("MATCH (n:Person {name:'a'}) WHERE id(n) = 3 RETURN n");
+  EXPECT_NE(p.find("NodeByIdSeek"), std::string::npos);
+}
+
+TEST_F(PlanFixture, SingleHopCompilesToConditionalTraverse) {
+  const auto p = plan("MATCH (a:Person)-[:KNOWS]->(b) RETURN b");
+  EXPECT_NE(p.find("ConditionalTraverse"), std::string::npos);
+  EXPECT_NE(p.find("[:KNOWS]"), std::string::npos);
+}
+
+TEST_F(PlanFixture, VarLengthCompilesToVarLenTraverse) {
+  const auto p = plan("MATCH (a:Person)-[:KNOWS*2..5]->(b) RETURN b");
+  EXPECT_NE(p.find("VarLenTraverse"), std::string::npos);
+  EXPECT_NE(p.find("*2..5"), std::string::npos);
+}
+
+TEST_F(PlanFixture, CycleClosesWithExpandInto) {
+  const auto p =
+      plan("MATCH (a:Person)-[:KNOWS]->(b)-[:KNOWS]->(a) RETURN a");
+  EXPECT_NE(p.find("ExpandInto"), std::string::npos);
+}
+
+TEST_F(PlanFixture, InlinePropsBecomeFilters) {
+  const auto p = plan("MATCH (n:Person {name:'a'}) RETURN n");
+  EXPECT_NE(p.find("Filter"), std::string::npos);
+}
+
+TEST_F(PlanFixture, SecondLabelBecomesLabelFilter) {
+  query(g_, "MATCH (n:Person {name:'a'}) SET n.x = 1");
+  const auto p = plan("MATCH (n:Person:City) RETURN n");
+  EXPECT_NE(p.find("LabelFilter"), std::string::npos);
+}
+
+TEST_F(PlanFixture, ProjectionPipelineOrder) {
+  const auto p = plan(
+      "MATCH (n:Person) RETURN DISTINCT n.name AS x ORDER BY x SKIP 1 LIMIT 2");
+  // Outer-to-inner: Results > Limit > Skip > Sort > Distinct > Project.
+  const auto results = p.find("Results");
+  const auto limit = p.find("Limit");
+  const auto skip = p.find("Skip");
+  const auto sort = p.find("Sort");
+  const auto distinct = p.find("Distinct");
+  const auto project = p.find("Project");
+  ASSERT_NE(results, std::string::npos);
+  EXPECT_LT(results, limit);
+  EXPECT_LT(limit, skip);
+  EXPECT_LT(skip, sort);
+  EXPECT_LT(sort, distinct);
+  EXPECT_LT(distinct, project);
+}
+
+TEST_F(PlanFixture, AggregationReplacesProject) {
+  const auto p = plan("MATCH (n:Person) RETURN count(*)");
+  EXPECT_NE(p.find("Aggregate"), std::string::npos);
+  EXPECT_EQ(p.find("Project"), std::string::npos);
+}
+
+TEST_F(PlanFixture, MergePlanShowsMatchSubtree) {
+  const auto p = plan("MERGE (n:Person {name:'a'})");
+  EXPECT_NE(p.find("Merge"), std::string::npos);
+  EXPECT_NE(p.find("NodeByLabelScan"), std::string::npos);
+}
+
+TEST_F(PlanFixture, DisconnectedPatternsNest) {
+  const auto p = plan("MATCH (a:Person), (b:City) RETURN a, b");
+  // Two label scans, one nested under the other (cartesian product).
+  const auto first = p.find("NodeByLabelScan");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_NE(p.find("NodeByLabelScan", first + 1), std::string::npos);
+}
+
+TEST_F(PlanFixture, TypeDisjunctionInDetail) {
+  const auto p = plan("MATCH (a:Person)-[:KNOWS|LIKES]->(b) RETURN b");
+  EXPECT_NE(p.find("KNOWS|LIKES"), std::string::npos);
+}
+
+TEST_F(PlanFixture, UnknownLabelStillPlansButMatchesNothing) {
+  const auto p = plan("MATCH (n:Ghost) RETURN n");
+  EXPECT_NE(p.find("NodeByLabelScan"), std::string::npos);
+  EXPECT_EQ(query(g_, "MATCH (n:Ghost) RETURN n").row_count(), 0u);
+}
+
+}  // namespace
+}  // namespace rg::exec

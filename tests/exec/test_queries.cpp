@@ -1,0 +1,410 @@
+// End-to-end Cypher query tests against a fixture graph — the behavioral
+// contract of the whole parse -> plan -> execute pipeline.
+#include <gtest/gtest.h>
+
+#include "exec/query.hpp"
+#include "graph/graph.hpp"
+
+namespace rg::exec {
+namespace {
+
+using graph::Value;
+
+/// Social fixture:
+///   alice(30) -KNOWS-> bob(25) -KNOWS-> carol(41) -KNOWS-> alice
+///   alice -KNOWS-> carol
+///   dave(19) isolated; eve(55):Admin
+class QueryFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    query(g_,
+          "CREATE (a:Person {name:'alice', age:30}),"
+          "       (b:Person {name:'bob', age:25}),"
+          "       (c:Person {name:'carol', age:41}),"
+          "       (d:Person {name:'dave', age:19}),"
+          "       (e:Person:Admin {name:'eve', age:55}),"
+          "       (a)-[:KNOWS {since:2010}]->(b),"
+          "       (b)-[:KNOWS {since:2012}]->(c),"
+          "       (c)-[:KNOWS {since:2015}]->(a),"
+          "       (a)-[:KNOWS {since:2020}]->(c)");
+  }
+  graph::Graph g_;
+};
+
+TEST_F(QueryFixture, CreateReportedInStats) {
+  graph::Graph g;
+  const auto rs = query(g, "CREATE (:X)-[:R]->(:Y {k:1})");
+  EXPECT_EQ(rs.stats.nodes_created, 2u);
+  EXPECT_EQ(rs.stats.edges_created, 1u);
+  EXPECT_EQ(rs.stats.properties_set, 1u);
+}
+
+TEST_F(QueryFixture, MatchAllNodes) {
+  const auto rs = query(g_, "MATCH (n) RETURN count(*)");
+  EXPECT_EQ(rs.rows[0][0].as_int(), 5);
+}
+
+TEST_F(QueryFixture, LabelScanFiltersLabel) {
+  const auto rs = query(g_, "MATCH (n:Admin) RETURN n.name");
+  ASSERT_EQ(rs.row_count(), 1u);
+  EXPECT_EQ(rs.rows[0][0].as_string(), "eve");
+}
+
+TEST_F(QueryFixture, UnknownLabelMatchesNothing) {
+  const auto rs = query(g_, "MATCH (n:Nope) RETURN n");
+  EXPECT_EQ(rs.row_count(), 0u);
+}
+
+TEST_F(QueryFixture, InlinePropertyFilter) {
+  const auto rs = query(g_, "MATCH (n:Person {name:'bob'}) RETURN n.age");
+  ASSERT_EQ(rs.row_count(), 1u);
+  EXPECT_EQ(rs.rows[0][0].as_int(), 25);
+}
+
+TEST_F(QueryFixture, ForwardTraverse) {
+  const auto rs = query(
+      g_, "MATCH (a {name:'alice'})-[:KNOWS]->(b) RETURN b.name ORDER BY b.name");
+  ASSERT_EQ(rs.row_count(), 2u);
+  EXPECT_EQ(rs.rows[0][0].as_string(), "bob");
+  EXPECT_EQ(rs.rows[1][0].as_string(), "carol");
+}
+
+TEST_F(QueryFixture, ReverseTraverse) {
+  const auto rs = query(
+      g_, "MATCH (a)<-[:KNOWS]-(b) WHERE a.name = 'carol' "
+          "RETURN b.name ORDER BY b.name");
+  ASSERT_EQ(rs.row_count(), 2u);
+  EXPECT_EQ(rs.rows[0][0].as_string(), "alice");
+  EXPECT_EQ(rs.rows[1][0].as_string(), "bob");
+}
+
+TEST_F(QueryFixture, UndirectedTraverse) {
+  const auto rs = query(
+      g_, "MATCH (a {name:'bob'})-[:KNOWS]-(b) RETURN b.name ORDER BY b.name");
+  // bob: out to carol, in from alice.
+  ASSERT_EQ(rs.row_count(), 2u);
+  EXPECT_EQ(rs.rows[0][0].as_string(), "alice");
+  EXPECT_EQ(rs.rows[1][0].as_string(), "carol");
+}
+
+TEST_F(QueryFixture, EdgeVariableBindsProperties) {
+  const auto rs = query(
+      g_, "MATCH (a {name:'alice'})-[e:KNOWS]->(b) "
+          "RETURN b.name, e.since ORDER BY e.since");
+  ASSERT_EQ(rs.row_count(), 2u);
+  EXPECT_EQ(rs.rows[0][1].as_int(), 2010);
+  EXPECT_EQ(rs.rows[1][1].as_int(), 2020);
+}
+
+TEST_F(QueryFixture, TwoHopPattern) {
+  const auto rs = query(
+      g_, "MATCH (a {name:'alice'})-[:KNOWS]->(x)-[:KNOWS]->(y) "
+          "RETURN x.name, y.name ORDER BY x.name, y.name");
+  // alice->bob->carol, alice->carol->alice.
+  ASSERT_EQ(rs.row_count(), 2u);
+  EXPECT_EQ(rs.rows[0][0].as_string(), "bob");
+  EXPECT_EQ(rs.rows[0][1].as_string(), "carol");
+  EXPECT_EQ(rs.rows[1][0].as_string(), "carol");
+  EXPECT_EQ(rs.rows[1][1].as_string(), "alice");
+}
+
+TEST_F(QueryFixture, CyclePatternUsesExpandInto) {
+  const auto rs = query(
+      g_, "MATCH (a)-[:KNOWS]->(b)-[:KNOWS]->(c)-[:KNOWS]->(a) "
+          "RETURN count(*)");
+  // Triangle alice->bob->carol->alice: 3 rotations.
+  EXPECT_EQ(rs.rows[0][0].as_int(), 3);
+}
+
+TEST_F(QueryFixture, VarLengthCountsDistinctEndpoints) {
+  const auto rs = query(
+      g_, "MATCH (a {name:'alice'})-[:KNOWS*1..2]->(b) "
+          "RETURN count(DISTINCT b)");
+  // 1 hop: bob, carol; 2 hops: carol(bob), alice(carol) -> distinct {bob,
+  // carol, alice} = 3.
+  EXPECT_EQ(rs.rows[0][0].as_int(), 3);
+}
+
+TEST_F(QueryFixture, VarLengthExactHops) {
+  const auto rs = query(
+      g_, "MATCH (a {name:'alice'})-[:KNOWS*2]->(b) "
+          "RETURN b.name ORDER BY b.name");
+  // Exactly 2 hops, endpoints at BFS depth 2: alice (via carol).
+  ASSERT_EQ(rs.row_count(), 1u);
+  EXPECT_EQ(rs.rows[0][0].as_string(), "alice");
+}
+
+TEST_F(QueryFixture, WhereComparisonsAndLogic) {
+  const auto rs = query(
+      g_, "MATCH (n:Person) WHERE n.age > 20 AND n.age < 45 AND "
+          "NOT n.name = 'bob' RETURN n.name ORDER BY n.name");
+  ASSERT_EQ(rs.row_count(), 2u);
+  EXPECT_EQ(rs.rows[0][0].as_string(), "alice");
+  EXPECT_EQ(rs.rows[1][0].as_string(), "carol");
+}
+
+TEST_F(QueryFixture, NullPropertyComparisonsFilterOut) {
+  const auto rs = query(g_, "MATCH (n) WHERE n.nosuch > 1 RETURN n");
+  EXPECT_EQ(rs.row_count(), 0u);
+}
+
+TEST_F(QueryFixture, IdSeekAndIdFunction) {
+  const auto all = query(g_, "MATCH (n {name:'dave'}) RETURN id(n)");
+  const auto dave = all.rows[0][0].as_int();
+  const auto rs = query(
+      g_, "MATCH (n) WHERE id(n) = " + std::to_string(dave) + " RETURN n.name");
+  ASSERT_EQ(rs.row_count(), 1u);
+  EXPECT_EQ(rs.rows[0][0].as_string(), "dave");
+  // Plan uses the seek operator, not a scan.
+  const auto plan = explain(
+      g_, "MATCH (n) WHERE id(n) = 1 RETURN n");
+  EXPECT_NE(plan.find("NodeByIdSeek"), std::string::npos);
+}
+
+TEST_F(QueryFixture, AggregatesPerGroup) {
+  const auto rs = query(
+      g_, "MATCH (a)-[:KNOWS]->(b) RETURN a.name, count(*) AS c, "
+          "min(b.age), max(b.age), sum(b.age), avg(b.age) ORDER BY a.name");
+  ASSERT_EQ(rs.row_count(), 3u);
+  // alice knows bob(25) and carol(41).
+  EXPECT_EQ(rs.rows[0][0].as_string(), "alice");
+  EXPECT_EQ(rs.rows[0][1].as_int(), 2);
+  EXPECT_EQ(rs.rows[0][2].as_int(), 25);
+  EXPECT_EQ(rs.rows[0][3].as_int(), 41);
+  EXPECT_EQ(rs.rows[0][4].as_int(), 66);
+  EXPECT_DOUBLE_EQ(rs.rows[0][5].as_double(), 33.0);
+}
+
+TEST_F(QueryFixture, CountDistinctVsPlain) {
+  const auto rs = query(
+      g_, "MATCH (a)-[:KNOWS]->(b)-[:KNOWS]->(c) "
+          "RETURN count(c), count(DISTINCT c)");
+  // Paths: a->b->c, a->c->a, b->c->a, c->a->b, c->a->c ... count rows vs
+  // distinct endpoints.
+  EXPECT_GT(rs.rows[0][0].as_int(), rs.rows[0][1].as_int());
+}
+
+TEST_F(QueryFixture, CollectGathersValues) {
+  const auto rs = query(
+      g_, "MATCH (a {name:'alice'})-[:KNOWS]->(b) RETURN collect(b.name)");
+  ASSERT_TRUE(rs.rows[0][0].is_array());
+  EXPECT_EQ(rs.rows[0][0].as_array().size(), 2u);
+}
+
+TEST_F(QueryFixture, CountOnEmptyInputIsZero) {
+  const auto rs = query(g_, "MATCH (n:Nope) RETURN count(*)");
+  ASSERT_EQ(rs.row_count(), 1u);
+  EXPECT_EQ(rs.rows[0][0].as_int(), 0);
+}
+
+TEST_F(QueryFixture, AggregateSkipsNulls) {
+  const auto rs = query(g_, "MATCH (n:Person) RETURN count(n.nosuch)");
+  EXPECT_EQ(rs.rows[0][0].as_int(), 0);
+}
+
+TEST_F(QueryFixture, OrderBySkipLimit) {
+  const auto rs = query(
+      g_, "MATCH (n:Person) RETURN n.name ORDER BY n.age DESC SKIP 1 LIMIT 2");
+  // Ages: eve 55, carol 41, alice 30, bob 25, dave 19.
+  ASSERT_EQ(rs.row_count(), 2u);
+  EXPECT_EQ(rs.rows[0][0].as_string(), "carol");
+  EXPECT_EQ(rs.rows[1][0].as_string(), "alice");
+}
+
+TEST_F(QueryFixture, DistinctProjection) {
+  const auto rs = query(
+      g_, "MATCH (a)-[:KNOWS]->() RETURN DISTINCT a.name ORDER BY a.name");
+  ASSERT_EQ(rs.row_count(), 3u);  // alice, bob, carol (alice deduped)
+}
+
+TEST_F(QueryFixture, ReturnStarListsBoundVars) {
+  const auto rs = query(g_, "MATCH (n:Admin) RETURN *");
+  ASSERT_EQ(rs.columns.size(), 1u);
+  EXPECT_EQ(rs.columns[0], "n");
+  EXPECT_TRUE(rs.rows[0][0].is_node());
+}
+
+TEST_F(QueryFixture, WithChainsProjections) {
+  const auto rs = query(
+      g_, "MATCH (n:Person) WITH n.age AS age WHERE age > 30 "
+          "RETURN count(*) AS older");
+  EXPECT_EQ(rs.rows[0][0].as_int(), 2);  // carol 41, eve 55
+}
+
+TEST_F(QueryFixture, WithAggregateThenFilter) {
+  const auto rs = query(
+      g_, "MATCH (a)-[:KNOWS]->(b) WITH a.name AS name, count(*) AS degree "
+          "WHERE degree > 1 RETURN name");
+  ASSERT_EQ(rs.row_count(), 1u);
+  EXPECT_EQ(rs.rows[0][0].as_string(), "alice");
+}
+
+TEST_F(QueryFixture, UnwindProducesRows) {
+  const auto rs = query(g_, "UNWIND [1, 2, 3] AS x RETURN x * 10 AS y");
+  ASSERT_EQ(rs.row_count(), 3u);
+  EXPECT_EQ(rs.rows[2][0].as_int(), 30);
+}
+
+TEST_F(QueryFixture, UnwindNullIsEmpty) {
+  const auto rs = query(g_, "UNWIND null AS x RETURN x");
+  EXPECT_EQ(rs.row_count(), 0u);
+}
+
+TEST_F(QueryFixture, UnwindCartesianWithMatch) {
+  const auto rs = query(
+      g_, "MATCH (n:Admin) UNWIND [1,2] AS x RETURN n.name, x ORDER BY x");
+  ASSERT_EQ(rs.row_count(), 2u);
+  EXPECT_EQ(rs.rows[1][1].as_int(), 2);
+}
+
+TEST_F(QueryFixture, SetUpdatesProperty) {
+  const auto rs = query(
+      g_, "MATCH (n {name:'dave'}) SET n.age = 20, n.checked = true");
+  EXPECT_EQ(rs.stats.properties_set, 2u);
+  const auto check = query(g_, "MATCH (n {name:'dave'}) RETURN n.age, n.checked");
+  EXPECT_EQ(check.rows[0][0].as_int(), 20);
+  EXPECT_TRUE(check.rows[0][1].as_bool());
+}
+
+TEST_F(QueryFixture, SetNullRemovesProperty) {
+  query(g_, "MATCH (n {name:'dave'}) SET n.age = null");
+  const auto rs = query(g_, "MATCH (n {name:'dave'}) RETURN n.age");
+  EXPECT_TRUE(rs.rows[0][0].is_null());
+}
+
+TEST_F(QueryFixture, DeleteEdgeOnly) {
+  const auto rs = query(
+      g_, "MATCH (a {name:'alice'})-[e:KNOWS]->(b {name:'bob'}) DELETE e");
+  EXPECT_EQ(rs.stats.edges_deleted, 1u);
+  const auto check = query(
+      g_, "MATCH (a {name:'alice'})-[:KNOWS]->(b) RETURN count(b)");
+  EXPECT_EQ(check.rows[0][0].as_int(), 1);
+}
+
+TEST_F(QueryFixture, DetachDeleteNodeCascades) {
+  const auto rs = query(g_, "MATCH (n {name:'carol'}) DETACH DELETE n");
+  EXPECT_EQ(rs.stats.nodes_deleted, 1u);
+  EXPECT_EQ(rs.stats.edges_deleted, 3u);  // b->c, c->a, a->c
+  const auto check = query(g_, "MATCH (n) RETURN count(*)");
+  EXPECT_EQ(check.rows[0][0].as_int(), 4);
+}
+
+TEST_F(QueryFixture, MatchThenCreateEdgePerRow) {
+  const auto rs = query(
+      g_, "MATCH (a {name:'dave'}), (b {name:'eve'}) "
+          "CREATE (a)-[:KNOWS {since:2024}]->(b)");
+  EXPECT_EQ(rs.stats.edges_created, 1u);
+  EXPECT_EQ(rs.stats.nodes_created, 0u);  // both endpoints reused
+  const auto check = query(
+      g_, "MATCH (a {name:'dave'})-[e:KNOWS]->(b) RETURN b.name, e.since");
+  ASSERT_EQ(check.row_count(), 1u);
+  EXPECT_EQ(check.rows[0][0].as_string(), "eve");
+}
+
+TEST_F(QueryFixture, CreateIndexThenIndexScan) {
+  auto rs = query(g_, "CREATE INDEX ON :Person(name)");
+  EXPECT_EQ(rs.stats.indexes_created, 1u);
+  const auto plan = explain(g_, "MATCH (n:Person {name:'bob'}) RETURN n");
+  EXPECT_NE(plan.find("IndexScan"), std::string::npos);
+  const auto got = query(g_, "MATCH (n:Person {name:'bob'}) RETURN n.age");
+  ASSERT_EQ(got.row_count(), 1u);
+  EXPECT_EQ(got.rows[0][0].as_int(), 25);
+}
+
+TEST_F(QueryFixture, MultiplePathsJoinOnSharedVariable) {
+  const auto rs = query(
+      g_, "MATCH (a)-[:KNOWS]->(b), (b)-[:KNOWS]->(c) "
+          "RETURN a.name, c.name ORDER BY a.name, c.name");
+  // Join through b across all (a,b) and (b,c) edge pairs: alice->bob->carol,
+  // alice->carol->alice, bob->carol->alice, carol->alice->{bob, carol}.
+  EXPECT_EQ(rs.row_count(), 5u);
+}
+
+TEST_F(QueryFixture, CartesianProductOfDisconnectedPatterns) {
+  const auto rs = query(
+      g_, "MATCH (a:Admin), (b:Person {name:'dave'}) RETURN a.name, b.name");
+  ASSERT_EQ(rs.row_count(), 1u);
+  EXPECT_EQ(rs.rows[0][0].as_string(), "eve");
+  EXPECT_EQ(rs.rows[0][1].as_string(), "dave");
+}
+
+TEST_F(QueryFixture, OptionalMatchEmitsNullRowWhenEmpty) {
+  const auto rs = query(g_, "OPTIONAL MATCH (n:Nope) RETURN n");
+  ASSERT_EQ(rs.row_count(), 1u);
+  EXPECT_TRUE(rs.rows[0][0].is_null());
+}
+
+TEST_F(QueryFixture, TypeDisjunctionInTraverse) {
+  query(g_, "MATCH (a {name:'dave'}), (b {name:'eve'}) "
+            "CREATE (a)-[:LIKES]->(b)");
+  const auto rs = query(
+      g_, "MATCH (a {name:'dave'})-[:KNOWS|LIKES]->(b) RETURN count(b)");
+  EXPECT_EQ(rs.rows[0][0].as_int(), 1);
+}
+
+TEST_F(QueryFixture, ReturnExpressionArithmetic) {
+  const auto rs = query(
+      g_, "MATCH (n {name:'alice'}) RETURN n.age * 2 + 1 AS x");
+  EXPECT_EQ(rs.rows[0][0].as_int(), 61);
+  EXPECT_EQ(rs.columns[0], "x");
+}
+
+TEST_F(QueryFixture, ReturnWithoutMatch) {
+  const auto rs = query(g_, "RETURN 1 + 1 AS two, 'x' AS s");
+  ASSERT_EQ(rs.row_count(), 1u);
+  EXPECT_EQ(rs.rows[0][0].as_int(), 2);
+  EXPECT_EQ(rs.rows[0][1].as_string(), "x");
+}
+
+TEST_F(QueryFixture, PlanErrorsSurface) {
+  EXPECT_THROW(query(g_, "MATCH (n) DELETE n RETURN n"), PlanError);
+  EXPECT_THROW(query(g_, "MATCH (n) RETURN count(*) + 1"), PlanError);
+  EXPECT_THROW(query(g_, "MATCH (n) RETURN n LIMIT -1"), PlanError);
+  EXPECT_THROW(query(g_, "DELETE n"), PlanError);
+  EXPECT_THROW(query(g_, "MATCH (a)-[e:R*1..2]->(b) RETURN e"), PlanError);
+}
+
+TEST_F(QueryFixture, ExplainShowsOperatorTree) {
+  const auto plan = explain(
+      g_, "MATCH (a:Person {name:'alice'})-[:KNOWS*1..3]->(b) "
+          "RETURN count(DISTINCT b)");
+  EXPECT_NE(plan.find("Results"), std::string::npos);
+  EXPECT_NE(plan.find("Aggregate"), std::string::npos);
+  EXPECT_NE(plan.find("VarLenTraverse"), std::string::npos);
+  EXPECT_NE(plan.find("NodeByLabelScan"), std::string::npos);
+}
+
+TEST_F(QueryFixture, ProfileReportsRecordCounts) {
+  ResultSet rs;
+  const auto prof = profile(g_, "MATCH (n:Person) RETURN count(*)", rs);
+  EXPECT_NE(prof.find("records:"), std::string::npos);
+  EXPECT_EQ(rs.rows[0][0].as_int(), 5);
+}
+
+TEST_F(QueryFixture, BatchedAndScalarTraverseAgree) {
+  const auto batched = query(
+      g_, "MATCH (a)-[:KNOWS]->(b) RETURN a.name, b.name ORDER BY a.name, "
+          "b.name", 64);
+  const auto scalar = query(
+      g_, "MATCH (a)-[:KNOWS]->(b) RETURN a.name, b.name ORDER BY a.name, "
+          "b.name", 1);
+  ASSERT_EQ(batched.row_count(), scalar.row_count());
+  for (std::size_t i = 0; i < batched.rows.size(); ++i) {
+    EXPECT_EQ(batched.rows[i][0].as_string(), scalar.rows[i][0].as_string());
+    EXPECT_EQ(batched.rows[i][1].as_string(), scalar.rows[i][1].as_string());
+  }
+}
+
+TEST_F(QueryFixture, MultiEdgesYieldMultipleRows) {
+  query(g_, "MATCH (a {name:'dave'}), (b {name:'eve'}) "
+            "CREATE (a)-[:KNOWS {since:1}]->(b), (a)-[:KNOWS {since:2}]->(b)");
+  const auto rs = query(
+      g_, "MATCH (a {name:'dave'})-[e:KNOWS]->(b {name:'eve'}) "
+          "RETURN e.since ORDER BY e.since");
+  ASSERT_EQ(rs.row_count(), 2u);
+  EXPECT_EQ(rs.rows[0][0].as_int(), 1);
+  EXPECT_EQ(rs.rows[1][0].as_int(), 2);
+}
+
+}  // namespace
+}  // namespace rg::exec

@@ -1,0 +1,247 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rg::graph {
+namespace {
+
+class GraphFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    person_ = g_.schema().add_label("Person");
+    city_ = g_.schema().add_label("City");
+    knows_ = g_.schema().add_reltype("KNOWS");
+    lives_ = g_.schema().add_reltype("LIVES_IN");
+    name_ = g_.schema().add_attr("name");
+  }
+
+  NodeId person(const std::string& name) {
+    AttributeSet attrs;
+    attrs.set(name_, Value(name));
+    return g_.add_node({person_}, std::move(attrs));
+  }
+
+  Graph g_;
+  LabelId person_ = 0, city_ = 0;
+  RelTypeId knows_ = 0, lives_ = 0;
+  AttrId name_ = 0;
+};
+
+TEST_F(GraphFixture, AddNodesAssignsDenseIds) {
+  EXPECT_EQ(person("a"), 0u);
+  EXPECT_EQ(person("b"), 1u);
+  EXPECT_EQ(g_.node_count(), 2u);
+  EXPECT_EQ(g_.node_id_bound(), 2u);
+  EXPECT_TRUE(g_.has_node(0));
+  EXPECT_FALSE(g_.has_node(2));
+}
+
+TEST_F(GraphFixture, NodeCarriesLabelsAndAttrs) {
+  const auto id = person("alice");
+  const auto& ent = g_.node(id);
+  EXPECT_TRUE(ent.has_label(person_));
+  EXPECT_FALSE(ent.has_label(city_));
+  EXPECT_EQ(ent.attrs.get(name_)->as_string(), "alice");
+}
+
+TEST_F(GraphFixture, LabelMatrixIsDiagonal) {
+  const auto a = person("a");
+  g_.add_node({city_});
+  g_.flush();
+  const auto& L = g_.label_matrix(person_);
+  EXPECT_EQ(L.nvals(), 1u);
+  EXPECT_TRUE(L.has_element(a, a));
+  EXPECT_EQ(g_.nodes_with_label(person_), std::vector<NodeId>{a});
+}
+
+TEST_F(GraphFixture, AddEdgeUpdatesRelationAndAdjacency) {
+  const auto a = person("a");
+  const auto b = person("b");
+  const auto e = g_.add_edge(knows_, a, b);
+  g_.flush();
+  EXPECT_TRUE(g_.has_edge(e));
+  EXPECT_EQ(g_.edge(e).src, a);
+  EXPECT_EQ(g_.edge(e).dst, b);
+  EXPECT_TRUE(g_.relation(knows_).has_element(a, b));
+  EXPECT_TRUE(g_.relation_t(knows_).has_element(b, a));
+  EXPECT_TRUE(g_.adjacency().has_element(a, b));
+  EXPECT_TRUE(g_.adjacency_t().has_element(b, a));
+}
+
+TEST_F(GraphFixture, MultiEdgesShareMatrixEntry) {
+  const auto a = person("a");
+  const auto b = person("b");
+  const auto e1 = g_.add_edge(knows_, a, b);
+  const auto e2 = g_.add_edge(knows_, a, b);
+  g_.flush();
+  EXPECT_EQ(g_.relation(knows_).nvals(), 1u);
+  const auto edges = g_.edges_between(a, b, knows_);
+  EXPECT_EQ(edges.size(), 2u);
+  EXPECT_NE(e1, e2);
+}
+
+TEST_F(GraphFixture, EdgesBetweenFiltersByType) {
+  const auto a = person("a");
+  const auto b = person("b");
+  g_.add_edge(knows_, a, b);
+  g_.add_edge(lives_, a, b);
+  EXPECT_EQ(g_.edges_between(a, b, knows_).size(), 1u);
+  EXPECT_EQ(g_.edges_between(a, b, lives_).size(), 1u);
+  EXPECT_EQ(g_.edges_between(a, b).size(), 2u);  // any type
+  EXPECT_TRUE(g_.edges_between(b, a).empty());   // directed
+}
+
+TEST_F(GraphFixture, DeleteEdgeKeepsOtherTypesInAdjacency) {
+  const auto a = person("a");
+  const auto b = person("b");
+  const auto e1 = g_.add_edge(knows_, a, b);
+  g_.add_edge(lives_, a, b);
+  g_.delete_edge(e1);
+  g_.flush();
+  EXPECT_FALSE(g_.relation(knows_).has_element(a, b));
+  EXPECT_TRUE(g_.adjacency().has_element(a, b));  // lives_ still there
+  g_.delete_edge(g_.edges_between(a, b, lives_)[0]);
+  g_.flush();
+  EXPECT_FALSE(g_.adjacency().has_element(a, b));
+}
+
+TEST_F(GraphFixture, DeleteOneOfParallelEdgesKeepsMatrixEntry) {
+  const auto a = person("a");
+  const auto b = person("b");
+  const auto e1 = g_.add_edge(knows_, a, b);
+  g_.add_edge(knows_, a, b);
+  g_.delete_edge(e1);
+  g_.flush();
+  EXPECT_TRUE(g_.relation(knows_).has_element(a, b));
+  EXPECT_EQ(g_.edges_between(a, b, knows_).size(), 1u);
+}
+
+TEST_F(GraphFixture, DeleteNodeCascadesToEdges) {
+  const auto a = person("a");
+  const auto b = person("b");
+  const auto c = person("c");
+  g_.add_edge(knows_, a, b);
+  g_.add_edge(knows_, b, c);
+  g_.add_edge(knows_, c, a);
+  const auto removed = g_.delete_node(b);
+  g_.flush();
+  EXPECT_EQ(removed, 2u);  // a->b and b->c
+  EXPECT_FALSE(g_.has_node(b));
+  EXPECT_EQ(g_.edge_count(), 1u);
+  EXPECT_TRUE(g_.adjacency().has_element(c, a));
+  EXPECT_FALSE(g_.adjacency().has_element(a, b));
+  EXPECT_TRUE(g_.nodes_with_label(person_) ==
+              (std::vector<NodeId>{a, c}));
+}
+
+TEST_F(GraphFixture, NodeIdReusedAfterDelete) {
+  const auto a = person("a");
+  g_.delete_node(a);
+  const auto b = person("b");
+  EXPECT_EQ(b, a);  // datablock recycles the slot
+  EXPECT_EQ(g_.node(b).attrs.get(name_)->as_string(), "b");
+}
+
+TEST_F(GraphFixture, AddNodeLabelUpdatesMatrix) {
+  const auto a = person("a");
+  g_.add_node_label(a, city_);
+  g_.flush();
+  EXPECT_TRUE(g_.node(a).has_label(city_));
+  EXPECT_TRUE(g_.label_matrix(city_).has_element(a, a));
+  // Idempotent.
+  g_.add_node_label(a, city_);
+  EXPECT_EQ(g_.node(a).labels.size(), 2u);
+}
+
+TEST_F(GraphFixture, SetAttrAndNullDeletes) {
+  const auto a = person("a");
+  const auto age = g_.schema().add_attr("age");
+  g_.set_node_attr(a, age, Value(30));
+  EXPECT_EQ(g_.node(a).attrs.get(age)->as_int(), 30);
+  g_.set_node_attr(a, age, Value::null());
+  EXPECT_FALSE(g_.node(a).attrs.get(age).has_value());
+}
+
+TEST_F(GraphFixture, CapacityGrowsGeometrically) {
+  Graph g(4);
+  const auto cap0 = g.capacity();
+  for (int i = 0; i < 100; ++i) g.add_node({});
+  EXPECT_GE(g.capacity(), 100u);
+  EXPECT_GT(g.capacity(), cap0);
+  g.flush();
+  EXPECT_EQ(g.adjacency().nrows(), g.capacity());
+}
+
+TEST_F(GraphFixture, EdgesSurviveCapacityGrowth) {
+  Graph g(4);
+  const auto rel = g.schema().add_reltype("R");
+  const auto a = g.add_node({});
+  const auto b = g.add_node({});
+  g.add_edge(rel, a, b);
+  for (int i = 0; i < 200; ++i) g.add_node({});
+  g.flush();
+  EXPECT_TRUE(g.relation(rel).has_element(a, b));
+  EXPECT_TRUE(g.relation_t(rel).has_element(b, a));
+}
+
+TEST_F(GraphFixture, UnknownRelationAndLabelGiveEmptyMatrices) {
+  EXPECT_EQ(g_.relation(999).nvals(), 0u);
+  EXPECT_EQ(g_.label_matrix(999).nvals(), 0u);
+  EXPECT_TRUE(g_.nodes_with_label(999).empty());
+}
+
+TEST_F(GraphFixture, AdjacencyTransposeConsistentAfterManyMutations) {
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 30; ++i) nodes.push_back(person("p"));
+  for (int i = 0; i < 29; ++i) g_.add_edge(knows_, nodes[i], nodes[i + 1]);
+  for (int i = 0; i < 10; ++i)
+    g_.delete_edge(g_.edges_between(nodes[i], nodes[i + 1], knows_)[0]);
+  g_.flush();
+  const auto& A = g_.adjacency();
+  const auto& AT = g_.adjacency_t();
+  EXPECT_EQ(A.nvals(), AT.nvals());
+  A.for_each([&](gb::Index i, gb::Index j, gb::Bool) {
+    EXPECT_TRUE(AT.has_element(j, i));
+  });
+}
+
+TEST_F(GraphFixture, ForEachVisitors) {
+  person("a");
+  person("b");
+  g_.add_edge(knows_, 0, 1);
+  std::size_t nodes = 0, edges = 0;
+  g_.for_each_node([&](NodeId, const NodeEntity&) { ++nodes; });
+  g_.for_each_edge([&](EdgeId, const EdgeEntity&) { ++edges; });
+  EXPECT_EQ(nodes, 2u);
+  EXPECT_EQ(edges, 1u);
+}
+
+TEST(AttributeSet, SortedInsertAndOverwrite) {
+  AttributeSet attrs;
+  attrs.set(5, Value(1));
+  attrs.set(2, Value(2));
+  attrs.set(9, Value(3));
+  attrs.set(5, Value(10));  // overwrite
+  EXPECT_EQ(attrs.size(), 3u);
+  EXPECT_EQ(attrs.get(5)->as_int(), 10);
+  // Iteration in id order.
+  std::vector<AttrId> order;
+  for (const auto& [k, v] : attrs) order.push_back(k);
+  EXPECT_EQ(order, (std::vector<AttrId>{2, 5, 9}));
+}
+
+TEST(Schema, RegistriesAreIndependent) {
+  Schema s;
+  const auto l = s.add_label("X");
+  const auto r = s.add_reltype("X");
+  const auto a = s.add_attr("X");
+  EXPECT_EQ(l, 0u);
+  EXPECT_EQ(r, 0u);
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(s.label_name(l), "X");
+  EXPECT_FALSE(s.find_label("Y").has_value());
+  EXPECT_EQ(s.label_count(), 1u);
+}
+
+}  // namespace
+}  // namespace rg::graph

@@ -1,0 +1,147 @@
+#include "graph/index.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph.hpp"
+
+namespace rg::graph {
+namespace {
+
+TEST(AttributeIndex, LookupExactMatch) {
+  AttributeIndex idx(0, 0);
+  idx.insert(Value("x"), 3);
+  idx.insert(Value("x"), 1);
+  idx.insert(Value("y"), 2);
+  EXPECT_EQ(idx.lookup(Value("x")), (std::vector<NodeId>{1, 3}));
+  EXPECT_EQ(idx.lookup(Value("y")), (std::vector<NodeId>{2}));
+  EXPECT_TRUE(idx.lookup(Value("z")).empty());
+}
+
+TEST(AttributeIndex, RemoveRetiresEntry) {
+  AttributeIndex idx(0, 0);
+  idx.insert(Value(5), 1);
+  idx.insert(Value(5), 2);
+  idx.remove(Value(5), 1);
+  EXPECT_EQ(idx.lookup(Value(5)), (std::vector<NodeId>{2}));
+  idx.remove(Value(5), 2);
+  EXPECT_TRUE(idx.lookup(Value(5)).empty());
+  EXPECT_EQ(idx.entry_count(), 0u);
+  // Removing absent values is a no-op.
+  idx.remove(Value(99), 1);
+}
+
+TEST(AttributeIndex, InsertIsIdempotentPerNode) {
+  AttributeIndex idx(0, 0);
+  idx.insert(Value(1), 7);
+  idx.insert(Value(1), 7);
+  EXPECT_EQ(idx.lookup(Value(1)).size(), 1u);
+}
+
+TEST(AttributeIndex, RangeQueries) {
+  AttributeIndex idx(0, 0);
+  for (int v = 0; v < 10; ++v) idx.insert(Value(v), static_cast<NodeId>(v));
+  EXPECT_EQ(idx.range(Value(3), true, Value(6), true),
+            (std::vector<NodeId>{3, 4, 5, 6}));
+  EXPECT_EQ(idx.range(Value(3), false, Value(6), false),
+            (std::vector<NodeId>{4, 5}));
+  EXPECT_EQ(idx.range(std::nullopt, true, Value(1), true),
+            (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ(idx.range(Value(8), true, std::nullopt, true),
+            (std::vector<NodeId>{8, 9}));
+}
+
+TEST(AttributeIndex, MixedValueTypesOrdered) {
+  AttributeIndex idx(0, 0);
+  idx.insert(Value(1), 0);
+  idx.insert(Value("a"), 1);
+  idx.insert(Value(2.5), 2);
+  // Total order keeps numerics together; lookups stay exact.
+  EXPECT_EQ(idx.lookup(Value("a")), (std::vector<NodeId>{1}));
+  EXPECT_EQ(idx.lookup(Value(2.5)), (std::vector<NodeId>{2}));
+}
+
+class GraphIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    label_ = g_.schema().add_label("Person");
+    attr_ = g_.schema().add_attr("name");
+    for (const char* n : {"a", "b", "c"}) {
+      AttributeSet attrs;
+      attrs.set(attr_, Value(n));
+      ids_.push_back(g_.add_node({label_}, std::move(attrs)));
+    }
+  }
+  Graph g_;
+  LabelId label_ = 0;
+  AttrId attr_ = 0;
+  std::vector<NodeId> ids_;
+};
+
+TEST_F(GraphIndexTest, CreateIndexBuildsFromExistingNodes) {
+  g_.create_index(label_, attr_);
+  const auto* idx = g_.find_index(label_, attr_);
+  ASSERT_NE(idx, nullptr);
+  EXPECT_EQ(idx->lookup(Value("b")), (std::vector<NodeId>{ids_[1]}));
+  EXPECT_EQ(idx->entry_count(), 3u);
+}
+
+TEST_F(GraphIndexTest, NewNodesIndexedAutomatically) {
+  g_.create_index(label_, attr_);
+  AttributeSet attrs;
+  attrs.set(attr_, Value("d"));
+  const auto id = g_.add_node({label_}, std::move(attrs));
+  EXPECT_EQ(g_.find_index(label_, attr_)->lookup(Value("d")),
+            (std::vector<NodeId>{id}));
+}
+
+TEST_F(GraphIndexTest, SetAttrMovesIndexEntry) {
+  g_.create_index(label_, attr_);
+  g_.set_node_attr(ids_[0], attr_, Value("zzz"));
+  const auto* idx = g_.find_index(label_, attr_);
+  EXPECT_TRUE(idx->lookup(Value("a")).empty());
+  EXPECT_EQ(idx->lookup(Value("zzz")), (std::vector<NodeId>{ids_[0]}));
+}
+
+TEST_F(GraphIndexTest, SetNullRemovesFromIndex) {
+  g_.create_index(label_, attr_);
+  g_.set_node_attr(ids_[0], attr_, Value::null());
+  EXPECT_TRUE(g_.find_index(label_, attr_)->lookup(Value("a")).empty());
+}
+
+TEST_F(GraphIndexTest, DeleteNodeRemovesFromIndex) {
+  g_.create_index(label_, attr_);
+  g_.delete_node(ids_[2]);
+  EXPECT_TRUE(g_.find_index(label_, attr_)->lookup(Value("c")).empty());
+}
+
+TEST_F(GraphIndexTest, AddLabelIndexesExistingAttr) {
+  const auto other = g_.schema().add_label("Other");
+  g_.create_index(other, attr_);
+  g_.add_node_label(ids_[0], other);
+  EXPECT_EQ(g_.find_index(other, attr_)->lookup(Value("a")),
+            (std::vector<NodeId>{ids_[0]}));
+}
+
+TEST_F(GraphIndexTest, DropIndex) {
+  g_.create_index(label_, attr_);
+  EXPECT_TRUE(g_.drop_index(label_, attr_));
+  EXPECT_EQ(g_.find_index(label_, attr_), nullptr);
+  EXPECT_FALSE(g_.drop_index(label_, attr_));
+}
+
+TEST_F(GraphIndexTest, CreateIndexIsIdempotent) {
+  g_.create_index(label_, attr_);
+  g_.create_index(label_, attr_);
+  EXPECT_EQ(g_.find_index(label_, attr_)->entry_count(), 3u);
+}
+
+TEST_F(GraphIndexTest, UnlabeledNodesNotIndexed) {
+  g_.create_index(label_, attr_);
+  AttributeSet attrs;
+  attrs.set(attr_, Value("a"));
+  g_.add_node({}, std::move(attrs));  // no label
+  EXPECT_EQ(g_.find_index(label_, attr_)->lookup(Value("a")).size(), 1u);
+}
+
+}  // namespace
+}  // namespace rg::graph

@@ -1,0 +1,175 @@
+#include "graph/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "exec/query.hpp"
+
+namespace rg::graph {
+namespace {
+
+/// Fill a graph with a bit of everything: labels, types, attrs of all
+/// value kinds, multi-edges, deleted entities (id holes), an index.
+void fill_rich_graph(Graph& g) {
+  const auto person = g.schema().add_label("Person");
+  const auto city = g.schema().add_label("City");
+  const auto knows = g.schema().add_reltype("KNOWS");
+  const auto lives = g.schema().add_reltype("LIVES_IN");
+  const auto name = g.schema().add_attr("name");
+  const auto age = g.schema().add_attr("age");
+  const auto score = g.schema().add_attr("score");
+  const auto tags = g.schema().add_attr("tags");
+  const auto active = g.schema().add_attr("active");
+
+  auto mk = [&](const char* n, int a) {
+    AttributeSet attrs;
+    attrs.set(name, Value(n));
+    attrs.set(age, Value(a));
+    return g.add_node({person}, std::move(attrs));
+  };
+  const auto alice = mk("alice", 30);
+  const auto bob = mk("bob", 25);
+  const auto carol = mk("carol", 41);
+  const auto doomed = mk("doomed", 1);
+  const auto berlin = g.add_node({city});
+
+  g.set_node_attr(alice, score, Value(2.5));
+  g.set_node_attr(alice, tags,
+                  Value(ValueArray{Value("x"), Value(1), Value(true)}));
+  g.set_node_attr(bob, active, Value(false));
+
+  AttributeSet eattrs;
+  eattrs.set(g.schema().add_attr("since"), Value(2019));
+  g.add_edge(knows, alice, bob, std::move(eattrs));
+  g.add_edge(knows, alice, bob);  // multi-edge
+  g.add_edge(knows, bob, carol);
+  g.add_edge(lives, carol, berlin);
+  g.delete_node(doomed);  // leaves an id hole
+  g.create_index(person, name);
+  g.flush();
+}
+
+TEST(Serialize, RoundTripPreservesEverything) {
+  Graph g;
+  fill_rich_graph(g);
+  std::stringstream buf;
+  save_graph(g, buf);
+
+  Graph h;
+  load_graph(h, buf);
+
+  // Counts and schema.
+  EXPECT_EQ(h.node_count(), g.node_count());
+  EXPECT_EQ(h.edge_count(), g.edge_count());
+  EXPECT_EQ(h.schema().label_count(), g.schema().label_count());
+  EXPECT_EQ(h.schema().reltype_count(), g.schema().reltype_count());
+  EXPECT_EQ(h.schema().attr_count(), g.schema().attr_count());
+  EXPECT_EQ(h.schema().label_name(0), g.schema().label_name(0));
+
+  // Entities by id, including attribute values of every type.
+  g.for_each_node([&](NodeId id, const NodeEntity& ent) {
+    ASSERT_TRUE(h.has_node(id));
+    const auto& hent = h.node(id);
+    EXPECT_EQ(hent.labels, ent.labels);
+    EXPECT_EQ(hent.attrs.size(), ent.attrs.size());
+    for (const auto& [k, v] : ent.attrs) {
+      ASSERT_TRUE(hent.attrs.get(k).has_value());
+      EXPECT_EQ(Value::order_compare(*hent.attrs.get(k), v), 0);
+    }
+  });
+  g.for_each_edge([&](EdgeId id, const EdgeEntity& ent) {
+    ASSERT_TRUE(h.has_edge(id));
+    EXPECT_EQ(h.edge(id).src, ent.src);
+    EXPECT_EQ(h.edge(id).dst, ent.dst);
+    EXPECT_EQ(h.edge(id).type, ent.type);
+  });
+
+  // Matrix structure identical.
+  h.flush();
+  EXPECT_EQ(h.adjacency().nvals(), g.adjacency().nvals());
+  g.adjacency().for_each([&](gb::Index i, gb::Index j, gb::Bool) {
+    EXPECT_TRUE(h.adjacency().has_element(i, j));
+  });
+
+  // Index rebuilt.
+  const auto person = *h.schema().find_label("Person");
+  const auto name = *h.schema().find_attr("name");
+  const auto* idx = h.find_index(person, name);
+  ASSERT_NE(idx, nullptr);
+  EXPECT_EQ(idx->lookup(Value("bob")).size(), 1u);
+}
+
+TEST(Serialize, IdHolePreservedAndReused) {
+  Graph g;
+  fill_rich_graph(g);
+  std::stringstream buf;
+  save_graph(g, buf);
+  Graph h;
+  load_graph(h, buf);
+  // Node id 3 ("doomed") was deleted; it must stay absent but reusable.
+  EXPECT_FALSE(h.has_node(3));
+  const auto id = h.add_node({});
+  EXPECT_EQ(id, 3u);
+}
+
+TEST(Serialize, LoadedGraphAnswersQueries) {
+  Graph g;
+  fill_rich_graph(g);
+  std::stringstream buf;
+  save_graph(g, buf);
+  Graph h;
+  load_graph(h, buf);
+  const auto rs = exec::query(
+      h, "MATCH (a:Person {name:'alice'})-[:KNOWS]->(b) "
+         "RETURN b.name, count(*) AS c");
+  ASSERT_EQ(rs.row_count(), 1u);
+  EXPECT_EQ(rs.rows[0][0].as_string(), "bob");
+  EXPECT_EQ(rs.rows[0][1].as_int(), 2);  // multi-edge preserved
+}
+
+TEST(Serialize, EmptyGraphRoundTrips) {
+  Graph g;
+  std::stringstream buf;
+  save_graph(g, buf);
+  Graph h;
+  load_graph(h, buf);
+  EXPECT_EQ(h.node_count(), 0u);
+  EXPECT_EQ(h.edge_count(), 0u);
+}
+
+TEST(Serialize, RejectsGarbage) {
+  Graph h;
+  std::stringstream bad("not a graph file");
+  EXPECT_THROW(load_graph(h, bad), SerializeError);
+  std::stringstream empty;
+  Graph h2;
+  EXPECT_THROW(load_graph(h2, empty), SerializeError);
+}
+
+TEST(Serialize, RejectsTruncatedStream) {
+  Graph g;
+  fill_rich_graph(g);
+  std::stringstream buf;
+  save_graph(g, buf);
+  const std::string full = buf.str();
+  const std::string cut = full.substr(0, full.size() / 2);
+  std::stringstream truncated(cut);
+  Graph h;
+  EXPECT_THROW(load_graph(h, truncated), SerializeError);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  Graph g;
+  fill_rich_graph(g);
+  const std::string path = ::testing::TempDir() + "rgr_test.bin";
+  save_graph_file(g, path);
+  Graph h;
+  load_graph_file(h, path);
+  EXPECT_EQ(h.node_count(), g.node_count());
+  EXPECT_THROW(load_graph_file(h, "/nonexistent/dir/x.bin"), SerializeError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rg::graph

@@ -1,0 +1,129 @@
+#include "graph/value.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rg::graph {
+namespace {
+
+TEST(Value, TypesAndAccessors) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(std::int64_t{5}).is_int());
+  EXPECT_TRUE(Value(3.5).is_double());
+  EXPECT_TRUE(Value("hi").is_string());
+  EXPECT_TRUE(Value(NodeRef{3}).is_node());
+  EXPECT_TRUE(Value(EdgeRef{4}).is_edge());
+  EXPECT_TRUE(Value(ValueArray{Value(1)}).is_array());
+  EXPECT_EQ(Value(7).as_int(), 7);
+  EXPECT_EQ(Value("abc").as_string(), "abc");
+  EXPECT_EQ(Value(NodeRef{9}).as_node().id, 9u);
+}
+
+TEST(Value, NumericCoercion) {
+  EXPECT_DOUBLE_EQ(Value(3).to_double(), 3.0);
+  EXPECT_DOUBLE_EQ(Value(2.5).to_double(), 2.5);
+  EXPECT_TRUE(Value(3).is_numeric());
+  EXPECT_TRUE(Value(2.5).is_numeric());
+  EXPECT_FALSE(Value("3").is_numeric());
+}
+
+TEST(Value, Truthiness) {
+  EXPECT_TRUE(Value(true).truthy());
+  EXPECT_FALSE(Value(false).truthy());
+  EXPECT_FALSE(Value().truthy());
+  EXPECT_FALSE(Value(1).truthy());  // Cypher: only boolean true is true
+}
+
+TEST(Value, CompareNumericCrossType) {
+  EXPECT_EQ(Value::compare(Value(2), Value(2.0)).value(), 0);
+  EXPECT_EQ(Value::compare(Value(1), Value(1.5)).value(), -1);
+  EXPECT_EQ(Value::compare(Value(2.5), Value(2)).value(), 1);
+}
+
+TEST(Value, CompareWithNullIsUnknown) {
+  EXPECT_FALSE(Value::compare(Value(), Value(1)).has_value());
+  EXPECT_FALSE(Value::compare(Value(1), Value()).has_value());
+  EXPECT_FALSE(Value::compare(Value(), Value()).has_value());
+}
+
+TEST(Value, CompareIncomparableTypesIsUnknown) {
+  EXPECT_FALSE(Value::compare(Value(1), Value("1")).has_value());
+  EXPECT_FALSE(Value::compare(Value(true), Value(1)).has_value());
+}
+
+TEST(Value, CompareStringsLexicographic) {
+  EXPECT_EQ(Value::compare(Value("abc"), Value("abd")).value(), -1);
+  EXPECT_EQ(Value::compare(Value("b"), Value("ab")).value(), 1);
+  EXPECT_EQ(Value::compare(Value("x"), Value("x")).value(), 0);
+}
+
+TEST(Value, CompareArraysElementwise) {
+  const Value a(ValueArray{Value(1), Value(2)});
+  const Value b(ValueArray{Value(1), Value(3)});
+  const Value c(ValueArray{Value(1)});
+  EXPECT_EQ(Value::compare(a, b).value(), -1);
+  EXPECT_EQ(Value::compare(c, a).value(), -1);  // prefix is smaller
+  EXPECT_EQ(Value::compare(a, a).value(), 0);
+}
+
+TEST(Value, OrderCompareIsTotal) {
+  // Null sorts last; types rank: bool < numeric < string < array < node < edge.
+  EXPECT_LT(Value::order_compare(Value(true), Value(1)), 0);
+  EXPECT_LT(Value::order_compare(Value(5), Value("a")), 0);
+  EXPECT_LT(Value::order_compare(Value("a"), Value(ValueArray{})), 0);
+  EXPECT_LT(Value::order_compare(Value("z"), Value()), 0);
+  EXPECT_EQ(Value::order_compare(Value(), Value()), 0);
+}
+
+TEST(Value, ArithmeticInts) {
+  EXPECT_EQ(value_add(Value(2), Value(3)).as_int(), 5);
+  EXPECT_EQ(value_sub(Value(2), Value(3)).as_int(), -1);
+  EXPECT_EQ(value_mul(Value(4), Value(3)).as_int(), 12);
+  EXPECT_EQ(value_div(Value(7), Value(2)).as_int(), 3);  // int division
+  EXPECT_EQ(value_mod(Value(7), Value(3)).as_int(), 1);
+}
+
+TEST(Value, ArithmeticPromotesToDouble) {
+  EXPECT_DOUBLE_EQ(value_add(Value(2), Value(0.5)).as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(value_div(Value(7), Value(2.0)).as_double(), 3.5);
+}
+
+TEST(Value, ArithmeticNullPropagates) {
+  EXPECT_TRUE(value_add(Value(), Value(1)).is_null());
+  EXPECT_TRUE(value_mul(Value(2), Value()).is_null());
+}
+
+TEST(Value, DivisionByZeroIsNull) {
+  EXPECT_TRUE(value_div(Value(1), Value(0)).is_null());
+  EXPECT_TRUE(value_div(Value(1.0), Value(0.0)).is_null());
+  EXPECT_TRUE(value_mod(Value(1), Value(0)).is_null());
+}
+
+TEST(Value, StringConcatenation) {
+  EXPECT_EQ(value_add(Value("foo"), Value("bar")).as_string(), "foobar");
+}
+
+TEST(Value, ArrayConcatenation) {
+  const Value a(ValueArray{Value(1)});
+  const Value b(ValueArray{Value(2)});
+  const auto c = value_add(a, b);
+  ASSERT_TRUE(c.is_array());
+  EXPECT_EQ(c.as_array().size(), 2u);
+}
+
+TEST(Value, InvalidOperandTypesYieldNull) {
+  EXPECT_TRUE(value_add(Value(1), Value("x")).is_null());
+  EXPECT_TRUE(value_sub(Value("a"), Value("b")).is_null());
+}
+
+TEST(Value, ToStringForms) {
+  EXPECT_EQ(Value().to_string(), "null");
+  EXPECT_EQ(Value(true).to_string(), "true");
+  EXPECT_EQ(Value(42).to_string(), "42");
+  EXPECT_EQ(Value("hi").to_string(), "\"hi\"");
+  EXPECT_EQ(Value(2.0).to_string(), "2.0");
+  EXPECT_EQ(Value(ValueArray{Value(1), Value(2)}).to_string(), "[1, 2]");
+}
+
+}  // namespace
+}  // namespace rg::graph

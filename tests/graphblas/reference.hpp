@@ -1,0 +1,161 @@
+// Dense reference model of GraphBLAS semantics for property tests: a
+// DenseM is an n x m grid of optional<T>; operations are implemented the
+// obvious O(n^3)/O(n^2) way straight from the spec, and the tests check
+// the sparse kernels against them on randomized inputs.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graphblas/graphblas.hpp"
+#include "util/random.hpp"
+
+namespace rg::gbtest {
+
+template <typename T>
+using DenseM = std::vector<std::vector<std::optional<T>>>;
+template <typename T>
+using DenseV = std::vector<std::optional<T>>;
+
+template <typename T>
+DenseM<T> dense_of(const gb::Matrix<T>& a) {
+  DenseM<T> d(a.nrows(), std::vector<std::optional<T>>(a.ncols()));
+  a.for_each([&](gb::Index i, gb::Index j, const T& v) { d[i][j] = v; });
+  return d;
+}
+
+template <typename T>
+DenseV<T> dense_of(const gb::Vector<T>& a) {
+  DenseV<T> d(a.size());
+  a.for_each([&](gb::Index i, const T& v) { d[i] = v; });
+  return d;
+}
+
+template <typename T>
+gb::Matrix<T> sparse_of(const DenseM<T>& d, gb::Index ncols) {
+  gb::Matrix<T> m(d.size(), ncols);
+  std::vector<gb::Index> r, c;
+  std::vector<T> v;
+  for (gb::Index i = 0; i < d.size(); ++i)
+    for (gb::Index j = 0; j < ncols; ++j)
+      if (d[i][j].has_value()) {
+        r.push_back(i);
+        c.push_back(j);
+        v.push_back(*d[i][j]);
+      }
+  m.build(r, c, v);
+  return m;
+}
+
+template <typename T>
+gb::Vector<T> sparse_of(const DenseV<T>& d) {
+  gb::Vector<T> m(d.size());
+  std::vector<gb::Index> idx;
+  std::vector<T> v;
+  for (gb::Index i = 0; i < d.size(); ++i)
+    if (d[i].has_value()) {
+      idx.push_back(i);
+      v.push_back(*d[i]);
+    }
+  m.build(idx, v);
+  return m;
+}
+
+/// Random dense matrix with the given fill density.
+template <typename T>
+DenseM<T> random_dense(gb::Index n, gb::Index m, double density,
+                       util::Pcg32& rng, T maxval = T{100}) {
+  DenseM<T> d(n, std::vector<std::optional<T>>(m));
+  for (gb::Index i = 0; i < n; ++i)
+    for (gb::Index j = 0; j < m; ++j)
+      if (rng.uniform() < density)
+        d[i][j] = static_cast<T>(rng.bounded64(
+            static_cast<std::uint64_t>(maxval) + 1));
+  return d;
+}
+
+/// Reference mask test: does the mask admit position (value semantics)?
+template <typename MT>
+bool mask_allows(const std::optional<MT>& m, bool structural,
+                 bool complement) {
+  bool present = m.has_value() && (structural || *m != MT{});
+  return present != complement;
+}
+
+/// Reference output semantics: C<M> = accum(C, T).
+template <typename T, typename MT, typename Accum>
+DenseM<T> ref_merge(const DenseM<T>& C, const DenseM<MT>* mask,
+                    const DenseM<T>& Tm, const gb::Descriptor& desc,
+                    Accum accum, bool has_accum) {
+  DenseM<T> out = C;
+  for (gb::Index i = 0; i < C.size(); ++i) {
+    for (gb::Index j = 0; j < C[i].size(); ++j) {
+      const bool allowed =
+          mask == nullptr
+              ? !desc.mask_complement
+              : mask_allows((*mask)[i][j], desc.mask_structural,
+                            desc.mask_complement);
+      if (allowed) {
+        if (Tm[i][j].has_value()) {
+          if (has_accum && C[i][j].has_value())
+            out[i][j] = accum(*C[i][j], *Tm[i][j]);
+          else
+            out[i][j] = Tm[i][j];
+        } else if (!has_accum) {
+          out[i][j] = std::nullopt;  // no-accum: C replaced by T here
+        }
+      } else if (desc.replace) {
+        out[i][j] = std::nullopt;
+      }
+    }
+  }
+  return out;
+}
+
+/// Reference T = A ⊕.⊗ B over a semiring.
+template <typename T, typename SR>
+DenseM<T> ref_mxm(const DenseM<T>& A, const DenseM<T>& B, SR sr) {
+  const gb::Index n = A.size();
+  const gb::Index k = A.empty() ? 0 : A[0].size();
+  const gb::Index m = B.empty() ? 0 : B[0].size();
+  DenseM<T> out(n, std::vector<std::optional<T>>(m));
+  for (gb::Index i = 0; i < n; ++i) {
+    for (gb::Index j = 0; j < m; ++j) {
+      bool any = false;
+      T acc{};
+      for (gb::Index x = 0; x < k; ++x) {
+        if (!A[i][x].has_value() || !B[x][j].has_value()) continue;
+        const T prod = sr.multiply(*A[i][x], *B[x][j]);
+        acc = any ? sr.combine(acc, prod) : prod;
+        any = true;
+      }
+      if (any) out[i][j] = acc;
+    }
+  }
+  return out;
+}
+
+template <typename T>
+bool dense_equal(const DenseM<T>& a, const DenseM<T>& b) {
+  if (a.size() != b.size()) return false;
+  for (gb::Index i = 0; i < a.size(); ++i) {
+    if (a[i].size() != b[i].size()) return false;
+    for (gb::Index j = 0; j < a[i].size(); ++j) {
+      if (a[i][j].has_value() != b[i][j].has_value()) return false;
+      if (a[i][j].has_value() && *a[i][j] != *b[i][j]) return false;
+    }
+  }
+  return true;
+}
+
+template <typename T>
+bool dense_equal(const DenseV<T>& a, const DenseV<T>& b) {
+  if (a.size() != b.size()) return false;
+  for (gb::Index i = 0; i < a.size(); ++i) {
+    if (a[i].has_value() != b[i].has_value()) return false;
+    if (a[i].has_value() && *a[i] != *b[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace rg::gbtest

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "graphblas/apply.hpp"
+#include "graphblas/select.hpp"
+
+namespace rg::gb {
+namespace {
+
+Matrix<int> grid3() {
+  // Full 3x3 with value = i*3 + j + 1.
+  Matrix<int> m(3, 3);
+  std::vector<Index> r, c;
+  std::vector<int> v;
+  for (Index i = 0; i < 3; ++i)
+    for (Index j = 0; j < 3; ++j) {
+      r.push_back(i);
+      c.push_back(j);
+      v.push_back(static_cast<int>(i * 3 + j + 1));
+    }
+  m.build(r, c, v);
+  return m;
+}
+
+TEST(Apply, UnaryPreservesPattern) {
+  auto A = grid3();
+  Matrix<int> C(3, 3);
+  apply(C, static_cast<const Matrix<Bool>*>(nullptr), NoAccum{}, Ainv{}, A);
+  EXPECT_EQ(C.nvals(), 9u);
+  EXPECT_EQ(C.extract_element(1, 1).value(), -5);
+}
+
+TEST(Apply, OneNormalizesValues) {
+  auto A = grid3();
+  Matrix<int> C(3, 3);
+  apply(C, static_cast<const Matrix<Bool>*>(nullptr), NoAccum{}, One{}, A);
+  C.for_each([](Index, Index, int v) { EXPECT_EQ(v, 1); });
+}
+
+TEST(Apply, BindFirstAndSecond) {
+  auto A = grid3();
+  Matrix<int> C(3, 3);
+  apply_bind_first(C, static_cast<const Matrix<Bool>*>(nullptr), NoAccum{},
+                   Minus{}, 10, A);
+  EXPECT_EQ(C.extract_element(0, 0).value(), 9);  // 10 - 1
+  apply_bind_second(C, static_cast<const Matrix<Bool>*>(nullptr), NoAccum{},
+                    Minus{}, A, 1);
+  EXPECT_EQ(C.extract_element(0, 0).value(), 0);  // 1 - 1
+}
+
+TEST(Apply, VectorVariant) {
+  Vector<int> u(4);
+  u.build({1, 3}, {5, -7});
+  Vector<int> w(4);
+  apply(w, static_cast<const Vector<Bool>*>(nullptr), NoAccum{}, Abs{}, u);
+  EXPECT_EQ(w.extract_element(3).value(), 7);
+}
+
+TEST(Select, TrilKeepsLowerTriangle) {
+  auto A = grid3();
+  Matrix<int> C(3, 3);
+  select(C, static_cast<const Matrix<Bool>*>(nullptr), NoAccum{}, Tril{-1}, A);
+  EXPECT_EQ(C.nvals(), 3u);  // strictly below diagonal
+  EXPECT_TRUE(C.has_element(1, 0));
+  EXPECT_TRUE(C.has_element(2, 0));
+  EXPECT_TRUE(C.has_element(2, 1));
+}
+
+TEST(Select, TriuKeepsUpperIncludingDiagonal) {
+  auto A = grid3();
+  Matrix<int> C(3, 3);
+  select(C, static_cast<const Matrix<Bool>*>(nullptr), NoAccum{}, Triu{0}, A);
+  EXPECT_EQ(C.nvals(), 6u);
+  EXPECT_TRUE(C.has_element(0, 0));
+  EXPECT_FALSE(C.has_element(1, 0));
+}
+
+TEST(Select, DiagAndOffDiagPartition) {
+  auto A = grid3();
+  Matrix<int> D(3, 3), O(3, 3);
+  select(D, static_cast<const Matrix<Bool>*>(nullptr), NoAccum{}, Diag{}, A);
+  select(O, static_cast<const Matrix<Bool>*>(nullptr), NoAccum{}, OffDiag{}, A);
+  EXPECT_EQ(D.nvals() + O.nvals(), A.nvals());
+  EXPECT_EQ(D.nvals(), 3u);
+}
+
+TEST(Select, ValueThresholds) {
+  auto A = grid3();
+  Matrix<int> C(3, 3);
+  select(C, static_cast<const Matrix<Bool>*>(nullptr), NoAccum{},
+         ValueGT<int>{5}, A);
+  EXPECT_EQ(C.nvals(), 4u);  // values 6..9
+  Matrix<int> C2(3, 3);
+  select(C2, static_cast<const Matrix<Bool>*>(nullptr), NoAccum{},
+         ValueLT<int>{2}, A);
+  EXPECT_EQ(C2.nvals(), 1u);
+}
+
+TEST(Select, NonZeroDropsExplicitZeros) {
+  Matrix<int> A(2, 2);
+  A.build({0, 1}, {0, 1}, {0, 5});
+  Matrix<int> C(2, 2);
+  select(C, static_cast<const Matrix<Bool>*>(nullptr), NoAccum{}, NonZero{}, A);
+  EXPECT_EQ(C.nvals(), 1u);
+  EXPECT_TRUE(C.has_element(1, 1));
+}
+
+TEST(Select, VectorPredicate) {
+  Vector<int> u(6);
+  u.build({0, 1, 2, 3}, {-2, 5, 0, 9});
+  Vector<int> w(6);
+  select(w, static_cast<const Vector<Bool>*>(nullptr), NoAccum{},
+         [](Index, int v) { return v > 0; }, u);
+  EXPECT_EQ(w.nvals(), 2u);
+  EXPECT_TRUE(w.has_element(1));
+  EXPECT_TRUE(w.has_element(3));
+}
+
+TEST(Select, CustomPositionalPredicate) {
+  auto A = grid3();
+  Matrix<int> C(3, 3);
+  select(C, static_cast<const Matrix<Bool>*>(nullptr), NoAccum{},
+         [](Index i, Index j, int) { return (i + j) % 2 == 0; }, A);
+  EXPECT_EQ(C.nvals(), 5u);
+}
+
+}  // namespace
+}  // namespace rg::gb

@@ -1,0 +1,123 @@
+#include "graphblas/ewise.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rg::gb {
+namespace {
+
+Matrix<int> mk(Index n, std::vector<std::tuple<Index, Index, int>> t) {
+  Matrix<int> m(n, n);
+  std::vector<Index> r, c;
+  std::vector<int> v;
+  for (auto& [i, j, x] : t) {
+    r.push_back(i);
+    c.push_back(j);
+    v.push_back(x);
+  }
+  m.build(r, c, v);
+  return m;
+}
+
+TEST(EWiseAdd, PatternUnion) {
+  auto A = mk(3, {{0, 0, 1}, {1, 1, 2}});
+  auto B = mk(3, {{1, 1, 10}, {2, 2, 3}});
+  Matrix<int> C(3, 3);
+  ewise_add(C, static_cast<const Matrix<Bool>*>(nullptr), NoAccum{}, Plus{},
+            A, B);
+  EXPECT_EQ(C.nvals(), 3u);
+  EXPECT_EQ(C.extract_element(0, 0).value(), 1);    // A only
+  EXPECT_EQ(C.extract_element(1, 1).value(), 12);   // both: op applied
+  EXPECT_EQ(C.extract_element(2, 2).value(), 3);    // B only
+}
+
+TEST(EWiseMult, PatternIntersection) {
+  auto A = mk(3, {{0, 0, 2}, {1, 1, 3}});
+  auto B = mk(3, {{1, 1, 4}, {2, 2, 5}});
+  Matrix<int> C(3, 3);
+  ewise_mult(C, static_cast<const Matrix<Bool>*>(nullptr), NoAccum{}, Times{},
+             A, B);
+  EXPECT_EQ(C.nvals(), 1u);
+  EXPECT_EQ(C.extract_element(1, 1).value(), 12);
+}
+
+TEST(EWiseAdd, MinCombinesOverlap) {
+  auto A = mk(2, {{0, 0, 9}});
+  auto B = mk(2, {{0, 0, 4}});
+  Matrix<int> C(2, 2);
+  ewise_add(C, static_cast<const Matrix<Bool>*>(nullptr), NoAccum{}, Min{},
+            A, B);
+  EXPECT_EQ(C.extract_element(0, 0).value(), 4);
+}
+
+TEST(EWise, DimensionMismatchThrows) {
+  Matrix<int> A(2, 2), B(3, 3), C(2, 2);
+  EXPECT_THROW(ewise_add(C, static_cast<const Matrix<Bool>*>(nullptr),
+                         NoAccum{}, Plus{}, A, B),
+               DimensionMismatch);
+}
+
+TEST(EWiseAdd, WithTransposedOperand) {
+  auto A = mk(2, {{0, 1, 5}});
+  auto B = mk(2, {{0, 1, 7}});  // B' has (1,0)
+  Matrix<int> C(2, 2);
+  Descriptor d;
+  d.transpose_b = true;
+  ewise_add(C, static_cast<const Matrix<Bool>*>(nullptr), NoAccum{}, Plus{},
+            A, B, d);
+  EXPECT_EQ(C.nvals(), 2u);
+  EXPECT_EQ(C.extract_element(0, 1).value(), 5);
+  EXPECT_EQ(C.extract_element(1, 0).value(), 7);
+}
+
+TEST(EWiseAdd, MaskRestrictsOutput) {
+  auto A = mk(2, {{0, 0, 1}, {1, 1, 1}});
+  auto B = mk(2, {{0, 0, 1}, {1, 1, 1}});
+  Matrix<int> mask(2, 2);
+  mask.build({0}, {0}, {1});
+  Matrix<int> C(2, 2);
+  Descriptor d;
+  d.mask_structural = true;
+  ewise_add(C, &mask, NoAccum{}, Plus{}, A, B, d);
+  EXPECT_EQ(C.nvals(), 1u);
+  EXPECT_EQ(C.extract_element(0, 0).value(), 2);
+}
+
+TEST(EWiseVector, AddAndMult) {
+  Vector<int> u(5), v(5);
+  u.build({0, 2}, {1, 3});
+  v.build({2, 4}, {10, 20});
+  Vector<int> add(5), mult(5);
+  ewise_add(add, static_cast<const Vector<Bool>*>(nullptr), NoAccum{}, Plus{},
+            u, v);
+  ewise_mult(mult, static_cast<const Vector<Bool>*>(nullptr), NoAccum{},
+             Times{}, u, v);
+  EXPECT_EQ(add.nvals(), 3u);
+  EXPECT_EQ(add.extract_element(2).value(), 13);
+  EXPECT_EQ(add.extract_element(4).value(), 20);
+  EXPECT_EQ(mult.nvals(), 1u);
+  EXPECT_EQ(mult.extract_element(2).value(), 30);
+}
+
+TEST(EWiseVector, AccumUnionsWithOldW) {
+  Vector<int> u(3), v(3), w(3);
+  u.set_element(0, 1);
+  v.set_element(0, 2);
+  w.set_element(1, 50);
+  ewise_add(w, static_cast<const Vector<Bool>*>(nullptr), Plus{}, Plus{}, u,
+            v, Descriptor{});
+  EXPECT_EQ(w.extract_element(0).value(), 3);
+  EXPECT_EQ(w.extract_element(1).value(), 50);  // kept by accum semantics
+}
+
+TEST(EWiseAdd, EmptyOperandsGiveOtherOperand) {
+  auto A = mk(2, {{0, 1, 5}});
+  Matrix<int> B(2, 2);
+  Matrix<int> C(2, 2);
+  ewise_add(C, static_cast<const Matrix<Bool>*>(nullptr), NoAccum{}, Plus{},
+            A, B);
+  EXPECT_EQ(C.nvals(), 1u);
+  EXPECT_EQ(C.extract_element(0, 1).value(), 5);
+}
+
+}  // namespace
+}  // namespace rg::gb

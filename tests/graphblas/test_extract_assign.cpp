@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "graphblas/assign.hpp"
+#include "graphblas/extract.hpp"
+
+namespace rg::gb {
+namespace {
+
+Matrix<int> grid(Index n) {
+  Matrix<int> m(n, n);
+  std::vector<Index> r, c;
+  std::vector<int> v;
+  for (Index i = 0; i < n; ++i)
+    for (Index j = 0; j < n; ++j) {
+      r.push_back(i);
+      c.push_back(j);
+      v.push_back(static_cast<int>(i * n + j));
+    }
+  m.build(r, c, v);
+  return m;
+}
+
+TEST(Extract, Submatrix) {
+  auto A = grid(4);
+  Matrix<int> C(2, 2);
+  extract(C, static_cast<const Matrix<Bool>*>(nullptr), NoAccum{}, A, {1, 3},
+          {0, 2});
+  EXPECT_EQ(C.extract_element(0, 0).value(), 4);   // A(1,0)
+  EXPECT_EQ(C.extract_element(0, 1).value(), 6);   // A(1,2)
+  EXPECT_EQ(C.extract_element(1, 0).value(), 12);  // A(3,0)
+  EXPECT_EQ(C.extract_element(1, 1).value(), 14);  // A(3,2)
+}
+
+TEST(Extract, AllRowsSelectedColumns) {
+  auto A = grid(3);
+  Matrix<int> C(3, 1);
+  extract(C, static_cast<const Matrix<Bool>*>(nullptr), NoAccum{}, A,
+          all_indices(), {2});
+  EXPECT_EQ(C.nvals(), 3u);
+  EXPECT_EQ(C.extract_element(1, 0).value(), 5);
+}
+
+TEST(Extract, DuplicateIndicesReplicate) {
+  auto A = grid(2);
+  Matrix<int> C(2, 3);
+  extract(C, static_cast<const Matrix<Bool>*>(nullptr), NoAccum{}, A, {0, 1},
+          {1, 1, 1});
+  EXPECT_EQ(C.nvals(), 6u);
+  EXPECT_EQ(C.extract_element(0, 0).value(), 1);
+  EXPECT_EQ(C.extract_element(0, 2).value(), 1);
+}
+
+TEST(Extract, ShapeMismatchThrows) {
+  auto A = grid(3);
+  Matrix<int> C(2, 2);
+  EXPECT_THROW(extract(C, static_cast<const Matrix<Bool>*>(nullptr),
+                       NoAccum{}, A, {0}, {0}),
+               DimensionMismatch);
+}
+
+TEST(Extract, IndexOutOfBoundsThrows) {
+  auto A = grid(3);
+  Matrix<int> C(1, 1);
+  EXPECT_THROW(extract(C, static_cast<const Matrix<Bool>*>(nullptr),
+                       NoAccum{}, A, {5}, {0}),
+               IndexOutOfBounds);
+}
+
+TEST(Extract, VectorSubset) {
+  Vector<int> u(6);
+  u.build({0, 2, 4}, {10, 20, 30});
+  Vector<int> w(3);
+  extract(w, static_cast<const Vector<Bool>*>(nullptr), NoAccum{}, u,
+          {2, 3, 4});
+  EXPECT_EQ(w.nvals(), 2u);
+  EXPECT_EQ(w.extract_element(0).value(), 20);
+  EXPECT_EQ(w.extract_element(2).value(), 30);
+}
+
+TEST(Extract, RowAsVector) {
+  auto A = grid(3);
+  Vector<int> w(3);
+  extract_row(w, static_cast<const Vector<Bool>*>(nullptr), NoAccum{}, A, 1);
+  EXPECT_EQ(w.nvals(), 3u);
+  EXPECT_EQ(w.extract_element(2).value(), 5);
+}
+
+TEST(Extract, ColumnViaTranspose) {
+  auto A = grid(3);
+  Vector<int> w(3);
+  Descriptor d;
+  d.transpose_a = true;
+  extract_row(w, static_cast<const Vector<Bool>*>(nullptr), NoAccum{}, A, 1, d);
+  EXPECT_EQ(w.extract_element(2).value(), 7);  // A(2,1)
+}
+
+TEST(Assign, FullMatrixRegion) {
+  Matrix<int> C(3, 3);
+  C.set_element(0, 0, 99);
+  Matrix<int> A(2, 2);
+  A.build({0, 1}, {1, 0}, {5, 6});
+  assign(C, static_cast<const Matrix<Bool>*>(nullptr), NoAccum{}, A, {0, 2},
+         {0, 2});
+  // Region replaced: C(0,0) dropped (absent in A), new entries placed.
+  EXPECT_FALSE(C.has_element(0, 0));
+  EXPECT_EQ(C.extract_element(0, 2).value(), 5);  // A(0,1) -> C(0,2)
+  EXPECT_EQ(C.extract_element(2, 0).value(), 6);  // A(1,0) -> C(2,0)
+}
+
+TEST(Assign, OutsideRegionUntouched) {
+  Matrix<int> C(3, 3);
+  C.set_element(1, 1, 42);  // not in region
+  Matrix<int> A(2, 2);
+  A.build({0}, {0}, {7});
+  assign(C, static_cast<const Matrix<Bool>*>(nullptr), NoAccum{}, A, {0, 2},
+         {0, 2});
+  EXPECT_EQ(C.extract_element(1, 1).value(), 42);
+  EXPECT_EQ(C.extract_element(0, 0).value(), 7);
+}
+
+TEST(Assign, VectorRegion) {
+  Vector<int> w(6);
+  w.build({0, 3}, {1, 2});
+  Vector<int> u(2);
+  u.build({0, 1}, {70, 80});
+  assign(w, static_cast<const Vector<Bool>*>(nullptr), NoAccum{}, u, {3, 5});
+  EXPECT_EQ(w.extract_element(0).value(), 1);   // untouched
+  EXPECT_EQ(w.extract_element(3).value(), 70);  // replaced
+  EXPECT_EQ(w.extract_element(5).value(), 80);
+}
+
+TEST(AssignScalar, VectorMaskedFill) {
+  // The BFS visited-update idiom: visited<next> = true.
+  Vector<Bool> visited(5);
+  visited.set_element(0, 1);
+  Vector<Bool> next(5);
+  next.set_element(2, 1);
+  next.set_element(4, 1);
+  Descriptor d;
+  d.mask_structural = true;
+  assign_scalar(visited, &next, NoAccum{}, Bool{1}, all_indices(), d);
+  EXPECT_EQ(visited.nvals(), 3u);
+  EXPECT_TRUE(visited.has_element(0));
+  EXPECT_TRUE(visited.has_element(2));
+  EXPECT_TRUE(visited.has_element(4));
+}
+
+TEST(AssignScalar, VectorExplicitIndices) {
+  Vector<int> w(5);
+  assign_scalar(w, static_cast<const Vector<Bool>*>(nullptr), NoAccum{}, 9,
+                {1, 3, 3});
+  EXPECT_EQ(w.nvals(), 2u);
+  EXPECT_EQ(w.extract_element(3).value(), 9);
+}
+
+TEST(AssignScalar, MatrixRegionFill) {
+  Matrix<int> C(3, 3);
+  C.set_element(0, 0, 1);
+  assign_scalar(C, static_cast<const Matrix<Bool>*>(nullptr), NoAccum{}, 5,
+                {1, 2}, {0, 1});
+  EXPECT_EQ(C.nvals(), 5u);
+  EXPECT_EQ(C.extract_element(1, 0).value(), 5);
+  EXPECT_EQ(C.extract_element(2, 1).value(), 5);
+  EXPECT_EQ(C.extract_element(0, 0).value(), 1);
+}
+
+TEST(AssignScalar, MatrixAllFillsDense) {
+  Matrix<int> C(2, 2);
+  assign_scalar(C, static_cast<const Matrix<Bool>*>(nullptr), NoAccum{}, 3,
+                all_indices(), all_indices());
+  EXPECT_EQ(C.nvals(), 4u);
+}
+
+TEST(Assign, ShapeMismatchThrows) {
+  Matrix<int> C(3, 3), A(2, 3);
+  EXPECT_THROW(assign(C, static_cast<const Matrix<Bool>*>(nullptr), NoAccum{},
+                      A, {0, 1}, {0, 1}),
+               DimensionMismatch);
+}
+
+}  // namespace
+}  // namespace rg::gb

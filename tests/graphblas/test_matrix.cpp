@@ -1,0 +1,214 @@
+#include "graphblas/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "graphblas/ops.hpp"
+
+namespace rg::gb {
+namespace {
+
+TEST(Matrix, EmptyDimensions) {
+  Matrix<int> m(3, 5);
+  EXPECT_EQ(m.nrows(), 3u);
+  EXPECT_EQ(m.ncols(), 5u);
+  EXPECT_EQ(m.nvals(), 0u);
+}
+
+TEST(Matrix, SetAndExtract) {
+  Matrix<int> m(4, 4);
+  m.set_element(1, 2, 42);
+  EXPECT_EQ(m.extract_element(1, 2).value(), 42);
+  EXPECT_FALSE(m.extract_element(2, 1).has_value());
+  EXPECT_TRUE(m.has_element(1, 2));
+  EXPECT_EQ(m.nvals(), 1u);
+}
+
+TEST(Matrix, SetOverwritesLastWins) {
+  Matrix<int> m(4, 4);
+  m.set_element(0, 0, 1);
+  m.set_element(0, 0, 2);
+  m.set_element(0, 0, 3);
+  EXPECT_EQ(m.extract_element(0, 0).value(), 3);
+  EXPECT_EQ(m.nvals(), 1u);
+}
+
+TEST(Matrix, PendingMergePreservesProgramOrder) {
+  Matrix<int> m(4, 4);
+  m.set_element(1, 1, 10);
+  m.wait();
+  m.remove_element(1, 1);
+  m.set_element(1, 1, 20);  // set after delete must survive
+  EXPECT_EQ(m.extract_element(1, 1).value(), 20);
+
+  m.set_element(2, 2, 30);
+  m.remove_element(2, 2);   // delete after set must win
+  EXPECT_FALSE(m.extract_element(2, 2).has_value());
+}
+
+TEST(Matrix, RemoveNonexistentIsNoop) {
+  Matrix<int> m(4, 4);
+  m.set_element(0, 1, 5);
+  m.remove_element(3, 3);
+  EXPECT_EQ(m.nvals(), 1u);
+}
+
+TEST(Matrix, BoundsChecking) {
+  Matrix<int> m(2, 3);
+  EXPECT_THROW(m.set_element(2, 0, 1), IndexOutOfBounds);
+  EXPECT_THROW(m.set_element(0, 3, 1), IndexOutOfBounds);
+  EXPECT_THROW(m.extract_element(5, 5), IndexOutOfBounds);
+  EXPECT_THROW(m.remove_element(2, 0), IndexOutOfBounds);
+}
+
+TEST(Matrix, BuildSortsAndStoresTuples) {
+  Matrix<int> m(3, 3);
+  m.build({2, 0, 1, 0}, {1, 2, 0, 0}, {20, 2, 10, 1});
+  EXPECT_EQ(m.nvals(), 4u);
+  EXPECT_EQ(m.extract_element(0, 0).value(), 1);
+  EXPECT_EQ(m.extract_element(0, 2).value(), 2);
+  EXPECT_EQ(m.extract_element(1, 0).value(), 10);
+  EXPECT_EQ(m.extract_element(2, 1).value(), 20);
+  // Rows sorted by column.
+  const auto r0 = m.row_indices(0);
+  EXPECT_TRUE(std::is_sorted(r0.begin(), r0.end()));
+}
+
+TEST(Matrix, BuildCombinesDuplicatesWithDup) {
+  Matrix<int> m(2, 2);
+  m.build({0, 0, 0}, {1, 1, 1}, {3, 4, 5}, Plus{});
+  EXPECT_EQ(m.extract_element(0, 1).value(), 12);
+
+  Matrix<int> m2(2, 2);
+  m2.build({0, 0}, {1, 1}, {3, 4}, Second{});
+  EXPECT_EQ(m2.extract_element(0, 1).value(), 4);
+}
+
+TEST(Matrix, BuildReplacesPriorContents) {
+  Matrix<int> m(2, 2);
+  m.set_element(0, 0, 9);
+  m.build({1}, {1}, {7});
+  EXPECT_EQ(m.nvals(), 1u);
+  EXPECT_FALSE(m.extract_element(0, 0).has_value());
+}
+
+TEST(Matrix, ExtractTuplesRoundTrip) {
+  Matrix<int> m(5, 5);
+  m.build({0, 1, 4, 2}, {3, 1, 4, 0}, {1, 2, 3, 4});
+  std::vector<Index> r, c;
+  std::vector<int> v;
+  m.extract_tuples(r, c, v);
+  Matrix<int> m2(5, 5);
+  m2.build(r, c, v);
+  EXPECT_EQ(m2.nvals(), m.nvals());
+  m.for_each([&](Index i, Index j, int val) {
+    EXPECT_EQ(m2.extract_element(i, j).value(), val);
+  });
+}
+
+TEST(Matrix, RowSpansAndDegree) {
+  Matrix<int> m(3, 4);
+  m.build({1, 1, 1}, {0, 2, 3}, {5, 6, 7});
+  EXPECT_EQ(m.row_degree(0), 0u);
+  EXPECT_EQ(m.row_degree(1), 3u);
+  const auto cols = m.row_indices(1);
+  const auto vals = m.row_values(1);
+  ASSERT_EQ(cols.size(), 3u);
+  EXPECT_EQ(cols[0], 0u);
+  EXPECT_EQ(cols[2], 3u);
+  EXPECT_EQ(vals[1], 6);
+}
+
+TEST(Matrix, ResizeGrowKeepsEntries) {
+  Matrix<int> m(2, 2);
+  m.set_element(1, 1, 9);
+  m.resize(5, 6);
+  EXPECT_EQ(m.nrows(), 5u);
+  EXPECT_EQ(m.ncols(), 6u);
+  EXPECT_EQ(m.extract_element(1, 1).value(), 9);
+  m.set_element(4, 5, 3);
+  EXPECT_EQ(m.nvals(), 2u);
+}
+
+TEST(Matrix, ResizeShrinkDropsOutOfRange) {
+  Matrix<int> m(4, 4);
+  m.build({0, 1, 3, 2}, {0, 3, 3, 1}, {1, 2, 3, 4});
+  m.resize(2, 2);
+  EXPECT_EQ(m.nvals(), 1u);
+  EXPECT_EQ(m.extract_element(0, 0).value(), 1);
+}
+
+TEST(Matrix, ClearKeepsDimensions) {
+  Matrix<int> m(3, 3);
+  m.set_element(1, 1, 1);
+  m.clear();
+  EXPECT_EQ(m.nvals(), 0u);
+  EXPECT_EQ(m.nrows(), 3u);
+}
+
+TEST(Matrix, CopyIsDeep) {
+  Matrix<int> a(2, 2);
+  a.set_element(0, 0, 1);
+  Matrix<int> b = a;
+  b.set_element(1, 1, 2);
+  EXPECT_EQ(a.nvals(), 1u);
+  EXPECT_EQ(b.nvals(), 2u);
+}
+
+TEST(Matrix, CopyCarriesPendingUpdates) {
+  Matrix<int> a(2, 2);
+  a.set_element(0, 0, 1);  // pending, not waited
+  Matrix<int> b = a;
+  EXPECT_EQ(b.extract_element(0, 0).value(), 1);
+}
+
+TEST(Matrix, MoveTransfersState) {
+  Matrix<int> a(2, 2);
+  a.set_element(0, 1, 7);
+  Matrix<int> b = std::move(a);
+  EXPECT_EQ(b.extract_element(0, 1).value(), 7);
+}
+
+TEST(Matrix, FromCsrAdoptsArrays) {
+  // 2x3: row0 = {(0,1):5}, row1 = {(1,0):6, (1,2):7}
+  auto m = Matrix<int>::from_csr(2, 3, {0, 1, 3}, {1, 0, 2}, {5, 6, 7});
+  EXPECT_EQ(m.nvals(), 3u);
+  EXPECT_EQ(m.extract_element(0, 1).value(), 5);
+  EXPECT_EQ(m.extract_element(1, 2).value(), 7);
+}
+
+TEST(Matrix, HasPendingReportsBufferedState) {
+  Matrix<int> m(2, 2);
+  EXPECT_FALSE(m.has_pending());
+  m.set_element(0, 0, 1);
+  EXPECT_TRUE(m.has_pending());
+  m.wait();
+  EXPECT_FALSE(m.has_pending());
+}
+
+TEST(Matrix, ManyInterleavedMutations) {
+  Matrix<int> m(16, 16);
+  for (int round = 0; round < 3; ++round) {
+    for (Index i = 0; i < 16; ++i)
+      for (Index j = 0; j < 16; ++j)
+        if ((i + j + round) % 3 == 0) m.set_element(i, j, round);
+    for (Index i = 0; i < 16; ++i)
+      if (i % 2 == 0) m.remove_element(i, i);
+  }
+  // Validate against a simple map-based model.
+  std::map<std::pair<Index, Index>, int> model;
+  for (int round = 0; round < 3; ++round) {
+    for (Index i = 0; i < 16; ++i)
+      for (Index j = 0; j < 16; ++j)
+        if ((i + j + round) % 3 == 0) model[{i, j}] = round;
+    for (Index i = 0; i < 16; ++i)
+      if (i % 2 == 0) model.erase({i, i});
+  }
+  EXPECT_EQ(m.nvals(), model.size());
+  for (const auto& [pos, val] : model)
+    EXPECT_EQ(m.extract_element(pos.first, pos.second).value(), val);
+}
+
+}  // namespace
+}  // namespace rg::gb

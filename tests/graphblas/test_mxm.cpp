@@ -1,0 +1,225 @@
+#include "graphblas/mxm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graphblas/transpose.hpp"
+#include "util/random.hpp"
+
+namespace rg::gb {
+namespace {
+
+Matrix<int> small(Index n, std::vector<std::tuple<Index, Index, int>> tuples) {
+  Matrix<int> m(n, n);
+  std::vector<Index> r, c;
+  std::vector<int> v;
+  for (auto& [i, j, x] : tuples) {
+    r.push_back(i);
+    c.push_back(j);
+    v.push_back(x);
+  }
+  m.build(r, c, v);
+  return m;
+}
+
+TEST(MxM, KnownProductPlusTimes) {
+  // A = [[1,2],[0,3]], B = [[4,0],[5,6]] => C = [[14,12],[15,18]]
+  auto A = small(2, {{0, 0, 1}, {0, 1, 2}, {1, 1, 3}});
+  auto B = small(2, {{0, 0, 4}, {1, 0, 5}, {1, 1, 6}});
+  Matrix<int> C(2, 2);
+  mxm(C, plus_times<int>(), A, B);
+  EXPECT_EQ(C.extract_element(0, 0).value(), 14);
+  EXPECT_EQ(C.extract_element(0, 1).value(), 12);
+  EXPECT_EQ(C.extract_element(1, 0).value(), 15);
+  EXPECT_EQ(C.extract_element(1, 1).value(), 18);
+}
+
+TEST(MxM, IdentityIsNeutral) {
+  auto A = small(3, {{0, 1, 5}, {1, 2, 7}, {2, 0, 9}});
+  auto I = small(3, {{0, 0, 1}, {1, 1, 1}, {2, 2, 1}});
+  Matrix<int> C(3, 3);
+  mxm(C, plus_times<int>(), A, I);
+  EXPECT_EQ(C.nvals(), A.nvals());
+  A.for_each([&](Index i, Index j, int v) {
+    EXPECT_EQ(C.extract_element(i, j).value(), v);
+  });
+}
+
+TEST(MxM, SparsityNoExplicitZeros) {
+  // Structural sparsity: product entries only where a path exists.
+  auto A = small(3, {{0, 1, 1}});
+  auto B = small(3, {{2, 0, 1}});
+  Matrix<int> C(3, 3);
+  mxm(C, plus_times<int>(), A, B);
+  EXPECT_EQ(C.nvals(), 0u);  // A's col 1 never meets B's row 2
+}
+
+TEST(MxM, DimensionMismatchThrows) {
+  Matrix<int> A(2, 3), B(2, 2), C(2, 2);
+  EXPECT_THROW(mxm(C, plus_times<int>(), A, B), DimensionMismatch);
+  Matrix<int> B2(3, 2), C2(3, 3);
+  EXPECT_THROW(mxm(C2, plus_times<int>(), A, B2), DimensionMismatch);
+}
+
+TEST(MxM, BooleanAnyPairReachability) {
+  // Path graph 0->1->2: A^2 has exactly (0,2).
+  Matrix<Bool> A(3, 3);
+  A.build({0, 1}, {1, 2}, {1, 1});
+  Matrix<Bool> C(3, 3);
+  mxm(C, any_pair, A, A);
+  EXPECT_EQ(C.nvals(), 1u);
+  EXPECT_EQ(C.extract_element(0, 2).value(), 1);
+}
+
+TEST(MxM, MinPlusShortestPathStep) {
+  // Edge weights; (A min.+ A)(i,j) = cheapest 2-hop cost.
+  auto A = small(3, {{0, 1, 4}, {0, 2, 10}, {1, 2, 3}});
+  Matrix<int> C(3, 3);
+  mxm(C, min_plus<int>(), A, A);
+  EXPECT_EQ(C.extract_element(0, 2).value(), 7);  // 4 + 3
+}
+
+TEST(MxM, TransposeAFlag) {
+  auto A = small(2, {{0, 1, 2}});   // A' = [(1,0):2]
+  auto B = small(2, {{0, 0, 3}});
+  Matrix<int> C(2, 2);
+  Descriptor d;
+  d.transpose_a = true;
+  mxm(C, nullptr, NoAccum{}, plus_times<int>(), A, B, d);
+  EXPECT_EQ(C.extract_element(1, 0).value(), 6);
+}
+
+TEST(MxM, TransposeBFlag) {
+  auto A = small(2, {{0, 0, 3}});
+  auto B = small(2, {{0, 1, 2}});   // B' = [(1,0):2]
+  Matrix<int> C(2, 2);
+  Descriptor d;
+  d.transpose_b = true;
+  mxm(C, nullptr, NoAccum{}, plus_times<int>(), A, B, d);
+  // C = A * B' ; A(0,0)=3, B'(0,1)=0... B' has (1,0)=2 so C(0,0)=A(0,0)*B'(0,0)=none
+  EXPECT_EQ(C.nvals(), 0u);
+  Matrix<int> C2(2, 2);
+  auto A2 = small(2, {{0, 1, 3}});  // now A(0,1)*B'(1,0)=3*2
+  mxm(C2, nullptr, NoAccum{}, plus_times<int>(), A2, B, d);
+  EXPECT_EQ(C2.extract_element(0, 0).value(), 6);
+}
+
+TEST(MxM, StructuralMaskKeepsOnlyMaskedEntries) {
+  auto A = small(3, {{0, 0, 1}, {0, 1, 1}, {1, 0, 1}, {1, 1, 1}});
+  Matrix<int> mask(3, 3);
+  mask.build({0}, {1}, {1});
+  Matrix<int> C(3, 3);
+  Descriptor d;
+  d.mask_structural = true;
+  mxm(C, &mask, NoAccum{}, plus_times<int>(), A, A, d);
+  EXPECT_EQ(C.nvals(), 1u);
+  EXPECT_TRUE(C.has_element(0, 1));
+}
+
+TEST(MxM, ComplementMask) {
+  auto A = small(2, {{0, 0, 1}, {0, 1, 1}, {1, 0, 1}, {1, 1, 1}});
+  Matrix<int> mask(2, 2);
+  mask.build({0}, {0}, {1});
+  Matrix<int> C(2, 2);
+  Descriptor d;
+  d.mask_structural = true;
+  d.mask_complement = true;
+  mxm(C, &mask, NoAccum{}, plus_times<int>(), A, A, d);
+  EXPECT_EQ(C.nvals(), 3u);
+  EXPECT_FALSE(C.has_element(0, 0));
+}
+
+TEST(MxM, ValuedMaskFalseEntriesBlock) {
+  auto A = small(2, {{0, 0, 1}, {0, 1, 1}});
+  Matrix<int> mask(2, 2);
+  mask.build({0, 0}, {0, 1}, {0, 1});  // (0,0) stored but false
+  Matrix<int> C(2, 2);
+  mxm(C, &mask, NoAccum{}, plus_times<int>(), A, A, Descriptor{});
+  EXPECT_FALSE(C.has_element(0, 0));  // valued mask: 0 blocks
+  EXPECT_TRUE(C.has_element(0, 1));
+}
+
+TEST(MxM, AccumulatorMergesWithOldC) {
+  auto A = small(2, {{0, 0, 2}});
+  Matrix<int> C(2, 2);
+  C.set_element(0, 0, 100);  // existing value accumulates
+  C.set_element(1, 1, 50);   // untouched by T, kept (accum => union)
+  mxm(C, nullptr, Plus{}, plus_times<int>(), A, A, Descriptor{});
+  EXPECT_EQ(C.extract_element(0, 0).value(), 104);  // 100 + 2*2
+  EXPECT_EQ(C.extract_element(1, 1).value(), 50);
+}
+
+TEST(MxM, NoAccumReplacesCUnderMask) {
+  auto A = small(2, {{0, 0, 2}});
+  Matrix<int> C(2, 2);
+  C.set_element(0, 1, 9);  // no mask => everything under mask => dropped
+  mxm(C, plus_times<int>(), A, A);
+  EXPECT_FALSE(C.has_element(0, 1));
+  EXPECT_EQ(C.extract_element(0, 0).value(), 4);
+}
+
+TEST(MxM, ReplaceClearsOutsideMask) {
+  auto A = small(2, {{0, 0, 2}});
+  Matrix<int> mask(2, 2);
+  mask.build({0}, {0}, {1});
+  Matrix<int> C(2, 2);
+  C.set_element(1, 1, 7);  // outside mask
+  Descriptor d;
+  d.mask_structural = true;
+  d.replace = true;
+  mxm(C, &mask, NoAccum{}, plus_times<int>(), A, A, d);
+  EXPECT_FALSE(C.has_element(1, 1));  // replaced away
+  EXPECT_EQ(C.extract_element(0, 0).value(), 4);
+}
+
+TEST(MxM, WithoutReplaceKeepsOutsideMask) {
+  auto A = small(2, {{0, 0, 2}});
+  Matrix<int> mask(2, 2);
+  mask.build({0}, {0}, {1});
+  Matrix<int> C(2, 2);
+  C.set_element(1, 1, 7);
+  Descriptor d;
+  d.mask_structural = true;
+  mxm(C, &mask, NoAccum{}, plus_times<int>(), A, A, d);
+  EXPECT_EQ(C.extract_element(1, 1).value(), 7);
+}
+
+TEST(MxM, LargerRandomAgainstTransposeIdentity) {
+  // (A B)' == B' A' — algebraic identity as a cross-check of mxm and
+  // transpose together.
+  util::Pcg32 rng(17);
+  Matrix<int> A(20, 30), B(30, 25);
+  {
+    std::vector<Index> r, c;
+    std::vector<int> v;
+    for (int k = 0; k < 120; ++k) {
+      r.push_back(rng.bounded(20));
+      c.push_back(rng.bounded(30));
+      v.push_back(static_cast<int>(rng.bounded(5)) + 1);
+    }
+    A.build(r, c, v, Second{});
+    r.clear(); c.clear(); v.clear();
+    for (int k = 0; k < 150; ++k) {
+      r.push_back(rng.bounded(30));
+      c.push_back(rng.bounded(25));
+      v.push_back(static_cast<int>(rng.bounded(5)) + 1);
+    }
+    B.build(r, c, v, Second{});
+  }
+  Matrix<int> AB(20, 25);
+  mxm(AB, plus_times<int>(), A, B);
+  auto ABt = transposed(AB);
+
+  Matrix<int> BtAt(25, 20);
+  Descriptor d;
+  d.transpose_a = true;
+  d.transpose_b = true;
+  mxm(BtAt, nullptr, NoAccum{}, plus_times<int>(), B, A, d);
+
+  EXPECT_EQ(ABt.nvals(), BtAt.nvals());
+  ABt.for_each([&](Index i, Index j, int v) {
+    EXPECT_EQ(BtAt.extract_element(i, j).value(), v);
+  });
+}
+
+}  // namespace
+}  // namespace rg::gb

@@ -1,0 +1,169 @@
+#include "graphblas/mxv.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graphblas/transpose.hpp"
+
+namespace rg::gb {
+namespace {
+
+Matrix<int> path3() {
+  // 0 -> 1 -> 2
+  Matrix<int> m(3, 3);
+  m.build({0, 1}, {1, 2}, {1, 1});
+  return m;
+}
+
+TEST(VxM, KnownProduct) {
+  // u' A with u = e0 picks row 0 of A.
+  auto A = path3();
+  Vector<int> u(3);
+  u.set_element(0, 1);
+  Vector<int> w(3);
+  vxm(w, static_cast<const Vector<Bool>*>(nullptr), NoAccum{},
+      plus_times<int>(), u, A);
+  EXPECT_EQ(w.nvals(), 1u);
+  EXPECT_EQ(w.extract_element(1).value(), 1);
+}
+
+TEST(VxM, AccumulatesAlongColumns) {
+  Matrix<int> A(2, 2);
+  A.build({0, 1}, {0, 0}, {3, 4});  // both rows hit column 0
+  Vector<int> u(2);
+  u.set_element(0, 1);
+  u.set_element(1, 1);
+  Vector<int> w(2);
+  vxm(w, static_cast<const Vector<Bool>*>(nullptr), NoAccum{},
+      plus_times<int>(), u, A);
+  EXPECT_EQ(w.extract_element(0).value(), 7);
+}
+
+TEST(MxV, KnownProduct) {
+  // A u with u = e2 picks column 2 of A.
+  auto A = path3();
+  Vector<int> u(3);
+  u.set_element(2, 1);
+  Vector<int> w(3);
+  mxv(w, static_cast<const Vector<Bool>*>(nullptr), NoAccum{},
+      plus_times<int>(), A, u);
+  EXPECT_EQ(w.nvals(), 1u);
+  EXPECT_EQ(w.extract_element(1).value(), 1);
+}
+
+TEST(MxVvxm, TransposeDuality) {
+  // vxm(u, A) == mxv(A', u): push and pull compute the same product.
+  Matrix<int> A(4, 4);
+  A.build({0, 0, 1, 2, 3}, {1, 2, 3, 3, 0}, {1, 2, 3, 4, 5});
+  Vector<int> u(4);
+  u.build({0, 2}, {1, 10});
+
+  Vector<int> w_push(4);
+  vxm(w_push, static_cast<const Vector<Bool>*>(nullptr), NoAccum{},
+      plus_times<int>(), u, A);
+
+  Vector<int> w_pull(4);
+  Descriptor d;
+  d.transpose_a = true;
+  mxv(w_pull, static_cast<const Vector<Bool>*>(nullptr), NoAccum{},
+      plus_times<int>(), A, u, d);
+
+  EXPECT_EQ(w_push.nvals(), w_pull.nvals());
+  w_push.for_each([&](Index i, int v) {
+    EXPECT_EQ(w_pull.extract_element(i).value(), v);
+  });
+}
+
+TEST(VxM, ComplementedStructuralMaskBfsStep) {
+  // The BFS frontier step: next<!visited> = frontier any.pair A.
+  Matrix<Bool> A(4, 4);
+  A.build({0, 0, 1, 2}, {1, 2, 3, 3}, {1, 1, 1, 1});
+  Vector<Bool> frontier(4);
+  frontier.set_element(0, 1);
+  Vector<Bool> visited(4);
+  visited.set_element(0, 1);
+  visited.set_element(1, 1);  // pretend 1 already seen
+  Vector<Bool> next(4);
+  Descriptor d;
+  d.mask_complement = true;
+  d.mask_structural = true;
+  d.replace = true;
+  vxm(next, &visited, NoAccum{}, any_pair, frontier, A, d);
+  EXPECT_EQ(next.nvals(), 1u);  // only vertex 2 (1 masked out)
+  EXPECT_TRUE(next.has_element(2));
+}
+
+TEST(VxM, DimensionMismatchThrows) {
+  Matrix<int> A(3, 4);
+  Vector<int> u(2), w(4);
+  EXPECT_THROW(vxm(w, static_cast<const Vector<Bool>*>(nullptr), NoAccum{},
+                   plus_times<int>(), u, A),
+               DimensionMismatch);
+  Vector<int> u3(3), w_bad(3);
+  EXPECT_THROW(vxm(w_bad, static_cast<const Vector<Bool>*>(nullptr), NoAccum{},
+                   plus_times<int>(), u3, A),
+               DimensionMismatch);
+}
+
+TEST(MxV, MaskedRowsSkipped) {
+  Matrix<int> A(3, 3);
+  A.build({0, 1, 2}, {0, 0, 0}, {1, 2, 3});
+  Vector<int> u(3);
+  u.set_element(0, 10);
+  Vector<Bool> mask(3);
+  mask.set_element(1, 1);
+  Vector<int> w(3);
+  Descriptor d;
+  d.mask_structural = true;
+  mxv(w, &mask, NoAccum{}, plus_times<int>(), A, u, d);
+  EXPECT_EQ(w.nvals(), 1u);
+  EXPECT_EQ(w.extract_element(1).value(), 20);
+}
+
+TEST(MxV, AccumMergesExisting) {
+  auto A = path3();
+  Vector<int> u(3);
+  u.set_element(1, 5);
+  Vector<int> w(3);
+  w.set_element(0, 100);
+  mxv(w, static_cast<const Vector<Bool>*>(nullptr), Plus{}, plus_times<int>(),
+      A, u, Descriptor{});
+  EXPECT_EQ(w.extract_element(0).value(), 105);  // A(0,1)*u(1)=5 + 100
+}
+
+TEST(BfsStep, PushAndPullAgree) {
+  Matrix<Bool> A(6, 6);
+  A.build({0, 0, 1, 2, 3, 4}, {1, 2, 3, 3, 4, 5}, {1, 1, 1, 1, 1, 1});
+  auto AT = transposed(A);
+
+  auto run = [&](StepDirection dir) {
+    std::vector<std::uint8_t> visited(6, 0), in_frontier(6, 0);
+    std::vector<Index> frontier{0}, next, all;
+    visited[0] = 1;
+    while (!frontier.empty()) {
+      bfs_step(A, AT, frontier, visited, next, in_frontier, dir, true);
+      all.insert(all.end(), next.begin(), next.end());
+      std::swap(frontier, next);
+    }
+    std::sort(all.begin(), all.end());
+    return all;
+  };
+  EXPECT_EQ(run(StepDirection::kPush), run(StepDirection::kPull));
+  EXPECT_EQ(run(StepDirection::kPush),
+            (std::vector<Index>{1, 2, 3, 4, 5}));
+}
+
+TEST(BfsStep, ReportsChosenDirection) {
+  Matrix<Bool> A(4, 4);
+  A.build({0}, {1}, {1});
+  auto AT = transposed(A);
+  std::vector<std::uint8_t> visited(4, 0), in_frontier(4, 0);
+  std::vector<Index> frontier{0}, next;
+  visited[0] = 1;
+  const auto taken = bfs_step(A, AT, frontier, visited, next, in_frontier,
+                              StepDirection::kPull, true);
+  EXPECT_EQ(taken, StepDirection::kPull);
+  EXPECT_EQ(next, std::vector<Index>{1});
+}
+
+}  // namespace
+}  // namespace rg::gb

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "graphblas/kron.hpp"
+#include "graphblas/reduce.hpp"
+#include "graphblas/transpose.hpp"
+
+namespace rg::gb {
+namespace {
+
+Matrix<int> mk(Index rows, Index cols,
+               std::vector<std::tuple<Index, Index, int>> t) {
+  Matrix<int> m(rows, cols);
+  std::vector<Index> r, c;
+  std::vector<int> v;
+  for (auto& [i, j, x] : t) {
+    r.push_back(i);
+    c.push_back(j);
+    v.push_back(x);
+  }
+  m.build(r, c, v);
+  return m;
+}
+
+TEST(Reduce, RowWiseSum) {
+  auto A = mk(3, 3, {{0, 0, 1}, {0, 2, 2}, {2, 1, 5}});
+  Vector<int> w(3);
+  reduce_rows(w, static_cast<const Vector<Bool>*>(nullptr), NoAccum{},
+              plus_monoid<int>(), A);
+  EXPECT_EQ(w.nvals(), 2u);  // row 1 empty -> no entry
+  EXPECT_EQ(w.extract_element(0).value(), 3);
+  EXPECT_EQ(w.extract_element(2).value(), 5);
+  EXPECT_FALSE(w.has_element(1));
+}
+
+TEST(Reduce, ColumnWiseViaTranspose) {
+  auto A = mk(3, 3, {{0, 0, 1}, {2, 0, 2}, {1, 2, 7}});
+  Vector<int> w(3);
+  Descriptor d;
+  d.transpose_a = true;
+  reduce_rows(w, static_cast<const Vector<Bool>*>(nullptr), NoAccum{},
+              plus_monoid<int>(), A, d);
+  EXPECT_EQ(w.extract_element(0).value(), 3);  // column 0 sum
+  EXPECT_EQ(w.extract_element(2).value(), 7);
+}
+
+TEST(Reduce, MatrixToScalarMonoids) {
+  auto A = mk(2, 2, {{0, 0, 3}, {0, 1, -1}, {1, 1, 8}});
+  EXPECT_EQ(reduce(plus_monoid<int>(), A), 10);
+  EXPECT_EQ(reduce(min_monoid<int>(), A), -1);
+  EXPECT_EQ(reduce(max_monoid<int>(), A), 8);
+  EXPECT_EQ(reduce(times_monoid<int>(), A), -24);
+}
+
+TEST(Reduce, EmptyGivesIdentity) {
+  Matrix<int> A(2, 2);
+  EXPECT_EQ(reduce(plus_monoid<int>(), A), 0);
+  Vector<int> u(3);
+  EXPECT_EQ(reduce(plus_monoid<int>(), u), 0);
+}
+
+TEST(Reduce, VectorToScalar) {
+  Vector<int> u(5);
+  u.build({1, 3}, {4, 6});
+  EXPECT_EQ(reduce(plus_monoid<int>(), u), 10);
+}
+
+TEST(Reduce, BooleanTerminalShortCircuits) {
+  Matrix<Bool> A(2, 2);
+  A.build({0, 1}, {0, 1}, {1, 0});
+  EXPECT_EQ(reduce(lor_monoid, A), 1);
+  EXPECT_EQ(reduce(land_monoid, A), 0);
+}
+
+TEST(Transpose, RoundTripIsIdentity) {
+  auto A = mk(3, 4, {{0, 3, 1}, {1, 0, 2}, {2, 2, 3}});
+  auto T = transposed(A);
+  EXPECT_EQ(T.nrows(), 4u);
+  EXPECT_EQ(T.ncols(), 3u);
+  auto TT = transposed(T);
+  EXPECT_EQ(TT.nvals(), A.nvals());
+  A.for_each([&](Index i, Index j, int v) {
+    EXPECT_EQ(TT.extract_element(i, j).value(), v);
+    EXPECT_EQ(T.extract_element(j, i).value(), v);
+  });
+}
+
+TEST(Transpose, IntoCWithMask) {
+  auto A = mk(2, 2, {{0, 1, 5}, {1, 0, 6}});
+  Matrix<int> mask(2, 2);
+  mask.build({1}, {0}, {1});
+  Matrix<int> C(2, 2);
+  Descriptor d;
+  d.mask_structural = true;
+  transpose(C, &mask, NoAccum{}, A, d);
+  EXPECT_EQ(C.nvals(), 1u);
+  EXPECT_EQ(C.extract_element(1, 0).value(), 5);  // A'(1,0) = A(0,1)
+}
+
+TEST(Transpose, DescriptorT0YieldsAItself) {
+  auto A = mk(2, 2, {{0, 1, 5}});
+  Matrix<int> C(2, 2);
+  Descriptor d;
+  d.transpose_a = true;  // transpose of transpose = A
+  transpose(C, static_cast<const Matrix<Bool>*>(nullptr), NoAccum{}, A, d);
+  EXPECT_EQ(C.extract_element(0, 1).value(), 5);
+}
+
+TEST(Kron, WithIdentityGivesBlockDiagonal) {
+  auto I = mk(2, 2, {{0, 0, 1}, {1, 1, 1}});
+  auto B = mk(2, 2, {{0, 1, 3}, {1, 0, 4}});
+  Matrix<int> C(4, 4);
+  kronecker(C, static_cast<const Matrix<Bool>*>(nullptr), NoAccum{}, Times{},
+            I, B);
+  EXPECT_EQ(C.nvals(), 4u);
+  EXPECT_EQ(C.extract_element(0, 1).value(), 3);
+  EXPECT_EQ(C.extract_element(1, 0).value(), 4);
+  EXPECT_EQ(C.extract_element(2, 3).value(), 3);
+  EXPECT_EQ(C.extract_element(3, 2).value(), 4);
+}
+
+TEST(Kron, SizesMultiply) {
+  auto A = mk(2, 3, {{0, 0, 2}});
+  auto B = mk(3, 2, {{1, 1, 5}});
+  Matrix<int> C(6, 6);
+  kronecker(C, static_cast<const Matrix<Bool>*>(nullptr), NoAccum{}, Times{},
+            A, B);
+  EXPECT_EQ(C.nvals(), 1u);
+  EXPECT_EQ(C.extract_element(1, 1).value(), 10);  // (0*3+1, 0*2+1)
+}
+
+TEST(Kron, KroneckerPowerGrowsSelfSimilar) {
+  // kron(A, A) of a 2-vertex path has the RMAT self-similar structure.
+  Matrix<int> A(2, 2);
+  A.build({0, 0, 1}, {0, 1, 1}, {1, 1, 1});
+  Matrix<int> C(4, 4);
+  kronecker(C, static_cast<const Matrix<Bool>*>(nullptr), NoAccum{}, Times{},
+            A, A);
+  EXPECT_EQ(C.nvals(), 9u);  // 3^2 entries
+}
+
+TEST(Kron, WrongOutputShapeThrows) {
+  auto A = mk(2, 2, {{0, 0, 1}});
+  Matrix<int> C(3, 3);
+  EXPECT_THROW(kronecker(C, static_cast<const Matrix<Bool>*>(nullptr),
+                         NoAccum{}, Times{}, A, A),
+               DimensionMismatch);
+}
+
+}  // namespace
+}  // namespace rg::gb

@@ -1,0 +1,139 @@
+// Algebraic-law property tests for the operator/monoid/semiring catalog:
+// identities, associativity, commutativity, terminal values, and the
+// semiring distributivity the kernels silently rely on.
+#include <gtest/gtest.h>
+
+#include "graphblas/ops.hpp"
+#include "graphblas/types.hpp"
+#include "util/random.hpp"
+
+namespace rg::gb {
+namespace {
+
+class MonoidLaws : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MonoidLaws, PlusMonoid) {
+  util::Pcg32 rng(GetParam());
+  const auto m = plus_monoid<std::int64_t>();
+  for (int i = 0; i < 200; ++i) {
+    const std::int64_t a = static_cast<std::int64_t>(rng.bounded(1000)) - 500;
+    const std::int64_t b = static_cast<std::int64_t>(rng.bounded(1000)) - 500;
+    const std::int64_t c = static_cast<std::int64_t>(rng.bounded(1000)) - 500;
+    EXPECT_EQ(m(a, m.identity), a);           // right identity
+    EXPECT_EQ(m(m.identity, a), a);           // left identity
+    EXPECT_EQ(m(a, b), m(b, a));              // commutativity
+    EXPECT_EQ(m(m(a, b), c), m(a, m(b, c)));  // associativity
+  }
+}
+
+TEST_P(MonoidLaws, MinMaxMonoids) {
+  util::Pcg32 rng(GetParam());
+  const auto mn = min_monoid<std::int64_t>();
+  const auto mx = max_monoid<std::int64_t>();
+  for (int i = 0; i < 200; ++i) {
+    const std::int64_t a = static_cast<std::int64_t>(rng.bounded(1000)) - 500;
+    const std::int64_t b = static_cast<std::int64_t>(rng.bounded(1000)) - 500;
+    EXPECT_EQ(mn(a, mn.identity), a);
+    EXPECT_EQ(mx(a, mx.identity), a);
+    EXPECT_EQ(mn(a, b), std::min(a, b));
+    EXPECT_EQ(mx(a, b), std::max(a, b));
+    // Terminal absorbs.
+    EXPECT_EQ(mn(a, mn.terminal), mn.terminal);
+    EXPECT_EQ(mx(a, mx.terminal), mx.terminal);
+  }
+}
+
+TEST_P(MonoidLaws, BooleanMonoids) {
+  for (const std::uint8_t a : {0, 1}) {
+    EXPECT_EQ(lor_monoid(a, lor_monoid.identity), a);
+    EXPECT_EQ(land_monoid(a, land_monoid.identity), a);
+    EXPECT_EQ(lor_monoid(a, lor_monoid.terminal), lor_monoid.terminal);
+    EXPECT_EQ(land_monoid(a, land_monoid.terminal), land_monoid.terminal);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MonoidLaws, ::testing::Values(1u, 2u, 3u));
+
+class SemiringLaws : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SemiringLaws, PlusTimesDistributes) {
+  util::Pcg32 rng(GetParam() * 11);
+  const auto sr = plus_times<std::int64_t>();
+  for (int i = 0; i < 200; ++i) {
+    const std::int64_t a = static_cast<std::int64_t>(rng.bounded(100)) - 50;
+    const std::int64_t b = static_cast<std::int64_t>(rng.bounded(100)) - 50;
+    const std::int64_t c = static_cast<std::int64_t>(rng.bounded(100)) - 50;
+    // a * (b + c) == a*b + a*c
+    EXPECT_EQ(sr.multiply(a, sr.combine(b, c)),
+              sr.combine(sr.multiply(a, b), sr.multiply(a, c)));
+    // multiplicative annihilator: a * 0 contributes identity
+    EXPECT_EQ(sr.multiply(a, 0), 0);
+  }
+}
+
+TEST_P(SemiringLaws, MinPlusDistributes) {
+  util::Pcg32 rng(GetParam() * 13);
+  const auto sr = min_plus<std::int64_t>();
+  for (int i = 0; i < 200; ++i) {
+    const std::int64_t a = static_cast<std::int64_t>(rng.bounded(1000));
+    const std::int64_t b = static_cast<std::int64_t>(rng.bounded(1000));
+    const std::int64_t c = static_cast<std::int64_t>(rng.bounded(1000));
+    // a + min(b, c) == min(a+b, a+c)   (tropical distributivity)
+    EXPECT_EQ(sr.multiply(a, sr.combine(b, c)),
+              sr.combine(sr.multiply(a, b), sr.multiply(a, c)));
+  }
+}
+
+TEST_P(SemiringLaws, AnyPairIsStructureOnly) {
+  const auto sr = any_pair;
+  for (const std::uint8_t a : {0, 1}) {
+    for (const std::uint8_t b : {0, 1}) {
+      EXPECT_EQ(sr.multiply(a, b), 1);  // PAIR ignores values entirely
+    }
+  }
+  EXPECT_EQ(sr.combine(0, 1), 1);
+  EXPECT_EQ(sr.combine(0, 0), 0);
+  EXPECT_TRUE(sr.add.has_terminal);
+  EXPECT_EQ(sr.add.terminal, 1);
+}
+
+TEST_P(SemiringLaws, FirstSecondProjections) {
+  EXPECT_EQ(First{}(3, 9), 3);
+  EXPECT_EQ(Second{}(3, 9), 9);
+  const auto ms = min_second<std::int64_t>();
+  EXPECT_EQ(ms.multiply(42, 7), 7);
+  const auto mf = min_first<std::int64_t>();
+  EXPECT_EQ(mf.multiply(42, 7), 42);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SemiringLaws, ::testing::Values(1u, 2u, 3u));
+
+TEST(UnaryOps, Catalog) {
+  EXPECT_EQ(Identity{}(5), 5);
+  EXPECT_EQ(Ainv{}(5), -5);
+  EXPECT_EQ(Abs{}(-5), 5);
+  EXPECT_EQ(Abs{}(std::uint32_t{5}), 5u);  // unsigned stays put
+  EXPECT_EQ(One{}(123), 1);
+}
+
+TEST(BinaryOps, LogicalOpsNormalizeNonzero) {
+  EXPECT_EQ(Lor{}(0, 7), 1);     // nonzero counts as true
+  EXPECT_EQ(Land{}(3, 5), 1);
+  EXPECT_EQ(Land{}(3, 0), 0);
+  EXPECT_EQ(Eq{}(4, 4), 1);
+  EXPECT_EQ(Eq{}(4, 5), 0);
+}
+
+TEST(Descriptor, FactoryHelpers) {
+  EXPECT_TRUE(Descriptor::t0().transpose_a);
+  EXPECT_TRUE(Descriptor::t1().transpose_b);
+  EXPECT_TRUE(Descriptor::comp().mask_complement);
+  EXPECT_FALSE(Descriptor::comp().replace);
+  EXPECT_TRUE(Descriptor::rc().mask_complement);
+  EXPECT_TRUE(Descriptor::rc().replace);
+  EXPECT_TRUE(Descriptor::structural().mask_structural);
+  EXPECT_TRUE(Descriptor::replace_only().replace);
+}
+
+}  // namespace
+}  // namespace rg::gb

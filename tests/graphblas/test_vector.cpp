@@ -1,0 +1,138 @@
+#include "graphblas/vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graphblas/ops.hpp"
+
+namespace rg::gb {
+namespace {
+
+TEST(Vector, EmptyDimension) {
+  Vector<int> v(10);
+  EXPECT_EQ(v.size(), 10u);
+  EXPECT_EQ(v.nvals(), 0u);
+  EXPECT_DOUBLE_EQ(v.density(), 0.0);
+}
+
+TEST(Vector, SetAndExtract) {
+  Vector<int> v(8);
+  v.set_element(3, 42);
+  EXPECT_EQ(v.extract_element(3).value(), 42);
+  EXPECT_FALSE(v.extract_element(4).has_value());
+  EXPECT_TRUE(v.has_element(3));
+  EXPECT_EQ(v.nvals(), 1u);
+}
+
+TEST(Vector, LastSetWins) {
+  Vector<int> v(4);
+  v.set_element(1, 1);
+  v.set_element(1, 2);
+  EXPECT_EQ(v.extract_element(1).value(), 2);
+  EXPECT_EQ(v.nvals(), 1u);
+}
+
+TEST(Vector, DeleteThenSetResurrects) {
+  Vector<int> v(4);
+  v.set_element(2, 5);
+  v.wait();
+  v.remove_element(2);
+  v.set_element(2, 9);
+  EXPECT_EQ(v.extract_element(2).value(), 9);
+}
+
+TEST(Vector, SetThenDeleteRemoves) {
+  Vector<int> v(4);
+  v.set_element(2, 5);
+  v.remove_element(2);
+  EXPECT_FALSE(v.extract_element(2).has_value());
+  EXPECT_EQ(v.nvals(), 0u);
+}
+
+TEST(Vector, BoundsChecking) {
+  Vector<int> v(3);
+  EXPECT_THROW(v.set_element(3, 1), IndexOutOfBounds);
+  EXPECT_THROW(v.extract_element(99), IndexOutOfBounds);
+  EXPECT_THROW(v.remove_element(3), IndexOutOfBounds);
+}
+
+TEST(Vector, BuildSortedWithDup) {
+  Vector<int> v(10);
+  v.build({5, 1, 5, 3}, {50, 10, 51, 30}, Plus{});
+  EXPECT_EQ(v.nvals(), 3u);
+  EXPECT_EQ(v.extract_element(5).value(), 101);
+  EXPECT_EQ(v.extract_element(1).value(), 10);
+  const auto& idx = v.indices();
+  EXPECT_TRUE(std::is_sorted(idx.begin(), idx.end()));
+}
+
+TEST(Vector, BuildLengthMismatchThrows) {
+  Vector<int> v(4);
+  EXPECT_THROW(v.build({1, 2}, {1}), DimensionMismatch);
+}
+
+TEST(Vector, ExtractTuplesRoundTrip) {
+  Vector<int> v(6);
+  v.build({0, 2, 5}, {1, 2, 3});
+  std::vector<Index> idx;
+  std::vector<int> val;
+  v.extract_tuples(idx, val);
+  EXPECT_EQ(idx, (std::vector<Index>{0, 2, 5}));
+  EXPECT_EQ(val, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Vector, ResizeShrinkDropsTail) {
+  Vector<int> v(10);
+  v.build({1, 5, 9}, {1, 5, 9});
+  v.resize(6);
+  EXPECT_EQ(v.size(), 6u);
+  EXPECT_EQ(v.nvals(), 2u);
+  EXPECT_TRUE(v.has_element(5));   // index 5 kept
+  EXPECT_TRUE(v.has_element(1));
+}
+
+TEST(Vector, ResizeGrowKeepsEntries) {
+  Vector<int> v(4);
+  v.set_element(3, 3);
+  v.resize(100);
+  EXPECT_EQ(v.extract_element(3).value(), 3);
+  v.set_element(99, 1);
+  EXPECT_EQ(v.nvals(), 2u);
+}
+
+TEST(Vector, ClearRemovesAll) {
+  Vector<int> v(4);
+  v.set_element(0, 1);
+  v.clear();
+  EXPECT_EQ(v.nvals(), 0u);
+  EXPECT_EQ(v.size(), 4u);
+}
+
+TEST(Vector, ForEachAscendingOrder) {
+  Vector<int> v(10);
+  v.build({7, 2, 4}, {70, 20, 40});
+  std::vector<Index> seen;
+  v.for_each([&](Index i, int) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<Index>{2, 4, 7}));
+}
+
+TEST(Vector, ToBitmap) {
+  Vector<int> v(6);
+  v.build({1, 4}, {1, 1});
+  std::vector<std::uint8_t> bm;
+  v.to_bitmap(bm);
+  EXPECT_EQ(bm, (std::vector<std::uint8_t>{0, 1, 0, 0, 1, 0}));
+}
+
+TEST(Vector, DensityAndCopy) {
+  Vector<int> v(4);
+  v.set_element(0, 1);
+  v.set_element(1, 1);
+  EXPECT_DOUBLE_EQ(v.density(), 0.5);
+  Vector<int> w = v;
+  w.set_element(2, 1);
+  EXPECT_EQ(v.nvals(), 2u);
+  EXPECT_EQ(w.nvals(), 3u);
+}
+
+}  // namespace
+}  // namespace rg::gb

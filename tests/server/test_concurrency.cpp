@@ -1,0 +1,115 @@
+// Concurrency tests for the paper's threading model: one query = one
+// worker; concurrent readers; writers serialized by the per-graph lock.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "server/server.hpp"
+
+namespace rg::server {
+namespace {
+
+TEST(Concurrency, ParallelReadersSeeConsistentSnapshot) {
+  Server srv(4);
+  srv.execute({"GRAPH.QUERY", "g",
+               "UNWIND [1,2,3,4,5,6,7,8,9,10] AS x CREATE (:N {v: x})"});
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 8; ++t) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < 25; ++i) {
+        const auto r = srv.execute(
+            {"GRAPH.RO_QUERY", "g", "MATCH (n:N) RETURN count(*)"});
+        if (!r.ok() || r.result.rows[0][0].as_int() != 10) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(Concurrency, ConcurrentWritersAllApply) {
+  Server srv(4);
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&srv, t] {
+      for (int i = 0; i < 20; ++i) {
+        const auto r = srv.execute(
+            {"GRAPH.QUERY", "g",
+             "CREATE (:W {owner: " + std::to_string(t) + "})"});
+        ASSERT_TRUE(r.ok());
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  const auto r = srv.execute({"GRAPH.QUERY", "g",
+                              "MATCH (n:W) RETURN count(*)"});
+  EXPECT_EQ(r.result.rows[0][0].as_int(), 80);
+}
+
+TEST(Concurrency, MixedReadersAndWritersStayCoherent) {
+  Server srv(4);
+  srv.execute({"GRAPH.QUERY", "g", "CREATE (:Seed)"});
+  std::atomic<bool> stop{false};
+  std::atomic<int> bad{0};
+  std::thread writer([&] {
+    for (int i = 0; i < 30; ++i)
+      srv.execute({"GRAPH.QUERY", "g", "CREATE (:Extra)"});
+    stop.store(true);
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      std::int64_t last = 0;
+      while (!stop.load()) {
+        const auto r = srv.execute(
+            {"GRAPH.RO_QUERY", "g", "MATCH (n) RETURN count(*)"});
+        if (!r.ok()) {
+          bad.fetch_add(1);
+          continue;
+        }
+        const auto now = r.result.rows[0][0].as_int();
+        if (now < last) bad.fetch_add(1);  // counts must be monotone
+        last = now;
+      }
+    });
+  }
+  writer.join();
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(bad.load(), 0);
+  const auto r = srv.execute({"GRAPH.QUERY", "g", "MATCH (n) RETURN count(*)"});
+  EXPECT_EQ(r.result.rows[0][0].as_int(), 31);
+}
+
+TEST(Concurrency, ManyConcurrentSubmissionsDrain) {
+  Server srv(2);
+  srv.execute({"GRAPH.QUERY", "g", "CREATE (:N)"});
+  std::vector<std::future<Reply>> futs;
+  for (int i = 0; i < 100; ++i)
+    futs.push_back(srv.submit({"GRAPH.RO_QUERY", "g",
+                               "MATCH (n:N) RETURN count(*)"}));
+  for (auto& f : futs) {
+    const auto r = f.get();
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.result.rows[0][0].as_int(), 1);
+  }
+}
+
+TEST(Concurrency, SingleWorkerStillServesManyClients) {
+  Server srv(1);  // paper: pool size fixed at load time; 1 still works
+  std::vector<std::thread> clients;
+  std::atomic<int> ok{0};
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&] {
+      for (int i = 0; i < 10; ++i) {
+        if (srv.execute({"PING"}).ok()) ok.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(ok.load(), 40);
+}
+
+}  // namespace
+}  // namespace rg::server

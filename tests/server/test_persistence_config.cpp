@@ -1,0 +1,113 @@
+// GRAPH.SAVE / GRAPH.RESTORE / GRAPH.CONFIG and the CYPHER parameter
+// header on the server surface.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "server/server.hpp"
+
+namespace rg::server {
+namespace {
+
+class PersistFixture : public ::testing::Test {
+ protected:
+  PersistFixture() : srv_(2), path_(::testing::TempDir() + "srv_graph.bin") {}
+  ~PersistFixture() override { std::remove(path_.c_str()); }
+
+  Server srv_;
+  std::string path_;
+};
+
+TEST_F(PersistFixture, SaveRestoreRoundTrip) {
+  srv_.execute({"GRAPH.QUERY", "g",
+                "CREATE (:P {name:'a'})-[:R {w:1}]->(:P {name:'b'})"});
+  ASSERT_TRUE(srv_.execute({"GRAPH.SAVE", "g", path_}).ok());
+
+  // Restore into a different key.
+  ASSERT_TRUE(srv_.execute({"GRAPH.RESTORE", "copy", path_}).ok());
+  const auto r = srv_.execute({"GRAPH.QUERY", "copy",
+                               "MATCH (a:P)-[e:R]->(b:P) "
+                               "RETURN a.name, e.w, b.name"});
+  ASSERT_TRUE(r.ok()) << r.text;
+  ASSERT_EQ(r.result.row_count(), 1u);
+  EXPECT_EQ(r.result.rows[0][0].as_string(), "a");
+  EXPECT_EQ(r.result.rows[0][1].as_int(), 1);
+}
+
+TEST_F(PersistFixture, RestoreReplacesExistingGraph) {
+  srv_.execute({"GRAPH.QUERY", "g", "CREATE (:Old)"});
+  srv_.execute({"GRAPH.SAVE", "g", path_});
+  srv_.execute({"GRAPH.QUERY", "g", "CREATE (:New1), (:New2)"});
+  ASSERT_TRUE(srv_.execute({"GRAPH.RESTORE", "g", path_}).ok());
+  const auto r = srv_.execute({"GRAPH.QUERY", "g", "MATCH (n) RETURN count(*)"});
+  EXPECT_EQ(r.result.rows[0][0].as_int(), 1);  // back to the saved state
+}
+
+TEST_F(PersistFixture, RestoreFromMissingFileErrors) {
+  const auto r = srv_.execute({"GRAPH.RESTORE", "g", "/no/such/file.bin"});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(PersistFixture, SaveArityChecked) {
+  EXPECT_FALSE(srv_.execute({"GRAPH.SAVE", "g"}).ok());
+  EXPECT_FALSE(srv_.execute({"GRAPH.RESTORE", "g"}).ok());
+}
+
+TEST(Config, ThreadCountGettableNotSettable) {
+  Server srv(3);
+  const auto r = srv.execute({"GRAPH.CONFIG", "GET", "THREAD_COUNT"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.result.rows[0][1].as_int(), 3);
+  const auto set = srv.execute({"GRAPH.CONFIG", "SET", "THREAD_COUNT", "8"});
+  EXPECT_FALSE(set.ok());
+  EXPECT_NE(set.text.find("load time"), std::string::npos);
+  EXPECT_FALSE(srv.execute({"GRAPH.CONFIG", "GET", "NOPE"}).ok());
+  EXPECT_FALSE(srv.execute({"GRAPH.CONFIG"}).ok());
+}
+
+TEST(CypherParams, HeaderParsedAndApplied) {
+  Server srv(1);
+  srv.execute({"GRAPH.QUERY", "g",
+               "CREATE (:U {name:'ann', age:30}), (:U {name:'bea', age:40})"});
+  const auto r = srv.execute(
+      {"GRAPH.QUERY", "g",
+       "CYPHER who='bea' min=35 MATCH (n:U {name: $who}) "
+       "WHERE n.age >= $min RETURN n.age"});
+  ASSERT_TRUE(r.ok()) << r.text;
+  ASSERT_EQ(r.result.row_count(), 1u);
+  EXPECT_EQ(r.result.rows[0][0].as_int(), 40);
+}
+
+TEST(CypherParams, SupportsAllLiteralKinds) {
+  Server srv(1);
+  const auto r = srv.execute(
+      {"GRAPH.QUERY", "g",
+       "CYPHER i=3 f=2.5 neg=-4 s='x' t=true fa=false nl=null "
+       "RETURN $i, $f, $neg, $s, $t, $fa, $nl"});
+  ASSERT_TRUE(r.ok()) << r.text;
+  const auto& row = r.result.rows[0];
+  EXPECT_EQ(row[0].as_int(), 3);
+  EXPECT_DOUBLE_EQ(row[1].as_double(), 2.5);
+  EXPECT_EQ(row[2].as_int(), -4);
+  EXPECT_EQ(row[3].as_string(), "x");
+  EXPECT_TRUE(row[4].as_bool());
+  EXPECT_FALSE(row[5].as_bool());
+  EXPECT_TRUE(row[6].is_null());
+}
+
+TEST(CypherParams, PlainQueriesUnaffected) {
+  Server srv(1);
+  const auto r = srv.execute({"GRAPH.QUERY", "g", "RETURN 1 AS one"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.result.rows[0][0].as_int(), 1);
+}
+
+TEST(CypherParams, MissingParamReportsError) {
+  Server srv(1);
+  const auto r = srv.execute({"GRAPH.QUERY", "g", "RETURN $ghost"});
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.text.find("ghost"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rg::server

@@ -1,0 +1,54 @@
+#include "server/resp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rg::server {
+namespace {
+
+TEST(Resp, SimpleErrorIntegerBulk) {
+  EXPECT_EQ(resp_simple("OK"), "+OK\r\n");
+  EXPECT_EQ(resp_error("bad"), "-ERR bad\r\n");
+  EXPECT_EQ(resp_integer(42), ":42\r\n");
+  EXPECT_EQ(resp_integer(-1), ":-1\r\n");
+  EXPECT_EQ(resp_bulk("hey"), "$3\r\nhey\r\n");
+  EXPECT_EQ(resp_bulk(""), "$0\r\n\r\n");
+}
+
+TEST(Resp, ArrayComposition) {
+  EXPECT_EQ(resp_array({resp_integer(1), resp_bulk("a")}),
+            "*2\r\n:1\r\n$1\r\na\r\n");
+  EXPECT_EQ(resp_array({}), "*0\r\n");
+}
+
+TEST(Resp, ResultSetThreeSections) {
+  exec::ResultSet rs;
+  rs.columns = {"name", "age"};
+  rs.rows.push_back({graph::Value("bob"), graph::Value(25)});
+  rs.rows.push_back({graph::Value::null(), graph::Value(true)});
+  rs.stats.nodes_created = 2;
+  const auto enc = encode_result_set(rs);
+  // Outer array of 3 sections.
+  EXPECT_EQ(enc.substr(0, 4), "*3\r\n");
+  // Header section lists both columns.
+  EXPECT_NE(enc.find("$4\r\nname\r\n"), std::string::npos);
+  EXPECT_NE(enc.find("$3\r\nage\r\n"), std::string::npos);
+  // Values: string as bulk, int as integer, null as null bulk, bool as int.
+  EXPECT_NE(enc.find("$3\r\nbob\r\n"), std::string::npos);
+  EXPECT_NE(enc.find(":25\r\n"), std::string::npos);
+  EXPECT_NE(enc.find("$-1\r\n"), std::string::npos);
+  // Stats strings.
+  EXPECT_NE(enc.find("Nodes created: 2"), std::string::npos);
+  EXPECT_NE(enc.find("execution time"), std::string::npos);
+}
+
+TEST(Resp, ArrayValuesNest) {
+  exec::ResultSet rs;
+  rs.columns = {"l"};
+  rs.rows.push_back({graph::Value(graph::ValueArray{
+      graph::Value(1), graph::Value("x")})});
+  const auto enc = encode_result_set(rs);
+  EXPECT_NE(enc.find("*2\r\n:1\r\n$1\r\nx\r\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rg::server

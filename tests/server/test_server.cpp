@@ -1,0 +1,142 @@
+#include "server/server.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rg::server {
+namespace {
+
+TEST(SplitCommandLine, BasicAndQuoted) {
+  EXPECT_EQ(split_command_line("PING"), (std::vector<std::string>{"PING"}));
+  EXPECT_EQ(split_command_line("GRAPH.QUERY g \"MATCH (n) RETURN n\""),
+            (std::vector<std::string>{"GRAPH.QUERY", "g",
+                                      "MATCH (n) RETURN n"}));
+  EXPECT_EQ(split_command_line("a 'b c' d"),
+            (std::vector<std::string>{"a", "b c", "d"}));
+  EXPECT_EQ(split_command_line("  spaced   out  "),
+            (std::vector<std::string>{"spaced", "out"}));
+  EXPECT_EQ(split_command_line("x ''"),
+            (std::vector<std::string>{"x", ""}));  // empty quoted arg kept
+}
+
+class ServerFixture : public ::testing::Test {
+ protected:
+  ServerFixture() : srv_(2) {}
+
+  Reply q(const std::string& text) {
+    return srv_.execute({"GRAPH.QUERY", "g", text});
+  }
+
+  Server srv_;
+};
+
+TEST_F(ServerFixture, Ping) {
+  const auto r = srv_.execute({"PING"});
+  EXPECT_EQ(r.kind, Reply::Kind::kStatus);
+  EXPECT_EQ(r.text, "PONG");
+  EXPECT_EQ(r.to_resp(), "+PONG\r\n");
+}
+
+TEST_F(ServerFixture, UnknownCommandErrors) {
+  const auto r = srv_.execute({"NOPE"});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.to_resp().substr(0, 5), "-ERR ");
+}
+
+TEST_F(ServerFixture, WrongArityErrors) {
+  EXPECT_FALSE(srv_.execute({"GRAPH.QUERY", "g"}).ok());
+  EXPECT_FALSE(srv_.execute({"GRAPH.DELETE"}).ok());
+}
+
+TEST_F(ServerFixture, CreateAndQueryRoundTrip) {
+  auto r = q("CREATE (:P {name:'x'})-[:R]->(:P {name:'y'})");
+  ASSERT_TRUE(r.ok()) << r.text;
+  EXPECT_EQ(r.result.stats.nodes_created, 2u);
+  r = q("MATCH (a:P)-[:R]->(b) RETURN a.name, b.name");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.result.row_count(), 1u);
+  EXPECT_EQ(r.result.rows[0][0].as_string(), "x");
+}
+
+TEST_F(ServerFixture, QueriesOnSeparateKeysAreIsolated) {
+  srv_.execute({"GRAPH.QUERY", "g1", "CREATE (:A)"});
+  srv_.execute({"GRAPH.QUERY", "g2", "CREATE (:B)"});
+  const auto r1 = srv_.execute({"GRAPH.QUERY", "g1", "MATCH (n:B) RETURN n"});
+  EXPECT_EQ(r1.result.row_count(), 0u);
+  const auto r2 = srv_.execute({"GRAPH.QUERY", "g2", "MATCH (n:B) RETURN n"});
+  EXPECT_EQ(r2.result.row_count(), 1u);
+}
+
+TEST_F(ServerFixture, RoQueryRejectsWrites) {
+  const auto r = srv_.execute({"GRAPH.RO_QUERY", "g", "CREATE (:X)"});
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.text.find("read-only"), std::string::npos);
+  // Reads are fine.
+  q("CREATE (:X)");
+  const auto ok = srv_.execute({"GRAPH.RO_QUERY", "g",
+                                "MATCH (n:X) RETURN count(*)"});
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.result.rows[0][0].as_int(), 1);
+}
+
+TEST_F(ServerFixture, ExplainReturnsPlanText) {
+  q("CREATE (:P)");
+  const auto r = srv_.execute({"GRAPH.EXPLAIN", "g",
+                               "MATCH (n:P) RETURN count(*)"});
+  EXPECT_EQ(r.kind, Reply::Kind::kText);
+  EXPECT_NE(r.text.find("NodeByLabelScan"), std::string::npos);
+}
+
+TEST_F(ServerFixture, ProfileReturnsAnnotatedPlan) {
+  q("CREATE (:P), (:P)");
+  const auto r = srv_.execute({"GRAPH.PROFILE", "g",
+                               "MATCH (n:P) RETURN count(*)"});
+  EXPECT_EQ(r.kind, Reply::Kind::kText);
+  EXPECT_NE(r.text.find("records:"), std::string::npos);
+}
+
+TEST_F(ServerFixture, GraphDeleteRemovesKey) {
+  q("CREATE (:P)");
+  EXPECT_TRUE(srv_.execute({"GRAPH.DELETE", "g"}).ok());
+  // Key recreated empty on next use.
+  const auto r = q("MATCH (n) RETURN count(*)");
+  EXPECT_EQ(r.result.rows[0][0].as_int(), 0);
+  // Deleting a missing key errors.
+  EXPECT_FALSE(srv_.execute({"GRAPH.DELETE", "missing"}).ok());
+}
+
+TEST_F(ServerFixture, GraphListShowsKeys) {
+  srv_.execute({"GRAPH.QUERY", "alpha", "CREATE (:A)"});
+  srv_.execute({"GRAPH.QUERY", "beta", "CREATE (:B)"});
+  const auto r = srv_.execute({"GRAPH.LIST"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.result.row_count(), 2u);
+  EXPECT_EQ(r.result.rows[0][0].as_string(), "alpha");
+}
+
+TEST_F(ServerFixture, SyntaxErrorsBecomeErrorReplies) {
+  const auto r = q("MATCH (n RETURN n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.text.find("expected"), std::string::npos);
+}
+
+TEST_F(ServerFixture, ExecuteLineParsesQuotes) {
+  const auto r = srv_.execute_line(
+      "GRAPH.QUERY g \"CREATE (:Q {name:'hello world'})\"");
+  ASSERT_TRUE(r.ok()) << r.text;
+  const auto check = q("MATCH (n:Q) RETURN n.name");
+  EXPECT_EQ(check.result.rows[0][0].as_string(), "hello world");
+}
+
+TEST_F(ServerFixture, SubmitIsAsynchronous) {
+  auto fut = srv_.submit({"GRAPH.QUERY", "g", "CREATE (:Async)"});
+  EXPECT_TRUE(fut.get().ok());
+}
+
+TEST_F(ServerFixture, WorkerCountMatchesConfig) {
+  Server s1(1), s8(8);
+  EXPECT_EQ(s1.worker_count(), 1u);
+  EXPECT_EQ(s8.worker_count(), 8u);
+}
+
+}  // namespace
+}  // namespace rg::server

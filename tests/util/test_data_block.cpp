@@ -1,0 +1,129 @@
+#include "util/data_block.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace rg::util {
+namespace {
+
+TEST(DataBlock, EmplaceAssignsDenseSequentialIds) {
+  DataBlock<int> db;
+  for (std::uint64_t i = 0; i < 100; ++i)
+    EXPECT_EQ(db.emplace(static_cast<int>(i)), i);
+  EXPECT_EQ(db.size(), 100u);
+  EXPECT_EQ(db.id_bound(), 100u);
+}
+
+TEST(DataBlock, IdsStayDenseAcrossBlockBoundaries) {
+  DataBlock<int, 16> db;  // small blocks to cross boundaries quickly
+  for (std::uint64_t i = 0; i < 100; ++i)
+    ASSERT_EQ(db.emplace(static_cast<int>(i)), i);
+  for (std::uint64_t i = 0; i < 100; ++i)
+    EXPECT_EQ(db[i], static_cast<int>(i));
+}
+
+TEST(DataBlock, EraseRecyclesSlots) {
+  DataBlock<int> db;
+  const auto a = db.emplace(1);
+  const auto b = db.emplace(2);
+  db.emplace(3);
+  db.erase(b);
+  EXPECT_FALSE(db.contains(b));
+  EXPECT_EQ(db.size(), 2u);
+  const auto d = db.emplace(4);
+  EXPECT_EQ(d, b);  // freed slot reused
+  EXPECT_EQ(db[d], 4);
+  EXPECT_EQ(db[a], 1);
+}
+
+TEST(DataBlock, ContainsRejectsDeadAndOutOfRange) {
+  DataBlock<int> db;
+  const auto a = db.emplace(5);
+  EXPECT_TRUE(db.contains(a));
+  EXPECT_FALSE(db.contains(a + 1));
+  EXPECT_FALSE(db.contains(123456));
+  db.erase(a);
+  EXPECT_FALSE(db.contains(a));
+}
+
+TEST(DataBlock, StableAddressesAcrossGrowth) {
+  DataBlock<std::string, 8> db;
+  const auto id = db.emplace("hello");
+  const std::string* addr = &db[id];
+  for (int i = 0; i < 1000; ++i) db.emplace("filler");
+  EXPECT_EQ(addr, &db[id]);
+  EXPECT_EQ(*addr, "hello");
+}
+
+TEST(DataBlock, ForEachVisitsOnlyLiveItems) {
+  DataBlock<int> db;
+  for (int i = 0; i < 10; ++i) db.emplace(i);
+  db.erase(3);
+  db.erase(7);
+  std::vector<std::uint64_t> ids;
+  std::vector<int> vals;
+  db.for_each([&](std::uint64_t id, int& v) {
+    ids.push_back(id);
+    vals.push_back(v);
+  });
+  EXPECT_EQ(ids.size(), 8u);
+  for (auto id : ids) {
+    EXPECT_NE(id, 3u);
+    EXPECT_NE(id, 7u);
+  }
+}
+
+TEST(DataBlock, ClearDestroysEverything) {
+  DataBlock<std::string> db;
+  for (int i = 0; i < 20; ++i) db.emplace("s" + std::to_string(i));
+  db.clear();
+  EXPECT_EQ(db.size(), 0u);
+  EXPECT_EQ(db.id_bound(), 0u);
+  EXPECT_TRUE(db.empty());
+  // Fresh ids start at 0 again.
+  EXPECT_EQ(db.emplace("x"), 0u);
+}
+
+struct DtorCounter {
+  explicit DtorCounter(int* c) : counter(c) {}
+  ~DtorCounter() { ++*counter; }
+  DtorCounter(const DtorCounter&) = delete;
+  DtorCounter& operator=(const DtorCounter&) = delete;
+  int* counter;
+};
+
+TEST(DataBlock, DestructorsRunOnEraseAndClear) {
+  int destroyed = 0;
+  {
+    DataBlock<DtorCounter> db;
+    const auto a = db.emplace(&destroyed);
+    db.emplace(&destroyed);
+    db.emplace(&destroyed);
+    db.erase(a);
+    EXPECT_EQ(destroyed, 1);
+  }  // DataBlock dtor clears the rest
+  EXPECT_EQ(destroyed, 3);
+}
+
+TEST(DataBlock, MoveConstructionTransfersContents) {
+  DataBlock<int> a;
+  a.emplace(1);
+  a.emplace(2);
+  DataBlock<int> b = std::move(a);
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(b[0], 1);
+  EXPECT_EQ(b[1], 2);
+}
+
+TEST(DataBlock, IdBoundCountsHighWaterNotSize) {
+  DataBlock<int> db;
+  for (int i = 0; i < 10; ++i) db.emplace(i);
+  db.erase(9);
+  EXPECT_EQ(db.size(), 9u);
+  EXPECT_EQ(db.id_bound(), 10u);  // high-water mark is sticky
+}
+
+}  // namespace
+}  // namespace rg::util

@@ -1,0 +1,117 @@
+#include "util/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace rg::util {
+namespace {
+
+TEST(Pcg32, DeterministicForSameSeed) {
+  Pcg32 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Pcg32, DifferentSeedsDiffer) {
+  Pcg32 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 4);
+}
+
+TEST(Pcg32, DifferentStreamsDiffer) {
+  Pcg32 a(1, 10), b(1, 11);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 4);
+}
+
+class BoundedTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BoundedTest, AlwaysBelowBound) {
+  const std::uint32_t bound = GetParam();
+  Pcg32 rng(99);
+  for (int i = 0; i < 2000; ++i) EXPECT_LT(rng.bounded(bound), bound);
+}
+
+TEST_P(BoundedTest, CoversFullRangeForSmallBounds) {
+  const std::uint32_t bound = GetParam();
+  if (bound > 64) GTEST_SKIP() << "coverage check only for small bounds";
+  Pcg32 rng(7);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 5000; ++i) seen.insert(rng.bounded(bound));
+  EXPECT_EQ(seen.size(), bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, BoundedTest,
+                         ::testing::Values(1u, 2u, 3u, 7u, 10u, 64u, 1000u,
+                                           1u << 20));
+
+TEST(Pcg32, Bounded64LargeBound) {
+  Pcg32 rng(3);
+  const std::uint64_t bound = (1ull << 40) + 12345;
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.bounded64(bound), bound);
+}
+
+TEST(Pcg32, BoundedZeroOrOneReturnsZero) {
+  Pcg32 rng(3);
+  EXPECT_EQ(rng.bounded(0), 0u);
+  EXPECT_EQ(rng.bounded(1), 0u);
+  EXPECT_EQ(rng.bounded64(1), 0u);
+}
+
+TEST(Pcg32, UniformInHalfOpenUnitInterval) {
+  Pcg32 rng(5);
+  double mn = 1.0, mx = 0.0, sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    mn = std::min(mn, u);
+    mx = std::max(mx, u);
+    sum += u;
+  }
+  EXPECT_LT(mn, 0.01);
+  EXPECT_GT(mx, 0.99);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Pcg32, UniformRange) {
+  Pcg32 rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const double u = rng.uniform(-3.0, 7.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 7.0);
+  }
+}
+
+TEST(Pcg32, WorksWithStdShuffle) {
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  const auto orig = v;
+  Pcg32 rng(11);
+  std::shuffle(v.begin(), v.end(), rng);
+  EXPECT_NE(v, orig);          // overwhelmingly likely
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);     // permutation property
+}
+
+TEST(SplitMix64, DistinctSubSeeds) {
+  std::uint64_t state = 42;
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(splitmix64(state));
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(SplitMix64, DeterministicSequence) {
+  std::uint64_t s1 = 42, s2 = 42;
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+}
+
+}  // namespace
+}  // namespace rg::util

@@ -1,0 +1,73 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rg::util {
+namespace {
+
+TEST(LatencyStats, EmptyIsAllZero) {
+  LatencyStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+  EXPECT_EQ(s.p50(), 0.0);
+}
+
+TEST(LatencyStats, SingleSample) {
+  LatencyStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.p50(), 5.0);
+  EXPECT_EQ(s.p99(), 5.0);
+}
+
+TEST(LatencyStats, KnownMoments) {
+  LatencyStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(LatencyStats, PercentileInterpolates) {
+  LatencyStats s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_NEAR(s.p50(), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(0), 1.0, 1e-9);
+  EXPECT_NEAR(s.percentile(100), 100.0, 1e-9);
+  EXPECT_NEAR(s.p95(), 95.05, 1e-9);
+}
+
+TEST(LatencyStats, PercentileMonotone) {
+  LatencyStats s;
+  for (double v : {9.0, 1.0, 5.0, 3.0, 7.0}) s.add(v);
+  double prev = -1;
+  for (double p : {0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 100.0}) {
+    const double q = s.percentile(p);
+    EXPECT_GE(q, prev);
+    prev = q;
+  }
+}
+
+TEST(FmtDouble, Precision) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(3.14159, 0), "3");
+  EXPECT_EQ(fmt_double(-1.5, 1), "-1.5");
+}
+
+TEST(FmtSi, Suffixes) {
+  EXPECT_EQ(fmt_si(950), "950.00");
+  EXPECT_EQ(fmt_si(1500), "1.50K");
+  EXPECT_EQ(fmt_si(2300000), "2.30M");
+  EXPECT_EQ(fmt_si(4.2e9), "4.20B");
+}
+
+}  // namespace
+}  // namespace rg::util

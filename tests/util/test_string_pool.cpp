@@ -1,0 +1,52 @@
+#include "util/string_pool.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rg::util {
+namespace {
+
+TEST(StringPool, InternAssignsDenseIds) {
+  StringPool p;
+  EXPECT_EQ(p.intern("a"), 0u);
+  EXPECT_EQ(p.intern("b"), 1u);
+  EXPECT_EQ(p.intern("c"), 2u);
+  EXPECT_EQ(p.size(), 3u);
+}
+
+TEST(StringPool, InternDeduplicates) {
+  StringPool p;
+  const auto a = p.intern("label");
+  EXPECT_EQ(p.intern("label"), a);
+  EXPECT_EQ(p.size(), 1u);
+}
+
+TEST(StringPool, FindWithoutInterning) {
+  StringPool p;
+  p.intern("x");
+  EXPECT_TRUE(p.find("x").has_value());
+  EXPECT_FALSE(p.find("y").has_value());
+  EXPECT_EQ(p.size(), 1u);  // find must not intern
+}
+
+TEST(StringPool, StrRoundTrips) {
+  StringPool p;
+  const auto id = p.intern("hello world");
+  EXPECT_EQ(p.str(id), "hello world");
+}
+
+TEST(StringPool, CaseSensitive) {
+  StringPool p;
+  const auto a = p.intern("Person");
+  const auto b = p.intern("person");
+  EXPECT_NE(a, b);
+}
+
+TEST(StringPool, EmptyStringIsValid) {
+  StringPool p;
+  const auto id = p.intern("");
+  EXPECT_EQ(p.str(id), "");
+  EXPECT_EQ(p.intern(""), id);
+}
+
+}  // namespace
+}  // namespace rg::util

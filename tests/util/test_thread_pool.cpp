@@ -1,0 +1,121 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace rg::util {
+namespace {
+
+TEST(ThreadPool, SizeIsAtLeastOne) {
+  ThreadPool p0(0);
+  EXPECT_EQ(p0.size(), 1u);
+  ThreadPool p3(3);
+  EXPECT_EQ(p3.size(), 3u);
+}
+
+TEST(ThreadPool, SubmitReturnsValue) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, SubmitForwardsArguments) {
+  ThreadPool pool(2);
+  auto f = pool.submit([](int a, int b) { return a * b; }, 6, 7);
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFuture) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ManyTasksAllExecute) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 500; ++i)
+    futs.push_back(pool.submit([&count] { count.fetch_add(1); }));
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(count.load(), 500);
+}
+
+TEST(ThreadPool, WaitIdleDrainsQueue) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i)
+    pool.submit([&count] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i)
+      pool.submit([&count] { count.fetch_add(1); });
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, 0, hits.size(), 8,
+               [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  parallel_for(pool, 5, 5, 1, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  parallel_for(pool, 0, 10, 1, [&](std::size_t i) {
+    order.push_back(static_cast<int>(i));  // safe: runs inline
+  });
+  std::vector<int> expect(10);
+  std::iota(expect.begin(), expect.end(), 0);
+  EXPECT_EQ(order, expect);
+}
+
+TEST(ParallelForChunks, ChunksPartitionRange) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  parallel_for_chunks(pool, 0, 1003, 10,
+                      [&](std::size_t lo, std::size_t hi) {
+                        std::lock_guard lk(mu);
+                        chunks.emplace_back(lo, hi);
+                      });
+  std::sort(chunks.begin(), chunks.end());
+  std::size_t expected_lo = 0;
+  for (const auto& [lo, hi] : chunks) {
+    EXPECT_EQ(lo, expected_lo);
+    EXPECT_GT(hi, lo);
+    expected_lo = hi;
+  }
+  EXPECT_EQ(expected_lo, 1003u);
+}
+
+TEST(GlobalPool, SingletonIsStable) {
+  ThreadPool& a = global_pool();
+  ThreadPool& b = global_pool();
+  EXPECT_EQ(&a, &b);
+  // Once created, set_global_threads is rejected.
+  EXPECT_FALSE(set_global_threads(7));
+}
+
+}  // namespace
+}  // namespace rg::util
