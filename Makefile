@@ -1,0 +1,32 @@
+# Convenience wrapper around the CMake build.  The canonical (tier-1)
+# command sequence is in README.md; these targets just save typing.
+BUILD_DIR ?= build
+BUILD_TYPE ?= Release
+JOBS ?= $(shell nproc)
+
+.PHONY: all build test smoke asan bench clean
+
+all: build
+
+build:
+	cmake -B $(BUILD_DIR) -S . -DCMAKE_BUILD_TYPE=$(BUILD_TYPE)
+	cmake --build $(BUILD_DIR) -j $(JOBS)
+
+test: build
+	cd $(BUILD_DIR) && ctest --output-on-failure -j $(JOBS)
+
+smoke: build
+	cd $(BUILD_DIR) && ctest -L smoke --output-on-failure -j $(JOBS)
+
+asan:
+	cmake -B $(BUILD_DIR)-asan -S . -DCMAKE_BUILD_TYPE=Debug \
+	  -DRG_SANITIZE=ON -DRG_BUILD_BENCH=OFF -DRG_BUILD_EXAMPLES=OFF
+	cmake --build $(BUILD_DIR)-asan -j $(JOBS)
+	cd $(BUILD_DIR)-asan && ctest -L smoke --output-on-failure -j $(JOBS)
+
+bench: build
+	$(BUILD_DIR)/bench/bench_fig1_onehop --quick
+	$(BUILD_DIR)/bench/bench_khop_table --quick
+
+clean:
+	rm -rf $(BUILD_DIR) $(BUILD_DIR)-asan

@@ -4,20 +4,40 @@
 
 namespace rg::server {
 
-std::string resp_simple(const std::string& s) { return "+" + s + "\r\n"; }
+// Encoders build with append() rather than operator+ chains: GCC 12's
+// -Wrestrict fires a false positive on `"lit" + std::string&&` at -O3
+// (GCC PR 105651), and append() is one fewer temporary anyway.
 
-std::string resp_error(const std::string& s) { return "-ERR " + s + "\r\n"; }
+std::string resp_simple(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 3);
+  out.push_back('+');
+  out.append(s).append("\r\n");
+  return out;
+}
+
+std::string resp_error(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 7);
+  out.append("-ERR ").append(s).append("\r\n");
+  return out;
+}
 
 std::string resp_integer(long long v) {
-  return ":" + std::to_string(v) + "\r\n";
+  std::string out(1, ':');
+  out.append(std::to_string(v)).append("\r\n");
+  return out;
 }
 
 std::string resp_bulk(const std::string& s) {
-  return "$" + std::to_string(s.size()) + "\r\n" + s + "\r\n";
+  std::string out(1, '$');
+  out.append(std::to_string(s.size())).append("\r\n").append(s).append("\r\n");
+  return out;
 }
 
 std::string resp_array(const std::vector<std::string>& elems) {
-  std::string out = "*" + std::to_string(elems.size()) + "\r\n";
+  std::string out(1, '*');
+  out.append(std::to_string(elems.size())).append("\r\n");
   for (const auto& e : elems) out += e;
   return out;
 }

@@ -3,8 +3,10 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstddef>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -71,10 +73,34 @@ class LatencyStats {
   std::vector<double> samples_;
 };
 
+// The formatters are header-inline on purpose: graph::Value::to_string and
+// the RESP encoder use them, and keeping them out-of-line made rg_graph /
+// rg_server depend on rg_util's stats TU for two snprintf wrappers.
+
 /// Format a double with `prec` digits after the decimal point.
-std::string fmt_double(double v, int prec = 3);
+inline std::string fmt_double(double v, int prec = 3) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.*f", prec, v);
+  return std::string(buf.data());
+}
 
 /// Format `v` as a human-friendly quantity with SI suffix (1.5K, 2.3M...).
-std::string fmt_si(double v);
+inline std::string fmt_si(double v) {
+  const char* suffix = "";
+  double scaled = v;
+  if (v >= 1e9) {
+    scaled = v / 1e9;
+    suffix = "B";
+  } else if (v >= 1e6) {
+    scaled = v / 1e6;
+    suffix = "M";
+  } else if (v >= 1e3) {
+    scaled = v / 1e3;
+    suffix = "K";
+  }
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.2f%s", scaled, suffix);
+  return std::string(buf.data());
+}
 
 }  // namespace rg::util
