@@ -10,9 +10,8 @@
 
 int main(int argc, char** argv) {
   using namespace rg;
-  bool quick = false;
-  for (int i = 1; i < argc; ++i)
-    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  const auto opt = bench::parse_options(argc, argv);
+  const bool quick = opt.quick;
 
   const unsigned scales_full[] = {12, 14, 16};
   const unsigned scales_quick[] = {10, 12};
@@ -59,6 +58,21 @@ int main(int argc, char** argv) {
     std::printf("csv,%u,%llu,%.3f,%.3f,%.3f,%.3f,%llu\n", scale,
                 static_cast<unsigned long long>(A.nvals()), bfs_ms, pr_ms,
                 tc_ms, cc_ms, static_cast<unsigned long long>(tris));
+    if (opt.json) {
+      const std::string workload = "Graph500-s" + std::to_string(scale);
+      const std::pair<const char*, double> kernels[] = {
+          {"bfs", bfs_ms}, {"pagerank", pr_ms},
+          {"triangle_count", tc_ms}, {"connected_components", cc_ms}};
+      for (const auto& [kernel, ms] : kernels) {
+        bench::JsonRow row("algorithms");
+        row.kv("workload", workload)
+            .kv("engine", "graphblas")
+            .kv("kernel", std::string(kernel))
+            .kv("nnz", static_cast<std::uint64_t>(A.nvals()))
+            .kv("mean_ms", ms);
+        row.emit();
+      }
+    }
   }
   return 0;
 }

@@ -2,6 +2,7 @@
 // engine roster, seed protocol, latency tables and CLI parsing.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,6 +30,7 @@ struct Options {
   double timeout_ms = 30000.0;      // per-query timeout accounting
   std::size_t threads = 4;          // "all cores" for the TigerGraph-like
   bool quick = false;               // tiny run for CI
+  bool json = false;                // machine-readable rows for BENCH_*.json
 };
 
 inline Options parse_options(int argc, char** argv) {
@@ -56,6 +58,7 @@ inline Options parse_options(int argc, char** argv) {
       o.seeds_shallow = 30;
       o.seeds_deep = 5;
     }
+    if (std::strcmp(argv[i], "--json") == 0) o.json = true;
   }
   return o;
 }
@@ -137,6 +140,78 @@ inline void print_row(const std::string& engine, const Cell& cell,
 inline void print_header() {
   std::printf("  %-28s %10s %10s %10s %9s %6s\n", "engine", "mean_ms", "p50_ms",
               "p95_ms", "vs_RG", "t/o");
+}
+
+// --- machine-readable output (--json) ----------------------------------
+//
+// One flat JSON object per line on stdout, alongside the human tables.
+// Every bench driver emits the same shape, so CI can `grep '^{'` the
+// output of all of them and merge the rows into one BENCH_*.json
+// artifact (the perf trajectory).
+
+/// Tiny line-oriented JSON object builder (no deps, flat objects only).
+class JsonRow {
+ public:
+  explicit JsonRow(const char* bench) { kv("bench", bench); }
+
+  JsonRow& kv(const char* key, const std::string& v) {
+    sep();
+    buf_ += '"';
+    buf_ += key;
+    buf_ += "\":\"";
+    for (char c : v) {
+      if (c == '"' || c == '\\') buf_ += '\\';
+      buf_ += c;
+    }
+    buf_ += '"';
+    return *this;
+  }
+  JsonRow& kv(const char* key, double v) {
+    char tmp[64];
+    std::snprintf(tmp, sizeof(tmp), "%.6f", v);
+    return raw(key, tmp);
+  }
+  JsonRow& kv(const char* key, std::uint64_t v) {
+    return raw(key, std::to_string(v).c_str());
+  }
+  JsonRow& kv(const char* key, unsigned v) {
+    return kv(key, static_cast<std::uint64_t>(v));
+  }
+
+  /// Print the completed row (column 0, one line — CI greps '^{').
+  void emit() { std::printf("{%s}\n", buf_.c_str()); }
+
+ private:
+  JsonRow& raw(const char* key, const char* v) {
+    sep();
+    buf_ += '"';
+    buf_ += key;
+    buf_ += "\":";
+    buf_ += v;
+    return *this;
+  }
+  void sep() {
+    if (!buf_.empty()) buf_ += ',';
+  }
+  std::string buf_;
+};
+
+/// The shared record shape for one k-hop measurement cell.
+inline void emit_khop_json(const char* bench, const std::string& workload,
+                           const std::string& engine, unsigned k,
+                           std::size_t seeds, const Cell& cell) {
+  JsonRow row(bench);
+  row.kv("workload", workload)
+      .kv("engine", engine)
+      .kv("k", k)
+      .kv("seeds", seeds)
+      .kv("mean_ms", cell.stats.mean())
+      .kv("p50_ms", cell.stats.p50())
+      .kv("p95_ms", cell.stats.p95())
+      .kv("p99_ms", cell.stats.p99())
+      .kv("timeouts", cell.timeouts)
+      .kv("checksum", cell.checksum);
+  row.emit();
 }
 
 }  // namespace rg::bench

@@ -51,6 +51,9 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(ref_checksum));
       }
       bench::print_row(e->name(), cell, ref_mean);
+      if (opt.json)
+        bench::emit_khop_json("fig1_onehop", ds.name, e->name(), 1,
+                              seeds.size(), cell);
     }
     // CSV for plotting (fig1 series).
     std::printf("  csv,dataset,engine,k,mean_ms\n");

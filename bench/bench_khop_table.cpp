@@ -53,6 +53,9 @@ int main(int argc, char** argv) {
                       static_cast<unsigned long long>(ref_checksum));
         }
         bench::print_row(e->name(), cell, ref_mean);
+        if (opt.json)
+          bench::emit_khop_json("khop_table", ds.name, e->name(), k,
+                                seeds.size(), cell);
         std::printf("csv,%s,%s,%u,%zu,%.4f,%.4f,%.4f,%.4f,%zu,%llu\n",
                     ds.name.c_str(), e->name().c_str(), k, seeds.size(),
                     cell.stats.mean(), cell.stats.p50(), cell.stats.p95(),

@@ -8,6 +8,7 @@
 #include "cypher/parser.hpp"
 #include "datagen/generators.hpp"
 #include "exec/execution_plan.hpp"
+#include "exec/plan_cache.hpp"
 #include "exec/query.hpp"
 #include "graph/graph.hpp"
 
@@ -59,6 +60,45 @@ void BM_Plan(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Plan)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_PlanCache_Cold(benchmark::State& state) {
+  // The per-request compile cost a cache miss pays: tokenize + parse +
+  // plan (the cache is cleared every iteration).
+  graph::Graph g;
+  g.schema().add_label("Person");
+  g.schema().add_reltype("KNOWS");
+  g.schema().add_reltype("E");
+  g.schema().add_attr("name");
+  g.schema().add_attr("age");
+  exec::PlanCache cache;
+  const std::string q = kQueries[state.range(0)];
+  for (auto _ : state) {
+    cache.clear();
+    auto lease = cache.acquire(g, q, {});
+    benchmark::DoNotOptimize(lease.hit());
+  }
+}
+BENCHMARK(BM_PlanCache_Cold)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_PlanCache_Hit(benchmark::State& state) {
+  // The cached fast path the server takes for a repeated parameterized
+  // query: lookup + checkout, no lexer/parser/planner.  Compare against
+  // BM_PlanCache_Cold — this must be measurably faster.
+  graph::Graph g;
+  g.schema().add_label("Person");
+  g.schema().add_reltype("KNOWS");
+  g.schema().add_reltype("E");
+  g.schema().add_attr("name");
+  g.schema().add_attr("age");
+  exec::PlanCache cache;
+  const std::string q = kQueries[state.range(0)];
+  { auto warm = cache.acquire(g, q, {}); }
+  for (auto _ : state) {
+    auto lease = cache.acquire(g, q, {});
+    benchmark::DoNotOptimize(lease.hit());
+  }
+}
+BENCHMARK(BM_PlanCache_Hit)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_FullQuery_KHop(benchmark::State& state) {
   // Parse + plan + execute the benchmark query on a real graph — the

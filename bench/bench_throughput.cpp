@@ -2,15 +2,25 @@
 // query = one thread, a fixed worker pool, reads scaling with
 // concurrency.  Sweeps the pool size and measures queries/second for a
 // closed-loop stream of 1-hop and 2-hop GRAPH.RO_QUERY commands against
-// the in-process server, plus a mixed read/write workload showing writer
+// the server, plus a mixed read/write workload showing writer
 // serialization (the per-graph RW lock).
 //
-//   $ ./bench_throughput [--quick]
+// Two transports:
+//   default    — in-process submit() (isolates the threading model)
+//   --socket   — clients connect over TCP and speak RESP, so the whole
+//                wire path (parser, dispatcher, reply encoding) is in
+//                the measured loop
+//
+//   $ ./bench_throughput [--quick] [--socket] [--json]
 #include <atomic>
+#include <cstring>
 #include <thread>
 
 #include "bench_common.hpp"
+#include "server/net_server.hpp"
+#include "server/resp.hpp"
 #include "server/server.hpp"
+#include "util/socket.hpp"
 
 namespace {
 
@@ -27,7 +37,13 @@ void load_graph(server::Server& srv, const std::string& key,
   g.flush();
 }
 
-/// Closed-loop client threads issuing `per_client` queries each.
+std::string khop_text(unsigned k, gb::Index seed) {
+  return "MATCH (s)-[:E*1.." + std::to_string(k) + "]->(t) WHERE id(s) = " +
+         std::to_string(seed) + " RETURN count(DISTINCT t)";
+}
+
+/// Closed-loop client threads issuing `per_client` queries each via the
+/// in-process submit path.
 double run_closed_loop(server::Server& srv, const std::string& key,
                        const std::vector<gb::Index>& seeds, unsigned k,
                        std::size_t clients, std::size_t per_client) {
@@ -40,11 +56,48 @@ double run_closed_loop(server::Server& srv, const std::string& key,
       for (std::size_t q = 0; q < per_client; ++q) {
         const gb::Index seed =
             seeds[(c * per_client + q) % seeds.size()];
-        const std::string text =
-            "MATCH (s)-[:E*1.." + std::to_string(k) + "]->(t) WHERE id(s) = " +
-            std::to_string(seed) + " RETURN count(DISTINCT t)";
-        auto reply = srv.execute({"GRAPH.RO_QUERY", key, text});
+        auto reply = srv.execute({"GRAPH.RO_QUERY", key, khop_text(k, seed)});
         if (!reply.ok()) std::abort();
+        cursor.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double secs = sw.seconds();
+  return static_cast<double>(cursor.load()) / secs;
+}
+
+/// Same closed loop, but each client is a real TCP connection speaking
+/// RESP against `port` — the full wire path is in the measured loop.
+double run_closed_loop_socket(std::uint16_t port, const std::string& key,
+                              const std::vector<gb::Index>& seeds, unsigned k,
+                              std::size_t clients, std::size_t per_client) {
+  std::atomic<std::size_t> cursor{0};
+  util::Stopwatch sw;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      auto conn = util::TcpStream::connect("127.0.0.1", port);
+      std::string rx;
+      char buf[16384];
+      for (std::size_t q = 0; q < per_client; ++q) {
+        const gb::Index seed =
+            seeds[(c * per_client + q) % seeds.size()];
+        conn.write_all(server::encode_command(
+            {"GRAPH.RO_QUERY", key, khop_text(k, seed)}));
+        for (;;) {
+          server::RespValue reply;
+          const std::size_t used = server::decode_reply(rx, reply);
+          if (used > 0) {
+            rx.erase(0, used);
+            if (reply.is_error()) std::abort();
+            break;
+          }
+          const std::size_t got = conn.read_some(buf, sizeof(buf));
+          if (got == 0) std::abort();
+          rx.append(buf, got);
+        }
         cursor.fetch_add(1, std::memory_order_relaxed);
       }
     });
@@ -58,6 +111,10 @@ double run_closed_loop(server::Server& srv, const std::string& key,
 
 int main(int argc, char** argv) {
   auto opt = bench::parse_options(argc, argv);
+  bool socket_mode = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--socket") == 0) socket_mode = true;
+
   // Throughput runs on the Graph500 dataset only (the claim is about the
   // threading model, not the dataset).
   const auto el = datagen::graph500(opt.quick ? 10 : 13, opt.edgefactor,
@@ -68,10 +125,11 @@ int main(int argc, char** argv) {
   const std::size_t pool_sizes[] = {1, 2, 4, 8};
   const std::size_t clients = 8;
   const std::size_t per_client = opt.quick ? 20 : 100;
+  const char* transport = socket_mode ? "socket" : "in-process";
 
-  std::printf("\nTAB-THROUGHPUT: closed-loop GRAPH.RO_QUERY, %zu client "
+  std::printf("\nTAB-THROUGHPUT: closed-loop GRAPH.RO_QUERY (%s), %zu client "
               "threads x %zu queries\n",
-              clients, per_client);
+              transport, clients, per_client);
   std::printf("(paper claim: the module threadpool lets reads scale; each "
               "query runs on exactly one worker)\n\n");
   std::printf("  %-8s %12s %12s\n", "workers", "1-hop QPS", "2-hop QPS");
@@ -80,12 +138,33 @@ int main(int argc, char** argv) {
   for (const std::size_t w : pool_sizes) {
     server::Server srv(w);
     load_graph(srv, "bench", el);
-    const double qps1 =
-        run_closed_loop(srv, "bench", seeds, 1, clients, per_client);
-    const double qps2 =
-        run_closed_loop(srv, "bench", seeds, 2, clients, per_client);
+    double qps1, qps2;
+    if (socket_mode) {
+      server::NetServer net(srv, /*port=*/0);
+      qps1 = run_closed_loop_socket(net.port(), "bench", seeds, 1, clients,
+                                    per_client);
+      qps2 = run_closed_loop_socket(net.port(), "bench", seeds, 2, clients,
+                                    per_client);
+    } else {
+      qps1 = run_closed_loop(srv, "bench", seeds, 1, clients, per_client);
+      qps2 = run_closed_loop(srv, "bench", seeds, 2, clients, per_client);
+    }
     std::printf("  %-8zu %12.1f %12.1f\n", w, qps1, qps2);
     std::printf("csv,%zu,1,%.1f\ncsv,%zu,2,%.1f\n", w, qps1, w, qps2);
+    if (opt.json) {
+      for (const auto& [k, qps] :
+           {std::pair<unsigned, double>{1, qps1}, {2, qps2}}) {
+        bench::JsonRow row("throughput");
+        row.kv("workload", std::string("Graph500"))
+            .kv("engine", std::string("server"))
+            .kv("transport", std::string(transport))
+            .kv("k", k)
+            .kv("workers", static_cast<std::uint64_t>(w))
+            .kv("clients", static_cast<std::uint64_t>(clients))
+            .kv("qps", qps);
+        row.emit();
+      }
+    }
   }
 
   // Mixed workload: 1 writer client + 7 readers; the per-graph RW lock

@@ -1,0 +1,129 @@
+// resp_client — a minimal RESP socket client for the networked server.
+//
+// One-shot:     ./resp_client [host] <port> <command> [args...]
+// Interactive:  ./resp_client [host] <port>     (reads commands from stdin)
+//
+//   $ ./resp_client 6380 PING
+//   $ ./resp_client 6380 GRAPH.QUERY g "MATCH (n) RETURN count(n)"
+//   $ echo 'GRAPH.QUERY g "CREATE (:A)"' | ./resp_client 127.0.0.1 6380
+//
+// Sends commands in RESP array framing (exactly what redis-cli does) and
+// pretty-prints decoded replies.
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "server/resp.hpp"
+#include "util/socket.hpp"
+
+namespace {
+
+using rg::server::RespValue;
+
+void print_reply(const RespValue& v, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  switch (v.kind) {
+    case RespValue::Kind::kSimple:
+      std::printf("%s%s\n", pad.c_str(), v.text.c_str());
+      break;
+    case RespValue::Kind::kError:
+      std::printf("%s(error) %s\n", pad.c_str(), v.text.c_str());
+      break;
+    case RespValue::Kind::kInteger:
+      std::printf("%s(integer) %lld\n", pad.c_str(), v.integer);
+      break;
+    case RespValue::Kind::kBulk:
+      std::printf("%s\"%s\"\n", pad.c_str(), v.text.c_str());
+      break;
+    case RespValue::Kind::kNull:
+      std::printf("%s(nil)\n", pad.c_str());
+      break;
+    case RespValue::Kind::kArray:
+      if (v.elems.empty()) {
+        std::printf("%s(empty array)\n", pad.c_str());
+        break;
+      }
+      for (std::size_t i = 0; i < v.elems.size(); ++i) {
+        std::printf("%s%zu)\n", pad.c_str(), i + 1);
+        print_reply(v.elems[i], indent + 1);
+      }
+      break;
+  }
+}
+
+/// Send one command and block for its reply.  Returns false on EOF.
+bool roundtrip(rg::util::TcpStream& conn, std::string& rxbuf,
+               const std::vector<std::string>& argv) {
+  conn.write_all(rg::server::encode_command(argv));
+  for (;;) {
+    RespValue reply;
+    const std::size_t used = rg::server::decode_reply(rxbuf, reply);
+    if (used > 0) {
+      rxbuf.erase(0, used);
+      print_reply(reply, 0);
+      return true;
+    }
+    char buf[16384];
+    const std::size_t got = conn.read_some(buf, sizeof(buf));
+    if (got == 0) return false;
+    rxbuf.append(buf, got);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s [host] <port> [command args...]\n",
+                 argv[0]);
+    return 2;
+  }
+  // Optional leading host: detect by whether argv[1] parses as a port.
+  std::string host = "127.0.0.1";
+  int argi = 1;
+  char* end = nullptr;
+  unsigned long port = std::strtoul(argv[argi], &end, 10);
+  if (*end != '\0' || port == 0 || port > 65535) {
+    if (argc < 3) {
+      std::fprintf(stderr, "usage: %s [host] <port> [command args...]\n",
+                   argv[0]);
+      return 2;
+    }
+    host = argv[argi++];
+    port = std::strtoul(argv[argi], &end, 10);
+    if (*end != '\0' || port == 0 || port > 65535) {
+      std::fprintf(stderr, "bad port '%s'\n", argv[argi]);
+      return 2;
+    }
+  }
+  ++argi;
+
+  try {
+    auto conn = rg::util::TcpStream::connect(
+        host, static_cast<std::uint16_t>(port));
+    std::string rxbuf;
+
+    if (argi < argc) {
+      // One-shot: remaining argv is the command.
+      std::vector<std::string> cmd(argv + argi, argv + argc);
+      return roundtrip(conn, rxbuf, cmd) ? 0 : 1;
+    }
+
+    // Interactive: one command line per stdin line.
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      const auto cmd = rg::server::split_command_line(line);
+      if (cmd.empty()) continue;
+      if (!roundtrip(conn, rxbuf, cmd)) {
+        std::fprintf(stderr, "connection closed by server\n");
+        return 1;
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,54 @@
+#include "cypher/param_header.hpp"
+
+#include <cstdint>
+#include <utility>
+
+#include "cypher/lexer.hpp"
+
+namespace rg::cypher {
+
+SplitQuery split_param_header(const std::string& text) {
+  const auto toks = tokenize(text);
+  if (toks.empty() || toks[0].type != Tok::kIdent ||
+      !keyword_eq(toks[0].text, "CYPHER"))
+    return {text, {}};
+
+  ParamValues params;
+  std::size_t i = 1;
+  while (i + 2 < toks.size() && toks[i].type == Tok::kIdent &&
+         toks[i + 1].type == Tok::kEq) {
+    const std::string& name = toks[i].text;
+    std::size_t vi = i + 2;
+    bool negative = false;
+    if (toks[vi].type == Tok::kDash) {
+      negative = true;
+      ++vi;
+    }
+    graph::Value v;
+    const auto& vt = toks[vi];
+    if (vt.type == Tok::kInteger) {
+      v = graph::Value(static_cast<std::int64_t>(
+          std::stoll(vt.text)) * (negative ? -1 : 1));
+    } else if (vt.type == Tok::kFloat) {
+      v = graph::Value(std::stod(vt.text) * (negative ? -1.0 : 1.0));
+    } else if (vt.type == Tok::kString) {
+      v = graph::Value(vt.text);
+    } else if (vt.type == Tok::kIdent && keyword_eq(vt.text, "TRUE")) {
+      v = graph::Value(true);
+    } else if (vt.type == Tok::kIdent && keyword_eq(vt.text, "FALSE")) {
+      v = graph::Value(false);
+    } else if (vt.type == Tok::kIdent && keyword_eq(vt.text, "NULL")) {
+      v = graph::Value::null();
+    } else {
+      break;  // not a literal: header ends here
+    }
+    params[name] = std::move(v);
+    i = vi + 1;
+  }
+  if (i >= toks.size() || toks[i].type == Tok::kEnd)
+    return {text, {}};  // nothing after the header: treat as plain text
+  // The query body starts at toks[i].pos.
+  return {text.substr(toks[i].pos), std::move(params)};
+}
+
+}  // namespace rg::cypher

@@ -1,0 +1,30 @@
+// Query-text normalization for RedisGraph's parameterized-query syntax:
+//   "CYPHER name=1 handle='bob' MATCH (n {handle: $handle}) RETURN n"
+//
+// split_param_header() strips the leading "CYPHER k=v ..." header and
+// returns the bare query body plus the bindings.  The body is the *plan
+// cache key*: every parameter variant of a query normalizes to the same
+// text, so repeated parameterized queries share one compiled plan.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "graph/value.hpp"
+
+namespace rg::cypher {
+
+/// $name -> value bindings (same layout exec::ParamMap uses).
+using ParamValues = std::map<std::string, graph::Value>;
+
+struct SplitQuery {
+  std::string body;    // query text with the parameter header removed
+  ParamValues params;  // bindings declared by the header (may be empty)
+};
+
+/// Strip a leading "CYPHER k=v k2=v2 ..." header.  Values are literal
+/// tokens: integers, floats, strings, booleans, null.  Text without a
+/// header (or a header followed by nothing) comes back unchanged.
+SplitQuery split_param_header(const std::string& text);
+
+}  // namespace rg::cypher

@@ -602,7 +602,9 @@ class PlanBuilder {
 
 ExecutionPlan::ExecutionPlan(graph::Graph& g, const cypher::Query& q,
                              std::size_t traverse_batch, ParamMap params)
-    : g_(g), ctx_(std::make_unique<ExecContext>()) {
+    : g_(g),
+      ctx_(std::make_unique<ExecContext>()),
+      schema_version_(g.schema().version()) {
   ctx_->g = &g;
   ctx_->traverse_batch = traverse_batch;
   ctx_->params = std::move(params);
@@ -611,6 +613,10 @@ ExecutionPlan::ExecutionPlan(graph::Graph& g, const cypher::Query& q,
 }
 
 ExecutionPlan::~ExecutionPlan() = default;
+
+void ExecutionPlan::set_params(ParamMap params) {
+  ctx_->params = std::move(params);
+}
 
 void ExecutionPlan::run(ResultSet& out) {
   util::Stopwatch sw;

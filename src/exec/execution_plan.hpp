@@ -13,6 +13,7 @@
 // EXPLAIN renders the tree; PROFILE re-runs with per-operator counters.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -43,7 +44,19 @@ class ExecutionPlan {
   ExecutionPlan& operator=(const ExecutionPlan&) = delete;
 
   /// Execute, filling `out`.  Calls Graph::flush() first (matrix sync).
+  /// Plans are re-runnable: run() resets every operator, so a cached plan
+  /// serves repeated executions (rebind $params with set_params first).
   void run(ResultSet& out);
+
+  /// Replace the $name bindings for the next run() — the cached-plan fast
+  /// path: parameter values never participate in planning, only in
+  /// runtime expression evaluation.
+  void set_params(ParamMap params);
+
+  /// Graph schema version at compile time.  Plans embed resolved
+  /// label/type/attr ids and index choices; when the live schema version
+  /// differs, the plan is stale (see exec::PlanCache).
+  std::uint64_t schema_version() const { return schema_version_; }
 
   /// Operator-tree rendering (GRAPH.EXPLAIN).
   std::string explain() const;
@@ -58,6 +71,7 @@ class ExecutionPlan {
   graph::Graph& g_;
   std::unique_ptr<ExecContext> ctx_;
   std::unique_ptr<Operator> root_;
+  std::uint64_t schema_version_ = 0;
   bool read_only_ = true;
   bool has_results_op_ = false;
   ResultSet* bound_results_ = nullptr;

@@ -1,0 +1,110 @@
+#include "exec/plan_cache.hpp"
+
+#include "cypher/parser.hpp"
+
+namespace rg::exec {
+
+PlanCache::Lease PlanCache::acquire(graph::Graph& g, const std::string& text,
+                                    ParamMap params,
+                                    std::size_t traverse_batch,
+                                    bool count_stats) {
+  const std::uint64_t live_version = g.schema().version();
+
+  Lease lease;
+  lease.key_ = text;
+  {
+    std::lock_guard lk(mu_);
+    auto it = entries_.find(text);
+    if (it != entries_.end() && it->second.schema_version != live_version) {
+      // Schema or index change since compilation: the embedded ids and
+      // scan choices may be wrong.  Evict and recompile.
+      entries_.erase(it);
+      it = entries_.end();
+      ++counters_.invalidations;
+    }
+    if (it != entries_.end()) {
+      if (count_stats) ++counters_.hits;
+      it->second.last_used = ++tick_;
+      lease.hit_ = true;
+      lease.ast_ = it->second.ast;
+      if (!it->second.idle.empty()) {
+        lease.plan_ = std::move(it->second.idle.back());
+        it->second.idle.pop_back();
+      }
+    } else {
+      if (count_stats) ++counters_.misses;
+    }
+  }
+
+  // Parse / plan outside the lock (the expensive part).
+  if (!lease.ast_) {
+    lease.ast_ = std::make_shared<const cypher::Query>(cypher::parse(text));
+  }
+  if (!lease.plan_) {
+    // Entry pool was empty (cold, or all plans checked out by concurrent
+    // executions): compile a fresh instance from the shared AST.
+    lease.plan_ = std::make_unique<ExecutionPlan>(g, *lease.ast_,
+                                                  traverse_batch, ParamMap{});
+  }
+  lease.plan_->set_params(std::move(params));
+  lease.cache_ = this;
+  return lease;
+}
+
+void PlanCache::release(const std::string& key,
+                        std::shared_ptr<const cypher::Query> ast,
+                        std::unique_ptr<ExecutionPlan> plan) {
+  std::lock_guard lk(mu_);
+  auto& entry = entries_[key];
+  if (!entry.ast) {
+    // First release for this key (the miss path's insert).
+    entry.ast = std::move(ast);
+    entry.schema_version = plan->schema_version();
+  }
+  entry.last_used = ++tick_;
+  // Only pool the plan when it matches the entry's compile version and
+  // there is room; otherwise it simply dies here.
+  if (entry.schema_version == plan->schema_version() &&
+      entry.idle.size() < kMaxIdlePlans) {
+    plan->set_params({});  // do not pin parameter values in the cache
+    entry.idle.push_back(std::move(plan));
+  }
+  while (entries_.size() > capacity_) evict_lru_locked();
+}
+
+void PlanCache::evict_lru_locked() {
+  auto victim = entries_.begin();
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->second.last_used < victim->second.last_used) victim = it;
+  }
+  if (victim != entries_.end()) entries_.erase(victim);
+}
+
+void PlanCache::clear() {
+  std::lock_guard lk(mu_);
+  counters_.invalidations += entries_.size();
+  entries_.clear();
+}
+
+PlanCache::Counters PlanCache::counters() const {
+  std::lock_guard lk(mu_);
+  return counters_;
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard lk(mu_);
+  return entries_.size();
+}
+
+std::size_t PlanCache::capacity() const {
+  std::lock_guard lk(mu_);
+  return capacity_;
+}
+
+void PlanCache::set_capacity(std::size_t capacity) {
+  std::lock_guard lk(mu_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  while (entries_.size() > capacity_) evict_lru_locked();
+}
+
+}  // namespace rg::exec

@@ -1,0 +1,131 @@
+// PlanCache — the query compilation cache (RedisGraph's cached-plan fast
+// path).  Keyed on normalized query text (the body after the `CYPHER
+// k=v` parameter header is stripped), so every parameter variant of a
+// query shares one entry and repeated queries skip lexer -> parser ->
+// planner entirely.
+//
+// Design:
+//  * one cache per graph (plans embed a graph reference plus resolved
+//    label/type/attribute ids), owned by the server's GraphEntry;
+//  * an entry holds the parsed AST plus a small pool of idle compiled
+//    plans.  acquire() checks a plan out (compiling one when the pool is
+//    empty), release() checks it back in — so concurrent readers of the
+//    same query each run their own plan instance while still skipping
+//    compilation;
+//  * staleness is detected by schema version: plans record
+//    Graph::schema().version() at compile time, and any entry whose
+//    version no longer matches the live schema is evicted on lookup
+//    (per-graph invalidation on schema or index change);
+//  * bounded: least-recently-used entries are evicted past `capacity`.
+//
+// Thread-safe; the internal mutex guards only map/counter bookkeeping —
+// parsing and planning run outside the lock.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cypher/ast.hpp"
+#include "exec/execution_plan.hpp"
+#include "graph/graph.hpp"
+
+namespace rg::exec {
+
+class PlanCache {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 256;
+  /// Idle compiled plans retained per entry (≈ the worker pool size; more
+  /// concurrent executions of one query compile extra throwaway plans).
+  static constexpr std::size_t kMaxIdlePlans = 8;
+
+  explicit PlanCache(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  struct Counters {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t invalidations = 0;  // stale-schema evictions + clear()
+  };
+
+  /// A compiled plan checked out of the cache; returns itself to the
+  /// cache on destruction.  Movable, not copyable.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&&) = default;
+    Lease& operator=(Lease&&) = default;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { reset(); }
+
+    ExecutionPlan& plan() { return *plan_; }
+    ExecutionPlan* operator->() { return plan_.get(); }
+    bool hit() const { return hit_; }
+
+    /// Override the reported hit flag (the server's write path re-acquires
+    /// without counting and reports the first acquire's outcome).
+    void set_hit_for_reporting(bool hit) { hit_ = hit; }
+
+    /// Return the plan to the cache early (the destructor otherwise does).
+    void reset() {
+      if (cache_ && plan_) cache_->release(key_, std::move(ast_), std::move(plan_));
+      cache_ = nullptr;
+      plan_.reset();
+      ast_.reset();
+    }
+
+   private:
+    friend class PlanCache;
+    PlanCache* cache_ = nullptr;
+    std::string key_;
+    std::shared_ptr<const cypher::Query> ast_;
+    std::unique_ptr<ExecutionPlan> plan_;
+    bool hit_ = false;
+  };
+
+  /// Check a compiled plan for `text` (normalized: parameter header
+  /// already stripped) out of the cache, compiling on miss.  `params`
+  /// are bound to the plan either way.  Parse/plan errors propagate as
+  /// the usual cypher::ParseError / PlanError exceptions.
+  /// `count_stats=false` leaves the hit/miss counters untouched — for
+  /// internal re-acquires that are not a new logical query (the server's
+  /// write path re-acquires under the exclusive lock).
+  Lease acquire(graph::Graph& g, const std::string& text, ParamMap params,
+                std::size_t traverse_batch = 64, bool count_stats = true);
+
+  /// Drop every entry (counted as invalidations).
+  void clear();
+
+  Counters counters() const;
+  std::size_t size() const;
+  std::size_t capacity() const;
+  void set_capacity(std::size_t capacity);
+
+ private:
+  struct Entry {
+    std::shared_ptr<const cypher::Query> ast;
+    std::vector<std::unique_ptr<ExecutionPlan>> idle;
+    std::uint64_t schema_version = 0;
+    std::uint64_t last_used = 0;
+  };
+
+  void release(const std::string& key,
+               std::shared_ptr<const cypher::Query> ast,
+               std::unique_ptr<ExecutionPlan> plan);
+  void evict_lru_locked();
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::size_t capacity_;
+  std::uint64_t tick_ = 0;
+  Counters counters_;
+};
+
+}  // namespace rg::exec

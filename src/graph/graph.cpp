@@ -161,10 +161,13 @@ void Graph::create_index(LabelId label, AttrId attr) {
     if (!ent.has_label(label)) return;
     if (auto v = ent.attrs.get(attr)) idx.insert(*v, id);
   });
+  schema_.bump_version();  // plans compiled without this index are stale
 }
 
 bool Graph::drop_index(LabelId label, AttrId attr) {
-  return indexes_.erase({label, attr}) > 0;
+  if (indexes_.erase({label, attr}) == 0) return false;
+  schema_.bump_version();  // plans using this index are stale
+  return true;
 }
 
 const AttributeIndex* Graph::find_index(LabelId label, AttrId attr) const {
@@ -230,6 +233,7 @@ std::vector<EdgeId> Graph::edges_between(NodeId src, NodeId dst,
 }
 
 const gb::Matrix<gb::Bool>& Graph::adjacency_t() const {
+  std::lock_guard lk(sync_mu_);
   if (adj_t_stale_) {
     adj_t_ = gb::transposed(adj_);
     adj_t_stale_ = false;
@@ -244,6 +248,7 @@ const gb::Matrix<gb::Bool>& Graph::relation(RelTypeId t) const {
 
 const gb::Matrix<gb::Bool>& Graph::relation_t(RelTypeId t) const {
   if (t >= rels_.size()) return empty_;
+  std::lock_guard lk(sync_mu_);
   if (rels_[t].t_stale) {
     rels_[t].mt = gb::transposed(rels_[t].m);
     rels_[t].t_stale = false;
@@ -268,6 +273,10 @@ std::vector<NodeId> Graph::nodes_with_label(LabelId l) const {
 }
 
 void Graph::flush() const {
+  // Readers call this under the server's *shared* lock; without internal
+  // serialization two readers that both observe a stale transpose (e.g.
+  // on a freshly created graph) would rebuild it concurrently.
+  std::lock_guard lk(sync_mu_);
   adj_.wait();
   if (adj_t_stale_) {
     adj_t_ = gb::transposed(adj_);

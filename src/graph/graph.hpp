@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -148,6 +149,8 @@ class Graph {
 
   /// Materialize every pending matrix update and rebuild stale transposed
   /// twins — RedisGraph's "matrix sync" executed before query reads.
+  /// Internally serialized (sync_mu_), so concurrent readers may race to
+  /// be first to flush a fresh graph without tearing the transposes.
   void flush() const;
 
   /// Matrix dimension (capacity); >= node_id_bound().
@@ -170,6 +173,7 @@ class Graph {
   gb::Matrix<gb::Bool> adj_;
   mutable gb::Matrix<gb::Bool> adj_t_;
   mutable bool adj_t_stale_ = true;
+  mutable std::mutex sync_mu_;  // serializes flush()'s transpose rebuilds
 
   struct RelMatrices {
     gb::Matrix<gb::Bool> m;

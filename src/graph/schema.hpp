@@ -3,6 +3,7 @@
 // per-label and per-type matrices and the attribute arrays.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string_view>
 
@@ -20,9 +21,11 @@ inline constexpr AttrId kInvalidAttr = util::StringPool::kInvalidId;
 
 class Schema {
  public:
-  LabelId add_label(std::string_view name) { return labels_.intern(name); }
-  RelTypeId add_reltype(std::string_view name) { return reltypes_.intern(name); }
-  AttrId add_attr(std::string_view name) { return attrs_.intern(name); }
+  LabelId add_label(std::string_view name) { return interned(labels_, name); }
+  RelTypeId add_reltype(std::string_view name) {
+    return interned(reltypes_, name);
+  }
+  AttrId add_attr(std::string_view name) { return interned(attrs_, name); }
 
   std::optional<LabelId> find_label(std::string_view name) const {
     return labels_.find(name);
@@ -44,10 +47,25 @@ class Schema {
   std::size_t reltype_count() const { return reltypes_.size(); }
   std::size_t attr_count() const { return attrs_.size(); }
 
+  /// Monotonic counter bumped whenever name->id resolution can change:
+  /// a new label/type/attr is interned, or an index is created/dropped
+  /// (Graph calls bump()).  Compiled plans embed resolved ids and index
+  /// choices, so the plan cache keys its entries on this version.
+  std::uint64_t version() const noexcept { return version_; }
+  void bump_version() noexcept { ++version_; }
+
  private:
+  util::StringPool::Id interned(util::StringPool& pool, std::string_view s) {
+    const std::size_t before = pool.size();
+    const auto id = pool.intern(s);
+    if (pool.size() != before) ++version_;
+    return id;
+  }
+
   util::StringPool labels_;
   util::StringPool reltypes_;
   util::StringPool attrs_;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace rg::graph

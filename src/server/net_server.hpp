@@ -1,0 +1,71 @@
+// NetServer — the TCP RESP front-end that turns the in-process Server
+// into a network service plain Redis clients can talk to.
+//
+// Threading model (mirroring the module architecture the paper assumes):
+//  * one **acceptor** thread blocks in accept() on the listening socket,
+//  * each connection gets a lightweight **reader** thread that decodes
+//    RESP frames (server/resp.hpp RespRequestParser) and forwards every
+//    complete command to Server::submit() — i.e. into the fixed worker
+//    pool, where each query executes on exactly one worker,
+//  * pipelining: all commands already buffered are submitted as a batch,
+//    so a pipelined burst fans out across workers; replies are written
+//    back strictly in request order, as RESP requires.
+//
+// Protocol errors produce an -ERR reply and the parser resynchronizes;
+// the connection is only closed on EOF or socket failure.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "server/server.hpp"
+#include "util/socket.hpp"
+
+namespace rg::server {
+
+class NetServer {
+ public:
+  /// Serve `core` on `port` (0 = pick an ephemeral port, read back with
+  /// port()).  `loopback_only` binds 127.0.0.1 (the safe default).
+  /// The listener is live when the constructor returns.
+  explicit NetServer(Server& core, std::uint16_t port = 0,
+                     bool loopback_only = true);
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// The bound TCP port.
+  std::uint16_t port() const noexcept { return listener_.port(); }
+
+  /// Lifetime connection counter (accepted, including closed ones).
+  std::uint64_t connections_accepted() const noexcept {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+
+  /// Stop accepting, close every connection, join all threads.  Called
+  /// by the destructor; safe to call twice.
+  void stop();
+
+ private:
+  struct Connection;
+
+  void accept_loop();
+  void serve_connection(std::shared_ptr<Connection> conn);
+  void reap_finished_locked();
+
+  Server& core_;
+  util::TcpListener listener_;
+  std::thread acceptor_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> accepted_{0};
+
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+};
+
+}  // namespace rg::server

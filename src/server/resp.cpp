@@ -1,5 +1,8 @@
 #include "server/resp.hpp"
 
+#include <limits>
+#include <stdexcept>
+
 #include "util/stats.hpp"
 
 namespace rg::server {
@@ -105,6 +108,271 @@ std::string encode_result_set(const exec::ResultSet& rs) {
     sections.push_back(resp_array(stats));
   }
   return resp_array(sections);
+}
+
+std::string encode_command(const std::vector<std::string>& argv) {
+  std::vector<std::string> elems;
+  elems.reserve(argv.size());
+  for (const auto& a : argv) elems.push_back(resp_bulk(a));
+  return resp_array(elems);
+}
+
+// ---------------------------------------------------------------------------
+// RespRequestParser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Parse a base-10 integer occupying the whole of `s` (optional leading
+/// '-').  Returns false on empty/garbage input — strtoll would silently
+/// accept trailing junk, which a wire protocol must not.
+bool parse_strict_int(std::string_view s, long long& out) {
+  if (s.empty()) return false;
+  std::size_t i = 0;
+  bool neg = false;
+  if (s[0] == '-') {
+    neg = true;
+    i = 1;
+    if (s.size() == 1) return false;
+  }
+  long long v = 0;
+  for (; i < s.size(); ++i) {
+    if (s[i] < '0' || s[i] > '9') return false;
+    if (v > (std::numeric_limits<long long>::max() - 9) / 10) return false;
+    v = v * 10 + (s[i] - '0');
+  }
+  out = neg ? -v : v;
+  return true;
+}
+
+}  // namespace
+
+void RespRequestParser::compact() {
+  // Reclaim the consumed prefix once it dominates the buffer.
+  if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+}
+
+RespRequestParser::Result RespRequestParser::protocol_error(
+    const std::string& msg) {
+  // Discard EVERYTHING buffered.  Re-scanning the remainder would let
+  // bytes the client sent as frame *payload* be reinterpreted as
+  // commands (an injection vector — a blob containing
+  // "GRAPH.DELETE g\r\n" must never execute).  The connection itself
+  // survives: commands arriving after this error work normally.
+  pos_ = buf_.size();
+  compact();
+  Result r;
+  r.status = Status::kError;
+  r.error = "Protocol error: " + msg;
+  return r;
+}
+
+RespRequestParser::Result RespRequestParser::next() {
+  for (;;) {
+    compact();
+    if (pos_ >= buf_.size()) return {};  // kNeedMore
+
+    if (buf_[pos_] != '*') {
+      // Inline command: one line, whitespace-separated, quotes honored.
+      // A line ends at the first '\n' ('\r\n' or bare '\n', as Redis
+      // accepts for telnet); searching for "\r\n" first would glue an
+      // LF-terminated command to its successor.
+      const auto lf = buf_.find('\n', pos_);
+      if (lf == std::string::npos) {
+        if (buffered() > kMaxInlineBytes)
+          return protocol_error("too big inline request");
+        return {};
+      }
+      std::string line = buf_.substr(pos_, lf - pos_);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      pos_ = lf + 1;
+      if (line.size() > kMaxInlineBytes)
+        return protocol_error("too big inline request");
+      if (line.empty()) continue;  // stray newline keep-alive
+      Result r;
+      r.status = Status::kOk;
+      r.argv = split_command_line(line);
+      if (r.argv.empty()) continue;
+      return r;
+    }
+
+    // Multibulk: *<count>\r\n then <count> x ($<len>\r\n<bytes>\r\n).
+    const std::size_t frame_start = pos_;
+    const auto count_end = buf_.find("\r\n", pos_);
+    if (count_end == std::string::npos) {
+      if (buffered() > kMaxInlineBytes)
+        return protocol_error("multibulk count line too long");
+      return {};
+    }
+    long long count = 0;
+    if (!parse_strict_int(
+            std::string_view(buf_).substr(pos_ + 1, count_end - pos_ - 1),
+            count) ||
+        count < 0)
+      return protocol_error("invalid multibulk length");
+    if (static_cast<unsigned long long>(count) > kMaxArgs)
+      return protocol_error("multibulk length too large");
+
+    std::size_t cur = count_end + 2;
+    std::vector<std::string> argv;
+    argv.reserve(static_cast<std::size_t>(count));
+    for (long long i = 0; i < count; ++i) {
+      if (cur >= buf_.size()) {
+        pos_ = frame_start;  // incomplete: re-parse once more bytes arrive
+        return {};
+      }
+      if (buf_[cur] != '$') {
+        return protocol_error("expected '$', got '" +
+                              std::string(1, buf_[cur]) + "'");
+      }
+      const auto len_end = buf_.find("\r\n", cur);
+      if (len_end == std::string::npos) {
+        pos_ = frame_start;
+        return {};
+      }
+      long long len = 0;
+      if (!parse_strict_int(
+              std::string_view(buf_).substr(cur + 1, len_end - cur - 1),
+              len) ||
+          len < 0)
+        return protocol_error("invalid bulk length");
+      // Cap the whole frame (framing + payloads), so buffering is
+      // bounded and a maximal single bulk still fits.
+      if (len_end + 2 - frame_start + static_cast<std::size_t>(len) + 2 >
+          kMaxFrameBytes)
+        return protocol_error("multibulk frame too large");
+      const std::size_t payload = len_end + 2;
+      if (payload + static_cast<std::size_t>(len) + 2 > buf_.size()) {
+        pos_ = frame_start;
+        return {};
+      }
+      if (buf_[payload + len] != '\r' || buf_[payload + len + 1] != '\n') {
+        return protocol_error("bulk string missing trailing CRLF");
+      }
+      argv.emplace_back(buf_, payload, static_cast<std::size_t>(len));
+      cur = payload + static_cast<std::size_t>(len) + 2;
+    }
+    pos_ = cur;
+    if (argv.empty()) continue;  // *0\r\n — ignore, as Redis does
+    compact();
+    Result r;
+    r.status = Status::kOk;
+    r.argv = std::move(argv);
+    return r;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reply decoding
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Decode one reply starting at `at`; returns one-past-the-end offset or
+/// 0 when incomplete.
+std::size_t decode_at(std::string_view buf, std::size_t at, RespValue& out) {
+  if (at >= buf.size()) return 0;
+  const auto crlf = buf.find("\r\n", at);
+  if (crlf == std::string::npos) return 0;
+  const std::string_view line = buf.substr(at + 1, crlf - at - 1);
+  switch (buf[at]) {
+    case '+':
+      out.kind = RespValue::Kind::kSimple;
+      out.text = std::string(line);
+      return crlf + 2;
+    case '-':
+      out.kind = RespValue::Kind::kError;
+      out.text = std::string(line);
+      return crlf + 2;
+    case ':': {
+      long long v = 0;
+      if (!parse_strict_int(line, v))
+        throw std::runtime_error("RESP: bad integer reply");
+      out.kind = RespValue::Kind::kInteger;
+      out.integer = v;
+      return crlf + 2;
+    }
+    case '$': {
+      long long len = 0;
+      if (!parse_strict_int(line, len) || len < -1)
+        throw std::runtime_error("RESP: bad bulk length");
+      if (len == -1) {
+        out.kind = RespValue::Kind::kNull;
+        return crlf + 2;
+      }
+      const std::size_t payload = crlf + 2;
+      if (payload + static_cast<std::size_t>(len) + 2 > buf.size()) return 0;
+      if (buf[payload + len] != '\r' || buf[payload + len + 1] != '\n')
+        throw std::runtime_error("RESP: bulk missing trailing CRLF");
+      out.kind = RespValue::Kind::kBulk;
+      out.text = std::string(buf.substr(payload, static_cast<std::size_t>(len)));
+      return payload + static_cast<std::size_t>(len) + 2;
+    }
+    case '*': {
+      long long count = 0;
+      if (!parse_strict_int(line, count) || count < -1)
+        throw std::runtime_error("RESP: bad array length");
+      if (count == -1) {
+        out.kind = RespValue::Kind::kNull;
+        return crlf + 2;
+      }
+      out.kind = RespValue::Kind::kArray;
+      out.elems.clear();
+      std::size_t cur = crlf + 2;
+      for (long long i = 0; i < count; ++i) {
+        RespValue elem;
+        const std::size_t next = decode_at(buf, cur, elem);
+        if (next == 0) return 0;
+        out.elems.push_back(std::move(elem));
+        cur = next;
+      }
+      return cur;
+    }
+    default:
+      throw std::runtime_error("RESP: unknown reply type byte '" +
+                               std::string(1, buf[at]) + "'");
+  }
+}
+
+}  // namespace
+
+std::size_t decode_reply(std::string_view buf, RespValue& out) {
+  return decode_at(buf, 0, out);
+}
+
+std::vector<std::string> split_command_line(const std::string& line) {
+  std::vector<std::string> argv;
+  std::string cur;
+  bool in_single = false, in_double = false, has_token = false;
+  for (char c : line) {
+    if (in_single) {
+      if (c == '\'') in_single = false;
+      else cur += c;
+    } else if (in_double) {
+      if (c == '"') in_double = false;
+      else cur += c;
+    } else if (c == '\'') {
+      in_single = true;
+      has_token = true;
+    } else if (c == '"') {
+      in_double = true;
+      has_token = true;
+    } else if (c == ' ' || c == '\t' || c == '\r') {
+      if (has_token || !cur.empty()) {
+        argv.push_back(cur);
+        cur.clear();
+        has_token = false;
+      }
+    } else {
+      cur += c;
+      has_token = true;
+    }
+  }
+  if (has_token || !cur.empty()) argv.push_back(cur);
+  return argv;
 }
 
 }  // namespace rg::server

@@ -1,9 +1,15 @@
-// RESP (REdis Serialization Protocol) encoding of command replies, so
-// integration tests can assert on the exact wire format a Redis client
-// would receive from GRAPH.QUERY.
+// RESP (REdis Serialization Protocol) support for the networked
+// front-end: reply encoders (the exact wire format a Redis client
+// receives from GRAPH.QUERY), an incremental *request* parser that turns
+// a TCP byte stream into argv commands (redis-cli-compatible framing,
+// pipelining, fragmented frames), and a reply decoder for clients/tests.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "exec/result_set.hpp"
@@ -28,5 +34,83 @@ std::string resp_array(const std::vector<std::string>& elems);
 /// Encode a full GRAPH.QUERY reply: [header, rows, statistics] — the
 /// three-section array RedisGraph returns.
 std::string encode_result_set(const exec::ResultSet& rs);
+
+/// Encode an argv command as a RESP array of bulk strings (the framing
+/// redis-cli sends).
+std::string encode_command(const std::vector<std::string>& argv);
+
+// ---------------------------------------------------------------------------
+// Request parsing (server side)
+// ---------------------------------------------------------------------------
+
+/// Incremental parser for client->server command frames.  Feed raw bytes
+/// as they arrive; next() yields one command at a time, so a pipelined
+/// burst decodes into consecutive commands.  Accepts both framings a real
+/// Redis server does:
+///   * RESP arrays of bulk strings:  *2\r\n$4\r\nPING\r\n$1\r\nx\r\n
+///   * inline commands:              PING\r\n      (telnet/debug framing)
+///
+/// Malformed frames produce Status::kError with a message and discard
+/// everything buffered (never re-scanning frame payload as commands —
+/// that would be an injection vector); the connection itself survives
+/// and later commands parse normally.
+class RespRequestParser {
+ public:
+  enum class Status { kOk, kNeedMore, kError };
+
+  struct Result {
+    Status status = Status::kNeedMore;
+    std::vector<std::string> argv;  // valid when status == kOk
+    std::string error;              // valid when status == kError
+  };
+
+  /// Append raw bytes received from the socket.
+  void feed(std::string_view data) { buf_.append(data); }
+
+  /// Try to extract the next complete command.  kNeedMore means the
+  /// buffer holds only a frame prefix — feed more bytes and retry.
+  Result next();
+
+  /// Bytes currently buffered (parsed frames are discarded eagerly).
+  std::size_t buffered() const noexcept { return buf_.size() - pos_; }
+
+  /// Guards against unbounded buffering from a misbehaving client:
+  /// total multibulk frame size (framing + payloads), argument count,
+  /// and inline-command line length.
+  static constexpr std::size_t kMaxFrameBytes = 64u << 20;
+  static constexpr std::size_t kMaxArgs = 1u << 20;
+  static constexpr std::size_t kMaxInlineBytes = 64u << 10;
+
+ private:
+  void compact();
+  Result protocol_error(const std::string& msg);
+
+  std::string buf_;
+  std::size_t pos_ = 0;  // consumed prefix of buf_
+};
+
+// ---------------------------------------------------------------------------
+// Reply decoding (client side / tests)
+// ---------------------------------------------------------------------------
+
+/// One decoded RESP reply node.
+struct RespValue {
+  enum class Kind { kSimple, kError, kInteger, kBulk, kNull, kArray };
+  Kind kind = Kind::kNull;
+  std::string text;               // simple/error/bulk payload
+  long long integer = 0;          // integer payload
+  std::vector<RespValue> elems;   // array payload
+
+  bool is_error() const { return kind == Kind::kError; }
+};
+
+/// Decode one complete reply from the front of `buf`.  Returns the number
+/// of bytes consumed, or 0 if `buf` holds only a reply prefix (read more).
+/// Throws std::runtime_error on malformed data.
+std::size_t decode_reply(std::string_view buf, RespValue& out);
+
+/// Split a command line into argv honoring single/double quotes (the
+/// inline-command framing and the CLI examples share this).
+std::vector<std::string> split_command_line(const std::string& line);
 
 }  // namespace rg::server

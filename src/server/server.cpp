@@ -1,78 +1,14 @@
 #include "server/server.hpp"
 
+#include <cstdlib>
+
 #include "cypher/lexer.hpp"
+#include "cypher/param_header.hpp"
 #include "cypher/parser.hpp"
 #include "exec/execution_plan.hpp"
 #include "graph/serialize.hpp"
 
 namespace rg::server {
-
-namespace {
-
-/// Read-only determination from the AST alone (no graph access, so it
-/// can run before the lock is chosen).
-bool ast_is_read_only(const cypher::Query& q) {
-  using K = cypher::Clause::Kind;
-  for (const auto& c : q.clauses) {
-    if (c.kind == K::kCreate || c.kind == K::kDelete || c.kind == K::kSet ||
-        c.kind == K::kCreateIndex)
-      return false;
-  }
-  return true;
-}
-
-/// Strip a leading "CYPHER k=v k2=v2 ..." parameter header (RedisGraph's
-/// parameterized-query syntax) and return the bindings.  Values are
-/// literal tokens: integers, floats, strings, booleans, null.
-std::pair<std::string, exec::ParamMap> split_cypher_params(
-    const std::string& text) {
-  const auto toks = cypher::tokenize(text);
-  if (toks.empty() || toks[0].type != cypher::Tok::kIdent ||
-      !cypher::keyword_eq(toks[0].text, "CYPHER"))
-    return {text, {}};
-
-  exec::ParamMap params;
-  std::size_t i = 1;
-  while (i + 2 < toks.size() && toks[i].type == cypher::Tok::kIdent &&
-         toks[i + 1].type == cypher::Tok::kEq) {
-    const std::string& name = toks[i].text;
-    std::size_t vi = i + 2;
-    bool negative = false;
-    if (toks[vi].type == cypher::Tok::kDash) {
-      negative = true;
-      ++vi;
-    }
-    graph::Value v;
-    const auto& vt = toks[vi];
-    if (vt.type == cypher::Tok::kInteger) {
-      v = graph::Value(static_cast<std::int64_t>(
-          std::stoll(vt.text)) * (negative ? -1 : 1));
-    } else if (vt.type == cypher::Tok::kFloat) {
-      v = graph::Value(std::stod(vt.text) * (negative ? -1.0 : 1.0));
-    } else if (vt.type == cypher::Tok::kString) {
-      v = graph::Value(vt.text);
-    } else if (vt.type == cypher::Tok::kIdent &&
-               cypher::keyword_eq(vt.text, "TRUE")) {
-      v = graph::Value(true);
-    } else if (vt.type == cypher::Tok::kIdent &&
-               cypher::keyword_eq(vt.text, "FALSE")) {
-      v = graph::Value(false);
-    } else if (vt.type == cypher::Tok::kIdent &&
-               cypher::keyword_eq(vt.text, "NULL")) {
-      v = graph::Value::null();
-    } else {
-      break;  // not a literal: header ends here
-    }
-    params[name] = std::move(v);
-    i = vi + 1;
-  }
-  if (i >= toks.size() || toks[i].type == cypher::Tok::kEnd)
-    return {text, {}};  // nothing after the header: treat as plain text
-  //残り: the query body starts at toks[i].pos.
-  return {text.substr(toks[i].pos), std::move(params)};
-}
-
-}  // namespace
 
 Server::Server(std::size_t worker_threads)
     : workers_(std::make_unique<util::ThreadPool>(
@@ -82,11 +18,32 @@ Server::~Server() = default;
 
 std::size_t Server::worker_count() const { return workers_->size(); }
 
-Server::GraphEntry& Server::entry_for(const std::string& key) {
+std::shared_ptr<Server::GraphEntry> Server::entry_for(const std::string& key) {
   std::lock_guard lk(keyspace_mu_);
   auto& slot = keyspace_[key];
-  if (!slot) slot = std::make_unique<GraphEntry>();
-  return *slot;
+  if (!slot) slot = std::make_shared<GraphEntry>(plan_cache_capacity_);
+  return slot;
+}
+
+exec::PlanCache::Counters Server::plan_cache_counters() const {
+  std::lock_guard lk(keyspace_mu_);
+  exec::PlanCache::Counters total = retired_counters_;
+  for (const auto& [key, entry] : keyspace_) {
+    const auto c = entry->plan_cache.counters();
+    total.hits += c.hits;
+    total.misses += c.misses;
+    total.invalidations += c.invalidations;
+  }
+  return total;
+}
+
+void Server::retire_counters_locked(const GraphEntry& entry) {
+  const auto c = entry.plan_cache.counters();
+  retired_counters_.hits += c.hits;
+  retired_counters_.misses += c.misses;
+  // Every cached plan dies with the graph: count them as invalidations.
+  retired_counters_.invalidations +=
+      c.invalidations + entry.plan_cache.size();
 }
 
 std::future<Reply> Server::submit(std::vector<std::string> argv) {
@@ -105,7 +62,7 @@ Reply Server::execute_line(const std::string& line) {
 }
 
 graph::Graph& Server::graph_for_testing(const std::string& key) {
-  return entry_for(key).graph;
+  return entry_for(key)->graph;
 }
 
 Reply Server::dispatch(const std::vector<std::string>& argv) {
@@ -152,47 +109,77 @@ Reply Server::dispatch(const std::vector<std::string>& argv) {
   }
 }
 
+namespace {
+
+/// GRAPH.PROFILE output: the per-op tree, prefixed with the compilation
+/// cache outcome so the fast path is observable per query.
+std::string profile_text(exec::PlanCache::Lease& lease, exec::ResultSet& out) {
+  std::string s = lease.hit() ? "Plan cache: hit\n" : "Plan cache: miss\n";
+  s += lease->profile(out);
+  return s;
+}
+
+}  // namespace
+
 Reply Server::cmd_query(const std::string& key, const std::string& raw,
                         bool read_only_cmd, bool profile) {
-  auto [text, params] = split_cypher_params(raw);
-  const cypher::Query ast = cypher::parse(text);
-  const bool ro = ast_is_read_only(ast);
-  if (read_only_cmd && !ro)
-    return {Reply::Kind::kError,
-            "graph.RO_QUERY is to be executed only on read-only queries",
-            {}};
+  const auto split = cypher::split_param_header(raw);
+  // Shared ownership keeps the entry (and its lock) alive even if a
+  // concurrent GRAPH.DELETE/RESTORE unlinks it from the keyspace while
+  // we are blocked below.
+  const auto ge = entry_for(key);
 
-  GraphEntry& ge = entry_for(key);
-  Reply reply;
-  if (ro) {
-    std::shared_lock lk(ge.lock);
-    exec::ExecutionPlan plan(ge.graph, ast, 64, params);
-    if (profile) {
-      reply.kind = Reply::Kind::kText;
-      reply.text = plan.profile(reply.result);
-    } else {
-      reply.kind = Reply::Kind::kResult;
-      plan.run(reply.result);
+  // Fast path: shared lock + cached plan; read-only plans run in place,
+  // concurrently with other readers.
+  bool first_acquire_hit = false;
+  {
+    std::shared_lock lk(ge->lock);
+    auto lease = ge->plan_cache.acquire(ge->graph, split.body, split.params);
+    first_acquire_hit = lease.hit();
+    if (lease->read_only()) {
+      Reply reply;
+      if (profile) {
+        reply.kind = Reply::Kind::kText;
+        reply.text = profile_text(lease, reply.result);
+      } else {
+        reply.kind = Reply::Kind::kResult;
+        lease->run(reply.result);
+      }
+      return reply;
     }
-  } else {
-    std::unique_lock lk(ge.lock);
-    exec::ExecutionPlan plan(ge.graph, ast, 64, params);
-    if (profile) {
-      reply.kind = Reply::Kind::kText;
-      reply.text = plan.profile(reply.result);
-    } else {
-      reply.kind = Reply::Kind::kResult;
-      plan.run(reply.result);
-    }
+    if (read_only_cmd)
+      return {Reply::Kind::kError,
+              "graph.RO_QUERY is to be executed only on read-only queries",
+              {}};
   }
+
+  // Write path: exclusive lock.  Re-acquire the plan — the schema may
+  // have moved between dropping the shared lock and getting this one —
+  // without counting again: this is still the same logical query.
+  std::unique_lock lk(ge->lock);
+  auto lease = ge->plan_cache.acquire(ge->graph, split.body, split.params,
+                                      64, /*count_stats=*/false);
+  lease.set_hit_for_reporting(first_acquire_hit);
+  Reply reply;
+  if (profile) {
+    reply.kind = Reply::Kind::kText;
+    reply.text = profile_text(lease, reply.result);
+  } else {
+    reply.kind = Reply::Kind::kResult;
+    lease->run(reply.result);
+  }
+  // Re-sync matrices before the write lock drops so readers' flush() is
+  // a read-only no-op (their shared lock cannot rebuild transposes).
+  ge->graph.flush();
   return reply;
 }
 
-Reply Server::cmd_explain(const std::string& key, const std::string& text) {
-  const cypher::Query ast = cypher::parse(text);
-  GraphEntry& ge = entry_for(key);
-  std::shared_lock lk(ge.lock);
-  exec::ExecutionPlan plan(ge.graph, ast);
+Reply Server::cmd_explain(const std::string& key, const std::string& raw) {
+  const auto split = cypher::split_param_header(raw);
+  const cypher::Query ast = cypher::parse(split.body);
+  const auto ge = entry_for(key);
+  std::shared_lock lk(ge->lock);
+  exec::ExecutionPlan plan(ge->graph, ast);
   return {Reply::Kind::kText, plan.explain(), {}};
 }
 
@@ -201,10 +188,10 @@ Reply Server::cmd_delete(const std::string& key) {
   const auto it = keyspace_.find(key);
   if (it == keyspace_.end())
     return {Reply::Kind::kError, "no such key '" + key + "'", {}};
-  // Exclusive access before destruction.
-  {
-    std::unique_lock glk(it->second->lock);
-  }
+  retire_counters_locked(*it->second);
+  // Unlink only: in-flight commands on this graph hold their own
+  // shared_ptr, so the entry is destroyed by its last user, never under
+  // a thread still using (or blocked on) its lock.
   keyspace_.erase(it);
   return {Reply::Kind::kStatus, "OK", {}};
 }
@@ -220,81 +207,93 @@ Reply Server::cmd_list() {
 }
 
 Reply Server::cmd_save(const std::string& key, const std::string& path) {
-  GraphEntry& ge = entry_for(key);
-  std::shared_lock lk(ge.lock);
-  graph::save_graph_file(ge.graph, path);
+  const auto ge = entry_for(key);
+  std::shared_lock lk(ge->lock);
+  graph::save_graph_file(ge->graph, path);
   return {Reply::Kind::kStatus, "OK", {}};
 }
 
 Reply Server::cmd_restore(const std::string& key, const std::string& path) {
   // Load into a fresh graph, then swap it in under the keyspace lock so
-  // readers never observe a half-loaded graph.
-  auto fresh = std::make_unique<GraphEntry>();
+  // readers never observe a half-loaded graph.  The fresh entry's empty
+  // plan cache also drops every plan compiled against the old graph.
+  std::size_t capacity;
+  {
+    std::lock_guard lk(keyspace_mu_);
+    capacity = plan_cache_capacity_;
+  }
+  auto fresh = std::make_shared<GraphEntry>(capacity);
   graph::load_graph_file(fresh->graph, path);
+  fresh->graph.flush();  // readers must never be first to build transposes
   std::lock_guard lk(keyspace_mu_);
   auto& slot = keyspace_[key];
-  if (slot) {
-    std::unique_lock glk(slot->lock);  // drain in-flight users
-  }
+  if (slot) retire_counters_locked(*slot);
+  // Swap in; the displaced entry (if any) dies with its last in-flight
+  // user, exactly as in cmd_delete.
   slot = std::move(fresh);
   return {Reply::Kind::kStatus, "OK", {}};
 }
 
 Reply Server::cmd_config(const std::vector<std::string>& argv) {
-  // GRAPH.CONFIG GET <name> | GRAPH.CONFIG SET <name> <value>.
+  // GRAPH.CONFIG GET <name>|* | GRAPH.CONFIG SET <name> <value>.
   // THREAD_COUNT is fixed at module load time (paper, Section II): GET
-  // reports it, SET is rejected.
+  // reports it, SET is rejected.  PLAN_CACHE_* expose the query
+  // compilation cache: capacity (settable) and hit/miss/invalidation
+  // counters aggregated across the keyspace.
+  auto row = [](exec::ResultSet& rs, const char* name, std::int64_t v) {
+    rs.rows.push_back({graph::Value(name), graph::Value(v)});
+  };
   if (argv.size() >= 3 && cypher::keyword_eq(argv[1], "GET")) {
-    if (cypher::keyword_eq(argv[2], "THREAD_COUNT")) {
-      Reply r;
-      r.kind = Reply::Kind::kResult;
-      r.result.columns = {"name", "value"};
-      r.result.rows.push_back(
-          {graph::Value("THREAD_COUNT"),
-           graph::Value(static_cast<std::int64_t>(worker_count()))});
-      return r;
+    Reply r;
+    r.kind = Reply::Kind::kResult;
+    r.result.columns = {"name", "value"};
+    const bool all = argv[2] == "*";
+    const auto want = [&](std::string_view name) {
+      return all || cypher::keyword_eq(argv[2], name);
+    };
+    if (want("THREAD_COUNT"))
+      row(r.result, "THREAD_COUNT",
+          static_cast<std::int64_t>(worker_count()));
+    if (want("PLAN_CACHE_SIZE")) {
+      std::lock_guard lk(keyspace_mu_);
+      row(r.result, "PLAN_CACHE_SIZE",
+          static_cast<std::int64_t>(plan_cache_capacity_));
     }
-    return {Reply::Kind::kError, "unknown config '" + argv[2] + "'", {}};
+    if (want("PLAN_CACHE_HITS") || want("PLAN_CACHE_MISSES") ||
+        want("PLAN_CACHE_INVALIDATIONS")) {
+      const auto c = plan_cache_counters();
+      if (want("PLAN_CACHE_HITS"))
+        row(r.result, "PLAN_CACHE_HITS", static_cast<std::int64_t>(c.hits));
+      if (want("PLAN_CACHE_MISSES"))
+        row(r.result, "PLAN_CACHE_MISSES",
+            static_cast<std::int64_t>(c.misses));
+      if (want("PLAN_CACHE_INVALIDATIONS"))
+        row(r.result, "PLAN_CACHE_INVALIDATIONS",
+            static_cast<std::int64_t>(c.invalidations));
+    }
+    if (r.result.rows.empty())
+      return {Reply::Kind::kError, "unknown config '" + argv[2] + "'", {}};
+    return r;
   }
   if (argv.size() >= 4 && cypher::keyword_eq(argv[1], "SET")) {
     if (cypher::keyword_eq(argv[2], "THREAD_COUNT"))
       return {Reply::Kind::kError,
               "THREAD_COUNT is fixed at module load time", {}};
+    if (cypher::keyword_eq(argv[2], "PLAN_CACHE_SIZE")) {
+      char* end = nullptr;
+      const long long v = std::strtoll(argv[3].c_str(), &end, 10);
+      if (end == argv[3].c_str() || *end != '\0' || v < 1)
+        return {Reply::Kind::kError,
+                "PLAN_CACHE_SIZE must be a positive integer", {}};
+      std::lock_guard lk(keyspace_mu_);
+      plan_cache_capacity_ = static_cast<std::size_t>(v);
+      for (auto& [key, entry] : keyspace_)
+        entry->plan_cache.set_capacity(plan_cache_capacity_);
+      return {Reply::Kind::kStatus, "OK", {}};
+    }
     return {Reply::Kind::kError, "unknown config '" + argv[2] + "'", {}};
   }
   return {Reply::Kind::kError, "GRAPH.CONFIG GET|SET <name> [value]", {}};
-}
-
-std::vector<std::string> split_command_line(const std::string& line) {
-  std::vector<std::string> argv;
-  std::string cur;
-  bool in_single = false, in_double = false, has_token = false;
-  for (char c : line) {
-    if (in_single) {
-      if (c == '\'') in_single = false;
-      else cur += c;
-    } else if (in_double) {
-      if (c == '"') in_double = false;
-      else cur += c;
-    } else if (c == '\'') {
-      in_single = true;
-      has_token = true;
-    } else if (c == '"') {
-      in_double = true;
-      has_token = true;
-    } else if (c == ' ' || c == '\t') {
-      if (has_token || !cur.empty()) {
-        argv.push_back(cur);
-        cur.clear();
-        has_token = false;
-      }
-    } else {
-      cur += c;
-      has_token = true;
-    }
-  }
-  if (has_token || !cur.empty()) argv.push_back(cur);
-  return argv;
 }
 
 }  // namespace rg::server

@@ -1,4 +1,4 @@
-// Redis-like in-process server substrate hosting the graph module.
+// Redis-like server substrate hosting the graph module.
 //
 // Mirrors the architecture the paper describes (Section II):
 //  * a single **dispatcher** thread owns command intake (Redis's main
@@ -7,10 +7,15 @@
 //    module's load-time THREAD_COUNT): each query executes entirely on
 //    one worker thread — queries never parallelize across workers,
 //  * per-graph reader/writer locks let read queries run concurrently
-//    while writes serialize (RedisGraph's lock around the graph object).
+//    while writes serialize (RedisGraph's lock around the graph object),
+//  * per-graph **plan caches** (exec::PlanCache) give repeated queries
+//    RedisGraph's cached-plan fast path: parameterized variants of one
+//    query text skip lexer -> parser -> planner.
 //
-// The network layer is replaced by an in-process command queue; see
-// DESIGN.md for why this substitution preserves the paper's claims.
+// This class is the in-process core: embedders (tests, benchmarks) call
+// submit()/execute() directly.  The TCP RESP front-end that real socket
+// clients (redis-cli, examples/resp_client) talk to lives in
+// server/net_server.hpp and feeds this same dispatcher/worker model.
 //
 // Commands: GRAPH.QUERY, GRAPH.RO_QUERY, GRAPH.EXPLAIN, GRAPH.PROFILE,
 // GRAPH.DELETE, GRAPH.LIST, GRAPH.SAVE, GRAPH.RESTORE, GRAPH.CONFIG, PING.
@@ -28,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/plan_cache.hpp"
 #include "exec/result_set.hpp"
 #include "graph/graph.hpp"
 #include "server/resp.hpp"
@@ -83,14 +89,21 @@ class Server {
 
   std::size_t worker_count() const;
 
+  /// Aggregate plan-cache counters across every graph in the keyspace
+  /// (what GRAPH.CONFIG GET PLAN_CACHE_* reports).
+  exec::PlanCache::Counters plan_cache_counters() const;
+
  private:
   struct GraphEntry {
+    explicit GraphEntry(std::size_t cache_capacity)
+        : plan_cache(cache_capacity) {}
     graph::Graph graph;
     std::shared_mutex lock;
+    exec::PlanCache plan_cache;
   };
 
   Reply dispatch(const std::vector<std::string>& argv);
-  Reply cmd_query(const std::string& key, const std::string& text,
+  Reply cmd_query(const std::string& key, const std::string& raw,
                   bool read_only_cmd, bool profile);
   Reply cmd_explain(const std::string& key, const std::string& text);
   Reply cmd_delete(const std::string& key);
@@ -99,14 +112,21 @@ class Server {
   Reply cmd_restore(const std::string& key, const std::string& path);
   Reply cmd_config(const std::vector<std::string>& argv);
 
-  GraphEntry& entry_for(const std::string& key);
+  /// Shared ownership: a command holds the returned pointer for its whole
+  /// execution, so GRAPH.DELETE/RESTORE can unlink an entry from the
+  /// keyspace while stragglers (including threads still blocked on
+  /// entry->lock) finish safely — the entry dies with its last user.
+  std::shared_ptr<GraphEntry> entry_for(const std::string& key);
 
-  std::mutex keyspace_mu_;
-  std::map<std::string, std::unique_ptr<GraphEntry>> keyspace_;
+  /// Fold a dying entry's cache counters into retired_counters_ so the
+  /// CONFIG GET aggregate stays monotonic across GRAPH.DELETE/RESTORE.
+  void retire_counters_locked(const GraphEntry& entry);
+
+  mutable std::mutex keyspace_mu_;
+  std::map<std::string, std::shared_ptr<GraphEntry>> keyspace_;
+  std::size_t plan_cache_capacity_ = exec::PlanCache::kDefaultCapacity;
+  exec::PlanCache::Counters retired_counters_;
   std::unique_ptr<util::ThreadPool> workers_;
 };
-
-/// Split a command line into argv honoring single/double quotes.
-std::vector<std::string> split_command_line(const std::string& line);
 
 }  // namespace rg::server

@@ -1,0 +1,134 @@
+#include "util/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace rg::util {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+void Fd::reset() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpStream TcpStream::connect(const std::string& host, std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string service = std::to_string(port);
+  if (::getaddrinfo(host.c_str(), service.c_str(), &hints, &res) != 0 ||
+      res == nullptr)
+    throw std::runtime_error("cannot resolve '" + host + "'");
+
+  Fd fd(::socket(res->ai_family, res->ai_socktype, res->ai_protocol));
+  if (!fd.valid()) {
+    ::freeaddrinfo(res);
+    throw_errno("socket");
+  }
+  const int rc = ::connect(fd.get(), res->ai_addr, res->ai_addrlen);
+  ::freeaddrinfo(res);
+  if (rc != 0) throw_errno("connect to " + host + ":" + service);
+
+  // Latency over throughput for a request/reply protocol.
+  int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpStream(std::move(fd));
+}
+
+std::size_t TcpStream::read_some(char* buf, std::size_t n) {
+  for (;;) {
+    const ssize_t got = ::recv(fd_.get(), buf, n, 0);
+    if (got >= 0) return static_cast<std::size_t>(got);
+    if (errno == EINTR) continue;
+    throw_errno("recv");
+  }
+}
+
+void TcpStream::write_all(std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t put =
+        ::send(fd_.get(), data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    off += static_cast<std::size_t>(put);
+  }
+}
+
+void TcpStream::shutdown_write() { ::shutdown(fd_.get(), SHUT_WR); }
+
+void TcpStream::shutdown_both() noexcept {
+  if (fd_.valid()) ::shutdown(fd_.get(), SHUT_RDWR);
+}
+
+TcpListener TcpListener::bind(std::uint16_t port, bool loopback_only,
+                              int backlog) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) throw_errno("socket");
+
+  int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(loopback_only ? INADDR_LOOPBACK : INADDR_ANY);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0)
+    throw_errno("bind port " + std::to_string(port));
+  if (::listen(fd.get(), backlog) != 0) throw_errno("listen");
+
+  // Read back the actual port (relevant when port == 0).
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) != 0)
+    throw_errno("getsockname");
+
+  TcpListener l;
+  l.fd_ = std::move(fd);
+  l.port_ = ntohs(bound.sin_port);
+  return l;
+}
+
+TcpStream TcpListener::accept() {
+  if (!fd_.valid()) return TcpStream{};
+  for (;;) {
+    const int client = ::accept(fd_.get(), nullptr, nullptr);
+    if (client >= 0) {
+      int one = 1;
+      ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return TcpStream(Fd(client));
+    }
+    if (errno == EINTR) continue;
+    // EINVAL/EBADF after close() from another thread: shutdown path.
+    return TcpStream{};
+  }
+}
+
+void TcpListener::close() noexcept {
+  // shutdown() (not ::close) unblocks a concurrent accept() without
+  // racing against fd reuse; the destructor releases the descriptor.
+  if (fd_.valid()) ::shutdown(fd_.get(), SHUT_RDWR);
+}
+
+}  // namespace rg::util

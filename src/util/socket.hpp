@@ -1,0 +1,102 @@
+// Thin POSIX TCP helpers for the networked RESP front-end: an RAII fd
+// wrapper, a listening socket, and a blocking client connection.  Kept
+// deliberately small — no event loop, no TLS; the server's concurrency
+// model lives in server/net_server.hpp, not here.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace rg::util {
+
+/// Owning file-descriptor wrapper (closes on destruction, movable).
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& other) noexcept : fd_(other.release()) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+
+  int get() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+  int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// A connected TCP stream (blocking I/O).
+class TcpStream {
+ public:
+  TcpStream() = default;
+  explicit TcpStream(Fd fd) : fd_(std::move(fd)) {}
+
+  /// Connect to host:port; throws std::runtime_error on failure.
+  static TcpStream connect(const std::string& host, std::uint16_t port);
+
+  bool valid() const noexcept { return fd_.valid(); }
+  int native_handle() const noexcept { return fd_.get(); }
+
+  /// Read up to `n` bytes; returns bytes read, 0 on orderly shutdown.
+  /// Throws on error (EINTR is retried).
+  std::size_t read_some(char* buf, std::size_t n);
+
+  /// Write the whole buffer (loops over partial writes); throws on error.
+  void write_all(std::string_view data);
+
+  /// Shut down the write side (signals EOF to the peer).
+  void shutdown_write();
+
+  /// Shut down both directions; unblocks a concurrent read_some() from
+  /// another thread (the server shutdown path).
+  void shutdown_both() noexcept;
+
+  void close() noexcept { fd_.reset(); }
+
+ private:
+  Fd fd_;
+};
+
+/// A listening TCP socket bound to 127.0.0.1 (or any interface).
+class TcpListener {
+ public:
+  TcpListener() = default;
+
+  /// Bind and listen.  `port` 0 picks an ephemeral port — read it back
+  /// with port().  Throws std::runtime_error on failure.
+  static TcpListener bind(std::uint16_t port, bool loopback_only = true,
+                          int backlog = 64);
+
+  bool valid() const noexcept { return fd_.valid(); }
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Block until a client connects.  Returns an invalid stream when the
+  /// listener was closed from another thread (the shutdown path).
+  TcpStream accept();
+
+  /// Close the listening fd; unblocks a concurrent accept().
+  void close() noexcept;
+
+ private:
+  Fd fd_;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace rg::util

@@ -1,0 +1,253 @@
+// PlanCache unit tests: hit-after-miss, parameter variants sharing one
+// entry, schema/index invalidation, LRU bounds and concurrent acquires.
+#include "exec/plan_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cypher/param_header.hpp"
+#include "exec/result_set.hpp"
+
+namespace rg::exec {
+namespace {
+
+graph::Graph& seeded_graph(graph::Graph& g) {
+  const auto person = g.schema().add_label("Person");
+  const auto knows = g.schema().add_reltype("KNOWS");
+  const auto name = g.schema().add_attr("name");
+  graph::AttributeSet ann, bob;
+  ann.set(name, graph::Value("ann"));
+  bob.set(name, graph::Value("bob"));
+  const auto a = g.add_node({person}, std::move(ann));
+  const auto b = g.add_node({person}, std::move(bob));
+  g.add_edge(knows, a, b);
+  g.flush();
+  return g;
+}
+
+TEST(PlanCache, HitAfterMiss) {
+  graph::Graph g;
+  seeded_graph(g);
+  PlanCache cache;
+  const std::string q = "MATCH (p:Person) RETURN count(p)";
+
+  {
+    auto lease = cache.acquire(g, q, {});
+    EXPECT_FALSE(lease.hit());
+    ResultSet rs;
+    lease->run(rs);
+    EXPECT_EQ(rs.rows[0][0].as_int(), 2);
+  }
+  {
+    auto lease = cache.acquire(g, q, {});
+    EXPECT_TRUE(lease.hit());
+    ResultSet rs;
+    lease->run(rs);
+    EXPECT_EQ(rs.rows[0][0].as_int(), 2);
+  }
+  const auto c = cache.counters();
+  EXPECT_EQ(c.hits, 1u);
+  EXPECT_EQ(c.misses, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PlanCache, CachedPlanIsRerunnableWithFreshResults) {
+  graph::Graph g;
+  seeded_graph(g);
+  PlanCache cache;
+  const std::string q = "MATCH (p:Person) RETURN p.name ORDER BY p.name";
+  for (int i = 0; i < 3; ++i) {
+    auto lease = cache.acquire(g, q, {});
+    ResultSet rs;
+    lease->run(rs);
+    ASSERT_EQ(rs.row_count(), 2u) << "iteration " << i;
+    EXPECT_EQ(rs.rows[0][0].as_string(), "ann");
+    EXPECT_EQ(rs.rows[1][0].as_string(), "bob");
+  }
+}
+
+TEST(PlanCache, ParameterHeaderVariantsShareOneEntry) {
+  graph::Graph g;
+  seeded_graph(g);
+  PlanCache cache;
+
+  // Two different CYPHER headers, same body: one compilation, one entry.
+  const auto v1 = cypher::split_param_header(
+      "CYPHER who='ann' MATCH (p:Person {name: $who}) RETURN count(p)");
+  const auto v2 = cypher::split_param_header(
+      "CYPHER who='bob' MATCH (p:Person {name: $who}) RETURN count(p)");
+  ASSERT_EQ(v1.body, v2.body);
+
+  {
+    auto lease = cache.acquire(g, v1.body, v1.params);
+    EXPECT_FALSE(lease.hit());
+    ResultSet rs;
+    lease->run(rs);
+    EXPECT_EQ(rs.rows[0][0].as_int(), 1);
+  }
+  {
+    auto lease = cache.acquire(g, v2.body, v2.params);
+    EXPECT_TRUE(lease.hit());  // different parameter value, same plan
+    ResultSet rs;
+    lease->run(rs);
+    EXPECT_EQ(rs.rows[0][0].as_int(), 1);
+  }
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.counters().misses, 1u);
+}
+
+TEST(PlanCache, SchemaGrowthInvalidates) {
+  graph::Graph g;
+  seeded_graph(g);
+  PlanCache cache;
+  // Query for a label that does not exist yet: the compiled plan embeds
+  // an impossible label id.
+  const std::string q = "MATCH (c:City) RETURN count(c)";
+  {
+    auto lease = cache.acquire(g, q, {});
+    ResultSet rs;
+    lease->run(rs);
+    EXPECT_EQ(rs.rows[0][0].as_int(), 0);
+  }
+  // The label appears: a stale cached plan would keep answering 0.
+  const auto city = g.schema().add_label("City");
+  g.add_node({city});
+  g.flush();
+  {
+    auto lease = cache.acquire(g, q, {});
+    EXPECT_FALSE(lease.hit());  // schema version moved: entry evicted
+    ResultSet rs;
+    lease->run(rs);
+    EXPECT_EQ(rs.rows[0][0].as_int(), 1);
+  }
+  EXPECT_GE(cache.counters().invalidations, 1u);
+}
+
+TEST(PlanCache, IndexCreationInvalidates) {
+  graph::Graph g;
+  seeded_graph(g);
+  PlanCache cache;
+  const std::string q =
+      "MATCH (p:Person {name: 'ann'}) RETURN count(p)";
+  {
+    auto lease = cache.acquire(g, q, {});
+    ResultSet rs;
+    lease->run(rs);
+    EXPECT_EQ(rs.rows[0][0].as_int(), 1);
+  }
+  // CREATE INDEX bumps the schema version, so the cached label-scan plan
+  // is dropped and the recompile picks the index.
+  g.create_index(*g.schema().find_label("Person"),
+                 *g.schema().find_attr("name"));
+  {
+    auto lease = cache.acquire(g, q, {});
+    EXPECT_FALSE(lease.hit());
+    EXPECT_NE(lease->explain().find("IndexScan"), std::string::npos);
+    ResultSet rs;
+    lease->run(rs);
+    EXPECT_EQ(rs.rows[0][0].as_int(), 1);
+  }
+  EXPECT_GE(cache.counters().invalidations, 1u);
+}
+
+TEST(PlanCache, ClearCountsInvalidations) {
+  graph::Graph g;
+  seeded_graph(g);
+  PlanCache cache;
+  { auto l = cache.acquire(g, "RETURN 1", {}); }
+  { auto l = cache.acquire(g, "RETURN 2", {}); }
+  EXPECT_EQ(cache.size(), 2u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.counters().invalidations, 2u);
+}
+
+TEST(PlanCache, LruEvictionBoundsEntries) {
+  graph::Graph g;
+  seeded_graph(g);
+  PlanCache cache(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    auto lease = cache.acquire(g, "RETURN " + std::to_string(i), {});
+  }
+  EXPECT_LE(cache.size(), 4u);
+  // The most recent query is still cached.
+  auto lease = cache.acquire(g, "RETURN 9", {});
+  EXPECT_TRUE(lease.hit());
+}
+
+TEST(PlanCache, SetCapacityShrinks) {
+  graph::Graph g;
+  seeded_graph(g);
+  PlanCache cache;
+  for (int i = 0; i < 8; ++i) {
+    auto lease = cache.acquire(g, "RETURN " + std::to_string(i), {});
+  }
+  cache.set_capacity(2);
+  EXPECT_LE(cache.size(), 2u);
+  EXPECT_EQ(cache.capacity(), 2u);
+}
+
+TEST(PlanCache, ConcurrentAcquiresOfOneQuery) {
+  graph::Graph g;
+  seeded_graph(g);
+  PlanCache cache;
+  const std::string q = "MATCH (p:Person)-[:KNOWS]->(q) RETURN count(q)";
+  // Warm the entry, then run from many threads at once: each execution
+  // must see its own plan instance and a correct result.
+  {
+    auto lease = cache.acquire(g, q, {});
+    ResultSet rs;
+    lease->run(rs);
+  }
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> ok{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        auto lease = cache.acquire(g, q, {});
+        ResultSet rs;
+        lease->run(rs);
+        if (rs.rows[0][0].as_int() == 1) ok.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ok.load(), kThreads * 50);
+  const auto c = cache.counters();
+  EXPECT_EQ(c.hits + c.misses, 1u + kThreads * 50u);
+}
+
+// --- query-text normalization (cypher::split_param_header) -----------------
+
+TEST(ParamHeader, NoHeaderPassesThrough) {
+  const auto s = cypher::split_param_header("MATCH (n) RETURN n");
+  EXPECT_EQ(s.body, "MATCH (n) RETURN n");
+  EXPECT_TRUE(s.params.empty());
+}
+
+TEST(ParamHeader, LiteralKindsParse) {
+  const auto s = cypher::split_param_header(
+      "CYPHER a=1 b=-2 c=3.5 d='x' e=true f=null MATCH (n) RETURN n");
+  EXPECT_EQ(s.body, "MATCH (n) RETURN n");
+  ASSERT_EQ(s.params.size(), 6u);
+  EXPECT_EQ(s.params.at("a").as_int(), 1);
+  EXPECT_EQ(s.params.at("b").as_int(), -2);
+  EXPECT_DOUBLE_EQ(s.params.at("c").as_double(), 3.5);
+  EXPECT_EQ(s.params.at("d").as_string(), "x");
+  EXPECT_TRUE(s.params.at("e").as_bool());
+  EXPECT_TRUE(s.params.at("f").is_null());
+}
+
+TEST(ParamHeader, HeaderOnlyTreatedAsPlainText) {
+  const auto s = cypher::split_param_header("CYPHER a=1");
+  EXPECT_EQ(s.body, "CYPHER a=1");
+  EXPECT_TRUE(s.params.empty());
+}
+
+}  // namespace
+}  // namespace rg::exec

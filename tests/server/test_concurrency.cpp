@@ -96,6 +96,36 @@ TEST(Concurrency, ManyConcurrentSubmissionsDrain) {
   }
 }
 
+TEST(Concurrency, DeleteAndRestoreUnderQueryLoad) {
+  // GRAPH.DELETE unlinks an entry other workers may still be using (or
+  // blocked on): shared ownership must keep the entry alive until its
+  // last user finishes.  Run reads, writes and deletes concurrently; no
+  // crash/UAF (TSan lane) and every command must produce *a* reply.
+  Server srv(4);
+  std::atomic<bool> stop{false};
+  std::atomic<int> replies{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&] {
+      while (!stop.load()) {
+        srv.execute({"GRAPH.QUERY", "churn", "CREATE (:N)"});
+        srv.execute({"GRAPH.RO_QUERY", "churn",
+                     "MATCH (n:N) RETURN count(n)"});
+        replies.fetch_add(2);
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    for (int i = 0; i < 100; ++i) {
+      srv.execute({"GRAPH.DELETE", "churn"});
+      replies.fetch_add(1);
+    }
+    stop.store(true);
+  });
+  for (auto& t : threads) t.join();
+  EXPECT_GT(replies.load(), 100);
+}
+
 TEST(Concurrency, SingleWorkerStillServesManyClients) {
   Server srv(1);  // paper: pool size fixed at load time; 1 still works
   std::vector<std::thread> clients;

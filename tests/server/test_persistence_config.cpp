@@ -2,7 +2,10 @@
 // header on the server surface.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
+#include <string>
 
 #include "server/server.hpp"
 
@@ -11,7 +14,14 @@ namespace {
 
 class PersistFixture : public ::testing::Test {
  protected:
-  PersistFixture() : srv_(2), path_(::testing::TempDir() + "srv_graph.bin") {}
+  // The path must be unique per test AND per process: `ctest -j` runs
+  // each discovered test as its own process of this binary, so a shared
+  // file name lets one test's cleanup delete another's snapshot.
+  PersistFixture()
+      : srv_(2),
+        path_(::testing::TempDir() + "srv_graph_" +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+              "_" + std::to_string(::getpid()) + ".bin") {}
   ~PersistFixture() override { std::remove(path_.c_str()); }
 
   Server srv_;

@@ -1,0 +1,236 @@
+// RESP request-parser and reply-decoder unit tests: complete frames,
+// pipelined bursts, byte-at-a-time fragmentation, inline commands, and
+// malformed-frame recovery (the connection must survive).
+#include "server/resp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rg::server {
+namespace {
+
+using Status = RespRequestParser::Status;
+
+std::vector<std::string> args(std::initializer_list<const char*> xs) {
+  return {xs.begin(), xs.end()};
+}
+
+TEST(RespRequestParser, SingleMultibulkCommand) {
+  RespRequestParser p;
+  p.feed("*2\r\n$4\r\nPING\r\n$5\r\nextra\r\n");
+  auto r = p.next();
+  ASSERT_EQ(r.status, Status::kOk);
+  EXPECT_EQ(r.argv, args({"PING", "extra"}));
+  EXPECT_EQ(p.next().status, Status::kNeedMore);
+  EXPECT_EQ(p.buffered(), 0u);
+}
+
+TEST(RespRequestParser, RoundTripsEncodeCommand) {
+  RespRequestParser p;
+  const auto argv = args({"GRAPH.QUERY", "g", "MATCH (n) RETURN n"});
+  p.feed(encode_command(argv));
+  auto r = p.next();
+  ASSERT_EQ(r.status, Status::kOk);
+  EXPECT_EQ(r.argv, argv);
+}
+
+TEST(RespRequestParser, PipelinedBurstYieldsCommandsInOrder) {
+  RespRequestParser p;
+  p.feed(encode_command(args({"PING"})) +
+         encode_command(args({"GRAPH.QUERY", "g", "RETURN 1"})) +
+         encode_command(args({"PING"})));
+  EXPECT_EQ(p.next().argv, args({"PING"}));
+  EXPECT_EQ(p.next().argv, args({"GRAPH.QUERY", "g", "RETURN 1"}));
+  EXPECT_EQ(p.next().argv, args({"PING"}));
+  EXPECT_EQ(p.next().status, Status::kNeedMore);
+}
+
+TEST(RespRequestParser, FragmentedFrameByteAtATime) {
+  RespRequestParser p;
+  const std::string wire = encode_command(args({"GRAPH.QUERY", "g", "x"}));
+  for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+    p.feed(std::string_view(&wire[i], 1));
+    EXPECT_EQ(p.next().status, Status::kNeedMore) << "at byte " << i;
+  }
+  p.feed(std::string_view(&wire[wire.size() - 1], 1));
+  auto r = p.next();
+  ASSERT_EQ(r.status, Status::kOk);
+  EXPECT_EQ(r.argv, args({"GRAPH.QUERY", "g", "x"}));
+}
+
+TEST(RespRequestParser, FragmentSplitInsideBulkPayload) {
+  RespRequestParser p;
+  p.feed("*1\r\n$10\r\nhello");
+  EXPECT_EQ(p.next().status, Status::kNeedMore);
+  p.feed("world\r\n");
+  auto r = p.next();
+  ASSERT_EQ(r.status, Status::kOk);
+  EXPECT_EQ(r.argv, args({"helloworld"}));
+}
+
+TEST(RespRequestParser, InlineCommandWithQuotes) {
+  RespRequestParser p;
+  p.feed("GRAPH.QUERY g \"MATCH (n) RETURN n\"\r\n");
+  auto r = p.next();
+  ASSERT_EQ(r.status, Status::kOk);
+  EXPECT_EQ(r.argv, args({"GRAPH.QUERY", "g", "MATCH (n) RETURN n"}));
+}
+
+TEST(RespRequestParser, InlineCommandBareNewline) {
+  RespRequestParser p;
+  p.feed("PING\n");
+  EXPECT_EQ(p.next().argv, args({"PING"}));
+}
+
+TEST(RespRequestParser, EmptyLinesAndEmptyArraysAreSkipped) {
+  RespRequestParser p;
+  p.feed("\r\n*0\r\nPING\r\n");
+  auto r = p.next();
+  ASSERT_EQ(r.status, Status::kOk);
+  EXPECT_EQ(r.argv, args({"PING"}));
+}
+
+TEST(RespRequestParser, BinarySafeBulkStrings) {
+  RespRequestParser p;
+  std::string payload = "a\r\nb";
+  payload.push_back('\0');
+  payload += "c";
+  p.feed(encode_command({payload}));
+  auto r = p.next();
+  ASSERT_EQ(r.status, Status::kOk);
+  ASSERT_EQ(r.argv.size(), 1u);
+  EXPECT_EQ(r.argv[0], payload);
+}
+
+TEST(RespRequestParser, MalformedCountDropsBufferButConnectionSurvives) {
+  RespRequestParser p;
+  p.feed("*abc\r\nGRAPH.DELETE g\r\n");
+  auto r = p.next();
+  ASSERT_EQ(r.status, Status::kError);
+  EXPECT_NE(r.error.find("multibulk"), std::string::npos);
+  // Everything buffered with the bad frame is discarded — trailing bytes
+  // (potentially attacker-controlled payload) must NOT execute.
+  EXPECT_EQ(p.next().status, Status::kNeedMore);
+  EXPECT_EQ(p.buffered(), 0u);
+  // The parser keeps working for bytes that arrive after the error.
+  p.feed(encode_command(args({"PING"})));
+  r = p.next();
+  ASSERT_EQ(r.status, Status::kOk);
+  EXPECT_EQ(r.argv, args({"PING"}));
+}
+
+TEST(RespRequestParser, PayloadBytesNeverReparsedAsCommands) {
+  // A malformed frame whose *payload* contains a command line: the
+  // injection shape the drop-all policy exists for.
+  RespRequestParser p;
+  p.feed("*1\r\n$100\r\nGRAPH.DELETE g\r\nPING\r\n");
+  // Declared length 100 exceeds what follows: kNeedMore until the frame
+  // either completes or overflows — never a decoded GRAPH.DELETE.
+  EXPECT_EQ(p.next().status, Status::kNeedMore);
+  p.feed("*1\r\n:bad\r\n");  // still inside the 100-byte payload
+  EXPECT_EQ(p.next().status, Status::kNeedMore);
+}
+
+TEST(RespRequestParser, MissingBulkHeaderIsError) {
+  RespRequestParser p;
+  p.feed("*1\r\n:42\r\n");
+  EXPECT_EQ(p.next().status, Status::kError);
+}
+
+TEST(RespRequestParser, BulkMissingTrailingCrlfIsError) {
+  RespRequestParser p;
+  p.feed("*1\r\n$4\r\nPINGXX\r\n");
+  EXPECT_EQ(p.next().status, Status::kError);
+}
+
+TEST(RespRequestParser, NegativeBulkLengthInRequestIsError) {
+  RespRequestParser p;
+  p.feed("*1\r\n$-1\r\n");
+  EXPECT_EQ(p.next().status, Status::kError);
+}
+
+TEST(RespRequestParser, OversizedMultibulkCountIsError) {
+  RespRequestParser p;
+  p.feed("*99999999\r\n");
+  EXPECT_EQ(p.next().status, Status::kError);
+}
+
+TEST(RespRequestParser, ErrorThenValidCommandOnSameConnection) {
+  RespRequestParser p;
+  p.feed("*1\r\n$3\r\nxy\r\n" + encode_command(args({"PING"})));
+  // "$3\r\nxy\r\n": payload length mismatch -> error; the whole burst
+  // (including the pipelined-behind PING) is discarded.
+  auto r = p.next();
+  ASSERT_EQ(r.status, Status::kError);
+  EXPECT_EQ(p.next().status, Status::kNeedMore);
+  // Bytes sent after the error parse normally.
+  p.feed(encode_command(args({"PING"})));
+  r = p.next();
+  ASSERT_EQ(r.status, Status::kOk);
+  EXPECT_EQ(r.argv, args({"PING"}));
+}
+
+TEST(RespRequestParser, LfTerminatedInlineCommandsDoNotMerge) {
+  RespRequestParser p;
+  p.feed("PING\nPING\r\n");  // coalesced telnet-style burst
+  EXPECT_EQ(p.next().argv, args({"PING"}));
+  EXPECT_EQ(p.next().argv, args({"PING"}));
+  EXPECT_EQ(p.next().status, Status::kNeedMore);
+}
+
+// --- reply decoding --------------------------------------------------------
+
+TEST(DecodeReply, SimpleErrorIntegerBulkNull) {
+  RespValue v;
+  EXPECT_EQ(decode_reply("+OK\r\n", v), 5u);
+  EXPECT_EQ(v.kind, RespValue::Kind::kSimple);
+  EXPECT_EQ(v.text, "OK");
+
+  EXPECT_GT(decode_reply("-ERR boom\r\n", v), 0u);
+  EXPECT_TRUE(v.is_error());
+  EXPECT_EQ(v.text, "ERR boom");
+
+  EXPECT_GT(decode_reply(":-42\r\n", v), 0u);
+  EXPECT_EQ(v.kind, RespValue::Kind::kInteger);
+  EXPECT_EQ(v.integer, -42);
+
+  EXPECT_GT(decode_reply("$5\r\nhello\r\n", v), 0u);
+  EXPECT_EQ(v.kind, RespValue::Kind::kBulk);
+  EXPECT_EQ(v.text, "hello");
+
+  EXPECT_GT(decode_reply("$-1\r\n", v), 0u);
+  EXPECT_EQ(v.kind, RespValue::Kind::kNull);
+}
+
+TEST(DecodeReply, NestedArray) {
+  RespValue v;
+  const std::string wire = "*2\r\n*2\r\n+a\r\n:1\r\n$1\r\nb\r\n";
+  EXPECT_EQ(decode_reply(wire, v), wire.size());
+  ASSERT_EQ(v.kind, RespValue::Kind::kArray);
+  ASSERT_EQ(v.elems.size(), 2u);
+  EXPECT_EQ(v.elems[0].elems[0].text, "a");
+  EXPECT_EQ(v.elems[0].elems[1].integer, 1);
+  EXPECT_EQ(v.elems[1].text, "b");
+}
+
+TEST(DecodeReply, IncompleteReturnsZero) {
+  RespValue v;
+  EXPECT_EQ(decode_reply("*2\r\n+a\r\n", v), 0u);   // one element missing
+  EXPECT_EQ(decode_reply("$5\r\nhel", v), 0u);      // short payload
+  EXPECT_EQ(decode_reply("+OK", v), 0u);            // no CRLF yet
+}
+
+TEST(DecodeReply, EncodedResultSetDecodes) {
+  exec::ResultSet rs;
+  rs.columns = {"a"};
+  rs.rows.push_back({graph::Value(std::int64_t{7})});
+  RespValue v;
+  const std::string wire = encode_result_set(rs);
+  EXPECT_EQ(decode_reply(wire, v), wire.size());
+  ASSERT_EQ(v.kind, RespValue::Kind::kArray);
+  ASSERT_EQ(v.elems.size(), 3u);  // header, rows, stats
+  EXPECT_EQ(v.elems[0].elems[0].text, "a");
+  EXPECT_EQ(v.elems[1].elems[0].elems[0].integer, 7);
+}
+
+}  // namespace
+}  // namespace rg::server

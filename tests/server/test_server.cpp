@@ -138,5 +138,95 @@ TEST_F(ServerFixture, WorkerCountMatchesConfig) {
   EXPECT_EQ(s8.worker_count(), 8u);
 }
 
+// --- plan cache through the command surface --------------------------------
+
+class PlanCacheServerFixture : public ServerFixture {
+ protected:
+  std::int64_t config_value(const std::string& name) {
+    const auto r = srv_.execute({"GRAPH.CONFIG", "GET", name});
+    EXPECT_TRUE(r.ok()) << r.text;
+    EXPECT_EQ(r.result.row_count(), 1u);
+    return r.result.rows[0][1].as_int();
+  }
+};
+
+TEST_F(PlanCacheServerFixture, HitCounterVisibleViaConfigGet) {
+  q("CREATE (:P {v: 1})");
+  const auto hits0 = config_value("PLAN_CACHE_HITS");
+  // First execution of the parameterized query compiles (miss); the
+  // second, with a different parameter, reuses the plan (hit).
+  q("CYPHER x=1 MATCH (p:P {v: $x}) RETURN count(p)");
+  const auto misses0 = config_value("PLAN_CACHE_MISSES");
+  q("CYPHER x=2 MATCH (p:P {v: $x}) RETURN count(p)");
+  EXPECT_EQ(config_value("PLAN_CACHE_HITS"), hits0 + 1);
+  EXPECT_EQ(config_value("PLAN_CACHE_MISSES"), misses0);
+}
+
+TEST_F(PlanCacheServerFixture, ParameterVariantsReturnCorrectRows) {
+  q("CREATE (:P {v: 1}), (:P {v: 2}), (:P {v: 2})");
+  auto r = q("CYPHER x=1 MATCH (p:P {v: $x}) RETURN count(p)");
+  EXPECT_EQ(r.result.rows[0][0].as_int(), 1);
+  r = q("CYPHER x=2 MATCH (p:P {v: $x}) RETURN count(p)");
+  EXPECT_EQ(r.result.rows[0][0].as_int(), 2);  // cached plan, new binding
+  r = q("CYPHER x=3 MATCH (p:P {v: $x}) RETURN count(p)");
+  EXPECT_EQ(r.result.rows[0][0].as_int(), 0);
+}
+
+TEST_F(PlanCacheServerFixture, ProfileReportsCacheOutcome) {
+  q("CREATE (:P)");
+  auto r = srv_.execute({"GRAPH.PROFILE", "g", "MATCH (p:P) RETURN count(p)"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(r.text.find("Plan cache: miss"), std::string::npos) << r.text;
+  r = srv_.execute({"GRAPH.PROFILE", "g", "MATCH (p:P) RETURN count(p)"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(r.text.find("Plan cache: hit"), std::string::npos) << r.text;
+}
+
+TEST_F(PlanCacheServerFixture, GraphDeleteDropsCachedPlans) {
+  q("CREATE (:P)");
+  q("MATCH (p:P) RETURN count(p)");
+  q("MATCH (p:P) RETURN count(p)");  // now cached (hit)
+  const auto hits = config_value("PLAN_CACHE_HITS");
+  ASSERT_TRUE(srv_.execute({"GRAPH.DELETE", "g"}).ok());
+  // Same text on the recreated graph must recompile, not hit a plan
+  // bound to the deleted graph object.
+  const auto r = q("MATCH (p:P) RETURN count(p)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.result.rows[0][0].as_int(), 0);
+  EXPECT_EQ(config_value("PLAN_CACHE_HITS"), hits);  // no new hits
+}
+
+TEST_F(PlanCacheServerFixture, IndexCreationInvalidatesThroughQueryPath) {
+  q("CREATE (:P {v: 7})");
+  auto r = q("MATCH (p:P {v: 7}) RETURN count(p)");
+  EXPECT_EQ(r.result.rows[0][0].as_int(), 1);
+  ASSERT_TRUE(q("CREATE INDEX ON :P(v)").ok());
+  // The recompiled plan uses the index (and still answers correctly).
+  const auto ex = srv_.execute({"GRAPH.EXPLAIN", "g",
+                                "MATCH (p:P {v: 7}) RETURN count(p)"});
+  EXPECT_NE(ex.text.find("IndexScan"), std::string::npos) << ex.text;
+  r = q("MATCH (p:P {v: 7}) RETURN count(p)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.result.rows[0][0].as_int(), 1);
+  EXPECT_GE(config_value("PLAN_CACHE_INVALIDATIONS"), 1);
+}
+
+TEST_F(PlanCacheServerFixture, PlanCacheSizeConfigRoundTrip) {
+  EXPECT_GT(config_value("PLAN_CACHE_SIZE"), 0);
+  ASSERT_TRUE(srv_.execute({"GRAPH.CONFIG", "SET", "PLAN_CACHE_SIZE",
+                            "8"}).ok());
+  EXPECT_EQ(config_value("PLAN_CACHE_SIZE"), 8);
+  EXPECT_FALSE(srv_.execute({"GRAPH.CONFIG", "SET", "PLAN_CACHE_SIZE",
+                             "0"}).ok());
+  EXPECT_FALSE(srv_.execute({"GRAPH.CONFIG", "SET", "PLAN_CACHE_SIZE",
+                             "abc"}).ok());
+}
+
+TEST_F(PlanCacheServerFixture, ConfigGetStarListsEverything) {
+  const auto r = srv_.execute({"GRAPH.CONFIG", "GET", "*"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(r.result.row_count(), 5u);
+}
+
 }  // namespace
 }  // namespace rg::server
