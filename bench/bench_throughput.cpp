@@ -11,9 +11,16 @@
 //                wire path (parser, dispatcher, reply encoding) is in
 //                the measured loop
 //
+// A final section sweeps the durability fsync policies (none / no /
+// everysec / always) over a pure write workload, showing the latency
+// price of each journal flush strategy.
+//
 //   $ ./bench_throughput [--quick] [--socket] [--json]
+#include <unistd.h>
+
 #include <atomic>
 #include <cstring>
+#include <filesystem>
 #include <thread>
 
 #include "bench_common.hpp"
@@ -200,6 +207,52 @@ int main(int argc, char** argv) {
     const double secs = sw.seconds();
     std::printf("  reads: %zu (%.1f/s)  writes: %zu (%.1f/s)\n", reads.load(),
                 reads / secs, writes.load(), writes / secs);
+  }
+
+  // Durability sweep: single-writer CREATE workload under each fsync
+  // policy ("none" = durability disabled baseline).  The gap between
+  // "no" and "always" is the per-commit fdatasync price.
+  std::printf("\ndurability fsync-policy sweep (single writer, %zu CREATEs):\n",
+              static_cast<std::size_t>(opt.quick ? 200 : 2000));
+  std::printf("  %-10s %14s\n", "policy", "writes/s");
+  {
+    const std::size_t n_writes = opt.quick ? 200 : 2000;
+    const char* policies[] = {"none", "no", "everysec", "always"};
+    for (const char* policy : policies) {
+      const std::string dir =
+          std::filesystem::temp_directory_path() /
+          ("bench_wal_" + std::string(policy) + "_" +
+           std::to_string(::getpid()));
+      double wps;
+      {
+        server::DurabilityConfig dc;
+        if (std::strcmp(policy, "none") != 0) {
+          dc.data_dir = dir;
+          dc.options.fsync = persist::parse_fsync_policy(policy);
+        }
+        server::Server srv(4, dc);
+        util::Stopwatch sw;
+        for (std::size_t q = 0; q < n_writes; ++q) {
+          auto reply = srv.execute(
+              {"GRAPH.QUERY", "bench",
+               "CREATE (:W {seq: " + std::to_string(q) + "})"});
+          if (!reply.ok()) std::abort();
+        }
+        wps = static_cast<double>(n_writes) / sw.seconds();
+      }
+      std::filesystem::remove_all(dir);
+      std::printf("  %-10s %14.1f\n", policy, wps);
+      if (opt.json) {
+        bench::JsonRow row("throughput");
+        row.kv("workload", std::string("durability"))
+            .kv("engine", std::string("server"))
+            .kv("transport", std::string("in-process"))
+            .kv("policy", std::string(policy))
+            .kv("writes", static_cast<std::uint64_t>(n_writes))
+            .kv("writes_per_s", wps);
+        row.emit();
+      }
+    }
   }
   return 0;
 }

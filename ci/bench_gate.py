@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Bench regression gate: diff a candidate BENCH_*.json against the
+committed baseline and flag rows that regressed beyond a threshold.
+
+Usage:
+  bench_gate.py --baseline BENCH_2.json --candidate BENCH_3.json
+                [--threshold-pct 30] [--mode warn|fail]
+                [--summary $GITHUB_STEP_SUMMARY]
+
+Rows are matched by every non-metric field (bench, workload, engine,
+k, workers, name, ...).  Two metrics are understood:
+  * mean_ms       lower is better  (latency rows)
+  * qps           higher is better (throughput rows)
+
+Key rows — the ones that can fail the gate — are all matched rows
+EXCEPT the durability fsync sweep (rows with a `policy` field): fsync
+latency on shared CI runners is dominated by the host's storage stack,
+so those rows are report-only.
+
+In --mode fail the script exits 1 if any key row regressed more than
+the threshold; in --mode warn it always exits 0.  Either way it prints
+(and optionally writes to the GitHub step summary) a markdown table of
+every regression and the biggest improvements.
+"""
+
+import argparse
+import json
+import sys
+
+METRIC_FIELDS = {"mean_ms", "p50_ms", "p95_ms", "p99_ms", "qps",
+                 "writes_per_s", "timeouts", "checksum", "seeds", "writes"}
+
+
+def row_key(row):
+    return tuple(sorted((k, str(v)) for k, v in row.items()
+                        if k not in METRIC_FIELDS))
+
+
+def load_rows(path):
+    with open(path) as f:
+        data = json.load(f)
+    rows = {}
+    for row in data.get("rows", []):
+        rows[row_key(row)] = row
+    return rows
+
+
+def describe(row):
+    parts = [str(row.get("bench", "?"))]
+    for field in ("workload", "engine", "name", "transport", "policy"):
+        if field in row:
+            parts.append(str(row[field]))
+    for field in ("k", "workers"):
+        if field in row:
+            parts.append(f"{field}={row[field]}")
+    return " / ".join(parts)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--candidate", required=True)
+    ap.add_argument("--threshold-pct", type=float, default=30.0)
+    ap.add_argument("--mode", choices=("warn", "fail"), default="warn")
+    ap.add_argument("--summary", default=None,
+                    help="file to append the markdown table to")
+    args = ap.parse_args()
+
+    base = load_rows(args.baseline)
+    cand = load_rows(args.candidate)
+
+    results = []  # (delta_pct, gated, row, metric, base_v, cand_v)
+    matched = 0
+    for key, row in cand.items():
+        if key not in base:
+            continue
+        brow = base[key]
+        for metric, higher_better in (("mean_ms", False), ("qps", True),
+                                      ("writes_per_s", True)):
+            if metric not in row or metric not in brow:
+                continue
+            bv, cv = float(brow[metric]), float(row[metric])
+            if bv <= 0:
+                continue
+            matched += 1
+            # delta > 0 means regression, in percent of the baseline.
+            delta = (cv - bv) / bv * 100.0
+            if higher_better:
+                delta = -delta
+            gated = "policy" not in row
+            results.append((delta, gated, row, metric, bv, cv))
+
+    regressions = [r for r in results if r[0] > args.threshold_pct]
+    gated_regressions = [r for r in regressions if r[1]]
+    improvements = sorted((r for r in results if r[0] < -args.threshold_pct),
+                          key=lambda r: r[0])
+
+    lines = []
+    lines.append(f"## Bench regression gate "
+                 f"({args.candidate} vs {args.baseline})")
+    lines.append("")
+    lines.append(f"{matched} comparable metrics, threshold "
+                 f"{args.threshold_pct:.0f}%, mode `{args.mode}` — "
+                 f"**{len(gated_regressions)} gating regression(s)**, "
+                 f"{len(regressions) - len(gated_regressions)} "
+                 f"report-only, {len(improvements)} improvement(s).")
+    lines.append("")
+    if regressions or improvements:
+        lines.append("| row | metric | baseline | candidate | delta | gate |")
+        lines.append("|---|---|---:|---:|---:|---|")
+        for delta, gated, row, metric, bv, cv in sorted(
+                regressions, key=lambda r: -r[0]) + improvements:
+            kind = "regression" if delta > 0 else "improvement"
+            gate = "FAIL" if (delta > 0 and gated and args.mode == "fail") \
+                else ("report-only" if delta > 0 and not gated else kind)
+            lines.append(f"| {describe(row)} | {metric} | {bv:.4g} | "
+                         f"{cv:.4g} | {delta:+.1f}% | {gate} |")
+    else:
+        lines.append("No row moved beyond the threshold.")
+    text = "\n".join(lines)
+    print(text)
+    if args.summary:
+        with open(args.summary, "a") as f:
+            f.write(text + "\n")
+
+    if matched == 0:
+        # A silent shape mismatch would disable the gate forever: fail.
+        print("bench_gate: no comparable rows "
+              "(baseline/candidate shape mismatch?)", file=sys.stderr)
+        return 1 if args.mode == "fail" else 0
+    if args.mode == "fail" and gated_regressions:
+        print(f"bench_gate: {len(gated_regressions)} key row(s) regressed "
+              f"more than {args.threshold_pct:.0f}%", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

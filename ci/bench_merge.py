@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Merge bench driver outputs into one BENCH_<pr>.json artifact.
+
+Usage: bench_merge.py --pr N --rows rows.jsonl [--gbench NAME=FILE ...]
+                      --out BENCH_N.json
+
+`rows.jsonl` holds one flat JSON object per line (the hand-rolled
+drivers' --json output).  Each --gbench FILE is a google-benchmark
+--benchmark_format=json report, flattened into the same row shape with
+`bench` set to NAME and times normalized to milliseconds.
+"""
+
+import argparse
+import json
+
+
+def flatten_gbench(name, path):
+    with open(path) as f:
+        data = json.load(f)
+    rows = []
+    for b in data.get("benchmarks", []):
+        ms = b["real_time"]
+        unit = b.get("time_unit", "ns")
+        if unit == "ns":
+            ms /= 1e6
+        elif unit == "us":
+            ms /= 1e3
+        elif unit == "s":
+            ms *= 1e3
+        rows.append({"bench": name, "name": b["name"], "mean_ms": ms})
+    return rows
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--pr", type=int, required=True)
+    ap.add_argument("--mode", default="quick-ci")
+    ap.add_argument("--rows", required=True)
+    ap.add_argument("--gbench", action="append", default=[],
+                    metavar="NAME=FILE")
+    ap.add_argument("--out", required=True)
+    args = ap.parse_args()
+
+    rows = []
+    with open(args.rows) as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                rows.append(json.loads(line))
+    for spec in args.gbench:
+        name, _, path = spec.partition("=")
+        rows.extend(flatten_gbench(name, path))
+
+    out = {"pr": args.pr, "mode": args.mode, "rows": rows}
+    with open(args.out, "w") as f:
+        json.dump(out, f, indent=1)
+    print(f"{len(rows)} rows merged into {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,6 +1,11 @@
 // resp_server — start the graph engine as a standalone TCP service.
 //
 //   $ ./resp_server [--port 6380] [--threads 4] [--any-interface]
+//                   [--data-dir DIR] [--fsync always|everysec|no]
+//
+// With --data-dir the server is durable: it recovers snapshot + WAL
+// state from DIR at startup and journals every write, so a crash (or
+// kill -9) loses nothing past the fsync policy's window.
 //
 // Speaks RESP on the socket, so any Redis client works:
 //   $ redis-cli -p 6380 GRAPH.QUERY g "CREATE (:Person {name:'ann'})"
@@ -30,6 +35,7 @@ int main(int argc, char** argv) {
   unsigned port = 6380;
   unsigned threads = 4;
   bool loopback_only = true;
+  rg::server::DurabilityConfig durability;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
       port = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
@@ -37,9 +43,19 @@ int main(int argc, char** argv) {
       threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--any-interface") == 0) {
       loopback_only = false;
+    } else if (std::strcmp(argv[i], "--data-dir") == 0 && i + 1 < argc) {
+      durability.data_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--fsync") == 0 && i + 1 < argc) {
+      try {
+        durability.options.fsync = rg::persist::parse_fsync_policy(argv[++i]);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--port N] [--threads N] [--any-interface]\n",
+                   "usage: %s [--port N] [--threads N] [--any-interface]\n"
+                   "          [--data-dir DIR] [--fsync always|everysec|no]\n",
                    argv[0]);
       return 2;
     }
@@ -48,11 +64,15 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
 
-  rg::server::Server core(threads);
+  rg::server::Server core(threads, durability);
   rg::server::NetServer net(core, static_cast<std::uint16_t>(port),
                             loopback_only);
   std::printf("listening on %s:%u (%u workers) — Ctrl-C to stop\n",
               loopback_only ? "127.0.0.1" : "0.0.0.0", net.port(), threads);
+  if (!durability.data_dir.empty())
+    std::printf("durable: data dir %s, fsync %s\n",
+                durability.data_dir.c_str(),
+                rg::persist::fsync_policy_name(durability.options.fsync));
   std::fflush(stdout);
 
   // Park until a signal arrives (or stdin closes when run under a

@@ -47,6 +47,10 @@ NodeId Graph::add_node(const std::vector<LabelId>& labels, AttributeSet attrs) {
                    ent.labels.end());
   ent.attrs = std::move(attrs);
   const NodeId id = nodes_.emplace(std::move(ent));
+  if (id >= kMaxEntityId) {
+    nodes_.erase(id);
+    throw GraphFullError();
+  }
   ensure_capacity(id + 1);
   const NodeEntity& stored = nodes_[id];
   for (LabelId l : stored.labels) label_mut(l).set_element(id, id, 1);
@@ -69,6 +73,10 @@ EdgeId Graph::add_edge(RelTypeId type, NodeId src, NodeId dst,
   ent.type = type;
   ent.attrs = std::move(attrs);
   const EdgeId id = edges_.emplace(std::move(ent));
+  if (id >= kMaxEntityId) {
+    edges_.erase(id);
+    throw GraphFullError();
+  }
 
   rel_mut(type).set_element(src, dst, 1);
   rels_[type].mt.set_element(dst, src, 1);

@@ -25,6 +25,7 @@
 #include <map>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -38,8 +39,22 @@
 
 namespace rg::graph {
 
+/// Raised when the graph reaches its entity-id capacity (kMaxEntityId).
+class GraphFullError : public std::length_error {
+ public:
+  GraphFullError() : std::length_error("graph entity-id space exhausted") {}
+};
+
 class Graph {
  public:
+  /// Hard cap on entity ids (and thus matrix dimensions).  Matrices
+  /// allocate O(id_bound) row pointers, so an unbounded id would turn
+  /// into an unbounded allocation; add_node/add_edge throw
+  /// GraphFullError past this, and the serializer rejects ids beyond it
+  /// on load — the two bounds must agree so every graph that can be
+  /// saved can also be loaded.
+  static constexpr gb::Index kMaxEntityId = gb::Index{1} << 26;
+
   /// Create an empty graph; matrices start at `initial_capacity` and grow
   /// geometrically as nodes are added.
   explicit Graph(gb::Index initial_capacity = 256);

@@ -4,14 +4,28 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
+#include <unordered_set>
 #include <vector>
+
+#include "util/file_io.hpp"
 
 namespace rg::graph {
 
 namespace {
 
 constexpr char kMagic[4] = {'R', 'G', 'R', '1'};
-constexpr std::uint32_t kVersion = 1;
+// v1: no snapshot meta; v2 (current): u64 epoch + u64 lsn after version.
+constexpr std::uint32_t kVersion = 2;
+
+// Robustness bounds: a corrupt length/count/id must raise SerializeError
+// instead of driving a multi-gigabyte allocation (matrices are sized by
+// the largest node id).  The id bound is Graph::kMaxEntityId — the same
+// cap add_node/add_edge enforce, so every saveable graph is loadable.
+// Also never trust a count for reserve() — a flipped byte can promise
+// 2^56 elements the stream cannot contain.
+constexpr std::uint64_t kMaxEntityId = Graph::kMaxEntityId;
+constexpr std::size_t kMaxReserve = 1u << 16;
 
 // --- primitive writers/readers ---------------------------------------------
 
@@ -124,7 +138,7 @@ Value get_value(std::istream& in) {
     case Tag::kArray: {
       const auto n = get_u32(in);
       ValueArray arr;
-      arr.reserve(n);
+      arr.reserve(std::min<std::size_t>(n, kMaxReserve));
       for (std::uint32_t i = 0; i < n; ++i) arr.push_back(get_value(in));
       return Value(std::move(arr));
     }
@@ -152,9 +166,11 @@ AttributeSet get_attrs(std::istream& in) {
 
 }  // namespace
 
-void save_graph(const Graph& g, std::ostream& out) {
+void save_graph(const Graph& g, std::ostream& out, const SnapshotMeta& meta) {
   out.write(kMagic, 4);
   put_u32(out, kVersion);
+  put_u64(out, meta.epoch);
+  put_u64(out, meta.lsn);
 
   // Schema string tables.
   const Schema& schema = g.schema();
@@ -201,71 +217,151 @@ void save_graph(const Graph& g, std::ostream& out) {
   if (!out) throw SerializeError("write failure");
 }
 
-void load_graph(Graph& g, std::istream& in) {
+namespace {
+
+// Staging area: everything is parsed and validated here first, so a
+// malformed input never leaves the target graph half-mutated.
+struct StagedNode {
+  NodeId id;
+  std::vector<LabelId> labels;
+  AttributeSet attrs;
+};
+struct StagedEdge {
+  EdgeId id;
+  RelTypeId type;
+  NodeId src, dst;
+  AttributeSet attrs;
+};
+struct StagedGraph {
+  SnapshotMeta meta;
+  std::vector<std::string> labels, reltypes, attrs;
+  std::vector<StagedNode> nodes;
+  std::vector<StagedEdge> edges;
+  std::vector<std::pair<LabelId, AttrId>> indexes;
+};
+
+StagedGraph parse_graph(std::istream& in) {
+  StagedGraph sg;
   char magic[4];
   in.read(magic, 4);
   if (in.gcount() != 4 || std::string(magic, 4) != std::string(kMagic, 4))
     throw SerializeError("bad magic (not an RGR1 file)");
-  if (get_u32(in) != kVersion) throw SerializeError("unsupported version");
+  const auto version = get_u32(in);
+  if (version < 1 || version > kVersion)
+    throw SerializeError("unsupported version");
+  if (version >= 2) {
+    sg.meta.epoch = get_u64(in);
+    sg.meta.lsn = get_u64(in);
+  }
 
-  // Schema.
+  // Schema string tables.
   const auto nlabels = get_u32(in);
-  for (std::uint32_t i = 0; i < nlabels; ++i) g.schema().add_label(get_str(in));
+  for (std::uint32_t i = 0; i < nlabels; ++i) sg.labels.push_back(get_str(in));
   const auto nrels = get_u32(in);
-  for (std::uint32_t i = 0; i < nrels; ++i) g.schema().add_reltype(get_str(in));
+  for (std::uint32_t i = 0; i < nrels; ++i) sg.reltypes.push_back(get_str(in));
   const auto nattrs = get_u32(in);
-  for (std::uint32_t i = 0; i < nattrs; ++i) g.schema().add_attr(get_str(in));
+  for (std::uint32_t i = 0; i < nattrs; ++i) sg.attrs.push_back(get_str(in));
 
   // Nodes.
   const auto nnodes = get_u64(in);
+  std::unordered_set<NodeId> node_ids;
+  node_ids.reserve(std::min<std::size_t>(nnodes, kMaxReserve));
   for (std::uint64_t i = 0; i < nnodes; ++i) {
-    const auto id = get_u64(in);
+    StagedNode node;
+    node.id = get_u64(in);
+    if (node.id >= kMaxEntityId) throw SerializeError("node id out of range");
+    if (!node_ids.insert(node.id).second)
+      throw SerializeError("duplicate node id");
     const auto nl = get_u32(in);
-    std::vector<LabelId> labels;
-    labels.reserve(nl);
+    node.labels.reserve(std::min<std::size_t>(nl, kMaxReserve));
     for (std::uint32_t k = 0; k < nl; ++k) {
       const auto l = get_u32(in);
       if (l >= nlabels) throw SerializeError("label id out of range");
-      labels.push_back(l);
+      node.labels.push_back(l);
     }
-    g.restore_node(id, std::move(labels), get_attrs(in));
+    node.attrs = get_attrs(in);
+    sg.nodes.push_back(std::move(node));
   }
 
   // Edges.
   const auto nedges = get_u64(in);
+  std::unordered_set<EdgeId> edge_ids;
+  edge_ids.reserve(std::min<std::size_t>(nedges, kMaxReserve));
   for (std::uint64_t i = 0; i < nedges; ++i) {
-    const auto id = get_u64(in);
-    const auto type = get_u32(in);
-    if (type >= nrels) throw SerializeError("reltype id out of range");
-    const auto src = get_u64(in);
-    const auto dst = get_u64(in);
-    if (!g.has_node(src) || !g.has_node(dst))
+    StagedEdge edge;
+    edge.id = get_u64(in);
+    if (edge.id >= kMaxEntityId) throw SerializeError("edge id out of range");
+    if (!edge_ids.insert(edge.id).second)
+      throw SerializeError("duplicate edge id");
+    edge.type = get_u32(in);
+    if (edge.type >= nrels) throw SerializeError("reltype id out of range");
+    edge.src = get_u64(in);
+    edge.dst = get_u64(in);
+    if (!node_ids.contains(edge.src) || !node_ids.contains(edge.dst))
       throw SerializeError("edge references missing node");
-    g.restore_edge(id, type, src, dst, get_attrs(in));
+    edge.attrs = get_attrs(in);
+    sg.edges.push_back(std::move(edge));
   }
 
-  // Indexes (rebuilt from entities).
+  // Indexes (rebuilt from entities after apply).
   const auto nindexes = get_u32(in);
   for (std::uint32_t i = 0; i < nindexes; ++i) {
     const auto l = get_u32(in);
     const auto a = get_u32(in);
     if (l >= nlabels || a >= nattrs) throw SerializeError("index id range");
-    g.create_index(l, a);
+    sg.indexes.emplace_back(l, a);
   }
-
-  g.finish_restore();
+  return sg;
 }
 
-void save_graph_file(const Graph& g, const std::string& path) {
+}  // namespace
+
+void load_graph(Graph& g, std::istream& in, SnapshotMeta* meta) {
+  StagedGraph sg = parse_graph(in);  // throws before g is touched
+
+  if (g.node_count() != 0 || g.edge_count() != 0 ||
+      g.schema().label_count() != 0 || g.schema().reltype_count() != 0 ||
+      g.schema().attr_count() != 0)
+    throw SerializeError("target graph is not empty");
+
+  for (auto& name : sg.labels) g.schema().add_label(name);
+  for (auto& name : sg.reltypes) g.schema().add_reltype(name);
+  for (auto& name : sg.attrs) g.schema().add_attr(name);
+  for (auto& node : sg.nodes)
+    g.restore_node(node.id, std::move(node.labels), std::move(node.attrs));
+  for (auto& edge : sg.edges)
+    g.restore_edge(edge.id, edge.type, edge.src, edge.dst,
+                   std::move(edge.attrs));
+  for (const auto& [l, a] : sg.indexes) g.create_index(l, a);
+  g.finish_restore();
+  if (meta != nullptr) *meta = sg.meta;
+}
+
+void save_graph_file(const Graph& g, const std::string& path,
+                     const SnapshotMeta& meta, bool durable) {
+  if (durable) {
+    // Snapshot path: serialize to memory, then tmp-write + fsync +
+    // atomic rename so a crash never leaves a torn snapshot behind.
+    std::ostringstream out(std::ios::binary);
+    save_graph(g, out, meta);
+    try {
+      util::atomic_write_file(path, out.str());
+    } catch (const util::FileError& e) {
+      throw SerializeError(e.what());
+    }
+    return;
+  }
   std::ofstream out(path, std::ios::binary);
   if (!out) throw SerializeError("cannot open " + path + " for writing");
-  save_graph(g, out);
+  save_graph(g, out, meta);
+  out.flush();
+  if (!out) throw SerializeError("write failure on " + path);
 }
 
-void load_graph_file(Graph& g, const std::string& path) {
+void load_graph_file(Graph& g, const std::string& path, SnapshotMeta* meta) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw SerializeError("cannot open " + path);
-  load_graph(g, in);
+  load_graph(g, in, meta);
 }
 
 }  // namespace rg::graph

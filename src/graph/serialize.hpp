@@ -4,7 +4,7 @@
 // so graphs survive restarts; here the same role is played by a compact
 // length-prefixed binary format:
 //
-//   header:  magic "RGR1", version
+//   header:  magic "RGR1", version, snapshot meta (v2: epoch, lsn)
 //   schema:  label / reltype / attr string tables
 //   nodes:   id, labels, attributes          (ids preserved exactly)
 //   edges:   id, type, src, dst, attributes
@@ -13,8 +13,18 @@
 // Attribute values serialize with a one-byte type tag; arrays nest.
 // Round-tripping preserves entity ids, so matrix structure is rebuilt
 // identically (verified by tests).
+//
+// Version 2 adds a snapshot epoch/LSN header so the durability layer
+// (src/persist) knows where WAL replay begins on top of a snapshot;
+// version 1 files (no header) still load with meta = {0, 0}.
+//
+// Loading is all-or-nothing: the input is fully parsed and validated
+// into a staging area before the target graph is touched, so a
+// truncated / corrupt / bit-flipped file raises SerializeError and
+// leaves `g` exactly as it was.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <stdexcept>
 #include <string>
@@ -30,15 +40,28 @@ class SerializeError : public std::runtime_error {
       : std::runtime_error("graph serialization: " + what) {}
 };
 
-/// Write `g` to `out` in RGR1 format.
-void save_graph(const Graph& g, std::ostream& out);
+/// Durability header carried by v2 snapshots: which WAL epoch the
+/// snapshot belongs to and the last LSN already folded into it (frames
+/// at or below `lsn` must be skipped when replaying on top of it).
+struct SnapshotMeta {
+  std::uint64_t epoch = 0;
+  std::uint64_t lsn = 0;
+};
+
+/// Write `g` to `out` in RGR1 format (version 2).
+void save_graph(const Graph& g, std::ostream& out,
+                const SnapshotMeta& meta = {});
 
 /// Read a graph from `in`; replaces the contents of `g` (which must be
-/// freshly constructed / empty).
-void load_graph(Graph& g, std::istream& in);
+/// freshly constructed / empty).  On error `g` is left untouched.
+/// `meta`, when non-null, receives the snapshot header (zeros for v1).
+void load_graph(Graph& g, std::istream& in, SnapshotMeta* meta = nullptr);
 
-/// Convenience file wrappers.
-void save_graph_file(const Graph& g, const std::string& path);
-void load_graph_file(Graph& g, const std::string& path);
+/// Convenience file wrappers.  `durable` writes through a temp file and
+/// fsyncs before an atomic rename (snapshot path of src/persist).
+void save_graph_file(const Graph& g, const std::string& path,
+                     const SnapshotMeta& meta = {}, bool durable = false);
+void load_graph_file(Graph& g, const std::string& path,
+                     SnapshotMeta* meta = nullptr);
 
 }  // namespace rg::graph

@@ -1,0 +1,265 @@
+#include "persist/durability.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/file_io.hpp"
+
+namespace rg::persist {
+
+namespace {
+
+constexpr const char* kManifestName = "MANIFEST";
+
+/// Manifest tokens are space-separated; escape whitespace, '%' and
+/// control bytes in graph keys as %XX.  An empty key encodes as a lone
+/// '%' (which is never produced by escaping itself).
+std::string escape_key(const std::string& s) {
+  if (s.empty()) return "%";
+  static const char* hex = "0123456789abcdef";
+  std::string out;
+  for (const char ch : s) {
+    const auto c = static_cast<unsigned char>(ch);
+    if (c <= 0x20 || c == '%' || c == 0x7f) {
+      out += '%';
+      out += hex[c >> 4];
+      out += hex[c & 0xf];
+    } else {
+      out += ch;
+    }
+  }
+  return out;
+}
+
+std::string unescape_key(const std::string& s) {
+  if (s == "%") return "";
+  std::string out;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size()) {
+      out += static_cast<char>(
+          std::stoi(s.substr(i + 1, 2), nullptr, 16));
+      i += 2;
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> tokens_of(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream iss(line);
+  std::string tok;
+  while (iss >> tok) out.push_back(tok);
+  return out;
+}
+
+}  // namespace
+
+DurabilityManager::DurabilityManager(std::string data_dir, Options options)
+    : dir_(std::move(data_dir)), options_(options) {
+  util::ensure_dir(dir_);
+  const std::string manifest_path = path_of(kManifestName);
+  if (!util::path_exists(manifest_path)) {
+    wal_files_.push_back(wal_file(epoch_));
+    return;  // fresh directory; manifest is published in open_and_replay
+  }
+
+  const std::string text = util::read_file(manifest_path);
+  std::istringstream lines(text);
+  std::string line;
+  bool saw_header = false;
+  while (std::getline(lines, line)) {
+    const auto tok = tokens_of(line);
+    if (tok.empty()) continue;
+    if (!saw_header) {
+      if (tok.size() != 2 || tok[0] != "RGMANIFEST" || tok[1] != "1")
+        throw PersistError("bad manifest header in " + manifest_path);
+      saw_header = true;
+      continue;
+    }
+    if (tok[0] == "epoch" && tok.size() == 2) {
+      epoch_ = std::stoull(tok[1]);
+    } else if (tok[0] == "wal" && tok.size() == 2) {
+      wal_files_.push_back(tok[1]);
+    } else if (tok[0] == "graph" && tok.size() == 4) {
+      snapshots_.push_back(
+          {unescape_key(tok[1]), tok[2], std::stoull(tok[3])});
+    } else {
+      throw PersistError("bad manifest line '" + line + "'");
+    }
+  }
+  if (!saw_header) throw PersistError("empty manifest " + manifest_path);
+  if (wal_files_.empty()) wal_files_.push_back(wal_file(epoch_));
+}
+
+DurabilityManager::~DurabilityManager() = default;
+
+void DurabilityManager::open_and_replay(
+    const std::function<bool(std::uint64_t,
+                             const std::vector<std::string>&)>& apply) {
+  // Single-threaded by contract (constructor-time, before any append),
+  // so mu_ is NOT held: the apply callback re-enters the server, whose
+  // write path nests its own locks around append()'s mu_ — holding mu_
+  // across the callback would invert that order.
+  if (opened_) throw PersistError("open_and_replay called twice");
+
+  std::uint64_t max_lsn = 0;
+  for (const auto& snap : snapshots_) max_lsn = std::max(max_lsn, snap.lsn);
+  for (const auto& file : wal_files_) {
+    const std::string path = path_of(file);
+    if (!util::path_exists(path)) continue;  // fresh epoch, never written
+    const WalScan scan = scan_wal(path, [&](const WalFrame& frame) {
+      if (apply(frame.lsn, frame.argv))
+        ++retired_.replayed_frames;
+      else
+        ++retired_.skipped_frames;
+    });
+    max_lsn = std::max(max_lsn, scan.last_lsn);
+    if (scan.torn_tail) {
+      retired_.torn_bytes += scan.total_bytes - scan.valid_bytes;
+      util::truncate_file(path, scan.valid_bytes);
+    }
+  }
+  next_lsn_ = max_lsn + 1;
+
+  writer_ = std::make_unique<WalWriter>(path_of(wal_files_.back()), epoch_,
+                                        next_lsn_, options_.fsync);
+  write_manifest_locked();  // publishes the fresh-dir manifest too
+  remove_unreferenced_locked();
+  opened_ = true;
+}
+
+std::uint64_t DurabilityManager::append(
+    const std::vector<std::string>& argv) {
+  std::lock_guard lk(mu_);
+  return writer_->append(argv);
+}
+
+std::uint64_t DurabilityManager::append_if(
+    const std::vector<std::string>& argv,
+    const std::function<bool()>& guard) {
+  std::lock_guard lk(mu_);
+  if (!guard()) return 0;
+  return writer_->append(argv);
+}
+
+bool DurabilityManager::compaction_due() const {
+  std::lock_guard lk(mu_);
+  return writer_ && writer_->size_bytes() > options_.wal_max_bytes;
+}
+
+std::uint64_t DurabilityManager::begin_rewrite() {
+  std::lock_guard lk(mu_);
+  writer_->sync();  // the closing epoch must be fully durable first
+  const std::uint64_t next = writer_->next_lsn();
+  const FsyncPolicy policy = writer_->policy();
+  fold_writer_counters_locked();
+  writer_.reset();
+  ++epoch_;
+  wal_files_.push_back(wal_file(epoch_));
+  writer_ = std::make_unique<WalWriter>(path_of(wal_files_.back()), epoch_,
+                                        next, policy);
+  // Transitional manifest: both logs listed, old snapshots still
+  // authoritative.  A crash between here and commit loses nothing.
+  write_manifest_locked();
+  return epoch_;
+}
+
+std::string DurabilityManager::snapshot_file(std::uint64_t epoch,
+                                             std::size_t index) const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "snap-%llu-%zu.rgr",
+                static_cast<unsigned long long>(epoch), index);
+  return buf;
+}
+
+void DurabilityManager::commit_rewrite(std::uint64_t epoch,
+                                       std::vector<SnapshotInfo> entries) {
+  std::lock_guard lk(mu_);
+  if (epoch != epoch_)
+    throw PersistError("commit_rewrite epoch mismatch");
+  snapshots_ = std::move(entries);
+  wal_files_.clear();
+  wal_files_.push_back(wal_file(epoch_));
+  write_manifest_locked();
+  ++retired_.rewrites;
+  remove_unreferenced_locked();
+}
+
+FsyncPolicy DurabilityManager::fsync_policy() const {
+  std::lock_guard lk(mu_);
+  return options_.fsync;
+}
+
+void DurabilityManager::set_fsync_policy(FsyncPolicy policy) {
+  std::lock_guard lk(mu_);
+  options_.fsync = policy;
+  if (writer_) writer_->set_policy(policy);
+}
+
+std::uint64_t DurabilityManager::wal_max_bytes() const {
+  std::lock_guard lk(mu_);
+  return options_.wal_max_bytes;
+}
+
+void DurabilityManager::set_wal_max_bytes(std::uint64_t bytes) {
+  std::lock_guard lk(mu_);
+  options_.wal_max_bytes = bytes;
+}
+
+std::uint64_t DurabilityManager::wal_size_bytes() const {
+  std::lock_guard lk(mu_);
+  return writer_ ? writer_->size_bytes() : 0;
+}
+
+Counters DurabilityManager::counters() const {
+  std::lock_guard lk(mu_);
+  Counters total = retired_;
+  if (writer_) {
+    const auto c = writer_->counters();
+    total.appends += c.appends;
+    total.appended_bytes += c.appended_bytes;
+    total.fsyncs += c.fsyncs;
+  }
+  return total;
+}
+
+std::string DurabilityManager::wal_file(std::uint64_t epoch) const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "wal-%llu.log",
+                static_cast<unsigned long long>(epoch));
+  return buf;
+}
+
+void DurabilityManager::write_manifest_locked() {
+  std::string out = "RGMANIFEST 1\n";
+  out += "epoch " + std::to_string(epoch_) + "\n";
+  for (const auto& file : wal_files_) out += "wal " + file + "\n";
+  for (const auto& snap : snapshots_)
+    out += "graph " + escape_key(snap.key) + " " + snap.file + " " +
+           std::to_string(snap.lsn) + "\n";
+  util::atomic_write_file(path_of(kManifestName), out);
+}
+
+void DurabilityManager::fold_writer_counters_locked() {
+  const auto c = writer_->counters();
+  retired_.appends += c.appends;
+  retired_.appended_bytes += c.appended_bytes;
+  retired_.fsyncs += c.fsyncs;
+}
+
+void DurabilityManager::remove_unreferenced_locked() {
+  std::vector<std::string> keep{kManifestName};
+  keep.insert(keep.end(), wal_files_.begin(), wal_files_.end());
+  for (const auto& snap : snapshots_) keep.push_back(snap.file);
+  for (const auto& name : util::list_dir(dir_)) {
+    const bool ours = name.rfind("wal-", 0) == 0 || name.rfind("snap-", 0) == 0;
+    if (!ours) continue;
+    if (std::find(keep.begin(), keep.end(), name) == keep.end())
+      util::remove_file(path_of(name));
+  }
+}
+
+}  // namespace rg::persist

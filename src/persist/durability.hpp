@@ -1,0 +1,144 @@
+// DurabilityManager — snapshots + WAL under one data directory, playing
+// the role Redis RDB+AOF play for RedisGraph.
+//
+// Data-dir layout:
+//
+//   MANIFEST            textual root of trust (atomically replaced)
+//   wal-<epoch>.log     journal epochs (usually one; two mid-rewrite)
+//   snap-<epoch>-<n>.rgr   one RGR1 snapshot per graph key
+//
+// MANIFEST format (one token-separated record per line):
+//
+//   RGMANIFEST 1
+//   epoch <e>
+//   wal <file>                  (repeated, replay order)
+//   graph <escaped-key> <file> <lsn>
+//
+// Recovery contract: load every `graph` snapshot, then replay the `wal`
+// files in order, skipping any frame whose LSN is <= the target graph's
+// snapshot LSN (its watermark) — frames journaled between the rewrite's
+// log rotation and that graph's snapshot are already inside the
+// snapshot.  Replay stops at the first torn/corrupt frame and truncates
+// the log there, so a crashed append can never poison later writes.
+//
+// Rewrite (AOF-rewrite-style compaction) is a three-step protocol driven
+// by the server, crash-safe at every boundary:
+//   1. begin_rewrite(): rotate to a fresh epoch log and publish a
+//      transitional manifest listing BOTH logs (old snapshots still
+//      authoritative) — a crash here replays old snapshot + both logs;
+//   2. the server snapshots every graph under its read lock, stamping
+//      each file with {epoch, per-graph last LSN};
+//   3. commit_rewrite(): publish the final manifest (new snapshots, new
+//      log only) and delete the superseded files.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "persist/wal.hpp"
+
+namespace rg::persist {
+
+struct Options {
+  FsyncPolicy fsync = FsyncPolicy::kEverySec;
+  std::uint64_t wal_max_bytes = 4ull << 20;  // rewrite threshold
+};
+
+/// Monotonic durability counters (GRAPH.CONFIG GET WAL_*).
+struct Counters {
+  std::uint64_t appends = 0;
+  std::uint64_t appended_bytes = 0;
+  std::uint64_t fsyncs = 0;
+  std::uint64_t rewrites = 0;
+  std::uint64_t replayed_frames = 0;  // applied during recovery
+  std::uint64_t skipped_frames = 0;   // below a snapshot watermark
+  std::uint64_t torn_bytes = 0;       // dropped from a crashed tail
+};
+
+class DurabilityManager {
+ public:
+  /// One graph snapshot registered in the manifest.
+  struct SnapshotInfo {
+    std::string key;   // graph key in the server keyspace
+    std::string file;  // file name inside the data dir
+    std::uint64_t lsn = 0;  // watermark: last LSN already applied
+  };
+
+  /// Opens (creating if needed) `data_dir` and reads the manifest.
+  /// Snapshot loading and WAL replay are driven by the owner via
+  /// snapshots() / replay() — this class never interprets commands.
+  DurabilityManager(std::string data_dir, Options options);
+  ~DurabilityManager();
+
+  DurabilityManager(const DurabilityManager&) = delete;
+  DurabilityManager& operator=(const DurabilityManager&) = delete;
+
+  const std::string& dir() const { return dir_; }
+  std::string path_of(const std::string& file) const {
+    return dir_ + "/" + file;
+  }
+
+  /// Snapshots recorded by the manifest (load these first).
+  const std::vector<SnapshotInfo>& snapshots() const { return snapshots_; }
+
+  /// Replay every intact journal frame in LSN order.  `apply` returns
+  /// true if it applied the frame, false if it skipped it (watermark).
+  /// Afterwards the log is open for appends: the torn tail (if any) is
+  /// truncated and stray files from a crashed rewrite are removed.
+  /// Must be called exactly once before append().
+  void open_and_replay(
+      const std::function<bool(std::uint64_t lsn,
+                               const std::vector<std::string>& argv)>& apply);
+
+  /// Journal one command; returns its LSN (durable per fsync policy).
+  std::uint64_t append(const std::vector<std::string>& argv);
+
+  /// Like append(), but evaluates `guard` under the mutex that
+  /// serializes appends and journals nothing (returning 0) when it is
+  /// false.  Lets a caller order its frame atomically against a
+  /// concurrent unlink frame (GRAPH.DELETE / RESTORE): once the
+  /// unlinking command has flipped its flag and journaled, no stale
+  /// writer can slip a frame in behind it.
+  std::uint64_t append_if(const std::vector<std::string>& argv,
+                          const std::function<bool()>& guard);
+
+  /// True once the live log exceeds wal_max_bytes (rewrite due).
+  bool compaction_due() const;
+
+  // -- rewrite protocol (see file header) --------------------------------
+  std::uint64_t begin_rewrite();
+  std::string snapshot_file(std::uint64_t epoch, std::size_t index) const;
+  void commit_rewrite(std::uint64_t epoch, std::vector<SnapshotInfo> entries);
+
+  // -- knobs & observability ---------------------------------------------
+  FsyncPolicy fsync_policy() const;
+  void set_fsync_policy(FsyncPolicy policy);
+  std::uint64_t wal_max_bytes() const;
+  void set_wal_max_bytes(std::uint64_t bytes);
+  std::uint64_t wal_size_bytes() const;
+  Counters counters() const;
+
+ private:
+  std::string wal_file(std::uint64_t epoch) const;
+  void write_manifest_locked();
+  void fold_writer_counters_locked();
+  void remove_unreferenced_locked();
+
+  std::string dir_;
+  Options options_;
+
+  mutable std::mutex mu_;  // guards everything below
+  std::uint64_t epoch_ = 0;
+  std::vector<std::string> wal_files_;  // replay order; back() is live
+  std::vector<SnapshotInfo> snapshots_;
+  std::unique_ptr<WalWriter> writer_;
+  Counters retired_;  // counters from closed epoch writers + recovery
+  std::uint64_t next_lsn_ = 1;
+  bool opened_ = false;
+};
+
+}  // namespace rg::persist

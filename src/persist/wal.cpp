@@ -1,0 +1,309 @@
+#include "persist/wal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "util/crc32.hpp"
+#include "util/file_io.hpp"
+
+namespace rg::persist {
+
+namespace {
+
+constexpr char kMagic[4] = {'R', 'G', 'W', 'L'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint64_t kHeaderBytes = 4 + 4 + 8;
+// A frame larger than this is treated as corruption, not a real length.
+constexpr std::uint32_t kMaxPayload = 256u << 20;
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+std::uint32_t get_u32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  return v;
+}
+
+std::string encode_payload(std::uint64_t lsn,
+                           const std::vector<std::string>& argv) {
+  std::string payload;
+  put_u64(payload, lsn);
+  put_u32(payload, static_cast<std::uint32_t>(argv.size()));
+  for (const auto& a : argv) {
+    put_u32(payload, static_cast<std::uint32_t>(a.size()));
+    payload += a;
+  }
+  return payload;
+}
+
+/// Decode one payload; returns false (never throws) on any truncation —
+/// the caller treats that as a corrupt frame.
+bool decode_payload(const std::string& payload, WalFrame& out) {
+  const char* p = payload.data();
+  std::size_t left = payload.size();
+  auto need = [&](std::size_t n) {
+    if (left < n) return false;
+    return true;
+  };
+  if (!need(12)) return false;
+  out.lsn = get_u64(p);
+  const std::uint32_t argc = get_u32(p + 8);
+  p += 12;
+  left -= 12;
+  if (argc > 1u << 20) return false;
+  out.argv.clear();
+  out.argv.reserve(argc);
+  for (std::uint32_t i = 0; i < argc; ++i) {
+    if (!need(4)) return false;
+    const std::uint32_t len = get_u32(p);
+    p += 4;
+    left -= 4;
+    if (!need(len)) return false;
+    out.argv.emplace_back(p, len);
+    p += len;
+    left -= len;
+  }
+  return left == 0;
+}
+
+}  // namespace
+
+FsyncPolicy parse_fsync_policy(const std::string& name) {
+  std::string low;
+  for (char c : name)
+    low.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  if (low == "always") return FsyncPolicy::kAlways;
+  if (low == "everysec") return FsyncPolicy::kEverySec;
+  if (low == "no") return FsyncPolicy::kNo;
+  throw PersistError("unknown fsync policy '" + name +
+                     "' (want always|everysec|no)");
+}
+
+const char* fsync_policy_name(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kAlways: return "always";
+    case FsyncPolicy::kEverySec: return "everysec";
+    case FsyncPolicy::kNo: return "no";
+  }
+  return "?";
+}
+
+WalScan scan_wal(const std::string& path,
+                 const std::function<void(const WalFrame&)>& fn) {
+  std::string data;
+  try {
+    data = util::read_file(path);
+  } catch (const util::FileError& e) {
+    throw PersistError(e.what());
+  }
+  if (data.size() < kHeaderBytes) {
+    // A crash can tear even the 16-byte header.  If what exists is a
+    // prefix of a real header this is an empty log with a torn tail;
+    // anything else is not a WAL file at all.
+    if (std::memcmp(data.data(), kMagic, std::min<std::size_t>(4, data.size())) != 0)
+      throw PersistError("bad WAL header in " + path);
+    WalScan scan;
+    scan.total_bytes = data.size();
+    scan.torn_tail = !data.empty();
+    return scan;
+  }
+  if (std::memcmp(data.data(), kMagic, 4) != 0)
+    throw PersistError("bad WAL header in " + path);
+  if (get_u32(data.data() + 4) != kVersion)
+    throw PersistError("unsupported WAL version in " + path);
+
+  WalScan scan;
+  scan.epoch = get_u64(data.data() + 8);
+  scan.total_bytes = data.size();
+  std::size_t off = kHeaderBytes;
+  WalFrame frame;
+  while (off < data.size()) {
+    if (data.size() - off < 8) break;  // torn frame header
+    const std::uint32_t len = get_u32(data.data() + off);
+    const std::uint32_t crc = get_u32(data.data() + off + 4);
+    if (len > kMaxPayload || data.size() - off - 8 < len) break;
+    const std::string payload = data.substr(off + 8, len);
+    if (util::crc32(payload) != crc) break;
+    if (!decode_payload(payload, frame)) break;
+    fn(frame);
+    scan.last_lsn = frame.lsn;
+    ++scan.frames;
+    off += 8 + len;
+  }
+  scan.valid_bytes = off;
+  scan.torn_tail = off != data.size();
+  return scan;
+}
+
+WalWriter::WalWriter(const std::string& path, std::uint64_t epoch,
+                     std::uint64_t next_lsn, FsyncPolicy policy)
+    : path_(path), epoch_(epoch), next_lsn_(next_lsn), policy_(policy) {
+  bool fresh = !util::path_exists(path);
+  if (!fresh) {
+    // A file torn inside the header (crash during creation) is re-made
+    // from scratch; scan_wal reported it as an empty log.
+    struct stat st{};
+    if (::stat(path.c_str(), &st) == 0 &&
+        static_cast<std::uint64_t>(st.st_size) < kHeaderBytes) {
+      util::remove_file(path);
+      fresh = true;
+    }
+  }
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd_ < 0)
+    throw PersistError("cannot open WAL " + path + ": " +
+                       std::strerror(errno));
+  if (fresh) {
+    std::string header(kMagic, 4);
+    put_u32(header, kVersion);
+    put_u64(header, epoch);
+    std::size_t done = 0;
+    while (done < header.size()) {
+      const ssize_t n =
+          ::write(fd_, header.data() + done, header.size() - done);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw PersistError("cannot write WAL header: " +
+                           std::string(std::strerror(errno)));
+      }
+      done += static_cast<std::size_t>(n);
+    }
+    ::fdatasync(fd_);
+    size_bytes_ = header.size();
+  } else {
+    const off_t end = ::lseek(fd_, 0, SEEK_END);
+    size_bytes_ = end < 0 ? 0 : static_cast<std::uint64_t>(end);
+  }
+  flusher_ = std::thread([this] { flusher_loop(); });
+}
+
+WalWriter::~WalWriter() {
+  {
+    std::lock_guard lk(flusher_mu_);
+    stop_ = true;
+  }
+  flusher_cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+  // Final best-effort flush so a clean shutdown loses nothing even
+  // under kNo / kEverySec.
+  {
+    std::lock_guard lk(mu_);
+    if (dirty_ && fd_ >= 0) {
+      ::fdatasync(fd_);
+      dirty_ = false;
+      ++counters_.fsyncs;
+    }
+  }
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::uint64_t WalWriter::append(const std::vector<std::string>& argv) {
+  std::lock_guard lk(mu_);
+  if (fd_ < 0)
+    throw PersistError("WAL " + path_ + " is closed after a write failure");
+  const std::uint64_t lsn = next_lsn_.fetch_add(1);
+  const std::string payload = encode_payload(lsn, argv);
+  std::string frame;
+  frame.reserve(8 + payload.size());
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  put_u32(frame, util::crc32(payload));
+  frame += payload;
+
+  std::size_t done = 0;
+  while (done < frame.size()) {
+    const ssize_t n = ::write(fd_, frame.data() + done, frame.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // A partial frame must not stay in the log: recovery stops at the
+      // first torn frame, so garbage here would silently discard every
+      // later (acknowledged!) append.  Cut back to the last good offset;
+      // if even that fails the log is unusable — refuse further appends.
+      const int saved_errno = errno;
+      if (::ftruncate(fd_, static_cast<off_t>(size_bytes_)) != 0) {
+        ::close(fd_);
+        fd_ = -1;
+      }
+      throw PersistError("WAL append failed on " + path_ + ": " +
+                         std::strerror(saved_errno));
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  size_bytes_ += frame.size();
+  ++counters_.appends;
+  counters_.appended_bytes += frame.size();
+  dirty_ = true;
+  if (policy_.load(std::memory_order_relaxed) == FsyncPolicy::kAlways) {
+    if (::fdatasync(fd_) != 0)
+      throw PersistError("WAL fsync failed on " + path_ + ": " +
+                         std::strerror(errno));
+    dirty_ = false;
+    ++counters_.fsyncs;
+  }
+  return lsn;
+}
+
+void WalWriter::sync() {
+  std::lock_guard lk(mu_);
+  if (!dirty_ || fd_ < 0) return;
+  if (::fdatasync(fd_) != 0)
+    throw PersistError("WAL fsync failed on " + path_ + ": " +
+                       std::strerror(errno));
+  dirty_ = false;
+  ++counters_.fsyncs;
+}
+
+void WalWriter::set_policy(FsyncPolicy policy) {
+  policy_.store(policy);
+  flusher_cv_.notify_all();  // wake so a tightened policy applies promptly
+}
+
+std::uint64_t WalWriter::size_bytes() const {
+  std::lock_guard lk(mu_);
+  return size_bytes_;
+}
+
+WalWriter::Counters WalWriter::counters() const {
+  std::lock_guard lk(mu_);
+  return counters_;
+}
+
+void WalWriter::flusher_loop() {
+  std::unique_lock lk(flusher_mu_);
+  while (!stop_) {
+    flusher_cv_.wait_for(lk, std::chrono::seconds(1));
+    if (stop_) break;
+    if (policy_.load(std::memory_order_relaxed) != FsyncPolicy::kEverySec)
+      continue;
+    std::lock_guard wlk(mu_);
+    if (dirty_ && fd_ >= 0 && ::fdatasync(fd_) == 0) {
+      dirty_ = false;
+      ++counters_.fsyncs;
+    }
+  }
+}
+
+}  // namespace rg::persist

@@ -1,0 +1,125 @@
+// Write-ahead log — the AOF half of the durability subsystem.
+//
+// One append-only file per epoch.  Layout:
+//
+//   file header:  magic "RGWL", u32 version, u64 epoch
+//   frame:        u32 payload_len, u32 crc32(payload), payload
+//   payload:      u64 lsn, u32 argc, argc x (u32 len, bytes)
+//
+// Every mutating server command is journaled as its argv, stamped with a
+// monotonically increasing log sequence number (LSN) that is global
+// across epochs.  Recovery scans frames in order and stops at the first
+// torn or corrupt frame (a crashed writer can leave a partial tail; it
+// must never poison the valid prefix).
+//
+// Fsync policy mirrors Redis appendfsync:
+//   kAlways    fdatasync after every append (group-commit per command)
+//   kEverySec  a background thread syncs once per second
+//   kNo        leave flushing to the OS page cache
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace rg::persist {
+
+class PersistError : public std::runtime_error {
+ public:
+  explicit PersistError(const std::string& what)
+      : std::runtime_error("persist: " + what) {}
+};
+
+enum class FsyncPolicy { kAlways, kEverySec, kNo };
+
+/// Parse "always" / "everysec" / "no" (case-insensitive); throws
+/// PersistError on anything else.
+FsyncPolicy parse_fsync_policy(const std::string& name);
+const char* fsync_policy_name(FsyncPolicy policy);
+
+/// One recovered journal entry.
+struct WalFrame {
+  std::uint64_t lsn = 0;
+  std::vector<std::string> argv;
+};
+
+/// Result of scanning a WAL file for its valid frame prefix.
+struct WalScan {
+  std::uint64_t epoch = 0;
+  std::uint64_t last_lsn = 0;       // 0 when no frames decoded
+  std::uint64_t valid_bytes = 0;    // offset of the first torn/corrupt byte
+  std::uint64_t total_bytes = 0;    // file size as scanned
+  std::uint64_t frames = 0;
+  bool torn_tail = false;           // trailing garbage was present
+};
+
+/// Scan `path`, invoking `fn` for every intact frame in order; stops at
+/// the first torn or CRC-corrupt frame.  Throws PersistError only if the
+/// file header itself is unreadable or has the wrong magic (a torn tail
+/// is normal after a crash; a bad header means the file is not a WAL).
+WalScan scan_wal(const std::string& path,
+                 const std::function<void(const WalFrame&)>& fn);
+
+/// The append side.  Thread-safe: appends serialize internally.
+class WalWriter {
+ public:
+  struct Counters {
+    std::uint64_t appends = 0;
+    std::uint64_t appended_bytes = 0;
+    std::uint64_t fsyncs = 0;
+  };
+
+  /// Open (creating if needed) the epoch file at `path`.  `next_lsn` is
+  /// the LSN the next append will be stamped with.  A fresh file gets
+  /// the header written (and synced) immediately.
+  WalWriter(const std::string& path, std::uint64_t epoch,
+            std::uint64_t next_lsn, FsyncPolicy policy);
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Journal one command; returns its LSN.  With kAlways the frame is on
+  /// stable storage when this returns.
+  std::uint64_t append(const std::vector<std::string>& argv);
+
+  /// Force an fsync now (used at clean shutdown and epoch hand-off).
+  void sync();
+
+  FsyncPolicy policy() const { return policy_.load(); }
+  void set_policy(FsyncPolicy policy);
+
+  std::uint64_t epoch() const { return epoch_; }
+  std::uint64_t next_lsn() const { return next_lsn_.load(); }
+  std::uint64_t size_bytes() const;
+  const std::string& path() const { return path_; }
+  Counters counters() const;
+
+ private:
+  void flusher_loop();
+
+  std::string path_;
+  std::uint64_t epoch_;
+  std::atomic<std::uint64_t> next_lsn_;
+  std::atomic<FsyncPolicy> policy_;
+
+  mutable std::mutex mu_;  // serializes append/sync and guards counters
+  Counters counters_;
+  std::uint64_t size_bytes_ = 0;
+  int fd_ = -1;
+  bool dirty_ = false;  // bytes appended since the last fsync
+
+  // kEverySec flusher.
+  std::mutex flusher_mu_;
+  std::condition_variable flusher_cv_;
+  bool stop_ = false;
+  std::thread flusher_;
+};
+
+}  // namespace rg::persist

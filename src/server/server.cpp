@@ -1,6 +1,7 @@
 #include "server/server.hpp"
 
 #include <cstdlib>
+#include <sstream>
 
 #include "cypher/lexer.hpp"
 #include "cypher/param_header.hpp"
@@ -10,11 +11,122 @@
 
 namespace rg::server {
 
-Server::Server(std::size_t worker_threads)
+Server::Server(std::size_t worker_threads, const DurabilityConfig& durability)
     : workers_(std::make_unique<util::ThreadPool>(
-          std::max<std::size_t>(1, worker_threads))) {}
+          std::max<std::size_t>(1, worker_threads))) {
+  if (durability.data_dir.empty()) return;
+  durability_ = std::make_unique<persist::DurabilityManager>(
+      durability.data_dir, durability.options);
+  recover();
+  compaction_thread_ = std::thread([this] { compaction_loop(); });
+}
 
-Server::~Server() = default;
+Server::~Server() {
+  if (compaction_thread_.joinable()) {
+    {
+      std::lock_guard lk(compact_mu_);
+      compact_stop_ = true;
+    }
+    compact_cv_.notify_all();
+    compaction_thread_.join();
+  }
+}
+
+void Server::recover() {
+  // Constructor path: single-threaded, so dispatch() can be called
+  // directly and replaying_ needs no synchronization.
+  std::map<std::string, std::uint64_t> watermarks;
+  for (const auto& snap : durability_->snapshots()) {
+    auto entry = std::make_shared<GraphEntry>(plan_cache_capacity_);
+    graph::SnapshotMeta meta;
+    graph::load_graph_file(entry->graph, durability_->path_of(snap.file),
+                           &meta);
+    entry->graph.flush();
+    entry->last_lsn = snap.lsn;
+    watermarks[snap.key] = snap.lsn;
+    keyspace_[snap.key] = std::move(entry);
+  }
+  replaying_ = true;
+  durability_->open_and_replay(
+      [&](std::uint64_t lsn, const std::vector<std::string>& argv) {
+        // Frames already folded into a snapshot (journaled between the
+        // rewrite's log rotation and that graph's snapshot) are skipped
+        // via the per-graph watermark.
+        if (argv.size() >= 2) {
+          const auto it = watermarks.find(argv[1]);
+          if (it != watermarks.end() && lsn <= it->second) return false;
+        }
+        // Replay is best-effort per frame: a frame that fails (e.g.
+        // GRAPH.DELETE of a key deleted twice) must not abort recovery.
+        dispatch(argv);
+        return true;
+      });
+  replaying_ = false;
+}
+
+void Server::compaction_loop() {
+  for (;;) {
+    {
+      std::unique_lock lk(compact_mu_);
+      compact_cv_.wait(lk,
+                       [this] { return compact_stop_ || compact_requested_; });
+      if (compact_stop_) return;
+      compact_requested_ = false;
+    }
+    try {
+      do_rewrite();
+    } catch (const std::exception&) {
+      // A failed rewrite (e.g. disk full) leaves the previous manifest
+      // authoritative; appends continue and the next trigger retries.
+    }
+  }
+}
+
+void Server::maybe_request_rewrite() {
+  if (!durability_->compaction_due()) return;
+  {
+    std::lock_guard lk(compact_mu_);
+    compact_requested_ = true;
+  }
+  compact_cv_.notify_one();
+}
+
+void Server::do_rewrite() {
+  std::lock_guard rewrite_lk(rewrite_mu_);
+  // 1. Rotate the journal; the transitional manifest keeps both logs.
+  const std::uint64_t epoch = durability_->begin_rewrite();
+
+  // 2. Snapshot every graph under its read lock.  Writes continue: any
+  //    write landing after the rotation is in the new log, and if it is
+  //    also inside a snapshot its LSN is at or below that snapshot's
+  //    watermark, so replay skips it.
+  std::vector<std::pair<std::string, std::shared_ptr<GraphEntry>>> items;
+  {
+    std::lock_guard lk(keyspace_mu_);
+    items.assign(keyspace_.begin(), keyspace_.end());
+  }
+  std::vector<persist::DurabilityManager::SnapshotInfo> entries;
+  entries.reserve(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const std::string file = durability_->snapshot_file(epoch, i);
+    std::shared_lock lk(items[i].second->lock);
+    graph::save_graph_file(items[i].second->graph, durability_->path_of(file),
+                           {epoch, items[i].second->last_lsn},
+                           /*durable=*/true);
+    entries.push_back({items[i].first, file, items[i].second->last_lsn});
+  }
+
+  // 3. Publish the new snapshot set and drop the old log.
+  durability_->commit_rewrite(epoch, std::move(entries));
+}
+
+void Server::force_snapshot() {
+  if (durability_) do_rewrite();
+}
+
+persist::Counters Server::durability_counters() const {
+  return durability_ ? durability_->counters() : persist::Counters{};
+}
 
 std::size_t Server::worker_count() const { return workers_->size(); }
 
@@ -102,6 +214,16 @@ Reply Server::dispatch(const std::vector<std::string>& argv) {
         return {Reply::Kind::kError, "wrong number of arguments", {}};
       return cmd_restore(argv[1], argv[2]);
     }
+    if (is("GRAPH.RESTORE.PAYLOAD")) {
+      // Internal frame type emitted by durable GRAPH.RESTORE; only the
+      // recovery replay may dispatch it.
+      if (!replaying_)
+        return {Reply::Kind::kError,
+                "GRAPH.RESTORE.PAYLOAD is internal to WAL replay", {}};
+      if (argv.size() < 3)
+        return {Reply::Kind::kError, "wrong number of arguments", {}};
+      return cmd_restore_payload(argv[1], argv[2]);
+    }
     if (is("GRAPH.CONFIG")) return cmd_config(argv);
     return {Reply::Kind::kError, "unknown command '" + cmd + "'", {}};
   } catch (const std::exception& e) {
@@ -156,21 +278,39 @@ Reply Server::cmd_query(const std::string& key, const std::string& raw,
   // Write path: exclusive lock.  Re-acquire the plan — the schema may
   // have moved between dropping the shared lock and getting this one —
   // without counting again: this is still the same logical query.
-  std::unique_lock lk(ge->lock);
-  auto lease = ge->plan_cache.acquire(ge->graph, split.body, split.params,
-                                      64, /*count_stats=*/false);
-  lease.set_hit_for_reporting(first_acquire_hit);
   Reply reply;
-  if (profile) {
-    reply.kind = Reply::Kind::kText;
-    reply.text = profile_text(lease, reply.result);
-  } else {
-    reply.kind = Reply::Kind::kResult;
-    lease->run(reply.result);
+  {
+    std::unique_lock lk(ge->lock);
+    auto lease = ge->plan_cache.acquire(ge->graph, split.body, split.params,
+                                        64, /*count_stats=*/false);
+    lease.set_hit_for_reporting(first_acquire_hit);
+    if (profile) {
+      reply.kind = Reply::Kind::kText;
+      reply.text = profile_text(lease, reply.result);
+    } else {
+      reply.kind = Reply::Kind::kResult;
+      lease->run(reply.result);
+    }
+    // Re-sync matrices before the write lock drops so readers' flush() is
+    // a read-only no-op (their shared lock cannot rebuild transposes).
+    ge->graph.flush();
+    // Journal after commit, before the reply is released.  Still under
+    // the exclusive lock so last_lsn (the snapshot watermark) moves in
+    // lock-step with the graph state a concurrent snapshot would see.
+    // The guard skips the frame if a concurrent GRAPH.DELETE/RESTORE
+    // already unlinked this entry — the write only touched a zombie
+    // graph, and journaling it would resurrect the key on replay.
+    // (append_if, not a bare check: the guard runs under the append
+    // mutex, so it orders atomically against the unlink frame.)
+    if (durability_ && !replaying_) {
+      const std::uint64_t lsn = durability_->append_if(
+          {"GRAPH.QUERY", key, raw}, [&] {
+            return !ge->unlinked.load(std::memory_order_acquire);
+          });
+      if (lsn != 0) ge->last_lsn = lsn;
+    }
   }
-  // Re-sync matrices before the write lock drops so readers' flush() is
-  // a read-only no-op (their shared lock cannot rebuild transposes).
-  ge->graph.flush();
+  if (durability_ && !replaying_) maybe_request_rewrite();
   return reply;
 }
 
@@ -184,15 +324,26 @@ Reply Server::cmd_explain(const std::string& key, const std::string& raw) {
 }
 
 Reply Server::cmd_delete(const std::string& key) {
-  std::lock_guard lk(keyspace_mu_);
-  const auto it = keyspace_.find(key);
-  if (it == keyspace_.end())
-    return {Reply::Kind::kError, "no such key '" + key + "'", {}};
-  retire_counters_locked(*it->second);
-  // Unlink only: in-flight commands on this graph hold their own
-  // shared_ptr, so the entry is destroyed by its last user, never under
-  // a thread still using (or blocked on) its lock.
-  keyspace_.erase(it);
+  {
+    std::lock_guard lk(keyspace_mu_);
+    const auto it = keyspace_.find(key);
+    if (it == keyspace_.end())
+      return {Reply::Kind::kError, "no such key '" + key + "'", {}};
+    retire_counters_locked(*it->second);
+    // Unlink only: in-flight commands on this graph hold their own
+    // shared_ptr, so the entry is destroyed by its last user, never under
+    // a thread still using (or blocked on) its lock.
+    it->second->unlinked.store(true, std::memory_order_release);
+    keyspace_.erase(it);
+    // Journal while still holding keyspace_mu_ (deletes are rare): the
+    // DELETE frame must precede any frame from a writer that re-creates
+    // the key, and entry_for can only hand out a fresh entry after this
+    // lock drops.  Stale writers on the old entry are fenced off by the
+    // unlinked flag just set.
+    if (durability_ && !replaying_)
+      durability_->append({"GRAPH.DELETE", key});
+  }
+  if (durability_ && !replaying_) maybe_request_rewrite();
   return {Reply::Kind::kStatus, "OK", {}};
 }
 
@@ -225,11 +376,53 @@ Reply Server::cmd_restore(const std::string& key, const std::string& path) {
   auto fresh = std::make_shared<GraphEntry>(capacity);
   graph::load_graph_file(fresh->graph, path);
   fresh->graph.flush();  // readers must never be first to build transposes
+  // Durable restore journals the restored graph ITSELF (the external
+  // file may be gone by replay time) — the same trick Redis AOF uses
+  // for RESTORE: the frame carries the serialized value.  Serialized
+  // outside the keyspace lock; the swap + journal below are atomic.
+  std::string payload;
+  if (durability_ && !replaying_) {
+    std::ostringstream os(std::ios::binary);
+    graph::save_graph(fresh->graph, os);
+    payload = std::move(os).str();
+  }
+  {
+    std::lock_guard lk(keyspace_mu_);
+    auto& slot = keyspace_[key];
+    if (slot) {
+      retire_counters_locked(*slot);
+      // Fence off stale writers still holding the displaced entry
+      // (same protocol as cmd_delete).
+      slot->unlinked.store(true, std::memory_order_release);
+    }
+    if (durability_ && !replaying_)
+      fresh->last_lsn =
+          durability_->append({"GRAPH.RESTORE.PAYLOAD", key, payload});
+    // Swap in; the displaced entry (if any) dies with its last in-flight
+    // user, exactly as in cmd_delete.
+    slot = std::move(fresh);
+  }
+  // A multi-megabyte payload frame can push the log over its threshold.
+  if (durability_ && !replaying_) maybe_request_rewrite();
+  return {Reply::Kind::kStatus, "OK", {}};
+}
+
+Reply Server::cmd_restore_payload(const std::string& key,
+                                  const std::string& bytes) {
+  // Replay-only twin of cmd_restore: the graph arrives as serialized
+  // bytes inside the WAL frame instead of a file path.
+  std::size_t capacity;
+  {
+    std::lock_guard lk(keyspace_mu_);
+    capacity = plan_cache_capacity_;
+  }
+  auto fresh = std::make_shared<GraphEntry>(capacity);
+  std::istringstream in(bytes, std::ios::binary);
+  graph::load_graph(fresh->graph, in);
+  fresh->graph.flush();
   std::lock_guard lk(keyspace_mu_);
   auto& slot = keyspace_[key];
   if (slot) retire_counters_locked(*slot);
-  // Swap in; the displaced entry (if any) dies with its last in-flight
-  // user, exactly as in cmd_delete.
   slot = std::move(fresh);
   return {Reply::Kind::kStatus, "OK", {}};
 }
@@ -239,8 +432,13 @@ Reply Server::cmd_config(const std::vector<std::string>& argv) {
   // THREAD_COUNT is fixed at module load time (paper, Section II): GET
   // reports it, SET is rejected.  PLAN_CACHE_* expose the query
   // compilation cache: capacity (settable) and hit/miss/invalidation
-  // counters aggregated across the keyspace.
+  // counters aggregated across the keyspace.  WAL_* expose the
+  // durability subsystem: fsync policy and rewrite threshold are
+  // settable at runtime; the counters are monotonic.
   auto row = [](exec::ResultSet& rs, const char* name, std::int64_t v) {
+    rs.rows.push_back({graph::Value(name), graph::Value(v)});
+  };
+  auto srow = [](exec::ResultSet& rs, const char* name, const std::string& v) {
     rs.rows.push_back({graph::Value(name), graph::Value(v)});
   };
   if (argv.size() >= 3 && cypher::keyword_eq(argv[1], "GET")) {
@@ -251,6 +449,43 @@ Reply Server::cmd_config(const std::vector<std::string>& argv) {
     const auto want = [&](std::string_view name) {
       return all || cypher::keyword_eq(argv[2], name);
     };
+    if (want("DURABILITY"))
+      srow(r.result, "DURABILITY", durability_ ? "on" : "off");
+    if (durability_) {
+      if (want("WAL_FSYNC"))
+        srow(r.result, "WAL_FSYNC",
+             persist::fsync_policy_name(durability_->fsync_policy()));
+      if (want("WAL_MAX_BYTES"))
+        row(r.result, "WAL_MAX_BYTES",
+            static_cast<std::int64_t>(durability_->wal_max_bytes()));
+      if (want("WAL_SIZE_BYTES"))
+        row(r.result, "WAL_SIZE_BYTES",
+            static_cast<std::int64_t>(durability_->wal_size_bytes()));
+      if (want("WAL_APPENDS") || want("WAL_BYTES") || want("WAL_FSYNCS") ||
+          want("WAL_REWRITES") || want("WAL_REPLAYED_FRAMES") ||
+          want("WAL_SKIPPED_FRAMES") || want("WAL_TORN_BYTES")) {
+        const auto c = durability_->counters();
+        if (want("WAL_APPENDS"))
+          row(r.result, "WAL_APPENDS", static_cast<std::int64_t>(c.appends));
+        if (want("WAL_BYTES"))
+          row(r.result, "WAL_BYTES",
+              static_cast<std::int64_t>(c.appended_bytes));
+        if (want("WAL_FSYNCS"))
+          row(r.result, "WAL_FSYNCS", static_cast<std::int64_t>(c.fsyncs));
+        if (want("WAL_REWRITES"))
+          row(r.result, "WAL_REWRITES",
+              static_cast<std::int64_t>(c.rewrites));
+        if (want("WAL_REPLAYED_FRAMES"))
+          row(r.result, "WAL_REPLAYED_FRAMES",
+              static_cast<std::int64_t>(c.replayed_frames));
+        if (want("WAL_SKIPPED_FRAMES"))
+          row(r.result, "WAL_SKIPPED_FRAMES",
+              static_cast<std::int64_t>(c.skipped_frames));
+        if (want("WAL_TORN_BYTES"))
+          row(r.result, "WAL_TORN_BYTES",
+              static_cast<std::int64_t>(c.torn_bytes));
+      }
+    }
     if (want("THREAD_COUNT"))
       row(r.result, "THREAD_COUNT",
           static_cast<std::int64_t>(worker_count()));
@@ -279,6 +514,23 @@ Reply Server::cmd_config(const std::vector<std::string>& argv) {
     if (cypher::keyword_eq(argv[2], "THREAD_COUNT"))
       return {Reply::Kind::kError,
               "THREAD_COUNT is fixed at module load time", {}};
+    if (cypher::keyword_eq(argv[2], "WAL_FSYNC") ||
+        cypher::keyword_eq(argv[2], "WAL_MAX_BYTES")) {
+      if (!durability_)
+        return {Reply::Kind::kError,
+                "durability is disabled (no data dir configured)", {}};
+      if (cypher::keyword_eq(argv[2], "WAL_FSYNC")) {
+        durability_->set_fsync_policy(persist::parse_fsync_policy(argv[3]));
+        return {Reply::Kind::kStatus, "OK", {}};
+      }
+      char* end = nullptr;
+      const long long v = std::strtoll(argv[3].c_str(), &end, 10);
+      if (end == argv[3].c_str() || *end != '\0' || v < 1024)
+        return {Reply::Kind::kError,
+                "WAL_MAX_BYTES must be an integer >= 1024", {}};
+      durability_->set_wal_max_bytes(static_cast<std::uint64_t>(v));
+      return {Reply::Kind::kStatus, "OK", {}};
+    }
     if (cypher::keyword_eq(argv[2], "PLAN_CACHE_SIZE")) {
       char* end = nullptr;
       const long long v = std::strtoll(argv[3].c_str(), &end, 10);

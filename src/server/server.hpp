@@ -17,6 +17,14 @@
 // clients (redis-cli, examples/resp_client) talk to lives in
 // server/net_server.hpp and feeds this same dispatcher/worker model.
 //
+// Durability (optional, src/persist): with a configured data dir every
+// mutating command is journaled to a CRC-framed write-ahead log after
+// it commits and before its reply is released (the role Redis AOF plays
+// for RedisGraph), background rewrites snapshot the keyspace in RGR1
+// format and truncate the log, and construction replays snapshot + WAL
+// so a crashed server comes back with every acknowledged write (modulo
+// the chosen fsync policy).
+//
 // Commands: GRAPH.QUERY, GRAPH.RO_QUERY, GRAPH.EXPLAIN, GRAPH.PROFILE,
 // GRAPH.DELETE, GRAPH.LIST, GRAPH.SAVE, GRAPH.RESTORE, GRAPH.CONFIG, PING.
 //
@@ -25,17 +33,21 @@
 
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <future>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "exec/plan_cache.hpp"
 #include "exec/result_set.hpp"
 #include "graph/graph.hpp"
+#include "persist/durability.hpp"
 #include "server/resp.hpp"
 #include "util/thread_pool.hpp"
 
@@ -63,10 +75,22 @@ struct Reply {
   }
 };
 
+/// Durability settings passed at construction (the module's load-time
+/// configuration).  An empty data_dir disables the subsystem: the server
+/// is then purely in-memory, exactly as before.
+struct DurabilityConfig {
+  std::string data_dir;
+  persist::Options options;
+};
+
 class Server {
  public:
   /// `worker_threads` = module THREAD_COUNT (fixed at load time).
-  explicit Server(std::size_t worker_threads = 4);
+  /// A non-empty `durability.data_dir` opens (or creates) the data
+  /// directory, recovers snapshot + WAL state before the constructor
+  /// returns, and journals every subsequent mutating command.
+  explicit Server(std::size_t worker_threads = 4,
+                  const DurabilityConfig& durability = {});
   ~Server();
 
   Server(const Server&) = delete;
@@ -93,6 +117,16 @@ class Server {
   /// (what GRAPH.CONFIG GET PLAN_CACHE_* reports).
   exec::PlanCache::Counters plan_cache_counters() const;
 
+  /// True when a data dir was configured and recovery succeeded.
+  bool durable() const { return durability_ != nullptr; }
+
+  /// Durability counters (zeros when durability is off).
+  persist::Counters durability_counters() const;
+
+  /// Force a snapshot + WAL-truncating rewrite now; no-op when
+  /// durability is off.  Blocks until the rewrite is committed.
+  void force_snapshot();
+
  private:
   struct GraphEntry {
     explicit GraphEntry(std::size_t cache_capacity)
@@ -100,6 +134,16 @@ class Server {
     graph::Graph graph;
     std::shared_mutex lock;
     exec::PlanCache plan_cache;
+    /// LSN of the last journaled write applied to this graph (the
+    /// snapshot watermark); written under the exclusive lock, read for
+    /// snapshots under the shared lock.
+    std::uint64_t last_lsn = 0;
+    /// Set (before the unlink frame is journaled) when GRAPH.DELETE or
+    /// GRAPH.RESTORE removes this entry from the keyspace: a write
+    /// still holding the entry only touched a zombie graph and must
+    /// not journal (it would resurrect the key on replay).  Checked
+    /// atomically with the append via DurabilityManager::append_if.
+    std::atomic<bool> unlinked{false};
   };
 
   Reply dispatch(const std::vector<std::string>& argv);
@@ -110,6 +154,9 @@ class Server {
   Reply cmd_list();
   Reply cmd_save(const std::string& key, const std::string& path);
   Reply cmd_restore(const std::string& key, const std::string& path);
+  /// Replay-only: install a graph from serialized bytes carried by a
+  /// GRAPH.RESTORE.PAYLOAD journal frame.
+  Reply cmd_restore_payload(const std::string& key, const std::string& bytes);
   Reply cmd_config(const std::vector<std::string>& argv);
 
   /// Shared ownership: a command holds the returned pointer for its whole
@@ -122,10 +169,32 @@ class Server {
   /// CONFIG GET aggregate stays monotonic across GRAPH.DELETE/RESTORE.
   void retire_counters_locked(const GraphEntry& entry);
 
+  // -- durability --------------------------------------------------------
+  /// Load snapshots + replay the WAL (constructor path, single-threaded).
+  void recover();
+  /// Snapshot every graph and truncate the WAL (compaction thread and
+  /// force_snapshot; serialized by rewrite_mu_).
+  void do_rewrite();
+  /// Wake the compaction thread if the WAL has outgrown its threshold.
+  void maybe_request_rewrite();
+  void compaction_loop();
+
   mutable std::mutex keyspace_mu_;
   std::map<std::string, std::shared_ptr<GraphEntry>> keyspace_;
   std::size_t plan_cache_capacity_ = exec::PlanCache::kDefaultCapacity;
   exec::PlanCache::Counters retired_counters_;
+
+  // Declared before workers_ so the pool (whose queued commands may
+  // still journal) is destroyed first on shutdown.
+  std::unique_ptr<persist::DurabilityManager> durability_;
+  bool replaying_ = false;  // constructor-only: suppress journaling
+  std::mutex rewrite_mu_;   // serializes rewrites (bg thread vs forced)
+  std::mutex compact_mu_;
+  std::condition_variable compact_cv_;
+  bool compact_requested_ = false;
+  bool compact_stop_ = false;
+  std::thread compaction_thread_;
+
   std::unique_ptr<util::ThreadPool> workers_;
 };
 

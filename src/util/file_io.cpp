@@ -1,0 +1,165 @@
+#include "util/file_io.hpp"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace rg::util {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what,
+                              const std::string& path) {
+  throw FileError(what + " " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+AppendFile::AppendFile(const std::string& path) : path_(path) {
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd_ < 0) throw_errno("cannot open", path);
+}
+
+AppendFile::~AppendFile() { close(); }
+
+AppendFile::AppendFile(AppendFile&& other) noexcept
+    : path_(std::move(other.path_)), fd_(std::exchange(other.fd_, -1)) {}
+
+AppendFile& AppendFile::operator=(AppendFile&& other) noexcept {
+  if (this != &other) {
+    close();
+    path_ = std::move(other.path_);
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+void AppendFile::write_all(const void* data, std::size_t len) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::write(fd_, p, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("write failed on", path_);
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+void AppendFile::fsync() {
+  if (::fdatasync(fd_) != 0) throw_errno("fdatasync failed on", path_);
+}
+
+std::uint64_t AppendFile::size() const {
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) throw_errno("fstat failed on", path_);
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+void AppendFile::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool path_exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+void ensure_dir(const std::string& dir) {
+  if (dir.empty()) throw FileError("ensure_dir: empty path");
+  // Create each prefix in turn; EEXIST (even as a race) is fine.
+  for (std::size_t pos = 1; pos <= dir.size(); ++pos) {
+    if (pos != dir.size() && dir[pos] != '/') continue;
+    const std::string prefix = dir.substr(0, pos);
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST)
+      throw_errno("mkdir failed for", prefix);
+  }
+}
+
+std::string read_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) throw_errno("cannot open", path);
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      throw_errno("read failed on", path);
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+void atomic_write_file(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) throw_errno("cannot open", tmp);
+  const char* p = content.data();
+  std::size_t len = content.size();
+  while (len > 0) {
+    const ssize_t n = ::write(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      throw_errno("write failed on", tmp);
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    throw_errno("fsync failed on", tmp);
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0)
+    throw_errno("rename failed for", path);
+  const auto slash = path.find_last_of('/');
+  fsync_dir(slash == std::string::npos ? "." : path.substr(0, slash));
+}
+
+void truncate_file(const std::string& path, std::uint64_t len) {
+  if (::truncate(path.c_str(), static_cast<off_t>(len)) != 0)
+    throw_errno("truncate failed on", path);
+}
+
+std::vector<std::string> list_dir(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) throw_errno("cannot list", dir);
+  std::vector<std::string> names;
+  while (struct dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name != "." && name != "..") names.push_back(name);
+  }
+  ::closedir(d);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+bool remove_file(const std::string& path) {
+  return ::unlink(path.c_str()) == 0;
+}
+
+void fsync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return;  // best effort: some filesystems refuse dir fds
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace rg::util

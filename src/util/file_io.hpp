@@ -1,0 +1,80 @@
+// POSIX file helpers for the durability subsystem: an append-only file
+// handle that exposes fsync (std::ofstream cannot), atomic whole-file
+// replacement (tmp + rename + directory fsync), and small read/list
+// utilities.  Everything throws FileError on failure.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace rg::util {
+
+class FileError : public std::runtime_error {
+ public:
+  explicit FileError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// An append-only file descriptor (O_APPEND), created if absent.
+/// Writes are complete-or-throw; fsync() is explicit so callers pick
+/// their own durability/latency trade-off.
+class AppendFile {
+ public:
+  explicit AppendFile(const std::string& path);
+  ~AppendFile();
+
+  AppendFile(const AppendFile&) = delete;
+  AppendFile& operator=(const AppendFile&) = delete;
+  AppendFile(AppendFile&& other) noexcept;
+  AppendFile& operator=(AppendFile&& other) noexcept;
+
+  /// Append the whole buffer (retrying short writes / EINTR).
+  void write_all(const void* data, std::size_t len);
+  void write_all(const std::string& data) {
+    write_all(data.data(), data.size());
+  }
+
+  /// Flush file content to stable storage (fdatasync).
+  void fsync();
+
+  /// Current file size in bytes.
+  std::uint64_t size() const;
+
+  const std::string& path() const { return path_; }
+  bool is_open() const { return fd_ >= 0; }
+  void close();
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+/// True if `path` names an existing file or directory.
+bool path_exists(const std::string& path);
+
+/// Create a directory (and parents) if it does not exist.
+void ensure_dir(const std::string& dir);
+
+/// Read a whole file into a string; throws FileError if unreadable.
+std::string read_file(const std::string& path);
+
+/// Atomically replace `path` with `content`: write `path.tmp`, fsync it,
+/// rename over `path`, then fsync the containing directory so the rename
+/// itself is durable.  A crash leaves either the old or the new file,
+/// never a torn one.
+void atomic_write_file(const std::string& path, const std::string& content);
+
+/// Truncate a file to `len` bytes (used to drop a torn WAL tail).
+void truncate_file(const std::string& path, std::uint64_t len);
+
+/// Names (not paths) of directory entries, sorted; throws if unlistable.
+std::vector<std::string> list_dir(const std::string& dir);
+
+/// Delete a file if it exists; returns false if it did not.
+bool remove_file(const std::string& path);
+
+/// fsync a directory so previously renamed/created entries are durable.
+void fsync_dir(const std::string& dir);
+
+}  // namespace rg::util

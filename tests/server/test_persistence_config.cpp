@@ -5,6 +5,8 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <string>
 
 #include "server/server.hpp"
@@ -56,6 +58,50 @@ TEST_F(PersistFixture, RestoreReplacesExistingGraph) {
 TEST_F(PersistFixture, RestoreFromMissingFileErrors) {
   const auto r = srv_.execute({"GRAPH.RESTORE", "g", "/no/such/file.bin"});
   EXPECT_FALSE(r.ok());
+}
+
+TEST_F(PersistFixture, SaveToUnwritablePathReturnsError) {
+  srv_.execute({"GRAPH.QUERY", "g", "CREATE (:A)"});
+  const auto r =
+      srv_.execute({"GRAPH.SAVE", "g", "/no/such/dir/graph.rgr"});
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.text.find("cannot open"), std::string::npos) << r.text;
+}
+
+TEST_F(PersistFixture, RestoreFromGarbageFileErrorsAndKeepsOldGraph) {
+  srv_.execute({"GRAPH.QUERY", "g", "CREATE (:Old)"});
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out << "this is not an RGR1 snapshot";
+  }
+  const auto r = srv_.execute({"GRAPH.RESTORE", "g", path_});
+  EXPECT_FALSE(r.ok());
+  // The failed restore must not have touched the live graph.
+  const auto q =
+      srv_.execute({"GRAPH.QUERY", "g", "MATCH (n:Old) RETURN count(*)"});
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.result.rows[0][0].as_int(), 1);
+}
+
+TEST_F(PersistFixture, RestoreFromTruncatedFileErrors) {
+  srv_.execute({"GRAPH.QUERY", "g",
+                "CREATE (:P {name:'a'})-[:R]->(:P {name:'b'})"});
+  ASSERT_TRUE(srv_.execute({"GRAPH.SAVE", "g", path_}).ok());
+  // Chop the snapshot in half: restore must fail cleanly.
+  std::ifstream in(path_, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  EXPECT_FALSE(srv_.execute({"GRAPH.RESTORE", "copy", path_}).ok());
+  // And the target key must not have appeared in the keyspace.
+  const auto list = srv_.execute({"GRAPH.LIST"});
+  for (const auto& row : list.result.rows)
+    EXPECT_NE(row[0].as_string(), "copy");
 }
 
 TEST_F(PersistFixture, SaveArityChecked) {
