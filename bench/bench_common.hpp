@@ -14,6 +14,7 @@
 
 #include "baseline/engine.hpp"
 #include "datagen/generators.hpp"
+#include "graphblas/context.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"
 
@@ -29,6 +30,7 @@ struct Options {
   std::uint64_t seed = 20190610;    // generator seed (paper's venue date)
   double timeout_ms = 30000.0;      // per-query timeout accounting
   std::size_t threads = 4;          // "all cores" for the TigerGraph-like
+  std::size_t gb_threads = 0;       // GB_THREADS for the run (0 = auto)
   bool quick = false;               // tiny run for CI
   bool json = false;                // machine-readable rows for BENCH_*.json
 };
@@ -50,6 +52,7 @@ inline Options parse_options(int argc, char** argv) {
     if (eat("--seeds", o.seeds_shallow)) continue;
     if (eat("--deep-seeds", o.seeds_deep)) continue;
     if (eat("--threads", o.threads)) continue;
+    if (eat("--gb-threads", o.gb_threads)) continue;
     if (eat("--seed", o.seed)) continue;
     if (std::strcmp(argv[i], "--quick") == 0) {
       o.quick = true;
@@ -60,6 +63,9 @@ inline Options parse_options(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--json") == 0) o.json = true;
   }
+  // Pin the kernel parallelism for the whole run (GRAPH.CONFIG SET
+  // GB_THREADS equivalent): 1 = the exact serial kernels, 0 = hardware.
+  gb::set_threads(o.gb_threads);
   return o;
 }
 

@@ -28,7 +28,8 @@ import json
 import sys
 
 METRIC_FIELDS = {"mean_ms", "p50_ms", "p95_ms", "p99_ms", "qps",
-                 "writes_per_s", "timeouts", "checksum", "seeds", "writes"}
+                 "writes_per_s", "timeouts", "checksum", "seeds", "writes",
+                 "eps", "total_ms", "edges"}
 
 
 def row_key(row):
@@ -47,7 +48,8 @@ def load_rows(path):
 
 def describe(row):
     parts = [str(row.get("bench", "?"))]
-    for field in ("workload", "engine", "name", "transport", "policy"):
+    for field in ("workload", "engine", "name", "transport", "policy",
+                  "mode", "wal"):
         if field in row:
             parts.append(str(row[field]))
     for field in ("k", "workers"):
@@ -76,7 +78,7 @@ def main():
             continue
         brow = base[key]
         for metric, higher_better in (("mean_ms", False), ("qps", True),
-                                      ("writes_per_s", True)):
+                                      ("writes_per_s", True), ("eps", True)):
             if metric not in row or metric not in brow:
                 continue
             bv, cv = float(brow[metric]), float(row[metric])

@@ -1,7 +1,8 @@
 // resp_server — start the graph engine as a standalone TCP service.
 //
-//   $ ./resp_server [--port 6380] [--threads 4] [--any-interface]
-//                   [--data-dir DIR] [--fsync always|everysec|no]
+//   $ ./resp_server [--port 6380] [--threads 4] [--gb-threads N]
+//                   [--any-interface] [--data-dir DIR]
+//                   [--fsync always|everysec|no]
 //
 // With --data-dir the server is durable: it recovers snapshot + WAL
 // state from DIR at startup and journals every write, so a crash (or
@@ -41,6 +42,10 @@ int main(int argc, char** argv) {
       port = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--gb-threads") == 0 && i + 1 < argc) {
+      // Intra-operation kernel parallelism (GRAPH.CONFIG SET GB_THREADS
+      // retunes it at runtime; 1 = exact serial kernels, 0 = hardware).
+      rg::gb::set_threads(std::strtoul(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--any-interface") == 0) {
       loopback_only = false;
     } else if (std::strcmp(argv[i], "--data-dir") == 0 && i + 1 < argc) {
@@ -54,8 +59,9 @@ int main(int argc, char** argv) {
       }
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--port N] [--threads N] [--any-interface]\n"
-                   "          [--data-dir DIR] [--fsync always|everysec|no]\n",
+                   "usage: %s [--port N] [--threads N] [--gb-threads N]\n"
+                   "          [--any-interface] [--data-dir DIR]\n"
+                   "          [--fsync always|everysec|no]\n",
                    argv[0]);
       return 2;
     }

@@ -61,7 +61,6 @@ class KHopCounter {
   KHopStats run(gb::Index seed, unsigned k,
                 Direction dir = Direction::kAuto) {
     KHopStats st;
-    const auto& rp = a_.rowptr();
 
     // Reset only the vertices touched last time (amortized O(frontier)).
     for (gb::Index v : touched_) visited_[v] = 0;
@@ -71,13 +70,18 @@ class KHopCounter {
     frontier_.push_back(seed);
 
     for (unsigned hop = 0; hop < k && !frontier_.empty(); ++hop) {
-      for (gb::Index v : frontier_)
-        st.frontier_edges += rp[v + 1] - rp[v];
+      // The counter knows exactly how many vertices are unvisited
+      // (everything ever pushed to touched_ is marked), so bfs_step's
+      // push/pull heuristic skips its O(n) visited scan; it also hands
+      // back the frontier's out-degree it computes for that heuristic.
+      std::size_t step_edges = 0;
       const auto taken = gb::bfs_step(
           a_, at_, frontier_, visited_, next_, in_frontier_,
           dir == Direction::kForcePull ? gb::StepDirection::kPull
                                        : gb::StepDirection::kPush,
-          dir != Direction::kAuto);
+          dir != Direction::kAuto,
+          /*unvisited_hint=*/visited_.size() - touched_.size(), &step_edges);
+      st.frontier_edges += step_edges;
       if (taken == gb::StepDirection::kPush)
         ++st.push_steps;
       else

@@ -341,10 +341,10 @@ void ConditionalTraverse::expand_batch() {
       gb::mxm(C, gb::any_pair, F, R);
       first = false;
     } else {
-      gb::Matrix<gb::Bool> tmp(batch.size(), n);
-      gb::mxm(tmp, gb::any_pair, F, R);
-      gb::ewise_add(C, static_cast<const gb::Matrix<gb::Bool>*>(nullptr),
-                    gb::NoAccum{}, gb::Lor{}, C, tmp);
+      // C<>= C lor (F any.pair R): mxm's accumulator folds the union in
+      // one merge pass instead of a temporary matrix plus an eWiseAdd.
+      gb::mxm(C, static_cast<const gb::Matrix<gb::Bool>*>(nullptr), gb::Lor{},
+              gb::any_pair, F, R);
     }
   };
   if (spec_.types.empty()) {

@@ -2,6 +2,7 @@
 // bound to a scalar) over every stored entry:  C<M> = accum(C, f(A)).
 #pragma once
 
+#include "graphblas/context.hpp"
 #include "graphblas/detail/merge.hpp"
 #include "graphblas/matrix.hpp"
 #include "graphblas/ops.hpp"
@@ -22,8 +23,16 @@ void apply(Matrix<T>& C, const Matrix<MT>* mask, Accum accum, F f,
   t.ncols = a.ncols();
   t.rowptr = a.rowptr();
   t.colidx = a.colidx();
-  t.val.reserve(a.values().size());
-  for (const T& v : a.values()) t.val.push_back(f(v));
+  // Elementwise map: each value slot is owned by one chunk, so the result
+  // is bitwise identical for every thread count.
+  const auto& av = a.values();
+  t.val.resize(av.size());
+  const std::size_t nchunks = detail::plan_chunks(av.size(), av.size());
+  detail::run_chunks(av.size(), nchunks,
+                     [&](std::size_t, std::size_t lo, std::size_t hi) {
+                       for (std::size_t p = lo; p < hi; ++p)
+                         t.val[p] = f(av[p]);
+                     });
   detail::merge_matrix(C, mask, accum, std::move(t), desc);
 }
 

@@ -1,0 +1,144 @@
+// Execution context for the rg::gb kernels — the GrB_Context-style knob
+// controlling intra-operation parallelism.
+//
+// Kernels partition their work into static contiguous chunks (no work
+// stealing, mirroring SuiteSparse:GraphBLAS's nthreads control) and run
+// the chunks on the process-wide util::global_pool().  The chunk count is
+// bounded by set_threads(); with set_threads(1) every kernel runs its
+// serial path inline and produces bit-for-bit the results of the original
+// single-threaded implementation.
+//
+// All parallel kernels are row-partitioned (each output row is owned by
+// exactly one chunk), so their results are bitwise identical for every
+// thread count.  The one exception is vxm, which partitions the input
+// vector and combines per-chunk partial sums in chunk order: for exactly
+// associative monoids (integer +, min/max, or) the result is still
+// identical; for floating-point + the parenthesization can differ.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace rg::gb {
+
+namespace detail {
+
+inline std::atomic<std::size_t>& threads_setting() {
+  static std::atomic<std::size_t> n{0};  // 0 = auto (hardware concurrency)
+  return n;
+}
+
+/// Cached hardware concurrency: std::thread::hardware_concurrency() goes
+/// through sysconf/procfs on glibc, which is far too slow for a query
+/// hot path that consults the context on every kernel launch.
+inline std::size_t hardware_threads() {
+  static const std::size_t n = [] {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? std::size_t{1} : static_cast<std::size_t>(hw);
+  }();
+  return n;
+}
+
+}  // namespace detail
+
+/// Effective kernel thread count (>= 1).
+inline std::size_t threads() {
+  const std::size_t n =
+      detail::threads_setting().load(std::memory_order_relaxed);
+  return n != 0 ? n : detail::hardware_threads();
+}
+
+/// Set the kernel thread count.  0 restores the default (hardware
+/// concurrency); 1 forces the serial paths.  Takes effect for operations
+/// started after the call — safe to change at runtime (the server exposes
+/// it as GRAPH.CONFIG SET GB_THREADS).
+inline void set_threads(std::size_t n) {
+  detail::threads_setting().store(n, std::memory_order_relaxed);
+}
+
+/// RAII save/restore of the thread setting (tests).
+class ThreadsGuard {
+ public:
+  explicit ThreadsGuard(std::size_t n)
+      : saved_(detail::threads_setting().load(std::memory_order_relaxed)) {
+    detail::threads_setting().store(n, std::memory_order_relaxed);
+  }
+  ~ThreadsGuard() {
+    detail::threads_setting().store(saved_, std::memory_order_relaxed);
+  }
+  ThreadsGuard(const ThreadsGuard&) = delete;
+  ThreadsGuard& operator=(const ThreadsGuard&) = delete;
+
+ private:
+  std::size_t saved_;
+};
+
+namespace detail {
+
+/// Minimum per-operation work (rough op count) before a kernel goes
+/// parallel; below this the chunk submit/join overhead dominates.
+inline constexpr std::size_t kParallelWorkThreshold = 1u << 14;
+
+/// True when a kernel launched from this thread may fan out at all:
+/// parallelism is on and the caller is not already a worker of the
+/// global pool (a nested fork-join on the pool run_chunks submits to
+/// can deadlock it; workers of OTHER pools — e.g. the server's query
+/// workers — fan out freely).  Kernels check this before spending
+/// anything on work estimation.
+inline bool parallel_candidate() {
+  return threads() > 1 &&
+         util::ThreadPool::current() != &util::global_pool();
+}
+
+/// Chunk count for an operation over `n` units with an estimated total
+/// `work`.  Returns 1 (serial) when parallel_candidate() is false or the
+/// work is too small.
+inline std::size_t plan_chunks(std::size_t n, std::size_t work) {
+  if (n <= 1 || work < kParallelWorkThreshold || !parallel_candidate())
+    return 1;
+  return std::min(threads(), n);
+}
+
+/// The static partition shared by plan/run/output-sizing: chunk `c`
+/// covers [c * chunk_span, min(n, (c+1) * chunk_span)).  Callers that
+/// allocate one output slot per chunk must size with chunk_slots() so
+/// they can never disagree with run_chunks about the chunk indices.
+inline std::size_t chunk_span(std::size_t n, std::size_t nchunks) {
+  if (nchunks <= 1) return std::max<std::size_t>(1, n);
+  return (n + nchunks - 1) / nchunks;
+}
+inline std::size_t chunk_slots(std::size_t n, std::size_t nchunks) {
+  if (n == 0) return 1;
+  const std::size_t span = chunk_span(n, nchunks);
+  return (n + span - 1) / span;
+}
+
+/// Run fn(chunk, lo, hi) over a static partition of [0, n) into `nchunks`
+/// contiguous pieces.  nchunks == 1 runs inline; the partition depends
+/// only on (n, nchunks), so a given thread setting is fully deterministic.
+template <typename Fn>
+void run_chunks(std::size_t n, std::size_t nchunks, Fn&& fn) {
+  if (nchunks <= 1 || n == 0) {
+    fn(std::size_t{0}, std::size_t{0}, n);
+    return;
+  }
+  auto& pool = util::global_pool();
+  const std::size_t chunk = chunk_span(n, nchunks);
+  std::vector<std::future<void>> futs;
+  futs.reserve(nchunks);
+  std::size_t c = 0;
+  for (std::size_t lo = 0; lo < n; lo += chunk, ++c) {
+    const std::size_t hi = std::min(n, lo + chunk);
+    futs.push_back(pool.submit([&fn, c, lo, hi] { fn(c, lo, hi); }));
+  }
+  for (auto& f : futs) f.get();
+}
+
+}  // namespace detail
+
+}  // namespace rg::gb

@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "graphblas/context.hpp"
 #include "graphblas/detail/merge.hpp"
 #include "graphblas/matrix.hpp"
 #include "graphblas/ops.hpp"
@@ -17,6 +18,46 @@
 namespace rg::gb {
 
 namespace detail {
+
+/// Merge rows [lo, hi) of A and B into local buffers (sorted columns).
+template <typename T, typename Op>
+void ewise_rows(const std::vector<Index>& arp, const std::vector<Index>& aci,
+                const std::vector<T>& av, const std::vector<Index>& brp,
+                const std::vector<Index>& bci, const std::vector<T>& bv, Op op,
+                bool is_add, Index lo, Index hi, std::vector<Index>& out_cols,
+                std::vector<T>& out_vals, std::vector<Index>& out_rowlen) {
+  out_rowlen.assign(hi - lo, 0);
+  for (Index i = lo; i < hi; ++i) {
+    const std::size_t row_start = out_cols.size();
+    std::size_t pa = static_cast<std::size_t>(arp[i]);
+    const std::size_t ae = static_cast<std::size_t>(arp[i + 1]);
+    std::size_t pb = static_cast<std::size_t>(brp[i]);
+    const std::size_t be = static_cast<std::size_t>(brp[i + 1]);
+    while (pa < ae || pb < be) {
+      const bool a_ok = pa < ae;
+      const bool b_ok = pb < be;
+      if (a_ok && (!b_ok || aci[pa] < bci[pb])) {
+        if (is_add) {
+          out_cols.push_back(aci[pa]);
+          out_vals.push_back(av[pa]);
+        }
+        ++pa;
+      } else if (b_ok && (!a_ok || bci[pb] < aci[pa])) {
+        if (is_add) {
+          out_cols.push_back(bci[pb]);
+          out_vals.push_back(bv[pb]);
+        }
+        ++pb;
+      } else {
+        out_cols.push_back(aci[pa]);
+        out_vals.push_back(op(av[pa], bv[pb]));
+        ++pa;
+        ++pb;
+      }
+    }
+    out_rowlen[i - lo] = static_cast<Index>(out_cols.size() - row_start);
+  }
+}
 
 template <typename T, typename Op>
 CooRows<T> ewise_matrix(const Matrix<T>& a, const Matrix<T>& b, Op op,
@@ -36,40 +77,41 @@ CooRows<T> ewise_matrix(const Matrix<T>& a, const Matrix<T>& b, Op op,
   t.nrows = a.nrows();
   t.ncols = a.ncols();
   t.rowptr.assign(t.nrows + 1, 0);
-  t.colidx.reserve(is_add ? aci.size() + bci.size()
-                          : std::min(aci.size(), bci.size()));
-  t.val.reserve(t.colidx.capacity());
 
-  for (Index i = 0; i < t.nrows; ++i) {
-    t.rowptr[i] = static_cast<Index>(t.colidx.size());
-    std::size_t pa = static_cast<std::size_t>(arp[i]);
-    const std::size_t ae = static_cast<std::size_t>(arp[i + 1]);
-    std::size_t pb = static_cast<std::size_t>(brp[i]);
-    const std::size_t be = static_cast<std::size_t>(brp[i + 1]);
-    while (pa < ae || pb < be) {
-      const bool a_ok = pa < ae;
-      const bool b_ok = pb < be;
-      if (a_ok && (!b_ok || aci[pa] < bci[pb])) {
-        if (is_add) {
-          t.colidx.push_back(aci[pa]);
-          t.val.push_back(av[pa]);
-        }
-        ++pa;
-      } else if (b_ok && (!a_ok || bci[pb] < aci[pa])) {
-        if (is_add) {
-          t.colidx.push_back(bci[pb]);
-          t.val.push_back(bv[pb]);
-        }
-        ++pb;
-      } else {
-        t.colidx.push_back(aci[pa]);
-        t.val.push_back(op(av[pa], bv[pb]));
-        ++pa;
-        ++pb;
-      }
-    }
+  // Row-partitioned (each output row owned by one chunk): results are
+  // bitwise identical for every thread count.
+  const std::size_t n = static_cast<std::size_t>(t.nrows);
+  const std::size_t nchunks = plan_chunks(n, aci.size() + bci.size() + n);
+
+  struct ChunkOut {
+    Index lo = 0, hi = 0;
+    std::vector<Index> cols, rowlen;
+    std::vector<T> vals;
+  };
+  std::vector<ChunkOut> outs(chunk_slots(n, nchunks));
+  run_chunks(n, nchunks, [&](std::size_t c, std::size_t lo, std::size_t hi) {
+    auto& co = outs[c];
+    co.lo = static_cast<Index>(lo);
+    co.hi = static_cast<Index>(hi);
+    const std::size_t cap =
+        is_add ? aci.size() + bci.size() : std::min(aci.size(), bci.size());
+    co.cols.reserve(cap / outs.size() + 1);
+    co.vals.reserve(cap / outs.size() + 1);
+    ewise_rows(arp, aci, av, brp, bci, bv, op, is_add, co.lo, co.hi, co.cols,
+               co.vals, co.rowlen);
+  });
+
+  std::size_t total = 0;
+  for (const auto& co : outs) total += co.cols.size();
+  t.colidx.reserve(total);
+  t.val.reserve(total);
+  for (const auto& co : outs) {
+    for (Index i = co.lo; i < co.hi; ++i)
+      t.rowptr[i + 1] = co.rowlen[i - co.lo];
+    t.colidx.insert(t.colidx.end(), co.cols.begin(), co.cols.end());
+    t.val.insert(t.val.end(), co.vals.begin(), co.vals.end());
   }
-  t.rowptr[t.nrows] = static_cast<Index>(t.colidx.size());
+  for (Index i = 0; i < t.nrows; ++i) t.rowptr[i + 1] += t.rowptr[i];
   return t;
 }
 

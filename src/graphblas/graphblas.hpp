@@ -8,6 +8,7 @@
 
 #include "graphblas/apply.hpp"     // IWYU pragma: export
 #include "graphblas/assign.hpp"    // IWYU pragma: export
+#include "graphblas/context.hpp"   // IWYU pragma: export
 #include "graphblas/ewise.hpp"     // IWYU pragma: export
 #include "graphblas/extract.hpp"   // IWYU pragma: export
 #include "graphblas/kron.hpp"      // IWYU pragma: export

@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "graphblas/context.hpp"
 #include "graphblas/ops.hpp"
 #include "graphblas/types.hpp"
 
@@ -352,36 +353,83 @@ class Matrix {
         last.push_back(p);
       }
     }
-    // Merge overlay with base CSR, row by row.
+    // Merge overlay with base CSR.  Row-partitioned across chunks (each
+    // output row owned by one chunk), so the merged CSR is bitwise
+    // identical for every thread count; each chunk locates its overlay
+    // range by binary search on the sorted `last`.
+    auto merge_rows = [&](Index lo, Index hi, std::size_t ov,
+                          std::vector<Index>& nci, std::vector<T>& nv,
+                          std::vector<Index>& rowlen) {
+      rowlen.assign(hi - lo, 0);
+      for (Index i = lo; i < hi; ++i) {
+        const std::size_t row_start = nci.size();
+        std::size_t p = static_cast<std::size_t>(rowptr_[i]);
+        const std::size_t pe = static_cast<std::size_t>(rowptr_[i + 1]);
+        while (p < pe || (ov < last.size() && last[ov].i == i)) {
+          const bool base_ok = p < pe;
+          const bool ov_ok = ov < last.size() && last[ov].i == i;
+          if (base_ok && (!ov_ok || colidx_[p] < last[ov].j)) {
+            nci.push_back(colidx_[p]);
+            nv.push_back(val_[p]);
+            ++p;
+          } else {
+            const bool same = base_ok && colidx_[p] == last[ov].j;
+            if (!last[ov].is_delete) {
+              nci.push_back(last[ov].j);
+              nv.push_back(last[ov].v);
+            }
+            if (same) ++p;
+            ++ov;
+          }
+        }
+        rowlen[i - lo] = static_cast<Index>(nci.size() - row_start);
+      }
+    };
+
+    const std::size_t nr = static_cast<std::size_t>(nrows_);
+    const std::size_t nchunks =
+        detail::plan_chunks(nr, colidx_.size() + last.size() + nr);
+
     std::vector<Index> nrp(nrows_ + 1, 0);
     std::vector<Index> nci;
     std::vector<T> nv;
-    nci.reserve(colidx_.size() + last.size());
-    nv.reserve(colidx_.size() + last.size());
-    std::size_t ov = 0;  // overlay cursor
-    for (Index i = 0; i < nrows_; ++i) {
-      nrp[i] = static_cast<Index>(nci.size());
-      std::size_t p = static_cast<std::size_t>(rowptr_[i]);
-      const std::size_t pe = static_cast<std::size_t>(rowptr_[i + 1]);
-      while (p < pe || (ov < last.size() && last[ov].i == i)) {
-        const bool base_ok = p < pe;
-        const bool ov_ok = ov < last.size() && last[ov].i == i;
-        if (base_ok && (!ov_ok || colidx_[p] < last[ov].j)) {
-          nci.push_back(colidx_[p]);
-          nv.push_back(val_[p]);
-          ++p;
-        } else {
-          const bool same = base_ok && colidx_[p] == last[ov].j;
-          if (!last[ov].is_delete) {
-            nci.push_back(last[ov].j);
-            nv.push_back(last[ov].v);
-          }
-          if (same) ++p;
-          ++ov;
-        }
+    if (nchunks <= 1) {
+      nci.reserve(colidx_.size() + last.size());
+      nv.reserve(colidx_.size() + last.size());
+      std::vector<Index> rowlen;
+      merge_rows(0, nrows_, 0, nci, nv, rowlen);
+      for (Index i = 0; i < nrows_; ++i) nrp[i + 1] = nrp[i] + rowlen[i];
+    } else {
+      struct ChunkOut {
+        Index lo = 0, hi = 0;
+        std::vector<Index> cols, rowlen;
+        std::vector<T> vals;
+      };
+      std::vector<ChunkOut> outs(detail::chunk_slots(nr, nchunks));
+      detail::run_chunks(
+          nr, nchunks, [&](std::size_t c, std::size_t lo, std::size_t hi) {
+            auto& co = outs[c];
+            co.lo = static_cast<Index>(lo);
+            co.hi = static_cast<Index>(hi);
+            const auto ov_it = std::lower_bound(
+                last.begin(), last.end(), co.lo,
+                [](const Pend& p, Index row) { return p.i < row; });
+            merge_rows(co.lo, co.hi,
+                       static_cast<std::size_t>(ov_it - last.begin()), co.cols,
+                       co.vals, co.rowlen);
+          });
+      std::size_t total = 0;
+      for (const auto& co : outs) total += co.cols.size();
+      nci.reserve(total);
+      nv.reserve(total);
+      for (const auto& co : outs) {
+        for (Index i = co.lo; i < co.hi; ++i)
+          nrp[i + 1] = co.rowlen[i - co.lo];
+        nci.insert(nci.end(), co.cols.begin(), co.cols.end());
+        nv.insert(nv.end(), co.vals.begin(), co.vals.end());
       }
+      for (Index i = 0; i < nrows_; ++i) nrp[i + 1] += nrp[i];
     }
-    nrp[nrows_] = static_cast<Index>(nci.size());
     rowptr_ = std::move(nrp);
     colidx_ = std::move(nci);
     val_ = std::move(nv);

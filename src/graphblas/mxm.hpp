@@ -10,11 +10,11 @@
 
 #include <vector>
 
+#include "graphblas/context.hpp"
 #include "graphblas/detail/merge.hpp"
 #include "graphblas/matrix.hpp"
 #include "graphblas/ops.hpp"
 #include "graphblas/types.hpp"
-#include "util/thread_pool.hpp"
 
 namespace rg::gb {
 
@@ -122,37 +122,39 @@ void mxm(Matrix<T>& C, const Matrix<MT>* mask, Accum accum, SR sr,
   const bool fuse = mask != nullptr && !desc.mask_complement;
 
   const Index nr = a.nrows();
-  auto& pool = util::global_pool();
-  const std::size_t nchunks =
-      std::max<std::size_t>(1, std::min<std::size_t>(pool.size() * 4, nr));
-  const Index chunk = (nr + nchunks - 1) / std::max<Index>(1, nchunks);
+  const std::size_t n = static_cast<std::size_t>(nr);
 
+  // Estimated multiply-adds: one product per (A entry, matching B-row
+  // entry).  One cheap pass over A's pattern — only paid when the
+  // context could fan out at all; drives the go-parallel decision far
+  // better than nnz alone.
+  std::size_t nchunks = 1;
+  if (detail::parallel_candidate()) {
+    std::size_t flops = n;
+    const auto& aci = a.colidx();
+    const auto& brp = b.rowptr();
+    for (Index k : aci)
+      flops += static_cast<std::size_t>(brp[k + 1] - brp[k]);
+    nchunks = detail::plan_chunks(n, flops);
+  }
+
+  // Static row partition: each output row is owned by exactly one chunk,
+  // so the stitched result is bitwise identical for every thread count.
   struct ChunkOut {
     Index lo = 0, hi = 0;
     std::vector<Index> rowlen, cols;
     std::vector<T> vals;
   };
-  std::vector<ChunkOut> outs;
-  for (Index lo = 0; lo < nr; lo += chunk) {
-    outs.push_back({lo, std::min(nr, lo + chunk), {}, {}, {}});
-  }
-  if (outs.empty()) outs.push_back({0, 0, {}, {}, {}});
-
-  {
-    std::vector<std::future<void>> futs;
-    for (auto& co : outs) {
-      auto work = [&a, &b, mask, &desc, fuse, sr, &co] {
-        detail::mxm_rows(a, b, mask, desc.mask_structural, fuse, sr, co.lo,
-                         co.hi, co.rowlen, co.cols, co.vals);
-      };
-      if (outs.size() == 1) {
-        work();
-      } else {
-        futs.push_back(pool.submit(work));
-      }
-    }
-    for (auto& f : futs) f.get();
-  }
+  std::vector<ChunkOut> outs(detail::chunk_slots(n, nchunks));
+  detail::run_chunks(n, nchunks,
+                     [&](std::size_t c, std::size_t lo, std::size_t hi) {
+                       auto& co = outs[c];
+                       co.lo = static_cast<Index>(lo);
+                       co.hi = static_cast<Index>(hi);
+                       detail::mxm_rows(a, b, mask, desc.mask_structural, fuse,
+                                        sr, co.lo, co.hi, co.rowlen, co.cols,
+                                        co.vals);
+                     });
 
   // Stitch chunk outputs into one CooRows.
   detail::CooRows<T> t;

@@ -13,9 +13,11 @@
 // "direction optimization" SuiteSparse applies internally.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
+#include "graphblas/context.hpp"
 #include "graphblas/detail/merge.hpp"
 #include "graphblas/matrix.hpp"
 #include "graphblas/ops.hpp"
@@ -49,20 +51,81 @@ void vxm(Vector<T>& w, const Vector<MT>* mask, Accum accum, SR sr,
   std::vector<std::uint8_t> spa_set(n, 0);
   std::vector<Index> spa_nz;
 
-  u.for_each([&](Index k, const T& uk) {
-    for (Index p = rp[k]; p < rp[k + 1]; ++p) {
-      const Index j = ci[p];
-      if (fuse && !vm.allows(j)) continue;
-      const T prod = sr.multiply(uk, av[p]);
-      if (!spa_set[j]) {
-        spa_set[j] = 1;
-        spa_val[j] = prod;
-        spa_nz.push_back(j);
-      } else {
-        spa_val[j] = sr.combine(spa_val[j], prod);
+  const auto& ui = u.indices();
+  const auto& uv = u.values();
+
+  // Scatter work: one product per edge incident to u's nonzeros.  The
+  // estimation pass is skipped entirely when the context cannot fan out.
+  std::size_t nchunks = 1;
+  if (detail::parallel_candidate()) {
+    std::size_t work = ui.size();
+    for (Index k : ui) work += static_cast<std::size_t>(rp[k + 1] - rp[k]);
+    nchunks = detail::plan_chunks(ui.size(), work);
+  }
+
+  if (nchunks <= 1) {
+    for (std::size_t q = 0; q < ui.size(); ++q) {
+      const Index k = ui[q];
+      const T& uk = uv[q];
+      for (Index p = rp[k]; p < rp[k + 1]; ++p) {
+        const Index j = ci[p];
+        if (fuse && !vm.allows(j)) continue;
+        const T prod = sr.multiply(uk, av[p]);
+        if (!spa_set[j]) {
+          spa_set[j] = 1;
+          spa_val[j] = prod;
+          spa_nz.push_back(j);
+        } else {
+          spa_val[j] = sr.combine(spa_val[j], prod);
+        }
       }
     }
-  });
+  } else {
+    // Partition u's nonzeros; each chunk scatters into a private SPA, and
+    // the partial sums are folded in ascending chunk order.  Per-column
+    // products therefore combine in the same order as the serial loop, up
+    // to parenthesization — identical for exactly associative monoids
+    // (integer/boolean ops; see context.hpp for the floating-point note).
+    struct ChunkSpa {
+      std::vector<T> val;
+      std::vector<std::uint8_t> set;
+      std::vector<Index> nz;
+    };
+    std::vector<ChunkSpa> spas(detail::chunk_slots(ui.size(), nchunks));
+    detail::run_chunks(
+        ui.size(), nchunks, [&](std::size_t c, std::size_t lo, std::size_t hi) {
+          auto& s = spas[c];
+          s.val.assign(n, sr.add.identity);
+          s.set.assign(n, 0);
+          for (std::size_t q = lo; q < hi; ++q) {
+            const Index k = ui[q];
+            const T& uk = uv[q];
+            for (Index p = rp[k]; p < rp[k + 1]; ++p) {
+              const Index j = ci[p];
+              if (fuse && !vm.allows(j)) continue;
+              const T prod = sr.multiply(uk, av[p]);
+              if (!s.set[j]) {
+                s.set[j] = 1;
+                s.val[j] = prod;
+                s.nz.push_back(j);
+              } else {
+                s.val[j] = sr.combine(s.val[j], prod);
+              }
+            }
+          }
+        });
+    for (const auto& s : spas) {
+      for (Index j : s.nz) {
+        if (!spa_set[j]) {
+          spa_set[j] = 1;
+          spa_val[j] = s.val[j];
+          spa_nz.push_back(j);
+        } else {
+          spa_val[j] = sr.combine(spa_val[j], s.val[j]);
+        }
+      }
+    }
+  }
 
   std::sort(spa_nz.begin(), spa_nz.end());
   detail::CooVec<T> t;
@@ -140,6 +203,11 @@ void mxv(Vector<T>& w, const Vector<MT>* mask, Accum accum, SR sr,
 /// transpose (RedisGraph's RG_Matrix maintains both).
 enum class StepDirection { kPush, kPull };
 
+/// `unvisited_hint` lets callers that track the visited population (e.g.
+/// algo::KHopCounter) skip the O(n) scan the heuristic otherwise needs;
+/// pass SIZE_MAX to have it computed here.  `push_work_out`, when
+/// non-null, receives the frontier's total out-degree (the push-side work
+/// estimate, which is computed in either case).
 template <typename T>
 StepDirection bfs_step(const Matrix<T>& A, const Matrix<T>& AT,
                        const std::vector<Index>& frontier,
@@ -147,7 +215,9 @@ StepDirection bfs_step(const Matrix<T>& A, const Matrix<T>& AT,
                        std::vector<Index>& next,
                        std::vector<std::uint8_t>& in_frontier,
                        StepDirection forced = StepDirection::kPush,
-                       bool force = false) {
+                       bool force = false,
+                       std::size_t unvisited_hint = SIZE_MAX,
+                       std::size_t* push_work_out = nullptr) {
   A.wait();
   AT.wait();
   const auto& rp = A.rowptr();
@@ -158,8 +228,12 @@ StepDirection bfs_step(const Matrix<T>& A, const Matrix<T>& AT,
   // unvisited vertices with early exit.
   std::size_t push_work = 0;
   for (Index v : frontier) push_work += rp[v + 1] - rp[v];
-  std::size_t unvisited = 0;
-  for (Index i = 0; i < n; ++i) unvisited += visited[i] == 0;
+  if (push_work_out != nullptr) *push_work_out = push_work;
+  std::size_t unvisited = unvisited_hint;
+  if (unvisited == SIZE_MAX) {
+    unvisited = 0;
+    for (Index i = 0; i < n; ++i) unvisited += visited[i] == 0;
+  }
 
   StepDirection dir;
   if (force) {
@@ -173,29 +247,85 @@ StepDirection bfs_step(const Matrix<T>& A, const Matrix<T>& AT,
 
   next.clear();
   if (dir == StepDirection::kPush) {
-    for (Index v : frontier) {
-      for (Index p = rp[v]; p < rp[v + 1]; ++p) {
-        const Index j = ci[p];
-        if (!visited[j]) {
-          visited[j] = 1;
-          next.push_back(j);
+    const std::size_t nchunks = detail::plan_chunks(frontier.size(), push_work);
+    if (nchunks <= 1) {
+      for (Index v : frontier) {
+        for (Index p = rp[v]; p < rp[v + 1]; ++p) {
+          const Index j = ci[p];
+          if (!visited[j]) {
+            visited[j] = 1;
+            next.push_back(j);
+          }
         }
       }
+    } else {
+      // Parallel push: partition the frontier; chunks claim target
+      // vertices with a CAS on the visited byte.  The set of discovered
+      // vertices is exactly the serial set; only the order within `next`
+      // depends on which chunk wins a race (counts and subsequent
+      // fixpoints are unaffected).
+      std::vector<std::vector<Index>> parts(
+          detail::chunk_slots(frontier.size(), nchunks));
+      detail::run_chunks(
+          frontier.size(), nchunks,
+          [&](std::size_t c, std::size_t lo, std::size_t hi) {
+            auto& local = parts[c];
+            for (std::size_t q = lo; q < hi; ++q) {
+              const Index v = frontier[q];
+              for (Index p = rp[v]; p < rp[v + 1]; ++p) {
+                const Index j = ci[p];
+                std::atomic_ref<std::uint8_t> flag(visited[j]);
+                if (flag.load(std::memory_order_relaxed) != 0) continue;
+                std::uint8_t expected = 0;
+                if (flag.compare_exchange_strong(expected, 1,
+                                                 std::memory_order_relaxed))
+                  local.push_back(j);
+              }
+            }
+          });
+      for (auto& part : parts)
+        next.insert(next.end(), part.begin(), part.end());
     }
   } else {
     // Pull: mark frontier membership, then scan unvisited rows of AT.
+    // Row-owned in the parallel case (each chunk writes visited[i] only
+    // for its own rows), so the result is bitwise identical to serial.
     for (Index v : frontier) in_frontier[v] = 1;
     const auto& trp = AT.rowptr();
     const auto& tci = AT.colidx();
-    for (Index i = 0; i < n; ++i) {
-      if (visited[i]) continue;
-      for (Index p = trp[i]; p < trp[i + 1]; ++p) {
-        if (in_frontier[tci[p]]) {
-          visited[i] = 1;
-          next.push_back(i);
-          break;  // any-pair: first hit suffices
+    const std::size_t nchunks =
+        detail::plan_chunks(static_cast<std::size_t>(n), unvisited * 8);
+    if (nchunks <= 1) {
+      for (Index i = 0; i < n; ++i) {
+        if (visited[i]) continue;
+        for (Index p = trp[i]; p < trp[i + 1]; ++p) {
+          if (in_frontier[tci[p]]) {
+            visited[i] = 1;
+            next.push_back(i);
+            break;  // any-pair: first hit suffices
+          }
         }
       }
+    } else {
+      const std::size_t nsz = static_cast<std::size_t>(n);
+      std::vector<std::vector<Index>> parts(detail::chunk_slots(nsz, nchunks));
+      detail::run_chunks(nsz, nchunks,
+                         [&](std::size_t c, std::size_t lo, std::size_t hi) {
+                           auto& local = parts[c];
+                           for (Index i = static_cast<Index>(lo);
+                                i < static_cast<Index>(hi); ++i) {
+                             if (visited[i]) continue;
+                             for (Index p = trp[i]; p < trp[i + 1]; ++p) {
+                               if (in_frontier[tci[p]]) {
+                                 visited[i] = 1;
+                                 local.push_back(i);
+                                 break;
+                               }
+                             }
+                           }
+                         });
+      for (auto& part : parts)
+        next.insert(next.end(), part.begin(), part.end());
     }
     for (Index v : frontier) in_frontier[v] = 0;
   }

@@ -145,6 +145,17 @@ std::uint64_t DurabilityManager::append_if(
   return writer_->append(argv);
 }
 
+std::uint64_t DurabilityManager::append_batch_if(
+    const std::vector<std::string>& argv, std::uint64_t entities,
+    const std::function<bool()>& guard) {
+  std::lock_guard lk(mu_);
+  if (!guard()) return 0;
+  const std::uint64_t lsn = writer_->append(argv);
+  ++retired_.batch_frames;
+  retired_.batch_entities += entities;
+  return lsn;
+}
+
 bool DurabilityManager::compaction_due() const {
   std::lock_guard lk(mu_);
   return writer_ && writer_->size_bytes() > options_.wal_max_bytes;

@@ -57,6 +57,8 @@ struct Counters {
   std::uint64_t replayed_frames = 0;  // applied during recovery
   std::uint64_t skipped_frames = 0;   // below a snapshot watermark
   std::uint64_t torn_bytes = 0;       // dropped from a crashed tail
+  std::uint64_t batch_frames = 0;     // frames carrying a whole batch
+  std::uint64_t batch_entities = 0;   // entities inside those frames
 };
 
 class DurabilityManager {
@@ -105,6 +107,16 @@ class DurabilityManager {
   /// writer can slip a frame in behind it.
   std::uint64_t append_if(const std::vector<std::string>& argv,
                           const std::function<bool()>& guard);
+
+  /// append_if for batched ingestion (GRAPH.BULK): the whole batch is
+  /// journaled as ONE frame — replaying it recreates every entity — and
+  /// the batch counters record how many entities that one frame carries.
+  /// Keeping the accounting here (rather than per-command in the server)
+  /// makes the amortization observable at the WAL layer, where it is
+  /// actually realized.
+  std::uint64_t append_batch_if(const std::vector<std::string>& argv,
+                                std::uint64_t entities,
+                                const std::function<bool()>& guard);
 
   /// True once the live log exceeds wal_max_bytes (rewrite due).
   bool compaction_due() const;

@@ -1,7 +1,10 @@
 #include "server/server.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 #include <sstream>
+
+#include "graphblas/context.hpp"
 
 #include "cypher/lexer.hpp"
 #include "cypher/param_header.hpp"
@@ -198,6 +201,11 @@ Reply Server::dispatch(const std::vector<std::string>& argv) {
         return {Reply::Kind::kError, "wrong number of arguments", {}};
       return cmd_explain(argv[1], argv[2]);
     }
+    if (is("GRAPH.BULK")) {
+      if (argv.size() < 4)
+        return {Reply::Kind::kError, "wrong number of arguments", {}};
+      return cmd_bulk(argv);
+    }
     if (is("GRAPH.DELETE")) {
       if (argv.size() < 2)
         return {Reply::Kind::kError, "wrong number of arguments", {}};
@@ -312,6 +320,202 @@ Reply Server::cmd_query(const std::string& key, const std::string& raw,
   }
   if (durability_ && !replaying_) maybe_request_rewrite();
   return reply;
+}
+
+namespace {
+
+/// Strict decimal u64 parse for GRAPH.BULK operands.
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size() || s[0] == '-') return false;
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+Reply Server::cmd_bulk(const std::vector<std::string>& argv) {
+  const std::string& key = argv[1];
+
+  // ---- parse (no graph state touched yet) -------------------------------
+  struct NodeBatch {
+    std::uint64_t count = 0;
+    std::string label;  // empty = unlabeled
+  };
+  // An edge endpoint is either an absolute node id or a batch-relative
+  // reference "@k" = the k-th node created by THIS command (counting
+  // across its NODES sections).  References make a combined nodes+edges
+  // batch self-contained: the client needs no id round-trip and the
+  // command stays atomic even when the id allocator reuses freed slots.
+  struct Endpoint {
+    bool ref = false;
+    std::uint64_t v = 0;
+  };
+  struct EdgeBatch {
+    std::string type;
+    std::vector<std::pair<Endpoint, Endpoint>> edges;
+  };
+  std::vector<NodeBatch> node_batches;
+  std::vector<EdgeBatch> edge_batches;
+
+  auto is_section = [](const std::string& s) {
+    return cypher::keyword_eq(s, "NODES") || cypher::keyword_eq(s, "EDGES");
+  };
+
+  std::size_t i = 2;
+  while (i < argv.size()) {
+    if (cypher::keyword_eq(argv[i], "NODES")) {
+      NodeBatch nb;
+      if (i + 1 >= argv.size() || !parse_u64(argv[i + 1], nb.count))
+        return {Reply::Kind::kError, "GRAPH.BULK: NODES needs a count", {}};
+      i += 2;
+      if (i < argv.size() && !is_section(argv[i])) nb.label = argv[i++];
+      node_batches.push_back(std::move(nb));
+    } else if (cypher::keyword_eq(argv[i], "EDGES")) {
+      if (i + 2 >= argv.size())
+        return {Reply::Kind::kError,
+                "GRAPH.BULK: EDGES needs <reltype> <count>", {}};
+      EdgeBatch eb;
+      eb.type = argv[i + 1];
+      std::uint64_t count = 0;
+      if (!parse_u64(argv[i + 2], count) || eb.type.empty() ||
+          is_section(eb.type))
+        return {Reply::Kind::kError,
+                "GRAPH.BULK: EDGES needs <reltype> <count>", {}};
+      i += 3;
+      if (argv.size() - i < 2 * count)
+        return {Reply::Kind::kError,
+                "GRAPH.BULK: EDGES declares more endpoints than supplied", {}};
+      eb.edges.reserve(count);
+      auto parse_endpoint = [](const std::string& s, Endpoint& out) {
+        out.ref = !s.empty() && s[0] == '@';
+        return parse_u64(out.ref ? s.substr(1) : s, out.v);
+      };
+      for (std::uint64_t e = 0; e < count; ++e) {
+        Endpoint src, dst;
+        if (!parse_endpoint(argv[i], src) || !parse_endpoint(argv[i + 1], dst))
+          return {Reply::Kind::kError,
+                  "GRAPH.BULK: edge endpoints must be node ids or @refs", {}};
+        eb.edges.emplace_back(src, dst);
+        i += 2;
+      }
+      edge_batches.push_back(std::move(eb));
+    } else {
+      return {Reply::Kind::kError,
+              "GRAPH.BULK: expected NODES or EDGES, got '" + argv[i] + "'",
+              {}};
+    }
+  }
+  if (node_batches.empty() && edge_batches.empty())
+    return {Reply::Kind::kError, "GRAPH.BULK: empty batch", {}};
+
+  // ---- apply under the exclusive per-graph lock -------------------------
+  const auto ge = entry_for(key);
+  std::uint64_t nodes_created = 0;
+  std::uint64_t edges_created = 0;
+  std::int64_t first_node_id = -1;
+  {
+    std::unique_lock lk(ge->lock);
+    graph::Graph& g = ge->graph;
+
+    // Nodes first, so edges may reference ids created in this batch.
+    // On any failure everything created here — edges, then nodes — is
+    // rolled back: the command is all-or-nothing, which keeps the single
+    // replayed WAL frame an exact description of what happened.
+    std::vector<graph::NodeId> created;
+    std::vector<graph::EdgeId> created_edges;
+    auto rollback = [&] {
+      for (auto it = created_edges.rbegin(); it != created_edges.rend(); ++it)
+        if (g.has_edge(*it)) g.delete_edge(*it);
+      for (auto it = created.rbegin(); it != created.rend(); ++it)
+        g.delete_node(*it);
+    };
+    try {
+      for (const auto& nb : node_batches) {
+        std::vector<graph::LabelId> labels;
+        if (!nb.label.empty())
+          labels.push_back(g.schema().add_label(nb.label));
+        for (std::uint64_t c = 0; c < nb.count; ++c) {
+          const graph::NodeId id = g.add_node(labels);
+          if (first_node_id < 0) first_node_id = static_cast<std::int64_t>(id);
+          created.push_back(id);
+        }
+      }
+      nodes_created = created.size();
+    } catch (const std::exception& e) {
+      rollback();
+      return {Reply::Kind::kError, e.what(), {}};
+    }
+
+    auto resolve = [&](const Endpoint& ep, graph::NodeId& out) {
+      if (ep.ref) {
+        if (ep.v >= created.size()) return false;
+        out = created[ep.v];
+        return true;
+      }
+      out = ep.v;
+      return g.has_node(out);
+    };
+    for (const auto& eb : edge_batches) {
+      for (const auto& [src, dst] : eb.edges) {
+        graph::NodeId s = 0, d = 0;
+        const bool s_ok = resolve(src, s);
+        if (!s_ok || !resolve(dst, d)) {
+          const Endpoint& bad = s_ok ? dst : src;
+          rollback();
+          return {Reply::Kind::kError,
+                  "GRAPH.BULK: edge endpoint " +
+                      std::string(bad.ref ? "@" : "") + std::to_string(bad.v) +
+                      " does not exist", {}};
+        }
+      }
+    }
+    // The apply loop can still throw (GraphFullError at the edge-id
+    // cap): without the rollback the batch would be half-applied in
+    // memory while the WAL never records it — a durable server would
+    // silently lose the partial batch on restart.
+    try {
+      for (const auto& eb : edge_batches) {
+        const graph::RelTypeId t = g.schema().add_reltype(eb.type);
+        for (const auto& [src, dst] : eb.edges) {
+          graph::NodeId s = 0, d = 0;
+          resolve(src, s);
+          resolve(dst, d);
+          created_edges.push_back(g.add_edge(t, s, d));
+          ++edges_created;
+        }
+      }
+    } catch (const std::exception& e) {
+      rollback();
+      return {Reply::Kind::kError, e.what(), {}};
+    }
+
+    // Matrices re-sync before the write lock drops (same as cmd_query).
+    g.flush();
+
+    // One WAL frame for the whole batch — this is the durability half of
+    // the amortization: N entities cost one append + one fsync.
+    if (durability_ && !replaying_) {
+      const std::uint64_t lsn = durability_->append_batch_if(
+          argv, nodes_created + edges_created, [&] {
+            return !ge->unlinked.load(std::memory_order_acquire);
+          });
+      if (lsn != 0) ge->last_lsn = lsn;
+    }
+  }
+  if (durability_ && !replaying_) maybe_request_rewrite();
+
+  Reply r;
+  r.kind = Reply::Kind::kResult;
+  r.result.columns = {"nodes_created", "edges_created", "first_node_id"};
+  r.result.rows.push_back(
+      {graph::Value(static_cast<std::int64_t>(nodes_created)),
+       graph::Value(static_cast<std::int64_t>(edges_created)),
+       graph::Value(first_node_id)});
+  return r;
 }
 
 Reply Server::cmd_explain(const std::string& key, const std::string& raw) {
@@ -463,7 +667,8 @@ Reply Server::cmd_config(const std::vector<std::string>& argv) {
             static_cast<std::int64_t>(durability_->wal_size_bytes()));
       if (want("WAL_APPENDS") || want("WAL_BYTES") || want("WAL_FSYNCS") ||
           want("WAL_REWRITES") || want("WAL_REPLAYED_FRAMES") ||
-          want("WAL_SKIPPED_FRAMES") || want("WAL_TORN_BYTES")) {
+          want("WAL_SKIPPED_FRAMES") || want("WAL_TORN_BYTES") ||
+          want("WAL_BATCH_FRAMES") || want("WAL_BATCH_ENTITIES")) {
         const auto c = durability_->counters();
         if (want("WAL_APPENDS"))
           row(r.result, "WAL_APPENDS", static_cast<std::int64_t>(c.appends));
@@ -484,11 +689,19 @@ Reply Server::cmd_config(const std::vector<std::string>& argv) {
         if (want("WAL_TORN_BYTES"))
           row(r.result, "WAL_TORN_BYTES",
               static_cast<std::int64_t>(c.torn_bytes));
+        if (want("WAL_BATCH_FRAMES"))
+          row(r.result, "WAL_BATCH_FRAMES",
+              static_cast<std::int64_t>(c.batch_frames));
+        if (want("WAL_BATCH_ENTITIES"))
+          row(r.result, "WAL_BATCH_ENTITIES",
+              static_cast<std::int64_t>(c.batch_entities));
       }
     }
     if (want("THREAD_COUNT"))
       row(r.result, "THREAD_COUNT",
           static_cast<std::int64_t>(worker_count()));
+    if (want("GB_THREADS"))
+      row(r.result, "GB_THREADS", static_cast<std::int64_t>(gb::threads()));
     if (want("PLAN_CACHE_SIZE")) {
       std::lock_guard lk(keyspace_mu_);
       row(r.result, "PLAN_CACHE_SIZE",
@@ -514,6 +727,18 @@ Reply Server::cmd_config(const std::vector<std::string>& argv) {
     if (cypher::keyword_eq(argv[2], "THREAD_COUNT"))
       return {Reply::Kind::kError,
               "THREAD_COUNT is fixed at module load time", {}};
+    if (cypher::keyword_eq(argv[2], "GB_THREADS")) {
+      // Unlike THREAD_COUNT (one query = one worker, fixed at load),
+      // GB_THREADS is the intra-operation kernel parallelism and is safe
+      // to retune at runtime; 1 = the exact serial kernels.
+      char* end = nullptr;
+      const long long v = std::strtoll(argv[3].c_str(), &end, 10);
+      if (end == argv[3].c_str() || *end != '\0' || v < 1 || v > 1024)
+        return {Reply::Kind::kError,
+                "GB_THREADS must be an integer in [1, 1024]", {}};
+      gb::set_threads(static_cast<std::size_t>(v));
+      return {Reply::Kind::kStatus, "OK", {}};
+    }
     if (cypher::keyword_eq(argv[2], "WAL_FSYNC") ||
         cypher::keyword_eq(argv[2], "WAL_MAX_BYTES")) {
       if (!durability_)

@@ -26,7 +26,15 @@
 // the chosen fsync policy).
 //
 // Commands: GRAPH.QUERY, GRAPH.RO_QUERY, GRAPH.EXPLAIN, GRAPH.PROFILE,
-// GRAPH.DELETE, GRAPH.LIST, GRAPH.SAVE, GRAPH.RESTORE, GRAPH.CONFIG, PING.
+// GRAPH.BULK, GRAPH.DELETE, GRAPH.LIST, GRAPH.SAVE, GRAPH.RESTORE,
+// GRAPH.CONFIG, PING.
+//
+// GRAPH.BULK is the batched ingestion fast path: N nodes/edges arrive in
+// one frame, are validated up front, build GraphBLAS pending tuples
+// directly (no per-entity Cypher compile), and journal as ONE WAL frame:
+//
+//   GRAPH.BULK <key> [NODES <count> [<label>]]...
+//                    [EDGES <reltype> <count> <src> <dst> ...]...
 //
 // Query texts may carry a RedisGraph-style parameter header:
 //   "CYPHER name=1 handle='bob' MATCH (n {handle: $handle}) RETURN n"
@@ -149,6 +157,7 @@ class Server {
   Reply dispatch(const std::vector<std::string>& argv);
   Reply cmd_query(const std::string& key, const std::string& raw,
                   bool read_only_cmd, bool profile);
+  Reply cmd_bulk(const std::vector<std::string>& argv);
   Reply cmd_explain(const std::string& key, const std::string& text);
   Reply cmd_delete(const std::string& key);
   Reply cmd_list();

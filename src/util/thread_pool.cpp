@@ -23,7 +23,14 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+namespace {
+thread_local const ThreadPool* tls_current_pool = nullptr;
+}  // namespace
+
+const ThreadPool* ThreadPool::current() noexcept { return tls_current_pool; }
+
 void ThreadPool::worker_loop() {
+  tls_current_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -86,7 +93,9 @@ void parallel_for_chunks(ThreadPool& pool, std::size_t begin, std::size_t end,
   const std::size_t n = end - begin;
   const std::size_t max_chunks = std::max<std::size_t>(1, pool.size() * 4);
   std::size_t chunk = std::max(grain, (n + max_chunks - 1) / max_chunks);
-  if (n <= grain || pool.size() == 1) {
+  if (n <= grain || pool.size() == 1 || ThreadPool::current() == &pool) {
+    // Nested region on the same pool: run inline — submitting and blocking
+    // on futures from a worker thread can deadlock the fixed-size pool.
     fn(begin, end);
     return;
   }

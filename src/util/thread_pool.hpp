@@ -60,6 +60,13 @@ class ThreadPool {
   /// Block until every task submitted so far has completed.
   void wait_idle();
 
+  /// The pool whose worker is executing the calling thread, or nullptr
+  /// when called from outside any pool.  Data-parallel helpers use this
+  /// to run nested parallel regions inline instead of re-submitting to a
+  /// pool whose workers may all be blocked on such nested regions (the
+  /// classic fork-join-on-fixed-pool deadlock).
+  static const ThreadPool* current() noexcept;
+
  private:
   void worker_loop();
 

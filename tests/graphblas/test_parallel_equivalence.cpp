@@ -1,0 +1,323 @@
+// Serial-vs-parallel kernel equivalence — the correctness oracle for the
+// intra-operation parallel backend (graphblas/context.hpp).
+//
+// Every parallel kernel is row-partitioned (each output row owned by one
+// chunk), so for ANY thread count the result must be bitwise identical
+// to gb::set_threads(1) — which in turn runs the original serial code
+// paths.  vxm is the one order-sensitive kernel (per-chunk partial sums
+// fold in chunk order); it is exercised with integer values and with
+// doubles holding small integers, where + is exact and associative, so
+// equality is still exact.
+//
+// Matrices are sized above detail::kParallelWorkThreshold so the
+// parallel paths genuinely engage (asserted via plan_chunks).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "graphblas/graphblas.hpp"
+#include "util/random.hpp"
+
+namespace rg::gbtest {
+namespace {
+
+template <typename T>
+gb::Matrix<T> random_matrix(gb::Index n, double density, util::Pcg32& rng,
+                            std::uint64_t maxval = 100) {
+  std::vector<gb::Index> r, c;
+  std::vector<T> v;
+  for (gb::Index i = 0; i < n; ++i)
+    for (gb::Index j = 0; j < n; ++j)
+      if (rng.uniform() < density) {
+        r.push_back(i);
+        c.push_back(j);
+        v.push_back(static_cast<T>(rng.bounded64(maxval + 1)));
+      }
+  gb::Matrix<T> m(n, n);
+  m.build(r, c, v);
+  return m;
+}
+
+template <typename T>
+gb::Vector<T> random_vector(gb::Index n, double density, util::Pcg32& rng,
+                            std::uint64_t maxval = 100) {
+  gb::Vector<T> u(n);
+  for (gb::Index i = 0; i < n; ++i)
+    if (rng.uniform() < density)
+      u.set_element(i, static_cast<T>(rng.bounded64(maxval + 1)));
+  u.wait();
+  return u;
+}
+
+template <typename T>
+void expect_identical(const gb::Matrix<T>& a, const gb::Matrix<T>& b) {
+  ASSERT_EQ(a.nrows(), b.nrows());
+  ASSERT_EQ(a.ncols(), b.ncols());
+  EXPECT_EQ(a.rowptr(), b.rowptr());
+  EXPECT_EQ(a.colidx(), b.colidx());
+  EXPECT_EQ(a.values(), b.values());
+}
+
+template <typename T>
+void expect_identical(const gb::Vector<T>& a, const gb::Vector<T>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.indices(), b.indices());
+  EXPECT_EQ(a.values(), b.values());
+}
+
+constexpr gb::Index kN = 256;       // 256^2 * 0.3 ~ 20k nnz > threshold
+constexpr double kDensity = 0.3;
+constexpr std::size_t kThreads = 4;
+
+/// Run `op` at 1 thread and at kThreads and compare results exactly.
+template <typename Out, typename Fn>
+void check_equivalence(Fn&& op) {
+  Out serial, parallel;
+  {
+    gb::ThreadsGuard g(1);
+    serial = op();
+  }
+  {
+    gb::ThreadsGuard g(kThreads);
+    parallel = op();
+  }
+  expect_identical(serial, parallel);
+}
+
+TEST(ParallelEquivalence, ParallelPathActuallyEngages) {
+  gb::ThreadsGuard g(kThreads);
+  EXPECT_GT(gb::detail::plan_chunks(kN, kN * kN / 3), 1u);
+  gb::ThreadsGuard g1(1);
+  EXPECT_EQ(gb::detail::plan_chunks(kN, kN * kN / 3), 1u);
+}
+
+TEST(ParallelEquivalence, EngagesFromNonGlobalPoolWorkers) {
+  gb::ThreadsGuard g(kThreads);
+  // A server-style worker pool is NOT the kernels' global pool: kernels
+  // launched from its workers must still fan out (every server query
+  // runs on such a worker — regression guard for the nested-pool check).
+  util::ThreadPool workers(2);
+  const std::size_t from_worker =
+      workers.submit([] { return gb::detail::plan_chunks(1000, 1u << 20); })
+          .get();
+  EXPECT_GT(from_worker, 1u);
+  // A worker of the global pool itself must stay serial: a nested
+  // fork-join blocking on its own fixed pool can deadlock it.
+  const std::size_t from_global =
+      util::global_pool()
+          .submit([] { return gb::detail::plan_chunks(1000, 1u << 20); })
+          .get();
+  EXPECT_EQ(from_global, 1u);
+}
+
+TEST(ParallelEquivalence, MxmPlusTimesInt) {
+  util::Pcg32 rng(42);
+  const auto A = random_matrix<std::int64_t>(kN, kDensity, rng);
+  const auto B = random_matrix<std::int64_t>(kN, kDensity, rng);
+  check_equivalence<gb::Matrix<std::int64_t>>([&] {
+    gb::Matrix<std::int64_t> C(kN, kN);
+    gb::mxm(C, gb::plus_times<std::int64_t>(), A, B);
+    return C;
+  });
+}
+
+TEST(ParallelEquivalence, MxmMaskedAnyPairBool) {
+  util::Pcg32 rng(43);
+  const auto A = random_matrix<gb::Bool>(kN, kDensity, rng, 1);
+  const auto B = random_matrix<gb::Bool>(kN, kDensity, rng, 1);
+  const auto M = random_matrix<gb::Bool>(kN, 0.5, rng, 1);
+  check_equivalence<gb::Matrix<gb::Bool>>([&] {
+    gb::Matrix<gb::Bool> C(kN, kN);
+    gb::mxm(C, &M, gb::NoAccum{}, gb::any_pair, A, B,
+            gb::Descriptor::structural());
+    return C;
+  });
+}
+
+TEST(ParallelEquivalence, MxmAccumDouble) {
+  // Doubles restricted to small integers: + is exact, so parallel
+  // accumulation must match serial bit-for-bit.
+  util::Pcg32 rng(44);
+  const auto A = random_matrix<double>(kN, kDensity, rng, 8);
+  const auto B = random_matrix<double>(kN, kDensity, rng, 8);
+  const auto C0 = random_matrix<double>(kN, 0.1, rng, 8);
+  check_equivalence<gb::Matrix<double>>([&] {
+    gb::Matrix<double> C = C0;
+    gb::mxm(C, nullptr, gb::Plus{}, gb::plus_times<double>(), A, B);
+    return C;
+  });
+}
+
+TEST(ParallelEquivalence, EwiseAddAndMult) {
+  util::Pcg32 rng(45);
+  const auto A = random_matrix<std::int64_t>(kN, kDensity, rng);
+  const auto B = random_matrix<std::int64_t>(kN, kDensity, rng);
+  check_equivalence<gb::Matrix<std::int64_t>>([&] {
+    gb::Matrix<std::int64_t> C(kN, kN);
+    gb::ewise_add(C, static_cast<const gb::Matrix<gb::Bool>*>(nullptr),
+                  gb::NoAccum{}, gb::Plus{}, A, B);
+    return C;
+  });
+  check_equivalence<gb::Matrix<std::int64_t>>([&] {
+    gb::Matrix<std::int64_t> C(kN, kN);
+    gb::ewise_mult(C, static_cast<const gb::Matrix<gb::Bool>*>(nullptr),
+                   gb::NoAccum{}, gb::Times{}, A, B);
+    return C;
+  });
+}
+
+TEST(ParallelEquivalence, ApplyUnaryAndBound) {
+  util::Pcg32 rng(46);
+  const auto A = random_matrix<std::int64_t>(kN, kDensity, rng);
+  check_equivalence<gb::Matrix<std::int64_t>>([&] {
+    gb::Matrix<std::int64_t> C(kN, kN);
+    gb::apply(C, static_cast<const gb::Matrix<gb::Bool>*>(nullptr),
+              gb::NoAccum{}, gb::Ainv{}, A);
+    return C;
+  });
+  check_equivalence<gb::Matrix<std::int64_t>>([&] {
+    gb::Matrix<std::int64_t> C(kN, kN);
+    gb::apply_bind_second(C, static_cast<const gb::Matrix<gb::Bool>*>(nullptr),
+                          gb::NoAccum{}, gb::Times{}, A, std::int64_t{3});
+    return C;
+  });
+}
+
+TEST(ParallelEquivalence, VxmIntAndExactDouble) {
+  util::Pcg32 rng(47);
+  const auto A64 = random_matrix<std::int64_t>(kN, kDensity, rng);
+  const auto u64 = random_vector<std::int64_t>(kN, 0.6, rng);
+  check_equivalence<gb::Vector<std::int64_t>>([&] {
+    gb::Vector<std::int64_t> w(kN);
+    gb::vxm(w, static_cast<const gb::Vector<gb::Bool>*>(nullptr),
+            gb::NoAccum{}, gb::plus_times<std::int64_t>(), u64, A64);
+    return w;
+  });
+  const auto Ad = random_matrix<double>(kN, kDensity, rng, 4);
+  const auto ud = random_vector<double>(kN, 0.6, rng, 4);
+  check_equivalence<gb::Vector<double>>([&] {
+    gb::Vector<double> w(kN);
+    gb::vxm(w, static_cast<const gb::Vector<gb::Bool>*>(nullptr),
+            gb::NoAccum{}, gb::plus_times<double>(), ud, Ad);
+    return w;
+  });
+}
+
+TEST(ParallelEquivalence, VxmMasked) {
+  util::Pcg32 rng(48);
+  const auto A = random_matrix<gb::Bool>(kN, kDensity, rng, 1);
+  const auto u = random_vector<gb::Bool>(kN, 0.5, rng, 1);
+  const auto m = random_vector<gb::Bool>(kN, 0.5, rng, 1);
+  check_equivalence<gb::Vector<gb::Bool>>([&] {
+    gb::Vector<gb::Bool> w(kN);
+    gb::vxm(w, &m, gb::NoAccum{}, gb::any_pair, u, A,
+            gb::Descriptor{.mask_complement = true});
+    return w;
+  });
+}
+
+TEST(ParallelEquivalence, PendingTupleWaitMerge) {
+  // Build a matrix through the pending-tuple path only (set/remove), so
+  // wait() performs the full overlay merge at both thread settings.
+  util::Pcg32 rng(49);
+  const gb::Index n = 512;
+  auto build = [&] {
+    util::Pcg32 local(1234);
+    gb::Matrix<std::int64_t> m(n, n);
+    for (int k = 0; k < 60000; ++k) {
+      const auto i = static_cast<gb::Index>(local.bounded64(n));
+      const auto j = static_cast<gb::Index>(local.bounded64(n));
+      if (local.uniform() < 0.15) {
+        m.remove_element(i, j);
+      } else {
+        m.set_element(i, j, static_cast<std::int64_t>(local.bounded64(1000)));
+      }
+    }
+    m.wait();
+    return m;
+  };
+  check_equivalence<gb::Matrix<std::int64_t>>(build);
+}
+
+TEST(ParallelEquivalence, WaitOnTopOfExistingCsr) {
+  util::Pcg32 rng(50);
+  const gb::Index n = 512;
+  const auto base = random_matrix<std::int64_t>(n, 0.1, rng);
+  auto build = [&] {
+    util::Pcg32 local(777);
+    gb::Matrix<std::int64_t> m = base;
+    for (int k = 0; k < 40000; ++k) {
+      const auto i = static_cast<gb::Index>(local.bounded64(n));
+      const auto j = static_cast<gb::Index>(local.bounded64(n));
+      if (local.uniform() < 0.3) {
+        m.remove_element(i, j);
+      } else {
+        m.set_element(i, j, static_cast<std::int64_t>(local.bounded64(1000)));
+      }
+    }
+    m.wait();
+    return m;
+  };
+  check_equivalence<gb::Matrix<std::int64_t>>(build);
+}
+
+TEST(ParallelEquivalence, BfsStepPushSetEquality) {
+  // Parallel push discovers the same SET of vertices; order inside the
+  // frontier may differ (CAS races), so compare as sorted sets and then
+  // check the whole multi-hop fixpoint agrees.
+  util::Pcg32 rng(51);
+  const auto A = random_matrix<gb::Bool>(kN, 0.05, rng, 1);
+  const auto AT = gb::transposed(A);
+
+  auto run_khop = [&](unsigned k) {
+    std::vector<std::uint8_t> visited(kN, 0), in_frontier(kN, 0);
+    std::vector<gb::Index> frontier{0}, next;
+    std::uint64_t count = 0;
+    for (unsigned hop = 0; hop < k && !frontier.empty(); ++hop) {
+      gb::bfs_step(A, AT, frontier, visited, next, in_frontier);
+      count += next.size();
+      std::swap(frontier, next);
+    }
+    return count;
+  };
+  std::uint64_t serial, parallel;
+  {
+    gb::ThreadsGuard g(1);
+    serial = run_khop(4);
+  }
+  {
+    gb::ThreadsGuard g(kThreads);
+    parallel = run_khop(4);
+  }
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelEquivalence, BfsStepPullBitwise) {
+  // Pull is row-owned: even the order must match serial exactly.
+  util::Pcg32 rng(52);
+  const auto A = random_matrix<gb::Bool>(kN, 0.3, rng, 1);
+  const auto AT = gb::transposed(A);
+
+  auto run_pull = [&] {
+    std::vector<std::uint8_t> visited(kN, 0), in_frontier(kN, 0);
+    std::vector<gb::Index> frontier, next;
+    for (gb::Index i = 0; i < 32; ++i) frontier.push_back(i * 7 % kN);
+    gb::bfs_step(A, AT, frontier, visited, next, in_frontier,
+                 gb::StepDirection::kPull, /*force=*/true);
+    return next;
+  };
+  std::vector<gb::Index> serial, parallel;
+  {
+    gb::ThreadsGuard g(1);
+    serial = run_pull();
+  }
+  {
+    gb::ThreadsGuard g(kThreads);
+    parallel = run_pull();
+  }
+  EXPECT_EQ(serial, parallel);
+}
+
+}  // namespace
+}  // namespace rg::gbtest

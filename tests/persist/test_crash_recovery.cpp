@@ -12,10 +12,10 @@
 
 #include <cstdint>
 #include <cstring>
-#include <filesystem>
 #include <string>
 
 #include "server/server.hpp"
+#include "util/temp_dir.hpp"
 
 namespace rg::server {
 namespace {
@@ -39,10 +39,10 @@ namespace {
 }
 
 TEST(CrashRecovery, SigkillMidLoadLosesNoAcknowledgedWrite) {
-  const std::string dir = ::testing::TempDir() + "crash_" +
-                          std::to_string(::getpid());
-  std::error_code ec;
-  std::filesystem::remove_all(dir, ec);
+  // The SIGKILLed child never runs destructors; the parent's TempDir
+  // instance owns cleanup.
+  test::TempDir tmp_dir("crash");
+  const std::string dir = tmp_dir.path();
 
   int pipefd[2];
   ASSERT_EQ(::pipe(pipefd), 0);
@@ -90,8 +90,6 @@ TEST(CrashRecovery, SigkillMidLoadLosesNoAcknowledgedWrite) {
   // The recovered server keeps working and stays durable.
   ASSERT_TRUE(
       srv.execute({"GRAPH.QUERY", "g", "CREATE (:N {seq: -1})"}).ok());
-
-  std::filesystem::remove_all(dir, ec);
 }
 
 }  // namespace

@@ -11,20 +11,14 @@
 
 #include "server/server.hpp"
 #include "util/file_io.hpp"
+#include "util/temp_dir.hpp"
 
 namespace rg::server {
 namespace {
 
 class DurabilityFixture : public ::testing::Test {
  protected:
-  DurabilityFixture()
-      : dir_(::testing::TempDir() + "durable_" +
-             ::testing::UnitTest::GetInstance()->current_test_info()->name() +
-             "_" + std::to_string(::getpid())) {}
-  ~DurabilityFixture() override {
-    std::error_code ec;
-    std::filesystem::remove_all(dir_, ec);
-  }
+  DurabilityFixture() : dir_(tmp_.path()) {}
 
   DurabilityConfig config(persist::FsyncPolicy policy =
                               persist::FsyncPolicy::kNo) const {
@@ -47,6 +41,7 @@ class DurabilityFixture : public ::testing::Test {
     return r.result.rows[0][1].as_int();
   }
 
+  test::TempDir tmp_;
   std::string dir_;
 };
 

@@ -12,17 +12,14 @@
 
 #include "persist/wal.hpp"
 #include "util/file_io.hpp"
+#include "util/temp_dir.hpp"
 
 namespace rg::persist {
 namespace {
 
 class WalFixture : public ::testing::Test {
  protected:
-  WalFixture()
-      : path_(::testing::TempDir() + "wal_" +
-              ::testing::UnitTest::GetInstance()->current_test_info()->name() +
-              "_" + std::to_string(::getpid()) + ".log") {}
-  ~WalFixture() override { std::remove(path_.c_str()); }
+  WalFixture() : path_(tmp_.file("wal.log")) {}
 
   std::vector<WalFrame> scan_all(WalScan* scan_out = nullptr) {
     std::vector<WalFrame> frames;
@@ -32,6 +29,7 @@ class WalFixture : public ::testing::Test {
     return frames;
   }
 
+  test::TempDir tmp_;
   std::string path_;
 };
 

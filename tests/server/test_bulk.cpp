@@ -1,0 +1,173 @@
+// GRAPH.BULK — batched ingestion: N nodes/edges per command, validated
+// up front (all-or-nothing), visible to Cypher immediately, journaled as
+// ONE WAL frame per batch, and replayed byte-exactly on recovery.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "server/server.hpp"
+#include "util/temp_dir.hpp"
+
+namespace rg::server {
+namespace {
+
+std::int64_t query_int(Server& srv, const std::string& key,
+                       const std::string& q) {
+  const auto r = srv.execute({"GRAPH.QUERY", key, q});
+  EXPECT_TRUE(r.ok()) << r.text;
+  return r.result.rows[0][0].as_int();
+}
+
+std::int64_t config_int(Server& srv, const std::string& name) {
+  const auto r = srv.execute({"GRAPH.CONFIG", "GET", name});
+  EXPECT_TRUE(r.ok()) << r.text;
+  return r.result.rows[0][1].as_int();
+}
+
+TEST(Bulk, CreatesNodesAndEdgesInOneCommand) {
+  Server srv(2);
+  const auto r = srv.execute({"GRAPH.BULK", "g", "NODES", "4", "Person",
+                              "EDGES", "KNOWS", "3", "0", "1", "1", "2", "2",
+                              "3"});
+  ASSERT_TRUE(r.ok()) << r.text;
+  ASSERT_EQ(r.result.row_count(), 1u);
+  EXPECT_EQ(r.result.rows[0][0].as_int(), 4);  // nodes_created
+  EXPECT_EQ(r.result.rows[0][1].as_int(), 3);  // edges_created
+  EXPECT_EQ(r.result.rows[0][2].as_int(), 0);  // first_node_id
+
+  EXPECT_EQ(query_int(srv, "g", "MATCH (n:Person) RETURN count(*)"), 4);
+  EXPECT_EQ(query_int(srv, "g", "MATCH ()-[:KNOWS]->() RETURN count(*)"), 3);
+  // 2-hop from node 0 via the Cypher surface proves the matrices synced.
+  EXPECT_EQ(query_int(srv, "g",
+                      "MATCH (a)-[:KNOWS]->()-[:KNOWS]->(c) RETURN count(c)"),
+            2);
+}
+
+TEST(Bulk, UnlabeledNodesAndRepeatedSections) {
+  Server srv(2);
+  const auto r = srv.execute({"GRAPH.BULK", "g", "NODES", "2", "NODES", "1",
+                              "L", "EDGES", "A", "1", "0", "1", "EDGES", "B",
+                              "1", "1", "2"});
+  ASSERT_TRUE(r.ok()) << r.text;
+  EXPECT_EQ(r.result.rows[0][0].as_int(), 3);
+  EXPECT_EQ(r.result.rows[0][1].as_int(), 2);
+  EXPECT_EQ(query_int(srv, "g", "MATCH (n:L) RETURN count(*)"), 1);
+  EXPECT_EQ(query_int(srv, "g", "MATCH ()-[:A]->() RETURN count(*)"), 1);
+  EXPECT_EQ(query_int(srv, "g", "MATCH ()-[:B]->() RETURN count(*)"), 1);
+}
+
+TEST(Bulk, BatchRelativeRefs) {
+  Server srv(2);
+  // Delete a node first so the id allocator has a free slot: @refs must
+  // resolve to the batch's actual (possibly non-contiguous) ids.
+  ASSERT_TRUE(srv.execute({"GRAPH.BULK", "g", "NODES", "3", "Tmp"}).ok());
+  ASSERT_TRUE(
+      srv.execute({"GRAPH.QUERY", "g", "MATCH (n:Tmp) DELETE n"}).ok());
+  const auto r = srv.execute({"GRAPH.BULK", "g", "NODES", "4", "C", "EDGES",
+                              "R", "3", "@0", "@1", "@1", "@2", "@2", "@3"});
+  ASSERT_TRUE(r.ok()) << r.text;
+  EXPECT_EQ(query_int(srv, "g",
+                      "MATCH (:C)-[:R]->(:C)-[:R]->(:C)-[:R]->(:C) "
+                      "RETURN count(*)"),
+            1);
+  // Out-of-range reference fails and rolls back.
+  const auto bad = srv.execute(
+      {"GRAPH.BULK", "g", "NODES", "1", "D", "EDGES", "R", "1", "@0", "@9"});
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(query_int(srv, "g", "MATCH (n:D) RETURN count(*)"), 0);
+}
+
+TEST(Bulk, EdgesMayReferencePreexistingNodes) {
+  Server srv(2);
+  ASSERT_TRUE(srv.execute({"GRAPH.BULK", "g", "NODES", "2"}).ok());
+  const auto r =
+      srv.execute({"GRAPH.BULK", "g", "EDGES", "R", "1", "0", "1"});
+  ASSERT_TRUE(r.ok()) << r.text;
+  EXPECT_EQ(r.result.rows[0][2].as_int(), -1);  // no nodes in this batch
+  EXPECT_EQ(query_int(srv, "g", "MATCH ()-[:R]->() RETURN count(*)"), 1);
+}
+
+TEST(Bulk, MalformedCommandsAreRejected) {
+  Server srv(2);
+  EXPECT_FALSE(srv.execute({"GRAPH.BULK", "g", "NODES"}).ok());
+  EXPECT_FALSE(srv.execute({"GRAPH.BULK", "g", "NODES", "xyz"}).ok());
+  EXPECT_FALSE(srv.execute({"GRAPH.BULK", "g", "BOGUS", "1"}).ok());
+  EXPECT_FALSE(srv.execute({"GRAPH.BULK", "g", "EDGES", "R"}).ok());
+  // Declared two edges, supplied one.
+  EXPECT_FALSE(
+      srv.execute({"GRAPH.BULK", "g", "EDGES", "R", "2", "0", "1"}).ok());
+  // Negative / non-numeric endpoints.
+  EXPECT_FALSE(
+      srv.execute({"GRAPH.BULK", "g", "EDGES", "R", "1", "-1", "0"}).ok());
+  EXPECT_FALSE(
+      srv.execute({"GRAPH.BULK", "g", "EDGES", "R", "1", "a", "b"}).ok());
+}
+
+TEST(Bulk, DanglingEdgeRollsBackTheWholeBatch) {
+  Server srv(2);
+  const auto r = srv.execute({"GRAPH.BULK", "g", "NODES", "2", "N", "EDGES",
+                              "R", "2", "0", "1", "0", "99"});
+  EXPECT_FALSE(r.ok());
+  // All-or-nothing: the two nodes created before validation failed must
+  // be gone again.
+  EXPECT_EQ(query_int(srv, "g", "MATCH (n) RETURN count(*)"), 0);
+  EXPECT_EQ(query_int(srv, "g", "MATCH ()-[]->() RETURN count(*)"), 0);
+}
+
+TEST(Bulk, MixesWithCypherWrites) {
+  Server srv(2);
+  ASSERT_TRUE(srv.execute({"GRAPH.QUERY", "g", "CREATE (:Seed)"}).ok());
+  ASSERT_TRUE(srv.execute({"GRAPH.BULK", "g", "NODES", "2", "Seed"}).ok());
+  EXPECT_EQ(query_int(srv, "g", "MATCH (n:Seed) RETURN count(*)"), 3);
+}
+
+TEST(Bulk, JournalsOneFrameAndRecovers) {
+  test::TempDir tmp;
+  DurabilityConfig dc;
+  dc.data_dir = tmp.path();
+  {
+    Server srv(2, dc);
+    ASSERT_TRUE(srv.execute({"GRAPH.BULK", "g", "NODES", "3", "P", "EDGES",
+                             "R", "2", "0", "1", "1", "2"})
+                    .ok());
+    // One batch = one WAL frame carrying all five entities.
+    EXPECT_EQ(config_int(srv, "WAL_BATCH_FRAMES"), 1);
+    EXPECT_EQ(config_int(srv, "WAL_BATCH_ENTITIES"), 5);
+    EXPECT_EQ(config_int(srv, "WAL_APPENDS"), 1);
+  }
+  Server srv(2, dc);
+  EXPECT_EQ(query_int(srv, "g", "MATCH (n:P) RETURN count(*)"), 3);
+  EXPECT_EQ(query_int(srv, "g", "MATCH ()-[:R]->() RETURN count(*)"), 2);
+}
+
+TEST(Bulk, FailedBatchJournalsNothing) {
+  test::TempDir tmp;
+  DurabilityConfig dc;
+  dc.data_dir = tmp.path();
+  {
+    Server srv(2, dc);
+    EXPECT_FALSE(srv.execute({"GRAPH.BULK", "g", "NODES", "1", "P", "EDGES",
+                              "R", "1", "0", "7"})
+                     .ok());
+    EXPECT_EQ(config_int(srv, "WAL_APPENDS"), 0);
+  }
+  Server srv(2, dc);
+  EXPECT_EQ(query_int(srv, "g", "MATCH (n) RETURN count(*)"), 0);
+}
+
+TEST(GbThreads, ConfigGetSetRoundTrip) {
+  Server srv(2);
+  ASSERT_TRUE(srv.execute({"GRAPH.CONFIG", "SET", "GB_THREADS", "2"}).ok());
+  EXPECT_EQ(config_int(srv, "GB_THREADS"), 2);
+  EXPECT_FALSE(srv.execute({"GRAPH.CONFIG", "SET", "GB_THREADS", "0"}).ok());
+  EXPECT_FALSE(srv.execute({"GRAPH.CONFIG", "SET", "GB_THREADS", "-3"}).ok());
+  EXPECT_FALSE(
+      srv.execute({"GRAPH.CONFIG", "SET", "GB_THREADS", "nope"}).ok());
+  ASSERT_TRUE(srv.execute({"GRAPH.CONFIG", "SET", "GB_THREADS", "1"}).ok());
+  EXPECT_EQ(config_int(srv, "GB_THREADS"), 1);
+  gb::set_threads(0);  // restore the hardware default for other tests
+}
+
+}  // namespace
+}  // namespace rg::server

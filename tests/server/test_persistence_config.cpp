@@ -2,31 +2,22 @@
 // header on the server surface.
 #include <gtest/gtest.h>
 
-#include <unistd.h>
-
-#include <cstdio>
 #include <fstream>
 #include <iterator>
 #include <string>
 
 #include "server/server.hpp"
+#include "util/temp_dir.hpp"
 
 namespace rg::server {
 namespace {
 
 class PersistFixture : public ::testing::Test {
  protected:
-  // The path must be unique per test AND per process: `ctest -j` runs
-  // each discovered test as its own process of this binary, so a shared
-  // file name lets one test's cleanup delete another's snapshot.
-  PersistFixture()
-      : srv_(2),
-        path_(::testing::TempDir() + "srv_graph_" +
-              ::testing::UnitTest::GetInstance()->current_test_info()->name() +
-              "_" + std::to_string(::getpid()) + ".bin") {}
-  ~PersistFixture() override { std::remove(path_.c_str()); }
+  PersistFixture() : srv_(2), path_(tmp_.file("graph.bin")) {}
 
   Server srv_;
+  test::TempDir tmp_;  // unique per test instance; see tests/util/temp_dir.hpp
   std::string path_;
 };
 

@@ -1,0 +1,227 @@
+// Fuzz-style regression tests for the RESP request parser.
+//
+// A deterministic mutation engine runs a checked-in seed corpus
+// (tests/server/corpus/*.resp) through truncation, splicing, length-field
+// inflation, CRLF injection and byte flips, asserting the three parser
+// safety properties on every derived input:
+//
+//   1. no crash / no hang: next() is called a bounded number of times
+//      and every call returns one of the three documented statuses;
+//   2. no command injection: bytes inside a bulk-string payload are
+//      never re-scanned as protocol framing — the EVIL marker planted in
+//      c05_embedded_frame.resp must never surface as its own command.
+//      (Asserted for mutation classes that preserve the multibulk
+//      framing; a mutant that destroys the leading '*' legitimately
+//      drops the stream into inline/telnet framing, where any line is a
+//      command by design — in Redis too — so EVIL there is not leakage);
+//   3. connection survival: after the parser reports an error on a
+//      malformed frame, a canonical well-formed frame fed afterwards
+//      parses back exactly.
+//
+// Everything is seeded and loop-derived — a failure reproduces by test
+// name alone, no corpus regeneration involved.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "server/resp.hpp"
+
+namespace rg::server {
+namespace {
+
+using Status = RespRequestParser::Status;
+
+std::vector<std::string> corpus() {
+  static const std::vector<std::string> files = [] {
+    std::vector<std::string> out;
+    const std::string dir = std::string(RG_TEST_DATA_DIR) + "/server/corpus";
+    for (const auto& e : std::filesystem::directory_iterator(dir)) {
+      if (e.path().extension() == ".resp") {
+        std::ifstream in(e.path(), std::ios::binary);
+        out.emplace_back(std::istreambuf_iterator<char>(in),
+                         std::istreambuf_iterator<char>{});
+      }
+    }
+    return out;
+  }();
+  return files;
+}
+
+/// xorshift64 — tiny deterministic PRNG for flip positions.
+struct Rng {
+  std::uint64_t s;
+  std::uint64_t next() {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  }
+};
+
+const std::vector<std::string> kCanonical = {"GRAPH.QUERY", "g", "RETURN 1"};
+
+/// Drain the parser completely.  Asserts termination (a parser that
+/// keeps claiming progress on a finite buffer is broken) and returns
+/// every complete command extracted plus the final non-kOk status.
+Status drain(RespRequestParser& p, std::vector<std::vector<std::string>>& out,
+             std::size_t input_len) {
+  // Each kOk consumes at least one byte of a frame and each kError
+  // discards the buffer, so |input| + 8 iterations is a generous bound.
+  Status last = Status::kNeedMore;
+  for (std::size_t iter = 0; iter <= input_len + 8; ++iter) {
+    auto r = p.next();
+    last = r.status;
+    if (r.status == Status::kOk) {
+      out.push_back(std::move(r.argv));
+      continue;
+    }
+    return last;
+  }
+  ADD_FAILURE() << "parser failed to drain a " << input_len << "-byte input";
+  return last;
+}
+
+/// Core oracle: run one mutated input through the parser and check the
+/// safety properties.  `whole_buffer` controls the injection assertion:
+/// byte-at-a-time feeding may legally restart inline parsing at an
+/// arbitrary offset after an error discard, so the EVIL check applies to
+/// whole-buffer feeds only.
+void check_input(const std::string& input, bool whole_buffer,
+                 bool check_injection = false) {
+  RespRequestParser p;
+  std::vector<std::vector<std::string>> cmds;
+  if (whole_buffer) {
+    p.feed(input);
+    drain(p, cmds, input.size());
+  } else {
+    for (char c : input) {
+      p.feed(std::string_view(&c, 1));
+      drain(p, cmds, input.size());
+    }
+  }
+
+  if (check_injection) {
+    for (const auto& argv : cmds) {
+      ASSERT_FALSE(!argv.empty() && argv[0] == "EVIL")
+          << "bulk payload bytes were re-scanned as a command";
+    }
+  }
+
+  // Buffering must stay bounded by what we fed (plus nothing): the
+  // parser never duplicates bytes.
+  EXPECT_LE(p.buffered(), input.size());
+
+  // Connection survival: whatever state the garbage left behind, an
+  // error must not poison the next well-formed frame.  (If the stream
+  // ended mid-frame the parser is legitimately waiting for payload, so
+  // survival is only asserted after an explicit error discard.)
+  RespRequestParser q;
+  q.feed(input);
+  std::vector<std::vector<std::string>> pre;
+  const auto st = drain(q, pre, input.size());
+  if (st == Status::kError) {
+    q.feed(encode_command(kCanonical));
+    std::vector<std::vector<std::string>> post;
+    const auto st2 = drain(q, post, input.size() + 64);
+    EXPECT_EQ(st2, Status::kNeedMore);
+    ASSERT_EQ(post.size(), 1u) << "canonical frame did not parse after error";
+    EXPECT_EQ(post[0], kCanonical);
+  }
+}
+
+TEST(RespFuzz, SeedsParseWithoutIncident) {
+  ASSERT_FALSE(corpus().empty()) << "corpus directory missing or empty";
+  for (const auto& seed : corpus()) {
+    check_input(seed, /*whole_buffer=*/true, /*check_injection=*/true);
+    check_input(seed, /*whole_buffer=*/false);
+  }
+}
+
+TEST(RespFuzz, TruncationsAtEveryByte) {
+  for (const auto& seed : corpus()) {
+    for (std::size_t len = 0; len < seed.size(); ++len) {
+      check_input(seed.substr(0, len), /*whole_buffer=*/true,
+                  /*check_injection=*/true);
+    }
+  }
+}
+
+TEST(RespFuzz, SplicedFramePairs) {
+  const auto seeds = corpus();
+  for (std::size_t a = 0; a < seeds.size(); ++a) {
+    for (std::size_t b = 0; b < seeds.size(); ++b) {
+      for (const double frac : {0.25, 0.5, 0.75}) {
+        const auto cut_a = static_cast<std::size_t>(
+            frac * static_cast<double>(seeds[a].size()));
+        const auto cut_b = static_cast<std::size_t>(
+            frac * static_cast<double>(seeds[b].size()));
+        check_input(seeds[a].substr(0, cut_a) + seeds[b].substr(cut_b),
+                    /*whole_buffer=*/true);
+      }
+    }
+  }
+}
+
+TEST(RespFuzz, OversizedAndHostileLengthFields) {
+  // Replace the digits after every '*' / '$' with hostile values: far
+  // over kMaxFrameBytes/kMaxArgs, negative beyond the null sentinel, and
+  // non-numeric.  The parser must reject without allocating the claim.
+  const char* hostile[] = {"999999999999", "67108865", "1048577",
+                           "-2",           "18446744073709551616", "0x10"};
+  for (const auto& seed : corpus()) {
+    for (std::size_t i = 0; i < seed.size(); ++i) {
+      if (seed[i] != '*' && seed[i] != '$') continue;
+      std::size_t j = i + 1;
+      while (j < seed.size() &&
+             (std::isdigit(static_cast<unsigned char>(seed[j])) ||
+              seed[j] == '-'))
+        ++j;
+      if (j == i + 1) continue;  // no digit run to replace
+      for (const char* h : hostile) {
+        check_input(seed.substr(0, i + 1) + h + seed.substr(j),
+                    /*whole_buffer=*/true);
+      }
+    }
+  }
+}
+
+TEST(RespFuzz, EmbeddedCrlfEverywhere) {
+  for (const auto& seed : corpus()) {
+    for (std::size_t i = 0; i < seed.size(); i += 3) {
+      std::string m = seed;
+      m.insert(i, "\r\n");
+      check_input(m, /*whole_buffer=*/true, /*check_injection=*/true);
+    }
+  }
+}
+
+TEST(RespFuzz, DeterministicByteFlips) {
+  Rng rng{0x9e3779b97f4a7c15ull};
+  for (const auto& seed : corpus()) {
+    if (seed.empty()) continue;
+    for (int round = 0; round < 64; ++round) {
+      std::string m = seed;
+      const std::size_t pos = rng.next() % m.size();
+      m[pos] = static_cast<char>(rng.next() & 0xff);
+      check_input(m, /*whole_buffer=*/true);
+    }
+  }
+}
+
+TEST(RespFuzz, ByteAtATimeMutants) {
+  // The slowest feed mode over a smaller mutant set (it is O(n) next()
+  // calls per input): truncations of the pipelined seed + byte flips.
+  Rng rng{0xdeadbeefcafef00dull};
+  for (const auto& seed : corpus()) {
+    if (seed.empty()) continue;
+    std::string m = seed;
+    m[rng.next() % m.size()] = static_cast<char>(rng.next() & 0xff);
+    check_input(m, /*whole_buffer=*/false);
+  }
+}
+
+}  // namespace
+}  // namespace rg::server

@@ -1,0 +1,147 @@
+// Concurrency stress: mixed readers / Cypher writers / GRAPH.BULK
+// batches / GB_THREADS retuning on ONE graph for a fixed op budget.
+// Runs under the `server` ctest label, which the CI TSan lane executes —
+// this is the test that puts the parallel kernels, the bulk ingestion
+// path and the per-graph locking under one roof.
+//
+// Verified at the end:
+//   * deterministic final-state checksums (every write accounted for);
+//   * plan-cache behavior: queries were served from the cache during the
+//     run and the schema changes invalidated at least once;
+//   * a failed (dangling-edge) bulk batch rolled back completely even
+//     while other writers were active.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/server.hpp"
+
+namespace rg::server {
+namespace {
+
+std::int64_t query_int(Server& srv, const std::string& q) {
+  const auto r = srv.execute({"GRAPH.QUERY", "g", q});
+  EXPECT_TRUE(r.ok()) << r.text;
+  return r.result.rows[0][0].as_int();
+}
+
+TEST(Stress, MixedReadersWritersAndBulkStayCoherent) {
+  Server srv(4);
+  srv.execute({"GRAPH.QUERY", "g", "CREATE (:Seed)"});
+
+  constexpr int kCypherWriters = 2, kCypherOps = 25;
+  constexpr int kBulkWriters = 2, kBulkOps = 15;
+  constexpr int kBulkNodes = 4, kBulkEdges = 3;
+  constexpr int kReaders = 4, kReadOps = 30;
+
+  std::atomic<int> reader_failures{0};
+  std::atomic<int> bulk_failures{0};
+  std::vector<std::thread> threads;
+
+  // Cypher writers: per-entity CREATE through the full query path.
+  for (int t = 0; t < kCypherWriters; ++t) {
+    threads.emplace_back([&srv, t] {
+      for (int i = 0; i < kCypherOps; ++i) {
+        const auto r = srv.execute(
+            {"GRAPH.QUERY", "g",
+             "CREATE (:W {v: " + std::to_string(i) + ", owner: " +
+                 std::to_string(t) + "})"});
+        ASSERT_TRUE(r.ok()) << r.text;
+      }
+    });
+  }
+
+  // Bulk writers: one atomic command per batch, nodes chained by
+  // batch-relative @refs (immune to id reuse from concurrent rollbacks).
+  for (int t = 0; t < kBulkWriters; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kBulkOps; ++i) {
+        std::vector<std::string> argv = {"GRAPH.BULK", "g",      "NODES",
+                                         std::to_string(kBulkNodes), "B",
+                                         "EDGES",      "R",
+                                         std::to_string(kBulkEdges)};
+        for (int e = 0; e < kBulkEdges; ++e) {
+          argv.push_back("@" + std::to_string(e));
+          argv.push_back("@" + std::to_string(e + 1));
+        }
+        if (!srv.execute(argv).ok()) bulk_failures.fetch_add(1);
+      }
+    });
+  }
+
+  // A hostile writer: every batch contains a dangling edge and must roll
+  // back wholesale — its nodes must never leak into the final counts.
+  threads.emplace_back([&srv] {
+    for (int i = 0; i < 10; ++i) {
+      const auto r = srv.execute({"GRAPH.BULK", "g", "NODES", "2", "Leak",
+                                  "EDGES", "R", "1", "0", "99999999"});
+      ASSERT_FALSE(r.ok());
+    }
+  });
+
+  // Readers: repeated RO queries (plan-cache fast path) racing writes.
+  for (int t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kReadOps; ++i) {
+        const auto r = srv.execute(
+            {"GRAPH.RO_QUERY", "g", "MATCH (n:Seed) RETURN count(*)"});
+        if (!r.ok() || r.result.rows[0][0].as_int() != 1)
+          reader_failures.fetch_add(1);
+        const auto r2 = srv.execute(
+            {"GRAPH.RO_QUERY", "g",
+             "MATCH (a:B)-[:R]->(b:B) RETURN count(*)"});
+        if (!r2.ok()) reader_failures.fetch_add(1);
+      }
+    });
+  }
+
+  // Kernel-parallelism retuning mid-flight: queries must stay correct
+  // while GB_THREADS flips between serial and parallel.
+  threads.emplace_back([&srv] {
+    for (int i = 0; i < 12; ++i) {
+      ASSERT_TRUE(srv.execute({"GRAPH.CONFIG", "SET", "GB_THREADS",
+                               (i % 2 == 0) ? "1" : "4"})
+                      .ok());
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  // Schema churn: a new index invalidates cached plans mid-run.
+  threads.emplace_back([&srv] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ASSERT_TRUE(
+        srv.execute({"GRAPH.QUERY", "g", "CREATE INDEX ON :W(v)"}).ok());
+  });
+
+  for (auto& t : threads) t.join();
+  gb::set_threads(0);  // restore the hardware default
+
+  EXPECT_EQ(reader_failures.load(), 0);
+  EXPECT_EQ(bulk_failures.load(), 0);
+
+  // --- final-state checksums --------------------------------------------
+  EXPECT_EQ(query_int(srv, "MATCH (n:W) RETURN count(*)"),
+            kCypherWriters * kCypherOps);
+  // sum over writers of 0+1+...+(kCypherOps-1)
+  EXPECT_EQ(query_int(srv, "MATCH (n:W) RETURN sum(n.v)"),
+            kCypherWriters * (kCypherOps * (kCypherOps - 1) / 2));
+  EXPECT_EQ(query_int(srv, "MATCH (n:B) RETURN count(*)"),
+            kBulkWriters * kBulkOps * kBulkNodes);
+  EXPECT_EQ(query_int(srv, "MATCH ()-[:R]->() RETURN count(*)"),
+            kBulkWriters * kBulkOps * kBulkEdges);
+  // The hostile writer's batches rolled back without a trace.
+  EXPECT_EQ(query_int(srv, "MATCH (n:Leak) RETURN count(*)"), 0);
+
+  // --- plan-cache behavior ----------------------------------------------
+  const auto counters = srv.plan_cache_counters();
+  EXPECT_GT(counters.hits, 0u) << "repeated queries never hit the cache";
+  EXPECT_GT(counters.invalidations, 0u)
+      << "schema changes (index + new labels) never invalidated a plan";
+}
+
+}  // namespace
+}  // namespace rg::server

@@ -1,0 +1,48 @@
+// Test support: a unique per-test scratch directory.
+//
+// Every fixture that needs disk state used to hand-roll a path from
+// TempDir() + test name + pid; under parallel ctest two binaries running
+// the same-named test (or a retried run racing cleanup) could still
+// collide.  mkdtemp() makes the kernel pick an unused name atomically,
+// so collisions are impossible by construction.  The directory and its
+// contents are removed on destruction (best effort; a SIGKILLed child in
+// the crash-recovery tests leaves cleanup to the parent's instance).
+#pragma once
+
+#include <gtest/gtest.h>
+#include <stdlib.h>
+
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+
+namespace rg::test {
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& prefix = "rgtest") {
+    std::string tmpl = ::testing::TempDir() + prefix + "_XXXXXX";
+    if (::mkdtemp(tmpl.data()) == nullptr)
+      throw std::runtime_error("TempDir: mkdtemp failed for " + tmpl);
+    path_ = std::move(tmpl);
+  }
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+
+  /// The directory itself (no trailing slash).
+  const std::string& path() const noexcept { return path_; }
+
+  /// A path for `name` inside the directory.
+  std::string file(const std::string& name) const { return path_ + "/" + name; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace rg::test
