@@ -209,6 +209,45 @@ int main(int argc, char** argv) {
                 reads / secs, writes.load(), writes / secs);
   }
 
+  // Dispatch overhead: the cheapest commands in the table, closed-loop
+  // on one client.  PING is pure dispatch (registry lookup + arity
+  // check + metrics + reply); the trivial RO_QUERY adds plan-cache hit
+  // + shared lock + execution of a one-row plan.  Guards the command
+  // registry against dispatch-path regressions: the k-hop qps rows
+  // above are the BENCH_2-comparable gate, these rows make the floor
+  // itself visible.
+  std::printf("\ndispatch overhead (1 client, in-process, closed loop):\n");
+  {
+    server::Server srv(1);
+    const std::size_t n = opt.quick ? 20000 : 200000;
+    auto measure = [&](std::vector<std::string> cmd) {
+      util::Stopwatch sw;
+      for (std::size_t q = 0; q < n; ++q) {
+        auto reply = srv.execute(cmd);
+        if (!reply.ok()) std::abort();
+      }
+      return static_cast<double>(n) / sw.seconds();
+    };
+    const double ping_qps = measure({"PING"});
+    const double ro_qps = measure({"GRAPH.RO_QUERY", "bench", "RETURN 1"});
+    std::printf("  %-10s %12.1f cmds/s\n  %-10s %12.1f cmds/s\n", "PING",
+                ping_qps, "RO_QUERY", ro_qps);
+    if (opt.json) {
+      for (const auto& [cmd, qps] :
+           {std::pair<const char*, double>{"PING", ping_qps},
+            {"RO_QUERY", ro_qps}}) {
+        bench::JsonRow row("throughput");
+        row.kv("workload", std::string("dispatch"))
+            .kv("engine", std::string("server"))
+            .kv("transport", std::string("in-process"))
+            .kv("name", std::string(cmd))
+            .kv("clients", static_cast<std::uint64_t>(1))
+            .kv("qps", qps);
+        row.emit();
+      }
+    }
+  }
+
   // Durability sweep: single-writer CREATE workload under each fsync
   // policy ("none" = durability disabled baseline).  The gap between
   // "no" and "always" is the per-commit fdatasync price.

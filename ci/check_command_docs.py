@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Command-reference drift gate: the README's command table must match
+the registry dump (`resp_server --dump-commands`) byte for byte.
+
+The table in README.md lives between these markers:
+
+    <!-- BEGIN COMMAND TABLE ... -->
+    | Command | Arity | Flags | Summary |
+    ...
+    <!-- END COMMAND TABLE -->
+
+Usage:
+  check_command_docs.py --readme README.md --dump commands.md
+  check_command_docs.py --readme README.md --binary build/examples/resp_server
+
+Exit 1 (with a unified diff) when the README copy is stale — regenerate
+it with `resp_server --dump-commands`.
+"""
+
+import argparse
+import difflib
+import subprocess
+import sys
+
+BEGIN_MARKER = "<!-- BEGIN COMMAND TABLE"
+END_MARKER = "<!-- END COMMAND TABLE"
+
+
+def readme_table(path):
+    with open(path) as f:
+        lines = f.read().splitlines()
+    begin = end = None
+    for i, line in enumerate(lines):
+        if line.startswith(BEGIN_MARKER):
+            begin = i
+        elif line.startswith(END_MARKER):
+            end = i
+    if begin is None or end is None or end <= begin:
+        sys.exit(f"{path}: command-table markers missing or out of order "
+                 f"({BEGIN_MARKER!r} ... {END_MARKER!r})")
+    return [l for l in lines[begin + 1:end] if l.strip()]
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--readme", required=True)
+    group = ap.add_mutually_exclusive_group(required=True)
+    group.add_argument("--dump", help="file holding --dump-commands output")
+    group.add_argument("--binary", help="resp_server binary to run")
+    args = ap.parse_args()
+
+    if args.dump:
+        with open(args.dump) as f:
+            dump = f.read()
+    else:
+        dump = subprocess.run([args.binary, "--dump-commands"], check=True,
+                              capture_output=True, text=True).stdout
+    expected = [l for l in dump.splitlines() if l.strip()]
+    actual = readme_table(args.readme)
+
+    if actual == expected:
+        print(f"{args.readme}: command table matches the registry "
+              f"({len(expected) - 2} commands)")
+        return 0
+
+    print(f"{args.readme}: command table is OUT OF SYNC with the registry.",
+          file=sys.stderr)
+    print("Regenerate it: resp_server --dump-commands\n", file=sys.stderr)
+    for line in difflib.unified_diff(actual, expected,
+                                     fromfile="README.md (committed)",
+                                     tofile="registry (--dump-commands)",
+                                     lineterm=""):
+        print(line, file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,7 @@
 
 #include "datagen/generators.hpp"
 #include "cypher/lexer.hpp"
+#include "server/command.hpp"
 #include "server/server.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"
@@ -25,18 +26,16 @@
 namespace {
 
 void print_help() {
+  // The command listing comes straight from the registry, so the shell
+  // never drifts from what the server actually dispatches.
+  std::cout << "commands (from the registry; see also COMMAND DOCS):\n";
+  for (const auto* spec : rg::server::CommandRegistry::instance().all()) {
+    if (spec->flags & rg::server::kInternal) continue;
+    std::string name(spec->name);
+    name.resize(24, ' ');
+    std::cout << "  " << name << std::string(spec->summary) << "\n";
+  }
   std::cout <<
-      "commands:\n"
-      "  GRAPH.QUERY <key> \"<cypher>\"     run a query (CYPHER k=v params ok)\n"
-      "  GRAPH.RO_QUERY <key> \"<cypher>\"  read-only query\n"
-      "  GRAPH.EXPLAIN <key> \"<cypher>\"   show the execution plan\n"
-      "  GRAPH.PROFILE <key> \"<cypher>\"   run + per-operator counters\n"
-      "  GRAPH.LIST                        list graphs\n"
-      "  GRAPH.DELETE <key>                drop a graph\n"
-      "  GRAPH.SAVE <key> <path>           persist to disk\n"
-      "  GRAPH.RESTORE <key> <path>        load from disk\n"
-      "  GRAPH.CONFIG GET THREAD_COUNT     pool size\n"
-      "  PING\n"
       "shell helpers:\n"
       "  LOADBENCH <key> <scale> <ef>      bulk-load a Graph500 graph\n"
       "  HELP | EXIT\n";

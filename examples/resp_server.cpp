@@ -2,7 +2,12 @@
 //
 //   $ ./resp_server [--port 6380] [--threads 4] [--gb-threads N]
 //                   [--any-interface] [--data-dir DIR]
-//                   [--fsync always|everysec|no]
+//                   [--fsync always|everysec|no] [--dump-commands]
+//
+// --dump-commands prints the command reference (a markdown table
+// generated from the registry's CommandSpec rows) and exits; the README
+// copy of the table is gated against this output by
+// ci/check_command_docs.py.
 //
 // With --data-dir the server is durable: it recovers snapshot + WAL
 // state from DIR at startup and journals every write, so a crash (or
@@ -22,6 +27,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "server/command.hpp"
 #include "server/net_server.hpp"
 #include "server/server.hpp"
 
@@ -46,6 +52,9 @@ int main(int argc, char** argv) {
       // Intra-operation kernel parallelism (GRAPH.CONFIG SET GB_THREADS
       // retunes it at runtime; 1 = exact serial kernels, 0 = hardware).
       rg::gb::set_threads(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--dump-commands") == 0) {
+      std::fputs(rg::server::command_table_markdown().c_str(), stdout);
+      return 0;
     } else if (std::strcmp(argv[i], "--any-interface") == 0) {
       loopback_only = false;
     } else if (std::strcmp(argv[i], "--data-dir") == 0 && i + 1 < argc) {
@@ -61,7 +70,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [--port N] [--threads N] [--gb-threads N]\n"
                    "          [--any-interface] [--data-dir DIR]\n"
-                   "          [--fsync always|everysec|no]\n",
+                   "          [--fsync always|everysec|no] [--dump-commands]\n",
                    argv[0]);
       return 2;
     }

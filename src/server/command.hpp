@@ -1,0 +1,262 @@
+// Declarative command layer — the module's client-facing API surface.
+//
+// RedisGraph is a Redis *module*: every operation it exposes is a
+// command registered in a declarative table (name, arity, read/write
+// flags), which is what lets the host route, validate, replicate and
+// introspect commands uniformly.  This header reproduces that design
+// for the embedded server:
+//
+//  * CommandSpec   — one table row: name, arity bounds, flags, doc
+//    string and handler.  Both the embedded Server and the TCP RESP
+//    front-end dispatch exclusively through this table; adding a
+//    command is adding a row, never editing dispatch.
+//  * CommandRegistry — the case-insensitive name -> spec table.  The
+//    built-in rows are registered at static-init time in command.cpp;
+//    embedders (and tests) may register additional commands at runtime
+//    and they inherit arity checking, locking, journaling, metrics and
+//    introspection for free.
+//  * CommandCtx    — per-invocation context handed to handlers.  It
+//    centralizes what every handler used to re-implement: typed argv
+//    extractors, graph-entry resolution for kGraphKeyed commands,
+//    shared-vs-exclusive lock selection from the read/write flag, and
+//    post-commit WAL journaling gated on kWrite (a non-write command
+//    cannot journal, so durability decisions live in the table, not in
+//    handler code).
+//
+// The table also powers the Redis-style introspection surface:
+// COMMAND / COMMAND COUNT / COMMAND DOCS are generated from it, and
+// Server::dispatch records per-command metrics (calls, errors,
+// cumulative/max latency) plus a slowlog that GRAPH.INFO and
+// GRAPH.SLOWLOG expose.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "exec/result_set.hpp"
+#include "server/resp.hpp"
+
+namespace rg::server {
+
+class Server;
+struct GraphEntry;
+class CommandCtx;
+
+/// A command reply: either an error, a status string, a payload string
+/// (EXPLAIN/PROFILE) or a full result set.
+struct Reply {
+  enum class Kind { kStatus, kError, kText, kResult };
+  Kind kind = Kind::kStatus;
+  std::string text;       // status / error / explain text
+  exec::ResultSet result;
+
+  bool ok() const { return kind != Kind::kError; }
+
+  /// RESP wire encoding.
+  std::string to_resp() const {
+    switch (kind) {
+      case Kind::kStatus: return resp_simple(text);
+      case Kind::kError: return resp_error(text);
+      case Kind::kText: return resp_bulk(text);
+      case Kind::kResult: return encode_result_set(result);
+    }
+    return resp_error("internal");
+  }
+};
+
+/// Command behavior flags (a spec carries an OR of these).
+enum CommandFlags : std::uint32_t {
+  /// May mutate graph state: the handler takes the exclusive per-graph
+  /// lock for its write section and is the only kind of command allowed
+  /// to journal to the WAL.
+  kWrite = 1u << 0,
+  /// Never mutates graph state; runs under the shared per-graph lock
+  /// (or no lock at all for keyspace-level reads).
+  kReadOnly = 1u << 1,
+  /// Server-level command (CONFIG, LIST, INFO, SLOWLOG, COMMAND): no
+  /// single target graph.
+  kAdmin = 1u << 2,
+  /// Dispatchable only during WAL replay (frame types the journal
+  /// emits, e.g. GRAPH.RESTORE.PAYLOAD); rejected from clients.
+  kInternal = 1u << 3,
+  /// argv[1] names a graph key; CommandCtx::entry() resolves (creating
+  /// if absent) the keyspace entry for the handler.
+  kGraphKeyed = 1u << 4,
+};
+
+/// One row of the command table.
+struct CommandSpec {
+  std::string_view name;     // canonical (upper-case) command name
+  int min_arity = 1;         // counting the command name itself
+  int max_arity = 1;         // -1 = unbounded (variadic tail)
+  std::uint32_t flags = 0;
+  std::string_view summary;  // one-line doc string (COMMAND DOCS, README)
+  Reply (*handler)(CommandCtx&) = nullptr;
+  /// Assigned by the registry at registration; indexes the per-server
+  /// metrics slot for this command.
+  std::size_t index = 0;
+};
+
+/// "write graph-keyed" — canonical order, space-separated.
+std::string flags_to_string(std::uint32_t flags);
+
+/// Human arity: "3" (fixed), "3..4" (bounded), "4+" (variadic).
+std::string arity_to_string(const CommandSpec& spec);
+
+/// Redis-style error texts (dispatch and tests share the exact bytes).
+std::string wrong_arity_error(std::string_view name);
+std::string unknown_command_error(const std::vector<std::string>& argv);
+
+/// The process-wide command table.  Lookup is case-insensitive
+/// (GRAPH.QUERY == graph.query).  Thread-safe: registration takes the
+/// write lock, lookup the read lock.
+class CommandRegistry {
+ public:
+  /// The singleton table, with every built-in command registered.
+  static CommandRegistry& instance();
+
+  /// nullptr when unknown.  The returned spec lives forever.
+  const CommandSpec* find(std::string_view name) const;
+
+  /// Validates and adds a row (index is assigned here; name and
+  /// summary are copied into registry-owned storage, so the caller's
+  /// strings need not outlive the call).  Throws std::invalid_argument
+  /// on a duplicate name or malformed spec (empty name, no handler,
+  /// min_arity < 1, max < min, write+readonly, graph-keyed with
+  /// arity < 2).  Returns the stored spec.
+  const CommandSpec& register_command(CommandSpec spec);
+
+  /// Every registered spec, name-sorted (case-insensitive).
+  std::vector<const CommandSpec*> all() const;
+
+  std::size_t size() const;
+
+ private:
+  CommandRegistry();
+
+  struct CaseLess {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const;
+  };
+
+  mutable std::shared_mutex mu_;
+  // Deques: stable addresses across registration (specs are referred to
+  // by pointer from the name map and from dispatch call sites, and a
+  // stored spec's name/summary views point into strings_).
+  std::deque<CommandSpec> specs_;
+  std::deque<std::string> strings_;  // owned name/summary backing
+  std::map<std::string, const CommandSpec*, CaseLess> by_name_;
+};
+
+/// The generated command reference: a markdown table (name, arity,
+/// flags, summary) over every registered command.  `resp_server
+/// --dump-commands` prints it and ci/check_command_docs.py gates the
+/// README copy against it.
+std::string command_table_markdown();
+
+/// Per-invocation context handed to a handler: argv access, the
+/// resolved graph entry, flag-driven locking and flag-gated journaling.
+class CommandCtx {
+ public:
+  CommandCtx(Server& server, const CommandSpec& spec,
+             const std::vector<std::string>& argv);
+  ~CommandCtx();
+
+  CommandCtx(const CommandCtx&) = delete;
+  CommandCtx& operator=(const CommandCtx&) = delete;
+
+  Server& server() { return srv_; }
+  const CommandSpec& spec() const { return spec_; }
+  const std::vector<std::string>& argv() const { return argv_; }
+  std::size_t argc() const { return argv_.size(); }
+  const std::string& arg(std::size_t i) const { return argv_[i]; }
+
+  /// Case-insensitive keyword test (subcommand parsing).
+  bool arg_is(std::size_t i, std::string_view keyword) const;
+
+  /// Strict decimal parses; throw std::runtime_error naming `what` on
+  /// malformed input (the error becomes the command's reply).
+  std::uint64_t arg_u64(std::size_t i, const char* what) const;
+  std::int64_t arg_i64(std::size_t i, const char* what) const;
+
+  /// argv[1]; only meaningful for kGraphKeyed specs.
+  const std::string& key() const { return argv_[1]; }
+
+  /// Resolve (creating if absent) the keyspace entry for key().  The
+  /// shared_ptr keeps the entry alive across a concurrent
+  /// GRAPH.DELETE/RESTORE for the whole command.  Requires kGraphKeyed.
+  const std::shared_ptr<GraphEntry>& entry();
+
+  /// Per-graph lock acquisition, tied to the spec's flags: any command
+  /// may read-lock its graph, but the exclusive lock is reserved for
+  /// kWrite commands (a read-only spec asking for it is a table bug and
+  /// throws std::logic_error).
+  std::shared_lock<std::shared_mutex> shared_lock();
+  std::unique_lock<std::shared_mutex> exclusive_lock();
+
+  bool replaying() const;
+  bool durable() const;
+
+  /// Journal one frame after commit, before the reply is released.
+  /// Gated on the table, not the handler: a spec without kWrite cannot
+  /// journal (std::logic_error).  No-op returning 0 when durability is
+  /// off or during replay.  When entry() was resolved, the append is
+  /// guarded against a concurrent unlink (GRAPH.DELETE/RESTORE) and the
+  /// entry's snapshot watermark (last_lsn) advances with the append —
+  /// callers must hold the exclusive lock, so the watermark moves in
+  /// lock-step with the graph state a concurrent snapshot would see.
+  std::uint64_t journal(const std::vector<std::string>& frame);
+
+  /// journal() for batched ingestion: the whole batch is one WAL frame
+  /// and the WAL's batch counters record how many entities it carries.
+  std::uint64_t journal_batch(const std::vector<std::string>& frame,
+                              std::uint64_t entities);
+
+ private:
+  Server& srv_;
+  const CommandSpec& spec_;
+  const std::vector<std::string>& argv_;
+  std::shared_ptr<GraphEntry> entry_;
+};
+
+/// Built-in handlers (friend of Server); each is one registry row,
+/// installed by CommandRegistry's constructor in command.cpp.
+struct CommandHandlers {
+  static Reply ping(CommandCtx&);
+  static Reply command_table(CommandCtx&);  // COMMAND [COUNT|DOCS|INFO]
+  static Reply query(CommandCtx&);
+  static Reply ro_query(CommandCtx&);
+  static Reply profile(CommandCtx&);
+  static Reply explain(CommandCtx&);
+  static Reply bulk(CommandCtx&);
+  static Reply del(CommandCtx&);
+  static Reply list(CommandCtx&);
+  static Reply save(CommandCtx&);
+  static Reply restore(CommandCtx&);
+  static Reply restore_payload(CommandCtx&);
+  static Reply config(CommandCtx&);
+  static Reply info(CommandCtx&);
+  static Reply slowlog(CommandCtx&);
+
+ private:
+  static Reply run_query(CommandCtx& ctx, bool read_only_cmd, bool profile);
+  /// Shared name/value row rendering for GRAPH.CONFIG GET and
+  /// GRAPH.INFO: the WAL and plan-cache rows come from one place so
+  /// the two introspection surfaces cannot drift.  `want` filters by
+  /// row name (CONFIG GET's name match; INFO passes always-true).
+  static void wal_rows(Server& srv, exec::ResultSet& rs,
+                       const std::function<bool(std::string_view)>& want);
+  static void plan_cache_rows(
+      Server& srv, exec::ResultSet& rs,
+      const std::function<bool(std::string_view)>& want);
+};
+
+}  // namespace rg::server

@@ -20,9 +20,16 @@ std::string resp_simple(const std::string& s) {
 }
 
 std::string resp_error(const std::string& s) {
+  // RESP errors are line-delimited, and some error texts echo client
+  // bytes (unknown-command args, malformed numbers).  A CR/LF smuggled
+  // through a length-prefixed bulk argument would terminate the error
+  // early and desynchronize every later reply on the connection, so
+  // newlines are flattened to spaces — same as Redis.
   std::string out;
   out.reserve(s.size() + 7);
-  out.append("-ERR ").append(s).append("\r\n");
+  out.append("-ERR ");
+  for (const char c : s) out += (c == '\r' || c == '\n') ? ' ' : c;
+  out.append("\r\n");
   return out;
 }
 

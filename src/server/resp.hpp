@@ -19,7 +19,9 @@ namespace rg::server {
 /// RESP simple string (+OK\r\n).
 std::string resp_simple(const std::string& s);
 
-/// RESP error (-ERR ...\r\n).
+/// RESP error (-ERR ...\r\n).  CR/LF inside `s` (error texts may echo
+/// client-controlled bytes) are flattened to spaces so the error stays
+/// one protocol line.
 std::string resp_error(const std::string& s);
 
 /// RESP integer (:42\r\n).

@@ -1,15 +1,7 @@
 #include "server/server.hpp"
 
-#include <cerrno>
-#include <cstdlib>
-#include <sstream>
+#include <chrono>
 
-#include "graphblas/context.hpp"
-
-#include "cypher/lexer.hpp"
-#include "cypher/param_header.hpp"
-#include "cypher/parser.hpp"
-#include "exec/execution_plan.hpp"
 #include "graph/serialize.hpp"
 
 namespace rg::server {
@@ -17,6 +9,10 @@ namespace rg::server {
 Server::Server(std::size_t worker_threads, const DurabilityConfig& durability)
     : workers_(std::make_unique<util::ThreadPool>(
           std::max<std::size_t>(1, worker_threads))) {
+  // Fixed metric slots for every command known now; commands registered
+  // later (tests, embedders) overflow into extra_stats_.
+  stats_size_ = CommandRegistry::instance().size();
+  stats_ = std::make_unique<StatSlot[]>(stats_size_);
   if (durability.data_dir.empty()) return;
   durability_ = std::make_unique<persist::DurabilityManager>(
       durability.data_dir, durability.options);
@@ -133,7 +129,7 @@ persist::Counters Server::durability_counters() const {
 
 std::size_t Server::worker_count() const { return workers_->size(); }
 
-std::shared_ptr<Server::GraphEntry> Server::entry_for(const std::string& key) {
+std::shared_ptr<GraphEntry> Server::entry_for(const std::string& key) {
   std::lock_guard lk(keyspace_mu_);
   auto& slot = keyspace_[key];
   if (!slot) slot = std::make_shared<GraphEntry>(plan_cache_capacity_);
@@ -180,597 +176,155 @@ graph::Graph& Server::graph_for_testing(const std::string& key) {
   return entry_for(key)->graph;
 }
 
-Reply Server::dispatch(const std::vector<std::string>& argv) {
-  if (argv.empty()) return {Reply::Kind::kError, "empty command", {}};
-  const std::string& cmd = argv[0];
+// ---------------------------------------------------------------------------
+// Dispatch: the only path any command takes
+// ---------------------------------------------------------------------------
 
-  auto is = [&](std::string_view name) {
-    return cypher::keyword_eq(cmd, name);
-  };
+Server::StatSlot& Server::stat_slot(std::size_t index) {
+  if (index < stats_size_) return stats_[index];
+  std::lock_guard lk(extra_stats_mu_);
+  auto& slot = extra_stats_[index];
+  if (!slot) slot = std::make_unique<StatSlot>();
+  return *slot;
+}
 
-  try {
-    if (is("PING")) return {Reply::Kind::kStatus, "PONG", {}};
-    if (is("GRAPH.QUERY") || is("GRAPH.RO_QUERY") || is("GRAPH.PROFILE")) {
-      if (argv.size() < 3)
-        return {Reply::Kind::kError, "wrong number of arguments", {}};
-      return cmd_query(argv[1], argv[2], is("GRAPH.RO_QUERY"),
-                       is("GRAPH.PROFILE"));
-    }
-    if (is("GRAPH.EXPLAIN")) {
-      if (argv.size() < 3)
-        return {Reply::Kind::kError, "wrong number of arguments", {}};
-      return cmd_explain(argv[1], argv[2]);
-    }
-    if (is("GRAPH.BULK")) {
-      if (argv.size() < 4)
-        return {Reply::Kind::kError, "wrong number of arguments", {}};
-      return cmd_bulk(argv);
-    }
-    if (is("GRAPH.DELETE")) {
-      if (argv.size() < 2)
-        return {Reply::Kind::kError, "wrong number of arguments", {}};
-      return cmd_delete(argv[1]);
-    }
-    if (is("GRAPH.LIST")) return cmd_list();
-    if (is("GRAPH.SAVE")) {
-      if (argv.size() < 3)
-        return {Reply::Kind::kError, "wrong number of arguments", {}};
-      return cmd_save(argv[1], argv[2]);
-    }
-    if (is("GRAPH.RESTORE")) {
-      if (argv.size() < 3)
-        return {Reply::Kind::kError, "wrong number of arguments", {}};
-      return cmd_restore(argv[1], argv[2]);
-    }
-    if (is("GRAPH.RESTORE.PAYLOAD")) {
-      // Internal frame type emitted by durable GRAPH.RESTORE; only the
-      // recovery replay may dispatch it.
-      if (!replaying_)
-        return {Reply::Kind::kError,
-                "GRAPH.RESTORE.PAYLOAD is internal to WAL replay", {}};
-      if (argv.size() < 3)
-        return {Reply::Kind::kError, "wrong number of arguments", {}};
-      return cmd_restore_payload(argv[1], argv[2]);
-    }
-    if (is("GRAPH.CONFIG")) return cmd_config(argv);
-    return {Reply::Kind::kError, "unknown command '" + cmd + "'", {}};
-  } catch (const std::exception& e) {
-    return {Reply::Kind::kError, e.what(), {}};
-  }
+const Server::StatSlot* Server::find_stat_slot(std::size_t index) const {
+  if (index < stats_size_) return &stats_[index];
+  std::lock_guard lk(extra_stats_mu_);
+  const auto it = extra_stats_.find(index);
+  return it == extra_stats_.end() ? nullptr : it->second.get();
 }
 
 namespace {
 
-/// GRAPH.PROFILE output: the per-op tree, prefixed with the compilation
-/// cache outcome so the fast path is observable per query.
-std::string profile_text(exec::PlanCache::Lease& lease, exec::ResultSet& out) {
-  std::string s = lease.hit() ? "Plan cache: hit\n" : "Plan cache: miss\n";
-  s += lease->profile(out);
-  return s;
+/// Slowlog rendering of an argv: long arguments and long tails are
+/// truncated so a multi-megabyte GRAPH.BULK never bloats the log.
+std::string slowlog_command_text(const std::vector<std::string>& argv) {
+  constexpr std::size_t kMaxArgs = 8;
+  constexpr std::size_t kMaxArgLen = 64;
+  std::string out;
+  for (std::size_t i = 0; i < argv.size() && i < kMaxArgs; ++i) {
+    if (i) out += ' ';
+    if (argv[i].size() > kMaxArgLen)
+      out += argv[i].substr(0, kMaxArgLen) + "...";
+    else
+      out += argv[i];
+  }
+  if (argv.size() > kMaxArgs)
+    out += " ... (" + std::to_string(argv.size()) + " args)";
+  return out;
 }
 
 }  // namespace
 
-Reply Server::cmd_query(const std::string& key, const std::string& raw,
-                        bool read_only_cmd, bool profile) {
-  const auto split = cypher::split_param_header(raw);
-  // Shared ownership keeps the entry (and its lock) alive even if a
-  // concurrent GRAPH.DELETE/RESTORE unlinks it from the keyspace while
-  // we are blocked below.
-  const auto ge = entry_for(key);
-
-  // Fast path: shared lock + cached plan; read-only plans run in place,
-  // concurrently with other readers.
-  bool first_acquire_hit = false;
-  {
-    std::shared_lock lk(ge->lock);
-    auto lease = ge->plan_cache.acquire(ge->graph, split.body, split.params);
-    first_acquire_hit = lease.hit();
-    if (lease->read_only()) {
-      Reply reply;
-      if (profile) {
-        reply.kind = Reply::Kind::kText;
-        reply.text = profile_text(lease, reply.result);
-      } else {
-        reply.kind = Reply::Kind::kResult;
-        lease->run(reply.result);
-      }
-      return reply;
-    }
-    if (read_only_cmd)
-      return {Reply::Kind::kError,
-              "graph.RO_QUERY is to be executed only on read-only queries",
-              {}};
+void Server::record_dispatch(StatSlot& slot,
+                             const std::vector<std::string>& argv, bool error,
+                             std::uint64_t usec) {
+  slot.calls.fetch_add(1, std::memory_order_relaxed);
+  if (error) slot.errors.fetch_add(1, std::memory_order_relaxed);
+  slot.usec_total.fetch_add(usec, std::memory_order_relaxed);
+  std::uint64_t prev = slot.usec_max.load(std::memory_order_relaxed);
+  while (prev < usec && !slot.usec_max.compare_exchange_weak(
+                            prev, usec, std::memory_order_relaxed)) {
   }
 
-  // Write path: exclusive lock.  Re-acquire the plan — the schema may
-  // have moved between dropping the shared lock and getting this one —
-  // without counting again: this is still the same logical query.
+  // Slowlog (skipped during WAL replay: recovery is not client traffic).
+  const std::int64_t threshold =
+      slowlog_threshold_us_.load(std::memory_order_relaxed);
+  if (replaying_ || threshold < 0 ||
+      usec < static_cast<std::uint64_t>(threshold))
+    return;
+  const std::int64_t now =
+      std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  std::lock_guard lk(slowlog_mu_);
+  slowlog_.push_front(
+      {slowlog_next_id_++, now, usec, slowlog_command_text(argv)});
+  while (slowlog_.size() > kSlowlogMaxLen) slowlog_.pop_back();
+}
+
+Reply Server::dispatch(const std::vector<std::string>& argv) {
+  if (argv.empty()) return {Reply::Kind::kError, "empty command", {}};
+  const CommandSpec* spec = CommandRegistry::instance().find(argv[0]);
+  if (!spec)
+    return {Reply::Kind::kError, unknown_command_error(argv), {}};
+  StatSlot& slot = stat_slot(spec->index);
+
+  // Arity and flag enforcement from the table, not the handler: too few
+  // arguments, trailing extras on fixed-arity commands, and internal
+  // frame types from clients are all rejected here.
+  const auto argc = static_cast<int>(argv.size());
+  if (argc < spec->min_arity ||
+      (spec->max_arity >= 0 && argc > spec->max_arity)) {
+    record_dispatch(slot, argv, /*error=*/true, 0);
+    return {Reply::Kind::kError, wrong_arity_error(spec->name), {}};
+  }
+  if ((spec->flags & kInternal) && !replaying_) {
+    record_dispatch(slot, argv, /*error=*/true, 0);
+    return {Reply::Kind::kError,
+            "'" + std::string(spec->name) +
+                "' is an internal command, only valid during WAL replay",
+            {}};
+  }
+
+  const auto start = std::chrono::steady_clock::now();
   Reply reply;
-  {
-    std::unique_lock lk(ge->lock);
-    auto lease = ge->plan_cache.acquire(ge->graph, split.body, split.params,
-                                        64, /*count_stats=*/false);
-    lease.set_hit_for_reporting(first_acquire_hit);
-    if (profile) {
-      reply.kind = Reply::Kind::kText;
-      reply.text = profile_text(lease, reply.result);
-    } else {
-      reply.kind = Reply::Kind::kResult;
-      lease->run(reply.result);
-    }
-    // Re-sync matrices before the write lock drops so readers' flush() is
-    // a read-only no-op (their shared lock cannot rebuild transposes).
-    ge->graph.flush();
-    // Journal after commit, before the reply is released.  Still under
-    // the exclusive lock so last_lsn (the snapshot watermark) moves in
-    // lock-step with the graph state a concurrent snapshot would see.
-    // The guard skips the frame if a concurrent GRAPH.DELETE/RESTORE
-    // already unlinked this entry — the write only touched a zombie
-    // graph, and journaling it would resurrect the key on replay.
-    // (append_if, not a bare check: the guard runs under the append
-    // mutex, so it orders atomically against the unlink frame.)
-    if (durability_ && !replaying_) {
-      const std::uint64_t lsn = durability_->append_if(
-          {"GRAPH.QUERY", key, raw}, [&] {
-            return !ge->unlinked.load(std::memory_order_acquire);
-          });
-      if (lsn != 0) ge->last_lsn = lsn;
-    }
+  try {
+    CommandCtx ctx(*this, *spec, argv);
+    reply = spec->handler(ctx);
+  } catch (const std::exception& e) {
+    reply = {Reply::Kind::kError, e.what(), {}};
   }
-  if (durability_ && !replaying_) maybe_request_rewrite();
+  const auto usec = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  record_dispatch(slot, argv, !reply.ok(), usec);
+
+  // Journaled writes may have pushed the WAL over its rewrite
+  // threshold; the check is driven by the table's kWrite flag, exactly
+  // like the journaling itself.
+  if ((spec->flags & kWrite) && durability_ && !replaying_)
+    maybe_request_rewrite();
   return reply;
 }
 
-namespace {
-
-/// Strict decimal u64 parse for GRAPH.BULK operands.
-bool parse_u64(const std::string& s, std::uint64_t& out) {
-  if (s.empty()) return false;
-  char* end = nullptr;
-  errno = 0;
-  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
-  if (errno != 0 || end != s.c_str() + s.size() || s[0] == '-') return false;
-  out = v;
-  return true;
+std::vector<std::pair<const CommandSpec*, CommandStats>>
+Server::command_stats() const {
+  std::vector<std::pair<const CommandSpec*, CommandStats>> out;
+  for (const CommandSpec* spec : CommandRegistry::instance().all()) {
+    CommandStats stats;
+    if (const StatSlot* slot = find_stat_slot(spec->index)) {
+      stats.calls = slot->calls.load(std::memory_order_relaxed);
+      stats.errors = slot->errors.load(std::memory_order_relaxed);
+      stats.usec_total = slot->usec_total.load(std::memory_order_relaxed);
+      stats.usec_max = slot->usec_max.load(std::memory_order_relaxed);
+    }
+    out.emplace_back(spec, stats);
+  }
+  return out;
 }
 
-}  // namespace
-
-Reply Server::cmd_bulk(const std::vector<std::string>& argv) {
-  const std::string& key = argv[1];
-
-  // ---- parse (no graph state touched yet) -------------------------------
-  struct NodeBatch {
-    std::uint64_t count = 0;
-    std::string label;  // empty = unlabeled
-  };
-  // An edge endpoint is either an absolute node id or a batch-relative
-  // reference "@k" = the k-th node created by THIS command (counting
-  // across its NODES sections).  References make a combined nodes+edges
-  // batch self-contained: the client needs no id round-trip and the
-  // command stays atomic even when the id allocator reuses freed slots.
-  struct Endpoint {
-    bool ref = false;
-    std::uint64_t v = 0;
-  };
-  struct EdgeBatch {
-    std::string type;
-    std::vector<std::pair<Endpoint, Endpoint>> edges;
-  };
-  std::vector<NodeBatch> node_batches;
-  std::vector<EdgeBatch> edge_batches;
-
-  auto is_section = [](const std::string& s) {
-    return cypher::keyword_eq(s, "NODES") || cypher::keyword_eq(s, "EDGES");
-  };
-
-  std::size_t i = 2;
-  while (i < argv.size()) {
-    if (cypher::keyword_eq(argv[i], "NODES")) {
-      NodeBatch nb;
-      if (i + 1 >= argv.size() || !parse_u64(argv[i + 1], nb.count))
-        return {Reply::Kind::kError, "GRAPH.BULK: NODES needs a count", {}};
-      i += 2;
-      if (i < argv.size() && !is_section(argv[i])) nb.label = argv[i++];
-      node_batches.push_back(std::move(nb));
-    } else if (cypher::keyword_eq(argv[i], "EDGES")) {
-      if (i + 2 >= argv.size())
-        return {Reply::Kind::kError,
-                "GRAPH.BULK: EDGES needs <reltype> <count>", {}};
-      EdgeBatch eb;
-      eb.type = argv[i + 1];
-      std::uint64_t count = 0;
-      if (!parse_u64(argv[i + 2], count) || eb.type.empty() ||
-          is_section(eb.type))
-        return {Reply::Kind::kError,
-                "GRAPH.BULK: EDGES needs <reltype> <count>", {}};
-      i += 3;
-      if (argv.size() - i < 2 * count)
-        return {Reply::Kind::kError,
-                "GRAPH.BULK: EDGES declares more endpoints than supplied", {}};
-      eb.edges.reserve(count);
-      auto parse_endpoint = [](const std::string& s, Endpoint& out) {
-        out.ref = !s.empty() && s[0] == '@';
-        return parse_u64(out.ref ? s.substr(1) : s, out.v);
-      };
-      for (std::uint64_t e = 0; e < count; ++e) {
-        Endpoint src, dst;
-        if (!parse_endpoint(argv[i], src) || !parse_endpoint(argv[i + 1], dst))
-          return {Reply::Kind::kError,
-                  "GRAPH.BULK: edge endpoints must be node ids or @refs", {}};
-        eb.edges.emplace_back(src, dst);
-        i += 2;
-      }
-      edge_batches.push_back(std::move(eb));
-    } else {
-      return {Reply::Kind::kError,
-              "GRAPH.BULK: expected NODES or EDGES, got '" + argv[i] + "'",
-              {}};
-    }
+std::vector<SlowlogEntry> Server::slowlog_get(std::size_t count) const {
+  std::lock_guard lk(slowlog_mu_);
+  std::vector<SlowlogEntry> out;
+  out.reserve(std::min(count, slowlog_.size()));
+  for (const auto& e : slowlog_) {
+    if (out.size() >= count) break;
+    out.push_back(e);
   }
-  if (node_batches.empty() && edge_batches.empty())
-    return {Reply::Kind::kError, "GRAPH.BULK: empty batch", {}};
-
-  // ---- apply under the exclusive per-graph lock -------------------------
-  const auto ge = entry_for(key);
-  std::uint64_t nodes_created = 0;
-  std::uint64_t edges_created = 0;
-  std::int64_t first_node_id = -1;
-  {
-    std::unique_lock lk(ge->lock);
-    graph::Graph& g = ge->graph;
-
-    // Nodes first, so edges may reference ids created in this batch.
-    // On any failure everything created here — edges, then nodes — is
-    // rolled back: the command is all-or-nothing, which keeps the single
-    // replayed WAL frame an exact description of what happened.
-    std::vector<graph::NodeId> created;
-    std::vector<graph::EdgeId> created_edges;
-    auto rollback = [&] {
-      for (auto it = created_edges.rbegin(); it != created_edges.rend(); ++it)
-        if (g.has_edge(*it)) g.delete_edge(*it);
-      for (auto it = created.rbegin(); it != created.rend(); ++it)
-        g.delete_node(*it);
-    };
-    try {
-      for (const auto& nb : node_batches) {
-        std::vector<graph::LabelId> labels;
-        if (!nb.label.empty())
-          labels.push_back(g.schema().add_label(nb.label));
-        for (std::uint64_t c = 0; c < nb.count; ++c) {
-          const graph::NodeId id = g.add_node(labels);
-          if (first_node_id < 0) first_node_id = static_cast<std::int64_t>(id);
-          created.push_back(id);
-        }
-      }
-      nodes_created = created.size();
-    } catch (const std::exception& e) {
-      rollback();
-      return {Reply::Kind::kError, e.what(), {}};
-    }
-
-    auto resolve = [&](const Endpoint& ep, graph::NodeId& out) {
-      if (ep.ref) {
-        if (ep.v >= created.size()) return false;
-        out = created[ep.v];
-        return true;
-      }
-      out = ep.v;
-      return g.has_node(out);
-    };
-    for (const auto& eb : edge_batches) {
-      for (const auto& [src, dst] : eb.edges) {
-        graph::NodeId s = 0, d = 0;
-        const bool s_ok = resolve(src, s);
-        if (!s_ok || !resolve(dst, d)) {
-          const Endpoint& bad = s_ok ? dst : src;
-          rollback();
-          return {Reply::Kind::kError,
-                  "GRAPH.BULK: edge endpoint " +
-                      std::string(bad.ref ? "@" : "") + std::to_string(bad.v) +
-                      " does not exist", {}};
-        }
-      }
-    }
-    // The apply loop can still throw (GraphFullError at the edge-id
-    // cap): without the rollback the batch would be half-applied in
-    // memory while the WAL never records it — a durable server would
-    // silently lose the partial batch on restart.
-    try {
-      for (const auto& eb : edge_batches) {
-        const graph::RelTypeId t = g.schema().add_reltype(eb.type);
-        for (const auto& [src, dst] : eb.edges) {
-          graph::NodeId s = 0, d = 0;
-          resolve(src, s);
-          resolve(dst, d);
-          created_edges.push_back(g.add_edge(t, s, d));
-          ++edges_created;
-        }
-      }
-    } catch (const std::exception& e) {
-      rollback();
-      return {Reply::Kind::kError, e.what(), {}};
-    }
-
-    // Matrices re-sync before the write lock drops (same as cmd_query).
-    g.flush();
-
-    // One WAL frame for the whole batch — this is the durability half of
-    // the amortization: N entities cost one append + one fsync.
-    if (durability_ && !replaying_) {
-      const std::uint64_t lsn = durability_->append_batch_if(
-          argv, nodes_created + edges_created, [&] {
-            return !ge->unlinked.load(std::memory_order_acquire);
-          });
-      if (lsn != 0) ge->last_lsn = lsn;
-    }
-  }
-  if (durability_ && !replaying_) maybe_request_rewrite();
-
-  Reply r;
-  r.kind = Reply::Kind::kResult;
-  r.result.columns = {"nodes_created", "edges_created", "first_node_id"};
-  r.result.rows.push_back(
-      {graph::Value(static_cast<std::int64_t>(nodes_created)),
-       graph::Value(static_cast<std::int64_t>(edges_created)),
-       graph::Value(first_node_id)});
-  return r;
+  return out;
 }
 
-Reply Server::cmd_explain(const std::string& key, const std::string& raw) {
-  const auto split = cypher::split_param_header(raw);
-  const cypher::Query ast = cypher::parse(split.body);
-  const auto ge = entry_for(key);
-  std::shared_lock lk(ge->lock);
-  exec::ExecutionPlan plan(ge->graph, ast);
-  return {Reply::Kind::kText, plan.explain(), {}};
+std::size_t Server::slowlog_len() const {
+  std::lock_guard lk(slowlog_mu_);
+  return slowlog_.size();
 }
 
-Reply Server::cmd_delete(const std::string& key) {
-  {
-    std::lock_guard lk(keyspace_mu_);
-    const auto it = keyspace_.find(key);
-    if (it == keyspace_.end())
-      return {Reply::Kind::kError, "no such key '" + key + "'", {}};
-    retire_counters_locked(*it->second);
-    // Unlink only: in-flight commands on this graph hold their own
-    // shared_ptr, so the entry is destroyed by its last user, never under
-    // a thread still using (or blocked on) its lock.
-    it->second->unlinked.store(true, std::memory_order_release);
-    keyspace_.erase(it);
-    // Journal while still holding keyspace_mu_ (deletes are rare): the
-    // DELETE frame must precede any frame from a writer that re-creates
-    // the key, and entry_for can only hand out a fresh entry after this
-    // lock drops.  Stale writers on the old entry are fenced off by the
-    // unlinked flag just set.
-    if (durability_ && !replaying_)
-      durability_->append({"GRAPH.DELETE", key});
-  }
-  if (durability_ && !replaying_) maybe_request_rewrite();
-  return {Reply::Kind::kStatus, "OK", {}};
-}
-
-Reply Server::cmd_list() {
-  std::lock_guard lk(keyspace_mu_);
-  Reply r;
-  r.kind = Reply::Kind::kResult;
-  r.result.columns = {"graph"};
-  for (const auto& [key, entry] : keyspace_)
-    r.result.rows.push_back({graph::Value(key)});
-  return r;
-}
-
-Reply Server::cmd_save(const std::string& key, const std::string& path) {
-  const auto ge = entry_for(key);
-  std::shared_lock lk(ge->lock);
-  graph::save_graph_file(ge->graph, path);
-  return {Reply::Kind::kStatus, "OK", {}};
-}
-
-Reply Server::cmd_restore(const std::string& key, const std::string& path) {
-  // Load into a fresh graph, then swap it in under the keyspace lock so
-  // readers never observe a half-loaded graph.  The fresh entry's empty
-  // plan cache also drops every plan compiled against the old graph.
-  std::size_t capacity;
-  {
-    std::lock_guard lk(keyspace_mu_);
-    capacity = plan_cache_capacity_;
-  }
-  auto fresh = std::make_shared<GraphEntry>(capacity);
-  graph::load_graph_file(fresh->graph, path);
-  fresh->graph.flush();  // readers must never be first to build transposes
-  // Durable restore journals the restored graph ITSELF (the external
-  // file may be gone by replay time) — the same trick Redis AOF uses
-  // for RESTORE: the frame carries the serialized value.  Serialized
-  // outside the keyspace lock; the swap + journal below are atomic.
-  std::string payload;
-  if (durability_ && !replaying_) {
-    std::ostringstream os(std::ios::binary);
-    graph::save_graph(fresh->graph, os);
-    payload = std::move(os).str();
-  }
-  {
-    std::lock_guard lk(keyspace_mu_);
-    auto& slot = keyspace_[key];
-    if (slot) {
-      retire_counters_locked(*slot);
-      // Fence off stale writers still holding the displaced entry
-      // (same protocol as cmd_delete).
-      slot->unlinked.store(true, std::memory_order_release);
-    }
-    if (durability_ && !replaying_)
-      fresh->last_lsn =
-          durability_->append({"GRAPH.RESTORE.PAYLOAD", key, payload});
-    // Swap in; the displaced entry (if any) dies with its last in-flight
-    // user, exactly as in cmd_delete.
-    slot = std::move(fresh);
-  }
-  // A multi-megabyte payload frame can push the log over its threshold.
-  if (durability_ && !replaying_) maybe_request_rewrite();
-  return {Reply::Kind::kStatus, "OK", {}};
-}
-
-Reply Server::cmd_restore_payload(const std::string& key,
-                                  const std::string& bytes) {
-  // Replay-only twin of cmd_restore: the graph arrives as serialized
-  // bytes inside the WAL frame instead of a file path.
-  std::size_t capacity;
-  {
-    std::lock_guard lk(keyspace_mu_);
-    capacity = plan_cache_capacity_;
-  }
-  auto fresh = std::make_shared<GraphEntry>(capacity);
-  std::istringstream in(bytes, std::ios::binary);
-  graph::load_graph(fresh->graph, in);
-  fresh->graph.flush();
-  std::lock_guard lk(keyspace_mu_);
-  auto& slot = keyspace_[key];
-  if (slot) retire_counters_locked(*slot);
-  slot = std::move(fresh);
-  return {Reply::Kind::kStatus, "OK", {}};
-}
-
-Reply Server::cmd_config(const std::vector<std::string>& argv) {
-  // GRAPH.CONFIG GET <name>|* | GRAPH.CONFIG SET <name> <value>.
-  // THREAD_COUNT is fixed at module load time (paper, Section II): GET
-  // reports it, SET is rejected.  PLAN_CACHE_* expose the query
-  // compilation cache: capacity (settable) and hit/miss/invalidation
-  // counters aggregated across the keyspace.  WAL_* expose the
-  // durability subsystem: fsync policy and rewrite threshold are
-  // settable at runtime; the counters are monotonic.
-  auto row = [](exec::ResultSet& rs, const char* name, std::int64_t v) {
-    rs.rows.push_back({graph::Value(name), graph::Value(v)});
-  };
-  auto srow = [](exec::ResultSet& rs, const char* name, const std::string& v) {
-    rs.rows.push_back({graph::Value(name), graph::Value(v)});
-  };
-  if (argv.size() >= 3 && cypher::keyword_eq(argv[1], "GET")) {
-    Reply r;
-    r.kind = Reply::Kind::kResult;
-    r.result.columns = {"name", "value"};
-    const bool all = argv[2] == "*";
-    const auto want = [&](std::string_view name) {
-      return all || cypher::keyword_eq(argv[2], name);
-    };
-    if (want("DURABILITY"))
-      srow(r.result, "DURABILITY", durability_ ? "on" : "off");
-    if (durability_) {
-      if (want("WAL_FSYNC"))
-        srow(r.result, "WAL_FSYNC",
-             persist::fsync_policy_name(durability_->fsync_policy()));
-      if (want("WAL_MAX_BYTES"))
-        row(r.result, "WAL_MAX_BYTES",
-            static_cast<std::int64_t>(durability_->wal_max_bytes()));
-      if (want("WAL_SIZE_BYTES"))
-        row(r.result, "WAL_SIZE_BYTES",
-            static_cast<std::int64_t>(durability_->wal_size_bytes()));
-      if (want("WAL_APPENDS") || want("WAL_BYTES") || want("WAL_FSYNCS") ||
-          want("WAL_REWRITES") || want("WAL_REPLAYED_FRAMES") ||
-          want("WAL_SKIPPED_FRAMES") || want("WAL_TORN_BYTES") ||
-          want("WAL_BATCH_FRAMES") || want("WAL_BATCH_ENTITIES")) {
-        const auto c = durability_->counters();
-        if (want("WAL_APPENDS"))
-          row(r.result, "WAL_APPENDS", static_cast<std::int64_t>(c.appends));
-        if (want("WAL_BYTES"))
-          row(r.result, "WAL_BYTES",
-              static_cast<std::int64_t>(c.appended_bytes));
-        if (want("WAL_FSYNCS"))
-          row(r.result, "WAL_FSYNCS", static_cast<std::int64_t>(c.fsyncs));
-        if (want("WAL_REWRITES"))
-          row(r.result, "WAL_REWRITES",
-              static_cast<std::int64_t>(c.rewrites));
-        if (want("WAL_REPLAYED_FRAMES"))
-          row(r.result, "WAL_REPLAYED_FRAMES",
-              static_cast<std::int64_t>(c.replayed_frames));
-        if (want("WAL_SKIPPED_FRAMES"))
-          row(r.result, "WAL_SKIPPED_FRAMES",
-              static_cast<std::int64_t>(c.skipped_frames));
-        if (want("WAL_TORN_BYTES"))
-          row(r.result, "WAL_TORN_BYTES",
-              static_cast<std::int64_t>(c.torn_bytes));
-        if (want("WAL_BATCH_FRAMES"))
-          row(r.result, "WAL_BATCH_FRAMES",
-              static_cast<std::int64_t>(c.batch_frames));
-        if (want("WAL_BATCH_ENTITIES"))
-          row(r.result, "WAL_BATCH_ENTITIES",
-              static_cast<std::int64_t>(c.batch_entities));
-      }
-    }
-    if (want("THREAD_COUNT"))
-      row(r.result, "THREAD_COUNT",
-          static_cast<std::int64_t>(worker_count()));
-    if (want("GB_THREADS"))
-      row(r.result, "GB_THREADS", static_cast<std::int64_t>(gb::threads()));
-    if (want("PLAN_CACHE_SIZE")) {
-      std::lock_guard lk(keyspace_mu_);
-      row(r.result, "PLAN_CACHE_SIZE",
-          static_cast<std::int64_t>(plan_cache_capacity_));
-    }
-    if (want("PLAN_CACHE_HITS") || want("PLAN_CACHE_MISSES") ||
-        want("PLAN_CACHE_INVALIDATIONS")) {
-      const auto c = plan_cache_counters();
-      if (want("PLAN_CACHE_HITS"))
-        row(r.result, "PLAN_CACHE_HITS", static_cast<std::int64_t>(c.hits));
-      if (want("PLAN_CACHE_MISSES"))
-        row(r.result, "PLAN_CACHE_MISSES",
-            static_cast<std::int64_t>(c.misses));
-      if (want("PLAN_CACHE_INVALIDATIONS"))
-        row(r.result, "PLAN_CACHE_INVALIDATIONS",
-            static_cast<std::int64_t>(c.invalidations));
-    }
-    if (r.result.rows.empty())
-      return {Reply::Kind::kError, "unknown config '" + argv[2] + "'", {}};
-    return r;
-  }
-  if (argv.size() >= 4 && cypher::keyword_eq(argv[1], "SET")) {
-    if (cypher::keyword_eq(argv[2], "THREAD_COUNT"))
-      return {Reply::Kind::kError,
-              "THREAD_COUNT is fixed at module load time", {}};
-    if (cypher::keyword_eq(argv[2], "GB_THREADS")) {
-      // Unlike THREAD_COUNT (one query = one worker, fixed at load),
-      // GB_THREADS is the intra-operation kernel parallelism and is safe
-      // to retune at runtime; 1 = the exact serial kernels.
-      char* end = nullptr;
-      const long long v = std::strtoll(argv[3].c_str(), &end, 10);
-      if (end == argv[3].c_str() || *end != '\0' || v < 1 || v > 1024)
-        return {Reply::Kind::kError,
-                "GB_THREADS must be an integer in [1, 1024]", {}};
-      gb::set_threads(static_cast<std::size_t>(v));
-      return {Reply::Kind::kStatus, "OK", {}};
-    }
-    if (cypher::keyword_eq(argv[2], "WAL_FSYNC") ||
-        cypher::keyword_eq(argv[2], "WAL_MAX_BYTES")) {
-      if (!durability_)
-        return {Reply::Kind::kError,
-                "durability is disabled (no data dir configured)", {}};
-      if (cypher::keyword_eq(argv[2], "WAL_FSYNC")) {
-        durability_->set_fsync_policy(persist::parse_fsync_policy(argv[3]));
-        return {Reply::Kind::kStatus, "OK", {}};
-      }
-      char* end = nullptr;
-      const long long v = std::strtoll(argv[3].c_str(), &end, 10);
-      if (end == argv[3].c_str() || *end != '\0' || v < 1024)
-        return {Reply::Kind::kError,
-                "WAL_MAX_BYTES must be an integer >= 1024", {}};
-      durability_->set_wal_max_bytes(static_cast<std::uint64_t>(v));
-      return {Reply::Kind::kStatus, "OK", {}};
-    }
-    if (cypher::keyword_eq(argv[2], "PLAN_CACHE_SIZE")) {
-      char* end = nullptr;
-      const long long v = std::strtoll(argv[3].c_str(), &end, 10);
-      if (end == argv[3].c_str() || *end != '\0' || v < 1)
-        return {Reply::Kind::kError,
-                "PLAN_CACHE_SIZE must be a positive integer", {}};
-      std::lock_guard lk(keyspace_mu_);
-      plan_cache_capacity_ = static_cast<std::size_t>(v);
-      for (auto& [key, entry] : keyspace_)
-        entry->plan_cache.set_capacity(plan_cache_capacity_);
-      return {Reply::Kind::kStatus, "OK", {}};
-    }
-    return {Reply::Kind::kError, "unknown config '" + argv[2] + "'", {}};
-  }
-  return {Reply::Kind::kError, "GRAPH.CONFIG GET|SET <name> [value]", {}};
+void Server::slowlog_reset() {
+  std::lock_guard lk(slowlog_mu_);
+  slowlog_.clear();
 }
 
 }  // namespace rg::server

@@ -2,7 +2,7 @@
 //
 // Mirrors the architecture the paper describes (Section II):
 //  * a single **dispatcher** thread owns command intake (Redis's main
-//    thread); commands arrive via submit() and are forwarded to
+//    thread): commands arrive via submit() and are forwarded to
 //  * a fixed **worker pool** whose size is set at construction (the
 //    module's load-time THREAD_COUNT): each query executes entirely on
 //    one worker thread — queries never parallelize across workers,
@@ -11,6 +11,15 @@
 //  * per-graph **plan caches** (exec::PlanCache) give repeated queries
 //    RedisGraph's cached-plan fast path: parameterized variants of one
 //    query text skip lexer -> parser -> planner.
+//
+// Every client-facing operation is a row in the declarative command
+// table (server/command.hpp), exactly as RedisGraph registers its
+// commands with the Redis host: dispatch() is registry lookup + arity
+// and flag enforcement + per-command metrics, never per-command code.
+// The table drives locking (kWrite -> exclusive), WAL journaling
+// (kWrite commands journal through CommandCtx; nothing else can) and
+// the introspection surface (COMMAND, GRAPH.INFO commandstats,
+// GRAPH.SLOWLOG).
 //
 // This class is the in-process core: embedders (tests, benchmarks) call
 // submit()/execute() directly.  The TCP RESP front-end that real socket
@@ -25,16 +34,10 @@
 // so a crashed server comes back with every acknowledged write (modulo
 // the chosen fsync policy).
 //
-// Commands: GRAPH.QUERY, GRAPH.RO_QUERY, GRAPH.EXPLAIN, GRAPH.PROFILE,
-// GRAPH.BULK, GRAPH.DELETE, GRAPH.LIST, GRAPH.SAVE, GRAPH.RESTORE,
-// GRAPH.CONFIG, PING.
-//
-// GRAPH.BULK is the batched ingestion fast path: N nodes/edges arrive in
-// one frame, are validated up front, build GraphBLAS pending tuples
-// directly (no per-entity Cypher compile), and journal as ONE WAL frame:
-//
-//   GRAPH.BULK <key> [NODES <count> [<label>]]...
-//                    [EDGES <reltype> <count> <src> <dst> ...]...
+// Commands (see `COMMAND` or the README reference): GRAPH.QUERY,
+// GRAPH.RO_QUERY, GRAPH.EXPLAIN, GRAPH.PROFILE, GRAPH.BULK,
+// GRAPH.DELETE, GRAPH.LIST, GRAPH.SAVE, GRAPH.RESTORE, GRAPH.CONFIG,
+// GRAPH.INFO, GRAPH.SLOWLOG, COMMAND, PING.
 //
 // Query texts may carry a RedisGraph-style parameter header:
 //   "CYPHER name=1 handle='bob' MATCH (n {handle: $handle}) RETURN n"
@@ -43,6 +46,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <deque>
 #include <future>
 #include <map>
 #include <memory>
@@ -56,32 +60,11 @@
 #include "exec/result_set.hpp"
 #include "graph/graph.hpp"
 #include "persist/durability.hpp"
+#include "server/command.hpp"
 #include "server/resp.hpp"
 #include "util/thread_pool.hpp"
 
 namespace rg::server {
-
-/// A command reply: either an error, a status string, a payload string
-/// (EXPLAIN/PROFILE) or a full result set.
-struct Reply {
-  enum class Kind { kStatus, kError, kText, kResult };
-  Kind kind = Kind::kStatus;
-  std::string text;       // status / error / explain text
-  exec::ResultSet result;
-
-  bool ok() const { return kind != Kind::kError; }
-
-  /// RESP wire encoding.
-  std::string to_resp() const {
-    switch (kind) {
-      case Kind::kStatus: return resp_simple(text);
-      case Kind::kError: return resp_error(text);
-      case Kind::kText: return resp_bulk(text);
-      case Kind::kResult: return encode_result_set(result);
-    }
-    return resp_error("internal");
-  }
-};
 
 /// Durability settings passed at construction (the module's load-time
 /// configuration).  An empty data_dir disables the subsystem: the server
@@ -89,6 +72,46 @@ struct Reply {
 struct DurabilityConfig {
   std::string data_dir;
   persist::Options options;
+};
+
+/// One graph key's server-side state.  Commands hold it by shared_ptr
+/// (see CommandCtx::entry()), so GRAPH.DELETE/RESTORE can unlink an
+/// entry from the keyspace while stragglers finish safely — the entry
+/// dies with its last user.
+struct GraphEntry {
+  explicit GraphEntry(std::size_t cache_capacity)
+      : plan_cache(cache_capacity) {}
+  graph::Graph graph;
+  std::shared_mutex lock;
+  exec::PlanCache plan_cache;
+  /// LSN of the last journaled write applied to this graph (the
+  /// snapshot watermark); written under the exclusive lock, read for
+  /// snapshots under the shared lock.
+  std::uint64_t last_lsn = 0;
+  /// Set (before the unlink frame is journaled) when GRAPH.DELETE or
+  /// GRAPH.RESTORE removes this entry from the keyspace: a write
+  /// still holding the entry only touched a zombie graph and must
+  /// not journal (it would resurrect the key on replay).  Checked
+  /// atomically with the append via DurabilityManager::append_if.
+  std::atomic<bool> unlinked{false};
+};
+
+/// Dispatch-level metrics for one command (GRAPH.INFO commandstats).
+/// `calls` counts every dispatch, including arity/flag rejections;
+/// `errors` counts error replies of any kind.
+struct CommandStats {
+  std::uint64_t calls = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t usec_total = 0;  // cumulative handler latency
+  std::uint64_t usec_max = 0;    // worst single call
+};
+
+/// One slow-command record (GRAPH.SLOWLOG GET).
+struct SlowlogEntry {
+  std::uint64_t id = 0;       // monotonic, survives RESET like Redis
+  std::int64_t unix_time = 0; // seconds since epoch at completion
+  std::uint64_t usec = 0;     // handler latency
+  std::string command;        // argv joined, long args/tails truncated
 };
 
 class Server {
@@ -135,38 +158,40 @@ class Server {
   /// durability is off.  Blocks until the rewrite is committed.
   void force_snapshot();
 
- private:
-  struct GraphEntry {
-    explicit GraphEntry(std::size_t cache_capacity)
-        : plan_cache(cache_capacity) {}
-    graph::Graph graph;
-    std::shared_mutex lock;
-    exec::PlanCache plan_cache;
-    /// LSN of the last journaled write applied to this graph (the
-    /// snapshot watermark); written under the exclusive lock, read for
-    /// snapshots under the shared lock.
-    std::uint64_t last_lsn = 0;
-    /// Set (before the unlink frame is journaled) when GRAPH.DELETE or
-    /// GRAPH.RESTORE removes this entry from the keyspace: a write
-    /// still holding the entry only touched a zombie graph and must
-    /// not journal (it would resurrect the key on replay).  Checked
-    /// atomically with the append via DurabilityManager::append_if.
-    std::atomic<bool> unlinked{false};
-  };
+  // -- command observability (GRAPH.INFO / GRAPH.SLOWLOG back ends) ------
 
+  /// Snapshot of every registered command's dispatch metrics,
+  /// name-sorted.  Commands never dispatched report zeros.
+  std::vector<std::pair<const CommandSpec*, CommandStats>> command_stats()
+      const;
+
+  /// Newest-first slice of the slowlog (at most `count` entries;
+  /// SIZE_MAX = all retained entries).
+  std::vector<SlowlogEntry> slowlog_get(std::size_t count) const;
+  std::size_t slowlog_len() const;
+  void slowlog_reset();
+
+  /// Commands whose handler latency reaches the threshold are logged;
+  /// 0 logs everything, negative disables.  Runtime knob:
+  /// GRAPH.CONFIG GET/SET SLOWLOG_THRESHOLD_US.
+  std::int64_t slowlog_threshold_us() const {
+    return slowlog_threshold_us_.load(std::memory_order_relaxed);
+  }
+  void set_slowlog_threshold_us(std::int64_t us) {
+    slowlog_threshold_us_.store(us, std::memory_order_relaxed);
+  }
+
+  static constexpr std::size_t kSlowlogMaxLen = 128;
+  static constexpr std::int64_t kDefaultSlowlogThresholdUs = 10000;
+
+ private:
+  friend class CommandCtx;
+  friend struct CommandHandlers;
+
+  /// Registry lookup + arity/flag enforcement + metrics + slowlog.
+  /// Every command — built-in or registered later — takes this path;
+  /// there is deliberately no per-command branching here.
   Reply dispatch(const std::vector<std::string>& argv);
-  Reply cmd_query(const std::string& key, const std::string& raw,
-                  bool read_only_cmd, bool profile);
-  Reply cmd_bulk(const std::vector<std::string>& argv);
-  Reply cmd_explain(const std::string& key, const std::string& text);
-  Reply cmd_delete(const std::string& key);
-  Reply cmd_list();
-  Reply cmd_save(const std::string& key, const std::string& path);
-  Reply cmd_restore(const std::string& key, const std::string& path);
-  /// Replay-only: install a graph from serialized bytes carried by a
-  /// GRAPH.RESTORE.PAYLOAD journal frame.
-  Reply cmd_restore_payload(const std::string& key, const std::string& bytes);
-  Reply cmd_config(const std::vector<std::string>& argv);
 
   /// Shared ownership: a command holds the returned pointer for its whole
   /// execution, so GRAPH.DELETE/RESTORE can unlink an entry from the
@@ -177,6 +202,20 @@ class Server {
   /// Fold a dying entry's cache counters into retired_counters_ so the
   /// CONFIG GET aggregate stays monotonic across GRAPH.DELETE/RESTORE.
   void retire_counters_locked(const GraphEntry& entry);
+
+  // -- metrics / slowlog -------------------------------------------------
+  struct StatSlot {
+    std::atomic<std::uint64_t> calls{0};
+    std::atomic<std::uint64_t> errors{0};
+    std::atomic<std::uint64_t> usec_total{0};
+    std::atomic<std::uint64_t> usec_max{0};
+  };
+  /// Slot for a registry index; commands registered after this server
+  /// was constructed overflow into a lazily-grown side map.
+  StatSlot& stat_slot(std::size_t index);
+  const StatSlot* find_stat_slot(std::size_t index) const;
+  void record_dispatch(StatSlot& slot, const std::vector<std::string>& argv,
+                       bool error, std::uint64_t usec);
 
   // -- durability --------------------------------------------------------
   /// Load snapshots + replay the WAL (constructor path, single-threaded).
@@ -192,6 +231,18 @@ class Server {
   std::map<std::string, std::shared_ptr<GraphEntry>> keyspace_;
   std::size_t plan_cache_capacity_ = exec::PlanCache::kDefaultCapacity;
   exec::PlanCache::Counters retired_counters_;
+
+  // Fixed slots for every command registered at construction time;
+  // later registrations (tests, embedders) go through extra_stats_.
+  std::unique_ptr<StatSlot[]> stats_;
+  std::size_t stats_size_ = 0;
+  mutable std::mutex extra_stats_mu_;
+  std::map<std::size_t, std::unique_ptr<StatSlot>> extra_stats_;
+
+  mutable std::mutex slowlog_mu_;
+  std::deque<SlowlogEntry> slowlog_;  // front = newest
+  std::uint64_t slowlog_next_id_ = 0;
+  std::atomic<std::int64_t> slowlog_threshold_us_{kDefaultSlowlogThresholdUs};
 
   // Declared before workers_ so the pool (whose queued commands may
   // still journal) is destroyed first on shutdown.

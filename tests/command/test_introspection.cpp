@@ -1,0 +1,249 @@
+// Server-level introspection surface generated from the command table:
+// COMMAND / COMMAND COUNT / COMMAND DOCS, GRAPH.INFO (commandstats +
+// plan-cache/WAL/GB_THREADS counters) and GRAPH.SLOWLOG GET/RESET/LEN
+// with the SLOWLOG_THRESHOLD_US knob.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "server/command.hpp"
+#include "server/server.hpp"
+
+namespace rg::server {
+namespace {
+
+class IntrospectionFixture : public ::testing::Test {
+ protected:
+  IntrospectionFixture() : srv_(2) {}
+
+  /// Find a [name, value] row; returns true and fills `value` when
+  /// present.
+  static bool find_row(const Reply& r, const std::string& name,
+                       std::string* value) {
+    for (const auto& row : r.result.rows) {
+      if (row[0].as_string() == name) {
+        if (value)
+          *value = row[1].is_string() ? row[1].as_string()
+                                      : row[1].to_string();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// "calls=3,errors=1,..." -> 3 (the numeric field after `field=`).
+  static std::int64_t stat_field(const std::string& s,
+                                 const std::string& field) {
+    const auto pos = s.find(field + "=");
+    EXPECT_NE(pos, std::string::npos) << field << " in " << s;
+    if (pos == std::string::npos) return -1;
+    return std::stoll(s.substr(pos + field.size() + 1));
+  }
+
+  Server srv_;
+};
+
+// --- COMMAND ---------------------------------------------------------------
+
+TEST_F(IntrospectionFixture, CommandListsTheWholeTable) {
+  const auto r = srv_.execute({"COMMAND"});
+  ASSERT_TRUE(r.ok()) << r.text;
+  EXPECT_EQ(r.result.columns,
+            (std::vector<std::string>{"name", "arity", "flags", "summary"}));
+  EXPECT_GE(r.result.row_count(), 12u);
+  bool saw_query = false;
+  for (const auto& row : r.result.rows) {
+    if (row[0].as_string() == "graph.query") {
+      saw_query = true;
+      EXPECT_EQ(row[1].as_string(), "3");
+      EXPECT_NE(row[2].as_string().find("write"), std::string::npos);
+      EXPECT_FALSE(row[3].as_string().empty());
+    }
+  }
+  EXPECT_TRUE(saw_query);
+}
+
+TEST_F(IntrospectionFixture, CommandCountMatchesRegistry) {
+  const auto r = srv_.execute({"COMMAND", "COUNT"});
+  ASSERT_TRUE(r.ok()) << r.text;
+  const auto count = r.result.rows[0][0].as_int();
+  EXPECT_GE(count, 12);
+  EXPECT_EQ(count,
+            static_cast<std::int64_t>(CommandRegistry::instance().size()));
+}
+
+TEST_F(IntrospectionFixture, CommandDocsFiltersByName) {
+  const auto r = srv_.execute({"COMMAND", "DOCS", "GRAPH.SLOWLOG"});
+  ASSERT_TRUE(r.ok()) << r.text;
+  ASSERT_EQ(r.result.row_count(), 1u);
+  EXPECT_EQ(r.result.rows[0][0].as_string(), "graph.slowlog");
+  EXPECT_FALSE(r.result.rows[0][3].as_string().empty());
+  // Unknown names are skipped (Redis behavior), not an error.
+  const auto none = srv_.execute({"COMMAND", "DOCS", "NO.SUCH"});
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(none.result.row_count(), 0u);
+  // INFO is an alias over the same table.
+  const auto info = srv_.execute({"COMMAND", "INFO", "PING", "GRAPH.LIST"});
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.result.row_count(), 2u);
+}
+
+TEST_F(IntrospectionFixture, CommandUnknownSubcommandErrors) {
+  const auto r = srv_.execute({"COMMAND", "GETKEYS"});
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.text.find("GETKEYS"), std::string::npos);
+}
+
+// --- GRAPH.INFO ------------------------------------------------------------
+
+TEST_F(IntrospectionFixture, InfoReportsCommandstatsAfterWorkload) {
+  srv_.execute({"GRAPH.QUERY", "g", "CREATE (:P)"});
+  srv_.execute({"GRAPH.QUERY", "g", "MATCH (n) RETURN count(*)"});
+  srv_.execute({"GRAPH.RO_QUERY", "g", "MATCH (n) RETURN count(*)"});
+  srv_.execute({"PING"});
+
+  const auto r = srv_.execute({"GRAPH.INFO"});
+  ASSERT_TRUE(r.ok()) << r.text;
+  std::string v;
+  ASSERT_TRUE(find_row(r, "cmdstat_graph.query", &v)) << "no commandstats";
+  EXPECT_EQ(stat_field(v, "calls"), 2);
+  EXPECT_EQ(stat_field(v, "errors"), 0);
+  EXPECT_GE(stat_field(v, "usec"), stat_field(v, "usec_max"));
+  ASSERT_TRUE(find_row(r, "cmdstat_graph.ro_query", &v));
+  EXPECT_EQ(stat_field(v, "calls"), 1);
+  ASSERT_TRUE(find_row(r, "cmdstat_ping", &v));
+  // The one-reply sections ride along.
+  EXPECT_TRUE(find_row(r, "THREAD_COUNT", nullptr));
+  EXPECT_TRUE(find_row(r, "GB_THREADS", nullptr));
+  EXPECT_TRUE(find_row(r, "PLAN_CACHE_HITS", nullptr));
+  EXPECT_TRUE(find_row(r, "DURABILITY", &v));
+  EXPECT_EQ(v, "off");
+  EXPECT_TRUE(find_row(r, "SLOWLOG_THRESHOLD_US", nullptr));
+}
+
+TEST_F(IntrospectionFixture, InfoCountsErrors) {
+  srv_.execute({"GRAPH.QUERY", "g", "MATCH (n RETURN n"});  // syntax error
+  const auto r = srv_.execute({"GRAPH.INFO", "commandstats"});
+  ASSERT_TRUE(r.ok()) << r.text;
+  std::string v;
+  ASSERT_TRUE(find_row(r, "cmdstat_graph.query", &v));
+  EXPECT_EQ(stat_field(v, "errors"), 1);
+}
+
+TEST_F(IntrospectionFixture, InfoSectionFilter) {
+  srv_.execute({"PING"});
+  const auto r = srv_.execute({"GRAPH.INFO", "commandstats"});
+  ASSERT_TRUE(r.ok()) << r.text;
+  for (const auto& row : r.result.rows)
+    EXPECT_EQ(row[0].as_string().rfind("cmdstat_", 0), 0u)
+        << row[0].as_string();
+  EXPECT_FALSE(find_row(r, "THREAD_COUNT", nullptr));
+
+  const auto server_only = srv_.execute({"GRAPH.INFO", "server"});
+  ASSERT_TRUE(server_only.ok());
+  EXPECT_TRUE(find_row(server_only, "GRAPH_COUNT", nullptr));
+  EXPECT_FALSE(find_row(server_only, "PLAN_CACHE_HITS", nullptr));
+
+  const auto bad = srv_.execute({"GRAPH.INFO", "nope"});
+  EXPECT_FALSE(bad.ok());
+  EXPECT_NE(bad.text.find("nope"), std::string::npos);
+}
+
+// --- GRAPH.SLOWLOG ---------------------------------------------------------
+
+class SlowlogFixture : public IntrospectionFixture {
+ protected:
+  std::int64_t len() {
+    const auto r = srv_.execute({"GRAPH.SLOWLOG", "LEN"});
+    EXPECT_TRUE(r.ok()) << r.text;
+    return r.result.rows[0][0].as_int();
+  }
+};
+
+TEST_F(SlowlogFixture, ThresholdZeroLogsEverything) {
+  ASSERT_TRUE(
+      srv_.execute({"GRAPH.CONFIG", "SET", "SLOWLOG_THRESHOLD_US", "0"})
+          .ok());
+  srv_.execute({"GRAPH.QUERY", "g", "CREATE (:P {v: 1})"});
+  srv_.execute({"GRAPH.QUERY", "g", "MATCH (n) RETURN count(*)"});
+  EXPECT_GE(len(), 2);
+
+  const auto r = srv_.execute({"GRAPH.SLOWLOG", "GET"});
+  ASSERT_TRUE(r.ok()) << r.text;
+  EXPECT_EQ(r.result.columns,
+            (std::vector<std::string>{"id", "timestamp", "usec", "command"}));
+  ASSERT_GE(r.result.row_count(), 2u);
+  // Newest first; ids are monotonic.
+  EXPECT_GT(r.result.rows[0][0].as_int(), r.result.rows[1][0].as_int());
+  EXPECT_GT(r.result.rows[0][1].as_int(), 0);
+  // The logged text carries the argv (GRAPH.SLOWLOG GET itself is not
+  // yet in this snapshot — it was taken before the command finished).
+  bool saw_query = false;
+  for (const auto& row : r.result.rows)
+    saw_query = saw_query ||
+                row[3].as_string().find("GRAPH.QUERY g") != std::string::npos;
+  EXPECT_TRUE(saw_query);
+}
+
+TEST_F(SlowlogFixture, GetCountLimitsAndResetClears) {
+  ASSERT_TRUE(
+      srv_.execute({"GRAPH.CONFIG", "SET", "SLOWLOG_THRESHOLD_US", "0"})
+          .ok());
+  for (int i = 0; i < 5; ++i) srv_.execute({"PING"});
+  EXPECT_GE(len(), 5);
+  const auto one = srv_.execute({"GRAPH.SLOWLOG", "GET", "1"});
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(one.result.row_count(), 1u);
+  ASSERT_TRUE(srv_.execute({"GRAPH.SLOWLOG", "RESET"}).ok());
+  // Only the RESET itself (logged at threshold 0) may be present.
+  EXPECT_LE(len(), 1);
+  // Malformed count is a typed-extractor error.
+  EXPECT_FALSE(srv_.execute({"GRAPH.SLOWLOG", "GET", "-1"}).ok());
+  EXPECT_FALSE(srv_.execute({"GRAPH.SLOWLOG", "NOPE"}).ok());
+}
+
+TEST_F(SlowlogFixture, NegativeThresholdDisablesAndDefaultIsTenMs) {
+  const auto get = srv_.execute(
+      {"GRAPH.CONFIG", "GET", "SLOWLOG_THRESHOLD_US"});
+  ASSERT_TRUE(get.ok());
+  EXPECT_EQ(get.result.rows[0][1].as_int(),
+            Server::kDefaultSlowlogThresholdUs);
+
+  ASSERT_TRUE(
+      srv_.execute({"GRAPH.CONFIG", "SET", "SLOWLOG_THRESHOLD_US", "-1"})
+          .ok());
+  for (int i = 0; i < 10; ++i) srv_.execute({"PING"});
+  EXPECT_EQ(len(), 0);
+  EXPECT_FALSE(
+      srv_.execute({"GRAPH.CONFIG", "SET", "SLOWLOG_THRESHOLD_US", "abc"})
+          .ok());
+  // The knob shows up in GRAPH.CONFIG GET *.
+  const auto star = srv_.execute({"GRAPH.CONFIG", "GET", "*"});
+  ASSERT_TRUE(star.ok());
+  bool found = false;
+  for (const auto& row : star.result.rows)
+    found = found || row[0].as_string() == "SLOWLOG_THRESHOLD_US";
+  EXPECT_TRUE(found);
+}
+
+TEST_F(SlowlogFixture, EntriesAreBoundedAndTruncated) {
+  ASSERT_TRUE(
+      srv_.execute({"GRAPH.CONFIG", "SET", "SLOWLOG_THRESHOLD_US", "0"})
+          .ok());
+  // More commands than the retention cap...
+  for (std::size_t i = 0; i < Server::kSlowlogMaxLen + 40; ++i)
+    srv_.execute({"PING"});
+  EXPECT_EQ(len(), static_cast<std::int64_t>(Server::kSlowlogMaxLen));
+  // ... and a long-argv command is stored truncated.
+  srv_.execute({"GRAPH.QUERY", "g",
+                "CREATE (:P {text: '" + std::string(200, 'x') + "'})"});
+  const auto r = srv_.execute({"GRAPH.SLOWLOG", "GET", "1"});
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.result.row_count(), 1u);
+  const std::string& cmd = r.result.rows[0][3].as_string();
+  EXPECT_LT(cmd.size(), 200u);
+  EXPECT_NE(cmd.find("..."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rg::server

@@ -146,6 +146,36 @@ TEST_F(NetServerFixture, UnknownCommandGetsErrorReply) {
   EXPECT_TRUE(c.read_reply().is_error());
 }
 
+TEST_F(NetServerFixture, CrlfInEchoedArgCannotSplitTheErrorReply) {
+  // A bulk argument is length-prefixed, so it may legally contain CRLF;
+  // echoing it raw into the -ERR line would terminate the error early
+  // and desynchronize the reply stream ('+OK' parsed as a fresh reply).
+  Client c(net_.port());
+  c.send({"NOCMD66", "x\r\n+OK"});
+  const auto err = c.read_reply();
+  ASSERT_TRUE(err.is_error());
+  EXPECT_EQ(err.text.find('\n'), std::string::npos);
+  EXPECT_NE(err.text.find("x  +OK"), std::string::npos) << err.text;
+  // The very next reply is the PONG, not a smuggled '+OK'.
+  c.send({"PING"});
+  EXPECT_EQ(c.read_reply().text, "PONG");
+}
+
+TEST_F(NetServerFixture, UnknownCommandErrorEchoesArgsOverTheWire) {
+  // Same bytes as the c13_unknown_command.resp fuzz seed; the Redis
+  // format names the command and the leading arguments.
+  Client c(net_.port());
+  c.send({"NOCMD66", "foo", "bar"});
+  const auto err = c.read_reply();
+  ASSERT_TRUE(err.is_error());
+  EXPECT_EQ(err.text,
+            "ERR unknown command 'NOCMD66', with args beginning with: "
+            "'foo', 'bar', ");
+  // Same connection keeps working.
+  c.send({"PING"});
+  EXPECT_EQ(c.read_reply().text, "PONG");
+}
+
 TEST_F(NetServerFixture, ManyConcurrentConnections) {
   // Seed, then hammer from several client threads concurrently.
   Client seed(net_.port());

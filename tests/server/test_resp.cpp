@@ -8,6 +8,9 @@ namespace {
 TEST(Resp, SimpleErrorIntegerBulk) {
   EXPECT_EQ(resp_simple("OK"), "+OK\r\n");
   EXPECT_EQ(resp_error("bad"), "-ERR bad\r\n");
+  // Error texts may echo client bytes; embedded newlines must not
+  // produce a second protocol line (reply-stream injection).
+  EXPECT_EQ(resp_error("a\r\n+OK\nb"), "-ERR a  +OK b\r\n");
   EXPECT_EQ(resp_integer(42), ":42\r\n");
   EXPECT_EQ(resp_integer(-1), ":-1\r\n");
   EXPECT_EQ(resp_bulk("hey"), "$3\r\nhey\r\n");
