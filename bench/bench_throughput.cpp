@@ -206,7 +206,8 @@ int main(int argc, char** argv) {
     for (auto& t : threads) t.join();
     const double secs = sw.seconds();
     std::printf("  reads: %zu (%.1f/s)  writes: %zu (%.1f/s)\n", reads.load(),
-                reads / secs, writes.load(), writes / secs);
+                static_cast<double>(reads.load()) / secs, writes.load(),
+                static_cast<double>(writes.load()) / secs);
   }
 
   // Dispatch overhead: the cheapest commands in the table, closed-loop

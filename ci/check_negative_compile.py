@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Negative-compilation harness for the thread-safety annotations.
+
+Each tests/static_analysis/*.cpp is compiled with
+`-fsyntax-only -Wthread-safety -Werror=thread-safety`:
+
+  * `fail_*.cpp` must NOT compile, and the diagnostic must be a
+    -Wthread-safety* one — these prove the annotations in util/sync.hpp
+    actually reject broken locking.  If a fail case starts compiling,
+    someone disabled the capability attributes (e.g. broke the
+    __has_attribute gate) and the whole analysis is silently off: this
+    is the revert-proof guard for the -Werror=thread-safety CI lane.
+  * `pass_*.cpp` must compile clean — the positive control proving the
+    harness isn't rejecting valid code.
+
+Clang only: the RG_* macros expand to nothing elsewhere, so under GCC
+every case would "compile" and the harness would prove nothing.  The
+ctest registration gates on CMAKE_CXX_COMPILER_ID MATCHES Clang.
+
+Usage:
+  check_negative_compile.py --compiler clang++ --include src \
+      --cases tests/static_analysis
+"""
+
+import argparse
+import pathlib
+import subprocess
+import sys
+
+FLAGS = ["-std=c++20", "-fsyntax-only", "-Wthread-safety",
+         "-Werror=thread-safety"]
+
+
+def compile_case(compiler, include, path):
+    """(ok, stderr) for one translation unit."""
+    cmd = [compiler] + FLAGS + ["-I", include, str(path)]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    return proc.returncode == 0, proc.stderr
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--compiler", required=True, help="clang++ to use")
+    ap.add_argument("--include", required=True, help="src/ include root")
+    ap.add_argument("--cases", required=True,
+                    help="directory of fail_*.cpp / pass_*.cpp cases")
+    args = ap.parse_args()
+
+    cases = sorted(pathlib.Path(args.cases).glob("*.cpp"))
+    if not cases:
+        sys.exit(f"{args.cases}: no *.cpp cases found")
+
+    failures = 0
+    for path in cases:
+        ok, stderr = compile_case(args.compiler, args.include, path)
+        expect_fail = path.name.startswith("fail_")
+        if expect_fail and ok:
+            print(f"FAIL {path.name}: compiled, but must be rejected — "
+                  f"the thread-safety annotations are not firing",
+                  file=sys.stderr)
+            failures += 1
+        elif expect_fail and "thread-safety" not in stderr:
+            print(f"FAIL {path.name}: rejected, but not by "
+                  f"-Wthread-safety:\n{stderr}", file=sys.stderr)
+            failures += 1
+        elif not expect_fail and not ok:
+            print(f"FAIL {path.name}: positive control must compile "
+                  f"clean:\n{stderr}", file=sys.stderr)
+            failures += 1
+        else:
+            verdict = "rejected (as required)" if expect_fail else "clean"
+            print(f"ok   {path.name}: {verdict}")
+
+    if failures:
+        print(f"{failures} case(s) failed", file=sys.stderr)
+        return 1
+    print(f"negative-compile harness: {len(cases)} cases pass")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

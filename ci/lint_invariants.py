@@ -1,0 +1,480 @@
+#!/usr/bin/env python3
+"""Project invariant linter: concurrency/durability rules the compiler
+cannot see.  Runs over src/ as a CI gate next to the command-docs drift
+gate, and as a ctest (`ctest -R lint`).
+
+Rules
+-----
+raw-mutex       No raw std synchronization primitive (std::mutex,
+                std::shared_mutex, std::lock_guard, std::scoped_lock,
+                std::condition_variable[_any]) or its header outside
+                util/sync.hpp: everything locks through the annotated
+                rg::util wrappers so Clang Thread Safety Analysis sees
+                it.  The std::shared_lock/std::unique_lock ADAPTERS are
+                deliberately not banned — they are the documented
+                escape hatch (CommandCtx::shared_lock/exclusive_lock)
+                for registry-added commands outside the analyzed tree.
+
+write-journals  Every built-in CommandSpec carrying kWrite journals
+                (calls ctx.journal / ctx.journal_batch in its handler
+                or a CommandHandlers helper it calls), EXCEPT kInternal
+                replay frames, which by definition re-apply an already
+                journaled write.  Conversely no kReadOnly handler body
+                journals or mutates the DurabilityManager (append*/
+                set_*): durability decisions live in the table, not in
+                handler code.  The read-only check is direct-body only:
+                shared helpers like run_query are flag-gated at runtime
+                (journal() throws without kWrite).
+
+io-under-lock   No blocking file I/O (fsync/fdatasync, snapshot
+                save/load, atomic_write_file, fstream construction)
+                inside a scope holding a GRAPH lock (a util:: guard on
+                keyspace_mu_ or a GraphEntry `.lock`/`->lock`): a write
+                stall on one graph must never become a keyspace-wide or
+                reader-visible stall.  The WAL's own mutex is exempt —
+                fsync-under-WAL-lock is that lock's entire job.
+
+wal-frames      The WAL frame-type names and the command registry stay
+                in sync: every string literal journaled as a frame name
+                must be a registered built-in carrying kWrite (replay
+                dispatches frames through the same table), and every
+                kInternal spec (replay-only frame type) must be emitted
+                by some journal call site — an unreferenced internal
+                frame type is dead protocol.
+
+Suppressions: `// lint:allow(<rule>): <reason>` either inline on the
+offending line, or — for io-under-lock — on a comment line immediately
+above the guard construction, which then covers that guard's scope.
+
+Usage:
+  lint_invariants.py [--root REPO_ROOT]   # lint src/
+  lint_invariants.py --self-test          # prove every rule fires
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+# --------------------------------------------------------------------------
+# Shared helpers
+# --------------------------------------------------------------------------
+
+ALLOW_RE = re.compile(r"//\s*lint:allow\(([a-z-]+)\)")
+
+
+def allowed(line, rule):
+    """True when `line` carries an inline lint:allow for `rule`."""
+    m = ALLOW_RE.search(line)
+    return bool(m) and m.group(1) == rule
+
+
+def strip_comments(text):
+    """Blank out // and /* */ comments and string literals, preserving
+    line structure, so rules never match inside them."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j < 0 else j
+            out.append("".join(ch if ch == "\n" else " "
+                               for ch in text[i:j + 2]))
+            i = j + 2
+        elif c in "\"'":
+            q, j = c, i + 1
+            while j < n and text[j] != q:
+                j += 2 if text[j] == "\\" else 1
+            out.append(q + " " * (j - i - 1) + q)
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def body_of(text, decl_re):
+    """The brace-balanced body following the first match of decl_re."""
+    m = decl_re.search(text)
+    if not m:
+        return None
+    i = text.find("{", m.end())
+    if i < 0:
+        return None
+    depth, j = 1, i + 1
+    while j < len(text) and depth:
+        depth += {"{": 1, "}": -1}.get(text[j], 0)
+        j += 1
+    return text[i + 1:j - 1]
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path, self.line, self.rule, self.message = \
+            path, line, rule, message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+# --------------------------------------------------------------------------
+# Rule: raw-mutex
+# --------------------------------------------------------------------------
+
+RAW_MUTEX_RE = re.compile(
+    r"\bstd::(mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"recursive_timed_mutex|shared_timed_mutex|lock_guard|scoped_lock|"
+    r"condition_variable(?:_any)?)\b"
+    r"|#\s*include\s*<(mutex|shared_mutex|condition_variable)>")
+
+
+def check_raw_mutex(path, text):
+    if path.replace("\\", "/").endswith("util/sync.hpp"):
+        return []
+    findings = []
+    stripped = strip_comments(text)
+    for lineno, (line, raw) in enumerate(
+            zip(stripped.splitlines(), text.splitlines()), 1):
+        m = RAW_MUTEX_RE.search(line)
+        if not m or allowed(raw, "raw-mutex"):
+            continue
+        what = m.group(0).strip()
+        findings.append(Finding(
+            path, lineno, "raw-mutex",
+            f"raw std synchronization primitive `{what}` outside "
+            f"util/sync.hpp; use the annotated rg::util wrappers"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule: write-journals (+ read-only purity)  and  wal-frames
+# Both parse the builtins table in server/command.cpp.
+# --------------------------------------------------------------------------
+
+BUILTIN_RE = re.compile(
+    r'\{"([A-Z][A-Z0-9._]*)",\s*-?\d+,\s*-?\d+,\s*([\w \t|]+?),'
+    r"[^{}]*?&H::(\w+)\}", re.S)
+JOURNAL_CALL_RE = re.compile(r"\bjournal(?:_batch)?\s*\(")
+JOURNAL_FRAME_RE = re.compile(r'\bjournal(?:_batch)?\s*\(\s*\{\s*"([^"]+)"')
+DURABILITY_MUT_RE = re.compile(
+    r"durability_\s*->\s*(append\w*|set_\w+)\s*\(")
+
+
+def parse_builtins(text):
+    """[(name, flags:set, handler)] from the CommandSpec builtins table."""
+    table = body_of(text, re.compile(r"CommandSpec\s+builtins\s*\[\]\s*="))
+    if table is None:
+        return []
+    return [(m.group(1), {f.strip() for f in m.group(2).split("|")},
+             m.group(3)) for m in BUILTIN_RE.finditer(table)]
+
+
+def handler_body(text, name):
+    return body_of(text, re.compile(
+        r"Reply\s+CommandHandlers::" + re.escape(name) + r"\s*\("))
+
+
+def check_write_journals(path, text):
+    builtins = parse_builtins(text)
+    if not builtins:
+        return []  # not the command table translation unit
+    findings = []
+    helper_names = {h for _, _, h in builtins}
+    for name, flags, handler in builtins:
+        body = handler_body(text, name if False else handler)
+        if body is None:
+            findings.append(Finding(path, 1, "write-journals",
+                                    f"handler `{handler}` for {name} not "
+                                    f"found in this file"))
+            continue
+        # One level of CommandHandlers helper following (run_query etc.).
+        reach = body
+        for callee in re.findall(r"\b(\w+)\s*\(", body):
+            if callee not in helper_names and callee != handler:
+                helper = handler_body(text, callee)
+                if helper is not None:
+                    reach += helper
+        if "kWrite" in flags and "kInternal" not in flags:
+            if not JOURNAL_CALL_RE.search(reach):
+                findings.append(Finding(
+                    path, 1, "write-journals",
+                    f"{name} carries kWrite but neither `{handler}` nor "
+                    f"its helpers journal: an acknowledged write would "
+                    f"be lost on crash"))
+        if "kReadOnly" in flags:
+            m = JOURNAL_CALL_RE.search(body) or DURABILITY_MUT_RE.search(body)
+            if m:
+                findings.append(Finding(
+                    path, 1, "write-journals",
+                    f"{name} carries kReadOnly but `{handler}` journals "
+                    f"or mutates the DurabilityManager"))
+    return findings
+
+
+def check_wal_frames(path, text):
+    builtins = parse_builtins(text)
+    if not builtins:
+        return []
+    findings = []
+    by_name = {name: flags for name, flags, _ in builtins}
+    emitted = set(JOURNAL_FRAME_RE.findall(text))
+    for frame in sorted(emitted):
+        flags = by_name.get(frame)
+        if flags is None:
+            findings.append(Finding(
+                path, 1, "wal-frames",
+                f"journaled frame type `{frame}` is not a registered "
+                f"built-in: replay would reject it as unknown"))
+        elif "kWrite" not in flags:
+            findings.append(Finding(
+                path, 1, "wal-frames",
+                f"journaled frame type `{frame}` is not kWrite: replay "
+                f"dispatch would refuse to apply it"))
+    for name, flags, _ in builtins:
+        if "kInternal" in flags and name not in emitted:
+            findings.append(Finding(
+                path, 1, "wal-frames",
+                f"kInternal frame type `{name}` is never journaled: "
+                f"dead replay protocol"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule: io-under-lock
+# --------------------------------------------------------------------------
+
+GUARD_RE = re.compile(
+    r"util::(?:MutexLock|SharedLock|WriteLock|DualMutexLock)\s+\w+\s*"
+    r"\(([^;]*)\)\s*;")
+GRAPH_LOCK_ARG_RE = re.compile(r"keyspace_mu_|(?:\.|->)\s*lock\b")
+BLOCKING_IO_RE = re.compile(
+    r"\b(fsync|fdatasync|save_graph_file|load_graph_file|"
+    r"atomic_write_file|read_file|std::[io]?fstream|std::ofstream|"
+    r"std::ifstream)\b")
+
+
+def check_io_under_lock(path, text):
+    findings = []
+    stripped = strip_comments(text)
+    lines = stripped.splitlines()
+    raw_lines = text.splitlines()
+    for lineno, line in enumerate(lines, 1):
+        m = GUARD_RE.search(line)
+        if not m or not GRAPH_LOCK_ARG_RE.search(m.group(1)):
+            continue
+        # lint:allow(io-under-lock) on the comment line(s) immediately
+        # above the guard covers the whole guarded scope.
+        k = lineno - 2
+        covered = False
+        while k >= 0 and raw_lines[k].lstrip().startswith("//"):
+            if allowed(raw_lines[k], "io-under-lock"):
+                covered = True
+            k -= 1
+        if covered:
+            continue
+        # Scope: from the guard to the close of its enclosing block.
+        depth = 0
+        for j in range(lineno - 1, len(lines)):
+            seg = lines[j] if j > lineno - 1 else lines[j][m.end():]
+            for ch in seg:
+                if ch == "{":
+                    depth += 1
+                elif ch == "}":
+                    depth -= 1
+            if j > lineno - 1:
+                io = BLOCKING_IO_RE.search(lines[j])
+                if io and not allowed(raw_lines[j], "io-under-lock"):
+                    findings.append(Finding(
+                        path, j + 1, "io-under-lock",
+                        f"blocking I/O `{io.group(1)}` while holding the "
+                        f"graph lock taken at line {lineno}"))
+            if depth < 0:
+                break
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+RULES = [check_raw_mutex, check_write_journals, check_wal_frames,
+         check_io_under_lock]
+
+
+def lint_tree(root):
+    src = pathlib.Path(root) / "src"
+    findings = []
+    for path in sorted(src.rglob("*.[ch]pp")):
+        text = path.read_text()
+        rel = path.relative_to(root).as_posix()
+        for rule in RULES:
+            findings.extend(rule(rel, text))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Self-test: every rule must fire on a seeded violation and stay quiet
+# on the equivalent clean code.
+# --------------------------------------------------------------------------
+
+SELF_TESTS = [
+    # (rule fn, expected rule name or None for clean, source text)
+    (check_raw_mutex, "raw-mutex",
+     "#include <mutex>\nstd::mutex mu_;\n"),
+    (check_raw_mutex, "raw-mutex",
+     "std::lock_guard lk(mu_);\n"),
+    (check_raw_mutex, "raw-mutex",
+     "std::condition_variable_any cv_;\n"),
+    (check_raw_mutex, None,
+     "#include <shared_mutex>  // lint:allow(raw-mutex): adapters\n"
+     "util::Mutex mu_;\nstd::shared_lock<util::SharedMutex> lk;\n"),
+    (check_raw_mutex, None,
+     "// std::mutex only in a comment\nconst char* s = \"std::mutex\";\n"),
+
+    (check_write_journals, "write-journals", """
+      const CommandSpec builtins[] = {
+          {"GRAPH.EVIL", 2, 2, kWrite | kGraphKeyed, "x", &H::evil},
+      };
+      Reply CommandHandlers::evil(CommandCtx& ctx) { return ok(); }
+    """),
+    (check_write_journals, "write-journals", """
+      const CommandSpec builtins[] = {
+          {"GRAPH.PEEK", 2, 2, kReadOnly, "x", &H::peek},
+      };
+      Reply CommandHandlers::peek(CommandCtx& ctx) {
+        ctx.server().durability_->set_wal_max_bytes(1);
+        return ok();
+      }
+    """),
+    (check_write_journals, None, """
+      const CommandSpec builtins[] = {
+          {"GRAPH.GOOD", 2, 2, kWrite | kGraphKeyed, "x", &H::good},
+          {"GRAPH.VIEW", 2, 2, kReadOnly, "x", &H::view},
+          {"GRAPH.G.P", 2, 2, kWrite | kInternal, "x", &H::gp},
+      };
+      Reply CommandHandlers::good(CommandCtx& ctx) { return helper(ctx); }
+      Reply CommandHandlers::helper(CommandCtx& ctx) {
+        ctx.journal({"GRAPH.G.P", ctx.key()});
+        return ok();
+      }
+      Reply CommandHandlers::view(CommandCtx& ctx) { return ok(); }
+      Reply CommandHandlers::gp(CommandCtx& ctx) { return ok(); }
+    """),
+
+    (check_wal_frames, "wal-frames", """
+      const CommandSpec builtins[] = {
+          {"GRAPH.SET", 2, 2, kWrite, "x", &H::set},
+      };
+      Reply CommandHandlers::set(CommandCtx& ctx) {
+        ctx.journal({"GRAPH.TYPO", ctx.key()});
+        return ok();
+      }
+    """),
+    (check_wal_frames, "wal-frames", """
+      const CommandSpec builtins[] = {
+          {"GRAPH.SET", 2, 2, kWrite, "x", &H::set},
+          {"GRAPH.DEAD.FRAME", 2, 2, kWrite | kInternal, "x", &H::dead},
+      };
+      Reply CommandHandlers::set(CommandCtx& ctx) {
+        ctx.journal({"GRAPH.SET", ctx.key()});
+        return ok();
+      }
+      Reply CommandHandlers::dead(CommandCtx& ctx) { return ok(); }
+    """),
+    (check_wal_frames, None, """
+      const CommandSpec builtins[] = {
+          {"GRAPH.SET", 2, 2, kWrite, "x", &H::set},
+      };
+      Reply CommandHandlers::set(CommandCtx& ctx) {
+        ctx.journal({"GRAPH.SET", ctx.key()});
+        return ok();
+      }
+    """),
+
+    (check_io_under_lock, "io-under-lock", """
+      void f(GraphEntry& e) {
+        util::SharedLock lk(e.lock);
+        graph::save_graph_file(e.graph, path);
+      }
+    """),
+    (check_io_under_lock, "io-under-lock", """
+      void f(Server& srv) {
+        util::MutexLock lk(srv.keyspace_mu_);
+        ::fdatasync(fd);
+      }
+    """),
+    (check_io_under_lock, None, """
+      void f(GraphEntry& e) {
+        {
+          util::SharedLock lk(e.lock);
+          e.graph.flush();
+        }
+        graph::save_graph_file(e.graph, path);  // lock dropped above
+      }
+    """),
+    (check_io_under_lock, None, """
+      void f(GraphEntry& e) {
+        // lint:allow(io-under-lock): snapshot protocol
+        util::SharedLock lk(e.lock);
+        graph::save_graph_file(e.graph, path);
+      }
+    """),
+    (check_io_under_lock, None, """
+      void f(WalWriter& w) {
+        util::MutexLock lk(mu_);   // the WAL's own mutex: exempt
+        ::fdatasync(fd_);
+      }
+    """),
+]
+
+
+def self_test():
+    failures = 0
+    for i, (rule, expect, text) in enumerate(SELF_TESTS):
+        found = rule("selftest.cpp", text)
+        if expect is None and found:
+            print(f"self-test {i} ({rule.__name__}): expected clean, got:"
+                  f" {found[0]}", file=sys.stderr)
+            failures += 1
+        elif expect is not None and not any(f.rule == expect for f in found):
+            print(f"self-test {i} ({rule.__name__}): expected a {expect} "
+                  f"finding, got none", file=sys.stderr)
+            failures += 1
+    if failures:
+        return 1
+    print(f"lint_invariants self-test: {len(SELF_TESTS)} cases pass "
+          f"({len(RULES)} rules each proven to fire and to stay quiet)")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--root", default=".",
+                    help="repository root (containing src/)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the rule self-tests instead of linting")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    findings = lint_tree(args.root)
+    for f in findings:
+        print(f, file=sys.stderr)
+    if findings:
+        print(f"lint_invariants: {len(findings)} violation(s)",
+              file=sys.stderr)
+        return 1
+    print("lint_invariants: src/ clean (raw-mutex, write-journals, "
+          "wal-frames, io-under-lock)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

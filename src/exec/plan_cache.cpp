@@ -13,7 +13,7 @@ PlanCache::Lease PlanCache::acquire(graph::Graph& g, const std::string& text,
   Lease lease;
   lease.key_ = text;
   {
-    std::lock_guard lk(mu_);
+    util::MutexLock lk(mu_);
     auto it = entries_.find(text);
     if (it != entries_.end() && it->second.schema_version != live_version) {
       // Schema or index change since compilation: the embedded ids and
@@ -54,7 +54,7 @@ PlanCache::Lease PlanCache::acquire(graph::Graph& g, const std::string& text,
 void PlanCache::release(const std::string& key,
                         std::shared_ptr<const cypher::Query> ast,
                         std::unique_ptr<ExecutionPlan> plan) {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   auto& entry = entries_[key];
   if (!entry.ast) {
     // First release for this key (the miss path's insert).
@@ -81,28 +81,28 @@ void PlanCache::evict_lru_locked() {
 }
 
 void PlanCache::clear() {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   counters_.invalidations += entries_.size();
   entries_.clear();
 }
 
 PlanCache::Counters PlanCache::counters() const {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   return counters_;
 }
 
 std::size_t PlanCache::size() const {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   return entries_.size();
 }
 
 std::size_t PlanCache::capacity() const {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   return capacity_;
 }
 
 void PlanCache::set_capacity(std::size_t capacity) {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   capacity_ = capacity == 0 ? 1 : capacity;
   while (entries_.size() > capacity_) evict_lru_locked();
 }

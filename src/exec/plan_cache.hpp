@@ -24,7 +24,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -32,6 +31,7 @@
 #include "cypher/ast.hpp"
 #include "exec/execution_plan.hpp"
 #include "graph/graph.hpp"
+#include "util/sync.hpp"
 
 namespace rg::exec {
 
@@ -119,13 +119,13 @@ class PlanCache {
   void release(const std::string& key,
                std::shared_ptr<const cypher::Query> ast,
                std::unique_ptr<ExecutionPlan> plan);
-  void evict_lru_locked();
+  void evict_lru_locked() RG_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, Entry> entries_;
-  std::size_t capacity_;
-  std::uint64_t tick_ = 0;
-  Counters counters_;
+  mutable util::Mutex mu_;
+  std::unordered_map<std::string, Entry> entries_ RG_GUARDED_BY(mu_);
+  std::size_t capacity_ RG_GUARDED_BY(mu_);
+  std::uint64_t tick_ RG_GUARDED_BY(mu_) = 0;
+  Counters counters_ RG_GUARDED_BY(mu_);
 };
 
 }  // namespace rg::exec

@@ -241,7 +241,7 @@ std::vector<EdgeId> Graph::edges_between(NodeId src, NodeId dst,
 }
 
 const gb::Matrix<gb::Bool>& Graph::adjacency_t() const {
-  std::lock_guard lk(sync_mu_);
+  util::MutexLock lk(sync_mu_);
   if (adj_t_stale_) {
     adj_t_ = gb::transposed(adj_);
     adj_t_stale_ = false;
@@ -256,7 +256,7 @@ const gb::Matrix<gb::Bool>& Graph::relation(RelTypeId t) const {
 
 const gb::Matrix<gb::Bool>& Graph::relation_t(RelTypeId t) const {
   if (t >= rels_.size()) return empty_;
-  std::lock_guard lk(sync_mu_);
+  util::MutexLock lk(sync_mu_);
   if (rels_[t].t_stale) {
     rels_[t].mt = gb::transposed(rels_[t].m);
     rels_[t].t_stale = false;
@@ -284,7 +284,7 @@ void Graph::flush() const {
   // Readers call this under the server's *shared* lock; without internal
   // serialization two readers that both observe a stale transpose (e.g.
   // on a freshly created graph) would rebuild it concurrently.
-  std::lock_guard lk(sync_mu_);
+  util::MutexLock lk(sync_mu_);
   adj_.wait();
   if (adj_t_stale_) {
     adj_t_ = gb::transposed(adj_);

@@ -23,7 +23,6 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -36,6 +35,7 @@
 #include "graph/value.hpp"
 #include "graphblas/graphblas.hpp"
 #include "util/data_block.hpp"
+#include "util/sync.hpp"
 
 namespace rg::graph {
 
@@ -188,7 +188,13 @@ class Graph {
   gb::Matrix<gb::Bool> adj_;
   mutable gb::Matrix<gb::Bool> adj_t_;
   mutable bool adj_t_stale_ = true;
-  mutable std::mutex sync_mu_;  // serializes flush()'s transpose rebuilds
+  // Serializes flush()'s transpose rebuilds.  The staleness flags
+  // (adj_t_stale_, RelMatrices::t_stale) deliberately carry no
+  // RG_GUARDED_BY: add_edge() clears them incrementally under the
+  // caller's *exclusive* graph lock with no readers in flight, while
+  // concurrent readers rebuilding a stale transpose serialize on
+  // sync_mu_ — a hybrid discipline the capability model cannot express.
+  mutable util::Mutex sync_mu_;
 
   struct RelMatrices {
     gb::Matrix<gb::Bool> m;

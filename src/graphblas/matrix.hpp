@@ -16,7 +16,6 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -26,6 +25,7 @@
 #include "graphblas/context.hpp"
 #include "graphblas/ops.hpp"
 #include "graphblas/types.hpp"
+#include "util/sync.hpp"
 
 namespace rg::gb {
 
@@ -40,8 +40,12 @@ class Matrix {
   Matrix(Index nrows = 0, Index ncols = 0)
       : nrows_(nrows), ncols_(ncols), rowptr_(nrows + 1, 0) {}
 
+  // Copy/move lock BOTH objects (`this` is unshared during construction
+  // but the helper methods carry REQUIRES on both mutexes — the analysis
+  // is intraprocedural, so the constructor exemption does not extend
+  // into copy_fields/move_fields).
   Matrix(const Matrix& other) {
-    std::lock_guard lk(other.mu_);
+    util::DualMutexLock lk(mu_, other.mu_);
     copy_fields(other);
   }
 
@@ -53,13 +57,13 @@ class Matrix {
   }
 
   Matrix(Matrix&& other) noexcept {
-    std::lock_guard lk(other.mu_);
+    util::DualMutexLock lk(mu_, other.mu_);
     move_fields(std::move(other));
   }
 
   Matrix& operator=(Matrix&& other) noexcept {
     if (this == &other) return *this;
-    std::scoped_lock lk(mu_, other.mu_);
+    util::DualMutexLock lk(mu_, other.mu_);
     move_fields(std::move(other));
     return *this;
   }
@@ -77,13 +81,13 @@ class Matrix {
 
   /// True when there are buffered updates not yet merged into the CSR.
   bool has_pending() const {
-    std::lock_guard lk(mu_);
+    util::MutexLock lk(mu_);
     return !pend_.empty();
   }
 
   /// Remove all entries, keeping dimensions.
   void clear() {
-    std::lock_guard lk(mu_);
+    util::MutexLock lk(mu_);
     rowptr_.assign(nrows_ + 1, 0);
     colidx_.clear();
     val_.clear();
@@ -93,7 +97,7 @@ class Matrix {
   /// Grow/shrink dimensions; out-of-range entries are dropped.
   void resize(Index nrows, Index ncols) {
     wait();
-    std::lock_guard lk(mu_);
+    util::MutexLock lk(mu_);
     if (nrows < nrows_ || ncols < ncols_) {
       std::vector<Index> nrp(nrows + 1, 0);
       std::vector<Index> nci;
@@ -142,14 +146,14 @@ class Matrix {
   /// A(i,j) = value.  O(1) amortized (pending buffer).
   void set_element(Index i, Index j, T value) {
     check_bounds(i, j);
-    std::lock_guard lk(mu_);
+    util::MutexLock lk(mu_);
     pend_.push_back(Pend{i, j, std::move(value), false});
   }
 
   /// Delete A(i,j) if present (GrB_Matrix_removeElement).
   void remove_element(Index i, Index j) {
     check_bounds(i, j);
-    std::lock_guard lk(mu_);
+    util::MutexLock lk(mu_);
     pend_.push_back(Pend{i, j, T{}, true});
   }
 
@@ -178,7 +182,7 @@ class Matrix {
     if (rows.size() != cols.size() || rows.size() != values.size())
       throw DimensionMismatch("build: tuple array length mismatch");
     for (std::size_t k = 0; k < rows.size(); ++k) check_bounds(rows[k], cols[k]);
-    std::lock_guard lk(mu_);
+    util::MutexLock lk(mu_);
     pend_.clear();
     // Counting sort by row, then sort each row segment by column.
     std::vector<Index> nrp(nrows_ + 1, 0);
@@ -290,7 +294,7 @@ class Matrix {
 
   /// Merge pending updates into the CSR representation.
   void wait() const {
-    std::lock_guard lk(mu_);
+    util::MutexLock lk(mu_);
     wait_locked();
   }
 
@@ -314,7 +318,7 @@ class Matrix {
             static_cast<std::size_t>(rowptr_[i + 1])};
   }
 
-  void copy_fields(const Matrix& other) {
+  void copy_fields(const Matrix& other) RG_REQUIRES(mu_, other.mu_) {
     nrows_ = other.nrows_;
     ncols_ = other.ncols_;
     rowptr_ = other.rowptr_;
@@ -323,7 +327,7 @@ class Matrix {
     pend_ = other.pend_;
   }
 
-  void move_fields(Matrix&& other) {
+  void move_fields(Matrix&& other) RG_REQUIRES(mu_, other.mu_) {
     nrows_ = other.nrows_;
     ncols_ = other.ncols_;
     rowptr_ = std::move(other.rowptr_);
@@ -332,8 +336,8 @@ class Matrix {
     pend_ = std::move(other.pend_);
   }
 
-  // Requires mu_ held.  Last-wins per coordinate in program order.
-  void wait_locked() const {
+  // Last-wins per coordinate in program order.
+  void wait_locked() const RG_REQUIRES(mu_) {
     if (pend_.empty()) return;
     // Sort pending ops by (i, j, program order); keep the last per (i,j).
     std::vector<std::size_t> order(pend_.size());
@@ -438,11 +442,16 @@ class Matrix {
 
   Index nrows_ = 0;
   Index ncols_ = 0;
+  // The CSR arrays are written only by wait_locked() under mu_, but read
+  // lock-free by every accessor after its wait() returns — a pattern the
+  // capability model cannot express (safety comes from the caller's
+  // reader/writer discipline on the whole container), so they carry no
+  // RG_GUARDED_BY.  Only the pending buffer is strictly lock-guarded.
   mutable std::vector<Index> rowptr_;
   mutable std::vector<Index> colidx_;
   mutable std::vector<T> val_;
-  mutable std::vector<Pend> pend_;
-  mutable std::mutex mu_;
+  mutable std::vector<Pend> pend_ RG_GUARDED_BY(mu_);
+  mutable util::Mutex mu_;
 };
 
 }  // namespace rg::gb

@@ -12,13 +12,13 @@
 #include <cassert>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
 
 #include "graphblas/ops.hpp"
 #include "graphblas/types.hpp"
+#include "util/sync.hpp"
 
 namespace rg::gb {
 
@@ -32,14 +32,12 @@ class Vector {
   /// An empty vector of dimension `n`.
   explicit Vector(Index n = 0) : n_(n) {}
 
+  // Copy/move lock BOTH objects: the constructor exemption covers this
+  // object's members but not `other`'s, and the analysis needs one lock
+  // expression rooted at `other` to cover those reads.
   Vector(const Vector& other) {
-    std::lock_guard lk(other.mu_);
-    n_ = other.n_;
-    idx_ = other.idx_;
-    val_ = other.val_;
-    pending_idx_ = other.pending_idx_;
-    pending_val_ = other.pending_val_;
-    pending_del_ = other.pending_del_;
+    util::DualMutexLock lk(mu_, other.mu_);
+    copy_fields(other);
   }
 
   Vector& operator=(const Vector& other) {
@@ -50,24 +48,14 @@ class Vector {
   }
 
   Vector(Vector&& other) noexcept {
-    std::lock_guard lk(other.mu_);
-    n_ = other.n_;
-    idx_ = std::move(other.idx_);
-    val_ = std::move(other.val_);
-    pending_idx_ = std::move(other.pending_idx_);
-    pending_val_ = std::move(other.pending_val_);
-    pending_del_ = std::move(other.pending_del_);
+    util::DualMutexLock lk(mu_, other.mu_);
+    move_fields(std::move(other));
   }
 
   Vector& operator=(Vector&& other) noexcept {
     if (this == &other) return *this;
-    std::scoped_lock lk(mu_, other.mu_);
-    n_ = other.n_;
-    idx_ = std::move(other.idx_);
-    val_ = std::move(other.val_);
-    pending_idx_ = std::move(other.pending_idx_);
-    pending_val_ = std::move(other.pending_val_);
-    pending_del_ = std::move(other.pending_del_);
+    util::DualMutexLock lk(mu_, other.mu_);
+    move_fields(std::move(other));
     return *this;
   }
 
@@ -94,18 +82,19 @@ class Vector {
 
   /// Remove all entries, keeping the dimension.
   void clear() {
-    std::lock_guard lk(mu_);
+    util::MutexLock lk(mu_);
     idx_.clear();
     val_.clear();
     pending_idx_.clear();
     pending_val_.clear();
     pending_del_.clear();
+    pending_del_ts_.clear();
   }
 
   /// v(i) = value.  O(1) amortized; later reads merge pendings.
   void set_element(Index i, T value) {
     check_bounds(i);
-    std::lock_guard lk(mu_);
+    util::MutexLock lk(mu_);
     pending_idx_.push_back(i);
     pending_val_.push_back(std::move(value));
   }
@@ -113,7 +102,7 @@ class Vector {
   /// Delete entry i if present (GrB_Vector_removeElement).
   void remove_element(Index i) {
     check_bounds(i);
-    std::lock_guard lk(mu_);
+    util::MutexLock lk(mu_);
     pending_del_.push_back(i);
     // Ordering matters: a set after a delete must survive.  We timestamp
     // by recording the delete as a pending tuple with a tombstone marker
@@ -141,7 +130,7 @@ class Vector {
     if (indices.size() != values.size())
       throw DimensionMismatch("build: index/value length mismatch");
     for (Index i : indices) check_bounds(i);
-    std::lock_guard lk(mu_);
+    util::MutexLock lk(mu_);
     pending_idx_.clear();
     pending_val_.clear();
     pending_del_.clear();
@@ -194,7 +183,7 @@ class Vector {
 
   /// Materialize: merge pending set/remove operations into sorted storage.
   void wait() const {
-    std::lock_guard lk(mu_);
+    util::MutexLock lk(mu_);
     wait_locked();
   }
 
@@ -218,8 +207,27 @@ class Vector {
                              " >= " + std::to_string(n_));
   }
 
-  // Requires mu_ held.
-  void wait_locked() const {
+  void copy_fields(const Vector& other) RG_REQUIRES(mu_, other.mu_) {
+    n_ = other.n_;
+    idx_ = other.idx_;
+    val_ = other.val_;
+    pending_idx_ = other.pending_idx_;
+    pending_val_ = other.pending_val_;
+    pending_del_ = other.pending_del_;
+    pending_del_ts_ = other.pending_del_ts_;
+  }
+
+  void move_fields(Vector&& other) RG_REQUIRES(mu_, other.mu_) {
+    n_ = other.n_;
+    idx_ = std::move(other.idx_);
+    val_ = std::move(other.val_);
+    pending_idx_ = std::move(other.pending_idx_);
+    pending_val_ = std::move(other.pending_val_);
+    pending_del_ = std::move(other.pending_del_);
+    pending_del_ts_ = std::move(other.pending_del_ts_);
+  }
+
+  void wait_locked() const RG_REQUIRES(mu_) {
     if (pending_idx_.empty() && pending_del_.empty()) return;
     // Apply deletes that happened before any pending set of the same
     // index; a pending set at a later timestamp resurrects the entry.
@@ -285,13 +293,17 @@ class Vector {
   }
 
   Index n_ = 0;
+  // idx_/val_ follow the same external reader/writer discipline as the
+  // Matrix CSR arrays (written under mu_ by wait_locked, read lock-free
+  // after wait() returns), so they carry no RG_GUARDED_BY; the pending
+  // buffers are strictly lock-guarded.
   mutable std::vector<Index> idx_;
   mutable std::vector<T> val_;
-  mutable std::vector<Index> pending_idx_;
-  mutable std::vector<T> pending_val_;
-  mutable std::vector<Index> pending_del_;
-  mutable std::vector<std::size_t> pending_del_ts_;
-  mutable std::mutex mu_;
+  mutable std::vector<Index> pending_idx_ RG_GUARDED_BY(mu_);
+  mutable std::vector<T> pending_val_ RG_GUARDED_BY(mu_);
+  mutable std::vector<Index> pending_del_ RG_GUARDED_BY(mu_);
+  mutable std::vector<std::size_t> pending_del_ts_ RG_GUARDED_BY(mu_);
+  mutable util::Mutex mu_;
 };
 
 }  // namespace rg::gb

@@ -51,7 +51,7 @@ std::vector<std::string> tokens_of(const std::string& line) {
   std::vector<std::string> out;
   std::istringstream iss(line);
   std::string tok;
-  while (iss >> tok) out.push_back(tok);
+  while (iss >> tok) out.push_back(std::move(tok));
   return out;
 }
 
@@ -96,12 +96,20 @@ DurabilityManager::DurabilityManager(std::string data_dir, Options options)
 
 DurabilityManager::~DurabilityManager() = default;
 
+std::vector<DurabilityManager::SnapshotInfo> DurabilityManager::snapshots()
+    const {
+  util::MutexLock lk(mu_);
+  return snapshots_;
+}
+
 void DurabilityManager::open_and_replay(
     const std::function<bool(std::uint64_t,
-                             const std::vector<std::string>&)>& apply) {
+                             const std::vector<std::string>&)>& apply)
+    RG_NO_THREAD_SAFETY_ANALYSIS {
   // Single-threaded by contract (constructor-time, before any append),
-  // so mu_ is NOT held: the apply callback re-enters the server, whose
-  // write path nests its own locks around append()'s mu_ — holding mu_
+  // so mu_ is NOT held — and thread-safety analysis is off for exactly
+  // that reason: the apply callback re-enters the server, whose write
+  // path nests its own locks around append()'s mu_ — holding mu_
   // across the callback would invert that order.
   if (opened_) throw PersistError("open_and_replay called twice");
 
@@ -133,14 +141,14 @@ void DurabilityManager::open_and_replay(
 
 std::uint64_t DurabilityManager::append(
     const std::vector<std::string>& argv) {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   return writer_->append(argv);
 }
 
 std::uint64_t DurabilityManager::append_if(
     const std::vector<std::string>& argv,
     const std::function<bool()>& guard) {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   if (!guard()) return 0;
   return writer_->append(argv);
 }
@@ -148,7 +156,7 @@ std::uint64_t DurabilityManager::append_if(
 std::uint64_t DurabilityManager::append_batch_if(
     const std::vector<std::string>& argv, std::uint64_t entities,
     const std::function<bool()>& guard) {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   if (!guard()) return 0;
   const std::uint64_t lsn = writer_->append(argv);
   ++retired_.batch_frames;
@@ -157,12 +165,12 @@ std::uint64_t DurabilityManager::append_batch_if(
 }
 
 bool DurabilityManager::compaction_due() const {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   return writer_ && writer_->size_bytes() > options_.wal_max_bytes;
 }
 
 std::uint64_t DurabilityManager::begin_rewrite() {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   writer_->sync();  // the closing epoch must be fully durable first
   const std::uint64_t next = writer_->next_lsn();
   const FsyncPolicy policy = writer_->policy();
@@ -188,7 +196,7 @@ std::string DurabilityManager::snapshot_file(std::uint64_t epoch,
 
 void DurabilityManager::commit_rewrite(std::uint64_t epoch,
                                        std::vector<SnapshotInfo> entries) {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   if (epoch != epoch_)
     throw PersistError("commit_rewrite epoch mismatch");
   snapshots_ = std::move(entries);
@@ -200,33 +208,33 @@ void DurabilityManager::commit_rewrite(std::uint64_t epoch,
 }
 
 FsyncPolicy DurabilityManager::fsync_policy() const {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   return options_.fsync;
 }
 
 void DurabilityManager::set_fsync_policy(FsyncPolicy policy) {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   options_.fsync = policy;
   if (writer_) writer_->set_policy(policy);
 }
 
 std::uint64_t DurabilityManager::wal_max_bytes() const {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   return options_.wal_max_bytes;
 }
 
 void DurabilityManager::set_wal_max_bytes(std::uint64_t bytes) {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   options_.wal_max_bytes = bytes;
 }
 
 std::uint64_t DurabilityManager::wal_size_bytes() const {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   return writer_ ? writer_->size_bytes() : 0;
 }
 
 Counters DurabilityManager::counters() const {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   Counters total = retired_;
   if (writer_) {
     const auto c = writer_->counters();

@@ -35,11 +35,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "persist/wal.hpp"
+#include "util/sync.hpp"
 
 namespace rg::persist {
 
@@ -84,8 +84,9 @@ class DurabilityManager {
     return dir_ + "/" + file;
   }
 
-  /// Snapshots recorded by the manifest (load these first).
-  const std::vector<SnapshotInfo>& snapshots() const { return snapshots_; }
+  /// Snapshots recorded by the manifest (load these first).  Returned by
+  /// value: the vector is rewritten by commit_rewrite() concurrently.
+  std::vector<SnapshotInfo> snapshots() const;
 
   /// Replay every intact journal frame in LSN order.  `apply` returns
   /// true if it applied the frame, false if it skipped it (watermark).
@@ -136,21 +137,23 @@ class DurabilityManager {
 
  private:
   std::string wal_file(std::uint64_t epoch) const;
-  void write_manifest_locked();
-  void fold_writer_counters_locked();
-  void remove_unreferenced_locked();
+  void write_manifest_locked() RG_REQUIRES(mu_);
+  void fold_writer_counters_locked() RG_REQUIRES(mu_);
+  void remove_unreferenced_locked() RG_REQUIRES(mu_);
 
   std::string dir_;
-  Options options_;
 
-  mutable std::mutex mu_;  // guards everything below
-  std::uint64_t epoch_ = 0;
-  std::vector<std::string> wal_files_;  // replay order; back() is live
-  std::vector<SnapshotInfo> snapshots_;
-  std::unique_ptr<WalWriter> writer_;
-  Counters retired_;  // counters from closed epoch writers + recovery
-  std::uint64_t next_lsn_ = 1;
-  bool opened_ = false;
+  mutable util::Mutex mu_;  // guards everything below
+  Options options_ RG_GUARDED_BY(mu_);
+  std::uint64_t epoch_ RG_GUARDED_BY(mu_) = 0;
+  // Replay order; back() is live.
+  std::vector<std::string> wal_files_ RG_GUARDED_BY(mu_);
+  std::vector<SnapshotInfo> snapshots_ RG_GUARDED_BY(mu_);
+  std::unique_ptr<WalWriter> writer_ RG_GUARDED_BY(mu_);
+  // Counters from closed epoch writers + recovery.
+  Counters retired_ RG_GUARDED_BY(mu_);
+  std::uint64_t next_lsn_ RG_GUARDED_BY(mu_) = 1;
+  bool opened_ RG_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace rg::persist

@@ -203,7 +203,7 @@ WalWriter::WalWriter(const std::string& path, std::uint64_t epoch,
 
 WalWriter::~WalWriter() {
   {
-    std::lock_guard lk(flusher_mu_);
+    util::MutexLock lk(flusher_mu_);
     stop_ = true;
   }
   flusher_cv_.notify_all();
@@ -211,7 +211,7 @@ WalWriter::~WalWriter() {
   // Final best-effort flush so a clean shutdown loses nothing even
   // under kNo / kEverySec.
   {
-    std::lock_guard lk(mu_);
+    util::MutexLock lk(mu_);
     if (dirty_ && fd_ >= 0) {
       ::fdatasync(fd_);
       dirty_ = false;
@@ -222,7 +222,7 @@ WalWriter::~WalWriter() {
 }
 
 std::uint64_t WalWriter::append(const std::vector<std::string>& argv) {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   if (fd_ < 0)
     throw PersistError("WAL " + path_ + " is closed after a write failure");
   const std::uint64_t lsn = next_lsn_.fetch_add(1);
@@ -267,7 +267,7 @@ std::uint64_t WalWriter::append(const std::vector<std::string>& argv) {
 }
 
 void WalWriter::sync() {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   if (!dirty_ || fd_ < 0) return;
   if (::fdatasync(fd_) != 0)
     throw PersistError("WAL fsync failed on " + path_ + ": " +
@@ -282,23 +282,23 @@ void WalWriter::set_policy(FsyncPolicy policy) {
 }
 
 std::uint64_t WalWriter::size_bytes() const {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   return size_bytes_;
 }
 
 WalWriter::Counters WalWriter::counters() const {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   return counters_;
 }
 
 void WalWriter::flusher_loop() {
-  std::unique_lock lk(flusher_mu_);
+  util::MutexLock lk(flusher_mu_);
   while (!stop_) {
-    flusher_cv_.wait_for(lk, std::chrono::seconds(1));
+    flusher_cv_.wait_for(flusher_mu_, std::chrono::seconds(1));
     if (stop_) break;
     if (policy_.load(std::memory_order_relaxed) != FsyncPolicy::kEverySec)
       continue;
-    std::lock_guard wlk(mu_);
+    util::MutexLock wlk(mu_);
     if (dirty_ && fd_ >= 0 && ::fdatasync(fd_) == 0) {
       dirty_ = false;
       ++counters_.fsyncs;

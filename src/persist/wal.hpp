@@ -19,14 +19,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace rg::persist {
 
@@ -109,16 +109,20 @@ class WalWriter {
   std::atomic<std::uint64_t> next_lsn_;
   std::atomic<FsyncPolicy> policy_;
 
-  mutable std::mutex mu_;  // serializes append/sync and guards counters
-  Counters counters_;
-  std::uint64_t size_bytes_ = 0;
-  int fd_ = -1;
-  bool dirty_ = false;  // bytes appended since the last fsync
+  // Serializes append/sync and guards the counters.  Note: fdatasync
+  // while holding mu_ is the WAL's job — mu_ is the innermost lock in
+  // the hierarchy (see util/sync.hpp), so nothing can queue behind it
+  // except other appends, which must wait for durability anyway.
+  mutable util::Mutex mu_;
+  Counters counters_ RG_GUARDED_BY(mu_);
+  std::uint64_t size_bytes_ RG_GUARDED_BY(mu_) = 0;
+  int fd_ RG_GUARDED_BY(mu_) = -1;
+  bool dirty_ RG_GUARDED_BY(mu_) = false;  // appended since the last fsync
 
-  // kEverySec flusher.
-  std::mutex flusher_mu_;
-  std::condition_variable flusher_cv_;
-  bool stop_ = false;
+  // kEverySec flusher.  Lock order: flusher_mu_ before mu_.
+  util::Mutex flusher_mu_;
+  util::CondVar flusher_cv_;
+  bool stop_ RG_GUARDED_BY(flusher_mu_) = false;
   std::thread flusher_;
 };
 

@@ -71,6 +71,23 @@ std::string arg_preview(const std::string& s) {
   return s.size() > kMax ? s.substr(0, kMax) + "..." : s;
 }
 
+/// GRAPH.CONFIG SET numeric-knob validation: strict parse plus an
+/// explicit inclusive [lo, hi] range.  Every settable numeric knob goes
+/// through here so a rejected SET can never half-apply, and the error
+/// text always names the documented range.
+bool parse_ranged_i64(const std::string& s, std::int64_t lo, std::int64_t hi,
+                      std::int64_t& out) {
+  return parse_i64(s, out) && out >= lo && out <= hi;
+}
+
+/// "<NAME> must be an integer in [lo, hi]<suffix>" — the Redis-style
+/// range rejection every numeric knob shares.
+Reply range_error(const char* name, std::int64_t lo, std::int64_t hi,
+                  const char* suffix = "") {
+  return error(std::string(name) + " must be an integer in [" +
+               std::to_string(lo) + ", " + std::to_string(hi) + "]" + suffix);
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -138,7 +155,7 @@ CommandRegistry& CommandRegistry::instance() {
 }
 
 const CommandSpec* CommandRegistry::find(std::string_view name) const {
-  std::shared_lock lk(mu_);
+  util::SharedLock lk(mu_);
   const auto it = by_name_.find(name);
   return it == by_name_.end() ? nullptr : it->second;
 }
@@ -158,7 +175,7 @@ const CommandSpec& CommandRegistry::register_command(CommandSpec spec) {
   if ((spec.flags & kGraphKeyed) && spec.min_arity < 2)
     throw std::invalid_argument("command spec: graph-keyed commands take a "
                                 "key argument");
-  std::lock_guard lk(mu_);
+  util::WriteLock lk(mu_);
   if (by_name_.count(spec.name))
     throw std::invalid_argument("command spec: duplicate name '" +
                                 std::string(spec.name) + "'");
@@ -175,7 +192,7 @@ const CommandSpec& CommandRegistry::register_command(CommandSpec spec) {
 }
 
 std::vector<const CommandSpec*> CommandRegistry::all() const {
-  std::shared_lock lk(mu_);
+  util::SharedLock lk(mu_);
   std::vector<const CommandSpec*> out;
   out.reserve(by_name_.size());
   for (const auto& [name, spec] : by_name_) out.push_back(spec);
@@ -183,7 +200,7 @@ std::vector<const CommandSpec*> CommandRegistry::all() const {
 }
 
 std::size_t CommandRegistry::size() const {
-  std::shared_lock lk(mu_);
+  util::SharedLock lk(mu_);
   return specs_.size();
 }
 
@@ -294,21 +311,28 @@ const std::shared_ptr<GraphEntry>& CommandCtx::entry() {
   return entry_;
 }
 
-std::shared_lock<std::shared_mutex> CommandCtx::shared_lock() {
-  return std::shared_lock<std::shared_mutex>(entry()->lock);
+std::shared_lock<util::SharedMutex> CommandCtx::shared_lock() {
+  return std::shared_lock<util::SharedMutex>(entry()->lock);
 }
 
-std::unique_lock<std::shared_mutex> CommandCtx::exclusive_lock() {
+std::unique_lock<util::SharedMutex> CommandCtx::exclusive_lock() {
   if (!(spec_.flags & kWrite))
     throw std::logic_error("exclusive_lock() on a command without kWrite");
-  return std::unique_lock<std::shared_mutex>(entry()->lock);
+  return std::unique_lock<util::SharedMutex>(entry()->lock);
 }
 
 bool CommandCtx::replaying() const { return srv_.replaying_; }
 
 bool CommandCtx::durable() const { return srv_.durability_ != nullptr; }
 
-std::uint64_t CommandCtx::journal(const std::vector<std::string>& frame) {
+// last_lsn is guarded by the entry's lock, which the CALLER holds (the
+// journaling contract: append after commit, under the exclusive lock).
+// The analysis is intraprocedural and cannot see the caller's guard
+// through the ctx indirection, so the definitions opt out; the contract
+// itself is enforced where the lock is visible — every built-in write
+// handler journals inside its util::WriteLock scope.
+std::uint64_t CommandCtx::journal(const std::vector<std::string>& frame)
+    RG_NO_THREAD_SAFETY_ANALYSIS {
   if (!(spec_.flags & kWrite))
     throw std::logic_error("journal() on a command without kWrite");
   if (!srv_.durability_ || srv_.replaying_) return 0;
@@ -321,7 +345,8 @@ std::uint64_t CommandCtx::journal(const std::vector<std::string>& frame) {
 }
 
 std::uint64_t CommandCtx::journal_batch(const std::vector<std::string>& frame,
-                                        std::uint64_t entities) {
+                                        std::uint64_t entities)
+    RG_NO_THREAD_SAFETY_ANALYSIS {
   if (!(spec_.flags & kWrite))
     throw std::logic_error("journal_batch() on a command without kWrite");
   if (!srv_.durability_ || srv_.replaying_) return 0;
@@ -422,7 +447,7 @@ Reply CommandHandlers::info(CommandCtx& ctx) {
     row("GB_THREADS", static_cast<std::int64_t>(gb::threads()));
     std::int64_t graphs = 0;
     {
-      std::lock_guard lk(srv.keyspace_mu_);
+      util::MutexLock lk(srv.keyspace_mu_);
       graphs = static_cast<std::int64_t>(srv.keyspace_.size());
     }
     row("GRAPH_COUNT", graphs);
@@ -518,14 +543,16 @@ Reply CommandHandlers::run_query(CommandCtx& ctx, bool read_only_cmd,
                                  bool profile) {
   const std::string& raw = ctx.arg(2);
   const auto split = cypher::split_param_header(raw);
-  const auto& ge = ctx.entry();
+  // Alias the entry so the lock expression and the guarded accesses
+  // share one root the analysis can match (`ge.lock` guards `ge.graph`).
+  GraphEntry& ge = *ctx.entry();
 
   // Fast path: shared lock + cached plan; read-only plans run in place,
   // concurrently with other readers.
   bool first_acquire_hit = false;
   {
-    auto lk = ctx.shared_lock();
-    auto lease = ge->plan_cache.acquire(ge->graph, split.body, split.params);
+    util::SharedLock lk(ge.lock);
+    auto lease = ge.plan_cache.acquire(ge.graph, split.body, split.params);
     first_acquire_hit = lease.hit();
     if (lease->read_only()) {
       Reply reply;
@@ -549,9 +576,9 @@ Reply CommandHandlers::run_query(CommandCtx& ctx, bool read_only_cmd,
   // one — without counting again: this is still the same logical query.
   Reply reply;
   {
-    auto lk = ctx.exclusive_lock();
-    auto lease = ge->plan_cache.acquire(ge->graph, split.body, split.params,
-                                        64, /*count_stats=*/false);
+    util::WriteLock lk(ge.lock);
+    auto lease = ge.plan_cache.acquire(ge.graph, split.body, split.params,
+                                       64, /*count_stats=*/false);
     lease.set_hit_for_reporting(first_acquire_hit);
     if (profile) {
       reply.kind = Reply::Kind::kText;
@@ -562,7 +589,7 @@ Reply CommandHandlers::run_query(CommandCtx& ctx, bool read_only_cmd,
     }
     // Re-sync matrices before the write lock drops so readers' flush() is
     // a read-only no-op (their shared lock cannot rebuild transposes).
-    ge->graph.flush();
+    ge.graph.flush();
     // Journal after commit, before the reply is released; a PROFILE of a
     // writing query replays as the plain query.
     ctx.journal({"GRAPH.QUERY", ctx.key(), raw});
@@ -573,9 +600,9 @@ Reply CommandHandlers::run_query(CommandCtx& ctx, bool read_only_cmd,
 Reply CommandHandlers::explain(CommandCtx& ctx) {
   const auto split = cypher::split_param_header(ctx.arg(2));
   const cypher::Query ast = cypher::parse(split.body);
-  const auto& ge = ctx.entry();
-  auto lk = ctx.shared_lock();
-  exec::ExecutionPlan plan(ge->graph, ast);
+  GraphEntry& ge = *ctx.entry();
+  util::SharedLock lk(ge.lock);
+  exec::ExecutionPlan plan(ge.graph, ast);
   return {Reply::Kind::kText, plan.explain(), {}};
 }
 
@@ -656,13 +683,13 @@ Reply CommandHandlers::bulk(CommandCtx& ctx) {
     return error("GRAPH.BULK: empty batch");
 
   // ---- apply under the exclusive per-graph lock -------------------------
-  const auto& ge = ctx.entry();
+  GraphEntry& ge = *ctx.entry();
   std::uint64_t nodes_created = 0;
   std::uint64_t edges_created = 0;
   std::int64_t first_node_id = -1;
   {
-    auto lk = ctx.exclusive_lock();
-    graph::Graph& g = ge->graph;
+    util::WriteLock lk(ge.lock);
+    graph::Graph& g = ge.graph;
 
     // Nodes first, so edges may reference ids created in this batch.
     // On any failure everything created here — edges, then nodes — is
@@ -760,7 +787,7 @@ Reply CommandHandlers::bulk(CommandCtx& ctx) {
 Reply CommandHandlers::del(CommandCtx& ctx) {
   Server& srv = ctx.server();
   const std::string& key = ctx.key();
-  std::lock_guard lk(srv.keyspace_mu_);
+  util::MutexLock lk(srv.keyspace_mu_);
   const auto it = srv.keyspace_.find(key);
   if (it == srv.keyspace_.end())
     return error("no such key '" + key + "'");
@@ -781,7 +808,7 @@ Reply CommandHandlers::del(CommandCtx& ctx) {
 
 Reply CommandHandlers::list(CommandCtx& ctx) {
   Server& srv = ctx.server();
-  std::lock_guard lk(srv.keyspace_mu_);
+  util::MutexLock lk(srv.keyspace_mu_);
   Reply r;
   r.kind = Reply::Kind::kResult;
   r.result.columns = {"graph"};
@@ -791,9 +818,12 @@ Reply CommandHandlers::list(CommandCtx& ctx) {
 }
 
 Reply CommandHandlers::save(CommandCtx& ctx) {
-  const auto& ge = ctx.entry();
-  auto lk = ctx.shared_lock();
-  graph::save_graph_file(ge->graph, ctx.arg(2));
+  GraphEntry& ge = *ctx.entry();
+  // lint:allow(io-under-lock): snapshot-to-file IS this command; the
+  // shared lock blocks writers on this one graph only, same protocol as
+  // the background rewrite.
+  util::SharedLock lk(ge.lock);
+  graph::save_graph_file(ge.graph, ctx.arg(2));
   return status_ok();
 }
 
@@ -805,24 +835,30 @@ Reply CommandHandlers::restore(CommandCtx& ctx) {
   // plan cache also drops every plan compiled against the old graph.
   std::size_t capacity;
   {
-    std::lock_guard lk(srv.keyspace_mu_);
+    util::MutexLock lk(srv.keyspace_mu_);
     capacity = srv.plan_cache_capacity_;
   }
   auto fresh = std::make_shared<GraphEntry>(capacity);
-  graph::load_graph_file(fresh->graph, ctx.arg(2));
-  fresh->graph.flush();  // readers must never be first to build transposes
   // Durable restore journals the restored graph ITSELF (the external
   // file may be gone by replay time) — the same trick Redis AOF uses
   // for RESTORE: the frame carries the serialized value.  Serialized
   // outside the keyspace lock; the swap + journal below are atomic.
   std::string payload;
-  if (ctx.durable() && !ctx.replaying()) {
-    std::ostringstream os(std::ios::binary);
-    graph::save_graph(fresh->graph, os);
-    payload = std::move(os).str();
+  {
+    GraphEntry& f = *fresh;
+    // lint:allow(io-under-lock): fresh entry, not yet published — the
+    // lock is uncontended and held only so the analysis sees the writes.
+    util::WriteLock flk(f.lock);
+    graph::load_graph_file(f.graph, ctx.arg(2));
+    f.graph.flush();  // readers must never be first to build transposes
+    if (ctx.durable() && !ctx.replaying()) {
+      std::ostringstream os(std::ios::binary);
+      graph::save_graph(f.graph, os);
+      payload = std::move(os).str();
+    }
   }
   {
-    std::lock_guard lk(srv.keyspace_mu_);
+    util::MutexLock lk(srv.keyspace_mu_);
     auto& slot = srv.keyspace_[key];
     if (slot) {
       srv.retire_counters_locked(*slot);
@@ -830,7 +866,13 @@ Reply CommandHandlers::restore(CommandCtx& ctx) {
       // (same protocol as GRAPH.DELETE).
       slot->unlinked.store(true, std::memory_order_release);
     }
-    fresh->last_lsn = ctx.journal({"GRAPH.RESTORE.PAYLOAD", key, payload});
+    {
+      GraphEntry& f = *fresh;
+      // keyspace_mu_ -> entry lock is the documented order; the entry is
+      // still private, so this cannot contend.
+      util::WriteLock flk(f.lock);
+      f.last_lsn = ctx.journal({"GRAPH.RESTORE.PAYLOAD", key, payload});
+    }
     // Swap in; the displaced entry (if any) dies with its last in-flight
     // user, exactly as in GRAPH.DELETE.
     slot = std::move(fresh);
@@ -845,14 +887,19 @@ Reply CommandHandlers::restore_payload(CommandCtx& ctx) {
   // inside the WAL frame instead of a file path.
   std::size_t capacity;
   {
-    std::lock_guard lk(srv.keyspace_mu_);
+    util::MutexLock lk(srv.keyspace_mu_);
     capacity = srv.plan_cache_capacity_;
   }
   auto fresh = std::make_shared<GraphEntry>(capacity);
   std::istringstream in(ctx.arg(2), std::ios::binary);
-  graph::load_graph(fresh->graph, in);
-  fresh->graph.flush();
-  std::lock_guard lk(srv.keyspace_mu_);
+  {
+    GraphEntry& f = *fresh;
+    // Fresh entry, not yet published: uncontended, held for the analysis.
+    util::WriteLock flk(f.lock);
+    graph::load_graph(f.graph, in);
+    f.graph.flush();
+  }
+  util::MutexLock lk(srv.keyspace_mu_);
   auto& slot = srv.keyspace_[ctx.key()];
   if (slot) srv.retire_counters_locked(*slot);
   slot = std::move(fresh);
@@ -903,7 +950,7 @@ void CommandHandlers::plan_cache_rows(
                          graph::Value(static_cast<std::int64_t>(v))});
   };
   if (want("PLAN_CACHE_SIZE")) {
-    std::lock_guard lk(srv.keyspace_mu_);
+    util::MutexLock lk(srv.keyspace_mu_);
     row("PLAN_CACHE_SIZE", srv.plan_cache_capacity_);
   }
   if (want("PLAN_CACHE_HITS") || want("PLAN_CACHE_MISSES") ||
@@ -956,21 +1003,29 @@ Reply CommandHandlers::config(CommandCtx& ctx) {
       return error("GRAPH.CONFIG SET takes a name and a value");
     if (ctx.arg_is(2, "THREAD_COUNT"))
       return error("THREAD_COUNT is fixed at module load time");
+    // Every numeric knob validates against an explicit, documented
+    // range BEFORE any state is touched: a rejected SET leaves the
+    // knob's current value untouched (wire tests assert this).
     if (ctx.arg_is(2, "GB_THREADS")) {
       // Unlike THREAD_COUNT (one query = one worker, fixed at load),
       // GB_THREADS is the intra-operation kernel parallelism and is safe
       // to retune at runtime; 1 = the exact serial kernels.
+      constexpr std::int64_t kLo = 1, kHi = 1024;
       std::int64_t v = 0;
-      if (!parse_i64(ctx.arg(3), v) || v < 1 || v > 1024)
-        return error("GB_THREADS must be an integer in [1, 1024]");
+      if (!parse_ranged_i64(ctx.arg(3), kLo, kHi, v))
+        return range_error("GB_THREADS", kLo, kHi);
       gb::set_threads(static_cast<std::size_t>(v));
       return status_ok();
     }
     if (ctx.arg_is(2, "SLOWLOG_THRESHOLD_US")) {
+      // -1 disables (Redis slowlog-log-slower-than convention), 0 logs
+      // everything; the ceiling (one day in microseconds) rejects
+      // nonsense thresholds that could never fire.
+      constexpr std::int64_t kLo = -1, kHi = 86'400'000'000;
       std::int64_t v = 0;
-      if (!parse_i64(ctx.arg(3), v))
-        return error("SLOWLOG_THRESHOLD_US must be an integer "
-                     "(microseconds; 0 logs everything, negative disables)");
+      if (!parse_ranged_i64(ctx.arg(3), kLo, kHi, v))
+        return range_error("SLOWLOG_THRESHOLD_US", kLo, kHi,
+                           " (microseconds; 0 logs everything, -1 disables)");
       srv.set_slowlog_threshold_us(v);
       return status_ok();
     }
@@ -982,17 +1037,23 @@ Reply CommandHandlers::config(CommandCtx& ctx) {
             persist::parse_fsync_policy(ctx.arg(3)));
         return status_ok();
       }
+      // Floor: below one frame the rewrite loop would thrash; ceiling:
+      // 1 TiB, past which the knob is certainly a typo'd byte count.
+      constexpr std::int64_t kLo = 1024, kHi = 1'099'511'627'776;
       std::int64_t v = 0;
-      if (!parse_i64(ctx.arg(3), v) || v < 1024)
-        return error("WAL_MAX_BYTES must be an integer >= 1024");
+      if (!parse_ranged_i64(ctx.arg(3), kLo, kHi, v))
+        return range_error("WAL_MAX_BYTES", kLo, kHi);
       srv.durability_->set_wal_max_bytes(static_cast<std::uint64_t>(v));
       return status_ok();
     }
     if (ctx.arg_is(2, "PLAN_CACHE_SIZE")) {
+      // Ceiling caps per-graph memory: each slot can pin a compiled
+      // plan, so an unbounded capacity is an OOM knob.
+      constexpr std::int64_t kLo = 1, kHi = 1'048'576;
       std::int64_t v = 0;
-      if (!parse_i64(ctx.arg(3), v) || v < 1)
-        return error("PLAN_CACHE_SIZE must be a positive integer");
-      std::lock_guard lk(srv.keyspace_mu_);
+      if (!parse_ranged_i64(ctx.arg(3), kLo, kHi, v))
+        return range_error("PLAN_CACHE_SIZE", kLo, kHi);
+      util::MutexLock lk(srv.keyspace_mu_);
       srv.plan_cache_capacity_ = static_cast<std::size_t>(v);
       for (auto& [key, entry] : srv.keyspace_)
         entry->plan_cache.set_capacity(srv.plan_cache_capacity_);

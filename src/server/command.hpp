@@ -35,14 +35,14 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
+#include <shared_mutex>  // lint:allow(raw-mutex): std lock adapters for the escape-hatch API below
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "exec/result_set.hpp"
 #include "server/resp.hpp"
+#include "util/sync.hpp"
 
 namespace rg::server {
 
@@ -147,13 +147,15 @@ class CommandRegistry {
     bool operator()(std::string_view a, std::string_view b) const;
   };
 
-  mutable std::shared_mutex mu_;
+  mutable util::SharedMutex mu_;
   // Deques: stable addresses across registration (specs are referred to
   // by pointer from the name map and from dispatch call sites, and a
   // stored spec's name/summary views point into strings_).
-  std::deque<CommandSpec> specs_;
-  std::deque<std::string> strings_;  // owned name/summary backing
-  std::map<std::string, const CommandSpec*, CaseLess> by_name_;
+  std::deque<CommandSpec> specs_ RG_GUARDED_BY(mu_);
+  std::deque<std::string> strings_
+      RG_GUARDED_BY(mu_);  // owned name/summary backing
+  std::map<std::string, const CommandSpec*, CaseLess> by_name_
+      RG_GUARDED_BY(mu_);
 };
 
 /// The generated command reference: a markdown table (name, arity,
@@ -199,8 +201,16 @@ class CommandCtx {
   /// may read-lock its graph, but the exclusive lock is reserved for
   /// kWrite commands (a read-only spec asking for it is a table bug and
   /// throws std::logic_error).
-  std::shared_lock<std::shared_mutex> shared_lock();
-  std::unique_lock<std::shared_mutex> exclusive_lock();
+  ///
+  /// These return std adapters over the annotated util::SharedMutex and
+  /// are therefore an UNANNOTATED escape hatch: the thread-safety
+  /// analysis cannot track a capability through a movable lock object.
+  /// They exist for registry-added commands (tests, embedders) outside
+  /// the analyzed tree; built-in handlers take util::SharedLock /
+  /// util::WriteLock on entry()->lock directly so the analysis sees
+  /// their guarded-data accesses.
+  std::shared_lock<util::SharedMutex> shared_lock();
+  std::unique_lock<util::SharedMutex> exclusive_lock();
 
   bool replaying() const;
   bool durable() const;

@@ -31,7 +31,7 @@ void NetServer::stop() {
 
   std::vector<std::shared_ptr<Connection>> conns;
   {
-    std::lock_guard lk(conns_mu_);
+    util::MutexLock lk(conns_mu_);
     conns.swap(conns_);
   }
   for (auto& c : conns) {
@@ -61,7 +61,7 @@ void NetServer::accept_loop() {
     auto conn = std::make_shared<Connection>();
     conn->stream = std::move(stream);
     {
-      std::lock_guard lk(conns_mu_);
+      util::MutexLock lk(conns_mu_);
       reap_finished_locked();
       conns_.push_back(conn);
     }

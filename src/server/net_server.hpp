@@ -18,12 +18,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "server/server.hpp"
 #include "util/socket.hpp"
+#include "util/sync.hpp"
 
 namespace rg::server {
 
@@ -56,7 +56,7 @@ class NetServer {
 
   void accept_loop();
   void serve_connection(std::shared_ptr<Connection> conn);
-  void reap_finished_locked();
+  void reap_finished_locked() RG_REQUIRES(conns_mu_);
 
   Server& core_;
   util::TcpListener listener_;
@@ -64,8 +64,8 @@ class NetServer {
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> accepted_{0};
 
-  std::mutex conns_mu_;
-  std::vector<std::shared_ptr<Connection>> conns_;
+  util::Mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_ RG_GUARDED_BY(conns_mu_);
 };
 
 }  // namespace rg::server

@@ -369,7 +369,7 @@ std::vector<std::string> split_command_line(const std::string& line) {
       has_token = true;
     } else if (c == ' ' || c == '\t' || c == '\r') {
       if (has_token || !cur.empty()) {
-        argv.push_back(cur);
+        argv.push_back(std::move(cur));
         cur.clear();
         has_token = false;
       }
@@ -378,7 +378,7 @@ std::vector<std::string> split_command_line(const std::string& line) {
       has_token = true;
     }
   }
-  if (has_token || !cur.empty()) argv.push_back(cur);
+  if (has_token || !cur.empty()) argv.push_back(std::move(cur));
   return argv;
 }
 

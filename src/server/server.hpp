@@ -45,13 +45,10 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -62,6 +59,7 @@
 #include "persist/durability.hpp"
 #include "server/command.hpp"
 #include "server/resp.hpp"
+#include "util/sync.hpp"
 #include "util/thread_pool.hpp"
 
 namespace rg::server {
@@ -81,13 +79,13 @@ struct DurabilityConfig {
 struct GraphEntry {
   explicit GraphEntry(std::size_t cache_capacity)
       : plan_cache(cache_capacity) {}
-  graph::Graph graph;
-  std::shared_mutex lock;
+  util::SharedMutex lock;
+  graph::Graph graph RG_GUARDED_BY(lock);
   exec::PlanCache plan_cache;
   /// LSN of the last journaled write applied to this graph (the
   /// snapshot watermark); written under the exclusive lock, read for
   /// snapshots under the shared lock.
-  std::uint64_t last_lsn = 0;
+  std::uint64_t last_lsn RG_GUARDED_BY(lock) = 0;
   /// Set (before the unlink frame is journaled) when GRAPH.DELETE or
   /// GRAPH.RESTORE removes this entry from the keyspace: a write
   /// still holding the entry only touched a zombie graph and must
@@ -201,7 +199,8 @@ class Server {
 
   /// Fold a dying entry's cache counters into retired_counters_ so the
   /// CONFIG GET aggregate stays monotonic across GRAPH.DELETE/RESTORE.
-  void retire_counters_locked(const GraphEntry& entry);
+  void retire_counters_locked(const GraphEntry& entry)
+      RG_REQUIRES(keyspace_mu_);
 
   // -- metrics / slowlog -------------------------------------------------
   struct StatSlot {
@@ -227,32 +226,36 @@ class Server {
   void maybe_request_rewrite();
   void compaction_loop();
 
-  mutable std::mutex keyspace_mu_;
-  std::map<std::string, std::shared_ptr<GraphEntry>> keyspace_;
-  std::size_t plan_cache_capacity_ = exec::PlanCache::kDefaultCapacity;
-  exec::PlanCache::Counters retired_counters_;
+  mutable util::Mutex keyspace_mu_;
+  std::map<std::string, std::shared_ptr<GraphEntry>> keyspace_
+      RG_GUARDED_BY(keyspace_mu_);
+  std::size_t plan_cache_capacity_ RG_GUARDED_BY(keyspace_mu_) =
+      exec::PlanCache::kDefaultCapacity;
+  exec::PlanCache::Counters retired_counters_ RG_GUARDED_BY(keyspace_mu_);
 
   // Fixed slots for every command registered at construction time;
   // later registrations (tests, embedders) go through extra_stats_.
   std::unique_ptr<StatSlot[]> stats_;
   std::size_t stats_size_ = 0;
-  mutable std::mutex extra_stats_mu_;
-  std::map<std::size_t, std::unique_ptr<StatSlot>> extra_stats_;
+  mutable util::Mutex extra_stats_mu_;
+  std::map<std::size_t, std::unique_ptr<StatSlot>> extra_stats_
+      RG_GUARDED_BY(extra_stats_mu_);
 
-  mutable std::mutex slowlog_mu_;
-  std::deque<SlowlogEntry> slowlog_;  // front = newest
-  std::uint64_t slowlog_next_id_ = 0;
+  mutable util::Mutex slowlog_mu_;
+  std::deque<SlowlogEntry> slowlog_
+      RG_GUARDED_BY(slowlog_mu_);  // front = newest
+  std::uint64_t slowlog_next_id_ RG_GUARDED_BY(slowlog_mu_) = 0;
   std::atomic<std::int64_t> slowlog_threshold_us_{kDefaultSlowlogThresholdUs};
 
   // Declared before workers_ so the pool (whose queued commands may
   // still journal) is destroyed first on shutdown.
   std::unique_ptr<persist::DurabilityManager> durability_;
-  bool replaying_ = false;  // constructor-only: suppress journaling
-  std::mutex rewrite_mu_;   // serializes rewrites (bg thread vs forced)
-  std::mutex compact_mu_;
-  std::condition_variable compact_cv_;
-  bool compact_requested_ = false;
-  bool compact_stop_ = false;
+  bool replaying_ = false;   // constructor-only: suppress journaling
+  util::Mutex rewrite_mu_;   // serializes rewrites (bg thread vs forced)
+  util::Mutex compact_mu_;
+  util::CondVar compact_cv_;
+  bool compact_requested_ RG_GUARDED_BY(compact_mu_) = false;
+  bool compact_stop_ RG_GUARDED_BY(compact_mu_) = false;
   std::thread compaction_thread_;
 
   std::unique_ptr<util::ThreadPool> workers_;

@@ -16,7 +16,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -34,8 +34,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lk(mu_);
-      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lk(mu_);
+      while (!stop_ && queue_.empty()) cv_.wait(mu_);
       if (queue_.empty()) {
         if (stop_) return;
         continue;
@@ -46,7 +46,7 @@ void ThreadPool::worker_loop() {
     }
     task();
     {
-      std::lock_guard lk(mu_);
+      MutexLock lk(mu_);
       --active_;
       if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
     }
@@ -54,8 +54,8 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lk(mu_);
-  idle_cv_.wait(lk, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lk(mu_);
+  while (!queue_.empty() || active_ != 0) idle_cv_.wait(mu_);
 }
 
 namespace {

@@ -7,15 +7,15 @@
 // "worker".
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace rg::util {
 
@@ -50,7 +50,7 @@ class ThreadPool {
         });
     std::future<R> fut = task->get_future();
     {
-      std::lock_guard lk(mu_);
+      MutexLock lk(mu_);
       queue_.emplace_back([task]() { (*task)(); });
     }
     cv_.notify_one();
@@ -71,12 +71,12 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::condition_variable idle_cv_;
-  std::size_t active_ = 0;
-  bool stop_ = false;
+  Mutex mu_;
+  std::deque<std::function<void()>> queue_ RG_GUARDED_BY(mu_);
+  CondVar cv_;
+  CondVar idle_cv_;
+  std::size_t active_ RG_GUARDED_BY(mu_) = 0;
+  bool stop_ RG_GUARDED_BY(mu_) = false;
 };
 
 /// Process-wide default pool.  Sized by set_global_threads() (first call

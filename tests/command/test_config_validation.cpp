@@ -1,0 +1,147 @@
+// Wire-level coverage of GRAPH.CONFIG SET range validation: every
+// numeric knob rejects out-of-range and malformed values with the
+// Redis-style `-ERR <NAME> must be an integer in [lo, hi]` text, over a
+// real RESP socket, and a rejected SET leaves the knob's previous value
+// untouched (no silent clamp, no partial apply).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "server/net_server.hpp"
+#include "server/resp.hpp"
+#include "server/server.hpp"
+#include "util/socket.hpp"
+
+namespace rg::server {
+namespace {
+
+/// Minimal RESP test client (same shape as test_net_server.cpp's).
+class Client {
+ public:
+  explicit Client(std::uint16_t port)
+      : conn_(util::TcpStream::connect("127.0.0.1", port)) {}
+
+  void send(const std::vector<std::string>& argv) {
+    conn_.write_all(encode_command(argv));
+  }
+
+  RespValue read_reply() {
+    for (;;) {
+      RespValue v;
+      const std::size_t used = decode_reply(rx_, v);
+      if (used > 0) {
+        rx_.erase(0, used);
+        return v;
+      }
+      char buf[4096];
+      const std::size_t got = conn_.read_some(buf, sizeof(buf));
+      if (got == 0) throw std::runtime_error("server closed connection");
+      rx_.append(buf, got);
+    }
+  }
+
+ private:
+  util::TcpStream conn_;
+  std::string rx_;
+};
+
+class ConfigValidationFixture : public ::testing::Test {
+ protected:
+  ConfigValidationFixture() : core_(2), net_(core_, /*port=*/0) {}
+
+  /// GRAPH.CONFIG GET <name> -> integer value of the single row.
+  long long get_int(Client& c, const std::string& name) {
+    c.send({"GRAPH.CONFIG", "GET", name});
+    const RespValue r = c.read_reply();
+    // Result-set framing: [columns, rows, stats]; one row, [name, value].
+    EXPECT_EQ(r.kind, RespValue::Kind::kArray) << r.text;
+    EXPECT_EQ(r.elems[1].elems.size(), 1u) << name;
+    return r.elems[1].elems[0].elems[1].integer;
+  }
+
+  /// SET that must fail: asserts the error kind and the exact wire text
+  /// (errors cross the wire with the Redis `ERR ` class prefix).
+  void expect_rejected(Client& c, const std::string& name,
+                       const std::string& value,
+                       const std::string& expected_error) {
+    c.send({"GRAPH.CONFIG", "SET", name, value});
+    const RespValue r = c.read_reply();
+    ASSERT_EQ(r.kind, RespValue::Kind::kError) << name << "=" << value;
+    EXPECT_EQ(r.text, "ERR " + expected_error);
+  }
+
+  Server core_;
+  NetServer net_;
+};
+
+TEST_F(ConfigValidationFixture, GbThreadsRangeAndErrorText) {
+  Client c(net_.port());
+  const std::string err = "GB_THREADS must be an integer in [1, 1024]";
+  for (const char* bad : {"0", "-1", "1025", "99999999999999999999", "nope",
+                          "1.5", " 4", "+4", ""})
+    expect_rejected(c, "GB_THREADS", bad, err);
+
+  c.send({"GRAPH.CONFIG", "SET", "GB_THREADS", "2"});
+  EXPECT_EQ(c.read_reply().kind, RespValue::Kind::kSimple);
+  EXPECT_EQ(get_int(c, "GB_THREADS"), 2);
+
+  // A rejected SET must not disturb the accepted value.
+  expect_rejected(c, "GB_THREADS", "4096", err);
+  EXPECT_EQ(get_int(c, "GB_THREADS"), 2);
+
+  c.send({"GRAPH.CONFIG", "SET", "GB_THREADS", "1"});
+  EXPECT_EQ(c.read_reply().kind, RespValue::Kind::kSimple);
+}
+
+TEST_F(ConfigValidationFixture, SlowlogThresholdRangeAndErrorText) {
+  Client c(net_.port());
+  const std::string err =
+      "SLOWLOG_THRESHOLD_US must be an integer in [-1, 86400000000]"
+      " (microseconds; 0 logs everything, -1 disables)";
+  for (const char* bad : {"-2", "86400000001", "abc", "+10", "1e6"})
+    expect_rejected(c, "SLOWLOG_THRESHOLD_US", bad, err);
+
+  // The documented sentinels stay valid: 0 (log everything) and -1
+  // (disabled), plus an ordinary threshold.
+  for (const char* good : {"0", "-1", "2500"}) {
+    c.send({"GRAPH.CONFIG", "SET", "SLOWLOG_THRESHOLD_US", good});
+    EXPECT_EQ(c.read_reply().kind, RespValue::Kind::kSimple) << good;
+    EXPECT_EQ(get_int(c, "SLOWLOG_THRESHOLD_US"), std::stoll(good));
+  }
+
+  expect_rejected(c, "SLOWLOG_THRESHOLD_US", "-100", err);
+  EXPECT_EQ(get_int(c, "SLOWLOG_THRESHOLD_US"), 2500);
+}
+
+TEST_F(ConfigValidationFixture, PlanCacheSizeRangeAndErrorText) {
+  Client c(net_.port());
+  const std::string err =
+      "PLAN_CACHE_SIZE must be an integer in [1, 1048576]";
+  for (const char* bad : {"0", "-3", "1048577", "huge"})
+    expect_rejected(c, "PLAN_CACHE_SIZE", bad, err);
+
+  c.send({"GRAPH.CONFIG", "SET", "PLAN_CACHE_SIZE", "16"});
+  EXPECT_EQ(c.read_reply().kind, RespValue::Kind::kSimple);
+  EXPECT_EQ(get_int(c, "PLAN_CACHE_SIZE"), 16);
+
+  expect_rejected(c, "PLAN_CACHE_SIZE", "0", err);
+  EXPECT_EQ(get_int(c, "PLAN_CACHE_SIZE"), 16);
+}
+
+TEST_F(ConfigValidationFixture, WalMaxBytesRejectedWithoutDurability) {
+  // This fixture's server has no data dir: the durability gate fires
+  // before range validation, exactly as before this change.
+  Client c(net_.port());
+  c.send({"GRAPH.CONFIG", "SET", "WAL_MAX_BYTES", "65536"});
+  const RespValue r = c.read_reply();
+  ASSERT_EQ(r.kind, RespValue::Kind::kError);
+  EXPECT_EQ(r.text, "ERR durability is disabled (no data dir configured)");
+}
+
+}  // namespace
+}  // namespace rg::server
+
+// WAL_MAX_BYTES range behavior with durability ON lives in
+// tests/persist/test_durability.cpp (ConfigWalMaxBytesRange) where a
+// data dir fixture already exists.

@@ -203,6 +203,27 @@ TEST_F(DurabilityFixture, ConfigKnobsRoundTrip) {
   EXPECT_GE(config_int(srv, "WAL_FSYNCS"), 1);  // policy was "always"
 }
 
+TEST_F(DurabilityFixture, ConfigWalMaxBytesRange) {
+  // Range validation with durability ON: the Redis-style error text and
+  // the no-partial-apply guarantee (the companion wire-level tests for
+  // the other knobs live in tests/command/test_config_validation.cpp,
+  // where no data dir is needed).
+  Server srv(1, config());
+  ASSERT_TRUE(
+      srv.execute({"GRAPH.CONFIG", "SET", "WAL_MAX_BYTES", "8192"}).ok());
+  const std::string err =
+      "WAL_MAX_BYTES must be an integer in [1024, 1099511627776]";
+  for (const char* bad : {"1023", "0", "-1", "1099511627777", "1k", ""}) {
+    const auto r = srv.execute({"GRAPH.CONFIG", "SET", "WAL_MAX_BYTES", bad});
+    ASSERT_FALSE(r.ok()) << bad;
+    EXPECT_EQ(r.text, err) << bad;
+    EXPECT_EQ(config_int(srv, "WAL_MAX_BYTES"), 8192) << bad;
+  }
+  ASSERT_TRUE(
+      srv.execute({"GRAPH.CONFIG", "SET", "WAL_MAX_BYTES", "1024"}).ok());
+  EXPECT_EQ(config_int(srv, "WAL_MAX_BYTES"), 1024);
+}
+
 TEST_F(DurabilityFixture, DurabilityOffByDefault) {
   Server srv(1);
   const auto r = srv.execute({"GRAPH.CONFIG", "GET", "DURABILITY"});

@@ -1,0 +1,121 @@
+// Deadlock regression for the documented lock-order rule (util/sync.hpp
+// header): graph entry lock BEFORE plan-cache lease, and keyspace_mu_
+// before both — never the reverse.
+//
+// Every thread here drives a path that nests two locks from the
+// hierarchy in its legal order while other threads nest the same pair
+// from different entry points:
+//
+//   * writers:  GraphEntry::lock (exclusive) -> PlanCache::mu_ (lease
+//     acquire) -> WAL-less journal path,
+//   * readers:  GraphEntry::lock (shared) -> PlanCache::mu_,
+//   * retuners: keyspace_mu_ -> every entry's PlanCache::mu_
+//     (GRAPH.CONFIG SET PLAN_CACHE_SIZE iterates the keyspace),
+//   * aggregators: keyspace_mu_ -> PlanCache::mu_ (counters) via
+//     GRAPH.CONFIG GET PLAN_CACHE_HITS,
+//   * deleters: keyspace_mu_ alone (GRAPH.DELETE + recreate churn).
+//
+// If any path ever inverted the rule (taking a graph entry lock or a
+// plan-cache lease and THEN keyspace_mu_, or a lease before its entry's
+// lock), this mix deadlocks and the per-test TIMEOUT fails the run; the
+// TSan lane (ctest -L server) additionally reports lock-order inversion
+// cycles even when the schedule happens not to deadlock.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/server.hpp"
+
+namespace rg::server {
+namespace {
+
+TEST(LockOrderTest, ConcurrentQueryRetuneDeleteMixDoesNotDeadlock) {
+  Server srv(4);
+  const std::string kGraphs[] = {"g0", "g1"};
+  for (const auto& g : kGraphs)
+    ASSERT_TRUE(srv.execute({"GRAPH.QUERY", g, "CREATE (:Seed {v: 0})"}).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> ops{0};
+  std::vector<std::thread> threads;
+
+  // Writers: exclusive graph lock -> plan-cache lease.
+  for (int w = 0; w < 2; ++w) {
+    threads.emplace_back([&, w] {
+      int i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto& g = kGraphs[(w + i) % 2];
+        srv.execute({"GRAPH.QUERY", g,
+                     "CYPHER v=" + std::to_string(i) +
+                         " CREATE (:N {v: $v})"});
+        ops.fetch_add(1, std::memory_order_relaxed);
+        ++i;
+      }
+    });
+  }
+
+  // Readers: shared graph lock -> plan-cache lease.
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&, r] {
+      int i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto& g = kGraphs[(r + i) % 2];
+        srv.execute({"GRAPH.RO_QUERY", g, "MATCH (n:N) RETURN count(n)"});
+        ops.fetch_add(1, std::memory_order_relaxed);
+        ++i;
+      }
+    });
+  }
+
+  // Retuner: keyspace_mu_ -> every plan cache's internal mutex.
+  threads.emplace_back([&] {
+    int cap = 2;
+    while (!stop.load(std::memory_order_relaxed)) {
+      ASSERT_TRUE(srv.execute({"GRAPH.CONFIG", "SET", "PLAN_CACHE_SIZE",
+                               std::to_string(2 + (cap++ % 14))})
+                      .ok());
+      ops.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  // Aggregator: keyspace_mu_ -> plan-cache counter reads (CONFIG GET),
+  // plus the GRAPH.LIST keyspace-only path.
+  threads.emplace_back([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      srv.execute({"GRAPH.CONFIG", "GET", "PLAN_CACHE_HITS"});
+      srv.execute({"GRAPH.LIST"});
+      ops.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  // Deleter: keyspace churn on a third key so entry_for re-creates
+  // entries while writers/readers hold shared_ptrs to live ones.
+  threads.emplace_back([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      srv.execute({"GRAPH.QUERY", "churn", "CREATE (:C)"});
+      srv.execute({"GRAPH.DELETE", "churn"});
+      ops.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : threads) t.join();
+
+  // Liveness: every class of thread made progress (a deadlock would
+  // have tripped the per-test TIMEOUT long before this assert).
+  EXPECT_GT(ops.load(), 0);
+
+  // Sanity: the surviving graphs still answer queries.
+  for (const auto& g : kGraphs) {
+    const Reply r =
+        srv.execute({"GRAPH.RO_QUERY", g, "MATCH (n) RETURN count(n)"});
+    EXPECT_TRUE(r.ok()) << r.text;
+  }
+}
+
+}  // namespace
+}  // namespace rg::server

@@ -1,0 +1,21 @@
+// Negative-compilation case (ci/check_negative_compile.py): touching an
+// RG_GUARDED_BY member with no lock held must be rejected by Clang's
+// thread-safety analysis.  The `fail_` prefix tells the harness this TU
+// must NOT compile under -Werror=thread-safety; if it ever does, the
+// annotations in util/sync.hpp have been silently disabled.
+#include "util/sync.hpp"
+
+struct Counter {
+  rg::util::Mutex mu;
+  int n RG_GUARDED_BY(mu) = 0;
+
+  void bump_unlocked() {
+    ++n;  // writing `n` requires holding `mu`
+  }
+};
+
+int main() {
+  Counter c;
+  c.bump_unlocked();
+  return 0;
+}

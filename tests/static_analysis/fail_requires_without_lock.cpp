@@ -1,0 +1,22 @@
+// Negative-compilation case: calling an RG_REQUIRES function without
+// holding the named capability must be rejected — this is the contract
+// the *_locked helper convention (evict_lru_locked, wait_locked,
+// retire_counters_locked, ...) relies on throughout src/.
+#include "util/sync.hpp"
+
+struct Counter {
+  rg::util::Mutex mu;
+  int n RG_GUARDED_BY(mu) = 0;
+
+  void bump_locked() RG_REQUIRES(mu) { ++n; }
+
+  void oops() {
+    bump_locked();  // calling bump_locked() requires holding `mu`
+  }
+};
+
+int main() {
+  Counter c;
+  c.oops();
+  return 0;
+}

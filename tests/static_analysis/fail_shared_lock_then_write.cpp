@@ -1,0 +1,27 @@
+// Negative-compilation case: writing a guarded member while holding
+// only the SHARED side of a SharedMutex must be rejected — the exact
+// reader-turned-writer mistake the per-graph reader/writer locks in
+// server/ exist to prevent (a shared holder mutating GraphEntry::graph
+// would corrupt concurrent readers).
+#include "util/sync.hpp"
+
+struct Table {
+  rg::util::SharedMutex mu;
+  int rows RG_GUARDED_BY(mu) = 0;
+
+  int read() {
+    rg::util::SharedLock lk(mu);
+    return rows;  // fine: shared access reads
+  }
+
+  void write_under_shared() {
+    rg::util::SharedLock lk(mu);
+    rows = 1;  // writing requires the EXCLUSIVE capability
+  }
+};
+
+int main() {
+  Table t;
+  t.write_under_shared();
+  return t.read();
+}

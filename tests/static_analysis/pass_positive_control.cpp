@@ -1,0 +1,80 @@
+// Positive control for the negative-compilation harness: correctly
+// locked code must compile CLEAN under -Werror=thread-safety.  If this
+// TU fails, the harness is rejecting valid code (over-restrictive
+// annotations in util/sync.hpp), which would block the whole tree.
+#include "util/sync.hpp"
+
+struct Table {
+  rg::util::Mutex mu;
+  rg::util::SharedMutex smu;
+  int a RG_GUARDED_BY(mu) = 0;
+  int b RG_GUARDED_BY(smu) = 0;
+
+  void set_a() {
+    rg::util::MutexLock lk(mu);
+    a = 1;
+  }
+
+  int get_b() {
+    rg::util::SharedLock lk(smu);
+    return b;
+  }
+
+  void set_b() {
+    rg::util::WriteLock lk(smu);
+    b = 2;
+  }
+
+  void bump_a_locked() RG_REQUIRES(mu) { ++a; }
+
+  void bump_a() {
+    rg::util::MutexLock lk(mu);
+    bump_a_locked();
+  }
+};
+
+// Cross-object moves: the DualMutexLock pattern used by gb::Matrix and
+// gb::Vector copy/move members.
+struct Pair {
+  rg::util::Mutex mu;
+  int v RG_GUARDED_BY(mu) = 0;
+
+  void copy_from(Pair& other) {
+    rg::util::DualMutexLock lk(mu, other.mu);
+    v = other.v;
+  }
+};
+
+// The manual predicate-wait idiom documented in util/sync.hpp (lambdas
+// do not inherit capabilities, so waits are explicit while-loops).
+struct Queue {
+  rg::util::Mutex mu;
+  rg::util::CondVar cv;
+  int ready RG_GUARDED_BY(mu) = 0;
+
+  void wait_ready() {
+    rg::util::MutexLock lk(mu);
+    while (!ready) cv.wait(mu);
+  }
+
+  void publish() {
+    {
+      rg::util::MutexLock lk(mu);
+      ready = 1;
+    }
+    cv.notify_all();
+  }
+};
+
+int main() {
+  Table t;
+  t.set_a();
+  t.set_b();
+  t.bump_a();
+  Pair p, q;
+  p.copy_from(q);
+  Queue w;
+  w.publish();
+  w.wait_ready();
+  return t.get_b();
+}
