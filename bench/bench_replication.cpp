@@ -1,0 +1,157 @@
+// BENCH-REPLICATION — cost model of the streaming WAL replication link
+// (server/replication.hpp): what the feature adds on top of the
+// durability layer the paper's module already pays for.
+//
+// Three sections:
+//   * full sync    — wall time to transfer a preloaded graph to a fresh
+//                    replica over a real socket (snapshot-at-watermark
+//                    transfer + restore), in nodes/s
+//   * streaming    — a single-writer CREATE burst on the primary with a
+//                    live replica attached: primary-side writes/s, the
+//                    replica's lag (frames) right after the burst, and
+//                    end-to-end replicated writes/s once it catches up
+//   * confirmed    — WAIT-confirmed write round-trip: CREATE + WAIT 1,
+//                    the synchronous-replication latency floor
+//
+//   $ ./bench_replication [--quick] [--json]
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "server/net_server.hpp"
+#include "server/server.hpp"
+
+namespace {
+
+using namespace rg;
+using namespace std::chrono_literals;
+
+std::int64_t count_nodes(server::Server& srv, const std::string& key) {
+  const auto r =
+      srv.execute({"GRAPH.RO_QUERY", key, "MATCH (n) RETURN count(*)"});
+  return r.ok() ? r.result.rows[0][0].as_int() : -1;
+}
+
+std::uint64_t applied_lsn(server::Server& replica) {
+  return replica.replication_info().applied_lsn;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = bench::parse_options(argc, argv);
+  const std::string dir =
+      std::filesystem::temp_directory_path() /
+      ("bench_repl_" + std::to_string(::getpid()));
+
+  server::DurabilityConfig dc;
+  dc.data_dir = dir;
+  dc.options.fsync = persist::FsyncPolicy::kNo;
+  server::Server primary(4, dc);
+  server::NetServer net(primary, /*port=*/0);
+
+  // --- full sync -------------------------------------------------------
+  const std::size_t preload = opt.quick ? 5000 : 50000;
+  {
+    auto& g = primary.graph_for_testing("sync");
+    const auto label = g.schema().add_label("Node");
+    for (std::size_t i = 0; i < preload; ++i) g.add_node({label});
+    g.flush();
+  }
+  std::printf("full sync: %zu-node graph over a socket\n", preload);
+  {
+    server::Server replica(2);
+    util::Stopwatch sw;
+    replica.replicaof("127.0.0.1", net.port());
+    while (count_nodes(replica, "sync") !=
+           static_cast<std::int64_t>(preload))
+      std::this_thread::sleep_for(1ms);
+    const double secs = sw.seconds();
+    std::printf("  %.3f s  (%.1f nodes/s)\n", secs,
+                static_cast<double>(preload) / secs);
+    if (opt.json) {
+      bench::JsonRow row("replication");
+      row.kv("workload", std::string("full_sync"))
+          .kv("engine", std::string("server"))
+          .kv("nodes", static_cast<std::uint64_t>(preload))
+          .kv("seconds", secs)
+          .kv("nodes_per_s", static_cast<double>(preload) / secs);
+      row.emit();
+    }
+  }
+
+  // --- streaming -------------------------------------------------------
+  const std::size_t writes = opt.quick ? 500 : 5000;
+  std::printf("streaming: %zu CREATEs with a live replica attached\n",
+              writes);
+  {
+    server::Server replica(2);
+    replica.replicaof("127.0.0.1", net.port());
+    while (count_nodes(replica, "sync") !=
+           static_cast<std::int64_t>(preload))
+      std::this_thread::sleep_for(1ms);
+
+    util::Stopwatch total;
+    util::Stopwatch burst;
+    for (std::size_t i = 0; i < writes; ++i) {
+      const auto r = primary.execute(
+          {"GRAPH.QUERY", "stream",
+           "CREATE (:W {seq: " + std::to_string(i) + "})"});
+      if (!r.ok()) std::abort();
+    }
+    const double burst_secs = burst.seconds();
+    const std::uint64_t master = primary.replication_info().master_lsn;
+    const std::uint64_t lag_frames =
+        master > applied_lsn(replica) ? master - applied_lsn(replica) : 0;
+    while (applied_lsn(replica) < master) std::this_thread::sleep_for(1ms);
+    const double total_secs = total.seconds();
+
+    std::printf("  primary: %.1f writes/s   lag after burst: %llu frames   "
+                "replicated: %.1f writes/s\n",
+                static_cast<double>(writes) / burst_secs,
+                static_cast<unsigned long long>(lag_frames),
+                static_cast<double>(writes) / total_secs);
+    if (opt.json) {
+      bench::JsonRow row("replication");
+      row.kv("workload", std::string("stream"))
+          .kv("engine", std::string("server"))
+          .kv("writes", static_cast<std::uint64_t>(writes))
+          .kv("primary_writes_per_s",
+              static_cast<double>(writes) / burst_secs)
+          .kv("lag_frames", lag_frames)
+          .kv("replicated_writes_per_s",
+              static_cast<double>(writes) / total_secs);
+      row.emit();
+    }
+
+    // --- confirmed writes (WAIT round trip) ----------------------------
+    const std::size_t confirmed = opt.quick ? 50 : 500;
+    std::printf("confirmed: CREATE + WAIT 1, %zu round trips\n", confirmed);
+    util::Stopwatch sw;
+    for (std::size_t i = 0; i < confirmed; ++i) {
+      if (!primary.execute({"GRAPH.QUERY", "stream", "CREATE (:C)"}).ok())
+        std::abort();
+      const auto w = primary.execute({"WAIT", "1", "4000"});
+      if (!w.ok() || w.result.rows[0][0].as_int() < 1) std::abort();
+    }
+    const double ms =
+        sw.seconds() * 1000.0 / static_cast<double>(confirmed);
+    std::printf("  %.3f ms per confirmed write\n", ms);
+    if (opt.json) {
+      bench::JsonRow row("replication");
+      row.kv("workload", std::string("confirmed_write"))
+          .kv("engine", std::string("server"))
+          .kv("writes", static_cast<std::uint64_t>(confirmed))
+          .kv("wait_rtt_ms", ms);
+      row.emit();
+    }
+  }
+
+  std::filesystem::remove_all(dir);
+  return 0;
+}

@@ -42,6 +42,15 @@ wal-frames      The WAL frame-type names and the command registry stay
                 by some journal call site — an unreferenced internal
                 frame type is dead protocol.
 
+replica-apply   Replication frame application (server/replication.cpp)
+                re-applies writes the PRIMARY already journaled: every
+                dispatch() call there must pass
+                CommandSource::kReplication (so the replica-side gates
+                — journaling, slowlog, the read-only check — stay off),
+                and the file must never journal or append to the WAL
+                itself: re-journaling an applied frame would duplicate
+                it on the next recovery.
+
 Suppressions: `// lint:allow(<rule>): <reason>` either inline on the
 offending line, or — for io-under-lock — on a comment line immediately
 above the guard construction, which then covers that guard's scope.
@@ -246,6 +255,48 @@ def check_wal_frames(path, text):
 
 
 # --------------------------------------------------------------------------
+# Rule: replica-apply (path-scoped to server/replication.cpp)
+# --------------------------------------------------------------------------
+
+DISPATCH_CALL_RE = re.compile(r"\bdispatch\s*\(")
+REPL_JOURNAL_RE = re.compile(
+    r"\bjournal(?:_batch)?\s*\(|durability_\s*->\s*append\w*\s*\(")
+
+
+def check_replica_apply(path, text):
+    if not path.replace("\\", "/").endswith("server/replication.cpp"):
+        return []
+    findings = []
+    stripped = strip_comments(text)
+    raw_lines = text.splitlines()
+    for m in DISPATCH_CALL_RE.finditer(stripped):
+        lineno = stripped.count("\n", 0, m.start()) + 1
+        if allowed(raw_lines[lineno - 1], "replica-apply"):
+            continue
+        # Balanced-paren scan for the full argument list (calls wrap).
+        depth, j = 1, m.end()
+        while j < len(stripped) and depth:
+            depth += {"(": 1, ")": -1}.get(stripped[j], 0)
+            j += 1
+        if "kReplication" not in stripped[m.end():j]:
+            findings.append(Finding(
+                path, lineno, "replica-apply",
+                "dispatch() in the replication link must pass "
+                "CommandSource::kReplication: the client path would "
+                "re-journal the frame and hit the read-only gate"))
+    for lineno, line in enumerate(stripped.splitlines(), 1):
+        m = REPL_JOURNAL_RE.search(line)
+        if not m or allowed(raw_lines[lineno - 1], "replica-apply"):
+            continue
+        findings.append(Finding(
+            path, lineno, "replica-apply",
+            f"`{m.group(0).strip()}` in the replication link: applied "
+            f"frames are already journaled by the primary; journaling "
+            f"them again would duplicate writes on recovery"))
+    return findings
+
+
+# --------------------------------------------------------------------------
 # Rule: io-under-lock
 # --------------------------------------------------------------------------
 
@@ -304,7 +355,7 @@ def check_io_under_lock(path, text):
 # --------------------------------------------------------------------------
 
 RULES = [check_raw_mutex, check_write_journals, check_wal_frames,
-         check_io_under_lock]
+         check_replica_apply, check_io_under_lock]
 
 
 def lint_tree(root):
@@ -324,7 +375,9 @@ def lint_tree(root):
 # --------------------------------------------------------------------------
 
 SELF_TESTS = [
-    # (rule fn, expected rule name or None for clean, source text)
+    # (rule fn, expected rule name or None for clean, source text
+    #  [, path]) — path defaults to selftest.cpp; path-scoped rules
+    # (replica-apply) get the path they are scoped to.
     (check_raw_mutex, "raw-mutex",
      "#include <mutex>\nstd::mutex mu_;\n"),
     (check_raw_mutex, "raw-mutex",
@@ -397,6 +450,36 @@ SELF_TESTS = [
       }
     """),
 
+    (check_replica_apply, "replica-apply", """
+      void ReplicationClient::apply_frame(const std::string& blob) {
+        srv_.dispatch(argv);
+      }
+    """, "src/server/replication.cpp"),
+    (check_replica_apply, "replica-apply", """
+      void ReplicationClient::apply_frame(const std::string& blob) {
+        srv_.dispatch(argv, CommandSource::kReplication);
+        srv_.durability_->append(argv);
+      }
+    """, "src/server/replication.cpp"),
+    (check_replica_apply, "replica-apply", """
+      void ReplicationClient::apply_frame(CommandCtx& ctx) {
+        ctx.journal(ctx.argv());
+      }
+    """, "src/server/replication.cpp"),
+    (check_replica_apply, None, """
+      void ReplicationClient::apply_frame(const std::string& blob) {
+        rdbuf_.append(buf, got);  // a string append, not the WAL's
+        srv_.dispatch(argv,
+                      CommandSource::kReplication);
+      }
+    """, "src/server/replication.cpp"),
+    (check_replica_apply, None, """
+      // The rule is scoped: client-path dispatches elsewhere are fine.
+      void Server::submit(std::vector<std::string> argv) {
+        dispatch(argv);
+      }
+    """, "src/server/server.cpp"),
+
     (check_io_under_lock, "io-under-lock", """
       void f(GraphEntry& e) {
         util::SharedLock lk(e.lock);
@@ -436,8 +519,10 @@ SELF_TESTS = [
 
 def self_test():
     failures = 0
-    for i, (rule, expect, text) in enumerate(SELF_TESTS):
-        found = rule("selftest.cpp", text)
+    for i, case in enumerate(SELF_TESTS):
+        rule, expect, text = case[:3]
+        path = case[3] if len(case) > 3 else "selftest.cpp"
+        found = rule(path, text)
         if expect is None and found:
             print(f"self-test {i} ({rule.__name__}): expected clean, got:"
                   f" {found[0]}", file=sys.stderr)
@@ -472,7 +557,7 @@ def main():
               file=sys.stderr)
         return 1
     print("lint_invariants: src/ clean (raw-mutex, write-journals, "
-          "wal-frames, io-under-lock)")
+          "wal-frames, replica-apply, io-under-lock)")
     return 0
 
 

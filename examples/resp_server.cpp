@@ -3,6 +3,7 @@
 //   $ ./resp_server [--port 6380] [--threads 4] [--gb-threads N]
 //                   [--any-interface] [--data-dir DIR]
 //                   [--fsync always|everysec|no] [--dump-commands]
+//                   [--replicaof HOST:PORT]
 //
 // --dump-commands prints the command reference (a markdown table
 // generated from the registry's CommandSpec rows) and exits; the README
@@ -12,6 +13,11 @@
 // With --data-dir the server is durable: it recovers snapshot + WAL
 // state from DIR at startup and journals every write, so a crash (or
 // kill -9) loses nothing past the fsync policy's window.
+//
+// With --replicaof the server starts as a read-only replica of the
+// given primary (same as issuing REPLICAOF HOST PORT after startup):
+// it full-syncs over a dedicated connection, then tails the primary's
+// WAL; promote with `redis-cli REPLICAOF NO ONE`.
 //
 // Speaks RESP on the socket, so any Redis client works:
 //   $ redis-cli -p 6380 GRAPH.QUERY g "CREATE (:Person {name:'ann'})"
@@ -26,6 +32,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "server/command.hpp"
 #include "server/net_server.hpp"
@@ -42,6 +49,8 @@ int main(int argc, char** argv) {
   unsigned port = 6380;
   unsigned threads = 4;
   bool loopback_only = true;
+  std::string primary_host;
+  unsigned primary_port = 0;
   rg::server::DurabilityConfig durability;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
@@ -66,11 +75,25 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "%s\n", e.what());
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--replicaof") == 0 && i + 1 < argc) {
+      const char* colon = std::strrchr(argv[++i], ':');
+      if (!colon || colon == argv[i]) {
+        std::fprintf(stderr, "--replicaof expects HOST:PORT\n");
+        return 2;
+      }
+      primary_host.assign(argv[i], static_cast<std::size_t>(colon - argv[i]));
+      primary_port =
+          static_cast<unsigned>(std::strtoul(colon + 1, nullptr, 10));
+      if (primary_port == 0 || primary_port > 65535) {
+        std::fprintf(stderr, "--replicaof port must be in [1, 65535]\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: %s [--port N] [--threads N] [--gb-threads N]\n"
                    "          [--any-interface] [--data-dir DIR]\n"
-                   "          [--fsync always|everysec|no] [--dump-commands]\n",
+                   "          [--fsync always|everysec|no] [--dump-commands]\n"
+                   "          [--replicaof HOST:PORT]\n",
                    argv[0]);
       return 2;
     }
@@ -88,6 +111,13 @@ int main(int argc, char** argv) {
     std::printf("durable: data dir %s, fsync %s\n",
                 durability.data_dir.c_str(),
                 rg::persist::fsync_policy_name(durability.options.fsync));
+  if (!primary_host.empty()) {
+    core.replicaof(primary_host,
+                   static_cast<std::uint16_t>(primary_port));
+    std::printf("replicating from %s:%u (read-only; REPLICAOF NO ONE "
+                "to promote)\n",
+                primary_host.c_str(), primary_port);
+  }
   std::fflush(stdout);
 
   // Park until a signal arrives (or stdin closes when run under a

@@ -114,11 +114,13 @@ void DurabilityManager::open_and_replay(
   if (opened_) throw PersistError("open_and_replay called twice");
 
   std::uint64_t max_lsn = 0;
+  std::uint64_t first_lsn = 0;  // oldest frame still in a retained log
   for (const auto& snap : snapshots_) max_lsn = std::max(max_lsn, snap.lsn);
   for (const auto& file : wal_files_) {
     const std::string path = path_of(file);
     if (!util::path_exists(path)) continue;  // fresh epoch, never written
     const WalScan scan = scan_wal(path, [&](const WalFrame& frame) {
+      if (first_lsn == 0) first_lsn = frame.lsn;
       if (apply(frame.lsn, frame.argv))
         ++retired_.replayed_frames;
       else
@@ -131,6 +133,10 @@ void DurabilityManager::open_and_replay(
     }
   }
   next_lsn_ = max_lsn + 1;
+  // Replication floor: with frames retained, everything before the
+  // first is gone; with an empty log, nothing up to max_lsn (all folded
+  // into snapshots) can be served.
+  retained_floor_ = first_lsn ? first_lsn - 1 : max_lsn;
 
   writer_ = std::make_unique<WalWriter>(path_of(wal_files_.back()), epoch_,
                                         next_lsn_, options_.fsync);
@@ -178,6 +184,10 @@ std::uint64_t DurabilityManager::begin_rewrite() {
   writer_.reset();
   ++epoch_;
   wal_files_.push_back(wal_file(epoch_));
+  // Once this rewrite commits, every frame below the fresh epoch's
+  // first LSN is deleted with the old logs; replicas behind that point
+  // will need a full resync (REPL.FETCH answers NOSYNC).
+  pending_floor_ = next - 1;
   writer_ = std::make_unique<WalWriter>(path_of(wal_files_.back()), epoch_,
                                         next, policy);
   // Transitional manifest: both logs listed, old snapshots still
@@ -205,6 +215,63 @@ void DurabilityManager::commit_rewrite(std::uint64_t epoch,
   write_manifest_locked();
   ++retired_.rewrites;
   remove_unreferenced_locked();
+  retained_floor_ = std::max(retained_floor_, pending_floor_);
+  ++file_generation_;        // the retained file set changed ...
+  cursor_.tailer.reset();    // ... so any tail cursor is stale
+}
+
+std::uint64_t DurabilityManager::last_lsn() const {
+  util::MutexLock lk(mu_);
+  return (writer_ ? writer_->next_lsn() : next_lsn_) - 1;
+}
+
+std::uint64_t DurabilityManager::retained_floor() const {
+  util::MutexLock lk(mu_);
+  return retained_floor_;
+}
+
+bool DurabilityManager::read_frames(std::uint64_t from_lsn,
+                                    std::size_t max_frames,
+                                    std::vector<WalFrame>& out) {
+  // The poll below reads (bounded chunks) while holding mu_, briefly
+  // blocking appends — the same discipline as append's own write(2)+
+  // fsync under mu_; the WAL mutex is the innermost in the hierarchy.
+  util::MutexLock lk(mu_);
+  if (!opened_ || !writer_) return false;
+  if (from_lsn == 0 || from_lsn <= retained_floor_) return false;
+  if (from_lsn >= writer_->next_lsn()) return true;  // caught up
+  if (!cursor_.tailer || cursor_.generation != file_generation_ ||
+      cursor_.next_lsn != from_lsn) {
+    cursor_.generation = file_generation_;
+    cursor_.file_index = 0;
+    cursor_.next_lsn = from_lsn;
+    cursor_.tailer =
+        std::make_unique<WalTailer>(path_of(wal_files_[0]), from_lsn);
+  }
+  std::size_t got = 0;
+  while (got < max_frames) {
+    got += cursor_.tailer->poll(max_frames - got,
+                                [&](const WalFrame& f) { out.push_back(f); });
+    if (got >= max_frames) break;
+    // Short poll: a closed epoch at clean EOF hands over to the next
+    // retained log; the live epoch's incomplete tail means "try later".
+    if (cursor_.file_index + 1 < wal_files_.size() &&
+        cursor_.tailer->at_eof() && !cursor_.tailer->corrupt()) {
+      ++cursor_.file_index;
+      cursor_.tailer = std::make_unique<WalTailer>(
+          path_of(wal_files_[cursor_.file_index]), from_lsn);
+    } else {
+      break;
+    }
+  }
+  if (got > 0) cursor_.next_lsn = out.back().lsn + 1;
+  return true;
+}
+
+void DurabilityManager::advance_next_lsn(std::uint64_t min_next) {
+  util::MutexLock lk(mu_);
+  if (next_lsn_ < min_next) next_lsn_ = min_next;
+  if (writer_) writer_->advance_next_lsn(min_next);
 }
 
 FsyncPolicy DurabilityManager::fsync_policy() const {

@@ -122,6 +122,29 @@ class DurabilityManager {
   /// True once the live log exceeds wal_max_bytes (rewrite due).
   bool compaction_due() const;
 
+  // -- replication support -----------------------------------------------
+
+  /// LSN of the most recent append (0 before the first ever).
+  std::uint64_t last_lsn() const;
+
+  /// Every frame at or below this LSN has been folded into snapshots and
+  /// its log deleted — the WAL no longer retains it.  A replica whose
+  /// cursor falls at or below the floor must full-resync.
+  std::uint64_t retained_floor() const;
+
+  /// Read up to `max_frames` frames with lsn >= `from_lsn` from the
+  /// retained logs into `out` (appending).  Returns false when the
+  /// requested range starts at or below the retained floor — the caller
+  /// (REPL.FETCH) turns that into a NOSYNC error.  Sequential fetches
+  /// reuse an internal cursor, so tailing a growing log is incremental,
+  /// not a rescan.
+  bool read_frames(std::uint64_t from_lsn, std::size_t max_frames,
+                   std::vector<WalFrame>& out);
+
+  /// Raise the next append's LSN to at least `min_next` (promotion: a
+  /// new primary's first write must outrank everything it applied).
+  void advance_next_lsn(std::uint64_t min_next);
+
   // -- rewrite protocol (see file header) --------------------------------
   std::uint64_t begin_rewrite();
   std::string snapshot_file(std::uint64_t epoch, std::size_t index) const;
@@ -154,6 +177,25 @@ class DurabilityManager {
   Counters retired_ RG_GUARDED_BY(mu_);
   std::uint64_t next_lsn_ RG_GUARDED_BY(mu_) = 1;
   bool opened_ RG_GUARDED_BY(mu_) = false;
+
+  // -- replication tail state --------------------------------------------
+  /// Frames <= floor are gone (see retained_floor()).  Set during
+  /// open_and_replay from the oldest scanned frame; moved forward by
+  /// commit_rewrite, which deletes the closed epochs.
+  std::uint64_t retained_floor_ RG_GUARDED_BY(mu_) = 0;
+  /// Floor candidate captured at begin_rewrite (first LSN of the fresh
+  /// epoch, minus one); promoted into retained_floor_ on commit.
+  std::uint64_t pending_floor_ RG_GUARDED_BY(mu_) = 0;
+  /// Sequential-fetch cursor for read_frames: rebuilt whenever the
+  /// requested LSN or the retained file set (generation) moves away.
+  struct TailCursor {
+    std::unique_ptr<WalTailer> tailer;
+    std::size_t file_index = 0;     // into wal_files_ at build time
+    std::uint64_t generation = 0;   // wal_files_ revision when built
+    std::uint64_t next_lsn = 0;     // first LSN the next poll delivers
+  };
+  TailCursor cursor_ RG_GUARDED_BY(mu_);
+  std::uint64_t file_generation_ RG_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace rg::persist

@@ -112,6 +112,39 @@ const char* fsync_policy_name(FsyncPolicy policy) {
   return "?";
 }
 
+std::string encode_argv(const std::vector<std::string>& argv) {
+  std::string out;
+  put_u32(out, static_cast<std::uint32_t>(argv.size()));
+  for (const auto& a : argv) {
+    put_u32(out, static_cast<std::uint32_t>(a.size()));
+    out += a;
+  }
+  return out;
+}
+
+bool decode_argv(std::string_view data, std::vector<std::string>& out) {
+  const char* p = data.data();
+  std::size_t left = data.size();
+  if (left < 4) return false;
+  const std::uint32_t count = get_u32(p);
+  p += 4;
+  left -= 4;
+  if (count > 1u << 20) return false;
+  out.clear();
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (left < 4) return false;
+    const std::uint32_t len = get_u32(p);
+    p += 4;
+    left -= 4;
+    if (left < len) return false;
+    out.emplace_back(p, len);
+    p += len;
+    left -= len;
+  }
+  return left == 0;
+}
+
 WalScan scan_wal(const std::string& path,
                  const std::function<void(const WalFrame&)>& fn) {
   std::string data;
@@ -158,6 +191,94 @@ WalScan scan_wal(const std::string& path,
   scan.torn_tail = off != data.size();
   return scan;
 }
+
+// ---------------------------------------------------------------------------
+// WalTailer
+// ---------------------------------------------------------------------------
+
+WalTailer::WalTailer(const std::string& path, std::uint64_t from_lsn,
+                     std::size_t buf_bytes)
+    : path_(path), from_lsn_(from_lsn),
+      buf_bytes_(std::max<std::size_t>(16, buf_bytes)) {
+  fd_ = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd_ < 0)
+    throw PersistError("cannot open WAL for tailing " + path + ": " +
+                       std::strerror(errno));
+}
+
+WalTailer::~WalTailer() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool WalTailer::fill() {
+  std::string chunk(buf_bytes_, '\0');
+  ssize_t n;
+  do {
+    n = ::read(fd_, chunk.data(), chunk.size());
+  } while (n < 0 && errno == EINTR);
+  if (n < 0)
+    throw PersistError("WAL tail read failed on " + path_ + ": " +
+                       std::strerror(errno));
+  at_eof_ = n == 0;
+  if (n > 0) pending_.append(chunk.data(), static_cast<std::size_t>(n));
+  return n > 0;
+}
+
+std::size_t WalTailer::poll(std::size_t max_frames,
+                            const std::function<void(const WalFrame&)>& fn) {
+  if (corrupt_) return 0;
+  std::size_t delivered = 0;
+  std::size_t off = 0;  // consumed prefix of pending_
+  WalFrame frame;
+  while (delivered < max_frames) {
+    if (!header_done_) {
+      while (pending_.size() < kHeaderBytes) {
+        if (!fill()) break;
+      }
+      if (pending_.size() < kHeaderBytes) break;  // header still torn
+      if (std::memcmp(pending_.data(), kMagic, 4) != 0 ||
+          get_u32(pending_.data() + 4) != kVersion) {
+        corrupt_ = true;
+        break;
+      }
+      epoch_ = get_u64(pending_.data() + 8);
+      off = kHeaderBytes;
+      header_done_ = true;
+    }
+    // Frame header, then the full payload; an incomplete suffix stays in
+    // pending_ for the next poll (split-frame reassembly).
+    while (pending_.size() - off < 8) {
+      if (!fill()) break;
+    }
+    if (pending_.size() - off < 8) break;
+    const std::uint32_t len = get_u32(pending_.data() + off);
+    const std::uint32_t crc = get_u32(pending_.data() + off + 4);
+    if (len > kMaxPayload) {
+      corrupt_ = true;
+      break;
+    }
+    while (pending_.size() - off - 8 < len) {
+      if (!fill()) break;
+    }
+    if (pending_.size() - off - 8 < len) break;
+    const std::string payload = pending_.substr(off + 8, len);
+    if (util::crc32(payload) != crc || !decode_payload(payload, frame)) {
+      corrupt_ = true;
+      break;
+    }
+    off += 8 + len;
+    if (frame.lsn < from_lsn_) continue;  // below the resume cursor
+    fn(frame);
+    last_lsn_ = frame.lsn;
+    ++delivered;
+  }
+  pending_.erase(0, off);
+  return delivered;
+}
+
+// ---------------------------------------------------------------------------
+// WalWriter
+// ---------------------------------------------------------------------------
 
 WalWriter::WalWriter(const std::string& path, std::uint64_t epoch,
                      std::uint64_t next_lsn, FsyncPolicy policy)
@@ -274,6 +395,12 @@ void WalWriter::sync() {
                        std::strerror(errno));
   dirty_ = false;
   ++counters_.fsyncs;
+}
+
+void WalWriter::advance_next_lsn(std::uint64_t min_next) {
+  util::MutexLock lk(mu_);  // serialize against append's fetch_add
+  if (next_lsn_.load(std::memory_order_relaxed) < min_next)
+    next_lsn_.store(min_next, std::memory_order_relaxed);
 }
 
 void WalWriter::set_policy(FsyncPolicy policy) {

@@ -66,6 +66,69 @@ struct WalScan {
 WalScan scan_wal(const std::string& path,
                  const std::function<void(const WalFrame&)>& fn);
 
+/// Length-prefixed string-list codec — the WAL payload's argv encoding
+/// (u32 count, count x (u32 len, bytes)) exposed for reuse: replication
+/// ships snapshots and frame batches as nested encode_argv blobs, so
+/// both sides of the wire share the journal's own binary-safe framing.
+std::string encode_argv(const std::vector<std::string>& argv);
+
+/// Decode a blob produced by encode_argv; returns false (never throws)
+/// on truncation, trailing garbage or a hostile count/length.
+bool decode_argv(std::string_view data, std::vector<std::string>& out);
+
+/// Incremental WAL reader — the streaming half of replication.  Unlike
+/// scan_wal it never loads the whole file: frames are decoded from a
+/// bounded read buffer (frames split across read boundaries reassemble
+/// across polls), an incomplete frame at the tail simply ends the poll
+/// (the writer may still be appending it — poll again), and a cursor
+/// can start mid-log by skipping every frame below `from_lsn`.
+class WalTailer {
+ public:
+  /// Open `path`.  Frames with lsn < `from_lsn` are decoded but not
+  /// delivered.  `buf_bytes` bounds each read(2) (small values exercise
+  /// split-frame reassembly; the default suits production tailing).
+  WalTailer(const std::string& path, std::uint64_t from_lsn,
+            std::size_t buf_bytes = 64 * 1024);
+  ~WalTailer();
+
+  WalTailer(const WalTailer&) = delete;
+  WalTailer& operator=(const WalTailer&) = delete;
+
+  /// Deliver up to `max_frames` intact frames (in LSN order, filtered by
+  /// from_lsn) to `fn`; returns the number delivered.  Returns 0 when
+  /// the tail holds no complete frame yet — not an error, poll again.
+  std::size_t poll(std::size_t max_frames,
+                   const std::function<void(const WalFrame&)>& fn);
+
+  /// True once a complete frame failed its CRC or decode: everything
+  /// beyond it is unreachable (matches scan_wal's torn-tail stop).
+  bool corrupt() const { return corrupt_; }
+
+  /// No undelivered bytes are buffered and the last read hit EOF.  A
+  /// closed epoch file at clean EOF is exhausted; a live file may grow.
+  bool at_eof() const { return at_eof_ && pending_.empty(); }
+
+  /// Epoch from the file header (0 until the header has been read).
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// LSN of the last frame delivered (0 before the first delivery).
+  std::uint64_t last_lsn() const { return last_lsn_; }
+
+ private:
+  bool fill();  // one bounded read; returns true if bytes arrived
+
+  std::string path_;
+  int fd_ = -1;
+  std::uint64_t from_lsn_;
+  std::size_t buf_bytes_;
+  std::string pending_;   // undecoded carry-over between polls
+  bool header_done_ = false;
+  bool corrupt_ = false;
+  bool at_eof_ = false;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t last_lsn_ = 0;
+};
+
 /// The append side.  Thread-safe: appends serialize internally.
 class WalWriter {
  public:
@@ -91,6 +154,11 @@ class WalWriter {
 
   /// Force an fsync now (used at clean shutdown and epoch hand-off).
   void sync();
+
+  /// Raise next_lsn to at least `min_next` (no-op when already past).
+  /// Replica promotion calls this so the first locally journaled write
+  /// is stamped above everything applied from the old primary.
+  void advance_next_lsn(std::uint64_t min_next);
 
   FsyncPolicy policy() const { return policy_.load(); }
   void set_policy(FsyncPolicy policy);

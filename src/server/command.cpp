@@ -246,10 +246,26 @@ CommandRegistry::CommandRegistry() {
        &H::config},
       {"GRAPH.INFO", 1, 2, kReadOnly | kAdmin,
        "Observability report: server, commandstats, plan_cache, wal, "
-       "slowlog sections.",
+       "slowlog, replication sections.",
        &H::info},
       {"GRAPH.SLOWLOG", 2, 3, kAdmin,
        "GET [n] / RESET / LEN over the slow-command log.", &H::slowlog},
+      {"REPLICAOF", 3, 3, kAdmin,
+       "REPLICAOF <host> <port> makes this server a read-only replica of "
+       "that primary; REPLICAOF NO ONE promotes it back.",
+       &H::replicaof},
+      {"WAIT", 3, 3, kAdmin,
+       "Block until <numreplicas> replicas acked the current WAL offset or "
+       "<timeout_ms> elapses; replies with the acked count.",
+       &H::wait},
+      {"REPL.SNAPSHOT", 1, 1, kReadOnly | kAdmin,
+       "Replication full-sync payload: every graph serialized at its LSN "
+       "watermark (issued by replicas, not clients).",
+       &H::repl_snapshot},
+      {"REPL.FETCH", 4, 4, kReadOnly | kAdmin,
+       "Replication stream: REPL.FETCH <replica_id> <from_lsn> <max> ships "
+       "retained WAL frames and doubles as the replica's ack heartbeat.",
+       &H::repl_fetch},
   };
   for (const auto& spec : builtins) register_command(spec);
 }
@@ -271,8 +287,9 @@ std::string command_table_markdown() {
 // ---------------------------------------------------------------------------
 
 CommandCtx::CommandCtx(Server& server, const CommandSpec& spec,
-                       const std::vector<std::string>& argv)
-    : srv_(server), spec_(spec), argv_(argv) {}
+                       const std::vector<std::string>& argv,
+                       CommandSource source)
+    : srv_(server), spec_(spec), argv_(argv), source_(source) {}
 
 CommandCtx::~CommandCtx() = default;
 
@@ -321,8 +338,6 @@ std::unique_lock<util::SharedMutex> CommandCtx::exclusive_lock() {
   return std::unique_lock<util::SharedMutex>(entry()->lock);
 }
 
-bool CommandCtx::replaying() const { return srv_.replaying_; }
-
 bool CommandCtx::durable() const { return srv_.durability_ != nullptr; }
 
 // last_lsn is guarded by the entry's lock, which the CALLER holds (the
@@ -335,7 +350,9 @@ std::uint64_t CommandCtx::journal(const std::vector<std::string>& frame)
     RG_NO_THREAD_SAFETY_ANALYSIS {
   if (!(spec_.flags & kWrite))
     throw std::logic_error("journal() on a command without kWrite");
-  if (!srv_.durability_ || srv_.replaying_) return 0;
+  // Replay and replication apply frames that are already journaled
+  // (locally or on the primary) — re-journaling would duplicate them.
+  if (!srv_.durability_ || source_ != CommandSource::kClient) return 0;
   if (!entry_) return srv_.durability_->append(frame);
   const std::uint64_t lsn = srv_.durability_->append_if(frame, [&] {
     return !entry_->unlinked.load(std::memory_order_acquire);
@@ -349,7 +366,7 @@ std::uint64_t CommandCtx::journal_batch(const std::vector<std::string>& frame,
     RG_NO_THREAD_SAFETY_ANALYSIS {
   if (!(spec_.flags & kWrite))
     throw std::logic_error("journal_batch() on a command without kWrite");
-  if (!srv_.durability_ || srv_.replaying_) return 0;
+  if (!srv_.durability_ || source_ != CommandSource::kClient) return 0;
   const std::uint64_t lsn = srv_.durability_->append_batch_if(
       frame, entities, [&] {
         return !entry_ || !entry_->unlinked.load(std::memory_order_acquire);
@@ -413,7 +430,8 @@ Reply CommandHandlers::info(CommandCtx& ctx) {
   // Single source of truth for the section names: validation and the
   // error text both iterate this list.
   static constexpr std::string_view kSections[] = {
-      "server", "commandstats", "plan_cache", "wal", "slowlog"};
+      "server", "commandstats", "plan_cache", "wal", "slowlog",
+      "replication"};
   const bool all = ctx.argc() == 1;
   auto want = [&](std::string_view section) {
     return all || ctx.arg_is(1, section);
@@ -471,6 +489,34 @@ Reply CommandHandlers::info(CommandCtx& ctx) {
   if (want("slowlog")) {
     row("SLOWLOG_LEN", static_cast<std::int64_t>(srv.slowlog_len()));
     row("SLOWLOG_THRESHOLD_US", srv.slowlog_threshold_us());
+  }
+  if (want("replication")) {
+    const ReplicationInfo ri = srv.replication_info();
+    srow("ROLE", ri.is_replica ? "replica" : "primary");
+    if (ri.is_replica) {
+      srow("PRIMARY_HOST", ri.primary_host);
+      row("PRIMARY_PORT", static_cast<std::int64_t>(ri.primary_port));
+      srow("LINK", ri.link);
+      row("APPLIED_LSN", static_cast<std::int64_t>(ri.applied_lsn));
+      row("FULL_SYNCS", static_cast<std::int64_t>(ri.full_syncs));
+      row("PARTIAL_SYNCS", static_cast<std::int64_t>(ri.partial_syncs));
+      row("FRAMES_APPLIED", static_cast<std::int64_t>(ri.frames_applied));
+      row("LINK_RECONNECTS", static_cast<std::int64_t>(ri.reconnects));
+      if (!ri.last_error.empty()) srow("LINK_LAST_ERROR", ri.last_error);
+    } else {
+      row("MASTER_LSN", static_cast<std::int64_t>(ri.master_lsn));
+      row("CONNECTED_REPLICAS",
+          static_cast<std::int64_t>(ri.replicas.size()));
+      for (const auto& rep : ri.replicas) {
+        const std::uint64_t lag = ri.master_lsn > rep.acked_lsn
+                                      ? ri.master_lsn - rep.acked_lsn
+                                      : 0;
+        srow("replica_" + rep.id,
+             "acked_lsn=" + std::to_string(rep.acked_lsn) +
+                 ",lag=" + std::to_string(lag) +
+                 ",age_ms=" + std::to_string(rep.age_ms));
+      }
+    }
   }
   return r;
 }
@@ -904,6 +950,103 @@ Reply CommandHandlers::restore_payload(CommandCtx& ctx) {
   if (slot) srv.retire_counters_locked(*slot);
   slot = std::move(fresh);
   return status_ok();
+}
+
+// ---------------------------------------------------------------------------
+// Handlers: replication
+// ---------------------------------------------------------------------------
+
+Reply CommandHandlers::replicaof(CommandCtx& ctx) {
+  Server& srv = ctx.server();
+  if (ctx.arg_is(1, "NO") && ctx.arg_is(2, "ONE")) {
+    srv.replicaof_no_one();
+    return status_ok();
+  }
+  // Lowercase leads so these texts keep the generic ERR code on the
+  // wire (resp_error treats a leading all-caps token as an error code).
+  const std::uint64_t port = ctx.arg_u64(2, "replicaof port");
+  if (port == 0 || port > 65535)
+    return error("replicaof port must be in [1, 65535]");
+  srv.replicaof(ctx.arg(1), static_cast<std::uint16_t>(port));
+  return status_ok();
+}
+
+Reply CommandHandlers::wait(CommandCtx& ctx) {
+  const std::uint64_t numreplicas = ctx.arg_u64(1, "wait numreplicas");
+  const std::uint64_t timeout_ms = ctx.arg_u64(2, "wait timeout");
+  // NOTE: WAIT parks one worker thread until satisfied or timed out —
+  // same trade-off as Redis, where WAIT blocks its client.
+  const std::size_t acked = ctx.server().wait_for_replicas(
+      static_cast<std::size_t>(numreplicas), timeout_ms);
+  Reply r;
+  r.kind = Reply::Kind::kResult;
+  r.result.columns = {"replicas"};
+  r.result.rows.push_back({graph::Value(static_cast<std::int64_t>(acked))});
+  return r;
+}
+
+Reply CommandHandlers::repl_snapshot(CommandCtx& ctx) {
+  Server& srv = ctx.server();
+  if (!srv.durability_)
+    return error("replication requires durability on the primary "
+                 "(configure a data dir)");
+  // start_lsn is captured BEFORE any graph serializes: a write journals
+  // (advancing both the WAL position and the entry's last_lsn) under
+  // the exclusive entry lock, so any frame at or below start_lsn that
+  // targets a graph serialized below is also at or below that graph's
+  // watermark — the replica can start fetching at start_lsn + 1 without
+  // a gap.  Frames <= start_lsn for keys absent here belong to deleted
+  // keys, which the fresh replica keyspace reproduces by not having
+  // them.
+  const std::uint64_t start_lsn = srv.durability_->last_lsn();
+  std::vector<std::pair<std::string, std::shared_ptr<GraphEntry>>> items;
+  {
+    util::MutexLock lk(srv.keyspace_mu_);
+    items.assign(srv.keyspace_.begin(), srv.keyspace_.end());
+  }
+  std::vector<std::string> parts;
+  parts.reserve(items.size() + 1);
+  parts.push_back(std::to_string(start_lsn));
+  for (const auto& [key, entry] : items) {
+    GraphEntry& ge = *entry;
+    util::SharedLock lk(ge.lock);
+    std::ostringstream os(std::ios::binary);
+    graph::save_graph(ge.graph, os);
+    parts.push_back(persist::encode_argv(
+        {key, std::to_string(ge.last_lsn), std::move(os).str()}));
+  }
+  return {Reply::Kind::kText, persist::encode_argv(parts), {}};
+}
+
+Reply CommandHandlers::repl_fetch(CommandCtx& ctx) {
+  Server& srv = ctx.server();
+  if (!srv.durability_)
+    return error("replication requires durability on the primary "
+                 "(configure a data dir)");
+  const std::string& replica_id = ctx.arg(1);
+  const std::uint64_t from_lsn = ctx.arg_u64(2, "REPL.FETCH from_lsn");
+  std::uint64_t max_frames = ctx.arg_u64(3, "REPL.FETCH max_frames");
+  if (max_frames == 0) max_frames = 1;
+  if (max_frames > 4096) max_frames = 4096;
+  // The fetch IS the heartbeat: asking for from_lsn acknowledges every
+  // frame below it.
+  srv.note_replica_ack(replica_id, from_lsn > 0 ? from_lsn - 1 : 0);
+  std::vector<persist::WalFrame> frames;
+  if (!srv.durability_->read_frames(
+          from_lsn, static_cast<std::size_t>(max_frames), frames))
+    return error("NOSYNC WAL history before lsn " +
+                 std::to_string(from_lsn) +
+                 " is no longer retained; full resync required");
+  std::vector<std::string> blobs;
+  blobs.reserve(frames.size());
+  for (const persist::WalFrame& f : frames) {
+    std::vector<std::string> parts;
+    parts.reserve(f.argv.size() + 1);
+    parts.push_back(std::to_string(f.lsn));
+    parts.insert(parts.end(), f.argv.begin(), f.argv.end());
+    blobs.push_back(persist::encode_argv(parts));
+  }
+  return {Reply::Kind::kText, persist::encode_argv(blobs), {}};
 }
 
 // ---------------------------------------------------------------------------

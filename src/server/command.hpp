@@ -50,6 +50,15 @@ class Server;
 struct GraphEntry;
 class CommandCtx;
 
+/// Where a dispatch originated.  Only client traffic faces the full
+/// gate set (kInternal rejection, the replica read-only gate, WAL
+/// journaling, the slowlog).  kReplay (constructor-time WAL recovery)
+/// and kReplication (frames applied from a primary's stream) are
+/// trusted re-application of already-journaled writes: they bypass
+/// those gates and MUST NEVER journal — re-journaling an applied frame
+/// would duplicate it (enforced by ci/lint_invariants.py replica-apply).
+enum class CommandSource { kClient, kReplay, kReplication };
+
 /// A command reply: either an error, a status string, a payload string
 /// (EXPLAIN/PROFILE) or a full result set.
 struct Reply {
@@ -169,7 +178,8 @@ std::string command_table_markdown();
 class CommandCtx {
  public:
   CommandCtx(Server& server, const CommandSpec& spec,
-             const std::vector<std::string>& argv);
+             const std::vector<std::string>& argv,
+             CommandSource source = CommandSource::kClient);
   ~CommandCtx();
 
   CommandCtx(const CommandCtx&) = delete;
@@ -212,13 +222,18 @@ class CommandCtx {
   std::shared_lock<util::SharedMutex> shared_lock();
   std::unique_lock<util::SharedMutex> exclusive_lock();
 
-  bool replaying() const;
+  CommandSource source() const { return source_; }
+  /// True when this dispatch re-applies an already-journaled frame
+  /// (WAL replay or the replication stream) rather than client traffic.
+  bool replaying() const { return source_ != CommandSource::kClient; }
   bool durable() const;
 
   /// Journal one frame after commit, before the reply is released.
   /// Gated on the table, not the handler: a spec without kWrite cannot
   /// journal (std::logic_error).  No-op returning 0 when durability is
-  /// off or during replay.  When entry() was resolved, the append is
+  /// off or when the dispatch is not client traffic (replay/replication
+  /// re-applies frames that are already in a journal — theirs or the
+  /// primary's).  When entry() was resolved, the append is
   /// guarded against a concurrent unlink (GRAPH.DELETE/RESTORE) and the
   /// entry's snapshot watermark (last_lsn) advances with the append —
   /// callers must hold the exclusive lock, so the watermark moves in
@@ -234,6 +249,7 @@ class CommandCtx {
   Server& srv_;
   const CommandSpec& spec_;
   const std::vector<std::string>& argv_;
+  CommandSource source_;
   std::shared_ptr<GraphEntry> entry_;
 };
 
@@ -255,6 +271,10 @@ struct CommandHandlers {
   static Reply config(CommandCtx&);
   static Reply info(CommandCtx&);
   static Reply slowlog(CommandCtx&);
+  static Reply replicaof(CommandCtx&);
+  static Reply wait(CommandCtx&);
+  static Reply repl_snapshot(CommandCtx&);
+  static Reply repl_fetch(CommandCtx&);
 
  private:
   static Reply run_query(CommandCtx& ctx, bool read_only_cmd, bool profile);

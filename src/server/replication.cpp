@@ -1,0 +1,248 @@
+#include "server/replication.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <random>
+#include <stdexcept>
+
+#include "persist/wal.hpp"
+#include "server/server.hpp"
+
+namespace rg::server {
+
+namespace {
+
+/// Strict u64 parse for wire fields (LSNs travel as decimal strings).
+std::uint64_t parse_wire_u64(const std::string& s, const char* what) {
+  if (s.empty()) throw std::runtime_error(std::string(what) + ": empty");
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9')
+      throw std::runtime_error(std::string(what) + ": not a number: " + s);
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return v;
+}
+
+std::string random_replica_id() {
+  std::random_device rd;
+  std::uint64_t bits = (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "r-%016llx",
+                static_cast<unsigned long long>(bits));
+  return buf;
+}
+
+}  // namespace
+
+ReplicationClient::ReplicationClient(
+    Server& server, std::string host, std::uint16_t port,
+    std::uint64_t resume_lsn,
+    std::map<std::string, std::uint64_t> resume_watermarks)
+    : srv_(server),
+      host_(std::move(host)),
+      port_(port),
+      id_(random_replica_id()),
+      applied_(resume_lsn),
+      watermarks_(std::move(resume_watermarks)) {
+  thread_ = std::thread([this] { run(); });
+}
+
+ReplicationClient::~ReplicationClient() { stop(); }
+
+void ReplicationClient::stop() {
+  stop_.store(true, std::memory_order_release);
+  {
+    util::MutexLock lk(mu_);
+    // Unblock a read_some() parked on the primary.
+    if (active_) active_->shutdown_both();
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+const char* ReplicationClient::link_state() const {
+  switch (state_.load(std::memory_order_acquire)) {
+    case State::kConnecting: return "connecting";
+    case State::kSyncing: return "syncing";
+    case State::kStreaming: return "streaming";
+    case State::kDisconnected: return "disconnected";
+  }
+  return "unknown";
+}
+
+void ReplicationClient::fill_info(ReplicationInfo& info) const {
+  info.primary_host = host_;
+  info.primary_port = port_;
+  info.link = link_state();
+  info.applied_lsn = applied_.load(std::memory_order_acquire);
+  info.full_syncs = full_syncs_.load(std::memory_order_relaxed);
+  info.partial_syncs = partial_syncs_.load(std::memory_order_relaxed);
+  info.frames_applied = frames_applied_.load(std::memory_order_relaxed);
+  info.reconnects = reconnects_.load(std::memory_order_relaxed);
+  util::MutexLock lk(mu_);
+  info.last_error = last_error_;
+}
+
+void ReplicationClient::idle_wait(int ms) {
+  util::MutexLock lk(mu_);
+  if (!stop_.load(std::memory_order_acquire))
+    cv_.wait_for(mu_, std::chrono::milliseconds(ms));
+}
+
+RespValue ReplicationClient::request(util::TcpStream& s,
+                                     const std::vector<std::string>& argv) {
+  s.write_all(encode_command(argv));
+  for (;;) {
+    RespValue v;
+    const std::size_t used = decode_reply(rdbuf_, v);
+    if (used) {
+      rdbuf_.erase(0, used);
+      return v;
+    }
+    char buf[64 * 1024];
+    const std::size_t got = s.read_some(buf, sizeof buf);
+    if (got == 0) throw std::runtime_error("primary closed the connection");
+    rdbuf_.append(buf, got);
+  }
+}
+
+void ReplicationClient::full_sync(util::TcpStream& s) {
+  set_state(State::kSyncing);
+  const RespValue v = request(s, {"REPL.SNAPSHOT"});
+  if (v.is_error())
+    throw std::runtime_error("REPL.SNAPSHOT refused: " + v.text);
+  if (v.kind != RespValue::Kind::kBulk)
+    throw std::runtime_error("REPL.SNAPSHOT: unexpected reply kind");
+  std::vector<std::string> parts;
+  if (!persist::decode_argv(v.text, parts) || parts.empty())
+    throw std::runtime_error("REPL.SNAPSHOT: malformed payload");
+  const std::uint64_t start_lsn =
+      parse_wire_u64(parts[0], "REPL.SNAPSHOT start_lsn");
+
+  // The snapshot set replaces everything local, watermarks included.
+  srv_.drop_all_graphs();
+  watermarks_.clear();
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    std::vector<std::string> entry;
+    if (!persist::decode_argv(parts[i], entry) || entry.size() != 3)
+      throw std::runtime_error("REPL.SNAPSHOT: malformed graph entry");
+    const std::uint64_t mark =
+        parse_wire_u64(entry[1], "REPL.SNAPSHOT watermark");
+    const Reply r = srv_.dispatch(
+        {"GRAPH.RESTORE.PAYLOAD", entry[0], std::move(entry[2])},
+        CommandSource::kReplication);
+    if (!r.ok())
+      throw std::runtime_error("snapshot restore of '" + entry[0] +
+                               "' failed: " + r.text);
+    watermarks_[entry[0]] = mark;
+  }
+  applied_.store(start_lsn, std::memory_order_release);
+  full_syncs_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ReplicationClient::apply_frame(const std::string& blob) {
+  std::vector<std::string> parts;
+  if (!persist::decode_argv(blob, parts) || parts.size() < 2)
+    throw std::runtime_error("REPL.FETCH: malformed frame");
+  const std::uint64_t lsn = parse_wire_u64(parts[0], "frame lsn");
+  const std::vector<std::string> argv(parts.begin() + 1, parts.end());
+
+  // Frames at or below a graph's snapshot watermark are already inside
+  // the transferred snapshot — advance the cursor without re-applying
+  // (same skip recovery performs against its own snapshots).
+  bool skip = false;
+  if (argv.size() >= 2) {
+    const auto it = watermarks_.find(argv[1]);
+    skip = it != watermarks_.end() && lsn <= it->second;
+  }
+  if (!skip) {
+    // Best-effort per frame, like recovery: the primary journaled it,
+    // so a local refusal (e.g. DELETE of a missing key) must not wedge
+    // the stream.
+    srv_.dispatch(argv, CommandSource::kReplication);
+    frames_applied_.fetch_add(1, std::memory_order_relaxed);
+  }
+  applied_.store(lsn, std::memory_order_release);
+}
+
+void ReplicationClient::run() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    try {
+      set_state(State::kConnecting);
+      util::TcpStream s = util::TcpStream::connect(host_, port_);
+      // Expose the stream to stop() for the whole connection scope; the
+      // guard runs before `s` is destroyed on any exit path.
+      struct ActiveGuard {
+        ReplicationClient& c;
+        ~ActiveGuard() {
+          util::MutexLock lk(c.mu_);
+          c.active_ = nullptr;
+        }
+      } guard{*this};
+      {
+        util::MutexLock lk(mu_);
+        active_ = &s;
+      }
+      if (stop_.load(std::memory_order_acquire)) return;
+      rdbuf_.clear();
+
+      // A fresh link (applied 0) must full-sync; a carried-forward
+      // position attempts a partial resync — the first successful fetch
+      // confirms the primary still retains our cursor.
+      bool resuming = applied_.load(std::memory_order_acquire) != 0;
+      if (!resuming) full_sync(s);
+      set_state(State::kStreaming);
+
+      while (!stop_.load(std::memory_order_acquire)) {
+        if (paused_.load(std::memory_order_acquire)) {
+          idle_wait(5);
+          continue;
+        }
+        const std::uint64_t next =
+            applied_.load(std::memory_order_acquire) + 1;
+        const RespValue v =
+            request(s, {"REPL.FETCH", id_, std::to_string(next),
+                        std::to_string(kFetchBatch)});
+        if (v.is_error()) {
+          if (v.text.rfind("NOSYNC", 0) == 0) {
+            // Our cursor fell below the primary's retained floor
+            // (compaction won the race) — full resync on this link.
+            full_sync(s);
+            resuming = false;
+            set_state(State::kStreaming);
+            continue;
+          }
+          throw std::runtime_error("REPL.FETCH refused: " + v.text);
+        }
+        if (v.kind != RespValue::Kind::kBulk)
+          throw std::runtime_error("REPL.FETCH: unexpected reply kind");
+        if (resuming) {
+          partial_syncs_.fetch_add(1, std::memory_order_relaxed);
+          resuming = false;
+        }
+        std::vector<std::string> blobs;
+        if (!persist::decode_argv(v.text, blobs))
+          throw std::runtime_error("REPL.FETCH: malformed batch");
+        if (blobs.empty()) {
+          // Caught up; the fetch above was still a heartbeat.
+          idle_wait(20);
+          continue;
+        }
+        for (const std::string& blob : blobs) apply_frame(blob);
+      }
+      return;
+    } catch (const std::exception& e) {
+      if (stop_.load(std::memory_order_acquire)) return;
+      set_state(State::kDisconnected);
+      reconnects_.fetch_add(1, std::memory_order_relaxed);
+      {
+        util::MutexLock lk(mu_);
+        last_error_ = e.what();
+      }
+    }
+    idle_wait(50);
+  }
+}
+
+}  // namespace rg::server

@@ -1,0 +1,156 @@
+// Streaming WAL replication — the replica side of the link.
+//
+// The replica is a RESP *client* of its primary on one dedicated
+// connection (mirroring Redis's replica-initiated PSYNC direction):
+//
+//   1. Full sync: REPL.SNAPSHOT transfers every graph serialized at its
+//      per-graph LSN watermark, plus the primary's WAL position
+//      (start_lsn) captured BEFORE serialization began.  The replica
+//      drops its keyspace, applies each snapshot through the kInternal
+//      GRAPH.RESTORE.PAYLOAD dispatch path, and records the watermarks.
+//   2. Streaming: REPL.FETCH <replica_id> <from_lsn> <max> tails the
+//      primary's retained WAL, shipping frames continuously; each frame
+//      re-applies through Server::dispatch with CommandSource::
+//      kReplication — the same table-driven path recovery uses — and is
+//      NEVER re-journaled (ci/lint_invariants.py rule replica-apply).
+//      Frames at or below a graph's snapshot watermark are skipped:
+//      they are already inside the transferred snapshot.
+//   3. The fetch cursor doubles as the ack heartbeat: asking for
+//      from_lsn acknowledges everything below it, which the primary
+//      records per replica (WAIT, GRAPH.INFO replication).
+//
+// Reconnect: a dropped link retries with the applied LSN carried
+// forward (partial resync).  If the primary compacted that history
+// away it answers -NOSYNC and the replica falls back to a full sync on
+// the same connection.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/resp.hpp"
+#include "util/socket.hpp"
+#include "util/sync.hpp"
+
+namespace rg::server {
+
+class Server;
+
+/// One replica's ack state as the primary sees it (GRAPH.INFO).
+struct ReplicaAckInfo {
+  std::string id;
+  std::uint64_t acked_lsn = 0;
+  std::uint64_t age_ms = 0;  // since the last fetch heartbeat
+};
+
+/// Role + link snapshot for GRAPH.INFO replication (and tests).
+struct ReplicationInfo {
+  bool is_replica = false;
+  // replica side
+  std::string primary_host;
+  std::uint16_t primary_port = 0;
+  std::string link;  // connecting | syncing | streaming | disconnected
+  std::uint64_t applied_lsn = 0;
+  std::uint64_t full_syncs = 0;
+  std::uint64_t partial_syncs = 0;
+  std::uint64_t frames_applied = 0;
+  std::uint64_t reconnects = 0;
+  std::string last_error;
+  // primary side
+  std::uint64_t master_lsn = 0;
+  std::vector<ReplicaAckInfo> replicas;
+};
+
+/// The replication link state machine.  Owned by Server (REPLICAOF
+/// starts one, REPLICAOF NO ONE / re-pointing stops it); all work runs
+/// on one background thread so command dispatch never blocks on the
+/// primary.
+class ReplicationClient {
+ public:
+  /// Starts the link thread.  `resume_lsn`/`resume_watermarks` carry a
+  /// previous link's position forward (re-REPLICAOF to the same
+  /// primary): non-zero resume skips the full sync and attempts a
+  /// partial resync from the retained WAL.
+  ReplicationClient(Server& server, std::string host, std::uint16_t port,
+                    std::uint64_t resume_lsn = 0,
+                    std::map<std::string, std::uint64_t> resume_watermarks = {});
+  ~ReplicationClient();  // stop()
+
+  ReplicationClient(const ReplicationClient&) = delete;
+  ReplicationClient& operator=(const ReplicationClient&) = delete;
+
+  /// Stop the thread and close the link (idempotent; the destructor
+  /// calls it).  After stop() the watermark map is safe to read.
+  void stop();
+
+  const std::string& host() const { return host_; }
+  std::uint16_t port() const { return port_; }
+  const std::string& replica_id() const { return id_; }
+
+  std::uint64_t applied_lsn() const {
+    return applied_.load(std::memory_order_acquire);
+  }
+
+  /// Snapshot watermarks from the last full sync; call after stop()
+  /// (the link thread owns the map while running).
+  const std::map<std::string, std::uint64_t>& watermarks() const {
+    return watermarks_;
+  }
+
+  /// Test/debug knob: a paused link stops fetching (its applied LSN and
+  /// acks freeze) without dropping the connection — deterministic
+  /// staleness for WAIT/lag tests.
+  void set_paused(bool paused) {
+    paused_.store(paused, std::memory_order_release);
+  }
+  bool paused() const { return paused_.load(std::memory_order_acquire); }
+
+  const char* link_state() const;
+  void fill_info(ReplicationInfo& info) const;
+
+  /// Frames requested per REPL.FETCH round trip.
+  static constexpr std::size_t kFetchBatch = 256;
+
+ private:
+  enum class State { kConnecting, kSyncing, kStreaming, kDisconnected };
+
+  void run();
+  void full_sync(util::TcpStream& s);
+  void apply_frame(const std::string& blob);
+  RespValue request(util::TcpStream& s, const std::vector<std::string>& argv);
+  void idle_wait(int ms);
+  void set_state(State s) { state_.store(s, std::memory_order_release); }
+
+  Server& srv_;
+  std::string host_;
+  std::uint16_t port_;
+  std::string id_;  // random, persists across reconnects of this link
+
+  std::atomic<std::uint64_t> applied_{0};
+  /// Per-graph snapshot watermarks from the last full sync.  Touched by
+  /// the link thread only while it runs; readable after stop().
+  std::map<std::string, std::uint64_t> watermarks_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> paused_{false};
+  std::atomic<State> state_{State::kConnecting};
+  std::atomic<std::uint64_t> full_syncs_{0};
+  std::atomic<std::uint64_t> partial_syncs_{0};
+  std::atomic<std::uint64_t> frames_applied_{0};
+  std::atomic<std::uint64_t> reconnects_{0};
+
+  mutable util::Mutex mu_;
+  util::CondVar cv_;  // wakes idle_wait on stop()
+  /// The live connection, so stop() can shutdown_both() a blocked read.
+  util::TcpStream* active_ RG_GUARDED_BY(mu_) = nullptr;
+  std::string last_error_ RG_GUARDED_BY(mu_);
+
+  std::string rdbuf_;  // reply reassembly (link thread only)
+  std::thread thread_;
+};
+
+}  // namespace rg::server

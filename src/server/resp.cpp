@@ -25,9 +25,21 @@ std::string resp_error(const std::string& s) {
   // through a length-prefixed bulk argument would terminate the error
   // early and desynchronize every later reply on the connection, so
   // newlines are flattened to spaces — same as Redis.
+  //
+  // An error text that LEADS with an error code — a space-delimited
+  // first token of 2+ uppercase letters, like Redis's "READONLY ..." or
+  // "NOSYNC ..." — goes on the wire verbatim; everything else gets the
+  // generic "ERR " code.  Clients key replica/resync handling off that
+  // first token, so it must not be buried behind ERR.
+  std::size_t code_len = 0;
+  while (code_len < s.size() && s[code_len] >= 'A' && s[code_len] <= 'Z')
+    ++code_len;
+  const bool coded = code_len >= 2 &&
+                     (code_len == s.size() || s[code_len] == ' ');
   std::string out;
   out.reserve(s.size() + 7);
-  out.append("-ERR ");
+  out.push_back('-');
+  if (!coded) out.append("ERR ");
   for (const char c : s) out += (c == '\r' || c == '\n') ? ' ' : c;
   out.append("\r\n");
   return out;

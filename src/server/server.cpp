@@ -21,6 +21,16 @@ Server::Server(std::size_t worker_threads, const DurabilityConfig& durability)
 }
 
 Server::~Server() {
+  // Stop the replication link first: its thread dispatches into the
+  // keyspace and must be gone before any of that machinery tears down.
+  {
+    std::unique_ptr<ReplicationClient> link;
+    {
+      util::MutexLock lk(repl_mu_);
+      link = std::move(repl_client_);
+    }
+    link.reset();  // joins outside repl_mu_
+  }
   if (compaction_thread_.joinable()) {
     {
       util::MutexLock lk(compact_mu_);
@@ -33,9 +43,9 @@ Server::~Server() {
 
 void Server::recover() {
   // Constructor path: single-threaded, so dispatch() can be called
-  // directly and replaying_ needs no synchronization.  The locks below
-  // are all uncontended; they exist to satisfy the guarded-by contracts
-  // (and to keep this path honest if recovery ever goes concurrent).
+  // directly.  The locks below are all uncontended; they exist to
+  // satisfy the guarded-by contracts (and to keep this path honest if
+  // recovery ever goes concurrent).
   std::map<std::string, std::uint64_t> watermarks;
   std::size_t cache_capacity;
   {
@@ -58,7 +68,6 @@ void Server::recover() {
     util::MutexLock lk(keyspace_mu_);
     keyspace_[snap.key] = std::move(entry);
   }
-  replaying_ = true;
   durability_->open_and_replay(
       [&](std::uint64_t lsn, const std::vector<std::string>& argv) {
         // Frames already folded into a snapshot (journaled between the
@@ -70,10 +79,9 @@ void Server::recover() {
         }
         // Replay is best-effort per frame: a frame that fails (e.g.
         // GRAPH.DELETE of a key deleted twice) must not abort recovery.
-        dispatch(argv);
+        dispatch(argv, CommandSource::kReplay);
         return true;
       });
-  replaying_ = false;
 }
 
 void Server::compaction_loop() {
@@ -238,7 +246,7 @@ std::string slowlog_command_text(const std::vector<std::string>& argv) {
 
 void Server::record_dispatch(StatSlot& slot,
                              const std::vector<std::string>& argv, bool error,
-                             std::uint64_t usec) {
+                             std::uint64_t usec, CommandSource source) {
   slot.calls.fetch_add(1, std::memory_order_relaxed);
   if (error) slot.errors.fetch_add(1, std::memory_order_relaxed);
   slot.usec_total.fetch_add(usec, std::memory_order_relaxed);
@@ -247,10 +255,11 @@ void Server::record_dispatch(StatSlot& slot,
                             prev, usec, std::memory_order_relaxed)) {
   }
 
-  // Slowlog (skipped during WAL replay: recovery is not client traffic).
+  // Slowlog is client-facing observability: WAL replay and replication
+  // apply are not client traffic.
   const std::int64_t threshold =
       slowlog_threshold_us_.load(std::memory_order_relaxed);
-  if (replaying_ || threshold < 0 ||
+  if (source != CommandSource::kClient || threshold < 0 ||
       usec < static_cast<std::uint64_t>(threshold))
     return;
   const std::int64_t now =
@@ -263,7 +272,8 @@ void Server::record_dispatch(StatSlot& slot,
   while (slowlog_.size() > kSlowlogMaxLen) slowlog_.pop_back();
 }
 
-Reply Server::dispatch(const std::vector<std::string>& argv) {
+Reply Server::dispatch(const std::vector<std::string>& argv,
+                       CommandSource source) {
   if (argv.empty()) return {Reply::Kind::kError, "empty command", {}};
   const CommandSpec* spec = CommandRegistry::instance().find(argv[0]);
   if (!spec)
@@ -271,26 +281,38 @@ Reply Server::dispatch(const std::vector<std::string>& argv) {
   StatSlot& slot = stat_slot(spec->index);
 
   // Arity and flag enforcement from the table, not the handler: too few
-  // arguments, trailing extras on fixed-arity commands, and internal
-  // frame types from clients are all rejected here.
+  // arguments, trailing extras on fixed-arity commands, internal frame
+  // types from clients, and client writes against a replica are all
+  // rejected here.
   const auto argc = static_cast<int>(argv.size());
   if (argc < spec->min_arity ||
       (spec->max_arity >= 0 && argc > spec->max_arity)) {
-    record_dispatch(slot, argv, /*error=*/true, 0);
+    record_dispatch(slot, argv, /*error=*/true, 0, source);
     return {Reply::Kind::kError, wrong_arity_error(spec->name), {}};
   }
-  if ((spec->flags & kInternal) && !replaying_) {
-    record_dispatch(slot, argv, /*error=*/true, 0);
+  if ((spec->flags & kInternal) && source == CommandSource::kClient) {
+    record_dispatch(slot, argv, /*error=*/true, 0, source);
     return {Reply::Kind::kError,
             "'" + std::string(spec->name) +
                 "' is an internal command, only valid during WAL replay",
+            {}};
+  }
+  // The replica read-only gate (Redis semantics: only data mutations are
+  // refused; admin and read commands still work).  Replication apply and
+  // replay bypass it — applying the primary's stream IS the replica's
+  // job.
+  if ((spec->flags & kWrite) && source == CommandSource::kClient &&
+      role() == Role::kReplica) {
+    record_dispatch(slot, argv, /*error=*/true, 0, source);
+    return {Reply::Kind::kError,
+            "READONLY You can't write against a read only replica.",
             {}};
   }
 
   const auto start = std::chrono::steady_clock::now();
   Reply reply;
   try {
-    CommandCtx ctx(*this, *spec, argv);
+    CommandCtx ctx(*this, *spec, argv, source);
     reply = spec->handler(ctx);
   } catch (const std::exception& e) {
     reply = {Reply::Kind::kError, e.what(), {}};
@@ -299,12 +321,13 @@ Reply Server::dispatch(const std::vector<std::string>& argv) {
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - start)
           .count());
-  record_dispatch(slot, argv, !reply.ok(), usec);
+  record_dispatch(slot, argv, !reply.ok(), usec, source);
 
   // Journaled writes may have pushed the WAL over its rewrite
   // threshold; the check is driven by the table's kWrite flag, exactly
   // like the journaling itself.
-  if ((spec->flags & kWrite) && durability_ && !replaying_)
+  if ((spec->flags & kWrite) && durability_ &&
+      source == CommandSource::kClient)
     maybe_request_rewrite();
   return reply;
 }
@@ -344,6 +367,125 @@ std::size_t Server::slowlog_len() const {
 void Server::slowlog_reset() {
   util::MutexLock lk(slowlog_mu_);
   slowlog_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Replication hub (see server/replication.hpp for the link itself)
+// ---------------------------------------------------------------------------
+
+void Server::drop_all_graphs() {
+  util::MutexLock lk(keyspace_mu_);
+  for (auto& [key, entry] : keyspace_) {
+    // Stragglers still holding the entry only touch a zombie graph and
+    // (on a primary) would refuse to journal — same contract as DELETE.
+    entry->unlinked.store(true, std::memory_order_release);
+    retire_counters_locked(*entry);
+  }
+  keyspace_.clear();
+}
+
+void Server::replicaof(const std::string& host, std::uint16_t port) {
+  std::unique_ptr<ReplicationClient> old;
+  {
+    util::MutexLock lk(repl_mu_);
+    old = std::move(repl_client_);
+  }
+  // Stop (join) outside repl_mu_: the link thread dispatches commands
+  // and must never be joined under a lock it could block on.
+  std::uint64_t resume = 0;
+  std::map<std::string, std::uint64_t> marks;
+  if (old) {
+    old->stop();
+    if (old->host() == host && old->port() == port) {
+      // Same primary: carry the position forward so the fresh link
+      // attempts a partial resync instead of a full transfer.
+      resume = old->applied_lsn();
+      marks = old->watermarks();
+    }
+    old.reset();
+  }
+  role_.store(Role::kReplica, std::memory_order_release);
+  auto link = std::make_unique<ReplicationClient>(*this, host, port, resume,
+                                                  std::move(marks));
+  util::MutexLock lk(repl_mu_);
+  repl_client_ = std::move(link);
+}
+
+void Server::replicaof_no_one() {
+  std::unique_ptr<ReplicationClient> old;
+  {
+    util::MutexLock lk(repl_mu_);
+    old = std::move(repl_client_);
+  }
+  std::uint64_t applied = 0;
+  if (old) {
+    old->stop();
+    applied = old->applied_lsn();
+    old.reset();
+  }
+  const Role prev = role_.exchange(Role::kPrimary, std::memory_order_acq_rel);
+  if (prev == Role::kReplica && durability_) {
+    // The replica never journaled what it applied (replica-apply
+    // invariant), so promotion makes the applied state durable by
+    // snapshot and stamps the next local write above everything from
+    // the old primary.
+    durability_->advance_next_lsn(applied + 1);
+    force_snapshot();
+  }
+}
+
+ReplicationInfo Server::replication_info() const {
+  ReplicationInfo info;
+  info.is_replica = role() == Role::kReplica;
+  if (durability_) info.master_lsn = durability_->last_lsn();
+  const auto now = std::chrono::steady_clock::now();
+  util::MutexLock lk(repl_mu_);
+  if (repl_client_) repl_client_->fill_info(info);
+  for (const auto& [id, ack] : replica_acks_) {
+    const auto age = std::chrono::duration_cast<std::chrono::milliseconds>(
+                         now - ack.last_seen)
+                         .count();
+    info.replicas.push_back(
+        {id, ack.acked_lsn, age > 0 ? static_cast<std::uint64_t>(age) : 0});
+  }
+  return info;
+}
+
+void Server::note_replica_ack(const std::string& replica_id,
+                              std::uint64_t acked_lsn) {
+  {
+    util::MutexLock lk(repl_mu_);
+    auto& ack = replica_acks_[replica_id];
+    if (ack.acked_lsn < acked_lsn) ack.acked_lsn = acked_lsn;
+    ack.last_seen = std::chrono::steady_clock::now();
+  }
+  repl_cv_.notify_all();
+}
+
+std::size_t Server::wait_for_replicas(std::size_t numreplicas,
+                                      std::uint64_t timeout_ms) {
+  // The offset to confirm is the WAL position at the moment WAIT was
+  // issued — everything this client has written is at or below it.
+  const std::uint64_t target = durability_ ? durability_->last_lsn() : 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  util::MutexLock lk(repl_mu_);
+  for (;;) {
+    std::size_t acked = 0;
+    for (const auto& [id, ack] : replica_acks_)
+      if (ack.acked_lsn >= target) ++acked;
+    if (acked >= numreplicas) return acked;
+    if (timeout_ms != 0 && std::chrono::steady_clock::now() >= deadline)
+      return acked;
+    // Bounded waits double as the deadline poll: a heartbeat wakes us
+    // early, and a silent link cannot park WAIT forever past timeout.
+    repl_cv_.wait_for(repl_mu_, std::chrono::milliseconds(50));
+  }
+}
+
+void Server::set_replication_paused(bool paused) {
+  util::MutexLock lk(repl_mu_);
+  if (repl_client_) repl_client_->set_paused(paused);
 }
 
 }  // namespace rg::server

@@ -45,6 +45,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <deque>
 #include <future>
 #include <map>
@@ -58,6 +59,7 @@
 #include "graph/graph.hpp"
 #include "persist/durability.hpp"
 #include "server/command.hpp"
+#include "server/replication.hpp"
 #include "server/resp.hpp"
 #include "util/sync.hpp"
 #include "util/thread_pool.hpp"
@@ -156,6 +158,41 @@ class Server {
   /// durability is off.  Blocks until the rewrite is committed.
   void force_snapshot();
 
+  // -- replication (see server/replication.hpp) --------------------------
+
+  enum class Role { kPrimary, kReplica };
+  Role role() const { return role_.load(std::memory_order_acquire); }
+
+  /// REPLICAOF <host> <port>: become a read-only replica of that
+  /// primary.  Starts (or re-points) the background link; returns
+  /// immediately — sync progress is visible in GRAPH.INFO replication.
+  /// Re-pointing at the SAME primary carries the applied LSN forward, so
+  /// the new link attempts a partial resync from the retained WAL.
+  void replicaof(const std::string& host, std::uint16_t port);
+
+  /// REPLICAOF NO ONE: stop the link and promote to primary.  A durable
+  /// server stamps its next LSN above everything applied and snapshots,
+  /// so the promoted state is the durable baseline.
+  void replicaof_no_one();
+
+  /// Role + link/ack snapshot (GRAPH.INFO replication and tests).
+  ReplicationInfo replication_info() const;
+
+  /// Record a replica's fetch heartbeat: fetching from_lsn acknowledges
+  /// everything below it (REPL.FETCH handler; wakes WAIT).
+  void note_replica_ack(const std::string& replica_id,
+                        std::uint64_t acked_lsn);
+
+  /// WAIT: block until `numreplicas` replicas acked the WAL offset
+  /// current at the call (timeout_ms 0 = no deadline, like Redis);
+  /// returns how many had acked when it returned.
+  std::size_t wait_for_replicas(std::size_t numreplicas,
+                                std::uint64_t timeout_ms);
+
+  /// Test/debug knob: freeze the replica link's fetch loop (lag becomes
+  /// deterministic); no-op when not replicating.
+  void set_replication_paused(bool paused);
+
   // -- command observability (GRAPH.INFO / GRAPH.SLOWLOG back ends) ------
 
   /// Snapshot of every registered command's dispatch metrics,
@@ -185,11 +222,18 @@ class Server {
  private:
   friend class CommandCtx;
   friend struct CommandHandlers;
+  friend class ReplicationClient;
 
   /// Registry lookup + arity/flag enforcement + metrics + slowlog.
   /// Every command — built-in or registered later — takes this path;
-  /// there is deliberately no per-command branching here.
-  Reply dispatch(const std::vector<std::string>& argv);
+  /// there is deliberately no per-command branching here.  `source`
+  /// selects the gate set: client dispatches face kInternal rejection,
+  /// the replica read-only gate, journaling and the slowlog; WAL replay
+  /// and replication apply are trusted re-application of already
+  /// journaled frames and skip all four (re-journaling an applied frame
+  /// would double it — see ci/lint_invariants.py rule replica-apply).
+  Reply dispatch(const std::vector<std::string>& argv,
+                 CommandSource source = CommandSource::kClient);
 
   /// Shared ownership: a command holds the returned pointer for its whole
   /// execution, so GRAPH.DELETE/RESTORE can unlink an entry from the
@@ -201,6 +245,10 @@ class Server {
   /// CONFIG GET aggregate stays monotonic across GRAPH.DELETE/RESTORE.
   void retire_counters_locked(const GraphEntry& entry)
       RG_REQUIRES(keyspace_mu_);
+
+  /// Unlink every graph from the keyspace (replica full sync starts
+  /// clean; in-flight readers keep their entries alive via shared_ptr).
+  void drop_all_graphs();
 
   // -- metrics / slowlog -------------------------------------------------
   struct StatSlot {
@@ -214,7 +262,7 @@ class Server {
   StatSlot& stat_slot(std::size_t index);
   const StatSlot* find_stat_slot(std::size_t index) const;
   void record_dispatch(StatSlot& slot, const std::vector<std::string>& argv,
-                       bool error, std::uint64_t usec);
+                       bool error, std::uint64_t usec, CommandSource source);
 
   // -- durability --------------------------------------------------------
   /// Load snapshots + replay the WAL (constructor path, single-threaded).
@@ -250,13 +298,28 @@ class Server {
   // Declared before workers_ so the pool (whose queued commands may
   // still journal) is destroyed first on shutdown.
   std::unique_ptr<persist::DurabilityManager> durability_;
-  bool replaying_ = false;   // constructor-only: suppress journaling
   util::Mutex rewrite_mu_;   // serializes rewrites (bg thread vs forced)
   util::Mutex compact_mu_;
   util::CondVar compact_cv_;
   bool compact_requested_ RG_GUARDED_BY(compact_mu_) = false;
   bool compact_stop_ RG_GUARDED_BY(compact_mu_) = false;
   std::thread compaction_thread_;
+
+  // -- replication hub ---------------------------------------------------
+  std::atomic<Role> role_{Role::kPrimary};
+  mutable util::Mutex repl_mu_;
+  util::CondVar repl_cv_;  // an ack advanced; WAIT waits here
+  /// The replica-side link (null on a primary).  Stopped/joined OUTSIDE
+  /// repl_mu_ — the link thread dispatches into the keyspace and must
+  /// never be joined while a lock it could need is held.
+  std::unique_ptr<ReplicationClient> repl_client_ RG_GUARDED_BY(repl_mu_);
+  /// Primary-side ack bookkeeping, keyed by the replica's self-chosen
+  /// id (stable across reconnects of one link).
+  struct ReplicaAck {
+    std::uint64_t acked_lsn = 0;
+    std::chrono::steady_clock::time_point last_seen{};
+  };
+  std::map<std::string, ReplicaAck> replica_acks_ RG_GUARDED_BY(repl_mu_);
 
   std::unique_ptr<util::ThreadPool> workers_;
 };

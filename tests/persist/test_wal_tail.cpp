@@ -1,0 +1,298 @@
+// WalTailer + DurabilityManager::read_frames — the replication tailing
+// edge cases: resuming from an arbitrary mid-log LSN, frames split
+// across read-buffer boundaries, live tails with incomplete frames, and
+// tailing a log that is concurrently rotated/compacted away.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "persist/durability.hpp"
+#include "persist/wal.hpp"
+#include "util/file_io.hpp"
+#include "util/temp_dir.hpp"
+
+namespace rg::persist {
+namespace {
+
+class WalTailFixture : public ::testing::Test {
+ protected:
+  WalTailFixture() : path_(tmp_.file("wal.log")) {}
+
+  /// Write `n` frames (lsn 1..n); frame k's payload arg is k 'x' bytes,
+  /// so frames have varied sizes for the split-buffer cases.
+  void write_frames(std::size_t n) {
+    WalWriter w(path_, /*epoch=*/3, /*next_lsn=*/1, FsyncPolicy::kNo);
+    for (std::size_t k = 1; k <= n; ++k)
+      w.append({"GRAPH.QUERY", "g", std::string(k, 'x')});
+  }
+
+  static std::vector<WalFrame> drain(WalTailer& t) {
+    std::vector<WalFrame> out;
+    while (t.poll(64, [&](const WalFrame& f) { out.push_back(f); }) > 0) {
+    }
+    return out;
+  }
+
+  test::TempDir tmp_;
+  std::string path_;
+};
+
+TEST_F(WalTailFixture, TailsWholeLogFromStart) {
+  write_frames(5);
+  WalTailer t(path_, /*from_lsn=*/0);
+  const auto frames = drain(t);
+  ASSERT_EQ(frames.size(), 5u);
+  EXPECT_EQ(t.epoch(), 3u);
+  EXPECT_EQ(t.last_lsn(), 5u);
+  EXPECT_TRUE(t.at_eof());
+  EXPECT_FALSE(t.corrupt());
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_EQ(frames[i].lsn, i + 1);
+    EXPECT_EQ(frames[i].argv[2], std::string(i + 1, 'x'));
+  }
+}
+
+TEST_F(WalTailFixture, ResumesFromArbitraryMidLogLsn) {
+  write_frames(10);
+  WalTailer t(path_, /*from_lsn=*/7);
+  const auto frames = drain(t);
+  ASSERT_EQ(frames.size(), 4u);  // 7, 8, 9, 10
+  EXPECT_EQ(frames.front().lsn, 7u);
+  EXPECT_EQ(frames.back().lsn, 10u);
+}
+
+TEST_F(WalTailFixture, FromLsnPastEndDeliversNothing) {
+  write_frames(3);
+  WalTailer t(path_, /*from_lsn=*/99);
+  EXPECT_TRUE(drain(t).empty());
+  EXPECT_TRUE(t.at_eof());
+  EXPECT_EQ(t.last_lsn(), 0u);
+}
+
+TEST_F(WalTailFixture, ReassemblesFramesSplitAcrossTinyReads) {
+  write_frames(8);
+  // A 5-byte read buffer splits EVERY frame (and the 16-byte file
+  // header) across many fills; delivery must still be exact.
+  WalTailer t(path_, 0, /*buf_bytes=*/5);
+  const auto frames = drain(t);
+  ASSERT_EQ(frames.size(), 8u);
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_EQ(frames[i].lsn, i + 1);
+    EXPECT_EQ(frames[i].argv[2], std::string(i + 1, 'x'));
+  }
+}
+
+TEST_F(WalTailFixture, MaxFramesBoundsEachPoll) {
+  write_frames(7);
+  WalTailer t(path_, 0);
+  std::vector<WalFrame> out;
+  EXPECT_EQ(t.poll(3, [&](const WalFrame& f) { out.push_back(f); }), 3u);
+  EXPECT_EQ(t.poll(3, [&](const WalFrame& f) { out.push_back(f); }), 3u);
+  EXPECT_EQ(t.poll(3, [&](const WalFrame& f) { out.push_back(f); }), 1u);
+  ASSERT_EQ(out.size(), 7u);
+  EXPECT_EQ(out.back().lsn, 7u);
+}
+
+TEST_F(WalTailFixture, LiveTailDeliversFramesAppendedBetweenPolls) {
+  // The writer stays open (a live log) while the tailer follows it.
+  WalWriter w(path_, 0, 1, FsyncPolicy::kNo);
+  w.append({"GRAPH.QUERY", "g", "a"});
+  WalTailer t(path_, 0);
+  auto first = drain(t);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_TRUE(t.at_eof());
+
+  w.append({"GRAPH.QUERY", "g", "b"});
+  w.append({"GRAPH.QUERY", "g", "c"});
+  const auto more = drain(t);
+  ASSERT_EQ(more.size(), 2u);
+  EXPECT_EQ(more[0].argv[2], "b");
+  EXPECT_EQ(more[1].lsn, 3u);
+}
+
+TEST_F(WalTailFixture, IncompleteTailFrameWaitsForTheRest) {
+  // Byte-replay a finished log: stream its bytes into a second file in
+  // two arbitrary halves, polling in between — the torn midpoint must
+  // deliver only complete frames and NOT flag corruption.
+  write_frames(3);
+  const std::string bytes = util::read_file(path_);
+  const std::string live = tmp_.file("live.log");
+  const std::size_t cut = bytes.size() - 7;  // mid-frame by construction
+  {
+    util::AppendFile f(live);
+    f.write_all(bytes.substr(0, cut));
+  }
+  WalTailer t(live, 0);
+  const auto head = drain(t);
+  EXPECT_EQ(head.size(), 2u);
+  EXPECT_FALSE(t.corrupt());
+  EXPECT_FALSE(t.at_eof());  // bytes of frame 3 are still pending
+
+  {
+    util::AppendFile f(live);
+    f.write_all(bytes.substr(cut));
+  }
+  const auto tail = drain(t);
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0].lsn, 3u);
+  EXPECT_TRUE(t.at_eof());
+}
+
+TEST_F(WalTailFixture, CorruptFrameStopsDeliveryAndFlags) {
+  write_frames(4);
+  std::string bytes = util::read_file(path_);
+  bytes[bytes.size() - 3] ^= 0x01;  // flip a byte in the last payload
+  const std::string bad = tmp_.file("bad.log");
+  {
+    util::AppendFile f(bad);
+    f.write_all(bytes);
+  }
+  WalTailer t(bad, 0);
+  const auto frames = drain(t);
+  EXPECT_EQ(frames.size(), 3u);
+  EXPECT_TRUE(t.corrupt());
+}
+
+TEST_F(WalTailFixture, BadMagicIsCorruptNotFatal) {
+  const std::string junk = tmp_.file("junk.log");
+  {
+    util::AppendFile f(junk);
+    f.write_all("this is not a WAL file at all...");
+  }
+  WalTailer t(junk, 0);
+  EXPECT_EQ(t.poll(8, [](const WalFrame&) {}), 0u);
+  EXPECT_TRUE(t.corrupt());
+}
+
+// ---------------------------------------------------------------------------
+// encode_argv / decode_argv — the replication wire codec
+// ---------------------------------------------------------------------------
+
+TEST(ArgvCodec, RoundTripsBinaryAndEmpty) {
+  const std::vector<std::string> argv = {"", std::string("\x00\xff\r\n", 4),
+                                         "plain"};
+  std::vector<std::string> out;
+  ASSERT_TRUE(decode_argv(encode_argv(argv), out));
+  EXPECT_EQ(out, argv);
+  out.clear();
+  ASSERT_TRUE(decode_argv(encode_argv({}), out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ArgvCodec, RejectsTruncationAndTrailingGarbage) {
+  const std::string blob = encode_argv({"a", "bc"});
+  std::vector<std::string> out;
+  EXPECT_FALSE(decode_argv(std::string_view(blob).substr(0, blob.size() - 1),
+                           out));
+  EXPECT_FALSE(decode_argv(blob + "x", out));
+  EXPECT_FALSE(decode_argv("\xff\xff\xff\xff", out));  // hostile count
+}
+
+// ---------------------------------------------------------------------------
+// DurabilityManager::read_frames — retention floor + rotation
+// ---------------------------------------------------------------------------
+
+class ReadFramesFixture : public ::testing::Test {
+ protected:
+  ReadFramesFixture()
+      : mgr_(tmp_.path(), {FsyncPolicy::kNo, /*wal_max_bytes=*/4u << 20}) {
+    mgr_.open_and_replay(
+        [](std::uint64_t, const std::vector<std::string>&) { return true; });
+  }
+
+  void append_n(std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i)
+      mgr_.append({"GRAPH.QUERY", "g", "CREATE (:A)"});
+  }
+
+  /// read_frames wrapper; returns delivered LSNs, sets `ok`.
+  std::vector<std::uint64_t> fetch(std::uint64_t from, std::size_t max,
+                                   bool& ok) {
+    std::vector<WalFrame> frames;
+    ok = mgr_.read_frames(from, max, frames);
+    std::vector<std::uint64_t> lsns;
+    for (const auto& f : frames) lsns.push_back(f.lsn);
+    return lsns;
+  }
+
+  test::TempDir tmp_;
+  DurabilityManager mgr_;
+};
+
+TEST_F(ReadFramesFixture, SequentialFetchesWalkTheLog) {
+  append_n(5);
+  EXPECT_EQ(mgr_.last_lsn(), 5u);
+  EXPECT_EQ(mgr_.retained_floor(), 0u);
+  bool ok = false;
+  EXPECT_EQ(fetch(1, 2, ok), (std::vector<std::uint64_t>{1, 2}));
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(fetch(3, 10, ok), (std::vector<std::uint64_t>{3, 4, 5}));
+  EXPECT_TRUE(ok);
+  // Caught up: true with no frames.
+  EXPECT_TRUE(fetch(6, 10, ok).empty());
+  EXPECT_TRUE(ok);
+  // New appends extend the same cursor.
+  append_n(2);
+  EXPECT_EQ(fetch(6, 10, ok), (std::vector<std::uint64_t>{6, 7}));
+  EXPECT_TRUE(ok);
+}
+
+TEST_F(ReadFramesFixture, FromLsnZeroIsRefused) {
+  append_n(1);
+  bool ok = true;
+  fetch(0, 10, ok);
+  EXPECT_FALSE(ok);
+}
+
+TEST_F(ReadFramesFixture, RotationMidTailSpansBothEpochFiles) {
+  append_n(3);
+  const std::uint64_t epoch = mgr_.begin_rewrite();
+  append_n(2);  // land in the new epoch's log
+  bool ok = false;
+  // The cursor must hand over from the closed epoch to the live one.
+  EXPECT_EQ(fetch(1, 10, ok), (std::vector<std::uint64_t>{1, 2, 3, 4, 5}));
+  EXPECT_TRUE(ok);
+  mgr_.commit_rewrite(epoch, {});
+}
+
+TEST_F(ReadFramesFixture, CompactionMovesTheFloorAndForcesResync) {
+  append_n(4);
+  const std::uint64_t epoch = mgr_.begin_rewrite();
+  mgr_.commit_rewrite(epoch, {});  // frames 1..4 compacted away
+  EXPECT_EQ(mgr_.retained_floor(), 4u);
+
+  bool ok = true;
+  fetch(3, 10, ok);  // inside the compacted range
+  EXPECT_FALSE(ok);  // NOSYNC: the replica must full-resync
+
+  append_n(2);  // lsn 5, 6 in the fresh epoch
+  EXPECT_EQ(fetch(5, 10, ok), (std::vector<std::uint64_t>{5, 6}));
+  EXPECT_TRUE(ok);
+}
+
+TEST_F(ReadFramesFixture, CursorSurvivesCompactionWhenStillRetained) {
+  append_n(3);
+  bool ok = false;
+  EXPECT_EQ(fetch(1, 2, ok), (std::vector<std::uint64_t>{1, 2}));
+  const std::uint64_t epoch = mgr_.begin_rewrite();
+  append_n(1);  // lsn 4
+  mgr_.commit_rewrite(epoch, {});  // floor -> 3; frame 4 retained
+  // The old cursor's file set is gone (generation moved): the next
+  // fetch rebuilds against the surviving log and 3 is below the floor.
+  fetch(3, 10, ok);
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(fetch(4, 10, ok), (std::vector<std::uint64_t>{4}));
+  EXPECT_TRUE(ok);
+}
+
+TEST_F(ReadFramesFixture, AdvanceNextLsnStampsAboveAppliedState) {
+  append_n(2);
+  mgr_.advance_next_lsn(100);
+  EXPECT_EQ(mgr_.append({"GRAPH.QUERY", "g", "CREATE (:B)"}), 100u);
+  mgr_.advance_next_lsn(50);  // never moves backwards
+  EXPECT_EQ(mgr_.append({"GRAPH.QUERY", "g", "CREATE (:C)"}), 101u);
+}
+
+}  // namespace
+}  // namespace rg::persist

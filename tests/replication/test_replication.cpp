@@ -1,0 +1,244 @@
+// Streaming replication end to end over real sockets: full sync,
+// continuous WAL tailing, WAIT acked-offset confirmation, read-only
+// enforcement, promotion, partial resync and the NOSYNC fallback.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/net_server.hpp"
+#include "server/resp.hpp"
+#include "server/server.hpp"
+#include "util/temp_dir.hpp"
+
+namespace rg::server {
+namespace {
+
+using namespace std::chrono_literals;
+
+bool wait_until(const std::function<bool()>& pred,
+                std::chrono::milliseconds timeout = 5000ms) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(5ms);
+  }
+  return pred();
+}
+
+/// Primary (durable, behind a real TCP listener) + replica (in-process;
+/// durable only where a test needs promotion durability).
+class ReplicationFixture : public ::testing::Test {
+ protected:
+  ReplicationFixture()
+      : primary_(2, durability(primary_dir_)),
+        net_(primary_, /*port=*/0),
+        replica_(2) {}
+
+  static DurabilityConfig durability(const test::TempDir& dir) {
+    DurabilityConfig dc;
+    dc.data_dir = dir.path();
+    dc.options.fsync = persist::FsyncPolicy::kNo;
+    return dc;
+  }
+
+  void create_nodes(Server& srv, const std::string& key, int n) {
+    for (int i = 0; i < n; ++i) {
+      const auto r = srv.execute(
+          {"GRAPH.QUERY", key, "CREATE (:N {seq: " + std::to_string(i) + "})"});
+      ASSERT_TRUE(r.ok()) << r.text;
+    }
+  }
+
+  static std::int64_t count_nodes(Server& srv, const std::string& key) {
+    // RO_QUERY: works on replicas, where GRAPH.QUERY is refused.
+    const auto r =
+        srv.execute({"GRAPH.RO_QUERY", key, "MATCH (n) RETURN count(*)"});
+    if (!r.ok()) return -1;
+    return r.result.rows[0][0].as_int();
+  }
+
+  bool replica_caught_up(const std::string& key, std::int64_t n) {
+    return wait_until([&] { return count_nodes(replica_, key) == n; });
+  }
+
+  test::TempDir primary_dir_;
+  Server primary_;
+  NetServer net_;
+  Server replica_;
+};
+
+TEST_F(ReplicationFixture, FullSyncTransfersExistingGraphs) {
+  create_nodes(primary_, "g1", 5);
+  create_nodes(primary_, "g2", 3);
+  replica_.replicaof("127.0.0.1", net_.port());
+  EXPECT_TRUE(replica_caught_up("g1", 5));
+  EXPECT_TRUE(replica_caught_up("g2", 3));
+
+  const auto info = replica_.replication_info();
+  EXPECT_TRUE(info.is_replica);
+  EXPECT_EQ(info.full_syncs, 1u);
+  EXPECT_EQ(replica_.role(), Server::Role::kReplica);
+}
+
+TEST_F(ReplicationFixture, StreamsWritesContinuously) {
+  replica_.replicaof("127.0.0.1", net_.port());
+  create_nodes(primary_, "g", 4);
+  EXPECT_TRUE(replica_caught_up("g", 4));
+  create_nodes(primary_, "g", 4);
+  EXPECT_TRUE(replica_caught_up("g", 8));
+  // Deletions replicate through the same frame path.
+  ASSERT_TRUE(primary_.execute({"GRAPH.DELETE", "g"}).ok());
+  EXPECT_TRUE(wait_until([&] { return count_nodes(replica_, "g") <= 0; }));
+}
+
+TEST_F(ReplicationFixture, ReplicaRejectsClientWritesServesReads) {
+  create_nodes(primary_, "g", 2);
+  replica_.replicaof("127.0.0.1", net_.port());
+  ASSERT_TRUE(replica_caught_up("g", 2));
+
+  const auto w = replica_.execute({"GRAPH.QUERY", "g", "CREATE (:X)"});
+  EXPECT_FALSE(w.ok());
+  EXPECT_EQ(w.text, "READONLY You can't write against a read only replica.");
+  // The wire form leads with the READONLY code, not ERR.
+  EXPECT_EQ(w.to_resp().rfind("-READONLY ", 0), 0u);
+
+  // Every kWrite command is refused identically...
+  EXPECT_FALSE(replica_.execute({"GRAPH.BULK", "g", "NODES", "2"}).ok());
+  EXPECT_FALSE(replica_.execute({"GRAPH.DELETE", "g"}).ok());
+  // ...while reads and admin commands keep working mid-stream.
+  EXPECT_EQ(count_nodes(replica_, "g"), 2);
+  EXPECT_TRUE(replica_.execute({"GRAPH.LIST"}).ok());
+  EXPECT_TRUE(replica_.execute({"PING"}).ok());
+  EXPECT_TRUE(
+      replica_.execute({"GRAPH.CONFIG", "GET", "THREAD_COUNT"}).ok());
+}
+
+TEST_F(ReplicationFixture, WaitConfirmsAckedOffset) {
+  replica_.replicaof("127.0.0.1", net_.port());
+  create_nodes(primary_, "g", 3);
+  ASSERT_TRUE(replica_caught_up("g", 3));
+
+  // The replica acks via its fetch heartbeat; WAIT 1 must be satisfied.
+  const auto r = primary_.execute({"WAIT", "1", "4000"});
+  ASSERT_TRUE(r.ok()) << r.text;
+  EXPECT_GE(r.result.rows[0][0].as_int(), 1);
+
+  // Freeze the link: a new write can no longer be confirmed in time.
+  replica_.set_replication_paused(true);
+  std::this_thread::sleep_for(50ms);  // let an in-flight fetch drain
+  create_nodes(primary_, "g", 1);
+  const auto stale = primary_.execute({"WAIT", "1", "200"});
+  ASSERT_TRUE(stale.ok()) << stale.text;
+  EXPECT_EQ(stale.result.rows[0][0].as_int(), 0);
+  replica_.set_replication_paused(false);
+  EXPECT_TRUE(replica_caught_up("g", 4));
+}
+
+TEST_F(ReplicationFixture, InfoReportsBothSides) {
+  replica_.replicaof("127.0.0.1", net_.port());
+  create_nodes(primary_, "g", 2);
+  ASSERT_TRUE(replica_caught_up("g", 2));
+  ASSERT_TRUE(wait_until([&] {
+    return !primary_.replication_info().replicas.empty();
+  }));
+
+  auto find_row = [](const Reply& r, const std::string& name) {
+    for (const auto& row : r.result.rows)
+      if (row[0].as_string() == name) return row[1];
+    return graph::Value();
+  };
+  const auto p = primary_.execute({"GRAPH.INFO", "replication"});
+  ASSERT_TRUE(p.ok()) << p.text;
+  EXPECT_EQ(find_row(p, "ROLE").as_string(), "primary");
+  EXPECT_GE(find_row(p, "CONNECTED_REPLICAS").as_int(), 1);
+
+  const auto r = replica_.execute({"GRAPH.INFO", "replication"});
+  ASSERT_TRUE(r.ok()) << r.text;
+  EXPECT_EQ(find_row(r, "ROLE").as_string(), "replica");
+  EXPECT_EQ(find_row(r, "PRIMARY_HOST").as_string(), "127.0.0.1");
+  EXPECT_EQ(find_row(r, "PRIMARY_PORT").as_int(),
+            static_cast<std::int64_t>(net_.port()));
+  EXPECT_TRUE(wait_until([&] {
+    const auto i = replica_.execute({"GRAPH.INFO", "replication"});
+    for (const auto& row : i.result.rows)
+      if (row[0].as_string() == "LINK")
+        return row[1].as_string() == "streaming";
+    return false;
+  }));
+}
+
+TEST_F(ReplicationFixture, PromotionRestoresWrites) {
+  create_nodes(primary_, "g", 3);
+  replica_.replicaof("127.0.0.1", net_.port());
+  ASSERT_TRUE(replica_caught_up("g", 3));
+
+  const auto r = replica_.execute({"REPLICAOF", "NO", "ONE"});
+  ASSERT_TRUE(r.ok()) << r.text;
+  EXPECT_EQ(replica_.role(), Server::Role::kPrimary);
+  // Applied state survives promotion and writes are accepted again.
+  EXPECT_EQ(count_nodes(replica_, "g"), 3);
+  create_nodes(replica_, "g", 2);
+  EXPECT_EQ(count_nodes(replica_, "g"), 5);
+  // The old primary no longer sees this replica's acks advance.
+  create_nodes(primary_, "g", 1);
+  const auto w = primary_.execute({"WAIT", "1", "200"});
+  EXPECT_EQ(w.result.rows[0][0].as_int(), 0);
+}
+
+TEST_F(ReplicationFixture, RepointingSamePrimaryPartialResyncs) {
+  replica_.replicaof("127.0.0.1", net_.port());
+  create_nodes(primary_, "g", 3);
+  ASSERT_TRUE(replica_caught_up("g", 3));
+
+  // Re-REPLICAOF to the same primary: the new link carries the applied
+  // LSN forward and resumes from the retained WAL — no full transfer.
+  replica_.replicaof("127.0.0.1", net_.port());
+  create_nodes(primary_, "g", 2);
+  EXPECT_TRUE(replica_caught_up("g", 5));
+  const auto info = replica_.replication_info();
+  EXPECT_EQ(info.full_syncs, 0u);
+  EXPECT_GE(info.partial_syncs, 1u);
+}
+
+TEST_F(ReplicationFixture, CompactedHistoryFallsBackToFullSync) {
+  replica_.replicaof("127.0.0.1", net_.port());
+  create_nodes(primary_, "g", 2);
+  ASSERT_TRUE(replica_caught_up("g", 2));
+
+  // Freeze the replica's cursor, then compact the primary's WAL past
+  // it: the snapshot rewrite deletes the frames the replica still
+  // needs, so its next fetch gets NOSYNC and it must full-resync.
+  replica_.set_replication_paused(true);
+  std::this_thread::sleep_for(50ms);
+  create_nodes(primary_, "g", 3);
+  primary_.force_snapshot();
+  replica_.set_replication_paused(false);
+
+  EXPECT_TRUE(replica_caught_up("g", 5));
+  const auto info = replica_.replication_info();
+  EXPECT_GE(info.full_syncs, 2u);  // initial + NOSYNC fallback
+}
+
+TEST_F(ReplicationFixture, DurableReplicaPromotionRecoversAfterRestart) {
+  test::TempDir replica_dir;
+  create_nodes(primary_, "g", 3);
+  {
+    Server durable_replica(2, durability(replica_dir));
+    durable_replica.replicaof("127.0.0.1", net_.port());
+    ASSERT_TRUE(wait_until(
+        [&] { return count_nodes(durable_replica, "g") == 3; }));
+    // Promotion snapshots the applied state and stamps the next LSN
+    // above it, so post-promotion writes journal into a clean WAL.
+    ASSERT_TRUE(durable_replica.execute({"REPLICAOF", "NO", "ONE"}).ok());
+    create_nodes(durable_replica, "g", 2);
+  }
+  Server reopened(2, durability(replica_dir));
+  EXPECT_EQ(count_nodes(reopened, "g"), 5);
+}
+
+}  // namespace
+}  // namespace rg::server
