@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <random>
 #include <sstream>
 
 #include "util/file_io.hpp"
@@ -55,10 +56,18 @@ std::vector<std::string> tokens_of(const std::string& line) {
   return out;
 }
 
+/// Fresh replication run id per open (Redis replid): 32 hex chars.
+std::string make_run_id() {
+  std::random_device rd;
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%08x%08x%08x%08x", rd(), rd(), rd(), rd());
+  return buf;
+}
+
 }  // namespace
 
 DurabilityManager::DurabilityManager(std::string data_dir, Options options)
-    : dir_(std::move(data_dir)), options_(options) {
+    : dir_(std::move(data_dir)), options_(options), run_id_(make_run_id()) {
   util::ensure_dir(dir_);
   const std::string manifest_path = path_of(kManifestName);
   if (!util::path_exists(manifest_path)) {
@@ -115,24 +124,35 @@ void DurabilityManager::open_and_replay(
 
   std::uint64_t max_lsn = 0;
   std::uint64_t first_lsn = 0;  // oldest frame still in a retained log
+  std::uint64_t wal_next = 0;   // LSN after the last frame scanned so far
   for (const auto& snap : snapshots_) max_lsn = std::max(max_lsn, snap.lsn);
-  for (const auto& file : wal_files_) {
-    const std::string path = path_of(file);
-    if (!util::path_exists(path)) continue;  // fresh epoch, never written
-    const WalScan scan = scan_wal(path, [&](const WalFrame& frame) {
-      if (first_lsn == 0) first_lsn = frame.lsn;
-      if (apply(frame.lsn, frame.argv))
-        ++retired_.replayed_frames;
-      else
-        ++retired_.skipped_frames;
-    });
-    max_lsn = std::max(max_lsn, scan.last_lsn);
-    if (scan.torn_tail) {
-      retired_.torn_bytes += scan.total_bytes - scan.valid_bytes;
-      util::truncate_file(path, scan.valid_bytes);
+  wal_start_lsns_.assign(wal_files_.size(), 0);
+  for (std::size_t i = 0; i < wal_files_.size(); ++i) {
+    const std::string path = path_of(wal_files_[i]);
+    std::uint64_t file_first = 0;
+    if (util::path_exists(path)) {  // else: fresh epoch, never written
+      const WalScan scan = scan_wal(path, [&](const WalFrame& frame) {
+        if (first_lsn == 0) first_lsn = frame.lsn;
+        if (file_first == 0) file_first = frame.lsn;
+        if (apply(frame.lsn, frame.argv))
+          ++retired_.replayed_frames;
+        else
+          ++retired_.skipped_frames;
+      });
+      max_lsn = std::max(max_lsn, scan.last_lsn);
+      if (scan.last_lsn) wal_next = scan.last_lsn + 1;
+      if (scan.torn_tail) {
+        retired_.torn_bytes += scan.total_bytes - scan.valid_bytes;
+        util::truncate_file(path, scan.valid_bytes);
+      }
     }
+    // An empty file starts where the frames before it left off; with
+    // none yet, the fixup below stamps it with the first append's LSN.
+    wal_start_lsns_[i] = file_first ? file_first : wal_next;
   }
   next_lsn_ = max_lsn + 1;
+  for (auto& start : wal_start_lsns_)
+    if (start == 0) start = next_lsn_;
   // Replication floor: with frames retained, everything before the
   // first is gone; with an empty log, nothing up to max_lsn (all folded
   // into snapshots) can be served.
@@ -184,6 +204,7 @@ std::uint64_t DurabilityManager::begin_rewrite() {
   writer_.reset();
   ++epoch_;
   wal_files_.push_back(wal_file(epoch_));
+  wal_start_lsns_.push_back(next);
   // Once this rewrite commits, every frame below the fresh epoch's
   // first LSN is deleted with the old logs; replicas behind that point
   // will need a full resync (REPL.FETCH answers NOSYNC).
@@ -212,12 +233,13 @@ void DurabilityManager::commit_rewrite(std::uint64_t epoch,
   snapshots_ = std::move(entries);
   wal_files_.clear();
   wal_files_.push_back(wal_file(epoch_));
+  wal_start_lsns_.assign(1, pending_floor_ + 1);
   write_manifest_locked();
   ++retired_.rewrites;
   remove_unreferenced_locked();
   retained_floor_ = std::max(retained_floor_, pending_floor_);
-  ++file_generation_;        // the retained file set changed ...
-  cursor_.tailer.reset();    // ... so any tail cursor is stale
+  ++file_generation_;  // the retained file set changed ...
+  cursors_.clear();    // ... so every tail cursor is stale
 }
 
 std::uint64_t DurabilityManager::last_lsn() const {
@@ -230,7 +252,18 @@ std::uint64_t DurabilityManager::retained_floor() const {
   return retained_floor_;
 }
 
-bool DurabilityManager::read_frames(std::uint64_t from_lsn,
+std::size_t DurabilityManager::file_covering_locked(std::uint64_t lsn) const {
+  // Last retained file whose first LSN is at or below `lsn` (starts are
+  // ascending).  Nothing qualifying means the frame can only be in the
+  // oldest file (or nowhere — the tailer just skips to EOF).
+  std::size_t index = 0;
+  for (std::size_t i = 0; i < wal_start_lsns_.size(); ++i)
+    if (wal_start_lsns_[i] <= lsn) index = i;
+  return index;
+}
+
+bool DurabilityManager::read_frames(const std::string& replica_id,
+                                    std::uint64_t from_lsn,
                                     std::size_t max_frames,
                                     std::vector<WalFrame>& out) {
   // The poll below reads (bounded chunks) while holding mu_, briefly
@@ -240,31 +273,48 @@ bool DurabilityManager::read_frames(std::uint64_t from_lsn,
   if (!opened_ || !writer_) return false;
   if (from_lsn == 0 || from_lsn <= retained_floor_) return false;
   if (from_lsn >= writer_->next_lsn()) return true;  // caught up
-  if (!cursor_.tailer || cursor_.generation != file_generation_ ||
-      cursor_.next_lsn != from_lsn) {
-    cursor_.generation = file_generation_;
-    cursor_.file_index = 0;
-    cursor_.next_lsn = from_lsn;
-    cursor_.tailer =
-        std::make_unique<WalTailer>(path_of(wal_files_[0]), from_lsn);
+  TailCursor& cur = cursors_[replica_id];
+  cur.last_used = ++cursor_tick_;
+  if (cursors_.size() > kMaxTailCursors) {
+    // Evict the least-recently-fetching replica's cursor (it rebuilds
+    // on its next fetch); bounds fds and memory against id churn.
+    auto victim = cursors_.begin();
+    for (auto it = cursors_.begin(); it != cursors_.end(); ++it)
+      if (it->second.last_used < victim->second.last_used) victim = it;
+    cursors_.erase(victim);
+  }
+  if (!cur.tailer || cur.generation != file_generation_ ||
+      cur.next_lsn != from_lsn) {
+    cur.generation = file_generation_;
+    cur.file_index = file_covering_locked(from_lsn);
+    cur.next_lsn = from_lsn;
+    cur.tailer = std::make_unique<WalTailer>(
+        path_of(wal_files_[cur.file_index]), from_lsn);
   }
   std::size_t got = 0;
   while (got < max_frames) {
-    got += cursor_.tailer->poll(max_frames - got,
-                                [&](const WalFrame& f) { out.push_back(f); });
+    got += cur.tailer->poll(max_frames - got,
+                            [&](const WalFrame& f) { out.push_back(f); });
+    if (cur.tailer->corrupt()) {
+      // The cursor can never progress past a corrupt frame in a
+      // retained log (the live tail's torn frames are NOT corruption —
+      // the tailer just waits for the rest).  Fail the fetch so the
+      // replica full-resyncs instead of polling emptily forever.
+      cursors_.erase(replica_id);
+      return false;
+    }
     if (got >= max_frames) break;
     // Short poll: a closed epoch at clean EOF hands over to the next
     // retained log; the live epoch's incomplete tail means "try later".
-    if (cursor_.file_index + 1 < wal_files_.size() &&
-        cursor_.tailer->at_eof() && !cursor_.tailer->corrupt()) {
-      ++cursor_.file_index;
-      cursor_.tailer = std::make_unique<WalTailer>(
-          path_of(wal_files_[cursor_.file_index]), from_lsn);
+    if (cur.file_index + 1 < wal_files_.size() && cur.tailer->at_eof()) {
+      ++cur.file_index;
+      cur.tailer = std::make_unique<WalTailer>(path_of(wal_files_[cur.file_index]),
+                                               from_lsn);
     } else {
       break;
     }
   }
-  if (got > 0) cursor_.next_lsn = out.back().lsn + 1;
+  if (got > 0) cur.next_lsn = out.back().lsn + 1;
   return true;
 }
 

@@ -34,6 +34,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -124,6 +125,15 @@ class DurabilityManager {
 
   // -- replication support -----------------------------------------------
 
+  /// Random id minted when this manager was opened (Redis's replid): a
+  /// restart — even onto the same data dir — gets a fresh one.  LSNs
+  /// alone cannot validate a resync cursor: a crash under fsync=everysec
+  /// can lose journaled frames whose LSNs are then reissued to different
+  /// writes, so a replica resuming by LSN against a restarted primary
+  /// would silently diverge.  REPL.SNAPSHOT ships the run id and
+  /// REPL.FETCH must echo it; a mismatch forces a full resync.
+  const std::string& run_id() const { return run_id_; }
+
   /// LSN of the most recent append (0 before the first ever).
   std::uint64_t last_lsn() const;
 
@@ -134,12 +144,15 @@ class DurabilityManager {
 
   /// Read up to `max_frames` frames with lsn >= `from_lsn` from the
   /// retained logs into `out` (appending).  Returns false when the
-  /// requested range starts at or below the retained floor — the caller
-  /// (REPL.FETCH) turns that into a NOSYNC error.  Sequential fetches
-  /// reuse an internal cursor, so tailing a growing log is incremental,
-  /// not a rescan.
-  bool read_frames(std::uint64_t from_lsn, std::size_t max_frames,
-                   std::vector<WalFrame>& out);
+  /// requested range starts at or below the retained floor OR a retained
+  /// log turns out to be corrupt at the cursor (it could never progress
+  /// past that point) — the caller (REPL.FETCH) turns both into a NOSYNC
+  /// error and the replica full-resyncs.  Sequential fetches from the
+  /// same `replica_id` reuse a per-replica cursor, so each replica tails
+  /// the growing log incrementally; a rebuilt cursor starts at the
+  /// retained file covering `from_lsn`, never a scan from file 0.
+  bool read_frames(const std::string& replica_id, std::uint64_t from_lsn,
+                   std::size_t max_frames, std::vector<WalFrame>& out);
 
   /// Raise the next append's LSN to at least `min_next` (promotion: a
   /// new primary's first write must outrank everything it applied).
@@ -186,16 +199,31 @@ class DurabilityManager {
   /// Floor candidate captured at begin_rewrite (first LSN of the fresh
   /// epoch, minus one); promoted into retained_floor_ on commit.
   std::uint64_t pending_floor_ RG_GUARDED_BY(mu_) = 0;
-  /// Sequential-fetch cursor for read_frames: rebuilt whenever the
-  /// requested LSN or the retained file set (generation) moves away.
+  /// First LSN that lives in (or will land in) wal_files_[i]; kept in
+  /// lockstep with wal_files_ so a rebuilt tail cursor opens the file
+  /// covering its LSN instead of decoding the whole retained set.
+  std::vector<std::uint64_t> wal_start_lsns_ RG_GUARDED_BY(mu_);
+  /// Index of the retained file whose range covers `lsn`.
+  std::size_t file_covering_locked(std::uint64_t lsn) const RG_REQUIRES(mu_);
+
+  /// Sequential-fetch cursor for read_frames, one per replica id (two
+  /// replicas streaming must not thrash a shared cursor): rebuilt
+  /// whenever that replica's LSN or the retained file set (generation)
+  /// moves away; least-recently-used cursors are evicted past the cap.
   struct TailCursor {
     std::unique_ptr<WalTailer> tailer;
     std::size_t file_index = 0;     // into wal_files_ at build time
     std::uint64_t generation = 0;   // wal_files_ revision when built
     std::uint64_t next_lsn = 0;     // first LSN the next poll delivers
+    std::uint64_t last_used = 0;    // cursor_tick_ at the last fetch
   };
-  TailCursor cursor_ RG_GUARDED_BY(mu_);
+  static constexpr std::size_t kMaxTailCursors = 64;
+  std::map<std::string, TailCursor> cursors_ RG_GUARDED_BY(mu_);
+  std::uint64_t cursor_tick_ RG_GUARDED_BY(mu_) = 0;
   std::uint64_t file_generation_ RG_GUARDED_BY(mu_) = 0;
+
+  /// Replication run id (see run_id()); immutable after construction.
+  std::string run_id_;
 };
 
 }  // namespace rg::persist

@@ -260,11 +260,13 @@ CommandRegistry::CommandRegistry() {
        &H::wait},
       {"REPL.SNAPSHOT", 1, 1, kReadOnly | kAdmin,
        "Replication full-sync payload: every graph serialized at its LSN "
-       "watermark (issued by replicas, not clients).",
+       "watermark, plus the primary's run id (issued by replicas, not "
+       "clients).",
        &H::repl_snapshot},
-      {"REPL.FETCH", 4, 4, kReadOnly | kAdmin,
-       "Replication stream: REPL.FETCH <replica_id> <from_lsn> <max> ships "
-       "retained WAL frames and doubles as the replica's ack heartbeat.",
+      {"REPL.FETCH", 5, 5, kReadOnly | kAdmin,
+       "Replication stream: REPL.FETCH <replica_id> <run_id> <from_lsn> "
+       "<max> ships retained WAL frames and doubles as the replica's ack "
+       "heartbeat; a stale run id (primary restarted) gets NOSYNC.",
        &H::repl_fetch},
   };
   for (const auto& spec : builtins) register_command(spec);
@@ -502,8 +504,10 @@ Reply CommandHandlers::info(CommandCtx& ctx) {
       row("PARTIAL_SYNCS", static_cast<std::int64_t>(ri.partial_syncs));
       row("FRAMES_APPLIED", static_cast<std::int64_t>(ri.frames_applied));
       row("LINK_RECONNECTS", static_cast<std::int64_t>(ri.reconnects));
+      if (!ri.primary_runid.empty()) srow("PRIMARY_RUNID", ri.primary_runid);
       if (!ri.last_error.empty()) srow("LINK_LAST_ERROR", ri.last_error);
     } else {
+      if (!ri.run_id.empty()) srow("RUN_ID", ri.run_id);
       row("MASTER_LSN", static_cast<std::int64_t>(ri.master_lsn));
       row("CONNECTED_REPLICAS",
           static_cast<std::int64_t>(ri.replicas.size()));
@@ -1005,8 +1009,13 @@ Reply CommandHandlers::repl_snapshot(CommandCtx& ctx) {
     items.assign(srv.keyspace_.begin(), srv.keyspace_.end());
   }
   std::vector<std::string> parts;
-  parts.reserve(items.size() + 1);
+  parts.reserve(items.size() + 2);
   parts.push_back(std::to_string(start_lsn));
+  // The run id pins the resume cursor to THIS primary incarnation:
+  // after a restart LSNs may be reissued to different writes, so a
+  // fetch echoing a stale run id must full-resync (NOSYNC), never
+  // silently resume by LSN alone.
+  parts.push_back(srv.durability_->run_id());
   for (const auto& [key, entry] : items) {
     GraphEntry& ge = *entry;
     util::SharedLock lk(ge.lock);
@@ -1024,19 +1033,27 @@ Reply CommandHandlers::repl_fetch(CommandCtx& ctx) {
     return error("replication requires durability on the primary "
                  "(configure a data dir)");
   const std::string& replica_id = ctx.arg(1);
-  const std::uint64_t from_lsn = ctx.arg_u64(2, "REPL.FETCH from_lsn");
-  std::uint64_t max_frames = ctx.arg_u64(3, "REPL.FETCH max_frames");
+  const std::string& run_id = ctx.arg(2);
+  const std::uint64_t from_lsn = ctx.arg_u64(3, "REPL.FETCH from_lsn");
+  std::uint64_t max_frames = ctx.arg_u64(4, "REPL.FETCH max_frames");
   if (max_frames == 0) max_frames = 1;
   if (max_frames > 4096) max_frames = 4096;
+  // Run-id check BEFORE the ack: a cursor minted against a previous
+  // incarnation acknowledges nothing (its LSNs may name different
+  // writes here) and must full-resync.
+  if (run_id != srv.durability_->run_id())
+    return error("NOSYNC replication run id mismatch (primary restarted); "
+                 "full resync required");
   // The fetch IS the heartbeat: asking for from_lsn acknowledges every
   // frame below it.
   srv.note_replica_ack(replica_id, from_lsn > 0 ? from_lsn - 1 : 0);
   std::vector<persist::WalFrame> frames;
   if (!srv.durability_->read_frames(
-          from_lsn, static_cast<std::size_t>(max_frames), frames))
+          replica_id, from_lsn, static_cast<std::size_t>(max_frames), frames))
     return error("NOSYNC WAL history before lsn " +
                  std::to_string(from_lsn) +
-                 " is no longer retained; full resync required");
+                 " is no longer retained or is unreadable; full resync "
+                 "required");
   std::vector<std::string> blobs;
   blobs.reserve(frames.size());
   for (const persist::WalFrame& f : frames) {

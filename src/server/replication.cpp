@@ -38,13 +38,15 @@ std::string random_replica_id() {
 ReplicationClient::ReplicationClient(
     Server& server, std::string host, std::uint16_t port,
     std::uint64_t resume_lsn,
-    std::map<std::string, std::uint64_t> resume_watermarks)
+    std::map<std::string, std::uint64_t> resume_watermarks,
+    std::string resume_runid)
     : srv_(server),
       host_(std::move(host)),
       port_(port),
       id_(random_replica_id()),
       applied_(resume_lsn),
-      watermarks_(std::move(resume_watermarks)) {
+      watermarks_(std::move(resume_watermarks)),
+      primary_runid_(std::move(resume_runid)) {
   thread_ = std::thread([this] { run(); });
 }
 
@@ -81,6 +83,7 @@ void ReplicationClient::fill_info(ReplicationInfo& info) const {
   info.frames_applied = frames_applied_.load(std::memory_order_relaxed);
   info.reconnects = reconnects_.load(std::memory_order_relaxed);
   util::MutexLock lk(mu_);
+  info.primary_runid = primary_runid_;
   info.last_error = last_error_;
 }
 
@@ -115,29 +118,56 @@ void ReplicationClient::full_sync(util::TcpStream& s) {
   if (v.kind != RespValue::Kind::kBulk)
     throw std::runtime_error("REPL.SNAPSHOT: unexpected reply kind");
   std::vector<std::string> parts;
-  if (!persist::decode_argv(v.text, parts) || parts.empty())
+  if (!persist::decode_argv(v.text, parts) || parts.size() < 2)
     throw std::runtime_error("REPL.SNAPSHOT: malformed payload");
   const std::uint64_t start_lsn =
       parse_wire_u64(parts[0], "REPL.SNAPSHOT start_lsn");
+  std::string runid = parts[1];
 
-  // The snapshot set replaces everything local, watermarks included.
-  srv_.drop_all_graphs();
-  watermarks_.clear();
-  for (std::size_t i = 1; i < parts.size(); ++i) {
+  // Decode every graph entry BEFORE touching local state: a payload
+  // that is structurally broken must not cost us the keyspace we have.
+  struct SnapEntry {
+    std::string key;
+    std::uint64_t mark;
+    std::string bytes;
+  };
+  std::vector<SnapEntry> entries;
+  entries.reserve(parts.size() - 2);
+  for (std::size_t i = 2; i < parts.size(); ++i) {
     std::vector<std::string> entry;
     if (!persist::decode_argv(parts[i], entry) || entry.size() != 3)
       throw std::runtime_error("REPL.SNAPSHOT: malformed graph entry");
-    const std::uint64_t mark =
-        parse_wire_u64(entry[1], "REPL.SNAPSHOT watermark");
+    entries.push_back({std::move(entry[0]),
+                       parse_wire_u64(entry[1], "REPL.SNAPSHOT watermark"),
+                       std::move(entry[2])});
+  }
+
+  // From here the local state is being replaced — forget the old resume
+  // position FIRST, so a failure mid-restore (e.g. one graph's bytes
+  // fail to decode) leaves applied_ at 0 and the next attempt is a
+  // clean full sync, never a partial resync from a cursor that no
+  // longer matches the half-replaced keyspace.
+  applied_.store(0, std::memory_order_release);
+  {
+    util::MutexLock lk(mu_);
+    primary_runid_.clear();
+  }
+  watermarks_.clear();
+  srv_.drop_all_graphs();
+  for (SnapEntry& e : entries) {
     const Reply r = srv_.dispatch(
-        {"GRAPH.RESTORE.PAYLOAD", entry[0], std::move(entry[2])},
+        {"GRAPH.RESTORE.PAYLOAD", e.key, std::move(e.bytes)},
         CommandSource::kReplication);
     if (!r.ok())
-      throw std::runtime_error("snapshot restore of '" + entry[0] +
+      throw std::runtime_error("snapshot restore of '" + e.key +
                                "' failed: " + r.text);
-    watermarks_[entry[0]] = mark;
+    watermarks_[e.key] = e.mark;
   }
   applied_.store(start_lsn, std::memory_order_release);
+  {
+    util::MutexLock lk(mu_);
+    primary_runid_ = std::move(runid);
+  }
   full_syncs_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -187,11 +217,17 @@ void ReplicationClient::run() {
       if (stop_.load(std::memory_order_acquire)) return;
       rdbuf_.clear();
 
-      // A fresh link (applied 0) must full-sync; a carried-forward
-      // position attempts a partial resync — the first successful fetch
-      // confirms the primary still retains our cursor.
-      bool resuming = applied_.load(std::memory_order_acquire) != 0;
-      if (!resuming) full_sync(s);
+      // A fresh link (applied 0, or no run id to validate the cursor
+      // against) must full-sync; a carried-forward position attempts a
+      // partial resync — the first successful fetch confirms the
+      // primary still retains our cursor and is the same incarnation.
+      std::string runid = primary_runid();
+      bool resuming =
+          applied_.load(std::memory_order_acquire) != 0 && !runid.empty();
+      if (!resuming) {
+        full_sync(s);
+        runid = primary_runid();
+      }
       set_state(State::kStreaming);
 
       while (!stop_.load(std::memory_order_acquire)) {
@@ -202,13 +238,16 @@ void ReplicationClient::run() {
         const std::uint64_t next =
             applied_.load(std::memory_order_acquire) + 1;
         const RespValue v =
-            request(s, {"REPL.FETCH", id_, std::to_string(next),
+            request(s, {"REPL.FETCH", id_, runid, std::to_string(next),
                         std::to_string(kFetchBatch)});
         if (v.is_error()) {
           if (v.text.rfind("NOSYNC", 0) == 0) {
             // Our cursor fell below the primary's retained floor
-            // (compaction won the race) — full resync on this link.
+            // (compaction won the race), the retained log is corrupt,
+            // or the primary restarted with a new run id — full resync
+            // on this link.
             full_sync(s);
+            runid = primary_runid();
             resuming = false;
             set_state(State::kStreaming);
             continue;

@@ -59,10 +59,12 @@ struct ReplicationInfo {
   std::uint64_t partial_syncs = 0;
   std::uint64_t frames_applied = 0;
   std::uint64_t reconnects = 0;
+  std::string primary_runid;  // from the last full sync's REPL.SNAPSHOT
   std::string last_error;
   // primary side
+  std::string run_id;  // this incarnation's replication run id
   std::uint64_t master_lsn = 0;
-  std::vector<ReplicaAckInfo> replicas;
+  std::vector<ReplicaAckInfo> replicas;  // stale acks already expired
 };
 
 /// The replication link state machine.  Owned by Server (REPLICAOF
@@ -71,13 +73,17 @@ struct ReplicationInfo {
 /// primary.
 class ReplicationClient {
  public:
-  /// Starts the link thread.  `resume_lsn`/`resume_watermarks` carry a
-  /// previous link's position forward (re-REPLICAOF to the same
-  /// primary): non-zero resume skips the full sync and attempts a
-  /// partial resync from the retained WAL.
+  /// Starts the link thread.  `resume_lsn`/`resume_watermarks`/
+  /// `resume_runid` carry a previous link's position forward
+  /// (re-REPLICAOF to the same primary): a non-zero resume LSN with the
+  /// run id it was minted against skips the full sync and attempts a
+  /// partial resync from the retained WAL.  The primary validates the
+  /// run id on every fetch, so a resume against a restarted primary is
+  /// refused (NOSYNC) rather than silently diverging.
   ReplicationClient(Server& server, std::string host, std::uint16_t port,
                     std::uint64_t resume_lsn = 0,
-                    std::map<std::string, std::uint64_t> resume_watermarks = {});
+                    std::map<std::string, std::uint64_t> resume_watermarks = {},
+                    std::string resume_runid = {});
   ~ReplicationClient();  // stop()
 
   ReplicationClient(const ReplicationClient&) = delete;
@@ -99,6 +105,13 @@ class ReplicationClient {
   /// (the link thread owns the map while running).
   const std::map<std::string, std::uint64_t>& watermarks() const {
     return watermarks_;
+  }
+
+  /// Run id of the primary incarnation the applied LSN is valid
+  /// against (empty until the first full sync succeeds).
+  std::string primary_runid() const {
+    util::MutexLock lk(mu_);
+    return primary_runid_;
   }
 
   /// Test/debug knob: a paused link stops fetching (its applied LSN and
@@ -148,6 +161,8 @@ class ReplicationClient {
   /// The live connection, so stop() can shutdown_both() a blocked read.
   util::TcpStream* active_ RG_GUARDED_BY(mu_) = nullptr;
   std::string last_error_ RG_GUARDED_BY(mu_);
+  /// Primary run id the cursor is valid against (see primary_runid()).
+  std::string primary_runid_ RG_GUARDED_BY(mu_);
 
   std::string rdbuf_;  // reply reassembly (link thread only)
   std::thread thread_;

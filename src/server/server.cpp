@@ -394,19 +394,22 @@ void Server::replicaof(const std::string& host, std::uint16_t port) {
   // and must never be joined under a lock it could block on.
   std::uint64_t resume = 0;
   std::map<std::string, std::uint64_t> marks;
+  std::string runid;
   if (old) {
     old->stop();
     if (old->host() == host && old->port() == port) {
-      // Same primary: carry the position forward so the fresh link
-      // attempts a partial resync instead of a full transfer.
+      // Same primary: carry the position (and the run id it is valid
+      // against) forward so the fresh link attempts a partial resync
+      // instead of a full transfer.
       resume = old->applied_lsn();
       marks = old->watermarks();
+      runid = old->primary_runid();
     }
     old.reset();
   }
   role_.store(Role::kReplica, std::memory_order_release);
-  auto link = std::make_unique<ReplicationClient>(*this, host, port, resume,
-                                                  std::move(marks));
+  auto link = std::make_unique<ReplicationClient>(
+      *this, host, port, resume, std::move(marks), std::move(runid));
   util::MutexLock lk(repl_mu_);
   repl_client_ = std::move(link);
 }
@@ -434,14 +437,24 @@ void Server::replicaof_no_one() {
   }
 }
 
+bool Server::ack_fresh_locked(
+    const ReplicaAck& ack, std::chrono::steady_clock::time_point now) const {
+  return now - ack.last_seen <=
+         std::chrono::milliseconds(replica_ack_stale_ms());
+}
+
 ReplicationInfo Server::replication_info() const {
   ReplicationInfo info;
   info.is_replica = role() == Role::kReplica;
-  if (durability_) info.master_lsn = durability_->last_lsn();
+  if (durability_) {
+    info.master_lsn = durability_->last_lsn();
+    info.run_id = durability_->run_id();
+  }
   const auto now = std::chrono::steady_clock::now();
   util::MutexLock lk(repl_mu_);
   if (repl_client_) repl_client_->fill_info(info);
   for (const auto& [id, ack] : replica_acks_) {
+    if (!ack_fresh_locked(ack, now)) continue;  // silent link: not counted
     const auto age = std::chrono::duration_cast<std::chrono::milliseconds>(
                          now - ack.last_seen)
                          .count();
@@ -454,10 +467,20 @@ ReplicationInfo Server::replication_info() const {
 void Server::note_replica_ack(const std::string& replica_id,
                               std::uint64_t acked_lsn) {
   {
+    const auto now = std::chrono::steady_clock::now();
     util::MutexLock lk(repl_mu_);
     auto& ack = replica_acks_[replica_id];
     if (ack.acked_lsn < acked_lsn) ack.acked_lsn = acked_lsn;
-    ack.last_seen = std::chrono::steady_clock::now();
+    ack.last_seen = now;
+    // Prune abandoned ids (a reconnecting/restarting replica mints a
+    // fresh one each time) so the map stays bounded and a dead link's
+    // last ack cannot satisfy WAIT forever.
+    for (auto it = replica_acks_.begin(); it != replica_acks_.end();) {
+      if (ack_fresh_locked(it->second, now))
+        ++it;
+      else
+        it = replica_acks_.erase(it);
+    }
   }
   repl_cv_.notify_all();
 }
@@ -471,9 +494,10 @@ std::size_t Server::wait_for_replicas(std::size_t numreplicas,
                         std::chrono::milliseconds(timeout_ms);
   util::MutexLock lk(repl_mu_);
   for (;;) {
+    const auto now = std::chrono::steady_clock::now();
     std::size_t acked = 0;
     for (const auto& [id, ack] : replica_acks_)
-      if (ack.acked_lsn >= target) ++acked;
+      if (ack_fresh_locked(ack, now) && ack.acked_lsn >= target) ++acked;
     if (acked >= numreplicas) return acked;
     if (timeout_ms != 0 && std::chrono::steady_clock::now() >= deadline)
       return acked;

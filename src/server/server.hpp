@@ -179,9 +179,24 @@ class Server {
   ReplicationInfo replication_info() const;
 
   /// Record a replica's fetch heartbeat: fetching from_lsn acknowledges
-  /// everything below it (REPL.FETCH handler; wakes WAIT).
+  /// everything below it (REPL.FETCH handler; wakes WAIT).  Acks whose
+  /// heartbeat is older than the staleness window are pruned here and
+  /// ignored by WAIT / GRAPH.INFO: a replica that restarted (fresh
+  /// random id) or went silent must not keep satisfying WAIT with the
+  /// ack its dead incarnation left behind.
   void note_replica_ack(const std::string& replica_id,
                         std::uint64_t acked_lsn);
+
+  /// Staleness window for replica acks, in ms (heartbeats arrive every
+  /// few ms on an idle link, so the default is generous; tests shrink
+  /// it for determinism).
+  std::uint64_t replica_ack_stale_ms() const {
+    return replica_ack_stale_ms_.load(std::memory_order_relaxed);
+  }
+  void set_replica_ack_stale_ms(std::uint64_t ms) {
+    replica_ack_stale_ms_.store(ms, std::memory_order_relaxed);
+  }
+  static constexpr std::uint64_t kDefaultReplicaAckStaleMs = 10'000;
 
   /// WAIT: block until `numreplicas` replicas acked the WAL offset
   /// current at the call (timeout_ms 0 = no deadline, like Redis);
@@ -320,6 +335,10 @@ class Server {
     std::chrono::steady_clock::time_point last_seen{};
   };
   std::map<std::string, ReplicaAck> replica_acks_ RG_GUARDED_BY(repl_mu_);
+  std::atomic<std::uint64_t> replica_ack_stale_ms_{kDefaultReplicaAckStaleMs};
+  bool ack_fresh_locked(const ReplicaAck& ack,
+                        std::chrono::steady_clock::time_point now) const
+      RG_REQUIRES(repl_mu_);
 
   std::unique_ptr<util::ThreadPool> workers_;
 };

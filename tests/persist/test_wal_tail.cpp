@@ -208,9 +208,9 @@ class ReadFramesFixture : public ::testing::Test {
 
   /// read_frames wrapper; returns delivered LSNs, sets `ok`.
   std::vector<std::uint64_t> fetch(std::uint64_t from, std::size_t max,
-                                   bool& ok) {
+                                   bool& ok, const std::string& id = "r1") {
     std::vector<WalFrame> frames;
-    ok = mgr_.read_frames(from, max, frames);
+    ok = mgr_.read_frames(id, from, max, frames);
     std::vector<std::uint64_t> lsns;
     for (const auto& f : frames) lsns.push_back(f.lsn);
     return lsns;
@@ -284,6 +284,51 @@ TEST_F(ReadFramesFixture, CursorSurvivesCompactionWhenStillRetained) {
   EXPECT_FALSE(ok);
   EXPECT_EQ(fetch(4, 10, ok), (std::vector<std::uint64_t>{4}));
   EXPECT_TRUE(ok);
+}
+
+TEST_F(ReadFramesFixture, EachReplicaTailsWithItsOwnCursor) {
+  append_n(6);
+  bool ok = false;
+  // Interleaved fetches from two replicas must not thrash each other's
+  // cursor: each walks the log independently and incrementally.
+  EXPECT_EQ(fetch(1, 3, ok, "a"), (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(fetch(1, 2, ok, "b"), (std::vector<std::uint64_t>{1, 2}));
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(fetch(4, 10, ok, "a"), (std::vector<std::uint64_t>{4, 5, 6}));
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(fetch(3, 10, ok, "b"), (std::vector<std::uint64_t>{3, 4, 5, 6}));
+  EXPECT_TRUE(ok);
+}
+
+TEST_F(ReadFramesFixture, RunIdIsStablePerOpenAndFreshAcrossOpens) {
+  const std::string first = mgr_.run_id();
+  EXPECT_EQ(first.size(), 32u);
+  EXPECT_EQ(mgr_.run_id(), first);  // stable for this incarnation
+  test::TempDir other;
+  DurabilityManager fresh(other.path(),
+                          {FsyncPolicy::kNo, /*wal_max_bytes=*/4u << 20});
+  EXPECT_NE(fresh.run_id(), first);
+}
+
+TEST_F(ReadFramesFixture, CorruptRetainedFileFailsTheFetch) {
+  append_n(3);
+  const std::uint64_t epoch = mgr_.begin_rewrite();  // closes wal-0.log
+  append_n(2);  // lsn 4, 5 land in the live epoch
+  // Flip a byte inside the closed epoch's last payload: the cursor can
+  // never progress past it, so the fetch must fail (NOSYNC upstream)
+  // instead of returning empty batches forever.
+  const std::string closed = mgr_.path_of("wal-0.log");
+  std::string bytes = util::read_file(closed);
+  bytes[bytes.size() - 3] ^= 0x01;
+  util::atomic_write_file(closed, bytes);
+  bool ok = true;
+  fetch(1, 10, ok);
+  EXPECT_FALSE(ok);
+  // A cursor past the damage still streams the live log.
+  EXPECT_EQ(fetch(4, 10, ok, "past"), (std::vector<std::uint64_t>{4, 5}));
+  EXPECT_TRUE(ok);
+  mgr_.commit_rewrite(epoch, {});
 }
 
 TEST_F(ReadFramesFixture, AdvanceNextLsnStampsAboveAppliedState) {

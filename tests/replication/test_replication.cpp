@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -221,6 +223,104 @@ TEST_F(ReplicationFixture, CompactedHistoryFallsBackToFullSync) {
   EXPECT_TRUE(replica_caught_up("g", 5));
   const auto info = replica_.replication_info();
   EXPECT_GE(info.full_syncs, 2u);  // initial + NOSYNC fallback
+}
+
+TEST_F(ReplicationFixture, StaleAcksExpireFromWaitAndInfo) {
+  replica_.replicaof("127.0.0.1", net_.port());
+  create_nodes(primary_, "g", 2);
+  ASSERT_TRUE(replica_caught_up("g", 2));
+  const auto fresh = primary_.execute({"WAIT", "1", "4000"});
+  ASSERT_TRUE(fresh.ok()) << fresh.text;
+  EXPECT_GE(fresh.result.rows[0][0].as_int(), 1);
+
+  // Silence the link past the (shrunk) staleness window: the ack the
+  // replica left behind must stop satisfying WAIT — even for the SAME
+  // offset it had already confirmed — and vanish from GRAPH.INFO.
+  primary_.set_replica_ack_stale_ms(100);
+  replica_.set_replication_paused(true);
+  std::this_thread::sleep_for(300ms);
+  const auto stale = primary_.execute({"WAIT", "1", "200"});
+  ASSERT_TRUE(stale.ok()) << stale.text;
+  EXPECT_EQ(stale.result.rows[0][0].as_int(), 0);
+  EXPECT_TRUE(primary_.replication_info().replicas.empty());
+
+  // A resumed heartbeat re-registers the replica.
+  replica_.set_replication_paused(false);
+  EXPECT_TRUE(wait_until(
+      [&] { return !primary_.replication_info().replicas.empty(); }));
+}
+
+TEST_F(ReplicationFixture, FetchWithStaleRunIdGetsNosyncAndNoAck) {
+  create_nodes(primary_, "g", 1);
+  // A cursor minted against a previous primary incarnation (wrong run
+  // id) must be refused with NOSYNC and must NOT register an ack that
+  // WAIT could count.
+  const auto bad =
+      primary_.execute({"REPL.FETCH", "ghost", "deadbeef", "2", "16"});
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.text.rfind("NOSYNC", 0), 0u);
+  const auto w = primary_.execute({"WAIT", "1", "100"});
+  EXPECT_EQ(w.result.rows[0][0].as_int(), 0);
+
+  // The live run id (surfaced by GRAPH.INFO replication) is accepted.
+  const auto run_id = primary_.replication_info().run_id;
+  ASSERT_FALSE(run_id.empty());
+  const auto good =
+      primary_.execute({"REPL.FETCH", "ghost", run_id, "2", "16"});
+  EXPECT_TRUE(good.ok()) << good.text;
+}
+
+TEST(ReplicationRestart, PrimaryRestartForcesFullResync) {
+  // kill -9 divergence guard: a primary that loses its tail (here:
+  // simply restarted) reissues LSNs under a FRESH run id, so the
+  // replica's partial resync is refused and it full-syncs instead of
+  // silently skipping the rewritten range.
+  test::TempDir dir;
+  auto durability = [&] {
+    DurabilityConfig dc;
+    dc.data_dir = dir.path();
+    dc.options.fsync = persist::FsyncPolicy::kNo;
+    return dc;
+  };
+  auto primary = std::make_unique<Server>(2, durability());
+  auto net = std::make_unique<NetServer>(*primary, /*port=*/0);
+  const std::uint16_t port = net->port();
+  const std::string first_runid = primary->replication_info().run_id;
+
+  Server replica(2);
+  replica.replicaof("127.0.0.1", port);
+  for (int i = 0; i < 3; ++i)
+    ASSERT_TRUE(
+        primary->execute({"GRAPH.QUERY", "g", "CREATE (:N)"}).ok());
+  ASSERT_TRUE(wait_until([&] {
+    const auto r =
+        replica.execute({"GRAPH.RO_QUERY", "g", "MATCH (n) RETURN count(*)"});
+    return r.ok() && r.result.rows[0][0].as_int() == 3;
+  }));
+  const std::uint64_t syncs_before = replica.replication_info().full_syncs;
+  ASSERT_GE(syncs_before, 1u);
+
+  // Restart the primary on the same data dir and port.
+  net.reset();
+  primary.reset();
+  primary = std::make_unique<Server>(2, durability());
+  net = std::make_unique<NetServer>(*primary, port);
+  EXPECT_NE(primary->replication_info().run_id, first_runid);
+
+  // The replica reconnects, its resume fetch gets NOSYNC (stale run
+  // id), and it falls back to a full sync — then streams again.
+  EXPECT_TRUE(wait_until([&] {
+    return replica.replication_info().full_syncs > syncs_before;
+  }));
+  for (int i = 0; i < 2; ++i)
+    ASSERT_TRUE(
+        primary->execute({"GRAPH.QUERY", "g", "CREATE (:N)"}).ok());
+  EXPECT_TRUE(wait_until([&] {
+    const auto r =
+        replica.execute({"GRAPH.RO_QUERY", "g", "MATCH (n) RETURN count(*)"});
+    return r.ok() && r.result.rows[0][0].as_int() == 5;
+  }));
+  replica.replicaof_no_one();  // detach before the primary dies
 }
 
 TEST_F(ReplicationFixture, DurableReplicaPromotionRecoversAfterRestart) {
