@@ -2,8 +2,9 @@
 // query = one thread, a fixed worker pool, reads scaling with
 // concurrency.  Sweeps the pool size and measures queries/second for a
 // closed-loop stream of 1-hop and 2-hop GRAPH.RO_QUERY commands against
-// the server, plus a mixed read/write workload showing writer
-// serialization (the per-graph RW lock).
+// the server, plus a mixed read/write workload measuring MVCC reader
+// isolation (readers run on pinned epoch snapshots; the writer holds
+// the per-graph lock without stalling them).
 //
 // Two transports:
 //   default    — in-process submit() (isolates the threading model)
@@ -28,6 +29,7 @@
 #include "server/resp.hpp"
 #include "server/server.hpp"
 #include "util/socket.hpp"
+
 
 namespace {
 
@@ -114,6 +116,26 @@ double run_closed_loop_socket(std::uint16_t port, const std::string& key,
   return static_cast<double>(cursor.load()) / secs;
 }
 
+/// Issue one command in-process (conn == nullptr) or over an
+/// established RESP connection; returns false on an error reply.
+bool issue(server::Server& srv, util::TcpStream* conn, std::string& rx,
+           const std::vector<std::string>& cmd) {
+  if (!conn) return srv.execute(cmd).ok();
+  conn->write_all(server::encode_command(cmd));
+  char buf[16384];
+  for (;;) {
+    server::RespValue reply;
+    const std::size_t used = server::decode_reply(rx, reply);
+    if (used > 0) {
+      rx.erase(0, used);
+      return !reply.is_error();
+    }
+    const std::size_t got = conn->read_some(buf, sizeof(buf));
+    if (got == 0) return false;
+    rx.append(buf, got);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -174,40 +196,92 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Mixed workload: 1 writer client + 7 readers; the per-graph RW lock
-  // serializes the writer against readers.
-  std::printf("\nmixed read/write (7 readers + 1 writer, 4 workers):\n");
+  // MVCC reader isolation: readers pin epoch snapshots instead of
+  // queueing on the per-graph lock, so read throughput must hold up
+  // while a writer churns the same graph.  The baseline run is the same
+  // reader pack with the writer idle; the with-writer/baseline ratio is
+  // the number the MVCC design is accountable to (JSON rows: bench
+  // "mvcc" in BENCH_<pr>.json).
+  const std::size_t mvcc_readers = 7;
+  const std::size_t mvcc_per_client = opt.quick ? 60 : 300;
+  std::printf("\nmvcc reader isolation (%s, 4 workers, %zu readers +/- 1 "
+              "writer x %zu cmds):\n",
+              transport, mvcc_readers, mvcc_per_client);
   {
     server::Server srv(4);
     load_graph(srv, "bench", el);
-    std::atomic<std::size_t> reads{0}, writes{0};
-    util::Stopwatch sw;
-    std::vector<std::thread> threads;
-    for (std::size_t c = 0; c < 7; ++c) {
-      threads.emplace_back([&, c] {
-        for (std::size_t q = 0; q < per_client; ++q) {
-          const gb::Index seed = seeds[(c + q) % seeds.size()];
-          auto reply = srv.execute(
-              {"GRAPH.RO_QUERY", "bench",
-               "MATCH (s)-[:E]->(t) WHERE id(s) = " + std::to_string(seed) +
-                   " RETURN count(t)"});
-          if (reply.ok()) reads.fetch_add(1);
-        }
-      });
-    }
-    threads.emplace_back([&] {
-      for (std::size_t q = 0; q < per_client; ++q) {
-        auto reply = srv.execute(
-            {"GRAPH.QUERY", "bench",
-             "CREATE (:Extra {seq: " + std::to_string(q) + "})"});
-        if (reply.ok()) writes.fetch_add(1);
+    std::unique_ptr<server::NetServer> net;
+    if (socket_mode)
+      net = std::make_unique<server::NetServer>(srv, /*port=*/0);
+
+    std::size_t write_seq = 0;
+    auto run_mixed = [&](bool with_writer, double& reads_per_s,
+                         double& writes_per_s) {
+      std::atomic<std::size_t> reads{0}, writes{0};
+      util::Stopwatch sw;
+      std::vector<std::thread> threads;
+      for (std::size_t c = 0; c < mvcc_readers; ++c) {
+        threads.emplace_back([&, c] {
+          std::unique_ptr<util::TcpStream> conn;
+          if (net)
+            conn = std::make_unique<util::TcpStream>(
+                util::TcpStream::connect("127.0.0.1", net->port()));
+          std::string rx;
+          for (std::size_t q = 0; q < mvcc_per_client; ++q) {
+            const gb::Index seed = seeds[(c + q) % seeds.size()];
+            if (issue(srv, conn.get(), rx,
+                      {"GRAPH.RO_QUERY", "bench",
+                       "MATCH (s)-[:E]->(t) WHERE id(s) = " +
+                           std::to_string(seed) + " RETURN count(t)"}))
+              reads.fetch_add(1);
+          }
+        });
       }
-    });
-    for (auto& t : threads) t.join();
-    const double secs = sw.seconds();
-    std::printf("  reads: %zu (%.1f/s)  writes: %zu (%.1f/s)\n", reads.load(),
-                static_cast<double>(reads.load()) / secs, writes.load(),
-                static_cast<double>(writes.load()) / secs);
+      if (with_writer) {
+        threads.emplace_back([&] {
+          std::unique_ptr<util::TcpStream> conn;
+          if (net)
+            conn = std::make_unique<util::TcpStream>(
+                util::TcpStream::connect("127.0.0.1", net->port()));
+          std::string rx;
+          for (std::size_t q = 0; q < mvcc_per_client; ++q) {
+            if (issue(srv, conn.get(), rx,
+                      {"GRAPH.QUERY", "bench",
+                       "CREATE (:Extra {seq: " +
+                           std::to_string(write_seq++) + "})"}))
+              writes.fetch_add(1);
+          }
+        });
+      }
+      for (auto& t : threads) t.join();
+      const double secs = sw.seconds();
+      reads_per_s = static_cast<double>(reads.load()) / secs;
+      writes_per_s = static_cast<double>(writes.load()) / secs;
+    };
+
+    double base_rps = 0, base_wps = 0, rps = 0, wps = 0;
+    run_mixed(false, base_rps, base_wps);
+    run_mixed(true, rps, wps);
+    std::printf("  %-12s %12.1f reads/s\n", "no writer", base_rps);
+    std::printf("  %-12s %12.1f reads/s  %10.1f writes/s  (reads at %.0f%% "
+                "of baseline)\n",
+                "with writer", rps, wps, 100.0 * rps / base_rps);
+    if (opt.json) {
+      const std::pair<const char*, double> rows[] = {
+          {"read_baseline", base_rps},
+          {"read_under_writer", rps},
+          {"write_under_readers", wps}};
+      for (const auto& [name, qps] : rows) {
+        bench::JsonRow row("mvcc");
+        row.kv("workload", std::string("Graph500"))
+            .kv("engine", std::string("server"))
+            .kv("transport", std::string(transport))
+            .kv("name", std::string(name))
+            .kv("clients", static_cast<std::uint64_t>(mvcc_readers))
+            .kv("qps", qps);
+        row.emit();
+      }
+    }
   }
 
   // Dispatch overhead: the cheapest commands in the table, closed-loop

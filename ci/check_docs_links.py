@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Docs drift gate: every repo file path and every GRAPH.* command named
+in the markdown docs must actually exist.
+
+Scans README.md and docs/*.md for
+
+  * file references — tokens like ``src/graph/snapshot.hpp`` (any
+    src/tests/ci/docs/bench path with a source/script/doc extension)
+    must name a file on disk, so refactors cannot silently strand the
+    prose; glob patterns (``fail_*.cpp``) are ignored;
+  * command references — ``GRAPH.FOO[.BAR]`` tokens must be registered
+    commands (checked against ``resp_server --dump-commands``, the same
+    registry dump ci/check_command_docs.py gates the README table
+    against).
+
+Usage:
+  check_docs_links.py --root . --binary build/examples/resp_server
+  check_docs_links.py --root . --dump commands.md
+  check_docs_links.py --root .            # paths only, skip commands
+"""
+
+import argparse
+import glob
+import os
+import re
+import subprocess
+import sys
+
+# Repo-relative file tokens with a checkable extension.  The character
+# class excludes '*', so glob examples in the prose never match.
+PATH_RE = re.compile(
+    r"\b(?:src|tests|ci|docs|bench)/[\w./-]*\.(?:hpp|cpp|py|md|resp|yml)\b")
+
+# GRAPH.QUERY, GRAPH.RESTORE.PAYLOAD, ... — a trailing sentence period
+# is not captured (every dot must be followed by another name segment).
+COMMAND_RE = re.compile(r"\bGRAPH\.[A-Z_]+(?:\.[A-Z_]+)*\b")
+
+
+def doc_files(root):
+    files = [os.path.join(root, "README.md")]
+    files += sorted(glob.glob(os.path.join(root, "docs", "*.md")))
+    return [f for f in files if os.path.isfile(f)]
+
+
+def registry_names(args):
+    """Lower-case command names from the --dump-commands table."""
+    if args.dump:
+        with open(args.dump) as f:
+            dump = f.read()
+    elif args.binary:
+        dump = subprocess.run([args.binary, "--dump-commands"], check=True,
+                              capture_output=True, text=True).stdout
+    else:
+        return None
+    names = set()
+    for line in dump.splitlines():
+        m = re.match(r"\|\s*`([^`]+)`\s*\|", line)
+        if m:
+            names.add(m.group(1).lower())
+    if not names:
+        sys.exit("check_docs_links: no command names in the registry dump")
+    return names
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--root", default=".", help="repository root")
+    group = ap.add_mutually_exclusive_group()
+    group.add_argument("--dump", help="file holding --dump-commands output")
+    group.add_argument("--binary", help="resp_server binary to run")
+    args = ap.parse_args()
+
+    commands = registry_names(args)
+    problems = []
+    paths_checked = commands_checked = 0
+
+    for doc in doc_files(args.root):
+        rel_doc = os.path.relpath(doc, args.root)
+        with open(doc) as f:
+            lines = f.read().splitlines()
+        for lineno, line in enumerate(lines, 1):
+            for m in PATH_RE.finditer(line):
+                paths_checked += 1
+                if not os.path.isfile(os.path.join(args.root, m.group(0))):
+                    problems.append(f"{rel_doc}:{lineno}: missing file "
+                                    f"{m.group(0)}")
+            if commands is None:
+                continue
+            for m in COMMAND_RE.finditer(line):
+                commands_checked += 1
+                if m.group(0).lower() not in commands:
+                    problems.append(f"{rel_doc}:{lineno}: unknown command "
+                                    f"{m.group(0)}")
+
+    if problems:
+        print(f"check_docs_links: {len(problems)} stale reference(s):",
+              file=sys.stderr)
+        for p in problems:
+            print(f"  {p}", file=sys.stderr)
+        return 1
+
+    suffix = (f", {commands_checked} command refs against the registry"
+              if commands is not None else " (registry check skipped)")
+    print(f"check_docs_links: {len(doc_files(args.root))} docs clean — "
+          f"{paths_checked} path refs{suffix}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

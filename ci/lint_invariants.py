@@ -51,6 +51,16 @@ replica-apply   Replication frame application (server/replication.cpp)
                 itself: re-journaling an applied frame would duplicate
                 it on the next recovery.
 
+mvcc-api        Delta-matrix internals stay inside the graph layer:
+                code outside src/graphblas and src/graph must not name
+                the delta overlay members (delta_plus_/delta_minus_) or
+                construct a GraphSnapshot directly.  Everything above
+                goes through the snapshot-pin API — EpochManager::
+                try_pin/pin_or_fork/invalidate for epochs and
+                Graph::delta_counts() for the GRAPH.INFO gauges — so
+                the MVCC representation can change without touching
+                the server.
+
 Suppressions: `// lint:allow(<rule>): <reason>` either inline on the
 offending line, or — for io-under-lock — on a comment line immediately
 above the guard construction, which then covers that guard's scope.
@@ -351,11 +361,43 @@ def check_io_under_lock(path, text):
 
 
 # --------------------------------------------------------------------------
+# Rule: mvcc-api (delta/epoch internals stay below the graph layer)
+# --------------------------------------------------------------------------
+
+MVCC_INTERNALS_RE = re.compile(
+    r"\bdelta_(?:plus|minus)_\b"
+    r"|\bnew\s+(?:graph::)?GraphSnapshot\b"
+    r"|\bmake_(?:shared|unique)\s*<\s*(?:const\s+)?(?:graph::)?"
+    r"GraphSnapshot\b"
+    r"|\bGraphSnapshot\s*\(")
+
+
+def check_mvcc_api(path, text):
+    p = path.replace("\\", "/")
+    if p.startswith("src/graphblas/") or p.startswith("src/graph/"):
+        return []
+    findings = []
+    stripped = strip_comments(text)
+    for lineno, (line, raw) in enumerate(
+            zip(stripped.splitlines(), text.splitlines()), 1):
+        m = MVCC_INTERNALS_RE.search(line)
+        if not m or allowed(raw, "mvcc-api"):
+            continue
+        findings.append(Finding(
+            path, lineno, "mvcc-api",
+            f"`{m.group(0).strip()}` outside src/graphblas//src/graph: "
+            f"delta overlays and snapshot construction are graph-layer "
+            f"internals; use the snapshot-pin API (EpochManager::"
+            f"try_pin/pin_or_fork/invalidate, Graph::delta_counts)"))
+    return findings
+
+
+# --------------------------------------------------------------------------
 # Driver
 # --------------------------------------------------------------------------
 
 RULES = [check_raw_mutex, check_write_journals, check_wal_frames,
-         check_replica_apply, check_io_under_lock]
+         check_replica_apply, check_io_under_lock, check_mvcc_api]
 
 
 def lint_tree(root):
@@ -514,6 +556,27 @@ SELF_TESTS = [
         ::fdatasync(fd_);
       }
     """),
+
+    (check_mvcc_api, "mvcc-api", """
+      void peek(graph::Graph& g) {
+        auto n = g.delta_plus_.size();
+      }
+    """, "src/server/evil.cpp"),
+    (check_mvcc_api, "mvcc-api", """
+      auto snap = std::make_shared<graph::GraphSnapshot>(
+          g.fork(), 0, 0, nullptr);
+    """, "src/exec/evil.cpp"),
+    (check_mvcc_api, None, """
+      void good(GraphEntry& ge) {
+        auto snap = ge.epochs.try_pin();           // sanctioned API
+        const auto [plus, minus] = g.delta_counts();
+        ge.epochs.invalidate();
+      }
+    """, "src/server/good.cpp"),
+    (check_mvcc_api, None, """
+      // The rule is scoped: the graph layer owns these members.
+      void Matrix::fold() { delta_plus_.clear(); }
+    """, "src/graphblas/matrix.hpp"),
 ]
 
 
@@ -557,7 +620,7 @@ def main():
               file=sys.stderr)
         return 1
     print("lint_invariants: src/ clean (raw-mutex, write-journals, "
-          "wal-frames, replica-apply, io-under-lock)")
+          "wal-frames, replica-apply, io-under-lock, mvcc-api)")
     return 0
 
 

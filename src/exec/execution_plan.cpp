@@ -602,7 +602,7 @@ class PlanBuilder {
 
 ExecutionPlan::ExecutionPlan(graph::Graph& g, const cypher::Query& q,
                              std::size_t traverse_batch, ParamMap params)
-    : g_(g),
+    : g_(&g),
       ctx_(std::make_unique<ExecContext>()),
       schema_version_(g.schema().version()) {
   ctx_->g = &g;
@@ -620,7 +620,7 @@ void ExecutionPlan::set_params(ParamMap params) {
 
 void ExecutionPlan::run(ResultSet& out) {
   util::Stopwatch sw;
-  g_.flush();
+  g_->flush();
   ctx_->results = &out;
   ctx_->stats = QueryStats{};
   root_->reset();

@@ -67,8 +67,18 @@ class ExecutionPlan {
   /// True when the query only reads (determines server lock mode).
   bool read_only() const { return read_only_; }
 
+  /// Re-point the plan at another graph generation before run().  Plans
+  /// embed only schema-derived ids (label/type/attr numbers, index
+  /// choices), never graph pointers below ctx_->g, so a plan compiled
+  /// against one MVCC snapshot can execute against any graph with the
+  /// same schema version — PlanCache::acquire() rebinds every lease.
+  void bind(graph::Graph& g) {
+    g_ = &g;
+    ctx_->g = &g;
+  }
+
  private:
-  graph::Graph& g_;
+  graph::Graph* g_;
   std::unique_ptr<ExecContext> ctx_;
   std::unique_ptr<Operator> root_;
   std::uint64_t schema_version_ = 0;

@@ -46,6 +46,11 @@ PlanCache::Lease PlanCache::acquire(graph::Graph& g, const std::string& text,
     lease.plan_ = std::make_unique<ExecutionPlan>(g, *lease.ast_,
                                                   traverse_batch, ParamMap{});
   }
+  // MVCC: a pooled plan may have last run against a retired snapshot
+  // whose Graph no longer exists.  Rebind every lease to the caller's
+  // graph generation — plans embed schema ids, never graph pointers,
+  // and the schema-version check above guarantees compatibility.
+  lease.plan_->bind(g);
   lease.plan_->set_params(std::move(params));
   lease.cache_ = this;
   return lease;

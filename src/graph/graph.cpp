@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
+#include <utility>
 
 namespace rg::graph {
 
@@ -9,6 +11,44 @@ Graph::Graph(gb::Index initial_capacity)
     : capacity_(std::max<gb::Index>(16, initial_capacity)),
       adj_(capacity_, capacity_),
       adj_t_(capacity_, capacity_) {}
+
+Graph::Graph(ForkTag, const Graph& other)
+    : schema_(other.schema_),
+      nodes_(other.nodes_.fork()),
+      edges_(other.edges_.fork()),
+      capacity_(other.capacity_),
+      adj_(other.adj_),      // Matrix copy shares the immutable CSR body
+      adj_t_(other.adj_t_),
+      adj_t_stale_(other.adj_t_stale_),
+      rels_(other.rels_),    // RelMatrices copy: COW edge_ids + shared CSRs
+      labels_(other.labels_),
+      indexes_(other.indexes_),  // shared; live side clones on mutation
+      empty_(other.empty_) {}
+
+std::unique_ptr<Graph> Graph::fork() const {
+  return std::unique_ptr<Graph>(new Graph(ForkTag{}, *this));
+}
+
+AttributeIndex& Graph::own_index(std::shared_ptr<AttributeIndex>& idx) {
+  if (idx.use_count() > 1) idx = std::make_shared<AttributeIndex>(*idx);
+  return *idx;
+}
+
+std::pair<std::size_t, std::size_t> Graph::delta_counts() const {
+  std::size_t plus = 0, minus = 0;
+  const auto add = [&](const gb::Matrix<gb::Bool>& m) {
+    plus += m.delta_plus_count();
+    minus += m.delta_minus_count();
+  };
+  add(adj_);
+  add(adj_t_);
+  for (const auto& r : rels_) {
+    add(r.m);
+    add(r.mt);
+  }
+  for (const auto& l : labels_) add(l);
+  return {plus, minus};
+}
 
 void Graph::ensure_capacity(gb::Index need) {
   if (need <= capacity_) return;
@@ -58,7 +98,7 @@ NodeId Graph::add_node(const std::vector<LabelId>& labels, AttributeSet attrs) {
   for (LabelId l : stored.labels) {
     for (auto& [key, idx] : indexes_) {
       if (key.first != l) continue;
-      if (auto v = stored.attrs.get(key.second)) idx.insert(*v, id);
+      if (auto v = stored.attrs.get(key.second)) own_index(idx).insert(*v, id);
     }
   }
   return id;
@@ -81,7 +121,7 @@ EdgeId Graph::add_edge(RelTypeId type, NodeId src, NodeId dst,
   rel_mut(type).set_element(src, dst, 1);
   rels_[type].mt.set_element(dst, src, 1);
   rels_[type].t_stale = false;  // maintained incrementally
-  rels_[type].edge_ids[pair_key(src, dst)].push_back(id);
+  rels_[type].edge_ids.mutate(pair_key(src, dst)).push_back(id);
   adj_.set_element(src, dst, 1);
   adj_t_.set_element(dst, src, 1);
   adj_t_stale_ = false;
@@ -94,10 +134,10 @@ void Graph::delete_edge(EdgeId e) {
   edges_.erase(e);
 
   auto& rm = rels_[ent.type];
-  auto& ids = rm.edge_ids[pair_key(ent.src, ent.dst)];
+  auto& ids = rm.edge_ids.mutate(pair_key(ent.src, ent.dst));
   ids.erase(std::remove(ids.begin(), ids.end(), e), ids.end());
   if (ids.empty()) {
-    rm.edge_ids.erase(pair_key(ent.src, ent.dst));
+    // The now-empty overlay vector tombstones the key.
     rm.m.remove_element(ent.src, ent.dst);
     rm.mt.remove_element(ent.dst, ent.src);
     // The adjacency union loses the entry only if no other type connects
@@ -105,7 +145,7 @@ void Graph::delete_edge(EdgeId e) {
     bool other = false;
     for (RelTypeId t = 0; t < rels_.size() && !other; ++t) {
       if (t == ent.type) continue;
-      other = rels_[t].edge_ids.count(pair_key(ent.src, ent.dst)) > 0;
+      other = rels_[t].edge_ids.contains(pair_key(ent.src, ent.dst));
     }
     if (!other) {
       adj_.remove_element(ent.src, ent.dst);
@@ -118,16 +158,18 @@ std::size_t Graph::delete_node(NodeId n) {
   assert(nodes_.contains(n));
   // Collect incident edges (both directions, all types).
   std::vector<EdgeId> incident;
-  edges_.for_each([&](EdgeId id, const EdgeEntity& e) {
+  // Read through a const view: the non-const DataBlock::for_each would
+  // clone every COW-shared page just to scan.
+  std::as_const(edges_).for_each([&](EdgeId id, const EdgeEntity& e) {
     if (e.src == n || e.dst == n) incident.push_back(id);
   });
   for (EdgeId e : incident) delete_edge(e);
-  const NodeEntity& ent = nodes_[n];
+  const NodeEntity ent = std::as_const(nodes_)[n];
   for (LabelId l : ent.labels) labels_[l].remove_element(n, n);
   for (LabelId l : ent.labels) {
     for (auto& [key, idx] : indexes_) {
       if (key.first != l) continue;
-      if (auto v = ent.attrs.get(key.second)) idx.remove(*v, n);
+      if (auto v = ent.attrs.get(key.second)) own_index(idx).remove(*v, n);
     }
   }
   nodes_.erase(n);
@@ -143,7 +185,7 @@ void Graph::add_node_label(NodeId n, LabelId l) {
   label_mut(l).set_element(n, n, 1);
   for (auto& [key, idx] : indexes_) {
     if (key.first != l) continue;
-    if (auto v = ent.attrs.get(key.second)) idx.insert(*v, n);
+    if (auto v = ent.attrs.get(key.second)) own_index(idx).insert(*v, n);
   }
 }
 
@@ -154,8 +196,9 @@ void Graph::set_node_attr(NodeId n, AttrId key, Value v) {
   for (LabelId l : ent.labels) {
     const auto it = indexes_.find({l, key});
     if (it == indexes_.end()) continue;
-    if (auto old = ent.attrs.get(key)) it->second.remove(*old, n);
-    if (!v.is_null()) it->second.insert(v, n);
+    AttributeIndex& idx = own_index(it->second);
+    if (auto old = ent.attrs.get(key)) idx.remove(*old, n);
+    if (!v.is_null()) idx.insert(v, n);
   }
   ent.attrs.set(key, std::move(v));
 }
@@ -163,9 +206,10 @@ void Graph::set_node_attr(NodeId n, AttrId key, Value v) {
 void Graph::create_index(LabelId label, AttrId attr) {
   const auto key = std::make_pair(label, attr);
   if (indexes_.contains(key)) return;
-  auto [it, inserted] = indexes_.emplace(key, AttributeIndex(label, attr));
-  AttributeIndex& idx = it->second;
-  nodes_.for_each([&](NodeId id, const NodeEntity& ent) {
+  auto [it, inserted] =
+      indexes_.emplace(key, std::make_shared<AttributeIndex>(label, attr));
+  AttributeIndex& idx = *it->second;
+  std::as_const(nodes_).for_each([&](NodeId id, const NodeEntity& ent) {
     if (!ent.has_label(label)) return;
     if (auto v = ent.attrs.get(attr)) idx.insert(*v, id);
   });
@@ -180,7 +224,7 @@ bool Graph::drop_index(LabelId label, AttrId attr) {
 
 const AttributeIndex* Graph::find_index(LabelId label, AttrId attr) const {
   const auto it = indexes_.find({label, attr});
-  return it == indexes_.end() ? nullptr : &it->second;
+  return it == indexes_.end() ? nullptr : it->second.get();
 }
 
 void Graph::set_edge_attr(EdgeId e, AttrId key, Value v) {
@@ -212,7 +256,7 @@ void Graph::restore_edge(EdgeId id, RelTypeId type, NodeId src, NodeId dst,
   rel_mut(type).set_element(src, dst, 1);
   rels_[type].mt.set_element(dst, src, 1);
   rels_[type].t_stale = false;
-  rels_[type].edge_ids[pair_key(src, dst)].push_back(id);
+  rels_[type].edge_ids.mutate(pair_key(src, dst)).push_back(id);
   adj_.set_element(src, dst, 1);
   adj_t_.set_element(dst, src, 1);
   adj_t_stale_ = false;
@@ -228,9 +272,8 @@ std::vector<EdgeId> Graph::edges_between(NodeId src, NodeId dst,
                                          RelTypeId type) const {
   std::vector<EdgeId> out;
   auto collect = [&](const RelMatrices& rm) {
-    const auto it = rm.edge_ids.find(pair_key(src, dst));
-    if (it != rm.edge_ids.end())
-      out.insert(out.end(), it->second.begin(), it->second.end());
+    if (const auto* ids = rm.edge_ids.find(pair_key(src, dst)))
+      out.insert(out.end(), ids->begin(), ids->end());
   };
   if (type == kAnyRelType) {
     for (const auto& rm : rels_) collect(rm);

@@ -23,10 +23,12 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "graph/entity.hpp"
@@ -45,6 +47,88 @@ class GraphFullError : public std::length_error {
   GraphFullError() : std::length_error("graph entity-id space exhausted") {}
 };
 
+/// Copy-on-write multimap (src,dst) -> edge ids — the multi-edge side
+/// table, made forkable for MVCC.  An immutable base map is shared
+/// between a graph and its snapshot forks; each lineage layers an
+/// overlay on top (an empty id vector in the overlay is a tombstone).
+/// BOTH layers are shared on copy, so a graph fork is O(1) here no
+/// matter how many un-folded mutations the overlay holds; the mutating
+/// side clones the overlay on its first post-fork write (snapshots
+/// never mutate, so in steady state only the live graph ever clones,
+/// and only when the workload actually touches edges).  Writers fold
+/// the overlay into a fresh base once it grows past a fraction of the
+/// base — amortized O(1) per mutation — which never disturbs forks
+/// holding the old layers.
+class DeltaEdgeMap {
+ public:
+  using Key = std::uint64_t;
+  using Ids = std::vector<EdgeId>;
+
+  /// Ids for `key`, or nullptr when absent/tombstoned.
+  const Ids* find(Key key) const {
+    if (overlay_) {
+      if (const auto it = overlay_->find(key); it != overlay_->end())
+        return it->second.empty() ? nullptr : &it->second;
+    }
+    if (base_) {
+      if (const auto it = base_->find(key); it != base_->end())
+        return &it->second;
+    }
+    return nullptr;
+  }
+
+  bool contains(Key key) const { return find(key) != nullptr; }
+
+  /// Mutable ids for `key` (copies the base entry into the overlay on
+  /// first touch).  Leaving the vector empty tombstones the key.
+  /// Caller must hold the graph's mutation exclusion (entry lock
+  /// exclusive): clone-on-write inspects the overlay's use_count, the
+  /// same discipline as DataBlock pages.
+  Ids& mutate(Key key) {
+    own_overlay();
+    maybe_fold();
+    auto [it, inserted] = overlay_->try_emplace(key);
+    if (inserted && base_) {
+      if (const auto b = base_->find(key); b != base_->end())
+        it->second = b->second;
+    }
+    return it->second;
+  }
+
+  /// Remove the key (tombstone over the shared base).
+  void erase(Key key) { mutate(key).clear(); }
+
+ private:
+  using Map = std::unordered_map<Key, Ids>;
+
+  /// Clone-on-write: a fork shares the overlay map; whichever lineage
+  /// mutates first replaces its pointer with a private copy.
+  void own_overlay() {
+    if (!overlay_)
+      overlay_ = std::make_shared<Map>();
+    else if (overlay_.use_count() > 1)
+      overlay_ = std::make_shared<Map>(*overlay_);
+  }
+
+  void maybe_fold() {
+    const std::size_t base_size = base_ ? base_->size() : 0;
+    if (overlay_->size() < 64 || overlay_->size() * 4 < base_size) return;
+    auto next = base_ ? std::make_shared<Map>(*base_)
+                      : std::make_shared<Map>();
+    for (auto& [k, ids] : *overlay_) {
+      if (ids.empty())
+        next->erase(k);
+      else
+        (*next)[k] = std::move(ids);
+    }
+    base_ = std::move(next);
+    overlay_->clear();
+  }
+
+  std::shared_ptr<const Map> base_;  // immutable once shared
+  std::shared_ptr<Map> overlay_;     // cloned-on-write when shared
+};
+
 class Graph {
  public:
   /// Hard cap on entity ids (and thus matrix dimensions).  Matrices
@@ -61,6 +145,15 @@ class Graph {
 
   Graph(const Graph&) = delete;
   Graph& operator=(const Graph&) = delete;
+
+  /// An O(delta) copy-on-write fork — the MVCC snapshot primitive (see
+  /// graph/snapshot.hpp).  Matrices share their immutable CSR bodies,
+  /// entity datablocks share pages copy-on-write, indexes are shared
+  /// and cloned by the live side on first post-fork mutation.  The
+  /// caller must exclude writers for the duration of the call (hold the
+  /// entry lock at least shared); the fork itself is never written to
+  /// again and may be read concurrently without locks.
+  std::unique_ptr<Graph> fork() const;
 
   // --- schema ------------------------------------------------------------
 
@@ -171,10 +264,21 @@ class Graph {
   /// Matrix dimension (capacity); >= node_id_bound().
   gb::Index capacity() const { return capacity_; }
 
+  /// Buffered (delta_plus, delta_minus) overlay entries summed across
+  /// every matrix — the GRAPH.INFO mvcc delta gauges.  Keeps delta
+  /// internals inside the graph layer (ci/lint_invariants.py mvcc-api).
+  std::pair<std::size_t, std::size_t> delta_counts() const;
+
  private:
+  struct ForkTag {};
+  Graph(ForkTag, const Graph& other);
+
   void ensure_capacity(gb::Index need);
   gb::Matrix<gb::Bool>& rel_mut(RelTypeId t);
   gb::Matrix<gb::Bool>& label_mut(LabelId l);
+  /// Clone-if-shared: the live graph clones an index the first time it
+  /// mutates one a snapshot fork still holds.
+  static AttributeIndex& own_index(std::shared_ptr<AttributeIndex>& idx);
   static std::uint64_t pair_key(NodeId s, NodeId d) {
     // Szudzik-style pairing is overkill; ids stay < 2^32 at our scales.
     return (s << 32) | (d & 0xffffffffULL);
@@ -200,13 +304,16 @@ class Graph {
     gb::Matrix<gb::Bool> m;
     mutable gb::Matrix<gb::Bool> mt;
     mutable bool t_stale = true;
-    /// (src,dst) -> edge ids (multi-edge side table).
-    std::unordered_map<std::uint64_t, std::vector<EdgeId>> edge_ids;
+    /// (src,dst) -> edge ids (multi-edge side table), COW-forkable.
+    DeltaEdgeMap edge_ids;
   };
   std::vector<RelMatrices> rels_;        // indexed by RelTypeId
   std::vector<gb::Matrix<gb::Bool>> labels_;  // indexed by LabelId
 
-  std::map<std::pair<LabelId, AttrId>, AttributeIndex> indexes_;
+  /// Indexes are held by shared_ptr so a fork is O(1) per index; the
+  /// live side clones before mutating while shared (own_index).
+  std::map<std::pair<LabelId, AttrId>, std::shared_ptr<AttributeIndex>>
+      indexes_;
 
   gb::Matrix<gb::Bool> empty_;  // returned for unknown types/labels
 };

@@ -1,10 +1,16 @@
 // gb::Matrix<T> — a sparse GraphBLAS matrix (GrB_Matrix) in CSR form.
 //
-// Storage is compressed sparse row (row pointers + sorted column indices
-// + parallel values).  Mutations (set_element / remove_element) go into
-// an unsorted pending-tuple buffer, merged into the CSR on wait() — the
-// same "pending tuples" design SuiteSparse:GraphBLAS uses so that bulk
-// graph updates cost O(1) amortized per edge instead of O(nnz) each.
+// Storage is an IMMUTABLE compressed sparse row body (row pointers +
+// sorted column indices + parallel values) held by shared_ptr, plus two
+// delta overlays: `delta_plus_` buffers insertions/updates and
+// `delta_minus_` buffers deletions — the delta-matrix design RedisGraph
+// adopted for MVCC, generalizing SuiteSparse's "pending tuples" so bulk
+// updates cost O(1) amortized per edge instead of O(nnz) each.
+// wait() folds both overlays into a brand-new CSR body and swaps the
+// shared_ptr; any copy of this matrix made before the fold keeps the old
+// body alive and unchanged.  That makes Matrix copies O(delta): the copy
+// shares the CSR body and duplicates only the overlays, which is the
+// fork primitive behind graph snapshots (graph/snapshot.hpp).
 // wait() is const and thread-safe; the logical contents never change,
 // only the physical representation.
 //
@@ -16,6 +22,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -38,7 +45,9 @@ class Matrix {
 
   /// An empty nrows x ncols matrix.
   Matrix(Index nrows = 0, Index ncols = 0)
-      : nrows_(nrows), ncols_(ncols), rowptr_(nrows + 1, 0) {}
+      : nrows_(nrows),
+        ncols_(ncols),
+        csr_(std::make_shared<Csr>(nrows)) {}
 
   // Copy/move lock BOTH objects (`this` is unshared during construction
   // but the helper methods carry REQUIRES on both mutexes — the analysis
@@ -76,54 +85,76 @@ class Matrix {
   /// Number of stored entries (forces wait()).
   Index nvals() const {
     wait();
-    return static_cast<Index>(colidx_.size());
+    return static_cast<Index>(csr_->colidx.size());
   }
 
-  /// True when there are buffered updates not yet merged into the CSR.
+  /// True when there are buffered updates not yet folded into the CSR.
   bool has_pending() const {
     util::MutexLock lk(mu_);
-    return !pend_.empty();
+    return !delta_plus_.empty() || !delta_minus_.empty();
+  }
+
+  /// Buffered insertions/updates not yet folded (GRAPH.INFO mvcc).
+  std::size_t delta_plus_count() const {
+    util::MutexLock lk(mu_);
+    return delta_plus_.size();
+  }
+  /// Buffered deletions not yet folded (GRAPH.INFO mvcc).
+  std::size_t delta_minus_count() const {
+    util::MutexLock lk(mu_);
+    return delta_minus_.size();
   }
 
   /// Remove all entries, keeping dimensions.
   void clear() {
     util::MutexLock lk(mu_);
-    rowptr_.assign(nrows_ + 1, 0);
-    colidx_.clear();
-    val_.clear();
-    pend_.clear();
+    csr_ = std::make_shared<Csr>(nrows_);
+    delta_plus_.clear();
+    delta_minus_.clear();
+    seq_ = 0;
   }
 
-  /// Grow/shrink dimensions; out-of-range entries are dropped.
+  /// Grow/shrink dimensions; out-of-range entries are dropped.  A shared
+  /// CSR body is never touched in place — copies keep theirs unchanged;
+  /// an unshared body grows in place (the common capacity-doubling path).
   void resize(Index nrows, Index ncols) {
     wait();
     util::MutexLock lk(mu_);
+    if (nrows >= nrows_ && ncols >= ncols_ && csr_.use_count() == 1) {
+      // Sole owner: no snapshot fork can observe the in-place growth.
+      csr_->rowptr.resize(nrows + 1,
+                          csr_->rowptr.empty() ? 0 : csr_->rowptr.back());
+      if (csr_->rowptr.size() == 1) csr_->rowptr[0] = 0;
+      nrows_ = nrows;
+      ncols_ = ncols;
+      return;
+    }
+    const Csr& base = *csr_;
+    auto next = std::make_shared<Csr>();
     if (nrows < nrows_ || ncols < ncols_) {
-      std::vector<Index> nrp(nrows + 1, 0);
-      std::vector<Index> nci;
-      std::vector<T> nv;
+      next->rowptr.assign(nrows + 1, 0);
       const Index rlim = std::min(nrows, nrows_);
       for (Index i = 0; i < rlim; ++i) {
-        nrp[i] = static_cast<Index>(nci.size());
-        for (Index p = rowptr_[i]; p < rowptr_[i + 1]; ++p) {
-          if (colidx_[p] < ncols) {
-            nci.push_back(colidx_[p]);
-            nv.push_back(val_[p]);
+        next->rowptr[i] = static_cast<Index>(next->colidx.size());
+        for (Index p = base.rowptr[i]; p < base.rowptr[i + 1]; ++p) {
+          if (base.colidx[p] < ncols) {
+            next->colidx.push_back(base.colidx[p]);
+            next->val.push_back(base.val[p]);
           }
         }
       }
-      for (Index i = rlim; i <= nrows; ++i) nrp[i] = static_cast<Index>(nci.size());
-      // Fix up rowptr prefix for rows < rlim.
-      // (Recompute properly: nrp[i] currently holds start of row i.)
-      nrp[rlim] = static_cast<Index>(nci.size());
-      for (Index i = rlim + 1; i <= nrows; ++i) nrp[i] = nrp[rlim];
-      rowptr_ = std::move(nrp);
-      colidx_ = std::move(nci);
-      val_ = std::move(nv);
+      next->rowptr[rlim] = static_cast<Index>(next->colidx.size());
+      for (Index i = rlim + 1; i <= nrows; ++i)
+        next->rowptr[i] = next->rowptr[rlim];
     } else {
-      rowptr_.resize(nrows + 1, rowptr_.empty() ? 0 : rowptr_.back());
-      if (rowptr_.size() == 1) rowptr_[0] = 0;
+      next->rowptr = base.rowptr;
+      next->colidx = base.colidx;
+      next->val = base.val;
+      next->rowptr.resize(nrows + 1,
+                          next->rowptr.empty() ? 0 : next->rowptr.back());
+      if (next->rowptr.size() == 1) next->rowptr[0] = 0;
     }
+    csr_ = std::move(next);
     nrows_ = nrows;
     ncols_ = ncols;
   }
@@ -137,36 +168,37 @@ class Matrix {
     assert(rowptr.back() == colidx.size());
     assert(colidx.size() == val.size());
     Matrix m(nrows, ncols);
-    m.rowptr_ = std::move(rowptr);
-    m.colidx_ = std::move(colidx);
-    m.val_ = std::move(val);
+    m.csr_ = std::make_shared<Csr>(std::move(rowptr), std::move(colidx),
+                                   std::move(val));
     return m;
   }
 
-  /// A(i,j) = value.  O(1) amortized (pending buffer).
+  /// A(i,j) = value.  O(1) amortized (delta-plus overlay).
   void set_element(Index i, Index j, T value) {
     check_bounds(i, j);
     util::MutexLock lk(mu_);
-    pend_.push_back(Pend{i, j, std::move(value), false});
+    delta_plus_.push_back(DeltaIns{i, j, std::move(value), seq_++});
   }
 
   /// Delete A(i,j) if present (GrB_Matrix_removeElement).
   void remove_element(Index i, Index j) {
     check_bounds(i, j);
     util::MutexLock lk(mu_);
-    pend_.push_back(Pend{i, j, T{}, true});
+    delta_minus_.push_back(DeltaDel{i, j, seq_++});
   }
 
   /// Stored value at (i,j), or nullopt.
   std::optional<T> extract_element(Index i, Index j) const {
     check_bounds(i, j);
     wait();
+    const Csr& c = *csr_;
     const auto [lo, hi] = row_range(i);
-    const auto it = std::lower_bound(colidx_.begin() + static_cast<long>(lo),
-                                     colidx_.begin() + static_cast<long>(hi), j);
-    if (it == colidx_.begin() + static_cast<long>(hi) || *it != j)
+    const auto it = std::lower_bound(c.colidx.begin() + static_cast<long>(lo),
+                                     c.colidx.begin() + static_cast<long>(hi),
+                                     j);
+    if (it == c.colidx.begin() + static_cast<long>(hi) || *it != j)
       return std::nullopt;
-    return val_[static_cast<std::size_t>(it - colidx_.begin())];
+    return c.val[static_cast<std::size_t>(it - c.colidx.begin())];
   }
 
   /// True if an entry is stored at (i,j).
@@ -183,7 +215,9 @@ class Matrix {
       throw DimensionMismatch("build: tuple array length mismatch");
     for (std::size_t k = 0; k < rows.size(); ++k) check_bounds(rows[k], cols[k]);
     util::MutexLock lk(mu_);
-    pend_.clear();
+    delta_plus_.clear();
+    delta_minus_.clear();
+    seq_ = 0;
     // Counting sort by row, then sort each row segment by column.
     std::vector<Index> nrp(nrows_ + 1, 0);
     for (Index r : rows) ++nrp[r + 1];
@@ -230,36 +264,36 @@ class Matrix {
       }
     }
     frp[nrows_] = static_cast<Index>(fci.size());
-    rowptr_ = std::move(frp);
-    colidx_ = std::move(fci);
-    val_ = std::move(fv);
+    csr_ = std::make_shared<Csr>(std::move(frp), std::move(fci),
+                                 std::move(fv));
   }
 
   /// Copy out all tuples in row-major order.
   void extract_tuples(std::vector<Index>& rows, std::vector<Index>& cols,
                       std::vector<T>& values) const {
     wait();
+    const Csr& c = *csr_;
     rows.clear();
     cols.clear();
-    rows.reserve(colidx_.size());
+    rows.reserve(c.colidx.size());
     for (Index i = 0; i < nrows_; ++i)
-      for (Index p = rowptr_[i]; p < rowptr_[i + 1]; ++p) rows.push_back(i);
-    cols = colidx_;
-    values = val_;
+      for (Index p = c.rowptr[i]; p < c.rowptr[i + 1]; ++p) rows.push_back(i);
+    cols = c.colidx;
+    values = c.val;
   }
 
   /// Column indices of row i as a contiguous span (forces wait()).
   std::span<const Index> row_indices(Index i) const {
     wait();
     const auto [lo, hi] = row_range(i);
-    return {colidx_.data() + lo, hi - lo};
+    return {csr_->colidx.data() + lo, hi - lo};
   }
 
   /// Values of row i as a contiguous span (forces wait()).
   std::span<const T> row_values(Index i) const {
     wait();
     const auto [lo, hi] = row_range(i);
-    return {val_.data() + lo, hi - lo};
+    return {csr_->val.data() + lo, hi - lo};
   }
 
   /// Number of entries in row i.
@@ -273,35 +307,60 @@ class Matrix {
   template <typename Fn>
   void for_each(Fn&& fn) const {
     wait();
+    const Csr& c = *csr_;
     for (Index i = 0; i < nrows_; ++i)
-      for (Index p = rowptr_[i]; p < rowptr_[i + 1]; ++p)
-        fn(i, colidx_[p], val_[p]);
+      for (Index p = c.rowptr[i]; p < c.rowptr[i + 1]; ++p)
+        fn(i, c.colidx[p], c.val[p]);
   }
 
   /// Raw CSR arrays (forces wait()).  For kernels only.
   const std::vector<Index>& rowptr() const {
     wait();
-    return rowptr_;
+    return csr_->rowptr;
   }
   const std::vector<Index>& colidx() const {
     wait();
-    return colidx_;
+    return csr_->colidx;
   }
   const std::vector<T>& values() const {
     wait();
-    return val_;
+    return csr_->val;
   }
 
-  /// Merge pending updates into the CSR representation.
+  /// Fold the delta overlays into a fresh CSR body.  Copies that shared
+  /// the previous body keep it alive unchanged (MVCC: a snapshot fork
+  /// never observes the fold of another lineage).
   void wait() const {
     util::MutexLock lk(mu_);
     wait_locked();
   }
 
  private:
-  struct Pend {
+  /// One immutable CSR body.  Never mutated after publication through
+  /// csr_; wait_locked()/resize()/build()/clear() construct a fresh one.
+  struct Csr {
+    Csr() = default;
+    explicit Csr(Index nrows) : rowptr(nrows + 1, 0) {}
+    Csr(std::vector<Index> rp, std::vector<Index> ci, std::vector<T> v)
+        : rowptr(std::move(rp)), colidx(std::move(ci)), val(std::move(v)) {}
+    std::vector<Index> rowptr;
+    std::vector<Index> colidx;
+    std::vector<T> val;
+  };
+
+  struct DeltaIns {
     Index i, j;
     T v;
+    std::uint64_t seq;  // program order across BOTH overlays
+  };
+  struct DeltaDel {
+    Index i, j;
+    std::uint64_t seq;
+  };
+  struct Pend {  // unified view of one overlay op during the fold
+    Index i, j;
+    T v;
+    std::uint64_t seq;
     bool is_delete;
   };
 
@@ -314,70 +373,75 @@ class Matrix {
 
   std::pair<std::size_t, std::size_t> row_range(Index i) const {
     if (i >= nrows_) throw IndexOutOfBounds("row " + std::to_string(i));
-    return {static_cast<std::size_t>(rowptr_[i]),
-            static_cast<std::size_t>(rowptr_[i + 1])};
+    return {static_cast<std::size_t>(csr_->rowptr[i]),
+            static_cast<std::size_t>(csr_->rowptr[i + 1])};
   }
 
   void copy_fields(const Matrix& other) RG_REQUIRES(mu_, other.mu_) {
     nrows_ = other.nrows_;
     ncols_ = other.ncols_;
-    rowptr_ = other.rowptr_;
-    colidx_ = other.colidx_;
-    val_ = other.val_;
-    pend_ = other.pend_;
+    csr_ = other.csr_;  // O(1): the CSR body is immutable and shared
+    delta_plus_ = other.delta_plus_;
+    delta_minus_ = other.delta_minus_;
+    seq_ = other.seq_;
   }
 
   void move_fields(Matrix&& other) RG_REQUIRES(mu_, other.mu_) {
     nrows_ = other.nrows_;
     ncols_ = other.ncols_;
-    rowptr_ = std::move(other.rowptr_);
-    colidx_ = std::move(other.colidx_);
-    val_ = std::move(other.val_);
-    pend_ = std::move(other.pend_);
+    csr_ = std::move(other.csr_);
+    delta_plus_ = std::move(other.delta_plus_);
+    delta_minus_ = std::move(other.delta_minus_);
+    seq_ = other.seq_;
   }
 
-  // Last-wins per coordinate in program order.
+  // Last-wins per coordinate in program order (seq interleaves the two
+  // overlays exactly as the calls happened).
   void wait_locked() const RG_REQUIRES(mu_) {
-    if (pend_.empty()) return;
-    // Sort pending ops by (i, j, program order); keep the last per (i,j).
-    std::vector<std::size_t> order(pend_.size());
-    for (std::size_t k = 0; k < order.size(); ++k) order[k] = k;
-    std::stable_sort(order.begin(), order.end(),
-                     [this](std::size_t a, std::size_t b) {
-                       if (pend_[a].i != pend_[b].i) return pend_[a].i < pend_[b].i;
-                       return pend_[a].j < pend_[b].j;
-                     });
+    if (delta_plus_.empty() && delta_minus_.empty()) return;
+    // Flatten both overlays, sort by (i, j, seq); keep the last per (i,j).
+    std::vector<Pend> ops;
+    ops.reserve(delta_plus_.size() + delta_minus_.size());
+    for (const DeltaIns& d : delta_plus_)
+      ops.push_back(Pend{d.i, d.j, d.v, d.seq, false});
+    for (const DeltaDel& d : delta_minus_)
+      ops.push_back(Pend{d.i, d.j, T{}, d.seq, true});
+    std::sort(ops.begin(), ops.end(), [](const Pend& a, const Pend& b) {
+      if (a.i != b.i) return a.i < b.i;
+      if (a.j != b.j) return a.j < b.j;
+      return a.seq < b.seq;
+    });
     std::vector<Pend> last;
-    last.reserve(order.size());
-    for (std::size_t k : order) {
-      const Pend& p = pend_[k];
+    last.reserve(ops.size());
+    for (const Pend& p : ops) {
       if (!last.empty() && last.back().i == p.i && last.back().j == p.j) {
         last.back() = p;
       } else {
         last.push_back(p);
       }
     }
-    // Merge overlay with base CSR.  Row-partitioned across chunks (each
-    // output row owned by one chunk), so the merged CSR is bitwise
-    // identical for every thread count; each chunk locates its overlay
-    // range by binary search on the sorted `last`.
+    // Merge overlay with the base CSR into a NEW body.  Row-partitioned
+    // across chunks (each output row owned by one chunk), so the merged
+    // CSR is bitwise identical for every thread count; each chunk
+    // locates its overlay range by binary search on the sorted `last`.
+    const Csr& base = *csr_;
     auto merge_rows = [&](Index lo, Index hi, std::size_t ov,
                           std::vector<Index>& nci, std::vector<T>& nv,
                           std::vector<Index>& rowlen) {
       rowlen.assign(hi - lo, 0);
       for (Index i = lo; i < hi; ++i) {
         const std::size_t row_start = nci.size();
-        std::size_t p = static_cast<std::size_t>(rowptr_[i]);
-        const std::size_t pe = static_cast<std::size_t>(rowptr_[i + 1]);
+        std::size_t p = static_cast<std::size_t>(base.rowptr[i]);
+        const std::size_t pe = static_cast<std::size_t>(base.rowptr[i + 1]);
         while (p < pe || (ov < last.size() && last[ov].i == i)) {
           const bool base_ok = p < pe;
           const bool ov_ok = ov < last.size() && last[ov].i == i;
-          if (base_ok && (!ov_ok || colidx_[p] < last[ov].j)) {
-            nci.push_back(colidx_[p]);
-            nv.push_back(val_[p]);
+          if (base_ok && (!ov_ok || base.colidx[p] < last[ov].j)) {
+            nci.push_back(base.colidx[p]);
+            nv.push_back(base.val[p]);
             ++p;
           } else {
-            const bool same = base_ok && colidx_[p] == last[ov].j;
+            const bool same = base_ok && base.colidx[p] == last[ov].j;
             if (!last[ov].is_delete) {
               nci.push_back(last[ov].j);
               nv.push_back(last[ov].v);
@@ -392,14 +456,14 @@ class Matrix {
 
     const std::size_t nr = static_cast<std::size_t>(nrows_);
     const std::size_t nchunks =
-        detail::plan_chunks(nr, colidx_.size() + last.size() + nr);
+        detail::plan_chunks(nr, base.colidx.size() + last.size() + nr);
 
     std::vector<Index> nrp(nrows_ + 1, 0);
     std::vector<Index> nci;
     std::vector<T> nv;
     if (nchunks <= 1) {
-      nci.reserve(colidx_.size() + last.size());
-      nv.reserve(colidx_.size() + last.size());
+      nci.reserve(base.colidx.size() + last.size());
+      nv.reserve(base.colidx.size() + last.size());
       std::vector<Index> rowlen;
       merge_rows(0, nrows_, 0, nci, nv, rowlen);
       for (Index i = 0; i < nrows_; ++i) nrp[i + 1] = nrp[i] + rowlen[i];
@@ -434,23 +498,28 @@ class Matrix {
       }
       for (Index i = 0; i < nrows_; ++i) nrp[i + 1] += nrp[i];
     }
-    rowptr_ = std::move(nrp);
-    colidx_ = std::move(nci);
-    val_ = std::move(nv);
-    pend_.clear();
+    csr_ = std::make_shared<Csr>(std::move(nrp), std::move(nci),
+                                 std::move(nv));
+    delta_plus_.clear();
+    delta_minus_.clear();
+    seq_ = 0;
   }
 
   Index nrows_ = 0;
   Index ncols_ = 0;
-  // The CSR arrays are written only by wait_locked() under mu_, but read
-  // lock-free by every accessor after its wait() returns — a pattern the
-  // capability model cannot express (safety comes from the caller's
-  // reader/writer discipline on the whole container), so they carry no
-  // RG_GUARDED_BY.  Only the pending buffer is strictly lock-guarded.
-  mutable std::vector<Index> rowptr_;
-  mutable std::vector<Index> colidx_;
-  mutable std::vector<T> val_;
-  mutable std::vector<Pend> pend_ RG_GUARDED_BY(mu_);
+  // The CSR body pointer is written only by the fold/rebuild paths under
+  // mu_, but dereferenced lock-free by every accessor after its wait()
+  // returns — a pattern the capability model cannot express (safety
+  // comes from three invariants: [M1] bodies are immutable once
+  // published, [M2] every accessor folds before reading, so its reads
+  // target the body its own wait() installed or found, and [M3] nothing
+  // appends deltas to a snapshot fork, so on a fork the fold happens at
+  // most once and no later swap can race a post-wait reader).  Only the
+  // delta overlays are strictly lock-guarded.
+  mutable std::shared_ptr<Csr> csr_;
+  mutable std::vector<DeltaIns> delta_plus_ RG_GUARDED_BY(mu_);
+  mutable std::vector<DeltaDel> delta_minus_ RG_GUARDED_BY(mu_);
+  mutable std::uint64_t seq_ RG_GUARDED_BY(mu_) = 0;
   mutable util::Mutex mu_;
 };
 

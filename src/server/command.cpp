@@ -11,10 +11,12 @@
 #include "cypher/parser.hpp"
 #include "exec/execution_plan.hpp"
 #include "graph/serialize.hpp"
+#include "graph/snapshot.hpp"
 #include "graphblas/context.hpp"
 #include "server/server.hpp"
 
 namespace rg::server {
+
 
 namespace {
 
@@ -246,7 +248,7 @@ CommandRegistry::CommandRegistry() {
        &H::config},
       {"GRAPH.INFO", 1, 2, kReadOnly | kAdmin,
        "Observability report: server, commandstats, plan_cache, wal, "
-       "slowlog, replication sections.",
+       "slowlog, replication, mvcc sections.",
        &H::info},
       {"GRAPH.SLOWLOG", 2, 3, kAdmin,
        "GET [n] / RESET / LEN over the slow-command log.", &H::slowlog},
@@ -328,6 +330,10 @@ const std::shared_ptr<GraphEntry>& CommandCtx::entry() {
     throw std::logic_error("entry() on a command without kGraphKeyed");
   if (!entry_) entry_ = srv_.entry_for(key());
   return entry_;
+}
+
+std::shared_ptr<const graph::GraphSnapshot> CommandCtx::pin() {
+  return srv_.pin(*entry());
 }
 
 std::shared_lock<util::SharedMutex> CommandCtx::shared_lock() {
@@ -433,7 +439,7 @@ Reply CommandHandlers::info(CommandCtx& ctx) {
   // error text both iterate this list.
   static constexpr std::string_view kSections[] = {
       "server", "commandstats", "plan_cache", "wal", "slowlog",
-      "replication"};
+      "replication", "mvcc"};
   const bool all = ctx.argc() == 1;
   auto want = [&](std::string_view section) {
     return all || ctx.arg_is(1, section);
@@ -491,6 +497,20 @@ Reply CommandHandlers::info(CommandCtx& ctx) {
   if (want("slowlog")) {
     row("SLOWLOG_LEN", static_cast<std::int64_t>(srv.slowlog_len()));
     row("SLOWLOG_THRESHOLD_US", srv.slowlog_threshold_us());
+  }
+  if (want("mvcc")) {
+    const Server::MvccInfo mi = srv.mvcc_info();
+    auto urow = [&](const char* name, std::uint64_t v) {
+      row(name, static_cast<std::int64_t>(v));
+    };
+    urow("MVCC_EPOCHS_PUBLISHED", mi.epochs_published);
+    urow("MVCC_EPOCHS_LIVE", mi.epochs_live);
+    urow("MVCC_PINS_FAST", mi.pins_fast);
+    urow("MVCC_PINS_SLOW", mi.pins_slow);
+    urow("MVCC_INVALIDATIONS", mi.invalidations);
+    urow("MVCC_COALESCE_RUNS", mi.coalesce_runs);
+    urow("MVCC_DELTA_PLUS", mi.delta_plus);
+    urow("MVCC_DELTA_MINUS", mi.delta_minus);
   }
   if (want("replication")) {
     const ReplicationInfo ri = srv.replication_info();
@@ -597,15 +617,56 @@ Reply CommandHandlers::run_query(CommandCtx& ctx, bool read_only_cmd,
   // share one root the analysis can match (`ge.lock` guards `ge.graph`).
   GraphEntry& ge = *ctx.entry();
 
-  // Fast path: shared lock + cached plan; read-only plans run in place,
-  // concurrently with other readers.
+  // Read path: pin the current MVCC epoch and run against that snapshot
+  // with NO entry lock held — an in-flight writer never blocks readers,
+  // and the plan-cache lease discipline is unchanged (acquire rebinds
+  // every lease, here to the snapshot's graph).  Write-capable commands
+  // (GRAPH.QUERY/PROFILE) probe with try_pin only: a writer that just
+  // invalidated must not fork an epoch it is about to invalidate again,
+  // nor sleep waiting for a reader's fork — with no epoch published it
+  // goes straight to the exclusive path below.
   bool first_acquire_hit = false;
+  bool probed = false;
   {
-    util::SharedLock lk(ge.lock);
-    auto lease = ge.plan_cache.acquire(ge.graph, split.body, split.params);
-    first_acquire_hit = lease.hit();
+    const auto snap = read_only_cmd ? ctx.pin() : ge.epochs.try_pin();
+    if (snap) {
+      probed = true;
+      auto lease =
+          ge.plan_cache.acquire(snap->graph(), split.body, split.params);
+      first_acquire_hit = lease.hit();
+      if (lease->read_only()) {
+        Reply reply;
+        if (profile) {
+          reply.kind = Reply::Kind::kText;
+          reply.text = profile_text(lease, reply.result);
+        } else {
+          reply.kind = Reply::Kind::kResult;
+          lease->run(reply.result);
+        }
+        return reply;
+      }
+      if (read_only_cmd)
+        return error(
+            "graph.RO_QUERY is to be executed only on read-only queries");
+    }
+  }
+
+  // Write path: exclusive lock (the spec carries kWrite, or
+  // exclusive_lock() would refuse).  Re-acquire the plan — the schema
+  // may have moved between the snapshot probe above and getting this
+  // lock — without counting again: this is still the same logical query.
+  Reply reply;
+  {
+    util::WriteLock lk(ge.lock);
+    auto lease = ge.plan_cache.acquire(ge.graph, split.body, split.params,
+                                       64, /*count_stats=*/!probed);
+    if (probed) lease.set_hit_for_reporting(first_acquire_hit);
     if (lease->read_only()) {
-      Reply reply;
+      // Read-only body but no epoch was published to probe (a writer
+      // just invalidated).  Run it here under the exclusive lock —
+      // nothing mutates, so no journal and no invalidation — and
+      // publish a fresh epoch before the lock drops so subsequent
+      // reads pin it instead of re-entering this path.
       if (profile) {
         reply.kind = Reply::Kind::kText;
         reply.text = profile_text(lease, reply.result);
@@ -613,23 +674,10 @@ Reply CommandHandlers::run_query(CommandCtx& ctx, bool read_only_cmd,
         reply.kind = Reply::Kind::kResult;
         lease->run(reply.result);
       }
+      ge.epochs.pin_or_fork(ge.graph, ge.last_lsn);
+      ctx.mark_epochs_settled();
       return reply;
     }
-    if (read_only_cmd)
-      return error(
-          "graph.RO_QUERY is to be executed only on read-only queries");
-  }
-
-  // Write path: exclusive lock (the spec carries kWrite, or
-  // exclusive_lock() would refuse).  Re-acquire the plan — the schema
-  // may have moved between dropping the shared lock and getting this
-  // one — without counting again: this is still the same logical query.
-  Reply reply;
-  {
-    util::WriteLock lk(ge.lock);
-    auto lease = ge.plan_cache.acquire(ge.graph, split.body, split.params,
-                                       64, /*count_stats=*/false);
-    lease.set_hit_for_reporting(first_acquire_hit);
     if (profile) {
       reply.kind = Reply::Kind::kText;
       reply.text = profile_text(lease, reply.result);
@@ -638,11 +686,29 @@ Reply CommandHandlers::run_query(CommandCtx& ctx, bool read_only_cmd,
       lease->run(reply.result);
     }
     // Re-sync matrices before the write lock drops so readers' flush() is
-    // a read-only no-op (their shared lock cannot rebuild transposes).
+    // a read-only no-op (their shared lock cannot rebuild transposes),
+    // and so the next epoch fork starts from folded matrices.
     ge.graph.flush();
     // Journal after commit, before the reply is released; a PROFILE of a
     // writing query replays as the plain query.
     ctx.journal({"GRAPH.QUERY", ctx.key(), raw});
+    // Retire the published epoch while still exclusive: once this lock
+    // drops, any published epoch must already reflect this write (see
+    // graph/snapshot.hpp).  Teardown is deferred to the coalescer
+    // thread — destroying the dead fork here would happen under both
+    // the entry lock and the epoch mutex, stalling every reader pin.
+    //
+    // A retired epoch proves readers are active on this key, so publish
+    // the successor right here (publish-on-commit): the O(delta) fork
+    // under the exclusive lock costs the writer microseconds and means
+    // concurrent readers never hit an epoch gap — no reader ever forks
+    // or waits while a writer churns.  With no readers (invalidate
+    // returns null) writes stay zero-COW.
+    if (auto retired = ge.epochs.invalidate()) {
+      ge.epochs.pin_or_fork(ge.graph, ge.last_lsn);
+      ctx.server().retire_epoch(std::move(retired));
+    }
+    ctx.mark_epochs_settled();
   }
   return reply;
 }
@@ -650,9 +716,10 @@ Reply CommandHandlers::run_query(CommandCtx& ctx, bool read_only_cmd,
 Reply CommandHandlers::explain(CommandCtx& ctx) {
   const auto split = cypher::split_param_header(ctx.arg(2));
   const cypher::Query ast = cypher::parse(split.body);
-  GraphEntry& ge = *ctx.entry();
-  util::SharedLock lk(ge.lock);
-  exec::ExecutionPlan plan(ge.graph, ast);
+  // Plan against a pinned epoch: planning reads schema + start-point
+  // statistics, so it needs a consistent graph but no lock.
+  const auto snap = ctx.pin();
+  exec::ExecutionPlan plan(snap->graph(), ast);
   return {Reply::Kind::kText, plan.explain(), {}};
 }
 
@@ -818,6 +885,16 @@ Reply CommandHandlers::bulk(CommandCtx& ctx) {
     // One WAL frame for the whole batch — this is the durability half of
     // the amortization: N entities cost one append + one fsync.
     ctx.journal_batch(argv, nodes_created + edges_created);
+    // Retire the published epoch before the exclusive lock drops (the
+    // ordering graph/snapshot.hpp requires of every writer); the dead
+    // fork is torn down on the coalescer thread, not under this lock.
+    // As in run_query, a retired epoch means readers are active, so
+    // publish the successor before the lock drops (publish-on-commit).
+    if (auto retired = ge.epochs.invalidate()) {
+      ge.epochs.pin_or_fork(ge.graph, ge.last_lsn);
+      ctx.server().retire_epoch(std::move(retired));
+    }
+    ctx.mark_epochs_settled();
   }
 
   Reply r;
@@ -868,12 +945,10 @@ Reply CommandHandlers::list(CommandCtx& ctx) {
 }
 
 Reply CommandHandlers::save(CommandCtx& ctx) {
-  GraphEntry& ge = *ctx.entry();
-  // lint:allow(io-under-lock): snapshot-to-file IS this command; the
-  // shared lock blocks writers on this one graph only, same protocol as
-  // the background rewrite.
-  util::SharedLock lk(ge.lock);
-  graph::save_graph_file(ge.graph, ctx.arg(2));
+  // Serialize from a pinned epoch: no lock is held during the file
+  // write, so writers to this graph never queue behind snapshot I/O.
+  const auto snap = ctx.pin();
+  graph::save_graph_file(snap->graph(), ctx.arg(2));
   return status_ok();
 }
 
@@ -1017,12 +1092,15 @@ Reply CommandHandlers::repl_snapshot(CommandCtx& ctx) {
   // silently resume by LSN alone.
   parts.push_back(srv.durability_->run_id());
   for (const auto& [key, entry] : items) {
-    GraphEntry& ge = *entry;
-    util::SharedLock lk(ge.lock);
+    // Serialize from a pinned epoch: a published snapshot's watermark
+    // equals the live one (writers invalidate before releasing the
+    // exclusive lock), so the gap-free argument above carries over and
+    // the serialization itself holds no lock.
+    const auto snap = srv.pin(*entry);
     std::ostringstream os(std::ios::binary);
-    graph::save_graph(ge.graph, os);
+    graph::save_graph(snap->graph(), os);
     parts.push_back(persist::encode_argv(
-        {key, std::to_string(ge.last_lsn), std::move(os).str()}));
+        {key, std::to_string(snap->last_lsn()), std::move(os).str()}));
   }
   return {Reply::Kind::kText, persist::encode_argv(parts), {}};
 }

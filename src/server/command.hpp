@@ -44,6 +44,10 @@
 #include "server/resp.hpp"
 #include "util/sync.hpp"
 
+namespace rg::graph {
+class GraphSnapshot;
+}
+
 namespace rg::server {
 
 class Server;
@@ -87,8 +91,9 @@ enum CommandFlags : std::uint32_t {
   /// lock for its write section and is the only kind of command allowed
   /// to journal to the WAL.
   kWrite = 1u << 0,
-  /// Never mutates graph state; runs under the shared per-graph lock
-  /// (or no lock at all for keyspace-level reads).
+  /// Never mutates graph state; reads run against a pinned MVCC epoch
+  /// snapshot (CommandCtx::pin) and are never blocked by an in-flight
+  /// writer.  Keyspace-level reads take no graph state at all.
   kReadOnly = 1u << 1,
   /// Server-level command (CONFIG, LIST, INFO, SLOWLOG, COMMAND): no
   /// single target graph.
@@ -207,6 +212,27 @@ class CommandCtx {
   /// GRAPH.DELETE/RESTORE for the whole command.  Requires kGraphKeyed.
   const std::shared_ptr<GraphEntry>& entry();
 
+  /// Pin the entry's current MVCC epoch snapshot (Server::pin): the
+  /// kReadOnly data path.  Lock-free when an epoch is published; forks
+  /// one under a briefly-held shared lock otherwise.  The snapshot (and
+  /// the entry backing it) outlives a concurrent GRAPH.DELETE.
+  std::shared_ptr<const graph::GraphSnapshot> pin();
+
+  /// The entry if this command resolved one, else null — dispatch uses
+  /// it to invalidate the published epoch after any kWrite command
+  /// (handlers built in to the table invalidate earlier, under their
+  /// exclusive lock; this is the net for registry-added commands).
+  const std::shared_ptr<GraphEntry>& resolved_entry() const {
+    return entry_;
+  }
+
+  /// Built-in write handlers call this after invalidating (and possibly
+  /// republishing) under their exclusive lock, so the dispatch net
+  /// skips the entry: a second invalidate there would retire the epoch
+  /// publish-on-commit just produced and reopen the gap it closed.
+  void mark_epochs_settled() { epochs_settled_ = true; }
+  bool epochs_settled() const { return epochs_settled_; }
+
   /// Per-graph lock acquisition, tied to the spec's flags: any command
   /// may read-lock its graph, but the exclusive lock is reserved for
   /// kWrite commands (a read-only spec asking for it is a table bug and
@@ -251,6 +277,7 @@ class CommandCtx {
   const std::vector<std::string>& argv_;
   CommandSource source_;
   std::shared_ptr<GraphEntry> entry_;
+  bool epochs_settled_ = false;
 };
 
 /// Built-in handlers (friend of Server); each is one registry row,

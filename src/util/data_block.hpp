@@ -1,4 +1,5 @@
-// DataBlock — chunked, stable-address object storage with free-list reuse.
+// DataBlock — chunked, stable-address object storage with free-list
+// reuse and copy-on-write forks.
 //
 // RedisGraph stores node and edge entities in "datablocks": arrays of
 // fixed-size items allocated in blocks, addressed by a dense integer id,
@@ -6,19 +7,30 @@
 // insertions.  Stable addresses let the property-graph layer hold
 // pointers to entities while the structure grows; dense ids map 1:1 onto
 // matrix row/column indices.
+//
+// Pages are held by shared_ptr so fork() is O(pages): the fork shares
+// every page with the parent, and whichever side mutates a shared page
+// first clones it (clone-on-first-write).  A page owns the lifetime of
+// its live items — it destroys them when its last owner drops it — so a
+// graph snapshot keeps its entities alive after the live graph erases or
+// clears them.  Mutation and fork() must be externally serialized
+// against each other (the graph entry lock provides this); concurrent
+// readers of an un-mutated fork need no synchronization.
 #pragma once
 
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <new>
 #include <utility>
 #include <vector>
 
 namespace rg::util {
 
-/// Chunked storage of T with O(1) insert/erase, stable addresses, and
-/// dense ids.  Erased slots are tombstoned and recycled.
+/// Chunked storage of T with O(1) insert/erase, stable addresses, dense
+/// ids, and O(pages) copy-on-write forks.  Erased slots are tombstoned
+/// and recycled.
 template <typename T, std::size_t BlockSize = 1024>
 class DataBlock {
   static_assert(BlockSize > 0);
@@ -32,11 +44,12 @@ class DataBlock {
   DataBlock& operator=(const DataBlock&) = delete;
 
   DataBlock(DataBlock&& other) noexcept
-      : blocks_(std::move(other.blocks_)),
+      : pages_(std::move(other.pages_)),
         free_(std::move(other.free_)),
         size_(other.size_),
         capacity_(other.capacity_),
         high_water_(other.high_water_) {
+    other.pages_.clear();
     other.size_ = 0;
     other.capacity_ = 0;
     other.high_water_ = 0;
@@ -44,19 +57,36 @@ class DataBlock {
 
   DataBlock& operator=(DataBlock&& other) noexcept {
     if (this == &other) return *this;
-    clear();
-    blocks_ = std::move(other.blocks_);
+    pages_ = std::move(other.pages_);
     free_ = std::move(other.free_);
     size_ = other.size_;
     capacity_ = other.capacity_;
     high_water_ = other.high_water_;
+    other.pages_.clear();
+    other.free_.clear();
     other.size_ = 0;
     other.capacity_ = 0;
     other.high_water_ = 0;
     return *this;
   }
 
-  ~DataBlock() { clear(); }
+  ~DataBlock() = default;  // pages destroy their own live items
+
+  /// An O(pages) copy sharing every page copy-on-write with `this`.
+  /// Caller must hold the mutation exclusion (entry lock) so no write
+  /// can interleave with the page-pointer copies.  Requires a
+  /// copy-constructible T (clone-on-write must be able to copy items).
+  DataBlock fork() const {
+    static_assert(std::is_copy_constructible_v<T>,
+                  "DataBlock::fork() needs a copyable element type");
+    DataBlock c;
+    c.pages_ = pages_;
+    c.free_ = free_;
+    c.size_ = size_;
+    c.capacity_ = capacity_;
+    c.high_water_ = high_water_;
+    return c;
+  }
 
   /// Construct an item in place; returns its id (reuses freed slots).
   template <typename... Args>
@@ -69,7 +99,7 @@ class DataBlock {
       id = high_water_;  // dense sequential ids (matrix row indices)
       grow_to(id + 1);
     }
-    Slot& s = slot(id);
+    Slot& s = mslot(id);
     assert(!s.live);
     ::new (static_cast<void*>(s.storage)) T(std::forward<Args>(args)...);
     s.live = true;
@@ -84,7 +114,7 @@ class DataBlock {
   template <typename... Args>
   void emplace_at(Id id, Args&&... args) {
     grow_to(id + 1);
-    Slot& s = slot(id);
+    Slot& s = mslot(id);
     assert(!s.live && "emplace_at over a live slot");
     ::new (static_cast<void*>(s.storage)) T(std::forward<Args>(args)...);
     s.live = true;
@@ -100,9 +130,10 @@ class DataBlock {
     }
   }
 
-  /// Destroy the item at `id` and recycle its slot.
+  /// Destroy the item at `id` and recycle its slot.  Forks sharing the
+  /// page keep their copy: the page is cloned before the erase.
   void erase(Id id) {
-    Slot& s = slot(id);
+    Slot& s = mslot(id);
     assert(s.live && "erase of dead slot");
     ptr(s)->~T();
     s.live = false;
@@ -116,9 +147,11 @@ class DataBlock {
     return slot(id).live;
   }
 
-  /// Access a live item (asserts liveness in debug builds).
+  /// Access a live item (asserts liveness in debug builds).  The
+  /// non-const overload clones a shared page first: mutation through it
+  /// never reaches a fork.
   T& operator[](Id id) {
-    Slot& s = slot(id);
+    Slot& s = mslot(id);
     assert(s.live);
     return *ptr(s);
   }
@@ -135,28 +168,26 @@ class DataBlock {
   /// One past the largest id ever used (iteration bound).
   Id id_bound() const noexcept { return high_water_; }
 
-  /// Destroy all live items and release storage.
+  /// Drop all items and release this side's storage.  Forks keep
+  /// theirs: shared pages die (destroying their items) only when the
+  /// last owner lets go.
   void clear() {
-    for (Id id = 0; id < high_water_; ++id) {
-      Slot& s = slot(id);
-      if (s.live) {
-        ptr(s)->~T();
-        s.live = false;
-      }
-    }
-    blocks_.clear();
+    pages_.clear();
     free_.clear();
     size_ = 0;
     capacity_ = 0;
     high_water_ = 0;
   }
 
-  /// Visit every live item: fn(id, item).
+  /// Visit every live item: fn(id, item).  The non-const overload hands
+  /// out mutable references, so it clones every shared page it visits;
+  /// iterate via a const reference when only reading.
   template <typename Fn>
   void for_each(Fn&& fn) {
     for (Id id = 0; id < high_water_; ++id) {
-      Slot& s = slot(id);
-      if (s.live) fn(id, *ptr(s));
+      if (!slot(id).live) continue;
+      Slot& s = mslot(id);
+      fn(id, *ptr(s));
     }
   }
   template <typename Fn>
@@ -172,7 +203,20 @@ class DataBlock {
     alignas(T) unsigned char storage[sizeof(T)];
     bool live = false;
   };
-  using Block = std::unique_ptr<Slot[]>;
+
+  /// One block of slots.  Owns the lifetime of its live items; cloning
+  /// copy-constructs them (clone-on-first-write).
+  struct Page {
+    Page() = default;
+    Page(const Page&) = delete;
+    Page& operator=(const Page&) = delete;
+    ~Page() {
+      for (std::size_t k = 0; k < BlockSize; ++k) {
+        if (slots[k].live) ptr(slots[k])->~T();
+      }
+    }
+    Slot slots[BlockSize];
+  };
 
   static T* ptr(Slot& s) {
     return std::launder(reinterpret_cast<T*>(s.storage));
@@ -181,23 +225,43 @@ class DataBlock {
     return std::launder(reinterpret_cast<const T*>(s.storage));
   }
 
-  Slot& slot(Id id) {
-    assert(id < capacity_);
-    return blocks_[id / BlockSize][id % BlockSize];
-  }
   const Slot& slot(Id id) const {
     assert(id < capacity_);
-    return blocks_[id / BlockSize][id % BlockSize];
+    return pages_[id / BlockSize]->slots[id % BlockSize];
+  }
+
+  /// Mutable slot access: clones the page first when a fork shares it.
+  /// Pages can only become shared through fork(), which static_asserts
+  /// copyability, so the clone branch is compiled out for move-only T.
+  Slot& mslot(Id id) {
+    assert(id < capacity_);
+    auto& page = pages_[id / BlockSize];
+    if constexpr (std::is_copy_constructible_v<T>) {
+      if (page.use_count() > 1) page = clone(*page);
+    }
+    return page->slots[id % BlockSize];
+  }
+
+  /// Copy-construct every live item of `other` into a fresh page.
+  static std::shared_ptr<Page> clone(const Page& other) {
+    auto p = std::make_shared<Page>();
+    for (std::size_t k = 0; k < BlockSize; ++k) {
+      if (!other.slots[k].live) continue;
+      ::new (static_cast<void*>(p->slots[k].storage))
+          T(*ptr(other.slots[k]));
+      p->slots[k].live = true;
+    }
+    return p;
   }
 
   void grow_to(Id needed) {
     while (capacity_ < needed) {
-      blocks_.push_back(std::make_unique<Slot[]>(BlockSize));
+      pages_.push_back(std::make_shared<Page>());
       capacity_ += BlockSize;
     }
   }
 
-  std::vector<Block> blocks_;
+  std::vector<std::shared_ptr<Page>> pages_;
   std::vector<Id> free_;
   std::size_t size_ = 0;
   Id capacity_ = 0;

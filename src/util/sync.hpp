@@ -10,25 +10,14 @@
 // cannot (ad-hoc release/acquire protocols) — but the analysis here
 // catches whole classes of races no test has to execute.
 //
-// Lock-order hierarchy (acquire strictly left to right; never acquire a
-// lock to the left of one you hold):
-//
-//   Server::keyspace_mu_ / Server::rewrite_mu_
-//     -> GraphEntry::lock                  (per-graph reader/writer lock)
-//       -> DurabilityManager::mu_
-//         -> WalWriter::mu_
-//
-//   Leaf locks (never held across a call that takes another lock):
-//     PlanCache::mu_, Matrix/Vector mu_, Graph::sync_mu_,
-//     Server::slowlog_mu_ / extra_stats_mu_ / compact_mu_,
-//     WalWriter::flusher_mu_ (taken before WalWriter::mu_ by the
-//     flusher thread only), NetServer::conns_mu_.
-//
-// In particular: the graph entry lock is acquired BEFORE a plan-cache
-// lease is taken, never the reverse — a Lease destructor re-enters
-// PlanCache::mu_, so holding that mutex while waiting on the entry lock
-// would deadlock against a writer (tests/server/test_lock_order.cpp
-// provokes this ordering under TSan).
+// The full lock-order hierarchy, the MVCC epoch lifecycle and the
+// CommandSource/flag matrix live in docs/CONCURRENCY.md — read that
+// before adding a lock or changing acquisition order.  Summary: the
+// spine is keyspace_mu_/rewrite_mu_ -> GraphEntry::lock ->
+// DurabilityManager::mu_ -> WalWriter::mu_; everything else
+// (PlanCache::mu_, Matrix mu_, Graph::sync_mu_, EpochManager::mu_,
+// the slowlog/stats/compaction/coalescer mutexes) is a leaf, never
+// held across a call that takes another lock.
 #pragma once
 
 #include <chrono>
@@ -189,6 +178,19 @@ class RG_SCOPED_CAPABILITY SharedLock {
 ///
 ///   MutexLock lk(mu_);
 ///   while (!ready_) cv_.wait(mu_);
+/// One iteration of a bounded spin-wait: a CPU hint that we are busy
+/// polling, so the core yields pipeline resources to its SMT sibling
+/// without giving up the timeslice.  Use for waits that are expected
+/// to resolve in microseconds (e.g. another thread finishing an O(delta)
+/// fork); anything longer belongs on a CondVar.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
+}
+
 class CondVar {
  public:
   CondVar() = default;
