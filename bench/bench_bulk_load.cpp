@@ -24,6 +24,8 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "graph/graph.hpp"
+#include "mem/dict.hpp"
 #include "server/server.hpp"
 
 namespace {
@@ -108,6 +110,91 @@ Run run_bulk(const datagen::EdgeList& el, std::size_t batch,
   return run;
 }
 
+/// Memory footprint of a social-style property graph: twitter_like
+/// topology plus string-heavy properties drawn from small vocabularies
+/// (the value distribution dictionary encoding exploits).  Loaded twice
+/// — dict off (threshold at the 64 KiB ceiling: every value an owned
+/// std::string, the pre-dictionary layout) and dict on (the default
+/// threshold) — with the per-graph deep-walk bytes reported for each.
+struct MemRun {
+  bool dict = false;
+  std::uint64_t nodes = 0, edges = 0;
+  std::uint64_t total = 0, dictionary = 0;
+  double bytes_per_node = 0.0, bytes_per_edge = 0.0;
+};
+
+MemRun run_memory(const rg::datagen::EdgeList& el, bool dict) {
+  const std::size_t prev = mem::dict_min_string_len();
+  mem::set_dict_min_string_len(dict ? mem::kDefaultDictMinStringLen
+                                    : mem::kMaxDictMinStringLen);
+  MemRun r;
+  r.dict = dict;
+  {
+    graph::Graph g;
+    const auto person = g.schema().add_label("Person");
+    const auto follows = g.schema().add_reltype("FOLLOWS");
+    const auto city = g.schema().add_attr("city");
+    const auto kind = g.schema().add_attr("kind");
+    const auto via = g.schema().add_attr("via");
+    std::vector<std::string> cities, kinds, vias;
+    for (int i = 0; i < 32; ++i)
+      cities.push_back("metropolitan-statistical-area-of-somewhere-" +
+                       std::to_string(1000 + i));
+    for (int i = 0; i < 8; ++i)
+      kinds.push_back("follows-because-of-a-shared-interest-in-" +
+                      std::to_string(100 + i));
+    for (int i = 0; i < 16; ++i)
+      vias.push_back("surfaced-by-recommendation-experiment-arm-" +
+                     std::to_string(200 + i));
+    for (gb::Index v = 0; v < el.nvertices; ++v) {
+      graph::AttributeSet attrs;
+      attrs.set(city, graph::Value(cities[v % cities.size()]));
+      g.add_node({person}, std::move(attrs));
+    }
+    for (const auto& [u, v] : el.edges) {
+      graph::AttributeSet attrs;
+      attrs.set(kind, graph::Value(kinds[u % kinds.size()]));
+      attrs.set(via, graph::Value(vias[v % vias.size()]));
+      g.add_edge(follows, u, v, std::move(attrs));
+    }
+    g.flush();
+    const auto mu = g.memory_usage();
+    r.nodes = g.node_count();
+    r.edges = g.edge_count();
+    r.total = mu.total();
+    r.dictionary = mu.dictionary;
+    r.bytes_per_node =
+        r.nodes ? static_cast<double>(r.total) / static_cast<double>(r.nodes)
+                : 0.0;
+    r.bytes_per_edge =
+        r.edges ? static_cast<double>(r.total) / static_cast<double>(r.edges)
+                : 0.0;
+  }  // graph (and its dictionary handles) released before the restore
+  mem::set_dict_min_string_len(prev);
+  return r;
+}
+
+void print_mem_run(const MemRun& r) {
+  std::printf("  dict=%-3s %9" PRIu64 " nodes %9" PRIu64
+              " edges %12" PRIu64 " bytes %8.1f B/node %8.1f B/edge\n",
+              r.dict ? "on" : "off", r.nodes, r.edges, r.total,
+              r.bytes_per_node, r.bytes_per_edge);
+}
+
+void emit_mem_json(const MemRun& r, unsigned scale) {
+  bench::JsonRow row("memory");
+  row.kv("workload", "twitter_like")
+      .kv("dict", r.dict ? "on" : "off")
+      .kv("scale", scale)
+      .kv("nodes", r.nodes)
+      .kv("edges", r.edges)
+      .kv("total_bytes", r.total)
+      .kv("dictionary_bytes", r.dictionary)
+      .kv("bytes_per_node", r.bytes_per_node)
+      .kv("bytes_per_edge", r.bytes_per_edge);
+  row.emit();
+}
+
 void print_run(const Run& r, const char* wal, double ref_eps) {
   std::printf("  %-12s %-7s %9zu edges %10.1f ms %12.0f edges/s %8.1fx\n",
               r.mode.c_str(), wal, r.edges, r.total_ms, r.eps,
@@ -170,6 +257,24 @@ int main(int argc, char** argv) {
       if (opt.json) emit_json(r, "always", opt.g500_scale);
     }
     std::filesystem::remove_all(dir);
+  }
+
+  // --- memory: dictionary-encoded properties -----------------------------
+  // dict=off is the pre-dictionary owned-string layout (the baseline the
+  // ≥25% bytes-per-edge win is measured against); dict=on is the default.
+  std::printf("\n-- memory (twitter_like + string properties) --\n");
+  const auto social = datagen::twitter_like(
+      opt.quick ? 12 : opt.twitter_scale, opt.edgefactor, opt.seed);
+  const MemRun moff = run_memory(social, /*dict=*/false);
+  const MemRun mon = run_memory(social, /*dict=*/true);
+  print_mem_run(moff);
+  print_mem_run(mon);
+  if (moff.bytes_per_edge > 0)
+    std::printf("  bytes/edge drop with dictionary: %.1f%%\n",
+                100.0 * (1.0 - mon.bytes_per_edge / moff.bytes_per_edge));
+  if (opt.json) {
+    emit_mem_json(moff, opt.quick ? 12 : opt.twitter_scale);
+    emit_mem_json(mon, opt.quick ? 12 : opt.twitter_scale);
   }
 
   std::printf("\nshape check: bulk@N should scale with N until the matrix\n"

@@ -156,6 +156,32 @@ int main(int argc, char** argv) {
   const std::size_t per_client = opt.quick ? 20 : 100;
   const char* transport = socket_mode ? "socket" : "in-process";
 
+  // One memory row for the Graph500 working set: no string properties
+  // here, so this is the structural (matrices + datablock) footprint the
+  // query benchmarks run against.  Skipped in --socket mode: the footprint
+  // is transport-independent and CI runs both modes over one rows file.
+  if (opt.json && !socket_mode) {
+    server::Server msrv(1);
+    load_graph(msrv, "bench", el);
+    const auto& g = msrv.graph_for_testing("bench");
+    const auto mu = g.memory_usage();
+    const auto nodes = g.node_count();
+    const auto edges = g.edge_count();
+    bench::JsonRow row("memory");
+    row.kv("workload", std::string("Graph500"))
+        .kv("engine", std::string("server"))
+        .kv("nodes", static_cast<std::uint64_t>(nodes))
+        .kv("edges", static_cast<std::uint64_t>(edges))
+        .kv("total_bytes", mu.total())
+        .kv("bytes_per_node",
+            nodes ? static_cast<double>(mu.total()) / static_cast<double>(nodes)
+                  : 0.0)
+        .kv("bytes_per_edge",
+            edges ? static_cast<double>(mu.total()) / static_cast<double>(edges)
+                  : 0.0);
+    row.emit();
+  }
+
   std::printf("\nTAB-THROUGHPUT: closed-loop GRAPH.RO_QUERY (%s), %zu client "
               "threads x %zu queries\n",
               transport, clients, per_client);

@@ -29,7 +29,8 @@ import sys
 
 METRIC_FIELDS = {"mean_ms", "p50_ms", "p95_ms", "p99_ms", "qps",
                  "writes_per_s", "timeouts", "checksum", "seeds", "writes",
-                 "eps", "total_ms", "edges"}
+                 "eps", "total_ms", "edges", "nodes", "total_bytes",
+                 "dictionary_bytes", "bytes_per_node", "bytes_per_edge"}
 
 
 def row_key(row):
@@ -78,7 +79,9 @@ def main():
             continue
         brow = base[key]
         for metric, higher_better in (("mean_ms", False), ("qps", True),
-                                      ("writes_per_s", True), ("eps", True)):
+                                      ("writes_per_s", True), ("eps", True),
+                                      ("bytes_per_node", False),
+                                      ("bytes_per_edge", False)):
             if metric not in row or metric not in brow:
                 continue
             bv, cv = float(brow[metric]), float(row[metric])
@@ -89,7 +92,10 @@ def main():
             delta = (cv - bv) / bv * 100.0
             if higher_better:
                 delta = -delta
-            gated = "policy" not in row
+            # Policy-sweep rows and memory-footprint rows are report-only:
+            # the former are dominated by sleep scheduling, the latter are
+            # new this cycle and tracked until a baseline settles.
+            gated = "policy" not in row and row.get("bench") != "memory"
             results.append((delta, gated, row, metric, bv, cv))
 
     regressions = [r for r in results if r[0] > args.threshold_pct]

@@ -61,6 +61,17 @@ mvcc-api        Delta-matrix internals stay inside the graph layer:
                 the MVCC representation can change without touching
                 the server.
 
+mem-accounting  Two-sided memory-subsystem hygiene.  (a) The files
+                that own tracked allocations (util/data_block.hpp,
+                graphblas/matrix.hpp, exec/plan_cache.cpp) must touch
+                mem::accountant — dropping the charge calls silently
+                stales the GRAPH.INFO memory gauges.  (b) Dictionary
+                internals (mem::Dict, mem::Str) stay inside src/mem
+                and src/graph: everything above deals in graph::Value
+                and the mem::dict_min_string_len() threshold knob, so
+                the interning representation can change without
+                touching the server.
+
 Suppressions: `// lint:allow(<rule>): <reason>` either inline on the
 offending line, or — for io-under-lock — on a comment line immediately
 above the guard construction, which then covers that guard's scope.
@@ -393,11 +404,54 @@ def check_mvcc_api(path, text):
 
 
 # --------------------------------------------------------------------------
+# mem-accounting
+# --------------------------------------------------------------------------
+
+# Files owning allocations the per-component gauges track: dropping the
+# accountant calls from any of these stales GRAPH.INFO memory silently.
+MEM_TRACKED_FILES = {
+    "src/util/data_block.hpp",
+    "src/graphblas/matrix.hpp",
+    "src/exec/plan_cache.cpp",
+}
+
+MEM_DICT_INTERNALS_RE = re.compile(r"\bmem::(?:Dict|Str)\b")
+
+
+def check_mem_accounting(path, text):
+    p = path.replace("\\", "/")
+    findings = []
+    stripped = strip_comments(text)
+    if p in MEM_TRACKED_FILES and "mem::accountant" not in stripped:
+        findings.append(Finding(
+            p, 1, "mem-accounting",
+            "this file owns tracked allocations (datablock pages / CSR "
+            "bodies / plan-cache entries) but never calls "
+            "mem::accountant — the per-component memory gauges would "
+            "silently go stale"))
+    if p.startswith("src/mem/") or p.startswith("src/graph/"):
+        return findings
+    for lineno, (line, raw) in enumerate(
+            zip(stripped.splitlines(), text.splitlines()), 1):
+        m = MEM_DICT_INTERNALS_RE.search(line)
+        if not m or allowed(raw, "mem-accounting"):
+            continue
+        findings.append(Finding(
+            p, lineno, "mem-accounting",
+            f"`{m.group(0)}` outside src/mem//src/graph: dictionary "
+            f"handles are a property-storage internal; layers above use "
+            f"graph::Value (and mem::dict_min_string_len() for the "
+            f"threshold knob)"))
+    return findings
+
+
+# --------------------------------------------------------------------------
 # Driver
 # --------------------------------------------------------------------------
 
 RULES = [check_raw_mutex, check_write_journals, check_wal_frames,
-         check_replica_apply, check_io_under_lock, check_mvcc_api]
+         check_replica_apply, check_io_under_lock, check_mvcc_api,
+         check_mem_accounting]
 
 
 def lint_tree(root):
@@ -577,6 +631,26 @@ SELF_TESTS = [
       // The rule is scoped: the graph layer owns these members.
       void Matrix::fold() { delta_plus_.clear(); }
     """, "src/graphblas/matrix.hpp"),
+
+    (check_mem_accounting, "mem-accounting", """
+      struct Page { Item items[256]; };  // allocates, never accounts
+    """, "src/util/data_block.hpp"),
+    (check_mem_accounting, None, """
+      struct Page {
+        Page() { mem::accountant().add(mem::Component::kProperties, 1); }
+      };
+    """, "src/util/data_block.hpp"),
+    (check_mem_accounting, "mem-accounting", """
+      void peek() { mem::Str h = mem::Dict::global().intern("x"); }
+    """, "src/server/evil.cpp"),
+    (check_mem_accounting, None, """
+      void knob() { mem::set_dict_min_string_len(32); }
+      void gauge() { auto b = mem::accountant().total(); }
+    """, "src/server/command.cpp"),
+    (check_mem_accounting, None, """
+      // The dictionary layer itself obviously names its own types.
+      mem::Str Dict::intern(std::string_view s);
+    """, "src/mem/dict.cpp"),
 ]
 
 
@@ -620,7 +694,8 @@ def main():
               file=sys.stderr)
         return 1
     print("lint_invariants: src/ clean (raw-mutex, write-journals, "
-          "wal-frames, replica-apply, io-under-lock, mvcc-api)")
+          "wal-frames, replica-apply, io-under-lock, mvcc-api, "
+          "mem-accounting)")
     return 0
 
 

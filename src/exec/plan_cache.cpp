@@ -1,8 +1,36 @@
 #include "exec/plan_cache.hpp"
 
 #include "cypher/parser.hpp"
+#include "mem/accounting.hpp"
 
 namespace rg::exec {
+
+namespace {
+// Cost model for the kPlanCache gauge: exact for key bytes and entry
+// bookkeeping, a flat estimate per cached object for the AST and each
+// pooled compiled plan (operator trees are not cheaply introspectable;
+// the gauge is a capacity signal, not a ledger).
+constexpr std::uint64_t kAstBytesEstimate = 1024;
+constexpr std::uint64_t kPlanBytesEstimate = 4096;
+}  // namespace
+
+PlanCache::~PlanCache() {
+  util::MutexLock lk(mu_);
+  mem::accountant().sub(mem::Component::kPlanCache, charged_);
+}
+
+void PlanCache::resettle_locked() {
+  std::uint64_t now = 0;
+  for (const auto& [key, entry] : entries_) {
+    now += key.capacity() + sizeof(Entry) + kAstBytesEstimate +
+           entry.idle.size() * kPlanBytesEstimate;
+  }
+  if (now >= charged_)
+    mem::accountant().add(mem::Component::kPlanCache, now - charged_);
+  else
+    mem::accountant().sub(mem::Component::kPlanCache, charged_ - now);
+  charged_ = now;
+}
 
 PlanCache::Lease PlanCache::acquire(graph::Graph& g, const std::string& text,
                                     ParamMap params,
@@ -34,6 +62,7 @@ PlanCache::Lease PlanCache::acquire(graph::Graph& g, const std::string& text,
     } else {
       if (count_stats) ++counters_.misses;
     }
+    resettle_locked();
   }
 
   // Parse / plan outside the lock (the expensive part).
@@ -75,6 +104,7 @@ void PlanCache::release(const std::string& key,
     entry.idle.push_back(std::move(plan));
   }
   while (entries_.size() > capacity_) evict_lru_locked();
+  resettle_locked();
 }
 
 void PlanCache::evict_lru_locked() {
@@ -89,6 +119,7 @@ void PlanCache::clear() {
   util::MutexLock lk(mu_);
   counters_.invalidations += entries_.size();
   entries_.clear();
+  resettle_locked();
 }
 
 PlanCache::Counters PlanCache::counters() const {
@@ -110,6 +141,7 @@ void PlanCache::set_capacity(std::size_t capacity) {
   util::MutexLock lk(mu_);
   capacity_ = capacity == 0 ? 1 : capacity;
   while (entries_.size() > capacity_) evict_lru_locked();
+  resettle_locked();
 }
 
 }  // namespace rg::exec

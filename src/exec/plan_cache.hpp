@@ -48,6 +48,8 @@ class PlanCache {
   PlanCache(const PlanCache&) = delete;
   PlanCache& operator=(const PlanCache&) = delete;
 
+  ~PlanCache();
+
   struct Counters {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
@@ -120,12 +122,16 @@ class PlanCache {
                std::shared_ptr<const cypher::Query> ast,
                std::unique_ptr<ExecutionPlan> plan);
   void evict_lru_locked() RG_REQUIRES(mu_);
+  /// Re-sync the mem::accountant kPlanCache gauge with the current
+  /// entry population; called after every mutating section.
+  void resettle_locked() RG_REQUIRES(mu_);
 
   mutable util::Mutex mu_;
   std::unordered_map<std::string, Entry> entries_ RG_GUARDED_BY(mu_);
   std::size_t capacity_ RG_GUARDED_BY(mu_);
   std::uint64_t tick_ RG_GUARDED_BY(mu_) = 0;
   Counters counters_ RG_GUARDED_BY(mu_);
+  std::uint64_t charged_ RG_GUARDED_BY(mu_) = 0;  // kPlanCache gauge bytes
 };
 
 }  // namespace rg::exec

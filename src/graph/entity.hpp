@@ -44,6 +44,15 @@ class AttributeSet {
   std::size_t size() const { return kv_.size(); }
   bool empty() const { return kv_.empty(); }
 
+  /// Allocated slots in the backing vector (memory attribution walks).
+  std::size_t capacity() const { return kv_.capacity(); }
+
+  /// Dictionary-encode every string value in place (Value::intern).
+  /// Called once per entity at graph mutation boundaries.
+  void intern_strings() {
+    for (auto& p : kv_) p.second.intern();
+  }
+
   /// Iterate (attr-id, value) pairs in id order.
   auto begin() const { return kv_.begin(); }
   auto end() const { return kv_.end(); }

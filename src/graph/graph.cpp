@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <memory>
+#include <unordered_set>
 #include <utility>
 
 namespace rg::graph {
@@ -86,6 +87,7 @@ NodeId Graph::add_node(const std::vector<LabelId>& labels, AttributeSet attrs) {
   ent.labels.erase(std::unique(ent.labels.begin(), ent.labels.end()),
                    ent.labels.end());
   ent.attrs = std::move(attrs);
+  ent.attrs.intern_strings();  // dictionary-encode at the mutation boundary
   const NodeId id = nodes_.emplace(std::move(ent));
   if (id >= kMaxEntityId) {
     nodes_.erase(id);
@@ -112,6 +114,7 @@ EdgeId Graph::add_edge(RelTypeId type, NodeId src, NodeId dst,
   ent.dst = dst;
   ent.type = type;
   ent.attrs = std::move(attrs);
+  ent.attrs.intern_strings();
   const EdgeId id = edges_.emplace(std::move(ent));
   if (id >= kMaxEntityId) {
     edges_.erase(id);
@@ -191,6 +194,9 @@ void Graph::add_node_label(NodeId n, LabelId l) {
 
 void Graph::set_node_attr(NodeId n, AttrId key, Value v) {
   assert(nodes_.contains(n));
+  // Intern before index maintenance so the index holds the same
+  // representation the entity stores.
+  v.intern();
   auto& ent = nodes_[n];
   // Index maintenance: retire the old value, index the new one.
   for (LabelId l : ent.labels) {
@@ -229,6 +235,7 @@ const AttributeIndex* Graph::find_index(LabelId label, AttrId attr) const {
 
 void Graph::set_edge_attr(EdgeId e, AttrId key, Value v) {
   assert(edges_.contains(e));
+  v.intern();
   edges_[e].attrs.set(key, std::move(v));
 }
 
@@ -239,6 +246,7 @@ void Graph::restore_node(NodeId id, std::vector<LabelId> labels,
   labels.erase(std::unique(labels.begin(), labels.end()), labels.end());
   ent.labels = std::move(labels);
   ent.attrs = std::move(attrs);
+  ent.attrs.intern_strings();
   nodes_.emplace_at(id, std::move(ent));
   ensure_capacity(id + 1);
   for (LabelId l : nodes_[id].labels) label_mut(l).set_element(id, id, 1);
@@ -252,6 +260,7 @@ void Graph::restore_edge(EdgeId id, RelTypeId type, NodeId src, NodeId dst,
   ent.dst = dst;
   ent.type = type;
   ent.attrs = std::move(attrs);
+  ent.attrs.intern_strings();
   edges_.emplace_at(id, std::move(ent));
   rel_mut(type).set_element(src, dst, 1);
   rels_[type].mt.set_element(dst, src, 1);
@@ -321,6 +330,83 @@ std::vector<NodeId> Graph::nodes_with_label(LabelId l) const {
   for (gb::Index i = 0; i < L.nrows(); ++i)
     if (rp[i + 1] > rp[i]) out.push_back(i);
   return out;
+}
+
+namespace {
+
+/// Heap bytes one Value owns beyond its inline variant slot.  Interned
+/// strings cost nothing per reference; their entry bytes go to
+/// `dict_bytes` once per distinct entry (dedup via `seen`).  Shared
+/// array buffers dedup the same way.
+std::uint64_t value_heap_bytes(const Value& v,
+                               std::unordered_set<const void*>& seen,
+                               std::uint64_t& dict_bytes) {
+  switch (v.type()) {
+    case Value::Type::kString: {
+      if (v.is_interned()) {
+        const mem::Str& h = v.as_interned();
+        if (seen.insert(h.id()).second) dict_bytes += h.entry_bytes();
+        return 0;
+      }
+      const std::string& s = v.as_string();
+      return s.capacity() > std::string().capacity() ? s.capacity() + 1 : 0;
+    }
+    case Value::Type::kArray: {
+      const ValueArray& arr = v.as_array();
+      if (!seen.insert(&arr).second) return 0;
+      std::uint64_t bytes = sizeof(ValueArray) + arr.capacity() * sizeof(Value);
+      for (const Value& x : arr) bytes += value_heap_bytes(x, seen, dict_bytes);
+      return bytes;
+    }
+    default:
+      return 0;
+  }
+}
+
+std::uint64_t attrs_heap_bytes(const AttributeSet& attrs,
+                               std::unordered_set<const void*>& seen,
+                               std::uint64_t& dict_bytes) {
+  std::uint64_t bytes = attrs.capacity() * sizeof(std::pair<AttrId, Value>);
+  for (const auto& [k, v] : attrs) bytes += value_heap_bytes(v, seen, dict_bytes);
+  return bytes;
+}
+
+}  // namespace
+
+Graph::MemoryUsage Graph::memory_usage() const {
+  MemoryUsage mu;
+  const auto add_matrix = [&](const gb::Matrix<gb::Bool>& m) {
+    mu.matrices += m.memory_bytes();
+    mu.delta_overlays += m.delta_bytes();
+  };
+  add_matrix(adj_);
+  add_matrix(adj_t_);
+  for (const auto& r : rels_) {
+    add_matrix(r.m);
+    add_matrix(r.mt);
+    mu.delta_overlays += r.edge_ids.memory_bytes();
+  }
+  for (const auto& l : labels_) add_matrix(l);
+
+  std::unordered_set<const void*> seen;
+  mu.properties += nodes_.memory_bytes() + edges_.memory_bytes();
+  nodes_.for_each([&](NodeId, const NodeEntity& ent) {
+    mu.properties += ent.labels.capacity() * sizeof(LabelId) +
+                     attrs_heap_bytes(ent.attrs, seen, mu.dictionary);
+  });
+  edges_.for_each([&](EdgeId, const EdgeEntity& ent) {
+    mu.properties += attrs_heap_bytes(ent.attrs, seen, mu.dictionary);
+  });
+
+  for (const auto& [key, idx] : indexes_) mu.indexes += idx->memory_bytes();
+
+  // Schema name tables share the dictionary with property values; the
+  // `seen` set keeps an entry from being attributed twice.
+  for (const mem::IdTable* t :
+       {&schema_.label_table(), &schema_.reltype_table(), &schema_.attr_table()})
+    for (const mem::Str& h : t->handles())
+      if (seen.insert(h.id()).second) mu.dictionary += h.entry_bytes();
+  return mu;
 }
 
 void Graph::flush() const {

@@ -98,6 +98,22 @@ class DeltaEdgeMap {
   /// Remove the key (tombstone over the shared base).
   void erase(Key key) { mutate(key).clear(); }
 
+  /// Estimated heap bytes of both layers (hash-node overhead plus the
+  /// id vectors).  Counts shared layers in full — per-graph attribution
+  /// reports what the graph keeps alive, like the datablock pages.
+  std::uint64_t memory_bytes() const {
+    // unordered_map node: key + value + bucket link, roughly.
+    constexpr std::uint64_t kNode = sizeof(Key) + sizeof(Ids) + 2 * sizeof(void*);
+    std::uint64_t bytes = 0;
+    for (const Map* m : {static_cast<const Map*>(base_.get()),
+                         static_cast<const Map*>(overlay_.get())}) {
+      if (!m) continue;
+      bytes += m->bucket_count() * sizeof(void*);
+      for (const auto& [k, ids] : *m) bytes += kNode + ids.capacity() * sizeof(EdgeId);
+    }
+    return bytes;
+  }
+
  private:
   using Map = std::unordered_map<Key, Ids>;
 
@@ -268,6 +284,25 @@ class Graph {
   /// every matrix — the GRAPH.INFO mvcc delta gauges.  Keeps delta
   /// internals inside the graph layer (ci/lint_invariants.py mvcc-api).
   std::pair<std::size_t, std::size_t> delta_counts() const;
+
+  /// Per-graph memory attribution (GRAPH.MEMORY USAGE) — a deep walk
+  /// over everything this graph keeps alive, by component.  Shared
+  /// structures (CSR bodies, datablock pages, interned dictionary
+  /// entries) count in full for each graph that references them:
+  /// "bytes this graph pins", not a disjoint partition of the process
+  /// heap.  The server-wide view is mem::accountant(), which charges
+  /// each physical allocation exactly once.
+  struct MemoryUsage {
+    std::uint64_t matrices = 0;        // CSR bodies (adj, rels, labels)
+    std::uint64_t delta_overlays = 0;  // matrix deltas + edge-id map
+    std::uint64_t properties = 0;      // datablock pages + attr heap
+    std::uint64_t indexes = 0;         // attribute indexes
+    std::uint64_t dictionary = 0;      // interned entries, deduped
+    std::uint64_t total() const {
+      return matrices + delta_overlays + properties + indexes + dictionary;
+    }
+  };
+  MemoryUsage memory_usage() const;
 
  private:
   struct ForkTag {};

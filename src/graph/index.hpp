@@ -10,13 +10,39 @@
 
 #include "graph/entity.hpp"
 #include "graph/value.hpp"
+#include "mem/accounting.hpp"
 
 namespace rg::graph {
 
-/// One index over a (label, attribute) pair.
+/// One index over a (label, attribute) pair.  Maintains a kIndexes
+/// gauge charge from incremental entry counters (O(1) per op), settled
+/// on every mutation; the custom copy operations keep the gauge honest
+/// when Graph::own_index clones a fork-shared index.
 class AttributeIndex {
  public:
   AttributeIndex(LabelId label, AttrId attr) : label_(label), attr_(attr) {}
+
+  AttributeIndex(const AttributeIndex& other)
+      : label_(other.label_),
+        attr_(other.attr_),
+        map_(other.map_),
+        entries_(other.entries_) {
+    resettle();
+  }
+
+  AttributeIndex& operator=(const AttributeIndex& other) {
+    if (this == &other) return *this;
+    label_ = other.label_;
+    attr_ = other.attr_;
+    map_ = other.map_;
+    entries_ = other.entries_;
+    resettle();
+    return *this;
+  }
+
+  ~AttributeIndex() {
+    mem::accountant().sub(mem::Component::kIndexes, charged_);
+  }
 
   LabelId label() const { return label_; }
   AttrId attr() const { return attr_; }
@@ -24,7 +50,11 @@ class AttributeIndex {
   void insert(const Value& v, NodeId n) {
     auto& vec = map_[v];
     const auto it = std::lower_bound(vec.begin(), vec.end(), n);
-    if (it == vec.end() || *it != n) vec.insert(it, n);
+    if (it == vec.end() || *it != n) {
+      vec.insert(it, n);
+      ++entries_;
+    }
+    resettle();
   }
 
   void remove(const Value& v, NodeId n) {
@@ -32,8 +62,12 @@ class AttributeIndex {
     if (mit == map_.end()) return;
     auto& vec = mit->second;
     const auto it = std::lower_bound(vec.begin(), vec.end(), n);
-    if (it != vec.end() && *it == n) vec.erase(it);
+    if (it != vec.end() && *it == n) {
+      vec.erase(it);
+      --entries_;
+    }
     if (vec.empty()) map_.erase(mit);
+    resettle();
   }
 
   /// Node ids with attribute == v (ascending).
@@ -67,7 +101,25 @@ class AttributeIndex {
     return n;
   }
 
+  /// Estimated heap bytes: one red-black node per distinct value plus
+  /// the id vectors.  O(1) from the running counters.
+  std::uint64_t memory_bytes() const noexcept {
+    // map node: key Value + vector header + 3 tree pointers + color.
+    constexpr std::uint64_t kNode =
+        sizeof(Value) + sizeof(std::vector<NodeId>) + 4 * sizeof(void*);
+    return map_.size() * kNode + entries_ * sizeof(NodeId);
+  }
+
  private:
+  void resettle() {
+    const std::uint64_t now = memory_bytes();
+    if (now >= charged_)
+      mem::accountant().add(mem::Component::kIndexes, now - charged_);
+    else
+      mem::accountant().sub(mem::Component::kIndexes, charged_ - now);
+    charged_ = now;
+  }
+
   struct OrderLess {
     bool operator()(const Value& a, const Value& b) const {
       return Value::order_compare(a, b) < 0;
@@ -76,6 +128,8 @@ class AttributeIndex {
   LabelId label_;
   AttrId attr_;
   std::map<Value, std::vector<NodeId>, OrderLess> map_;
+  std::uint64_t entries_ = 0;   // total node ids across all values
+  std::uint64_t charged_ = 0;   // bytes currently on the kIndexes gauge
 };
 
 }  // namespace rg::graph

@@ -7,17 +7,17 @@
 #include <optional>
 #include <string_view>
 
-#include "util/string_pool.hpp"
+#include "mem/dict.hpp"
 
 namespace rg::graph {
 
-using LabelId = util::StringPool::Id;
-using RelTypeId = util::StringPool::Id;
-using AttrId = util::StringPool::Id;
+using LabelId = mem::IdTable::Id;
+using RelTypeId = mem::IdTable::Id;
+using AttrId = mem::IdTable::Id;
 
-inline constexpr LabelId kInvalidLabel = util::StringPool::kInvalidId;
-inline constexpr RelTypeId kInvalidRelType = util::StringPool::kInvalidId;
-inline constexpr AttrId kInvalidAttr = util::StringPool::kInvalidId;
+inline constexpr LabelId kInvalidLabel = mem::IdTable::kInvalidId;
+inline constexpr RelTypeId kInvalidRelType = mem::IdTable::kInvalidId;
+inline constexpr AttrId kInvalidAttr = mem::IdTable::kInvalidId;
 
 class Schema {
  public:
@@ -54,17 +54,24 @@ class Schema {
   std::uint64_t version() const noexcept { return version_; }
   void bump_version() noexcept { ++version_; }
 
+  /// The three name tables, for memory attribution walks.
+  const mem::IdTable& label_table() const noexcept { return labels_; }
+  const mem::IdTable& reltype_table() const noexcept { return reltypes_; }
+  const mem::IdTable& attr_table() const noexcept { return attrs_; }
+
  private:
-  util::StringPool::Id interned(util::StringPool& pool, std::string_view s) {
-    const std::size_t before = pool.size();
-    const auto id = pool.intern(s);
-    if (pool.size() != before) ++version_;
+  // Name bytes live in the shared mem::Dict (one interner process-wide);
+  // the tables here only add the dense-id mapping.
+  mem::IdTable::Id interned(mem::IdTable& table, std::string_view s) {
+    const std::size_t before = table.size();
+    const auto id = table.intern(s);
+    if (table.size() != before) ++version_;
     return id;
   }
 
-  util::StringPool labels_;
-  util::StringPool reltypes_;
-  util::StringPool attrs_;
+  mem::IdTable labels_;
+  mem::IdTable reltypes_;
+  mem::IdTable attrs_;
   std::uint64_t version_ = 0;
 };
 

@@ -5,9 +5,11 @@
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "mem/dict.hpp"
 #include "util/file_io.hpp"
 
 namespace rg::graph {
@@ -15,8 +17,11 @@ namespace rg::graph {
 namespace {
 
 constexpr char kMagic[4] = {'R', 'G', 'R', '1'};
-// v1: no snapshot meta; v2 (current): u64 epoch + u64 lsn after version.
-constexpr std::uint32_t kVersion = 2;
+// v1: no snapshot meta; v2: u64 epoch + u64 lsn after version;
+// v3 (current): a string-dictionary section after the schema tables —
+// each distinct interned property string written once, attribute values
+// reference it by index (Tag::kStringRef).  v1/v2 still load.
+constexpr std::uint32_t kVersion = 3;
 
 // Robustness bounds: a corrupt length/count/id must raise SerializeError
 // instead of driving a multi-gigabyte allocation (matrices are sized by
@@ -78,9 +83,33 @@ std::string get_str(std::istream& in) {
 
 enum class Tag : std::uint8_t {
   kNull = 0, kBool = 1, kInt = 2, kDouble = 3, kString = 4, kArray = 5,
+  kStringRef = 6,  // v3+: u32 index into the snapshot's dictionary section
 };
 
-void put_value(std::ostream& out, const Value& v) {
+// v3 string dictionary.  On save, every distinct interned handle
+// (identified by its dictionary entry address) is assigned an index in
+// first-seen order and written once; each occurrence then serializes as
+// Tag::kStringRef + index.  Owned (short, below-threshold) strings keep
+// the inline Tag::kString encoding.  On load the section is re-interned
+// into the process-global dictionary and references resolve to shared
+// handles — so a snapshot round-trip preserves deduplication.
+struct DictWriter {
+  std::unordered_map<const void*, std::uint32_t> index;
+  std::vector<const std::string*> strings;
+
+  void collect(const Value& v) {
+    if (v.is_interned()) {
+      const mem::Str& h = v.as_interned();
+      if (index.emplace(h.id(), static_cast<std::uint32_t>(strings.size()))
+              .second)
+        strings.push_back(&h.str());
+    } else if (v.type() == Value::Type::kArray) {
+      for (const auto& x : v.as_array()) collect(x);
+    }
+  }
+};
+
+void put_value(std::ostream& out, const Value& v, const DictWriter* dict) {
   switch (v.type()) {
     case Value::Type::kNull:
       put_u8(out, static_cast<std::uint8_t>(Tag::kNull));
@@ -103,14 +132,19 @@ void put_value(std::ostream& out, const Value& v) {
       break;
     }
     case Value::Type::kString:
-      put_u8(out, static_cast<std::uint8_t>(Tag::kString));
-      put_str(out, v.as_string());
+      if (dict != nullptr && v.is_interned()) {
+        put_u8(out, static_cast<std::uint8_t>(Tag::kStringRef));
+        put_u32(out, dict->index.at(v.as_interned().id()));
+      } else {
+        put_u8(out, static_cast<std::uint8_t>(Tag::kString));
+        put_str(out, v.as_string());
+      }
       break;
     case Value::Type::kArray: {
       put_u8(out, static_cast<std::uint8_t>(Tag::kArray));
       const auto& arr = v.as_array();
       put_u32(out, static_cast<std::uint32_t>(arr.size()));
-      for (const auto& x : arr) put_value(out, x);
+      for (const auto& x : arr) put_value(out, x, dict);
       break;
     }
     default:
@@ -119,7 +153,7 @@ void put_value(std::ostream& out, const Value& v) {
   }
 }
 
-Value get_value(std::istream& in) {
+Value get_value(std::istream& in, const std::vector<Value>* dict) {
   switch (static_cast<Tag>(get_u8(in))) {
     case Tag::kNull:
       return Value::null();
@@ -135,31 +169,38 @@ Value get_value(std::istream& in) {
     }
     case Tag::kString:
       return Value(get_str(in));
+    case Tag::kStringRef: {
+      const auto idx = get_u32(in);
+      if (dict == nullptr || idx >= dict->size())
+        throw SerializeError("dictionary reference out of range");
+      return (*dict)[idx];  // cheap copy: shares the interned handle
+    }
     case Tag::kArray: {
       const auto n = get_u32(in);
       ValueArray arr;
       arr.reserve(std::min<std::size_t>(n, kMaxReserve));
-      for (std::uint32_t i = 0; i < n; ++i) arr.push_back(get_value(in));
+      for (std::uint32_t i = 0; i < n; ++i) arr.push_back(get_value(in, dict));
       return Value(std::move(arr));
     }
   }
   throw SerializeError("unknown value tag");
 }
 
-void put_attrs(std::ostream& out, const AttributeSet& attrs) {
+void put_attrs(std::ostream& out, const AttributeSet& attrs,
+               const DictWriter* dict) {
   put_u32(out, static_cast<std::uint32_t>(attrs.size()));
   for (const auto& [key, value] : attrs) {
     put_u32(out, key);
-    put_value(out, value);
+    put_value(out, value, dict);
   }
 }
 
-AttributeSet get_attrs(std::istream& in) {
+AttributeSet get_attrs(std::istream& in, const std::vector<Value>* dict) {
   AttributeSet attrs;
   const auto n = get_u32(in);
   for (std::uint32_t i = 0; i < n; ++i) {
     const auto key = get_u32(in);
-    attrs.set(key, get_value(in));
+    attrs.set(key, get_value(in, dict));
   }
   return attrs;
 }
@@ -184,13 +225,25 @@ void save_graph(const Graph& g, std::ostream& out, const SnapshotMeta& meta) {
   for (std::uint32_t i = 0; i < schema.attr_count(); ++i)
     put_str(out, schema.attr_name(i));
 
+  // v3 dictionary section: pre-walk every attribute value so each
+  // distinct interned string is written exactly once.
+  DictWriter dict;
+  g.for_each_node([&](NodeId, const NodeEntity& ent) {
+    for (const auto& [key, value] : ent.attrs) dict.collect(value);
+  });
+  g.for_each_edge([&](EdgeId, const EdgeEntity& ent) {
+    for (const auto& [key, value] : ent.attrs) dict.collect(value);
+  });
+  put_u32(out, static_cast<std::uint32_t>(dict.strings.size()));
+  for (const std::string* s : dict.strings) put_str(out, *s);
+
   // Nodes.
   put_u64(out, g.node_count());
   g.for_each_node([&](NodeId id, const NodeEntity& ent) {
     put_u64(out, id);
     put_u32(out, static_cast<std::uint32_t>(ent.labels.size()));
     for (const auto l : ent.labels) put_u32(out, l);
-    put_attrs(out, ent.attrs);
+    put_attrs(out, ent.attrs, &dict);
   });
 
   // Edges.
@@ -200,7 +253,7 @@ void save_graph(const Graph& g, std::ostream& out, const SnapshotMeta& meta) {
     put_u32(out, ent.type);
     put_u64(out, ent.src);
     put_u64(out, ent.dst);
-    put_attrs(out, ent.attrs);
+    put_attrs(out, ent.attrs, &dict);
   });
 
   // Indexes: collect (label, attr) pairs by probing every combination the
@@ -262,6 +315,17 @@ StagedGraph parse_graph(std::istream& in) {
   const auto nattrs = get_u32(in);
   for (std::uint32_t i = 0; i < nattrs; ++i) sg.attrs.push_back(get_str(in));
 
+  // v3 dictionary section: re-intern into the process-global dictionary
+  // so Tag::kStringRef occurrences share one handle per distinct string.
+  std::vector<Value> dict;
+  if (version >= 3) {
+    const auto ndict = get_u32(in);
+    dict.reserve(std::min<std::size_t>(ndict, kMaxReserve));
+    for (std::uint32_t i = 0; i < ndict; ++i)
+      dict.emplace_back(mem::Dict::global().intern(get_str(in)));
+  }
+  const std::vector<Value>* dict_p = version >= 3 ? &dict : nullptr;
+
   // Nodes.
   const auto nnodes = get_u64(in);
   std::unordered_set<NodeId> node_ids;
@@ -279,7 +343,7 @@ StagedGraph parse_graph(std::istream& in) {
       if (l >= nlabels) throw SerializeError("label id out of range");
       node.labels.push_back(l);
     }
-    node.attrs = get_attrs(in);
+    node.attrs = get_attrs(in, dict_p);
     sg.nodes.push_back(std::move(node));
   }
 
@@ -299,7 +363,7 @@ StagedGraph parse_graph(std::istream& in) {
     edge.dst = get_u64(in);
     if (!node_ids.contains(edge.src) || !node_ids.contains(edge.dst))
       throw SerializeError("edge references missing node");
-    edge.attrs = get_attrs(in);
+    edge.attrs = get_attrs(in, dict_p);
     sg.edges.push_back(std::move(edge));
   }
 

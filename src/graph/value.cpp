@@ -96,6 +96,22 @@ int Value::order_compare(const Value& a, const Value& b) {
   }
 }
 
+void Value::intern() {
+  if (auto* s = std::get_if<std::string>(&v_)) {
+    if (s->size() >= mem::dict_min_string_len())
+      v_ = mem::Dict::global().intern(*s);
+    return;
+  }
+  if (auto* arr = std::get_if<std::shared_ptr<ValueArray>>(&v_)) {
+    if (!*arr) return;
+    // The buffer may be shared with a result row or another entity;
+    // interning mutates elements, so clone-on-shared first (the same
+    // COW discipline the datablock uses).
+    if (arr->use_count() > 1) *arr = std::make_shared<ValueArray>(**arr);
+    for (auto& v : **arr) v.intern();
+  }
+}
+
 std::string Value::to_string() const {
   switch (type()) {
     case Type::kNull:

@@ -12,6 +12,8 @@
 #include <variant>
 #include <vector>
 
+#include "mem/dict.hpp"
+
 namespace rg::graph {
 
 /// Reference to a node stored in a Graph (id into the node datablock).
@@ -44,6 +46,7 @@ class Value {
   Value(NodeRef n) : v_(n) {}                               // NOLINT
   Value(EdgeRef e) : v_(e) {}                               // NOLINT
   Value(ValueArray a) : v_(std::make_shared<ValueArray>(std::move(a))) {}  // NOLINT
+  Value(mem::Str s) : v_(std::move(s)) {}                   // NOLINT
 
   static Value null() { return Value(); }
 
@@ -53,10 +56,11 @@ class Value {
       case 1: return Type::kBool;
       case 2: return Type::kInt;
       case 3: return Type::kDouble;
-      case 4: return Type::kString;
+      case 4: return Type::kString;  // owned std::string
       case 5: return Type::kArray;
       case 6: return Type::kNode;
-      default: return Type::kEdge;
+      case 7: return Type::kEdge;
+      default: return Type::kString;  // interned mem::Str handle
     }
   }
 
@@ -73,7 +77,10 @@ class Value {
   bool as_bool() const { return std::get<bool>(v_); }
   std::int64_t as_int() const { return std::get<std::int64_t>(v_); }
   double as_double() const { return std::get<double>(v_); }
-  const std::string& as_string() const { return std::get<std::string>(v_); }
+  const std::string& as_string() const {
+    if (const auto* h = std::get_if<mem::Str>(&v_)) return h->str();
+    return std::get<std::string>(v_);
+  }
   const ValueArray& as_array() const {
     return *std::get<std::shared_ptr<ValueArray>>(v_);
   }
@@ -104,9 +111,28 @@ class Value {
   /// Render for result tables ("1", "3.14", "\"str\"", "[1, 2]").
   std::string to_string() const;
 
+  /// True when this kString holds a shared dictionary handle rather
+  /// than an owned std::string.  Both representations are the same
+  /// logical type — comparisons, hashing and rendering go through
+  /// as_string() and never observe the difference.
+  bool is_interned() const { return std::holds_alternative<mem::Str>(v_); }
+
+  /// The dictionary handle (requires is_interned()).
+  const mem::Str& as_interned() const { return std::get<mem::Str>(v_); }
+
+  /// Dictionary-encode in place: owned strings at or above the
+  /// dict_min_string_len() threshold become shared handles; arrays
+  /// recurse (cloning first if the array buffer is shared).  Called at
+  /// graph mutation boundaries (graph.cpp), never on the query hot
+  /// path — expression evaluation keeps building owned strings.
+  void intern();
+
  private:
+  // Alternative order is load-bearing: the serializer and type() map
+  // indexes 0..7 as v1 did; the interned-handle alternative appends at
+  // index 8 so every pre-existing index keeps its meaning.
   std::variant<std::monostate, bool, std::int64_t, double, std::string,
-               std::shared_ptr<ValueArray>, NodeRef, EdgeRef>
+               std::shared_ptr<ValueArray>, NodeRef, EdgeRef, mem::Str>
       v_;
 };
 

@@ -32,6 +32,7 @@
 #include "graphblas/context.hpp"
 #include "graphblas/ops.hpp"
 #include "graphblas/types.hpp"
+#include "mem/accounting.hpp"
 #include "util/sync.hpp"
 
 namespace rg::gb {
@@ -77,6 +78,12 @@ class Matrix {
     return *this;
   }
 
+  ~Matrix() {
+    util::MutexLock lk(mu_);
+    mem::accountant().sub(mem::Component::kDeltaOverlays,
+                          overlay_bytes_locked());
+  }
+
   /// Number of rows (GrB_Matrix_nrows).
   Index nrows() const noexcept { return nrows_; }
   /// Number of columns (GrB_Matrix_ncols).
@@ -105,9 +112,27 @@ class Matrix {
     return delta_minus_.size();
   }
 
+  /// Heap bytes of the CSR body (memory attribution; does not force a
+  /// fold).  Shared bodies count in full for every holder — per-graph
+  /// attribution reports what a graph keeps alive.
+  std::uint64_t memory_bytes() const {
+    util::MutexLock lk(mu_);
+    const Csr& c = *csr_;
+    return c.rowptr.capacity() * sizeof(Index) +
+           c.colidx.capacity() * sizeof(Index) + c.val.capacity() * sizeof(T);
+  }
+
+  /// Heap bytes buffered in the delta overlays.
+  std::uint64_t delta_bytes() const {
+    util::MutexLock lk(mu_);
+    return overlay_bytes_locked();
+  }
+
   /// Remove all entries, keeping dimensions.
   void clear() {
     util::MutexLock lk(mu_);
+    mem::accountant().sub(mem::Component::kDeltaOverlays,
+                          overlay_bytes_locked());
     csr_ = std::make_shared<Csr>(nrows_);
     delta_plus_.clear();
     delta_minus_.clear();
@@ -125,6 +150,7 @@ class Matrix {
       csr_->rowptr.resize(nrows + 1,
                           csr_->rowptr.empty() ? 0 : csr_->rowptr.back());
       if (csr_->rowptr.size() == 1) csr_->rowptr[0] = 0;
+      csr_->settle();
       nrows_ = nrows;
       ncols_ = ncols;
       return;
@@ -154,6 +180,7 @@ class Matrix {
                           next->rowptr.empty() ? 0 : next->rowptr.back());
       if (next->rowptr.size() == 1) next->rowptr[0] = 0;
     }
+    next->settle();  // the default-ctor body was filled after construction
     csr_ = std::move(next);
     nrows_ = nrows;
     ncols_ = ncols;
@@ -178,6 +205,7 @@ class Matrix {
     check_bounds(i, j);
     util::MutexLock lk(mu_);
     delta_plus_.push_back(DeltaIns{i, j, std::move(value), seq_++});
+    mem::accountant().add(mem::Component::kDeltaOverlays, sizeof(DeltaIns));
   }
 
   /// Delete A(i,j) if present (GrB_Matrix_removeElement).
@@ -185,6 +213,7 @@ class Matrix {
     check_bounds(i, j);
     util::MutexLock lk(mu_);
     delta_minus_.push_back(DeltaDel{i, j, seq_++});
+    mem::accountant().add(mem::Component::kDeltaOverlays, sizeof(DeltaDel));
   }
 
   /// Stored value at (i,j), or nullopt.
@@ -215,6 +244,8 @@ class Matrix {
       throw DimensionMismatch("build: tuple array length mismatch");
     for (std::size_t k = 0; k < rows.size(); ++k) check_bounds(rows[k], cols[k]);
     util::MutexLock lk(mu_);
+    mem::accountant().sub(mem::Component::kDeltaOverlays,
+                          overlay_bytes_locked());
     delta_plus_.clear();
     delta_minus_.clear();
     seq_ = 0;
@@ -340,12 +371,33 @@ class Matrix {
   /// csr_; wait_locked()/resize()/build()/clear() construct a fresh one.
   struct Csr {
     Csr() = default;
-    explicit Csr(Index nrows) : rowptr(nrows + 1, 0) {}
+    explicit Csr(Index nrows) : rowptr(nrows + 1, 0) { settle(); }
     Csr(std::vector<Index> rp, std::vector<Index> ci, std::vector<T> v)
-        : rowptr(std::move(rp)), colidx(std::move(ci)), val(std::move(v)) {}
+        : rowptr(std::move(rp)), colidx(std::move(ci)), val(std::move(v)) {
+      settle();
+    }
+    Csr(const Csr&) = delete;
+    Csr& operator=(const Csr&) = delete;
+    ~Csr() { mem::accountant().sub(mem::Component::kMatrices, charged_); }
+
+    /// Re-sync the kMatrices gauge with the current vector capacities.
+    /// The value ctors settle at construction; the paths that fill a
+    /// default-constructed body afterwards (resize) settle explicitly.
+    void settle() {
+      const std::uint64_t now = rowptr.capacity() * sizeof(Index) +
+                                colidx.capacity() * sizeof(Index) +
+                                val.capacity() * sizeof(T);
+      if (now >= charged_)
+        mem::accountant().add(mem::Component::kMatrices, now - charged_);
+      else
+        mem::accountant().sub(mem::Component::kMatrices, charged_ - now);
+      charged_ = now;
+    }
+
     std::vector<Index> rowptr;
     std::vector<Index> colidx;
     std::vector<T> val;
+    std::uint64_t charged_ = 0;  // bytes currently on the kMatrices gauge
   };
 
   struct DeltaIns {
@@ -377,6 +429,11 @@ class Matrix {
             static_cast<std::size_t>(csr_->rowptr[i + 1])};
   }
 
+  std::uint64_t overlay_bytes_locked() const RG_REQUIRES(mu_) {
+    return delta_plus_.size() * sizeof(DeltaIns) +
+           delta_minus_.size() * sizeof(DeltaDel);
+  }
+
   void copy_fields(const Matrix& other) RG_REQUIRES(mu_, other.mu_) {
     nrows_ = other.nrows_;
     ncols_ = other.ncols_;
@@ -384,9 +441,17 @@ class Matrix {
     delta_plus_ = other.delta_plus_;
     delta_minus_ = other.delta_minus_;
     seq_ = other.seq_;
+    // The copy duplicated the overlays (the CSR body stays shared and
+    // keeps its original charge).
+    mem::accountant().add(mem::Component::kDeltaOverlays,
+                          overlay_bytes_locked());
   }
 
   void move_fields(Matrix&& other) RG_REQUIRES(mu_, other.mu_) {
+    // Move-assign discards this side's overlays; the moved-in ones keep
+    // the charge they already carry (other's vectors become empty).
+    mem::accountant().sub(mem::Component::kDeltaOverlays,
+                          overlay_bytes_locked());
     nrows_ = other.nrows_;
     ncols_ = other.ncols_;
     csr_ = std::move(other.csr_);
@@ -500,6 +565,8 @@ class Matrix {
     }
     csr_ = std::make_shared<Csr>(std::move(nrp), std::move(nci),
                                  std::move(nv));
+    mem::accountant().sub(mem::Component::kDeltaOverlays,
+                          overlay_bytes_locked());
     delta_plus_.clear();
     delta_minus_.clear();
     seq_ = 0;

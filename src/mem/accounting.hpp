@@ -1,0 +1,90 @@
+// Per-component memory accounting — cheap atomic gauges tagged by
+// subsystem, feeding GRAPH.INFO memory and the bench bytes-per-edge
+// rows.
+//
+// Design constraints:
+//  * This header sits BELOW rg_util in the include graph (data_block.hpp
+//    and graphblas/matrix.hpp charge allocations here), so it may depend
+//    on nothing but <atomic> — no util::Mutex, no rg_mem link edge.
+//  * Charges are relaxed atomic adds on allocation/free paths: a gauge,
+//    not a ledger.  Components account the storage they own exclusively
+//    (a shared MVCC page or CSR body is charged once, by its physical
+//    allocation, never per fork).
+//  * Per-graph attribution is NOT derived from these counters — that is
+//    Graph::memory_usage()'s deep walk (graph/graph.hpp).  The gauges
+//    answer the server-wide question; the walk answers the per-key one.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace rg::mem {
+
+/// Accounting tags.  One gauge per component; kCount sizes the array.
+enum class Component : unsigned {
+  kMatrices = 0,    // CSR bodies (graphblas/matrix.hpp)
+  kDeltaOverlays,   // buffered matrix insert/delete overlays
+  kProperties,      // entity datablock pages (util/data_block.hpp)
+  kDictionary,      // interned string entries (mem/dict.hpp)
+  kIndexes,         // attribute indexes (graph/index.hpp)
+  kPlanCache,       // compiled-plan cache entries (exec/plan_cache.hpp)
+  kWalBuffers,      // WAL tailer read buffers (persist/wal.hpp)
+  kCount,
+};
+
+inline const char* component_name(Component c) {
+  switch (c) {
+    case Component::kMatrices: return "matrices";
+    case Component::kDeltaOverlays: return "delta_overlays";
+    case Component::kProperties: return "properties";
+    case Component::kDictionary: return "dictionary";
+    case Component::kIndexes: return "indexes";
+    case Component::kPlanCache: return "plan_cache";
+    case Component::kWalBuffers: return "wal_buffers";
+    case Component::kCount: break;
+  }
+  return "?";
+}
+
+/// The gauge array.  add/sub pair up at allocation/free sites; bytes()
+/// and total() are monotonic-free snapshots (relaxed reads — callers
+/// wanting a consistent cross-component view accept gauge-level tearing,
+/// the same contract as /proc meminfo).
+class MemoryAccountant {
+ public:
+  static constexpr std::size_t kComponents =
+      static_cast<std::size_t>(Component::kCount);
+
+  void add(Component c, std::uint64_t bytes) noexcept {
+    bytes_[idx(c)].fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void sub(Component c, std::uint64_t bytes) noexcept {
+    bytes_[idx(c)].fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  std::uint64_t bytes(Component c) const noexcept {
+    return bytes_[idx(c)].load(std::memory_order_relaxed);
+  }
+
+  std::uint64_t total() const noexcept {
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < kComponents; ++i)
+      sum += bytes_[i].load(std::memory_order_relaxed);
+    return sum;
+  }
+
+ private:
+  static constexpr std::size_t idx(Component c) noexcept {
+    return static_cast<std::size_t>(c);
+  }
+  std::atomic<std::uint64_t> bytes_[kComponents] = {};
+};
+
+/// The process-wide accountant every component charges.
+inline MemoryAccountant& accountant() {
+  static MemoryAccountant a;
+  return a;
+}
+
+}  // namespace rg::mem

@@ -1,0 +1,87 @@
+#include "mem/dict.hpp"
+
+#include <atomic>
+
+#include "mem/accounting.hpp"
+
+namespace rg::mem {
+namespace {
+
+// Heap bytes one entry costs: the entry struct, its string's buffer (if
+// it escaped SSO) and the shared_ptr control block the handle rides on.
+std::uint64_t entry_cost(const std::string& s) {
+  std::uint64_t bytes = sizeof(DictEntry) + 2 * sizeof(void*);
+  if (s.capacity() > std::string().capacity()) bytes += s.capacity() + 1;
+  return bytes;
+}
+
+std::atomic<std::size_t> g_min_len{kDefaultDictMinStringLen};
+
+}  // namespace
+
+// The deleter runs when the last Str drops.  It must erase the map slot
+// BEFORE the entry is freed: the slot's key is a string_view into the
+// entry's bytes.  It must also tolerate the recreation race — between
+// the refcount hitting zero and this deleter taking mu_, another thread
+// may have interned the same content again, observed the expired
+// weak_ptr, and installed a fresh entry under a fresh key view.  In
+// that case the dying entry no longer owns the slot and nothing is
+// erased here.
+struct DictEntryDeleter {
+  Dict* dict;
+  void operator()(const DictEntry* e) const {
+    dict->on_release(e);
+    accountant().sub(Component::kDictionary, e->charged);
+    delete e;
+  }
+};
+
+void Dict::on_release(const DictEntry* e) {
+  util::MutexLock lk(mu_);
+  const auto it = map_.find(std::string_view(e->str));
+  if (it != map_.end() && it->second.expired()) map_.erase(it);
+}
+
+Str Dict::intern(std::string_view s) {
+  util::MutexLock lk(mu_);
+  auto it = map_.find(s);
+  if (it != map_.end()) {
+    if (auto live = it->second.lock()) return Str(std::move(live));
+    // Expired slot whose deleter has not reached on_release yet: its
+    // key view still points into the dying entry's bytes, so re-key.
+    map_.erase(it);
+  }
+  auto* e = new DictEntry{std::string(s), 0};
+  e->charged = entry_cost(e->str);
+  accountant().add(Component::kDictionary, e->charged);
+  std::shared_ptr<const DictEntry> sp(e, DictEntryDeleter{this});
+  map_.emplace(std::string_view(e->str), sp);
+  return Str(std::move(sp));
+}
+
+std::size_t Dict::size() const {
+  util::MutexLock lk(mu_);
+  std::size_t live = 0;
+  for (const auto& [k, w] : map_)
+    if (!w.expired()) ++live;
+  return live;
+}
+
+Dict& Dict::global() {
+  // Leaked on purpose: Str handles may outlive static destruction
+  // order (e.g. a static test fixture holding a Value), and their
+  // deleters dereference the dict.
+  static Dict* d = new Dict();
+  return *d;
+}
+
+std::size_t dict_min_string_len() noexcept {
+  return g_min_len.load(std::memory_order_relaxed);
+}
+
+void set_dict_min_string_len(std::size_t n) noexcept {
+  if (n > kMaxDictMinStringLen) n = kMaxDictMinStringLen;
+  g_min_len.store(n, std::memory_order_relaxed);
+}
+
+}  // namespace rg::mem

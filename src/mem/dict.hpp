@@ -1,0 +1,161 @@
+// Refcounted, thread-safe string dictionary — the single interner for
+// property string values (graph/value.hpp) and schema names
+// (graph/schema.hpp via IdTable).
+//
+// Model (RedisGraph-style dictionary compression): `intern("boston")`
+// returns a `Str`, a shared handle onto one immutable heap entry; every
+// graph, MVCC fork, index and result row holding "boston" shares that
+// entry.  When the last handle drops, a custom deleter removes the
+// entry from the dictionary's lookup map *before* freeing it (the map
+// key is a string_view into the entry's own bytes), so the dictionary
+// self-cleans — no GC pass, no epoch hook.  MVCC forks interact for
+// free: copying an AttributeSet copies handles (refcount bumps), never
+// bytes.
+//
+// Layering: this is the bottom of rg_mem (above rg_util only).  Server
+// code never names Dict/Str — the intern threshold is exposed as free
+// functions so GRAPH.CONFIG stays decoupled (and the mem-accounting
+// lint rule in ci/lint_invariants.py enforces exactly that).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/sync.hpp"
+
+namespace rg::mem {
+
+class Dict;
+
+/// One interned string: immutable bytes plus the accounting charge the
+/// entry made against Component::kDictionary when it was created.
+struct DictEntry {
+  std::string str;
+  std::uint64_t charged = 0;
+};
+
+/// Shared handle onto an interned string.  Copy = refcount bump.
+/// Default-constructed handles are empty (falsy); every handle minted
+/// by Dict::intern is non-empty.
+class Str {
+ public:
+  Str() = default;
+
+  /// The interned string; only valid on a non-empty handle.
+  const std::string& str() const { return e_->str; }
+  std::string_view view() const noexcept {
+    return e_ ? std::string_view(e_->str) : std::string_view();
+  }
+  std::size_t size() const noexcept { return e_ ? e_->str.size() : 0; }
+
+  explicit operator bool() const noexcept { return e_ != nullptr; }
+
+  /// Entry identity — stable for the entry's lifetime; two handles on
+  /// the same interned string compare equal.  Used for dedup during
+  /// serialization and the per-graph dictionary walk.
+  const void* id() const noexcept { return e_.get(); }
+
+  /// Heap bytes owned by the underlying entry (counted once per entry,
+  /// however many handles share it).
+  std::uint64_t entry_bytes() const noexcept { return e_ ? e_->charged : 0; }
+
+  friend bool operator==(const Str& a, const Str& b) noexcept {
+    return a.e_ == b.e_;
+  }
+
+ private:
+  friend class Dict;
+  explicit Str(std::shared_ptr<const DictEntry> e) : e_(std::move(e)) {}
+  std::shared_ptr<const DictEntry> e_;
+};
+
+/// The dictionary: content -> weak entry.  Holding only weak_ptrs means
+/// the map never keeps a string alive; liveness is exactly the set of
+/// outstanding Str handles.
+class Dict {
+ public:
+  Dict() = default;
+  Dict(const Dict&) = delete;
+  Dict& operator=(const Dict&) = delete;
+
+  /// Intern `s`: returns the existing live entry or creates one.
+  Str intern(std::string_view s);
+
+  /// Number of live (reachable) entries.  O(entries) — debug/test use.
+  std::size_t size() const RG_EXCLUDES(mu_);
+
+  /// The process-wide dictionary all property values intern into.
+  static Dict& global();
+
+ private:
+  friend struct DictEntryDeleter;
+  void on_release(const DictEntry* e) RG_EXCLUDES(mu_);
+
+  mutable util::Mutex mu_;
+  // Keys are views into each entry's own `str` bytes; the deleter
+  // erases the map slot before the entry is freed, and intern()
+  // re-keys when it replaces an expired slot.
+  std::unordered_map<std::string_view, std::weak_ptr<const DictEntry>> map_
+      RG_GUARDED_BY(mu_);
+};
+
+/// Intern threshold for property values (schema names always intern):
+/// strings shorter than this stay owned std::strings inside the Value
+/// variant.  Default 16 — one past libstdc++'s 15-byte SSO buffer, so
+/// interning only ever replaces a real heap allocation.  Runtime knob:
+/// GRAPH.CONFIG SET DICT_MIN_STRING_LEN, validated to [0, 65536]
+/// (0 = intern everything, 65536 = effectively never).
+inline constexpr std::size_t kDefaultDictMinStringLen = 16;
+inline constexpr std::size_t kMaxDictMinStringLen = 65536;
+
+std::size_t dict_min_string_len() noexcept;
+void set_dict_min_string_len(std::size_t n) noexcept;
+
+/// Append-only dense-id table over the shared dictionary — the schema's
+/// name <-> id mapping (labels, relationship types, attribute keys).
+/// Replaces util::StringPool; ids are dense and stable, the backing
+/// bytes live in the dictionary (shared with any property values that
+/// happen to equal a schema name).  Copyable: copies share entries, and
+/// the view keys stay valid because entry bytes are address-stable.
+class IdTable {
+ public:
+  using Id = std::uint32_t;
+  static constexpr Id kInvalidId = ~Id{0};
+
+  /// Intern `s`, returning its id (existing id if already interned).
+  Id intern(std::string_view s) {
+    auto it = ids_.find(s);
+    if (it != ids_.end()) return it->second;
+    const Id id = static_cast<Id>(handles_.size());
+    handles_.push_back(Dict::global().intern(s));
+    ids_.emplace(handles_.back().view(), id);
+    return id;
+  }
+
+  /// Look up an existing id without interning.
+  std::optional<Id> find(std::string_view s) const {
+    auto it = ids_.find(s);
+    if (it == ids_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// The string for a valid id.
+  const std::string& str(Id id) const { return handles_.at(id).str(); }
+
+  /// Number of interned strings.
+  std::size_t size() const noexcept { return handles_.size(); }
+
+  /// The underlying handles, for memory attribution walks.
+  const std::vector<Str>& handles() const noexcept { return handles_; }
+
+ private:
+  std::vector<Str> handles_;
+  std::unordered_map<std::string_view, Id> ids_;
+};
+
+}  // namespace rg::mem

@@ -9,6 +9,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "mem/accounting.hpp"
 #include "util/crc32.hpp"
 #include "util/file_io.hpp"
 
@@ -204,10 +205,14 @@ WalTailer::WalTailer(const std::string& path, std::uint64_t from_lsn,
   if (fd_ < 0)
     throw PersistError("cannot open WAL for tailing " + path + ": " +
                        std::strerror(errno));
+  // Each tailer (one per replica cursor) reads through a buffer of
+  // buf_bytes_; charge it for the tailer's lifetime.
+  mem::accountant().add(mem::Component::kWalBuffers, buf_bytes_);
 }
 
 WalTailer::~WalTailer() {
   if (fd_ >= 0) ::close(fd_);
+  mem::accountant().sub(mem::Component::kWalBuffers, buf_bytes_);
 }
 
 bool WalTailer::fill() {

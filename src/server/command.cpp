@@ -13,6 +13,8 @@
 #include "graph/serialize.hpp"
 #include "graph/snapshot.hpp"
 #include "graphblas/context.hpp"
+#include "mem/accounting.hpp"
+#include "mem/dict.hpp"
 #include "server/server.hpp"
 
 namespace rg::server {
@@ -248,8 +250,14 @@ CommandRegistry::CommandRegistry() {
        &H::config},
       {"GRAPH.INFO", 1, 2, kReadOnly | kAdmin,
        "Observability report: server, commandstats, plan_cache, wal, "
-       "slowlog, replication, mvcc sections.",
+       "slowlog, replication, mvcc, memory sections.",
        &H::info},
+      // Not kGraphKeyed: argv[1] is the USAGE subcommand, and a missing
+      // key must be an error, never an implicit create.
+      {"GRAPH.MEMORY", 3, 4, kReadOnly | kAdmin,
+       "USAGE <key> [component]: per-component heap bytes for one graph, "
+       "plus totals and bytes per node/edge.",
+       &H::memory},
       {"GRAPH.SLOWLOG", 2, 3, kAdmin,
        "GET [n] / RESET / LEN over the slow-command log.", &H::slowlog},
       {"REPLICAOF", 3, 3, kAdmin,
@@ -439,7 +447,7 @@ Reply CommandHandlers::info(CommandCtx& ctx) {
   // error text both iterate this list.
   static constexpr std::string_view kSections[] = {
       "server", "commandstats", "plan_cache", "wal", "slowlog",
-      "replication", "mvcc"};
+      "replication", "mvcc", "memory"};
   const bool all = ctx.argc() == 1;
   auto want = [&](std::string_view section) {
     return all || ctx.arg_is(1, section);
@@ -498,6 +506,8 @@ Reply CommandHandlers::info(CommandCtx& ctx) {
     row("SLOWLOG_LEN", static_cast<std::int64_t>(srv.slowlog_len()));
     row("SLOWLOG_THRESHOLD_US", srv.slowlog_threshold_us());
   }
+  if (want("memory"))
+    memory_rows(srv, r.result, [](std::string_view) { return true; });
   if (want("mvcc")) {
     const Server::MvccInfo mi = srv.mvcc_info();
     auto urow = [&](const char* name, std::uint64_t v) {
@@ -542,6 +552,69 @@ Reply CommandHandlers::info(CommandCtx& ctx) {
       }
     }
   }
+  return r;
+}
+
+Reply CommandHandlers::memory(CommandCtx& ctx) {
+  Server& srv = ctx.server();
+  if (!ctx.arg_is(1, "USAGE"))
+    return error("unknown GRAPH.MEMORY subcommand '" + ctx.arg(1) +
+                 "'; expected USAGE");
+  const std::string& key = ctx.arg(2);
+  std::shared_ptr<GraphEntry> entry;
+  {
+    // Non-creating lookup (same as GRAPH.DELETE): asking for a missing
+    // key's memory must not materialize an empty graph.
+    util::MutexLock lk(srv.keyspace_mu_);
+    const auto it = srv.keyspace_.find(key);
+    if (it == srv.keyspace_.end()) return error("no such key '" + key + "'");
+    entry = it->second;
+  }
+  // Walk a pinned epoch: a consistent set of structures, no entry lock
+  // held while sizes are summed.
+  const auto snap = srv.pin(*entry);
+  const graph::Graph& g = snap->graph();
+  const graph::Graph::MemoryUsage mu = g.memory_usage();
+
+  struct ComponentRow {
+    std::string_view filter;  // GRAPH.MEMORY USAGE <key> <filter>
+    const char* label;
+    std::uint64_t bytes;
+  };
+  const ComponentRow components[] = {
+      {"matrices", "MATRICES_BYTES", mu.matrices},
+      {"delta_overlays", "DELTA_OVERLAYS_BYTES", mu.delta_overlays},
+      {"properties", "PROPERTIES_BYTES", mu.properties},
+      {"indexes", "INDEXES_BYTES", mu.indexes},
+      {"dictionary", "DICTIONARY_BYTES", mu.dictionary},
+  };
+  Reply r;
+  r.kind = Reply::Kind::kResult;
+  r.result.columns = {"name", "value"};
+  auto row = [&](const char* name, std::uint64_t v) {
+    r.result.rows.push_back({graph::Value(name),
+                             graph::Value(static_cast<std::int64_t>(v))});
+  };
+  if (ctx.argc() == 4) {
+    for (const auto& c : components)
+      if (ctx.arg_is(3, c.filter)) {
+        row(c.label, c.bytes);
+        return r;
+      }
+    std::string expected;
+    for (const auto& c : components) {
+      if (!expected.empty()) expected += ", ";
+      expected += c.filter;
+    }
+    return error("unknown memory component '" + ctx.arg(3) +
+                 "'; expected one of: " + expected);
+  }
+  for (const auto& c : components) row(c.label, c.bytes);
+  row("TOTAL_BYTES", mu.total());
+  const std::uint64_t nodes = g.node_count();
+  const std::uint64_t edges = g.edge_count();
+  row("BYTES_PER_NODE", nodes != 0 ? mu.total() / nodes : 0);
+  row("BYTES_PER_EDGE", edges != 0 ? mu.total() / edges : 0);
   return r;
 }
 
@@ -1200,6 +1273,45 @@ void CommandHandlers::plan_cache_rows(
   }
 }
 
+void CommandHandlers::memory_rows(
+    Server& srv, exec::ResultSet& rs,
+    const std::function<bool(std::string_view)>& want) {
+  auto row = [&](const char* name, std::uint64_t v) {
+    if (want(name))
+      rs.rows.push_back({graph::Value(name),
+                         graph::Value(static_cast<std::int64_t>(v))});
+  };
+  // Server-wide gauges: what each subsystem physically holds right now
+  // (fork-shared structures counted once — see Graph::memory_usage for
+  // the per-graph attribution that GRAPH.MEMORY USAGE reports).
+  const mem::MemoryAccountant& a = mem::accountant();
+  row("MEM_MATRICES_BYTES", a.bytes(mem::Component::kMatrices));
+  row("MEM_DELTA_OVERLAYS_BYTES", a.bytes(mem::Component::kDeltaOverlays));
+  row("MEM_PROPERTIES_BYTES", a.bytes(mem::Component::kProperties));
+  row("MEM_DICTIONARY_BYTES", a.bytes(mem::Component::kDictionary));
+  row("MEM_INDEXES_BYTES", a.bytes(mem::Component::kIndexes));
+  row("MEM_PLAN_CACHE_BYTES", a.bytes(mem::Component::kPlanCache));
+  row("MEM_WAL_BUFFERS_BYTES", a.bytes(mem::Component::kWalBuffers));
+  row("MEM_TOTAL_BYTES", a.total());
+  if (want("MEM_BYTES_PER_NODE") || want("MEM_BYTES_PER_EDGE")) {
+    std::vector<std::shared_ptr<GraphEntry>> entries;
+    {
+      util::MutexLock lk(srv.keyspace_mu_);
+      entries.reserve(srv.keyspace_.size());
+      for (const auto& [key, entry] : srv.keyspace_)
+        entries.push_back(entry);
+    }
+    std::uint64_t nodes = 0, edges = 0;
+    for (const auto& entry : entries) {
+      const auto snap = srv.pin(*entry);
+      nodes += snap->graph().node_count();
+      edges += snap->graph().edge_count();
+    }
+    row("MEM_BYTES_PER_NODE", nodes != 0 ? a.total() / nodes : 0);
+    row("MEM_BYTES_PER_EDGE", edges != 0 ? a.total() / edges : 0);
+  }
+}
+
 Reply CommandHandlers::config(CommandCtx& ctx) {
   Server& srv = ctx.server();
   // GRAPH.CONFIG GET <name>|* | GRAPH.CONFIG SET <name> <value>.
@@ -1231,6 +1343,9 @@ Reply CommandHandlers::config(CommandCtx& ctx) {
       row(r.result, "GB_THREADS", static_cast<std::int64_t>(gb::threads()));
     if (want("SLOWLOG_THRESHOLD_US"))
       row(r.result, "SLOWLOG_THRESHOLD_US", srv.slowlog_threshold_us());
+    if (want("DICT_MIN_STRING_LEN"))
+      row(r.result, "DICT_MIN_STRING_LEN",
+          static_cast<std::int64_t>(mem::dict_min_string_len()));
     plan_cache_rows(srv, r.result, want);
     if (r.result.rows.empty())
       return error("unknown config '" + ctx.arg(2) + "'");
@@ -1282,6 +1397,20 @@ Reply CommandHandlers::config(CommandCtx& ctx) {
       if (!parse_ranged_i64(ctx.arg(3), kLo, kHi, v))
         return range_error("WAL_MAX_BYTES", kLo, kHi);
       srv.durability_->set_wal_max_bytes(static_cast<std::uint64_t>(v));
+      return status_ok();
+    }
+    if (ctx.arg_is(2, "DICT_MIN_STRING_LEN")) {
+      // Minimum length for a property string to be interned into the
+      // shared dictionary.  0 interns everything; the ceiling (64 KiB)
+      // effectively turns interning off.  Applies to writes from here
+      // on — existing handles keep their encoding.
+      constexpr std::int64_t kLo = 0,
+                             kHi = static_cast<std::int64_t>(
+                                 mem::kMaxDictMinStringLen);
+      std::int64_t v = 0;
+      if (!parse_ranged_i64(ctx.arg(3), kLo, kHi, v))
+        return range_error("DICT_MIN_STRING_LEN", kLo, kHi);
+      mem::set_dict_min_string_len(static_cast<std::size_t>(v));
       return status_ok();
     }
     if (ctx.arg_is(2, "PLAN_CACHE_SIZE")) {

@@ -297,6 +297,7 @@ struct CommandHandlers {
   static Reply restore_payload(CommandCtx&);
   static Reply config(CommandCtx&);
   static Reply info(CommandCtx&);
+  static Reply memory(CommandCtx&);  // GRAPH.MEMORY USAGE <key> [component]
   static Reply slowlog(CommandCtx&);
   static Reply replicaof(CommandCtx&);
   static Reply wait(CommandCtx&);
@@ -314,6 +315,10 @@ struct CommandHandlers {
   static void plan_cache_rows(
       Server& srv, exec::ResultSet& rs,
       const std::function<bool(std::string_view)>& want);
+  /// Server-wide memory gauges (mem::accountant per-component bytes plus
+  /// keyspace-wide bytes-per-entity) for the GRAPH.INFO memory section.
+  static void memory_rows(Server& srv, exec::ResultSet& rs,
+                          const std::function<bool(std::string_view)>& want);
 };
 
 }  // namespace rg::server

@@ -26,6 +26,8 @@
 #include <utility>
 #include <vector>
 
+#include "mem/accounting.hpp"
+
 namespace rg::util {
 
 /// Chunked storage of T with O(1) insert/erase, stable addresses, dense
@@ -168,6 +170,14 @@ class DataBlock {
   /// One past the largest id ever used (iteration bound).
   Id id_bound() const noexcept { return high_water_; }
 
+  /// Heap bytes of the page array and free list this block keeps alive
+  /// (memory attribution; shared COW pages count in full per holder).
+  std::uint64_t memory_bytes() const noexcept {
+    return pages_.size() * sizeof(Page) +
+           pages_.capacity() * sizeof(std::shared_ptr<Page>) +
+           free_.capacity() * sizeof(Id);
+  }
+
   /// Drop all items and release this side's storage.  Forks keep
   /// theirs: shared pages die (destroying their items) only when the
   /// last owner lets go.
@@ -205,15 +215,18 @@ class DataBlock {
   };
 
   /// One block of slots.  Owns the lifetime of its live items; cloning
-  /// copy-constructs them (clone-on-first-write).
+  /// copy-constructs them (clone-on-first-write).  Each physical page
+  /// charges kProperties once, however many forks share it — the charge
+  /// follows the allocation, not the reference.
   struct Page {
-    Page() = default;
+    Page() { mem::accountant().add(mem::Component::kProperties, sizeof(Page)); }
     Page(const Page&) = delete;
     Page& operator=(const Page&) = delete;
     ~Page() {
       for (std::size_t k = 0; k < BlockSize; ++k) {
         if (slots[k].live) ptr(slots[k])->~T();
       }
+      mem::accountant().sub(mem::Component::kProperties, sizeof(Page));
     }
     Slot slots[BlockSize];
   };

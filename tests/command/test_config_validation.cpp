@@ -129,6 +129,32 @@ TEST_F(ConfigValidationFixture, PlanCacheSizeRangeAndErrorText) {
   EXPECT_EQ(get_int(c, "PLAN_CACHE_SIZE"), 16);
 }
 
+TEST_F(ConfigValidationFixture, DictMinStringLenRangeAndErrorText) {
+  Client c(net_.port());
+  const std::string err =
+      "DICT_MIN_STRING_LEN must be an integer in [0, 65536]";
+  for (const char* bad : {"-1", "65537", "nope", "1.5", "+8", ""})
+    expect_rejected(c, "DICT_MIN_STRING_LEN", bad, err);
+
+  c.send({"GRAPH.CONFIG", "SET", "DICT_MIN_STRING_LEN", "24"});
+  EXPECT_EQ(c.read_reply().kind, RespValue::Kind::kSimple);
+  EXPECT_EQ(get_int(c, "DICT_MIN_STRING_LEN"), 24);
+
+  // A rejected SET leaves the accepted value untouched.
+  expect_rejected(c, "DICT_MIN_STRING_LEN", "70000", err);
+  EXPECT_EQ(get_int(c, "DICT_MIN_STRING_LEN"), 24);
+
+  // Both documented extremes are valid: 0 interns everything, 65536
+  // effectively disables interning.
+  for (const char* good : {"0", "65536"}) {
+    c.send({"GRAPH.CONFIG", "SET", "DICT_MIN_STRING_LEN", good});
+    EXPECT_EQ(c.read_reply().kind, RespValue::Kind::kSimple) << good;
+  }
+  // Restore the process-global default for later fixtures.
+  c.send({"GRAPH.CONFIG", "SET", "DICT_MIN_STRING_LEN", "16"});
+  EXPECT_EQ(c.read_reply().kind, RespValue::Kind::kSimple);
+}
+
 TEST_F(ConfigValidationFixture, WalMaxBytesRejectedWithoutDurability) {
   // This fixture's server has no data dir: the durability gate fires
   // before range validation, exactly as before this change.

@@ -159,6 +159,134 @@ TEST(Serialize, RejectsTruncatedStream) {
   EXPECT_THROW(load_graph(h, truncated), SerializeError);
 }
 
+// --- v3 dictionary section --------------------------------------------------
+
+namespace v {
+// Little-endian writers mirroring the RGR1 primitives, for hand-built
+// streams (back-compat and corruption cases the saver can't produce).
+void u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out += static_cast<char>((v >> (8 * i)) & 0xff);
+}
+void u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out += static_cast<char>((v >> (8 * i)) & 0xff);
+}
+void str(std::string& out, const std::string& s) {
+  u32(out, static_cast<std::uint32_t>(s.size()));
+  out += s;
+}
+}  // namespace v
+
+constexpr const char* kLongCity = "metropolitan-area-of-san-francisco";
+
+/// Many nodes sharing one long (interned) string value.
+void fill_interned_graph(Graph& g, int nodes = 8) {
+  const auto person = g.schema().add_label("Person");
+  const auto city = g.schema().add_attr("city");
+  for (int i = 0; i < nodes; ++i) {
+    AttributeSet attrs;
+    attrs.set(city, Value(std::string(kLongCity)));
+    g.add_node({person}, std::move(attrs));
+  }
+  g.flush();
+}
+
+TEST(SerializeV3, DictionaryWritesEachStringOnce) {
+  Graph g;
+  fill_interned_graph(g);
+  std::stringstream buf;
+  save_graph(g, buf);
+  const std::string bytes = buf.str();
+  std::size_t occurrences = 0;
+  for (std::size_t pos = bytes.find(kLongCity); pos != std::string::npos;
+       pos = bytes.find(kLongCity, pos + 1))
+    ++occurrences;
+  EXPECT_EQ(occurrences, 1u);  // dictionary section only; values are refs
+}
+
+TEST(SerializeV3, RoundTripRestoresSharedHandles) {
+  Graph g;
+  fill_interned_graph(g);
+  std::stringstream buf;
+  save_graph(g, buf);
+  Graph h;
+  load_graph(h, buf);
+  ASSERT_EQ(h.node_count(), g.node_count());
+  // Every restored value is interned and shares ONE dictionary entry.
+  const void* id = nullptr;
+  h.for_each_node([&](NodeId, const NodeEntity& ent) {
+    const auto val = ent.attrs.get(0);
+    ASSERT_TRUE(val.has_value());
+    ASSERT_TRUE(val->is_interned());
+    EXPECT_EQ(val->as_string(), kLongCity);
+    if (id == nullptr) id = val->as_interned().id();
+    EXPECT_EQ(val->as_interned().id(), id);
+  });
+}
+
+TEST(SerializeV3, V2StreamStillLoads) {
+  // Hand-built v2 snapshot: no dictionary section, inline strings only.
+  std::string bytes = "RGR1";
+  v::u32(bytes, 2);   // version
+  v::u64(bytes, 7);   // epoch
+  v::u64(bytes, 42);  // lsn
+  v::u32(bytes, 1);   // labels
+  v::str(bytes, "Person");
+  v::u32(bytes, 0);  // reltypes
+  v::u32(bytes, 1);  // attrs
+  v::str(bytes, "city");
+  v::u64(bytes, 1);  // nodes
+  v::u64(bytes, 0);  // node id
+  v::u32(bytes, 1);  // label count
+  v::u32(bytes, 0);
+  v::u32(bytes, 1);  // attr count
+  v::u32(bytes, 0);  // attr id
+  bytes += static_cast<char>(4);  // Tag::kString (inline)
+  v::str(bytes, kLongCity);
+  v::u64(bytes, 0);  // edges
+  v::u32(bytes, 0);  // indexes
+  std::istringstream in(bytes, std::ios::binary);
+  Graph h;
+  SnapshotMeta meta;
+  load_graph(h, in, &meta);
+  EXPECT_EQ(meta.epoch, 7u);
+  EXPECT_EQ(meta.lsn, 42u);
+  ASSERT_EQ(h.node_count(), 1u);
+  const auto val = h.node(0).attrs.get(0);
+  ASSERT_TRUE(val.has_value());
+  EXPECT_EQ(val->as_string(), kLongCity);
+  // restore_node interns at the boundary, so even a v2 load lands on
+  // the shared dictionary representation.
+  EXPECT_TRUE(val->is_interned());
+}
+
+TEST(SerializeV3, StringRefOutOfRangeRejected) {
+  // v3 stream whose dictionary has 1 entry but a value references #5.
+  std::string bytes = "RGR1";
+  v::u32(bytes, 3);  // version
+  v::u64(bytes, 0);
+  v::u64(bytes, 0);
+  v::u32(bytes, 1);
+  v::str(bytes, "Person");
+  v::u32(bytes, 0);
+  v::u32(bytes, 1);
+  v::str(bytes, "city");
+  v::u32(bytes, 1);  // dictionary: one entry
+  v::str(bytes, kLongCity);
+  v::u64(bytes, 1);  // nodes
+  v::u64(bytes, 0);
+  v::u32(bytes, 0);  // no labels
+  v::u32(bytes, 1);  // one attr
+  v::u32(bytes, 0);
+  bytes += static_cast<char>(6);  // Tag::kStringRef
+  v::u32(bytes, 5);               // out of range
+  v::u64(bytes, 0);
+  v::u32(bytes, 0);
+  std::istringstream in(bytes, std::ios::binary);
+  Graph h;
+  EXPECT_THROW(load_graph(h, in), SerializeError);
+  EXPECT_EQ(h.node_count(), 0u);
+}
+
 TEST(Serialize, FileRoundTrip) {
   Graph g;
   fill_rich_graph(g);

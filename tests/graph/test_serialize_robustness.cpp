@@ -23,11 +23,17 @@ std::string reference_bytes(const SnapshotMeta& meta = {}) {
   const auto lives = g.schema().add_reltype("LIVES_IN");
   const auto name = g.schema().add_attr("name");
   const auto pop = g.schema().add_attr("pop");
+  // A long repeated string: interned, so the v3 dictionary section is
+  // non-empty and the truncation/bit-flip sweeps below cover it (and
+  // the kStringRef occurrences referencing it).
+  const auto city_name = g.schema().add_attr("city_name");
   AttributeSet a1;
   a1.set(name, Value(std::string("ann")));
+  a1.set(city_name, Value(std::string("a-city-name-long-enough-to-intern")));
   const auto n1 = g.add_node({person}, std::move(a1));
   AttributeSet a2;
   a2.set(name, Value(std::string("bea")));
+  a2.set(city_name, Value(std::string("a-city-name-long-enough-to-intern")));
   ValueArray arr;
   arr.push_back(Value(std::int64_t{1}));
   arr.push_back(Value(2.5));

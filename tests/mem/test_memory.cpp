@@ -1,0 +1,129 @@
+// GRAPH.MEMORY USAGE and the GRAPH.INFO memory section: per-component
+// rows must sum to the reported totals (the consistency contract this
+// PR's accounting is built around), the component filter works, and the
+// error paths match the command-surface conventions.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "mem/accounting.hpp"
+#include "server/server.hpp"
+
+namespace rg::server {
+namespace {
+
+/// name -> value map over a two-column [name, value] result set.
+std::map<std::string, std::int64_t> rows_as_map(const Reply& r) {
+  std::map<std::string, std::int64_t> out;
+  for (const auto& row : r.result.rows)
+    out[row[0].as_string()] = row[1].as_int();
+  return out;
+}
+
+class MemoryCommandFixture : public ::testing::Test {
+ protected:
+  MemoryCommandFixture() : srv_(2) {
+    // Long, repeated property strings: above the default interning
+    // threshold, so the dictionary component is exercised too.
+    const auto r = srv_.execute(
+        {"GRAPH.QUERY", "g",
+         "UNWIND range(1, 50) AS i "
+         "CREATE (:Person {name: 'metropolitan-resident-number-' + i, "
+         "city: 'san-francisco-bay-area-california'})"});
+    EXPECT_TRUE(r.ok()) << r.text;
+    const auto e = srv_.execute(
+        {"GRAPH.QUERY", "g",
+         "MATCH (a:Person) CREATE (a)-[:KNOWS "
+         "{kind: 'acquainted-through-mutual-colleagues'}]->(a)"});
+    EXPECT_TRUE(e.ok()) << e.text;
+    EXPECT_GT(e.result.stats.edges_created, 0u);
+  }
+
+  Server srv_;
+};
+
+TEST_F(MemoryCommandFixture, ComponentRowsSumToTotal) {
+  const auto r = srv_.execute({"GRAPH.MEMORY", "USAGE", "g"});
+  ASSERT_TRUE(r.ok()) << r.text;
+  const auto rows = rows_as_map(r);
+  ASSERT_TRUE(rows.contains("TOTAL_BYTES"));
+  const std::int64_t sum =
+      rows.at("MATRICES_BYTES") + rows.at("DELTA_OVERLAYS_BYTES") +
+      rows.at("PROPERTIES_BYTES") + rows.at("INDEXES_BYTES") +
+      rows.at("DICTIONARY_BYTES");
+  EXPECT_EQ(sum, rows.at("TOTAL_BYTES"));
+  EXPECT_GT(rows.at("TOTAL_BYTES"), 0);
+  EXPECT_GT(rows.at("PROPERTIES_BYTES"), 0);
+  EXPECT_GT(rows.at("DICTIONARY_BYTES"), 0);  // long strings interned
+  EXPECT_GT(rows.at("BYTES_PER_NODE"), 0);
+  EXPECT_GT(rows.at("BYTES_PER_EDGE"), 0);
+}
+
+TEST_F(MemoryCommandFixture, ComponentFilterSelectsOneRow) {
+  const auto full = rows_as_map(srv_.execute({"GRAPH.MEMORY", "USAGE", "g"}));
+  const auto r =
+      srv_.execute({"GRAPH.MEMORY", "USAGE", "g", "properties"});
+  ASSERT_TRUE(r.ok()) << r.text;
+  ASSERT_EQ(r.result.rows.size(), 1u);
+  EXPECT_EQ(r.result.rows[0][0].as_string(), "PROPERTIES_BYTES");
+  EXPECT_EQ(r.result.rows[0][1].as_int(), full.at("PROPERTIES_BYTES"));
+  // Case-folded, like every other subcommand/section operand.
+  const auto upper =
+      srv_.execute({"GRAPH.MEMORY", "USAGE", "g", "DICTIONARY"});
+  ASSERT_TRUE(upper.ok()) << upper.text;
+  EXPECT_EQ(upper.result.rows[0][0].as_string(), "DICTIONARY_BYTES");
+}
+
+TEST_F(MemoryCommandFixture, ErrorPaths) {
+  // Missing key: an error, not an implicit empty graph.
+  auto r = srv_.execute({"GRAPH.MEMORY", "USAGE", "ghost"});
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.text.find("no such key"), std::string::npos) << r.text;
+  r = srv_.execute({"GRAPH.LIST"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.result.rows.size(), 1u);  // still only "g"
+  // Unknown subcommand / component name.
+  r = srv_.execute({"GRAPH.MEMORY", "STATS", "g"});
+  EXPECT_FALSE(r.ok());
+  r = srv_.execute({"GRAPH.MEMORY", "USAGE", "g", "heap"});
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.text.find("expected one of"), std::string::npos) << r.text;
+}
+
+TEST_F(MemoryCommandFixture, InfoMemorySectionIsConsistent) {
+  const auto r = srv_.execute({"GRAPH.INFO", "memory"});
+  ASSERT_TRUE(r.ok()) << r.text;
+  const auto rows = rows_as_map(r);
+  const std::int64_t sum =
+      rows.at("MEM_MATRICES_BYTES") + rows.at("MEM_DELTA_OVERLAYS_BYTES") +
+      rows.at("MEM_PROPERTIES_BYTES") + rows.at("MEM_DICTIONARY_BYTES") +
+      rows.at("MEM_INDEXES_BYTES") + rows.at("MEM_PLAN_CACHE_BYTES") +
+      rows.at("MEM_WAL_BUFFERS_BYTES");
+  EXPECT_EQ(sum, rows.at("MEM_TOTAL_BYTES"));
+  // The section reports what the process holds: the gauges are live.
+  EXPECT_EQ(static_cast<std::uint64_t>(rows.at("MEM_TOTAL_BYTES")),
+            mem::accountant().total());
+  EXPECT_GT(rows.at("MEM_BYTES_PER_NODE"), 0);
+}
+
+TEST_F(MemoryCommandFixture, ConfigKnobRoundTrip) {
+  auto r = srv_.execute({"GRAPH.CONFIG", "GET", "DICT_MIN_STRING_LEN"});
+  ASSERT_TRUE(r.ok()) << r.text;
+  ASSERT_EQ(r.result.rows.size(), 1u);
+  const std::int64_t before = r.result.rows[0][1].as_int();
+  r = srv_.execute({"GRAPH.CONFIG", "SET", "DICT_MIN_STRING_LEN", "32"});
+  EXPECT_TRUE(r.ok()) << r.text;
+  r = srv_.execute({"GRAPH.CONFIG", "GET", "DICT_MIN_STRING_LEN"});
+  EXPECT_EQ(r.result.rows[0][1].as_int(), 32);
+  // Out-of-range SET is rejected and leaves the knob untouched.
+  r = srv_.execute({"GRAPH.CONFIG", "SET", "DICT_MIN_STRING_LEN", "65537"});
+  EXPECT_FALSE(r.ok());
+  r = srv_.execute({"GRAPH.CONFIG", "GET", "DICT_MIN_STRING_LEN"});
+  EXPECT_EQ(r.result.rows[0][1].as_int(), 32);
+  srv_.execute({"GRAPH.CONFIG", "SET", "DICT_MIN_STRING_LEN",
+                std::to_string(before)});
+}
+
+}  // namespace
+}  // namespace rg::server

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -84,6 +85,39 @@ TEST_F(ReplicationFixture, FullSyncTransfersExistingGraphs) {
   EXPECT_TRUE(info.is_replica);
   EXPECT_EQ(info.full_syncs, 1u);
   EXPECT_EQ(replica_.role(), Server::Role::kReplica);
+}
+
+TEST_F(ReplicationFixture, FullSyncPreservesMemoryFootprint) {
+  // Long repeated property strings: interned on the primary, shipped via
+  // the snapshot's v3 dictionary section, re-interned on the replica —
+  // so GRAPH.MEMORY USAGE must agree within a small tolerance (epoch
+  // fork state and container growth slack differ across processes).
+  for (int i = 0; i < 20; ++i) {
+    const auto r = primary_.execute(
+        {"GRAPH.QUERY", "g",
+         "CREATE (:Person {seq: " + std::to_string(i) +
+             ", city: 'greater-metropolitan-area-of-somewhere'})"});
+    ASSERT_TRUE(r.ok()) << r.text;
+  }
+  replica_.replicaof("127.0.0.1", net_.port());
+  ASSERT_TRUE(replica_caught_up("g", 20));
+
+  auto usage = [](Server& srv, const char* component) {
+    const auto r = srv.execute({"GRAPH.MEMORY", "USAGE", "g", component});
+    EXPECT_TRUE(r.ok()) << r.text;
+    return r.result.rows[0][1].as_int();
+  };
+  // Dictionary bytes: both sides hold the same distinct strings, and the
+  // entry cost is deterministic — exact match.
+  EXPECT_EQ(usage(primary_, "dictionary"), usage(replica_, "dictionary"));
+  // Property storage: same entities, but datablock page allocation and
+  // vector growth may differ slightly; allow 25% slack.
+  const double p = static_cast<double>(usage(primary_, "properties"));
+  const double q = static_cast<double>(usage(replica_, "properties"));
+  ASSERT_GT(p, 0);
+  ASSERT_GT(q, 0);
+  EXPECT_LT(std::abs(p - q) / p, 0.25)
+      << "primary=" << p << " replica=" << q;
 }
 
 TEST_F(ReplicationFixture, StreamsWritesContinuously) {
